@@ -1,0 +1,148 @@
+// Ablation B: real (host) speed of the cryptographic primitives.
+//
+// Supports the §4.2 analysis — software encryption costs CPU per byte
+// (ARC4 + the re-keyed SHA-1 MAC), public-key operations cost
+// milliseconds, and eksblowfish's cost parameter scales password-guessing
+// work exponentially.  These run in *real time* on the host, unlike the
+// figure benchmarks, which charge the era-calibrated simulated rates.
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/arc4.h"
+#include "src/crypto/blowfish.h"
+#include "src/crypto/prng.h"
+#include "src/crypto/rabin.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/srp.h"
+#include "src/sfs/session.h"
+
+namespace {
+
+void BM_Sha1(benchmark::State& state) {
+  crypto::Prng prng(uint64_t{1});
+  util::Bytes data = prng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Arc4Stream(benchmark::State& state) {
+  crypto::Prng prng(uint64_t{2});
+  crypto::Arc4 cipher(prng.RandomBytes(20));
+  util::Bytes data = prng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    cipher.Crypt(data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ChannelSealOpen(benchmark::State& state) {
+  // The full per-message channel cost: ARC4 + rekeyed HMAC-SHA-1, both
+  // directions (what "SFS w/o encryption" saves).
+  crypto::Prng prng(uint64_t{3});
+  util::Bytes key = prng.RandomBytes(20);
+  sfs::ChannelCipher seal(key);
+  sfs::ChannelCipher open(key);
+  util::Bytes payload = prng.RandomBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto opened = open.Open(seal.Seal(payload));
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_RabinSign(benchmark::State& state) {
+  crypto::Prng prng(uint64_t{4});
+  auto key = crypto::RabinPrivateKey::Generate(&prng, static_cast<size_t>(state.range(0)));
+  util::Bytes msg = prng.RandomBytes(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Sign(msg));
+  }
+}
+
+void BM_RabinVerify(benchmark::State& state) {
+  crypto::Prng prng(uint64_t{5});
+  auto key = crypto::RabinPrivateKey::Generate(&prng, static_cast<size_t>(state.range(0)));
+  util::Bytes msg = prng.RandomBytes(64);
+  util::Bytes sig = key.Sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.public_key().Verify(msg, sig));
+  }
+}
+
+void BM_RabinEncrypt(benchmark::State& state) {
+  crypto::Prng prng(uint64_t{6});
+  auto key = crypto::RabinPrivateKey::Generate(&prng, static_cast<size_t>(state.range(0)));
+  util::Bytes msg = prng.RandomBytes(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.public_key().Encrypt(msg, &prng));
+  }
+}
+
+void BM_RabinDecrypt(benchmark::State& state) {
+  crypto::Prng prng(uint64_t{7});
+  auto key = crypto::RabinPrivateKey::Generate(&prng, static_cast<size_t>(state.range(0)));
+  util::Bytes msg = prng.RandomBytes(20);
+  auto ct = key.public_key().Encrypt(msg, &prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Decrypt(ct.value()));
+  }
+}
+
+void BM_EksBlowfishCost(benchmark::State& state) {
+  // The adjustable work factor: each +1 in cost doubles the time, the
+  // property that keeps password guessing expensive "even as hardware
+  // improves" (§2.5.2).
+  util::Bytes salt(16, 0x42);
+  util::Bytes pw = util::BytesOf("hunter2");
+  unsigned cost = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::EksBlowfishHash(cost, salt, pw));
+  }
+}
+
+void BM_SrpExchange(benchmark::State& state) {
+  // One full SRP mutual authentication (sfskey's per-login cost).
+  crypto::Prng prng(uint64_t{8});
+  const auto& params = crypto::DefaultSrpParams();
+  auto verifier = crypto::MakeSrpVerifier(params, "pw", 2, &prng);
+  for (auto _ : state) {
+    crypto::SrpClient client(params, &prng);
+    crypto::SrpServer server(params, verifier, &prng);
+    auto b = server.ProcessClientHello(client.A());
+    auto st = client.ProcessServerReply("pw", server.Salt(), server.Cost(), b.value());
+    benchmark::DoNotOptimize(server.VerifyClientProof(client.ClientProof()));
+    benchmark::DoNotOptimize(st);
+  }
+}
+
+void BM_KeyNegotiation(benchmark::State& state) {
+  // The Figure 3 handshake, both sides (per-mount cost).
+  crypto::Prng prng(uint64_t{9});
+  auto server_key = crypto::RabinPrivateKey::Generate(&prng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto neg = sfs::ClientNegotiation::Start(server_key.public_key(), &prng,
+                                             static_cast<size_t>(state.range(0)));
+    auto resp = sfs::ServerNegotiation::Respond(server_key,
+                                                neg->ephemeral_key.public_key().Serialize(),
+                                                neg->enc_kc1, neg->enc_kc2, &prng);
+    benchmark::DoNotOptimize(neg->Finish(server_key.public_key(), resp->enc_ks1,
+                                         resp->enc_ks2));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(8192)->Arg(1 << 20);
+BENCHMARK(BM_Arc4Stream)->Arg(8192)->Arg(1 << 20);
+BENCHMARK(BM_ChannelSealOpen)->Arg(128)->Arg(8192);
+BENCHMARK(BM_RabinSign)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RabinVerify)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RabinEncrypt)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RabinDecrypt)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EksBlowfishCost)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SrpExchange)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KeyNegotiation)->Arg(512)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Figure 5: micro-benchmarks for basic operations.
+//
+// Paper table (550 MHz P-III, 100 Mbit Ethernet):
+//   File system          Latency (us)   Throughput (MB/s)
+//   NFS 3 (UDP)               200             9.3
+//   NFS 3 (TCP)               220             7.6
+//   SFS                       790             4.1
+//   SFS w/o encryption        770             7.1
+//
+// Latency: an operation that always requires a remote RPC but never a
+// disk access — an unauthorized fchown.  Throughput: sequentially reading
+// a large sparse file (holes, so no server disk activity).
+#include <benchmark/benchmark.h>
+
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+
+namespace {
+
+using bench::Config;
+using bench::Testbed;
+
+void BM_Fig5_Latency(benchmark::State& state) {
+  Testbed tb(static_cast<Config>(state.range(0)));
+  std::string dir = tb.WorkDir();
+  // A root-owned file the benchmark user cannot chown.
+  auto file = bench::CheckResult(
+      tb.vfs()->Open(tb.user(), dir + "/target", vfs::OpenFlags::CreateRw()), "create");
+
+  nfs::Sattr chown;
+  chown.uid = 4242;  // Requires superuser: always denied, never cached.
+  for (auto _ : state) {
+    sim::Stopwatch watch(tb.clock());
+    util::Status status = file.SetAttr(chown);
+    benchmark::DoNotOptimize(status);
+    state.SetIterationTime(watch.elapsed_seconds());
+  }
+  state.SetLabel(bench::ConfigName(tb.config()));
+}
+
+void BM_Fig5_Throughput(benchmark::State& state) {
+  Testbed tb(static_cast<Config>(state.range(0)));
+  std::string dir = tb.WorkDir();
+  const uint64_t kFileSize = 256ull << 20;  // Sparse; the paper used 1,000 MB.
+
+  // Create the sparse file.
+  bench::Check(tb.vfs()->Open(tb.user(), dir + "/sparse", vfs::OpenFlags::CreateRw()).status(),
+               "create");
+  bench::Check(tb.vfs()->Truncate(tb.user(), dir + "/sparse", kFileSize), "truncate");
+
+  for (auto _ : state) {
+    tb.DropClientCaches();
+    auto file = bench::CheckResult(
+        tb.vfs()->Open(tb.user(), dir + "/sparse", vfs::OpenFlags::ReadOnly()), "open");
+    sim::Stopwatch watch(tb.clock());
+    for (uint64_t off = 0; off < kFileSize; off += 8192) {
+      auto data = file.Pread(off, 8192);
+      benchmark::DoNotOptimize(data);
+    }
+    state.SetIterationTime(watch.elapsed_seconds());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(kFileSize) * state.iterations());
+  state.SetLabel(bench::ConfigName(tb.config()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig5_Latency)
+    ->Arg(static_cast<int>(Config::kNfsUdp))
+    ->Arg(static_cast<int>(Config::kNfsTcp))
+    ->Arg(static_cast<int>(Config::kSfs))
+    ->Arg(static_cast<int>(Config::kSfsNoCrypt))
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(200);
+
+BENCHMARK(BM_Fig5_Throughput)
+    ->Arg(static_cast<int>(Config::kNfsUdp))
+    ->Arg(static_cast<int>(Config::kNfsTcp))
+    ->Arg(static_cast<int>(Config::kSfs))
+    ->Arg(static_cast<int>(Config::kSfsNoCrypt))
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

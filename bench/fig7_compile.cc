@@ -1,0 +1,101 @@
+// Figure 7: compiling the GENERIC FreeBSD 3.3 kernel.
+//
+// Paper (system time, seconds): Local 140, NFS3/UDP 178, NFS3/TCP 207,
+// SFS 197.  SFS lands between the two NFS transports; disabling
+// encryption bought only ~1.5%.
+//
+// Substitution: the kernel tree is modeled as `kSourceFiles` cold source
+// files plus a set of shared headers; each compilation unit reads its
+// source and the headers, burns fixed CPU, and writes an object file.
+#include <benchmark/benchmark.h>
+
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+
+namespace {
+
+using bench::Config;
+using bench::Testbed;
+
+constexpr int kSourceFiles = 300;
+constexpr int kSharedHeaders = 20;
+constexpr size_t kSourceSize = 24 * 1024;
+constexpr size_t kHeaderSize = 16 * 1024;
+constexpr size_t kObjectSize = 32 * 1024;
+// Per compilation unit.  Chosen so CPU and I/O contribute in roughly the
+// paper's proportion (the GENERIC kernel's system time was ~25% above
+// local when compiled over NFS).
+constexpr uint64_t kCompileCpuNs = 80'000'000;
+
+void BM_Fig7_KernelCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb(static_cast<Config>(state.range(0)));
+    std::string dir = tb.WorkDir();
+    auto* vfs = tb.vfs();
+
+    // Lay out the source tree cold on the server disk.
+    nfs::MemFs* server = tb.server_fs();
+    nfs::FileHandle src_dir;
+    nfs::Fattr attr;
+    bench::Check(vfs->Mkdir(tb.user(), dir + "/sys"), "mkdir sys");
+    bench::Check(vfs->Mkdir(tb.user(), dir + "/obj"), "mkdir obj");
+    // Resolve the server-side handle for cold-file injection.
+    {
+      nfs::FileHandle root = server->root_handle();
+      nfs::FileHandle bench_dir;
+      nfs::Credentials root_cred = nfs::Credentials::User(0);
+      bench::Check(nfs::ToStatus(
+                       server->Lookup(root, "bench", root_cred, &bench_dir, &attr), "lookup"),
+                   "bench dir");
+      bench::Check(
+          nfs::ToStatus(server->Lookup(bench_dir, "sys", root_cred, &src_dir, &attr), "lookup"),
+          "sys dir");
+      for (int h = 0; h < kSharedHeaders; ++h) {
+        bench::Check(
+            nfs::ToStatus(server->AddColdFile(src_dir, "hdr" + std::to_string(h) + ".h",
+                                              bench::Content(kHeaderSize, 100 + h)),
+                          "cold header"),
+            "header");
+      }
+      for (int f = 0; f < kSourceFiles; ++f) {
+        bench::Check(
+            nfs::ToStatus(server->AddColdFile(src_dir, "unit" + std::to_string(f) + ".c",
+                                              bench::Content(kSourceSize, 200 + f)),
+                          "cold source"),
+            "source");
+      }
+    }
+    tb.DropClientCaches();
+
+    sim::Stopwatch watch(tb.clock());
+    util::Bytes object = bench::Content(kObjectSize, 999);
+    for (int f = 0; f < kSourceFiles; ++f) {
+      bench::ReadFile(&tb, dir + "/sys/unit" + std::to_string(f) + ".c");
+      // Headers: the first unit pulls them over the wire; later units hit
+      // the client cache — the combined-cache effect the paper notes.
+      for (int h = 0; h < kSharedHeaders; ++h) {
+        bench::ReadFile(&tb, dir + "/sys/hdr" + std::to_string(h) + ".h");
+      }
+      tb.clock()->Advance(kCompileCpuNs);
+      bench::WriteFile(&tb, dir + "/obj/unit" + std::to_string(f) + ".o", object);
+    }
+    double seconds = watch.elapsed_seconds();
+    state.SetIterationTime(seconds);
+    state.counters["total_s"] = seconds;
+    state.SetLabel(bench::ConfigName(tb.config()));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig7_KernelCompile)
+    ->Arg(static_cast<int>(Config::kLocal))
+    ->Arg(static_cast<int>(Config::kNfsUdp))
+    ->Arg(static_cast<int>(Config::kNfsTcp))
+    ->Arg(static_cast<int>(Config::kSfs))
+    ->Arg(static_cast<int>(Config::kSfsNoCrypt))
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

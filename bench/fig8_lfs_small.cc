@@ -1,0 +1,41 @@
+// Figure 8: Sprite LFS small-file benchmark — create, read, and unlink
+// 1,000 1 KB files.
+//
+// Paper shape: create — SFS about the same as NFS3/UDP (attribute
+// caching compensates for latency); read — SFS ~3x slower (latency
+// bound); unlink — all file systems roughly equal (synchronous disk
+// writes dominate).
+#include <benchmark/benchmark.h>
+
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+
+namespace {
+
+using bench::Config;
+using bench::Testbed;
+
+void BM_Fig8_LfsSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb(static_cast<Config>(state.range(0)));
+    bench::LfsSmallResult result = bench::RunLfsSmall(&tb);
+    state.SetIterationTime(result.create + result.read + result.unlink);
+    state.counters["create_s"] = result.create;
+    state.counters["read_s"] = result.read;
+    state.counters["unlink_s"] = result.unlink;
+    state.SetLabel(bench::ConfigName(tb.config()));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig8_LfsSmall)
+    ->Arg(static_cast<int>(Config::kLocal))
+    ->Arg(static_cast<int>(Config::kNfsUdp))
+    ->Arg(static_cast<int>(Config::kNfsTcp))
+    ->Arg(static_cast<int>(Config::kSfs))
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Figure 9: Sprite LFS large-file benchmark — a 40,000 KB file written
+// and read sequentially and randomly in 8 KB chunks.
+//
+// Paper shape: SFS pays for its user-level implementation and software
+// encryption on the streaming phases (44% slower sequential write, 145%
+// slower sequential read vs NFS3/UDP); with encryption disabled most of
+// the gap closes (17% / 31%).
+#include <benchmark/benchmark.h>
+
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+
+namespace {
+
+using bench::Config;
+using bench::Testbed;
+
+void BM_Fig9_LfsLarge(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb(static_cast<Config>(state.range(0)));
+    bench::LfsLargeResult result = bench::RunLfsLarge(&tb, /*file_mb=*/40);
+    state.SetIterationTime(result.seq_write + result.seq_read + result.rand_write +
+                           result.rand_read + result.seq_read2);
+    state.counters["seq_write_s"] = result.seq_write;
+    state.counters["seq_read_s"] = result.seq_read;
+    state.counters["rand_write_s"] = result.rand_write;
+    state.counters["rand_read_s"] = result.rand_read;
+    state.counters["seq_read2_s"] = result.seq_read2;
+    state.SetLabel(bench::ConfigName(tb.config()));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig9_LfsLarge)
+    ->Arg(static_cast<int>(Config::kLocal))
+    ->Arg(static_cast<int>(Config::kNfsUdp))
+    ->Arg(static_cast<int>(Config::kNfsTcp))
+    ->Arg(static_cast<int>(Config::kSfs))
+    ->Arg(static_cast<int>(Config::kSfsNoCrypt))
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

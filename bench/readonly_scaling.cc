@@ -1,0 +1,105 @@
+// Ablation C: read-only dialect server scaling (paper §2.4).
+//
+// "This dialect makes the amount of cryptographic computation required
+// from read-only servers proportional to the file system's size and rate
+// of change, rather than to the number of clients connecting.  It also
+// frees read-only servers from the need to keep any on-line copies of
+// their private keys."
+//
+// We measure, as a function of the number of connecting clients, the
+// virtual time the *server machine* spends on a read-write SFS server
+// (one Figure-3 negotiation per client: two public-key decryptions and
+// two encryptions each) versus a read-only replica (zero public-key
+// operations ever — the one signature was computed offline).
+#include <benchmark/benchmark.h>
+
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+#include "src/readonly/readonly.h"
+
+namespace {
+
+void BM_ReadWriteServerPerClientCrypto(benchmark::State& state) {
+  int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Clock clock;
+    sim::CostModel costs;
+    auth::AuthServer authserver;
+    sfs::SfsServer::Options so;
+    so.location = "rw.example.org";
+    so.key_bits = 512;
+    sfs::SfsServer server(&clock, &costs, so, &authserver);
+
+    sim::Stopwatch watch(&clock);
+    for (int i = 0; i < clients; ++i) {
+      sfs::SfsClient::Options co;
+      co.ephemeral_key_bits = 512;
+      co.prng_seed = 10'000 + static_cast<uint64_t>(i);
+      sfs::SfsClient client(
+          &clock, &costs, [&](const std::string&) { return &server; }, co);
+      auto mount = client.Mount(server.Path());
+      if (!mount.ok()) {
+        state.SkipWithError("mount failed");
+        return;
+      }
+      nfs::Fattr attr;
+      (*mount)->fs()->GetAttr((*mount)->root_fh(), &attr);
+    }
+    state.SetIterationTime(watch.elapsed_seconds());
+    state.counters["per_client_ms"] = watch.elapsed_seconds() * 1e3 / clients;
+  }
+  state.SetLabel("read-write (per-client key negotiation)");
+}
+
+void BM_ReadOnlyServerPerClientCrypto(benchmark::State& state) {
+  int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Clock clock;
+    sim::CostModel costs;
+    crypto::Prng prng(uint64_t{1});
+    auto key = crypto::RabinPrivateKey::Generate(&prng, 512);
+    readonly::ImageBuilder builder;
+    bench::Check(builder.AddFile(builder.RootDir(), "catalog",
+                                 bench::Content(64 * 1024, 5)),
+                 "image");
+    readonly::SignedImage image = builder.Build(key, "ro.example.org", 1);
+    readonly::ReplicaServer replica(&clock, &costs, std::move(image));
+    sfs::SelfCertifyingPath path =
+        sfs::SelfCertifyingPath::For("ro.example.org", key.public_key());
+
+    sim::Stopwatch watch(&clock);
+    for (int i = 0; i < clients; ++i) {
+      sim::Link link(&clock, sim::LinkProfile::Tcp(), &replica);
+      readonly::ReadOnlyClient client(&link, path);
+      if (!client.Connect().ok()) {
+        state.SkipWithError("connect failed");
+        return;
+      }
+      nfs::Fattr attr;
+      client.GetAttr(client.root_fh(), &attr);
+    }
+    state.SetIterationTime(watch.elapsed_seconds());
+    state.counters["per_client_ms"] = watch.elapsed_seconds() * 1e3 / clients;
+  }
+  state.SetLabel("read-only (precomputed signature)");
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReadWriteServerPerClientCrypto)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_ReadOnlyServerPerClientCrypto)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

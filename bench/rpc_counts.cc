@@ -1,0 +1,42 @@
+// Ablation D: wire-message counts under MAB.
+//
+// The paper's caching argument (§4.2–4.3) is fundamentally about RPC
+// counts: "SFS's enhanced caching improves performance by reducing the
+// number of RPCs that need to travel over the network", and "without
+// enhanced caching, MAB takes ... 0.7 seconds slower".  This benchmark
+// reports the actual number of messages crossing the simulated wire for
+// the MAB workload in each remote configuration.
+#include <benchmark/benchmark.h>
+
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+
+namespace {
+
+using bench::Config;
+using bench::Testbed;
+
+void BM_RpcCounts_Mab(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb(static_cast<Config>(state.range(0)));
+    uint64_t before = tb.WireMessages();
+    bench::MabResult result = bench::RunMab(&tb);
+    uint64_t messages = tb.WireMessages() - before;
+    state.SetIterationTime(result.total());
+    state.counters["wire_messages"] = static_cast<double>(messages);
+    state.counters["rpcs"] = static_cast<double>(messages) / 2.0;  // Call + reply.
+    state.SetLabel(bench::ConfigName(tb.config()));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RpcCounts_Mab)
+    ->Arg(static_cast<int>(Config::kNfsUdp))
+    ->Arg(static_cast<int>(Config::kSfs))
+    ->Arg(static_cast<int>(Config::kSfsNoCache))
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,232 @@
+// Shared benchmark testbed: reconstructs the paper's §4.1 experimental
+// setup as simulated machines — one client, one server, 100 Mbit/s
+// switched Ethernet — in each of the measured configurations:
+//
+//   Local        the server's local FFS (no network)
+//   NFS3/UDP     plain NFS 3 over the UDP profile
+//   NFS3/TCP     plain NFS 3 over the TCP profile
+//   SFS          full SFS: secure channel, leases, user-level daemons
+//   SFS w/o enc  SFS negotiated down to a cleartext channel (§4.2)
+//   SFS w/o cache SFS with enhanced caching disabled (§4.3 ablation)
+//
+// All time is virtual (sim::Clock); see src/sim/cost_model.h for the
+// constants and their derivation from the paper's own numbers.
+#ifndef SFS_BENCH_TESTBED_H_
+#define SFS_BENCH_TESTBED_H_
+
+#include <memory>
+#include <string>
+
+#include "src/agent/agent.h"
+#include "src/auth/authserver.h"
+#include "src/nfs/cache.h"
+#include "src/nfs/client.h"
+#include "src/nfs/memfs.h"
+#include "src/nfs/program.h"
+#include "src/rpc/rpc.h"
+#include "src/sfs/client.h"
+#include "src/sfs/server.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/disk.h"
+#include "src/sim/network.h"
+#include "src/vfs/vfs.h"
+
+namespace bench {
+
+enum class Config {
+  kLocal,
+  kNfsUdp,
+  kNfsTcp,
+  kSfs,
+  kSfsNoCrypt,
+  kSfsNoCache,
+};
+
+inline const char* ConfigName(Config c) {
+  switch (c) {
+    case Config::kLocal:
+      return "Local";
+    case Config::kNfsUdp:
+      return "NFS 3 (UDP)";
+    case Config::kNfsTcp:
+      return "NFS 3 (TCP)";
+    case Config::kSfs:
+      return "SFS";
+    case Config::kSfsNoCrypt:
+      return "SFS w/o encryption";
+    case Config::kSfsNoCache:
+      return "SFS w/o enhanced caching";
+  }
+  return "?";
+}
+
+// One fully wired client/server pair.  All members share one virtual
+// clock; workloads measure with sim::Stopwatch over `clock`.
+class Testbed {
+ public:
+  explicit Testbed(Config config) : config_(config), costs_(sim::CostModel::PentiumIII550()) {
+    vfs_ = std::make_unique<vfs::Vfs>(&clock_, &costs_);
+
+    switch (config) {
+      case Config::kLocal: {
+        // Client-local file system; syscalls + disk only.
+        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es());
+        memfs_ = std::make_unique<nfs::MemFs>(&clock_, disk_.get(), nfs::MemFs::Options{});
+        vfs_->MountRoot(memfs_.get(), memfs_->root_handle());
+        server_fs_ = memfs_.get();
+        break;
+      }
+      case Config::kNfsUdp:
+      case Config::kNfsTcp: {
+        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es());
+        memfs_ = std::make_unique<nfs::MemFs>(&clock_, disk_.get(), nfs::MemFs::Options{});
+        program_ = std::make_unique<nfs::NfsProgram>(memfs_.get(), &clock_, &costs_);
+        dispatcher_ = std::make_unique<rpc::Dispatcher>();
+        dispatcher_->RegisterProgram(
+            nfs::kNfsProgram,
+            [this](uint32_t proc, const util::Bytes& args) {
+              return program_->HandleWire(proc, args);
+            });
+        link_ = std::make_unique<sim::Link>(&clock_,
+                                            config == Config::kNfsUdp
+                                                ? sim::LinkProfile::Udp()
+                                                : sim::LinkProfile::NfsTcpKernel(),
+                                            dispatcher_.get());
+        transport_ = std::make_unique<rpc::LinkTransport>(link_.get());
+        rpc_client_ = std::make_unique<rpc::Client>(transport_.get(), nfs::kNfsProgram);
+        nfs_client_ = std::make_unique<nfs::NfsClient>(
+            [this](uint32_t proc, const util::Bytes& args) {
+              return rpc_client_->Call(proc, args);
+            },
+            nfs::NfsClient::WireCredentialsEncoder());
+        nfs::CacheOptions cache_options;  // Plain NFS3 attribute timeouts.
+        cached_ = std::make_unique<nfs::CachingFs>(nfs_client_.get(), &clock_, cache_options);
+        vfs_->MountRoot(cached_.get(), memfs_->root_handle());
+        server_fs_ = memfs_.get();
+        break;
+      }
+      case Config::kSfs:
+      case Config::kSfsNoCrypt:
+      case Config::kSfsNoCache: {
+        // Client keeps a (rarely used) local root; the workload lives on
+        // the SFS server.
+        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es());
+        memfs_ = std::make_unique<nfs::MemFs>(&clock_, disk_.get(), nfs::MemFs::Options{});
+        vfs_->MountRoot(memfs_.get(), memfs_->root_handle());
+
+        authserver_ = std::make_unique<auth::AuthServer>();
+        sfs::SfsServer::Options server_options;
+        server_options.location = "server.bench";
+        server_options.key_bits = 512;
+        server_options.allow_cleartext = config == Config::kSfsNoCrypt;
+        sfs_server_ = std::make_unique<sfs::SfsServer>(&clock_, &costs_, server_options,
+                                                       authserver_.get());
+        server_fs_ = sfs_server_->fs();
+
+        sfs::SfsClient::Options client_options;
+        client_options.ephemeral_key_bits = 512;
+        client_options.encrypt = config != Config::kSfsNoCrypt;
+        client_options.enhanced_caching = config != Config::kSfsNoCache;
+        sfs_client_ = std::make_unique<sfs::SfsClient>(
+            &clock_, &costs_,
+            [this](const std::string&) { return sfs_server_.get(); }, client_options);
+        vfs_->EnableSfs(sfs_client_.get());
+
+        // Register the benchmark user and give her agent the key.
+        crypto::Prng prng(uint64_t{7001});
+        user_key_ = crypto::RabinPrivateKey::Generate(&prng, 512);
+        auth::PublicUserRecord record;
+        record.name = "bench";
+        record.public_key = user_key_.public_key().Serialize();
+        record.credentials = nfs::Credentials::User(1000, {1000});
+        authserver_->RegisterUser(record);
+        agent_ = std::make_unique<agent::Agent>("bench");
+        agent_->AddPrivateKey(user_key_);
+        break;
+      }
+    }
+    user_ = vfs::UserContext::For(1000, agent_.get());
+  }
+
+  // Absolute path of the working directory for workloads, created here.
+  std::string WorkDir() {
+    std::string base = IsSfs() ? sfs_server_->Path().FullPath() + "/bench" : "/bench";
+    vfs_->Mkdir(user_, base);
+    // Exclude mount/auth setup cost from workload timing: benchmarks
+    // measure steady-state operation, as the paper does.
+    return base;
+  }
+
+  // Drops client-side caches (phase separation in the LFS benchmarks);
+  // the server's buffer cache stays warm.  No-op for the local config,
+  // whose only cache *is* the buffer cache.
+  void DropClientCaches() {
+    if (cached_ != nullptr) {
+      cached_->InvalidateAll();
+    }
+    if (sfs_client_ != nullptr) {
+      auto mount = sfs_client_->Mount(sfs_server_->Path());
+      if (mount.ok()) {
+        (*mount)->cache()->InvalidateAll();
+      }
+    }
+  }
+
+  // Messages that actually crossed the wire (both directions).
+  uint64_t WireMessages() {
+    if (link_ != nullptr) {
+      return link_->messages_sent();
+    }
+    if (sfs_client_ != nullptr) {
+      auto mount = sfs_client_->Mount(sfs_server_->Path());
+      if (mount.ok()) {
+        return (*mount)->link()->messages_sent();
+      }
+    }
+    return 0;
+  }
+
+  bool IsSfs() const {
+    return config_ == Config::kSfs || config_ == Config::kSfsNoCrypt ||
+           config_ == Config::kSfsNoCache;
+  }
+
+  Config config() const { return config_; }
+  sim::Clock* clock() { return &clock_; }
+  vfs::Vfs* vfs() { return vfs_.get(); }
+  const vfs::UserContext& user() const { return user_; }
+  // The server-side file store (for cold-file setup and cache drops).
+  nfs::MemFs* server_fs() { return server_fs_; }
+
+ private:
+  Config config_;
+  sim::Clock clock_;
+  sim::CostModel costs_;
+  std::unique_ptr<vfs::Vfs> vfs_;
+  vfs::UserContext user_;
+
+  std::unique_ptr<sim::Disk> disk_;
+  std::unique_ptr<nfs::MemFs> memfs_;
+  nfs::MemFs* server_fs_ = nullptr;
+
+  // Plain NFS pieces.
+  std::unique_ptr<nfs::NfsProgram> program_;
+  std::unique_ptr<rpc::Dispatcher> dispatcher_;
+  std::unique_ptr<sim::Link> link_;
+  std::unique_ptr<rpc::LinkTransport> transport_;
+  std::unique_ptr<rpc::Client> rpc_client_;
+  std::unique_ptr<nfs::NfsClient> nfs_client_;
+  std::unique_ptr<nfs::CachingFs> cached_;
+
+  // SFS pieces.
+  std::unique_ptr<auth::AuthServer> authserver_;
+  std::unique_ptr<sfs::SfsServer> sfs_server_;
+  std::unique_ptr<sfs::SfsClient> sfs_client_;
+  crypto::RabinPrivateKey user_key_;
+  std::unique_ptr<agent::Agent> agent_;
+};
+
+}  // namespace bench
+
+#endif  // SFS_BENCH_TESTBED_H_

@@ -1,0 +1,157 @@
+// Certification authorities as file systems (paper §2.4).
+//
+// "SFS certification authorities are nothing more than ordinary file
+// systems serving symbolic links."  This example builds a Verisign-style
+// CA as a *read-only* file system — signed offline, replicated on an
+// untrusted mirror — plus the revocation directory idiom, and shows a
+// user resolving /sfs/mit through her certification path.
+#include <cstdio>
+
+#include "src/agent/agent.h"
+#include "src/auth/authserver.h"
+#include "src/nfs/memfs.h"
+#include "src/readonly/readonly.h"
+#include "src/sfs/client.h"
+#include "src/sfs/revocation.h"
+#include "src/sfs/server.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+#define MUST(expr)                                                      \
+  do {                                                                  \
+    auto _status = (expr);                                              \
+    if (!_status.ok()) {                                                \
+      std::fprintf(stderr, "FAILED: %s\n", _status.ToString().c_str()); \
+      return 1;                                                         \
+    }                                                                   \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  sim::Clock clock;
+  sim::CostModel costs;
+  crypto::Prng prng(uint64_t{1999});
+
+  std::printf("== Customer servers ==\n");
+  auth::AuthServer mit_auth;
+  sfs::SfsServer::Options mit_options;
+  mit_options.location = "sfs.lcs.mit.edu";
+  mit_options.key_bits = 512;
+  sfs::SfsServer mit(&clock, &costs, mit_options, &mit_auth);
+  std::printf("   MIT:  %s\n", mit.Path().FullPath().c_str());
+
+  std::printf("\n== Verisign signs its directory OFFLINE ==\n");
+  auto verisign_key = crypto::RabinPrivateKey::Generate(&prng, 512);
+  readonly::ImageBuilder builder;
+  MUST(builder.AddSymlink(builder.RootDir(), "mit", mit.Path().FullPath()));
+  MUST(builder.AddSymlink(builder.RootDir(), "mit.edu", mit.Path().FullPath()));
+  auto revoked_dir = builder.AddDir(builder.RootDir(), "revoked");
+  (void)revoked_dir;  // Populated below in the revocation act.
+  readonly::SignedImage image = builder.Build(verisign_key, "sfs.verisign.com", 1);
+  sfs::SelfCertifyingPath verisign_path =
+      sfs::SelfCertifyingPath::For("sfs.verisign.com", verisign_key.public_key());
+  std::printf("   image: %zu nodes, %llu bytes, one signature\n", image.nodes.size(),
+              static_cast<unsigned long long>(image.TotalBytes()));
+  std::printf("   the private key never touches a server.\n");
+
+  std::printf("\n== An UNTRUSTED mirror serves the image ==\n");
+  readonly::ReplicaServer mirror(&clock, &costs, image);
+  sim::Link mirror_link(&clock, sim::LinkProfile::Tcp(), &mirror);
+  readonly::ReadOnlyClient ca(&mirror_link, verisign_path);
+  MUST(ca.Connect());
+  std::printf("   client verified the signed root (version %llu) against the\n"
+              "   HostID in Verisign's pathname: %.40s...\n",
+              static_cast<unsigned long long>(ca.version()),
+              verisign_path.ComponentName().c_str());
+
+  std::printf("\n== The user's view: /sfs/mit just works ==\n");
+  // Client machine: local FS + SFS client + the CA mounted read-only.
+  sfs::SfsClient::Options copts;
+  copts.ephemeral_key_bits = 512;
+  sfs::SfsClient client(
+      &clock, &costs,
+      [&](const std::string& location) -> sfs::SfsServer* {
+        return location == "sfs.lcs.mit.edu" ? &mit : nullptr;
+      },
+      copts);
+  sim::Disk local_disk(&clock, sim::DiskProfile::Ibm18Es());
+  nfs::MemFs local_fs(&clock, &local_disk, nfs::MemFs::Options{});
+  vfs::Vfs vfs(&clock, &costs);
+  vfs.MountRoot(&local_fs, local_fs.root_handle());
+  vfs.EnableSfs(&client);
+
+  // The administrator installs the CA at a well-known local path (itself
+  // a verified read-only mount; here we surface it via a local mirror
+  // directory of symlinks fetched through the verified client).
+  vfs::UserContext admin = vfs::UserContext::For(0);
+  MUST(vfs.Mkdir(admin, "/verisign"));
+  {
+    std::vector<nfs::DirEntry> entries;
+    bool eof = false;
+    nfs::Credentials anon;
+    ca.ReadDir(ca.root_fh(), anon, 0, 100, &entries, &eof);
+    for (const auto& entry : entries) {
+      nfs::FileHandle fh;
+      nfs::Fattr attr;
+      if (ca.Lookup(ca.root_fh(), entry.name, anon, &fh, &attr) == nfs::Stat::kOk &&
+          attr.type == nfs::FileType::kSymlink) {
+        std::string target;
+        ca.ReadLink(fh, anon, &target);
+        MUST(vfs.Symlink(admin, target, "/verisign/" + entry.name));
+      }
+    }
+  }
+
+  agent::Agent alice_agent("alice");
+  alice_agent.AddCertPathDir("/verisign");
+  vfs::UserContext alice = vfs::UserContext::For(1000, &alice_agent);
+
+  auto f = vfs.Open(alice, "/sfs/mit/hello-from-ca", vfs::OpenFlags::CreateRw());
+  MUST(f.status());
+  MUST(f->Write(util::BytesOf("resolved via certification path")));
+  MUST(f->Close());
+  auto real = vfs.Realpath(alice, "/sfs/mit");
+  MUST(real.status());
+  std::printf("   /sfs/mit  ->  %s\n", real->c_str());
+
+  std::printf("\n== A tampering mirror is caught ==\n");
+  readonly::SignedImage corrupt = image;
+  for (auto& [hash, blob] : corrupt.nodes) {
+    if (!blob.empty()) {
+      blob[0] ^= 1;
+    }
+  }
+  mirror.ReplaceImage(corrupt);
+  readonly::ReadOnlyClient fresh(&mirror_link, verisign_path);
+  MUST(fresh.Connect());  // The signature itself still verifies...
+  nfs::FileHandle out;
+  nfs::Fattr attr;
+  nfs::Credentials anon;
+  nfs::Stat s = fresh.Lookup(fresh.root_fh(), "mit", anon, &out, &attr);
+  std::printf("   lookup on the corrupted mirror: %s\n", nfs::StatName(s));
+  mirror.ReplaceImage(image);
+
+  std::printf("\n== Revocation: anyone may deliver a certificate ==\n");
+  // MIT's key is compromised; MIT signs a revocation.  Verisign-style
+  // interactive CAs can serve it, but even a stranger can hand it to
+  // alice's agent — it is self-authenticating.
+  sfs::PathRevokeCert cert =
+      sfs::PathRevokeCert::MakeRevocation(mit.private_key(), "sfs.lcs.mit.edu");
+  MUST(alice_agent.AddRevocation(cert));
+  auto blocked = vfs.Stat(alice, mit.Path().FullPath());
+  std::printf("   accessing MIT's old pathname: %s\n",
+              blocked.ok() ? "!!! allowed (bug)" : blocked.status().ToString().c_str());
+
+  // A forged revocation from a stranger's key is not accepted for MIT.
+  auto stranger = crypto::RabinPrivateKey::Generate(&prng, 512);
+  sfs::PathRevokeCert forged =
+      sfs::PathRevokeCert::MakeRevocation(stranger, "sfs.verisign.com");
+  agent::Agent bob_agent("bob");
+  MUST(bob_agent.AddRevocation(forged));  // Verifies under the stranger's key...
+  bool verisign_revoked = bob_agent.IsRevoked(verisign_path);
+  std::printf("   forged cert revokes Verisign? %s\n",
+              verisign_revoked ? "!!! yes (bug)" : "no (it names the forger's own HostID)");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// "Students running file servers in dorm rooms" (paper §1): deployment
+// with zero authorities.
+//
+// Two students each run a server.  They share files with each other
+// across administrative realms using nothing but pathnames: secure
+// bookmarks, secure links from one server to the other, and an exchanged
+// HostID.  An eavesdropping/tampering dorm network gains nothing.
+#include <cstdio>
+
+#include "src/agent/agent.h"
+#include "src/auth/authserver.h"
+#include "src/nfs/memfs.h"
+#include "src/sfs/client.h"
+#include "src/sfs/server.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+#define MUST(expr)                                                      \
+  do {                                                                  \
+    auto _status = (expr);                                              \
+    if (!_status.ok()) {                                                \
+      std::fprintf(stderr, "FAILED: %s\n", _status.ToString().c_str()); \
+      return 1;                                                         \
+    }                                                                   \
+  } while (0)
+
+// The dorm network: hostile by assumption.
+class NosyNetwork : public sim::Interposer {
+ public:
+  util::Result<util::Bytes> OnRequest(util::Bytes request) override {
+    bytes_seen_ += request.size();
+    if (tamper_) {
+      request[request.size() / 2] ^= 0x20;
+    }
+    return request;
+  }
+  void StartTampering() { tamper_ = true; }
+  void StopTampering() { tamper_ = false; }
+  uint64_t bytes_seen() const { return bytes_seen_; }
+
+ private:
+  bool tamper_ = false;
+  uint64_t bytes_seen_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  sim::Clock clock;
+  sim::CostModel costs;
+  crypto::Prng prng(uint64_t{42});
+
+  std::printf("== Two students, two dorm rooms, zero paperwork ==\n");
+  auth::AuthServer ken_auth;
+  auth::AuthServer ada_auth;
+  sfs::SfsServer::Options o1;
+  o1.location = "ken.dorm.mit.edu";
+  o1.key_bits = 512;
+  o1.prng_seed = 11;
+  sfs::SfsServer ken_server(&clock, &costs, o1, &ken_auth);
+  sfs::SfsServer::Options o2;
+  o2.location = "ada.dorm.mit.edu";
+  o2.key_bits = 512;
+  o2.prng_seed = 22;
+  sfs::SfsServer ada_server(&clock, &costs, o2, &ada_auth);
+  std::printf("   ken: %s\n   ada: %s\n", ken_server.Path().FullPath().c_str(),
+              ada_server.Path().FullPath().c_str());
+
+  // Each registers themselves (and each other, as guests) locally.
+  auto ken_key = crypto::RabinPrivateKey::Generate(&prng, 512);
+  auto ada_key = crypto::RabinPrivateKey::Generate(&prng, 512);
+  auto add_user = [](auth::AuthServer* db, const std::string& name,
+                     const crypto::RabinPrivateKey& key, uint32_t uid) {
+    auth::PublicUserRecord r;
+    r.name = name;
+    r.public_key = key.public_key().Serialize();
+    r.credentials = nfs::Credentials::User(uid, {uid});
+    return db->RegisterUser(r);
+  };
+  MUST(add_user(&ken_auth, "ken", ken_key, 1001));
+  MUST(add_user(&ken_auth, "ada", ada_key, 1002));  // Guest account for ada.
+  MUST(add_user(&ada_auth, "ada", ada_key, 500));   // Different realms,
+  MUST(add_user(&ada_auth, "ken", ken_key, 501));   // different uids: fine.
+
+  std::printf("\n== Ada's laptop mounts both servers over a hostile network ==\n");
+  NosyNetwork dorm_net;
+  sfs::SfsClient::Options copts;
+  copts.ephemeral_key_bits = 512;
+  sfs::SfsClient laptop(
+      &clock, &costs,
+      [&](const std::string& location) -> sfs::SfsServer* {
+        if (location == "ken.dorm.mit.edu") {
+          return &ken_server;
+        }
+        if (location == "ada.dorm.mit.edu") {
+          return &ada_server;
+        }
+        return nullptr;
+      },
+      copts);
+  laptop.set_interposer(&dorm_net);
+
+  sim::Disk disk(&clock, sim::DiskProfile::Ibm18Es());
+  nfs::MemFs local(&clock, &disk, nfs::MemFs::Options{});
+  vfs::Vfs vfs(&clock, &costs);
+  vfs.MountRoot(&local, local.root_handle());
+  vfs.EnableSfs(&laptop);
+
+  agent::Agent ada_agent("ada");
+  ada_agent.AddPrivateKey(ada_key);
+  // Secure bookmarks: short names for both machines.
+  ada_agent.AddLink("ken", ken_server.Path().FullPath());
+  ada_agent.AddLink("home", ada_server.Path().FullPath());
+  vfs::UserContext ada = vfs::UserContext::For(500, &ada_agent);
+
+  MUST(vfs.Mkdir(ada, "/sfs/home/music"));
+  auto song = vfs.Open(ada, "/sfs/home/music/mixtape.txt", vfs::OpenFlags::CreateRw());
+  MUST(song.status());
+  MUST(song->Write(util::BytesOf("side A: daft punk around the world")));
+  MUST(song->Close());
+  std::printf("   ada wrote /sfs/home/music/mixtape.txt on her own server.\n");
+
+  // Cross-realm sharing: ada leaves a secure link on ken's server
+  // pointing at her music directory.  ken follows it; both hops are
+  // certified by their pathnames.
+  auto drop = vfs.Open(ada, "/sfs/ken/for-ken.txt", vfs::OpenFlags::CreateRw(0644));
+  MUST(drop.status());
+  MUST(drop->Write(util::BytesOf("grab the mixtape from my server")));
+  MUST(drop->Close());
+  MUST(vfs.Symlink(ada, ada_server.Path().FullPath() + "/music", "/sfs/ken/ada-music"));
+  std::printf("   ada authenticated to ken's server as a guest and left a secure link.\n");
+
+  auto mix = vfs.Open(ada, "/sfs/ken/ada-music/mixtape.txt", vfs::OpenFlags::ReadOnly());
+  MUST(mix.status());
+  auto content = mix->Read(100);
+  MUST(content.status());
+  std::printf("   following ken-server link back to ada's server: \"%s\"\n",
+              util::StringOf(*content).c_str());
+
+  std::printf("\n== The dorm network saw %llu bytes — none of them plaintext ==\n",
+              static_cast<unsigned long long>(dorm_net.bytes_seen()));
+
+  std::printf("\n== And when it starts tampering, sessions die, not data ==\n");
+  // (A cached read would be served locally, untouched by the network —
+  // so force an operation that must cross the wire.)
+  dorm_net.StartTampering();
+  util::Status attacked = vfs.Mkdir(ada, "/sfs/home/under-attack");
+  std::printf("   mkdir under tampering: %s\n",
+              attacked.ok() ? "!!! succeeded (bug)" : attacked.ToString().c_str());
+  dorm_net.StopTampering();
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Why SFS exists: the attacks that work on plain NFS 3 and fail on SFS.
+//
+// The paper's motivation (§1, §3.3): NFS trusts wire credentials, its
+// traffic is plaintext, and "an attacker who learns the file handle of
+// even a single directory can access any part of the file system as any
+// user."  This example mounts the same file server both ways and runs
+// the attacks against each.
+#include <cstdio>
+
+#include "src/agent/agent.h"
+#include "src/auth/authserver.h"
+#include "src/nfs/client.h"
+#include "src/nfs/memfs.h"
+#include "src/nfs/program.h"
+#include "src/rpc/rpc.h"
+#include "src/sfs/client.h"
+#include "src/sfs/server.h"
+
+namespace {
+
+// A passive wiretap that records everything and scans for a needle.
+class Wiretap : public sim::Interposer {
+ public:
+  util::Result<util::Bytes> OnRequest(util::Bytes request) override {
+    util::Append(&capture_, request);
+    return request;
+  }
+  util::Result<util::Bytes> OnResponse(util::Bytes response) override {
+    util::Append(&capture_, response);
+    return response;
+  }
+  bool Contains(const std::string& needle) const {
+    auto it = std::search(capture_.begin(), capture_.end(), needle.begin(), needle.end());
+    return it != capture_.end();
+  }
+  size_t captured() const { return capture_.size(); }
+
+ private:
+  util::Bytes capture_;
+};
+
+}  // namespace
+
+int main() {
+  sim::Clock clock;
+  sim::CostModel costs;
+  const std::string kSecret = "TOP-SECRET payroll data";
+
+  std::printf("== Attack 1: forged AUTH_UNIX credentials ==\n");
+  {
+    sim::Disk disk(&clock, sim::DiskProfile::Ibm18Es());
+    nfs::MemFs fs(&clock, &disk, nfs::MemFs::Options{});
+    nfs::NfsProgram program(&fs, &clock, &costs);
+    rpc::Dispatcher dispatcher;
+    dispatcher.RegisterProgram(nfs::kNfsProgram,
+                               [&](uint32_t proc, const util::Bytes& args) {
+                                 return program.HandleWire(proc, args);
+                               });
+    sim::Link link(&clock, sim::LinkProfile::Udp(), &dispatcher);
+    rpc::LinkTransport transport(&link);
+    rpc::Client rpc_client(&transport, nfs::kNfsProgram);
+    nfs::NfsClient client([&](uint32_t proc, const util::Bytes& args) {
+                            return rpc_client.Call(proc, args);
+                          },
+                          nfs::NfsClient::WireCredentialsEncoder());
+
+    // Alice stores a 0600 file.
+    nfs::Credentials alice = nfs::Credentials::User(1000, {1000});
+    nfs::FileHandle fh;
+    nfs::Fattr attr;
+    nfs::Sattr mode;
+    mode.mode = 0600;
+    client.Create(fs.root_handle(), "payroll", alice, mode, &fh, &attr);
+    client.Write(fh, alice, 0, util::BytesOf(kSecret), false, &attr);
+
+    // Mallory just *claims* to be root in the RPC header.
+    nfs::Credentials forged_root = nfs::Credentials::User(0);
+    util::Bytes loot;
+    bool eof = false;
+    nfs::Stat s = client.Read(fh, forged_root, 0, 100, &loot, &eof);
+    std::printf("   NFS 3: read with forged uid-0 credentials -> %s\n",
+                s == nfs::Stat::kOk ? "SUCCEEDS (full compromise)" : nfs::StatName(s));
+  }
+  {
+    auth::AuthServer authserver;
+    sfs::SfsServer::Options so;
+    so.location = "sfs.example.org";
+    so.key_bits = 512;
+    sfs::SfsServer server(&clock, &costs, so, &authserver);
+    crypto::Prng prng(uint64_t{1});
+    auto alice_key = crypto::RabinPrivateKey::Generate(&prng, 512);
+    auth::PublicUserRecord rec;
+    rec.name = "alice";
+    rec.public_key = alice_key.public_key().Serialize();
+    rec.credentials = nfs::Credentials::User(1000, {1000});
+    authserver.RegisterUser(rec);
+
+    sfs::SfsClient::Options co;
+    co.ephemeral_key_bits = 512;
+    sfs::SfsClient client(&clock, &costs, [&](const std::string&) { return &server; }, co);
+    auto mount = client.Mount(server.Path());
+    agent::Agent alice_agent("alice");
+    alice_agent.AddPrivateKey(alice_key);
+    (*mount)->Authenticate(1000, [&](const util::Bytes& info, uint32_t seq) {
+      return alice_agent.SignAuthRequest(0, info, seq);
+    });
+    nfs::Credentials alice = nfs::Credentials::User(1000, {1000});
+    nfs::FileHandle fh;
+    nfs::Fattr attr;
+    nfs::Sattr mode;
+    mode.mode = 0600;
+    (*mount)->fs()->Create((*mount)->root_fh(), "payroll", alice, mode, &fh, &attr);
+    (*mount)->fs()->Write(fh, alice, 0, util::BytesOf(kSecret), false, &attr);
+
+    // On an SFS client the kernel stamps mallory's *real* uid on every
+    // request; over the wire she is just authno 0 (anonymous), because
+    // she cannot sign alice's authentication request.  (Being root on the
+    // client is outside the threat model: "users trust the clients they
+    // use".)
+    nfs::Credentials mallory = nfs::Credentials::User(666);
+    util::Bytes loot;
+    bool eof = false;
+    nfs::Stat s = (*mount)->fs()->Read(fh, mallory, 0, 100, &loot, &eof);
+    std::printf("   SFS:   same attack -> %s (credentials come from the\n"
+                "          authserver-validated signature, not the wire)\n",
+                s == nfs::Stat::kOk ? "!!! SUCCEEDS (bug)" : nfs::StatName(s));
+  }
+
+  std::printf("\n== Attack 2: a passive wiretap ==\n");
+  {
+    sim::Disk disk(&clock, sim::DiskProfile::Ibm18Es());
+    nfs::MemFs fs(&clock, &disk, nfs::MemFs::Options{});
+    nfs::NfsProgram program(&fs, &clock, &costs);
+    rpc::Dispatcher dispatcher;
+    dispatcher.RegisterProgram(nfs::kNfsProgram,
+                               [&](uint32_t proc, const util::Bytes& args) {
+                                 return program.HandleWire(proc, args);
+                               });
+    sim::Link link(&clock, sim::LinkProfile::Udp(), &dispatcher);
+    Wiretap tap;
+    link.set_interposer(&tap);
+    rpc::LinkTransport transport(&link);
+    rpc::Client rpc_client(&transport, nfs::kNfsProgram);
+    nfs::NfsClient client([&](uint32_t proc, const util::Bytes& args) {
+                            return rpc_client.Call(proc, args);
+                          },
+                          nfs::NfsClient::WireCredentialsEncoder());
+    nfs::Credentials alice = nfs::Credentials::User(1000, {1000});
+    nfs::FileHandle fh;
+    nfs::Fattr attr;
+    client.Create(fs.root_handle(), "diary", alice, {}, &fh, &attr);
+    client.Write(fh, alice, 0, util::BytesOf(kSecret), false, &attr);
+    std::printf("   NFS 3: wiretap captured %zu bytes; secret visible in cleartext: %s\n",
+                tap.captured(), tap.Contains(kSecret) ? "YES" : "no");
+  }
+  {
+    auth::AuthServer authserver;
+    sfs::SfsServer::Options so;
+    so.location = "sfs.example.org";
+    so.key_bits = 512;
+    so.prng_seed = 9;
+    sfs::SfsServer server(&clock, &costs, so, &authserver);
+    sfs::SfsClient::Options co;
+    co.ephemeral_key_bits = 512;
+    co.prng_seed = 10;
+    sfs::SfsClient client(&clock, &costs, [&](const std::string&) { return &server; }, co);
+    Wiretap tap;
+    client.set_interposer(&tap);
+    auto mount = client.Mount(server.Path());
+    nfs::Credentials anon = nfs::Credentials::User(1000, {1000});
+    nfs::FileHandle fh;
+    nfs::Fattr attr;
+    (*mount)->fs()->Create((*mount)->root_fh(), "diary", anon, {}, &fh, &attr);
+    (*mount)->fs()->Write(fh, anon, 0, util::BytesOf(kSecret), false, &attr);
+    std::printf("   SFS:   wiretap captured %zu bytes; secret visible in cleartext: %s\n",
+                tap.captured(), tap.Contains(kSecret) ? "!!! YES (bug)" : "no");
+  }
+
+  std::printf("\n== Attack 3: file-handle structure ==\n");
+  {
+    sim::Clock c2;
+    sim::Disk disk(&c2, sim::DiskProfile::Ibm18Es());
+    nfs::MemFs fs(&c2, &disk, nfs::MemFs::Options{});
+    nfs::FileHandle root = fs.root_handle();
+    std::printf("   NFS 3 root handle:  %s\n", util::HexEncode(root).c_str());
+    std::printf("     -> structured (fsid | fileid | generation | secret): an attacker\n"
+                "        who sees or guesses one handle owns the export.\n");
+
+    auth::AuthServer authserver;
+    sfs::SfsServer::Options so;
+    so.location = "sfs.example.org";
+    so.key_bits = 512;
+    so.prng_seed = 11;
+    sfs::SfsServer server(&c2, &costs, so, &authserver);
+    sfs::SfsClient::Options co;
+    co.ephemeral_key_bits = 512;
+    co.prng_seed = 12;
+    sfs::SfsClient client(&c2, &costs, [&](const std::string&) { return &server; }, co);
+    auto mount = client.Mount(server.Path());
+    std::printf("   SFS root handle:    %s\n",
+                util::HexEncode((*mount)->root_fh()).c_str());
+    std::printf("     -> Blowfish-CBC of the NFS handle: SFS \"make[s] their file handles\n"
+                "        publicly available to anonymous clients\" safely (paper 3.3).\n");
+  }
+  return 0;
+}

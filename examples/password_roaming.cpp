@@ -1,0 +1,131 @@
+// The paper's §2.4 traveler scenario: "Suppose a user from MIT travels to
+// a research laboratory and wishes to access files back at MIT.  The user
+// runs the command `sfskey add dm@sfs.lcs.mit.edu`.  The command prompts
+// him for a single password.  He types it, and the command completes
+// successfully. ... The process involves no system administrators, no
+// certification authorities, and no need for this user to think about
+// anything like public keys or self-certifying pathnames."
+//
+// This example plays both sides: registration at MIT, then the roaming
+// login from an untrusted lab machine — plus the failure cases (wrong
+// password; a server trying to learn the password from the exchange).
+#include <cstdio>
+
+#include "src/agent/agent.h"
+#include "src/auth/authserver.h"
+#include "src/nfs/memfs.h"
+#include "src/sfs/client.h"
+#include "src/sfs/server.h"
+#include "src/sfs/sfskey.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+#define MUST(expr)                                                      \
+  do {                                                                  \
+    auto _status = (expr);                                              \
+    if (!_status.ok()) {                                                \
+      std::fprintf(stderr, "FAILED: %s\n", _status.ToString().c_str()); \
+      return 1;                                                         \
+    }                                                                   \
+  } while (0)
+
+constexpr unsigned kPasswordCost = 6;  // eksblowfish cost (2^6 passes).
+
+}  // namespace
+
+int main() {
+  sim::Clock clock;
+  sim::CostModel costs;
+  crypto::Prng prng(uint64_t{5150});
+
+  std::printf("== At MIT: one-time setup ==\n");
+  auth::AuthServer mit_auth;
+  sfs::SfsServer::Options options;
+  options.location = "sfs.lcs.mit.edu";
+  options.key_bits = 512;
+  sfs::SfsServer mit(&clock, &costs, options, &mit_auth);
+
+  // dm generates a key pair and registers: public key -> credentials in
+  // the public database; SRP verifier + password-encrypted private key in
+  // the private database.
+  auto dm_key = crypto::RabinPrivateKey::Generate(&prng, 512);
+  auth::PublicUserRecord pub;
+  pub.name = "dm";
+  pub.public_key = dm_key.public_key().Serialize();
+  pub.credentials = nfs::Credentials::User(1000, {1000});
+  MUST(mit_auth.RegisterUser(pub));
+  const std::string password = "davy jones's locker";
+  MUST(mit_auth.UpdatePrivateRecord(
+      "dm", sfs::MakeSrpRecord(password, kPasswordCost, dm_key, &prng)));
+  std::printf("   registered dm: SRP verifier + encrypted private key on authserv.\n");
+  std::printf("   (the server stores nothing password-equivalent.)\n");
+
+  // dm leaves a file in his home directory.
+  {
+    nfs::FileHandle home;
+    nfs::Fattr attr;
+    nfs::Credentials dm_creds = nfs::Credentials::User(1000, {1000});
+    nfs::Sattr sattr;
+    sattr.mode = 0700;
+    mit.fs()->Mkdir(mit.fs()->root_handle(), "dm", dm_creds, 0700, &home, &attr);
+    nfs::FileHandle fh;
+    mit.fs()->Create(home, "thesis.tex", dm_creds, {}, &fh, &attr);
+    mit.fs()->Write(fh, dm_creds, 0, util::BytesOf("\\section{Self-certifying pathnames}"),
+                    false, &attr);
+  }
+
+  std::printf("\n== Weeks later, at a research lab, on a machine dm has never used ==\n");
+  std::printf("   $ sfskey add dm@sfs.lcs.mit.edu\n");
+  std::printf("   Password: ********\n");
+  auto fetched = sfs::SrpFetchKey(&clock, &mit, sim::LinkProfile::Tcp(), "dm", password,
+                                  &prng);
+  MUST(fetched.status());
+  std::printf("   SRP succeeded; downloaded over the negotiated channel:\n");
+  std::printf("     self-certifying path: %s\n", fetched->self_certifying_path.c_str());
+  std::printf("     private key: decrypted locally with the same password.\n");
+
+  // The lab machine's agent gets the key and a link, exactly as sfskey
+  // arranges: /sfs/sfs.lcs.mit.edu -> the self-certifying pathname.
+  agent::Agent dm_agent("dm");
+  dm_agent.AddPrivateKey(fetched->private_key);
+  dm_agent.AddLink("sfs.lcs.mit.edu", fetched->self_certifying_path);
+
+  sfs::SfsClient::Options copts;
+  copts.ephemeral_key_bits = 512;
+  sfs::SfsClient lab_client(
+      &clock, &costs,
+      [&](const std::string& location) -> sfs::SfsServer* {
+        return location == "sfs.lcs.mit.edu" ? &mit : nullptr;
+      },
+      copts);
+  sim::Disk lab_disk(&clock, sim::DiskProfile::Ibm18Es());
+  nfs::MemFs lab_fs(&clock, &lab_disk, nfs::MemFs::Options{});
+  vfs::Vfs lab(&clock, &costs);
+  lab.MountRoot(&lab_fs, lab_fs.root_handle());
+  lab.EnableSfs(&lab_client);
+  vfs::UserContext dm = vfs::UserContext::For(1000, &dm_agent);
+
+  std::printf("\n   $ cat /sfs/sfs.lcs.mit.edu/dm/thesis.tex\n");
+  auto thesis = lab.Open(dm, "/sfs/sfs.lcs.mit.edu/dm/thesis.tex",
+                         vfs::OpenFlags::ReadOnly());
+  MUST(thesis.status());
+  auto content = thesis->Read(256);
+  MUST(content.status());
+  std::printf("   %s\n", util::StringOf(*content).c_str());
+  std::printf("   (transparently authenticated with the downloaded key; 0700 home dir.)\n");
+
+  std::printf("\n== Failure cases ==\n");
+  auto wrong = sfs::SrpFetchKey(&clock, &mit, sim::LinkProfile::Tcp(), "dm",
+                                "wrong password", &prng);
+  std::printf("   wrong password:   %s\n",
+              wrong.ok() ? "!!! accepted (bug)" : wrong.status().ToString().c_str());
+  auto unknown = sfs::SrpFetchKey(&clock, &mit, sim::LinkProfile::Tcp(), "mallory",
+                                  "whatever", &prng);
+  std::printf("   unknown user:     %s\n",
+              unknown.ok() ? "!!! accepted (bug)" : unknown.status().ToString().c_str());
+  std::printf("   (each on-line guess costs a full SRP round plus an eksblowfish\n"
+              "    computation at cost %u, and leaves a log line on the server.)\n",
+              kPasswordCost);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "src/agent/agent.h"
+
+#include "src/auth/authserver.h"
+#include "src/crypto/sha1.h"
+#include "src/sfs/session.h"
+#include "src/xdr/xdr.h"
+
+namespace agent {
+
+std::optional<util::Bytes> Agent::SignAuthRequest(size_t key_index,
+                                                  const util::Bytes& auth_info,
+                                                  uint32_t seqno) {
+  if (key_index >= keys_.size()) {
+    return std::nullopt;
+  }
+  const crypto::RabinPrivateKey& key = keys_[key_index];
+  util::Bytes auth_id = sfs::MakeAuthId(auth_info);
+  util::Bytes body = auth::MakeSignedAuthReqBody(auth_id, seqno);
+
+  xdr::Encoder msg;
+  msg.PutOpaque(key.public_key().Serialize());
+  msg.PutOpaque(key.Sign(body));
+
+  // Audit every private-key operation (paper §2.5.1: the agent "can keep
+  // a full audit trail of every private key operation it performs").
+  Audit("sign auth-req key=" + std::to_string(key_index) +
+        " authid=" + util::HexEncode(auth_id).substr(0, 16) +
+        " seqno=" + std::to_string(seqno));
+  return msg.Take();
+}
+
+std::optional<util::Bytes> ProxyAgent::SignAuthRequest(size_t key_index,
+                                                       const util::Bytes& auth_info,
+                                                       uint32_t seqno) {
+  // Forward to the machine that actually holds the keys; the audit path
+  // records the hop ("requests contain a field reserved for the path of
+  // processes and machines through which the request arrived").
+  Audit("forward auth-req via " + host_ + " seqno=" + std::to_string(seqno));
+  auto result = upstream_->SignAuthRequest(key_index, auth_info, seqno);
+  if (!result.has_value()) {
+    Audit("upstream declined seqno=" + std::to_string(seqno));
+  }
+  return result;
+}
+
+std::optional<std::string> Agent::LookupLink(const std::string& name) const {
+  auto it = links_.find(name);
+  if (it == links_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+util::Status Agent::AddRevocation(const sfs::PathRevokeCert& cert) {
+  RETURN_IF_ERROR(cert.Verify());
+  if (!cert.is_revocation()) {
+    return util::InvalidArgument("forwarding pointer is not a revocation certificate");
+  }
+  revocations_[util::StringOf(cert.RevokedPath().host_id)] = cert;
+  return util::OkStatus();
+}
+
+void Agent::BlockHostId(const util::Bytes& host_id) {
+  blocked_host_ids_.insert(util::StringOf(host_id));
+}
+
+bool Agent::IsRevoked(const sfs::SelfCertifyingPath& path) const {
+  return revocations_.count(util::StringOf(path.host_id)) != 0;
+}
+
+bool Agent::IsBlocked(const sfs::SelfCertifyingPath& path) const {
+  return blocked_host_ids_.count(util::StringOf(path.host_id)) != 0;
+}
+
+const sfs::PathRevokeCert* Agent::RevocationFor(const util::Bytes& host_id) const {
+  auto it = revocations_.find(util::StringOf(host_id));
+  return it == revocations_.end() ? nullptr : &it->second;
+}
+
+}  // namespace agent

@@ -1,0 +1,120 @@
+// The SFS user agent ("sfsagent", paper §2.3, §2.5.1).
+//
+// Every user runs an unprivileged agent of her choice.  The agent:
+//   * holds the user's private keys and signs authentication requests
+//     (it can decline, leaving the user anonymous);
+//   * controls the user's view of /sfs: dynamic symbolic links visible
+//     only to this agent's processes (secure bookmarks, manual key
+//     distribution, on-the-fly links from certification paths);
+//   * keeps an ordered certification path — directories searched for
+//     symlinks when the user names a non-self-certifying name in /sfs;
+//   * decides revocation: it records verified revocation certificates and
+//     can block HostIDs unilaterally (HostID blocking affects only this
+//     agent's owner, §2.6);
+//   * keeps an audit trail of every private-key operation it performs.
+#ifndef SFS_SRC_AGENT_AGENT_H_
+#define SFS_SRC_AGENT_AGENT_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/crypto/rabin.h"
+#include "src/sfs/pathname.h"
+#include "src/sfs/revocation.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace agent {
+
+class Agent {
+ public:
+  explicit Agent(std::string owner) : owner_(std::move(owner)) {}
+  virtual ~Agent() = default;
+
+  const std::string& owner() const { return owner_; }
+
+  // --- User authentication ---
+  void AddPrivateKey(crypto::RabinPrivateKey key) { keys_.push_back(std::move(key)); }
+  virtual size_t key_count() const { return keys_.size(); }
+
+  // Signs an authentication request with key `index` (agents try their
+  // keys in succession against a server).  Records the operation in the
+  // audit trail.  Returns nullopt if the agent has no such key.
+  virtual std::optional<util::Bytes> SignAuthRequest(size_t key_index,
+                                                     const util::Bytes& auth_info,
+                                                     uint32_t seqno);
+
+  // --- Dynamic /sfs links (per-agent namespace) ---
+  // Maps a human-readable name under /sfs to a target path.
+  void AddLink(const std::string& name, const std::string& target) {
+    links_[name] = target;
+  }
+  std::optional<std::string> LookupLink(const std::string& name) const;
+
+  // --- Certification paths (§2.4) ---
+  void AddCertPathDir(const std::string& dir) { cert_path_.push_back(dir); }
+  const std::vector<std::string>& cert_path() const { return cert_path_; }
+
+  // --- Revocation directories (§2.6) ---
+  // Directories of revocation certificates named by base-32 HostID
+  // ("Verisign decides to maintain a directory called revocations/...
+  // Whenever a user accesses a new file system, his agent checks the
+  // revocation directory").  The VFS consults these at mount time.
+  void AddRevocationDir(const std::string& dir) { revocation_dirs_.push_back(dir); }
+  const std::vector<std::string>& revocation_dirs() const { return revocation_dirs_; }
+
+  // --- Revocation and HostID blocking (§2.6) ---
+  // Accepts a certificate only if it verifies; returns its status.
+  util::Status AddRevocation(const sfs::PathRevokeCert& cert);
+  // Unilateral block: no certificate required, affects only this agent.
+  void BlockHostId(const util::Bytes& host_id);
+  bool IsRevoked(const sfs::SelfCertifyingPath& path) const;
+  bool IsBlocked(const sfs::SelfCertifyingPath& path) const;
+  const sfs::PathRevokeCert* RevocationFor(const util::Bytes& host_id) const;
+
+  // --- Audit trail (§2.5.1) ---
+  const std::vector<std::string>& audit_log() const { return audit_log_; }
+
+ protected:
+  void Audit(std::string entry) { audit_log_.push_back(std::move(entry)); }
+  const crypto::RabinPrivateKey* key(size_t index) const {
+    return index < keys_.size() ? &keys_[index] : nullptr;
+  }
+
+ private:
+  std::string owner_;
+  std::vector<crypto::RabinPrivateKey> keys_;
+  std::map<std::string, std::string> links_;
+  std::vector<std::string> cert_path_;
+  std::vector<std::string> revocation_dirs_;
+  std::map<std::string, sfs::PathRevokeCert> revocations_;  // By HostID bytes.
+  std::set<std::string> blocked_host_ids_;
+  std::vector<std::string> audit_log_;
+};
+
+// A proxy agent (§2.5.1): forwards signing requests to an upstream agent
+// — the shape of an ssh-style remote login helper, where the user's keys
+// stay on her own machine and the remote host only relays requests.  The
+// proxy appends itself to the audit path, so the upstream agent's log
+// shows every machine a request traveled through.
+class ProxyAgent : public Agent {
+ public:
+  ProxyAgent(std::string host, Agent* upstream)
+      : Agent(upstream->owner() + "@" + host), host_(std::move(host)), upstream_(upstream) {}
+
+  size_t key_count() const override { return upstream_->key_count(); }
+
+  std::optional<util::Bytes> SignAuthRequest(size_t key_index, const util::Bytes& auth_info,
+                                             uint32_t seqno) override;
+
+ private:
+  std::string host_;
+  Agent* upstream_;
+};
+
+}  // namespace agent
+
+#endif  // SFS_SRC_AGENT_AGENT_H_

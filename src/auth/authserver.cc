@@ -1,0 +1,195 @@
+#include "src/auth/authserver.h"
+
+#include "src/crypto/rabin.h"
+#include "src/xdr/xdr.h"
+
+namespace auth {
+
+util::Bytes MakeSignedAuthReqBody(const util::Bytes& auth_id, uint32_t seqno) {
+  xdr::Encoder enc;
+  enc.PutString("SignedAuthReq");
+  enc.PutOpaque(auth_id);
+  enc.PutUint32(seqno);
+  return enc.Take();
+}
+
+util::Status AuthServer::RegisterUser(PublicUserRecord record) {
+  if (record.name.empty() || record.public_key.empty()) {
+    return util::InvalidArgument("user record needs a name and a public key");
+  }
+  if (by_name_.count(record.name) != 0) {
+    return util::AlreadyExists("user already registered: " + record.name);
+  }
+  std::string key_str = util::StringOf(record.public_key);
+  if (key_to_name_.count(key_str) != 0) {
+    return util::AlreadyExists("public key already registered");
+  }
+  key_to_name_[key_str] = record.name;
+  by_name_[record.name] = std::move(record);
+  return util::OkStatus();
+}
+
+util::Status AuthServer::UpdatePrivateRecord(const std::string& name,
+                                             PrivateUserRecord record) {
+  if (by_name_.count(name) == 0) {
+    return util::NotFound("no such user: " + name);
+  }
+  private_db_[name] = std::move(record);
+  return util::OkStatus();
+}
+
+util::Status AuthServer::ChangePublicKey(const std::string& name,
+                                         const util::Bytes& new_key) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return util::NotFound("no such user: " + name);
+  }
+  std::string new_key_str = util::StringOf(new_key);
+  if (key_to_name_.count(new_key_str) != 0) {
+    return util::AlreadyExists("public key already registered");
+  }
+  key_to_name_.erase(util::StringOf(it->second.public_key));
+  it->second.public_key = new_key;
+  key_to_name_[new_key_str] = name;
+  return util::OkStatus();
+}
+
+util::Status AuthServer::AddGroup(const std::string& group_name, uint32_t gid,
+                                  std::vector<std::string> members) {
+  if (group_name.empty()) {
+    return util::InvalidArgument("group needs a name");
+  }
+  if (groups_.count(group_name) != 0) {
+    return util::AlreadyExists("group already exists: " + group_name);
+  }
+  Group group;
+  group.gid = gid;
+  group.members.insert(members.begin(), members.end());
+  groups_[group_name] = std::move(group);
+  return util::OkStatus();
+}
+
+util::Status AuthServer::AddGroupMember(const std::string& group_name,
+                                        const std::string& user) {
+  auto it = groups_.find(group_name);
+  if (it == groups_.end()) {
+    return util::NotFound("no such group: " + group_name);
+  }
+  it->second.members.insert(user);
+  return util::OkStatus();
+}
+
+nfs::Credentials AuthServer::EffectiveCredentials(const PublicUserRecord& record) const {
+  nfs::Credentials creds = record.credentials;
+  for (const auto& [name, group] : groups_) {
+    if (group.members.count(record.name) != 0 && !creds.HasGid(group.gid)) {
+      creds.gids.push_back(group.gid);
+    }
+  }
+  return creds;
+}
+
+void AuthServer::ImportPublicDatabase(const AuthServer* other) { imports_.push_back(other); }
+
+util::Result<nfs::Credentials> AuthServer::ValidateAuthMsg(const util::Bytes& auth_msg,
+                                                           const util::Bytes& auth_id,
+                                                           uint32_t seqno) {
+  ++validations_;
+  xdr::Decoder dec(auth_msg);
+  auto fail = [this](std::string msg) -> util::Status {
+    ++failed_validations_;
+    return util::SecurityError(std::move(msg));
+  };
+
+  auto pubkey_bytes = dec.GetOpaque();
+  auto signature = dec.GetOpaque();
+  if (!pubkey_bytes.ok() || !signature.ok() || !dec.AtEnd()) {
+    return fail("malformed AuthMsg");
+  }
+  auto record = FindByKey(pubkey_bytes.value());
+  if (!record.has_value()) {
+    return fail("unknown public key");
+  }
+  auto pubkey = crypto::RabinPublicKey::Deserialize(pubkey_bytes.value());
+  if (!pubkey.ok()) {
+    return fail("undecodable public key");
+  }
+  util::Bytes body = MakeSignedAuthReqBody(auth_id, seqno);
+  util::Status sig_status = pubkey->Verify(body, signature.value());
+  if (!sig_status.ok()) {
+    return fail("bad signature on authentication request");
+  }
+  return EffectiveCredentials(*record);
+}
+
+util::Result<const crypto::SrpVerifier*> AuthServer::SrpVerifierFor(
+    const std::string& name) const {
+  auto it = private_db_.find(name);
+  if (it == private_db_.end() || !it->second.srp.has_value()) {
+    return util::NotFound("no SRP record for user: " + name);
+  }
+  return &*it->second.srp;
+}
+
+util::Result<const PrivateUserRecord*> AuthServer::PrivateRecordFor(
+    const std::string& name) const {
+  auto it = private_db_.find(name);
+  if (it == private_db_.end()) {
+    return util::NotFound("no private record for user: " + name);
+  }
+  return &it->second;
+}
+
+std::optional<PublicUserRecord> AuthServer::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  for (const AuthServer* import : imports_) {
+    auto found = import->FindByName(name);
+    if (found.has_value()) {
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PublicUserRecord> AuthServer::FindByKey(const util::Bytes& public_key) const {
+  auto it = key_to_name_.find(util::StringOf(public_key));
+  if (it != key_to_name_.end()) {
+    return by_name_.at(it->second);
+  }
+  for (const AuthServer* import : imports_) {
+    auto found = import->FindByKey(public_key);
+    if (found.has_value()) {
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PublicUserRecord> AuthServer::FindByUid(uint32_t uid) const {
+  for (const auto& [name, record] : by_name_) {
+    if (record.credentials.uid == uid) {
+      return record;
+    }
+  }
+  for (const AuthServer* import : imports_) {
+    auto found = import->FindByUid(uid);
+    if (found.has_value()) {
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<PublicUserRecord> AuthServer::PublicDatabase() const {
+  std::vector<PublicUserRecord> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, record] : by_name_) {
+    out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace auth

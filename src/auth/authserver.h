@@ -1,0 +1,115 @@
+// The SFS authentication server ("authserv", paper §2.5).
+//
+// authserv translates signed user-authentication requests into local Unix
+// credentials by consulting databases that map public keys to users.  It
+// also stores, per user, the SRP verifier and an encrypted copy of the
+// user's private key, letting sfskey bootstrap secure access from nothing
+// but a password (§2.4 "Password authentication").
+//
+// Databases come in writable and read-only flavors; a server can import
+// another server's *public* database (public keys and credentials, never
+// SRP data or encrypted keys), the paper's "central server ... exports
+// its public database to separately-administered file servers without
+// trusting them" arrangement.
+#ifndef SFS_SRC_AUTH_AUTHSERVER_H_
+#define SFS_SRC_AUTH_AUTHSERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/crypto/srp.h"
+#include "src/nfs/types.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace auth {
+
+// Public half of a user record: safe to export to untrusted servers.
+struct PublicUserRecord {
+  std::string name;
+  util::Bytes public_key;  // Serialized Rabin public key.
+  nfs::Credentials credentials;
+};
+
+// Private half: password-derived material.  A server that knows this can
+// mount (slow, eksblowfish-rate) guessing attacks, so it never leaves the
+// user's own authserver.
+struct PrivateUserRecord {
+  std::optional<crypto::SrpVerifier> srp;
+  // The user's private key, encrypted with a key derived from the same
+  // password via eksblowfish (a "safe design because the server never
+  // sees any password-equivalent data").
+  util::Bytes encrypted_private_key;
+};
+
+// A parsed authentication request (paper §3.1.2):
+//   SignedAuthReq = {"SignedAuthReq", AuthID, SeqNo}
+//   AuthMsg       = {K_user, sign(SignedAuthReq)}
+util::Bytes MakeSignedAuthReqBody(const util::Bytes& auth_id, uint32_t seqno);
+
+class AuthServer {
+ public:
+  AuthServer() = default;
+
+  // --- Management (sfskey-style operations) ---
+  util::Status RegisterUser(PublicUserRecord record);
+  util::Status UpdatePrivateRecord(const std::string& name, PrivateUserRecord record);
+  util::Status ChangePublicKey(const std::string& name, const util::Bytes& new_key);
+
+  // --- Groups ---
+  // Validation returns "a user ID and list of group IDs" (§2.5.1); groups
+  // registered here are folded into every member's credentials.
+  util::Status AddGroup(const std::string& group_name, uint32_t gid,
+                        std::vector<std::string> members);
+  util::Status AddGroupMember(const std::string& group_name, const std::string& user);
+
+  // Imports another server's public database read-only.  Lookups consult
+  // the local (writable) database first.
+  void ImportPublicDatabase(const AuthServer* other);
+
+  // --- The file server's validation path ---
+  // Verifies an AuthMsg against the expected AuthID and sequence number;
+  // returns the mapped credentials.
+  util::Result<nfs::Credentials> ValidateAuthMsg(const util::Bytes& auth_msg,
+                                                 const util::Bytes& auth_id, uint32_t seqno);
+
+  // --- SRP service (driven by the SFS connection layer) ---
+  util::Result<const crypto::SrpVerifier*> SrpVerifierFor(const std::string& name) const;
+  util::Result<const PrivateUserRecord*> PrivateRecordFor(const std::string& name) const;
+
+  // --- Introspection ---
+  std::optional<PublicUserRecord> FindByName(const std::string& name) const;
+  std::optional<PublicUserRecord> FindByKey(const util::Bytes& public_key) const;
+  // Reverse credential lookup (libsfs ID mapping, paper §3.3).
+  std::optional<PublicUserRecord> FindByUid(uint32_t uid) const;
+  // The exportable public database.
+  std::vector<PublicUserRecord> PublicDatabase() const;
+
+  uint64_t validations() const { return validations_; }
+  uint64_t failed_validations() const { return failed_validations_; }
+
+ private:
+  // Credentials for `record` with group memberships folded in.
+  nfs::Credentials EffectiveCredentials(const PublicUserRecord& record) const;
+
+  struct Group {
+    uint32_t gid = 0;
+    std::set<std::string> members;
+  };
+
+  std::map<std::string, PublicUserRecord> by_name_;
+  std::map<std::string, std::string> key_to_name_;  // Key bytes -> user name.
+  std::map<std::string, PrivateUserRecord> private_db_;
+  std::map<std::string, Group> groups_;
+  std::vector<const AuthServer*> imports_;
+  uint64_t validations_ = 0;
+  uint64_t failed_validations_ = 0;
+};
+
+}  // namespace auth
+
+#endif  // SFS_SRC_AUTH_AUTHSERVER_H_

@@ -1,0 +1,56 @@
+#include "src/crypto/arc4.h"
+
+#include <cassert>
+
+namespace crypto {
+
+Arc4::Arc4(const util::Bytes& key) : i_(0), j_(0) {
+  assert(!key.empty() && key.size() <= 256);
+  for (int i = 0; i < 256; ++i) {
+    s_[i] = static_cast<uint8_t>(i);
+  }
+  // One key-schedule pass per 128 bits of key material (paper §3.1.3).
+  size_t rounds = (key.size() * 8 + 127) / 128;
+  for (size_t r = 0; r < rounds; ++r) {
+    KeyScheduleRound(key);
+  }
+  // The schedule borrows j_ as its accumulator; the PRGA starts from zero.
+  i_ = 0;
+  j_ = 0;
+}
+
+void Arc4::KeyScheduleRound(const util::Bytes& key) {
+  uint8_t j = j_;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<uint8_t>(j + s_[i] + key[i % key.size()]);
+    uint8_t tmp = s_[i];
+    s_[i] = s_[j];
+    s_[j] = tmp;
+  }
+  j_ = j;
+}
+
+uint8_t Arc4::NextByte() {
+  i_ = static_cast<uint8_t>(i_ + 1);
+  j_ = static_cast<uint8_t>(j_ + s_[i_]);
+  uint8_t tmp = s_[i_];
+  s_[i_] = s_[j_];
+  s_[j_] = tmp;
+  return s_[static_cast<uint8_t>(s_[i_] + s_[j_])];
+}
+
+util::Bytes Arc4::NextBytes(size_t len) {
+  util::Bytes out(len);
+  for (size_t k = 0; k < len; ++k) {
+    out[k] = NextByte();
+  }
+  return out;
+}
+
+void Arc4::Crypt(uint8_t* data, size_t len) {
+  for (size_t k = 0; k < len; ++k) {
+    data[k] ^= NextByte();
+  }
+}
+
+}  // namespace crypto

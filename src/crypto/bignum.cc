@@ -1,0 +1,654 @@
+#include "src/crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crypto {
+
+namespace {
+constexpr uint64_t kLimbBase = uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t v) : negative_(v < 0) {
+  uint64_t mag = negative_ ? (~static_cast<uint64_t>(v) + 1) : static_cast<uint64_t>(v);
+  if (mag != 0) {
+    limbs_.push_back(static_cast<uint32_t>(mag));
+    if (mag >> 32) {
+      limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+    }
+  }
+}
+
+BigInt::BigInt(uint64_t v) : negative_(false) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<uint32_t>(v));
+    if (v >> 32) {
+      limbs_.push_back(static_cast<uint32_t>(v >> 32));
+    }
+  }
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+  if (limbs_.empty()) {
+    negative_ = false;
+  }
+}
+
+BigInt BigInt::FromBytes(const util::Bytes& bytes) {
+  BigInt out;
+  out.limbs_.reserve((bytes.size() + 3) / 4);
+  // bytes are big-endian; build limbs from the tail.
+  size_t n = bytes.size();
+  for (size_t off = 0; off < n; off += 4) {
+    uint32_t limb = 0;
+    for (size_t k = 0; k < 4 && off + k < n; ++k) {
+      limb |= static_cast<uint32_t>(bytes[n - 1 - off - k]) << (8 * k);
+    }
+    out.limbs_.push_back(limb);
+  }
+  out.Normalize();
+  return out;
+}
+
+util::Bytes BigInt::ToBytes() const {
+  util::Bytes out;
+  size_t bits = BitLength();
+  size_t len = (bits + 7) / 8;
+  out = ToBytesPadded(len);
+  return out;
+}
+
+util::Bytes BigInt::ToBytesPadded(size_t len) const {
+  util::Bytes out(len, 0);
+  for (size_t i = 0; i < len; ++i) {
+    size_t byte_index = i;  // From least significant.
+    size_t limb = byte_index / 4;
+    size_t shift = (byte_index % 4) * 8;
+    uint8_t v = 0;
+    if (limb < limbs_.size()) {
+      v = static_cast<uint8_t>(limbs_[limb] >> shift);
+    }
+    out[len - 1 - i] = v;
+  }
+  return out;
+}
+
+util::Result<BigInt> BigInt::FromDecimal(const std::string& s) {
+  size_t pos = 0;
+  bool neg = false;
+  if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) {
+    neg = s[pos] == '-';
+    ++pos;
+  }
+  if (pos == s.size()) {
+    return util::InvalidArgument("empty decimal string");
+  }
+  BigInt out;
+  for (; pos < s.size(); ++pos) {
+    if (s[pos] < '0' || s[pos] > '9') {
+      return util::InvalidArgument("invalid decimal digit");
+    }
+    out = out * BigInt(10) + BigInt(s[pos] - '0');
+  }
+  out.negative_ = neg && !out.is_zero();
+  return out;
+}
+
+util::Result<BigInt> BigInt::FromHex(const std::string& s) {
+  std::string padded = s;
+  if (padded.size() % 2 != 0) {
+    padded.insert(padded.begin(), '0');
+  }
+  ASSIGN_OR_RETURN(util::Bytes bytes, util::HexDecode(padded));
+  return FromBytes(bytes);
+}
+
+std::string BigInt::ToDecimal() const {
+  if (is_zero()) {
+    return "0";
+  }
+  std::string digits;
+  BigInt v = Abs();
+  BigInt ten(10);
+  while (!v.is_zero()) {
+    BigInt q;
+    BigInt r;
+    DivMod(v, ten, &q, &r);
+    digits.push_back(static_cast<char>('0' + r.Low64()));
+    v = q;
+  }
+  if (negative_) {
+    digits.push_back('-');
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigInt::ToHex() const {
+  if (is_zero()) {
+    return "0";
+  }
+  std::string out = util::HexEncode(ToBytes());
+  // Trim one leading zero nibble if present.
+  if (out.size() > 1 && out[0] == '0') {
+    out.erase(out.begin());
+  }
+  if (negative_) {
+    out.insert(out.begin(), '-');
+  }
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+uint64_t BigInt::Low64() const {
+  uint64_t v = 0;
+  if (!limbs_.empty()) {
+    v = limbs_[0];
+  }
+  if (limbs_.size() > 1) {
+    v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  }
+  return v;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) {
+    return negative_ ? -1 : 1;
+  }
+  int mag = CompareMagnitude(*this, other);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) {
+    out.negative_ = !out.negative_;
+  }
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt BigInt::AddMagnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) {
+      sum += a.limbs_[i];
+    }
+    if (i < b.limbs_.size()) {
+      sum += b.limbs_[i];
+    }
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::SubMagnitude(const BigInt& a, const BigInt& b) {
+  assert(CompareMagnitude(a, b) >= 0);
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) {
+      diff -= b.limbs_[i];
+    }
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (negative_ == other.negative_) {
+    BigInt out = AddMagnitude(*this, other);
+    out.negative_ = negative_ && !out.is_zero();
+    return out;
+  }
+  int mag = CompareMagnitude(*this, other);
+  if (mag == 0) {
+    return BigInt();
+  }
+  if (mag > 0) {
+    BigInt out = SubMagnitude(*this, other);
+    out.negative_ = negative_ && !out.is_zero();
+    return out;
+  }
+  BigInt out = SubMagnitude(other, *this);
+  out.negative_ = other.negative_ && !out.is_zero();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (is_zero() || other.is_zero()) {
+    return BigInt();
+  }
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + ai * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.negative_ = negative_ != other.negative_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (is_zero() || bits == 0) {
+    return *this;
+  }
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  if (is_zero() || bits == 0) {
+    return *this;
+  }
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) {
+    return BigInt();
+  }
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Normalize();
+  return out;
+}
+
+// Knuth algorithm D (vol. 2, 4.3.1) on 32-bit limbs.
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient, BigInt* remainder) {
+  assert(!b.is_zero() && "division by zero");
+  int mag = CompareMagnitude(a, b);
+  if (mag < 0) {
+    if (quotient) {
+      *quotient = BigInt();
+    }
+    if (remainder) {
+      *remainder = a;
+    }
+    return;
+  }
+
+  // Fast path: single-limb divisor.
+  if (b.limbs_.size() == 1) {
+    uint64_t d = b.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(a.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.negative_ = a.negative_ != b.negative_;
+    q.Normalize();
+    BigInt r(rem);
+    r.negative_ = a.negative_ && !r.is_zero();
+    if (quotient) {
+      *quotient = q;
+    }
+    if (remainder) {
+      *remainder = r;
+    }
+    return;
+  }
+
+  // Normalize: shift so that the top limb of the divisor has its high bit set.
+  size_t shift = 0;
+  uint32_t top = b.limbs_.back();
+  while (!(top & 0x80000000u)) {
+    top <<= 1;
+    ++shift;
+  }
+  BigInt u = a.Abs() << shift;
+  BigInt v = b.Abs() << shift;
+  size_t n = v.limbs_.size();
+  size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);  // u has n + m + 1 limbs.
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (u[j+n]*B + u[j+n-1]) / v[n-1], clamped to B-1 so the
+    // two-limb refinement below cannot overflow 64 bits.
+    uint64_t numerator =
+        (static_cast<uint64_t>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    uint64_t q_hat;
+    uint64_t r_hat;
+    if (u.limbs_[j + n] >= v.limbs_[n - 1]) {
+      q_hat = kLimbBase - 1;
+      r_hat = numerator - q_hat * v.limbs_[n - 1];
+    } else {
+      q_hat = numerator / v.limbs_[n - 1];
+      r_hat = numerator % v.limbs_[n - 1];
+    }
+    while (r_hat < kLimbBase &&
+           q_hat * v.limbs_[n - 2] > ((r_hat << 32) | u.limbs_[j + n - 2])) {
+      --q_hat;
+      r_hat += v.limbs_[n - 1];
+    }
+
+    // u[j..j+n] -= q_hat * v.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t product = q_hat * v.limbs_[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(u.limbs_[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u.limbs_[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u.limbs_[j + n] = static_cast<uint32_t>(diff);
+
+    if (negative) {
+      // q_hat was one too large: add back v.
+      --q_hat;
+      uint64_t add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + add_carry;
+        u.limbs_[i + j] = static_cast<uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      u.limbs_[j + n] = static_cast<uint32_t>(u.limbs_[j + n] + add_carry);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(q_hat);
+  }
+
+  u.limbs_.resize(n);
+  u.Normalize();
+  BigInt r = u >> shift;
+
+  q.negative_ = a.negative_ != b.negative_;
+  q.Normalize();
+  r.negative_ = a.negative_ && !r.is_zero();
+  if (quotient) {
+    *quotient = q;
+  }
+  if (remainder) {
+    *remainder = r;
+  }
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q;
+  DivMod(*this, other, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt r;
+  DivMod(*this, other, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::Mod(const BigInt& m) const {
+  assert(!m.is_negative() && !m.is_zero());
+  BigInt r = *this % m;
+  if (r.is_negative()) {
+    r = r + m;
+  }
+  return r;
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!exp.is_negative());
+  BigInt result(1);
+  BigInt b = base.Mod(m);
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.Bit(i)) {
+      result = (result * b) % m;
+    }
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+util::Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid on (a mod m, m).
+  BigInt r0 = m;
+  BigInt r1 = a.Mod(m);
+  BigInt t0(0);
+  BigInt t1(1);
+  while (!r1.is_zero()) {
+    BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    r0 = r1;
+    r1 = r2;
+    BigInt t2 = t0 - q * t1;
+    t0 = t1;
+    t1 = t2;
+  }
+  if (r0 != BigInt(1)) {
+    return util::InvalidArgument("not invertible");
+  }
+  return t0.Mod(m);
+}
+
+int BigInt::Jacobi(const BigInt& a_in, const BigInt& n_in) {
+  assert(n_in > BigInt(0) && n_in.is_odd());
+  BigInt a = a_in.Mod(n_in);
+  BigInt n = n_in;
+  int result = 1;
+  while (!a.is_zero()) {
+    while (a.is_even()) {
+      a = a >> 1;
+      uint64_t n_mod8 = n.Low64() & 7;
+      if (n_mod8 == 3 || n_mod8 == 5) {
+        result = -result;
+      }
+    }
+    std::swap(a, n);
+    if ((a.Low64() & 3) == 3 && (n.Low64() & 3) == 3) {
+      result = -result;
+    }
+    a = a.Mod(n);
+  }
+  if (n == BigInt(1)) {
+    return result;
+  }
+  return 0;
+}
+
+BigInt BigInt::Random(Prng* prng, size_t bits) {
+  assert(bits > 0);
+  size_t bytes = (bits + 7) / 8;
+  util::Bytes raw = prng->RandomBytes(bytes);
+  // Clear excess top bits, then set the top bit for exact width.
+  size_t excess = bytes * 8 - bits;
+  raw[0] &= static_cast<uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<uint8_t>(1 << ((bits - 1) % 8));
+  return FromBytes(raw);
+}
+
+BigInt BigInt::RandomBelow(Prng* prng, const BigInt& bound) {
+  assert(bound > BigInt(0));
+  size_t bits = bound.BitLength();
+  for (;;) {
+    size_t bytes = (bits + 7) / 8;
+    util::Bytes raw = prng->RandomBytes(bytes);
+    size_t excess = bytes * 8 - bits;
+    raw[0] &= static_cast<uint8_t>(0xff >> excess);
+    BigInt v = FromBytes(raw);
+    if (v < bound) {
+      return v;
+    }
+  }
+}
+
+bool BigInt::IsProbablePrime(const BigInt& n, Prng* prng, int rounds) {
+  if (n < BigInt(2)) {
+    return false;
+  }
+  static const uint32_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31,
+                                          37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                                          83, 89, 97, 101, 103, 107, 109, 113};
+  for (uint32_t p : kSmallPrimes) {
+    BigInt bp(static_cast<uint64_t>(p));
+    if (n == bp) {
+      return true;
+    }
+    if ((n % bp).is_zero()) {
+      return false;
+    }
+  }
+
+  // n - 1 = d * 2^s with d odd.
+  BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    BigInt a = RandomBelow(prng, n - BigInt(3)) + BigInt(2);  // a in [2, n-2].
+    BigInt x = ModExp(a, d, n);
+    if (x == BigInt(1) || x == n_minus_1) {
+      continue;
+    }
+    bool witness = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BigInt BigInt::GeneratePrime(Prng* prng, size_t bits, uint32_t residue, uint32_t modulus) {
+  assert(bits >= 16);
+  for (;;) {
+    BigInt candidate = Random(prng, bits);
+    if (modulus != 0) {
+      // Adjust to the requested residue class.
+      uint64_t current = (candidate % BigInt(static_cast<uint64_t>(modulus))).Low64();
+      uint64_t delta = (residue + modulus - current) % modulus;
+      candidate = candidate + BigInt(delta);
+    } else if (candidate.is_even()) {
+      candidate = candidate + BigInt(1);
+    }
+    if (candidate.BitLength() != bits) {
+      continue;
+    }
+    if (IsProbablePrime(candidate, prng)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace crypto

@@ -1,0 +1,269 @@
+#include "src/crypto/blowfish.h"
+
+#include <cassert>
+
+#include "src/crypto/bignum.h"
+
+namespace crypto {
+namespace {
+
+// Number of 32-bit words of pi digits the cipher state needs.
+constexpr size_t kPiWords = (kBlowfishRounds + 2) + 4 * 256;  // 1042
+
+// Fixed-point arctan(1/x) scaled by 2^frac_bits, by the alternating
+// Gregory series.  x*x must fit in 32 bits for the fast division path.
+BigInt ArctanInverse(uint32_t x, size_t frac_bits) {
+  BigInt scale = BigInt(1) << frac_bits;
+  BigInt term = scale / BigInt(static_cast<uint64_t>(x));
+  BigInt x2(static_cast<uint64_t>(x) * x);
+  BigInt sum = term;
+  bool subtract = true;
+  for (uint64_t k = 3;; k += 2, subtract = !subtract) {
+    term = term / x2;
+    if (term.is_zero()) {
+      break;
+    }
+    BigInt contribution = term / BigInt(k);
+    if (contribution.is_zero()) {
+      break;  // All later contributions are zero too.
+    }
+    if (subtract) {
+      sum = sum - contribution;
+    } else {
+      sum = sum + contribution;
+    }
+  }
+  return sum;
+}
+
+// Computes the first kPiWords 32-bit words of pi's fractional hex digits.
+std::array<uint32_t, kPiWords> ComputePiWords() {
+  // Guard bits absorb series truncation error.
+  const size_t frac_bits = kPiWords * 32 + 64;
+  // Machin: pi = 16*atan(1/5) - 4*atan(1/239).
+  BigInt pi = (ArctanInverse(5, frac_bits) << 4) - (ArctanInverse(239, frac_bits) << 2);
+  // Remove the integer part (3) to keep just the fraction.
+  BigInt frac = pi - (BigInt(3) << frac_bits);
+  assert(!frac.is_negative());
+  // Top kPiWords*32 bits of the fraction, as big-endian words.
+  util::Bytes bytes = frac.ToBytesPadded(frac_bits / 8);
+  std::array<uint32_t, kPiWords> words;
+  for (size_t i = 0; i < kPiWords; ++i) {
+    words[i] = (static_cast<uint32_t>(bytes[i * 4]) << 24) |
+               (static_cast<uint32_t>(bytes[i * 4 + 1]) << 16) |
+               (static_cast<uint32_t>(bytes[i * 4 + 2]) << 8) |
+               static_cast<uint32_t>(bytes[i * 4 + 3]);
+  }
+  return words;
+}
+
+BlowfishState BuildInitialState() {
+  std::array<uint32_t, kPiWords> pi = ComputePiWords();
+  // Cross-check against the published first P-array entry.
+  assert(pi[0] == 0x243F6A88u && "pi digit computation is wrong");
+  BlowfishState st;
+  size_t idx = 0;
+  for (size_t i = 0; i < st.p.size(); ++i) {
+    st.p[i] = pi[idx++];
+  }
+  for (auto& box : st.s) {
+    for (auto& word : box) {
+      word = pi[idx++];
+    }
+  }
+  return st;
+}
+
+uint32_t LoadWord(const util::Bytes& b, size_t offset) {
+  return (static_cast<uint32_t>(b[offset]) << 24) |
+         (static_cast<uint32_t>(b[offset + 1]) << 16) |
+         (static_cast<uint32_t>(b[offset + 2]) << 8) |
+         static_cast<uint32_t>(b[offset + 3]);
+}
+
+void StoreWord(util::Bytes* b, size_t offset, uint32_t v) {
+  (*b)[offset] = static_cast<uint8_t>(v >> 24);
+  (*b)[offset + 1] = static_cast<uint8_t>(v >> 16);
+  (*b)[offset + 2] = static_cast<uint8_t>(v >> 8);
+  (*b)[offset + 3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+const BlowfishState& BlowfishInitialState() {
+  static const BlowfishState kState = BuildInitialState();
+  return kState;
+}
+
+uint32_t Blowfish::F(uint32_t x) const {
+  uint32_t h = state_.s[0][x >> 24] + state_.s[1][(x >> 16) & 0xff];
+  return (h ^ state_.s[2][(x >> 8) & 0xff]) + state_.s[3][x & 0xff];
+}
+
+void Blowfish::EncryptBlock(uint32_t* left, uint32_t* right) const {
+  uint32_t l = *left;
+  uint32_t r = *right;
+  for (size_t i = 0; i < kBlowfishRounds; ++i) {
+    l ^= state_.p[i];
+    r ^= F(l);
+    uint32_t tmp = l;
+    l = r;
+    r = tmp;
+  }
+  // Undo the final swap, then apply the last two subkeys.
+  uint32_t tmp = l;
+  l = r;
+  r = tmp;
+  r ^= state_.p[kBlowfishRounds];
+  l ^= state_.p[kBlowfishRounds + 1];
+  *left = l;
+  *right = r;
+}
+
+void Blowfish::DecryptBlock(uint32_t* left, uint32_t* right) const {
+  uint32_t l = *left;
+  uint32_t r = *right;
+  for (size_t i = kBlowfishRounds + 1; i > 1; --i) {
+    l ^= state_.p[i];
+    r ^= F(l);
+    uint32_t tmp = l;
+    l = r;
+    r = tmp;
+  }
+  uint32_t tmp = l;
+  l = r;
+  r = tmp;
+  r ^= state_.p[1];
+  l ^= state_.p[0];
+  *left = l;
+  *right = r;
+}
+
+void Blowfish::ExpandKey(const util::Bytes& key, const uint32_t* salt_words) {
+  // XOR the key cyclically into the P-array.
+  if (!key.empty()) {
+    size_t pos = 0;
+    for (auto& p : state_.p) {
+      uint32_t word = 0;
+      for (int b = 0; b < 4; ++b) {
+        word = (word << 8) | key[pos];
+        pos = (pos + 1) % key.size();
+      }
+      p ^= word;
+    }
+  }
+  // Re-derive P and S by repeated encryption, with optional 128-bit salt
+  // XORed into the chaining value (eksblowfish; zero salt gives the
+  // standard Blowfish schedule).
+  uint32_t l = 0;
+  uint32_t r = 0;
+  size_t salt_pos = 0;
+  auto chain = [&] {
+    if (salt_words != nullptr) {
+      l ^= salt_words[salt_pos % 4];
+      r ^= salt_words[(salt_pos + 1) % 4];
+      salt_pos = (salt_pos + 2) % 4;
+    }
+    EncryptBlock(&l, &r);
+  };
+  for (size_t i = 0; i < state_.p.size(); i += 2) {
+    chain();
+    state_.p[i] = l;
+    state_.p[i + 1] = r;
+  }
+  for (auto& box : state_.s) {
+    for (size_t i = 0; i < box.size(); i += 2) {
+      chain();
+      box[i] = l;
+      box[i + 1] = r;
+    }
+  }
+}
+
+Blowfish::Blowfish(const util::Bytes& key) : state_(BlowfishInitialState()) {
+  assert(key.size() >= 4 && key.size() <= 56);
+  ExpandKey(key, nullptr);
+}
+
+Blowfish::Blowfish(const util::Bytes& key, const util::Bytes& salt16, unsigned cost)
+    : state_(BlowfishInitialState()) {
+  assert(!key.empty() && salt16.size() == 16 && cost <= 32);
+  uint32_t salt_words[4];
+  for (int i = 0; i < 4; ++i) {
+    salt_words[i] = LoadWord(salt16, static_cast<size_t>(i) * 4);
+  }
+  ExpandKey(key, salt_words);
+  uint64_t iterations = uint64_t{1} << cost;
+  for (uint64_t i = 0; i < iterations; ++i) {
+    ExpandKey(key, nullptr);
+    ExpandKey(salt16, nullptr);
+  }
+}
+
+util::Result<util::Bytes> Blowfish::EncryptCbc(const util::Bytes& plaintext,
+                                               const util::Bytes& iv) const {
+  if (plaintext.size() % kBlowfishBlockSize != 0) {
+    return util::InvalidArgument("CBC input not block-aligned");
+  }
+  if (iv.size() != kBlowfishBlockSize) {
+    return util::InvalidArgument("IV must be 8 bytes");
+  }
+  util::Bytes out = plaintext;
+  uint32_t prev_l = LoadWord(iv, 0);
+  uint32_t prev_r = LoadWord(iv, 4);
+  for (size_t off = 0; off < out.size(); off += kBlowfishBlockSize) {
+    uint32_t l = LoadWord(out, off) ^ prev_l;
+    uint32_t r = LoadWord(out, off + 4) ^ prev_r;
+    EncryptBlock(&l, &r);
+    StoreWord(&out, off, l);
+    StoreWord(&out, off + 4, r);
+    prev_l = l;
+    prev_r = r;
+  }
+  return out;
+}
+
+util::Result<util::Bytes> Blowfish::DecryptCbc(const util::Bytes& ciphertext,
+                                               const util::Bytes& iv) const {
+  if (ciphertext.size() % kBlowfishBlockSize != 0) {
+    return util::InvalidArgument("CBC input not block-aligned");
+  }
+  if (iv.size() != kBlowfishBlockSize) {
+    return util::InvalidArgument("IV must be 8 bytes");
+  }
+  util::Bytes out = ciphertext;
+  uint32_t prev_l = LoadWord(iv, 0);
+  uint32_t prev_r = LoadWord(iv, 4);
+  for (size_t off = 0; off < out.size(); off += kBlowfishBlockSize) {
+    uint32_t cl = LoadWord(out, off);
+    uint32_t cr = LoadWord(out, off + 4);
+    uint32_t l = cl;
+    uint32_t r = cr;
+    DecryptBlock(&l, &r);
+    StoreWord(&out, off, l ^ prev_l);
+    StoreWord(&out, off + 4, r ^ prev_r);
+    prev_l = cl;
+    prev_r = cr;
+  }
+  return out;
+}
+
+util::Bytes EksBlowfishHash(unsigned cost, const util::Bytes& salt16,
+                            const util::Bytes& password) {
+  Blowfish cipher(password, salt16, cost);
+  // bcrypt magic: "OrpheanBeholderScryDoubt", encrypted 64 times in ECB.
+  uint32_t block[6] = {0x4F727068, 0x65616E42, 0x65686F6C,
+                       0x64657253, 0x63727944, 0x6F756274};
+  for (int round = 0; round < 64; ++round) {
+    for (int i = 0; i < 6; i += 2) {
+      cipher.EncryptBlock(&block[i], &block[i + 1]);
+    }
+  }
+  util::Bytes out(24);
+  for (int i = 0; i < 6; ++i) {
+    StoreWord(&out, static_cast<size_t>(i) * 4, block[i]);
+  }
+  return out;
+}
+
+}  // namespace crypto

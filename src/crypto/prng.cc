@@ -1,0 +1,107 @@
+#include "src/crypto/prng.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "src/crypto/sha1.h"
+
+namespace crypto {
+
+Prng::Prng(const util::Bytes& seed) : out_pos_(20) {
+  // Expand the seed into 64 bytes of state with counter-mode SHA-1.
+  for (int i = 0; i < 4; ++i) {
+    Sha1 h;
+    uint8_t counter = static_cast<uint8_t>(i);
+    h.Update(&counter, 1);
+    h.Update(seed);
+    util::Bytes d = h.Digest();
+    size_t off = static_cast<size_t>(i) * 16;
+    std::memcpy(state_ + off, d.data(), 16);
+  }
+}
+
+Prng::Prng(uint64_t seed) : Prng([&] {
+        util::Bytes b(8);
+        for (int i = 0; i < 8; ++i) {
+          b[i] = static_cast<uint8_t>(seed >> (56 - 8 * i));
+        }
+        return b;
+      }()) {}
+
+void Prng::Step() {
+  util::Bytes state_bytes(state_, state_ + 64);
+  util::Bytes digest = Sha1Digest(state_bytes);
+  std::memcpy(out_, digest.data(), 20);
+  out_pos_ = 0;
+
+  // state = (state + output + 1) mod 2^512, big-endian arithmetic.
+  // The +1 guarantees the state always changes; the one-way SHA-1 output
+  // makes the update irreversible.
+  unsigned carry = 1;
+  for (int i = 63; i >= 0; --i) {
+    unsigned add = carry;
+    if (i >= 44) {  // Align the 20-byte output with the low-order bytes.
+      add += digest[static_cast<size_t>(i) - 44];
+    }
+    unsigned sum = state_[i] + add;
+    state_[i] = static_cast<uint8_t>(sum);
+    carry = sum >> 8;
+  }
+}
+
+util::Bytes Prng::RandomBytes(size_t len) {
+  util::Bytes out;
+  out.reserve(len);
+  while (out.size() < len) {
+    if (out_pos_ >= 20) {
+      Step();
+    }
+    out.push_back(out_[out_pos_++]);
+  }
+  return out;
+}
+
+uint64_t Prng::RandomUint64(uint64_t bound) {
+  // Rejection sampling for uniformity.
+  uint64_t limit = bound == 0 ? 0 : (~uint64_t{0} - (~uint64_t{0} % bound));
+  for (;;) {
+    util::Bytes b = RandomBytes(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | b[static_cast<size_t>(i)];
+    }
+    if (bound == 0) {
+      return v;
+    }
+    if (v < limit) {
+      return v % bound;
+    }
+  }
+}
+
+void Prng::AddEntropy(const util::Bytes& data) {
+  Sha1 h;
+  h.Update(util::Bytes(state_, state_ + 64));
+  h.Update(data);
+  util::Bytes d = h.Digest();
+  for (int i = 0; i < 20; ++i) {
+    state_[44 + i] ^= d[static_cast<size_t>(i)];
+  }
+  out_pos_ = 20;  // Discard buffered output.
+}
+
+util::Bytes EnvironmentSeed() {
+  Sha1 h;
+  auto now = std::chrono::high_resolution_clock::now().time_since_epoch().count();
+  h.Update(reinterpret_cast<const uint8_t*>(&now), sizeof(now));
+  auto steady = std::chrono::steady_clock::now().time_since_epoch().count();
+  h.Update(reinterpret_cast<const uint8_t*>(&steady), sizeof(steady));
+  static int counter = 0;
+  ++counter;
+  h.Update(reinterpret_cast<const uint8_t*>(&counter), sizeof(counter));
+  const void* stack_probe = &counter;
+  h.Update(reinterpret_cast<const uint8_t*>(&stack_probe), sizeof(stack_probe));
+  return h.Digest();
+}
+
+}  // namespace crypto

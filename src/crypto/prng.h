@@ -1,0 +1,48 @@
+// DSS-style SHA-1 pseudo-random generator (FIPS 186 appendix 3).
+//
+// SFS chose this generator "both because it is based on SHA-1 and because
+// it cannot be run backwards in the event that its state gets compromised"
+// (paper §3.1.3).  State update: state = (state + output + 1) mod 2^512.
+//
+// The generator is explicitly seedable so tests are deterministic; the
+// SeedFromEnvironment() helper mimics SFS's practice of hashing many
+// entropy sources through SHA-1 into a 512-bit seed.
+#ifndef SFS_SRC_CRYPTO_PRNG_H_
+#define SFS_SRC_CRYPTO_PRNG_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace crypto {
+
+class Prng {
+ public:
+  // Seeds with SHA-1 expansion of `seed` into the 64-byte state.
+  explicit Prng(const util::Bytes& seed);
+  explicit Prng(uint64_t seed);
+
+  // Returns `len` pseudo-random bytes.
+  util::Bytes RandomBytes(size_t len);
+
+  // Uniform in [0, bound); bound > 0.
+  uint64_t RandomUint64(uint64_t bound);
+
+  // Mixes additional entropy into the state (keystroke timings etc.).
+  void AddEntropy(const util::Bytes& data);
+
+ private:
+  void Step();  // Produces 20 bytes into out_, advances state.
+
+  uint8_t state_[64];  // 512-bit state, big-endian.
+  uint8_t out_[20];
+  size_t out_pos_;  // Next unconsumed byte in out_; 20 = empty.
+};
+
+// Builds a seed the way sfs does: hash together timers, pid-like values
+// and any caller-provided strings.  Not deterministic.
+util::Bytes EnvironmentSeed();
+
+}  // namespace crypto
+
+#endif  // SFS_SRC_CRYPTO_PRNG_H_

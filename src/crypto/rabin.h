@@ -1,0 +1,103 @@
+// Rabin–Williams public-key cryptosystem (Williams 1980), as used by SFS
+// for all encryption and signing (paper §3.1.3).
+//
+// The modulus N = p*q with p ≡ 3 (mod 8) and q ≡ 7 (mod 8).  With these
+// residues, for any h coprime to N exactly one of {h, -h, 2h, -2h} is a
+// quadratic residue mod N, so every value can be "tweaked" to have a
+// square root.  Security reduces to factoring, which is why the paper
+// calls Rabin "no less secure in the random oracle model than
+// cryptosystems based on the better-known RSA problem"; like low-exponent
+// RSA, verification and encryption are cheap (one squaring).
+//
+//  * Signatures: full-domain hash (SHA-1/MGF1) of the message, tweaked by
+//    (e, f) ∈ {1,-1} x {1,2}, square-rooted via CRT.  A signature is
+//    (e, f, s).
+//  * Encryption: OAEP-style padding with SHA-1/MGF1 (plaintext-aware in
+//    the random-oracle model), then one squaring.  Decryption computes all
+//    four roots and the OAEP redundancy identifies the right one.
+#ifndef SFS_SRC_CRYPTO_RABIN_H_
+#define SFS_SRC_CRYPTO_RABIN_H_
+
+#include <cstdint>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/prng.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace crypto {
+
+// MGF1 mask generation (PKCS#1) with SHA-1: deterministic expansion of a
+// seed to `len` bytes.  Shared by OAEP and the signature FDH.
+util::Bytes Mgf1Sha1(const util::Bytes& seed, size_t len);
+
+// Public half of a Rabin key: just the modulus.
+class RabinPublicKey {
+ public:
+  RabinPublicKey() = default;
+  explicit RabinPublicKey(BigInt n) : n_(std::move(n)) {}
+
+  const BigInt& n() const { return n_; }
+  size_t BitLength() const { return n_.BitLength(); }
+
+  // Wire form: big-endian bytes of N.
+  util::Bytes Serialize() const { return n_.ToBytes(); }
+  static util::Result<RabinPublicKey> Deserialize(const util::Bytes& bytes);
+
+  // Verifies `signature` over `message`.  Returns SecurityError on any
+  // mismatch.
+  util::Status Verify(const util::Bytes& message, const util::Bytes& signature) const;
+
+  // OAEP-pads and squares.  `prng` supplies the OAEP seed.  The message
+  // must fit: len <= ModulusBytes() - 42.
+  util::Result<util::Bytes> Encrypt(const util::Bytes& plaintext, Prng* prng) const;
+
+  size_t ModulusBytes() const { return (n_.BitLength() + 7) / 8; }
+  // Largest plaintext Encrypt() accepts.
+  size_t MaxPlaintextBytes() const;
+
+  bool operator==(const RabinPublicKey& other) const { return n_ == other.n_; }
+
+ private:
+  BigInt n_;
+};
+
+// Full private key.
+class RabinPrivateKey {
+ public:
+  RabinPrivateKey() = default;
+
+  // Generates a fresh key whose modulus has roughly `modulus_bits` bits.
+  // SFS server keys default to 1024 bits; tests use smaller keys.
+  static RabinPrivateKey Generate(Prng* prng, size_t modulus_bits);
+
+  const RabinPublicKey& public_key() const { return public_key_; }
+
+  // Signs the SHA-1/MGF1 full-domain hash of `message`.
+  util::Bytes Sign(const util::Bytes& message) const;
+
+  // Inverts Encrypt().
+  util::Result<util::Bytes> Decrypt(const util::Bytes& ciphertext) const;
+
+  // Private serialization (p || q with length prefixes) for the agent's
+  // encrypted-key storage.
+  util::Bytes Serialize() const;
+  static util::Result<RabinPrivateKey> Deserialize(const util::Bytes& bytes);
+
+ private:
+  RabinPrivateKey(BigInt p, BigInt q);
+
+  // Square root of a mod p (p ≡ 3 mod 4); a must be a QR mod p.
+  static BigInt SqrtMod(const BigInt& a, const BigInt& p);
+  // CRT-combined square root mod n of a QR `a`.
+  BigInt SqrtModN(const BigInt& a) const;
+
+  BigInt p_;
+  BigInt q_;
+  BigInt q_inv_p_;  // q^{-1} mod p, cached for CRT.
+  RabinPublicKey public_key_;
+};
+
+}  // namespace crypto
+
+#endif  // SFS_SRC_CRYPTO_RABIN_H_

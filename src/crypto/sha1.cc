@@ -1,0 +1,157 @@
+#include "src/crypto/sha1.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace crypto {
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+}  // namespace
+
+Sha1::Sha1() : total_bytes_(0), buffer_len_(0), finalized_(false) {
+  state_[0] = 0x67452301;
+  state_[1] = 0xEFCDAB89;
+  state_[2] = 0x98BADCFE;
+  state_[3] = 0x10325476;
+  state_[4] = 0xC3D2E1F0;
+}
+
+void Sha1::ProcessBlock(const uint8_t block[kSha1BlockSize]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = state_[0];
+  uint32_t b = state_[1];
+  uint32_t c = state_[2];
+  uint32_t d = state_[3];
+  uint32_t e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f;
+    uint32_t k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    uint32_t tmp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::Update(const uint8_t* data, size_t len) {
+  assert(!finalized_);
+  total_bytes_ += len;
+  while (len > 0) {
+    size_t take = kSha1BlockSize - buffer_len_;
+    if (take > len) {
+      take = len;
+    }
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == kSha1BlockSize) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+}
+
+util::Bytes Sha1::Digest() {
+  assert(!finalized_);
+  finalized_ = true;
+
+  uint64_t bit_len = total_bytes_ * 8;
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    while (buffer_len_ < kSha1BlockSize) {
+      buffer_[buffer_len_++] = 0;
+    }
+    ProcessBlock(buffer_);
+    buffer_len_ = 0;
+  }
+  while (buffer_len_ < 56) {
+    buffer_[buffer_len_++] = 0;
+  }
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  ProcessBlock(buffer_);
+
+  util::Bytes out(kSha1DigestSize);
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+util::Bytes Sha1Digest(const util::Bytes& data) {
+  Sha1 h;
+  h.Update(data);
+  return h.Digest();
+}
+
+util::Bytes Sha1Digest(const std::string& data) {
+  Sha1 h;
+  h.Update(data);
+  return h.Digest();
+}
+
+util::Bytes HmacSha1(const util::Bytes& key, const util::Bytes& message) {
+  util::Bytes k = key;
+  if (k.size() > kSha1BlockSize) {
+    k = Sha1Digest(k);
+  }
+  k.resize(kSha1BlockSize, 0);
+
+  util::Bytes ipad(kSha1BlockSize);
+  util::Bytes opad(kSha1BlockSize);
+  for (size_t i = 0; i < kSha1BlockSize; ++i) {
+    ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha1 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  util::Bytes inner_digest = inner.Digest();
+
+  Sha1 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Digest();
+}
+
+}  // namespace crypto

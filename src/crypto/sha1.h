@@ -1,0 +1,56 @@
+// SHA-1 (FIPS 180-1) and an HMAC-SHA-1 message authentication code.
+//
+// SFS bases everything on SHA-1 (paper §3.1.3): HostIDs, session-key
+// derivation, the per-message MAC on file system traffic, the DSS-style
+// pseudo-random generator, and AuthIDs.  This is a from-scratch
+// implementation with an incremental interface.
+#ifndef SFS_SRC_CRYPTO_SHA1_H_
+#define SFS_SRC_CRYPTO_SHA1_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace crypto {
+
+inline constexpr size_t kSha1DigestSize = 20;
+inline constexpr size_t kSha1BlockSize = 64;
+
+// Incremental SHA-1.  Usage: Update(...)* then Digest().
+class Sha1 {
+ public:
+  Sha1();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const util::Bytes& data) { Update(data.data(), data.size()); }
+  void Update(const std::string& data) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  // Finalizes and returns the 20-byte digest.  The object may not be
+  // updated afterwards; construct a new one for a new message.
+  util::Bytes Digest();
+
+ private:
+  void ProcessBlock(const uint8_t block[kSha1BlockSize]);
+
+  uint32_t state_[5];
+  uint64_t total_bytes_;
+  uint8_t buffer_[kSha1BlockSize];
+  size_t buffer_len_;
+  bool finalized_;
+};
+
+// One-shot convenience.
+util::Bytes Sha1Digest(const util::Bytes& data);
+util::Bytes Sha1Digest(const std::string& data);
+
+// HMAC-SHA-1 (RFC 2104).  Used as SFS's per-message MAC; the channel
+// re-keys it for every RPC with bytes pulled from the ARC4 stream
+// (paper §3.1.3).
+util::Bytes HmacSha1(const util::Bytes& key, const util::Bytes& message);
+
+}  // namespace crypto
+
+#endif  // SFS_SRC_CRYPTO_SHA1_H_

@@ -1,0 +1,158 @@
+#include "src/crypto/srp.h"
+
+#include <cassert>
+
+#include "src/crypto/blowfish.h"
+#include "src/crypto/rabin.h"  // Mgf1Sha1
+#include "src/crypto/sha1.h"
+
+namespace crypto {
+namespace {
+
+// RFC 5054 appendix A, 1024-bit group.
+constexpr char kGroup1024Hex[] =
+    "EEAF0AB9ADB38DD69C33F80AFA8FC5E86072618775FF3C0B9EA2314C9C256576"
+    "D674DF7496EA81D3383B4813D692C6E0E0D5D8E250B98BE48E495C1D6089DAD1"
+    "5DC7D7B46154D6B6CE8EF4AD69B15D4982559B297BCF1885C529F566660E57EC"
+    "68EDBC3C05726CC02FD4CBF4976EAA9AFD5138FE8376435B9FC61D2FC0EB06E3";
+
+util::Bytes PadTo(const BigInt& v, size_t len) { return v.ToBytesPadded(len); }
+
+size_t GroupBytes(const SrpParams& params) { return (params.n.BitLength() + 7) / 8; }
+
+// k = H(N || PAD(g)), the SRP-6a multiplier.
+BigInt Multiplier(const SrpParams& params) {
+  Sha1 h;
+  h.Update(params.n.ToBytes());
+  h.Update(PadTo(params.g, GroupBytes(params)));
+  return BigInt::FromBytes(h.Digest());
+}
+
+// u = H(PAD(A) || PAD(B)), the scrambling parameter.
+BigInt Scrambler(const SrpParams& params, const BigInt& a_pub, const BigInt& b_pub) {
+  Sha1 h;
+  size_t len = GroupBytes(params);
+  h.Update(PadTo(a_pub, len));
+  h.Update(PadTo(b_pub, len));
+  return BigInt::FromBytes(h.Digest());
+}
+
+util::Bytes ComputeM1(const SrpParams& params, const BigInt& a_pub, const BigInt& b_pub,
+                      const util::Bytes& key) {
+  Sha1 h;
+  size_t len = GroupBytes(params);
+  h.Update(PadTo(a_pub, len));
+  h.Update(PadTo(b_pub, len));
+  h.Update(key);
+  return h.Digest();
+}
+
+util::Bytes ComputeM2(const SrpParams& params, const BigInt& a_pub, const util::Bytes& m1,
+                      const util::Bytes& key) {
+  Sha1 h;
+  h.Update(PadTo(a_pub, GroupBytes(params)));
+  h.Update(m1);
+  h.Update(key);
+  return h.Digest();
+}
+
+}  // namespace
+
+const SrpParams& DefaultSrpParams() {
+  static const SrpParams kParams = [] {
+    auto n = BigInt::FromHex(kGroup1024Hex);
+    assert(n.ok());
+    return SrpParams{n.value(), BigInt(2)};
+  }();
+  return kParams;
+}
+
+BigInt SrpPrivateExponent(const SrpParams& params, const std::string& password,
+                          const util::Bytes& salt, unsigned cost) {
+  util::Bytes hardened = EksBlowfishHash(cost, salt, util::BytesOf(password));
+  // Stretch to the group size via MGF1 so x covers the full exponent range.
+  util::Bytes expanded = Mgf1Sha1(hardened, GroupBytes(params));
+  return BigInt::FromBytes(expanded).Mod(params.n);
+}
+
+SrpVerifier MakeSrpVerifier(const SrpParams& params, const std::string& password,
+                            unsigned cost, Prng* prng) {
+  SrpVerifier out;
+  out.salt = prng->RandomBytes(16);
+  out.cost = cost;
+  BigInt x = SrpPrivateExponent(params, password, out.salt, cost);
+  out.v = BigInt::ModExp(params.g, x, params.n);
+  return out;
+}
+
+SrpClient::SrpClient(const SrpParams& params, Prng* prng) : params_(params) {
+  a_priv_ = BigInt::RandomBelow(prng, params_.n - BigInt(2)) + BigInt(1);
+  a_pub_ = BigInt::ModExp(params_.g, a_priv_, params_.n);
+}
+
+util::Status SrpClient::ProcessServerReply(const std::string& password,
+                                           const util::Bytes& salt, unsigned cost,
+                                           const BigInt& b_pub) {
+  if (b_pub.Mod(params_.n).is_zero()) {
+    return util::SecurityError("degenerate SRP server value B");
+  }
+  BigInt u = Scrambler(params_, a_pub_, b_pub);
+  if (u.is_zero()) {
+    return util::SecurityError("degenerate SRP scrambler");
+  }
+  BigInt x = SrpPrivateExponent(params_, password, salt, cost);
+  BigInt k = Multiplier(params_);
+  // S = (B - k*g^x) ^ (a + u*x) mod N.
+  BigInt gx = BigInt::ModExp(params_.g, x, params_.n);
+  BigInt base = (b_pub - k * gx).Mod(params_.n);
+  BigInt exp = a_priv_ + u * x;
+  BigInt s = BigInt::ModExp(base, exp, params_.n);
+  session_key_ = Sha1Digest(PadTo(s, GroupBytes(params_)));
+  m1_ = ComputeM1(params_, a_pub_, b_pub, session_key_);
+  m2_expected_ = ComputeM2(params_, a_pub_, m1_, session_key_);
+  return util::OkStatus();
+}
+
+util::Status SrpClient::VerifyServerProof(const util::Bytes& m2) const {
+  if (m2_expected_.empty()) {
+    return util::FailedPrecondition("SRP exchange not completed");
+  }
+  if (!util::ConstantTimeEquals(m2, m2_expected_)) {
+    return util::SecurityError("SRP server proof mismatch");
+  }
+  return util::OkStatus();
+}
+
+SrpServer::SrpServer(const SrpParams& params, SrpVerifier verifier, Prng* prng)
+    : params_(params), verifier_(std::move(verifier)) {
+  b_priv_ = BigInt::RandomBelow(prng, params_.n - BigInt(2)) + BigInt(1);
+}
+
+util::Result<BigInt> SrpServer::ProcessClientHello(const BigInt& a_pub) {
+  if (a_pub.Mod(params_.n).is_zero()) {
+    return util::SecurityError("degenerate SRP client value A");
+  }
+  a_pub_ = a_pub;
+  BigInt k = Multiplier(params_);
+  b_pub_ = (k * verifier_.v + BigInt::ModExp(params_.g, b_priv_, params_.n)).Mod(params_.n);
+  BigInt u = Scrambler(params_, a_pub_, b_pub_);
+  // S = (A * v^u) ^ b mod N.
+  BigInt base = (a_pub_ * BigInt::ModExp(verifier_.v, u, params_.n)).Mod(params_.n);
+  BigInt s = BigInt::ModExp(base, b_priv_, params_.n);
+  session_key_ = Sha1Digest(PadTo(s, GroupBytes(params_)));
+  m1_expected_ = ComputeM1(params_, a_pub_, b_pub_, session_key_);
+  m2_ = ComputeM2(params_, a_pub_, m1_expected_, session_key_);
+  return b_pub_;
+}
+
+util::Status SrpServer::VerifyClientProof(const util::Bytes& m1) const {
+  if (m1_expected_.empty()) {
+    return util::FailedPrecondition("SRP exchange not started");
+  }
+  if (!util::ConstantTimeEquals(m1, m1_expected_)) {
+    return util::SecurityError("SRP client proof mismatch (wrong password?)");
+  }
+  return util::OkStatus();
+}
+
+}  // namespace crypto

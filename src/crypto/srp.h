@@ -1,0 +1,109 @@
+// SRP-6a, the Secure Remote Password protocol (Wu 1998).
+//
+// SFS's sfskey/authserv pair uses SRP to let a user with only a password
+// securely download a server's self-certifying pathname and an encrypted
+// copy of her private key (paper §2.4 "Password authentication").  SRP
+// lets two parties sharing a weak secret negotiate a strong session key
+// without exposing the secret to off-line guessing; the server stores a
+// verifier, never anything password-equivalent.
+//
+// Passwords are hardened with eksblowfish before entering the protocol,
+// so each guess also costs an attacker a configurable amount of CPU
+// (paper §2.5.2).
+#ifndef SFS_SRC_CRYPTO_SRP_H_
+#define SFS_SRC_CRYPTO_SRP_H_
+
+#include <string>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/prng.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace crypto {
+
+// Group parameters: a safe prime N and generator g.
+struct SrpParams {
+  BigInt n;
+  BigInt g;
+};
+
+// The standard 1024-bit group (RFC 5054 appendix A), g = 2.
+const SrpParams& DefaultSrpParams();
+
+// What the server stores per user: random salt, eksblowfish cost, and the
+// verifier v = g^x.  Knowing v does not let anyone impersonate the user or
+// check password guesses faster than eksblowfish allows.
+struct SrpVerifier {
+  util::Bytes salt;  // 16 bytes
+  unsigned cost = 0;
+  BigInt v;
+};
+
+// x = eksblowfish(cost, salt, password) interpreted as an integer.
+BigInt SrpPrivateExponent(const SrpParams& params, const std::string& password,
+                          const util::Bytes& salt, unsigned cost);
+
+// Builds a fresh verifier for (password) with a random salt.
+SrpVerifier MakeSrpVerifier(const SrpParams& params, const std::string& password,
+                            unsigned cost, Prng* prng);
+
+// Client side of one SRP exchange.
+class SrpClient {
+ public:
+  SrpClient(const SrpParams& params, Prng* prng);
+
+  // Message 1: the client's ephemeral public value A = g^a.
+  const BigInt& A() const { return a_pub_; }
+
+  // Processes the server's reply (salt, cost, B); computes the shared
+  // session key and the client proof M1.  Fails if B is degenerate.
+  util::Status ProcessServerReply(const std::string& password, const util::Bytes& salt,
+                                  unsigned cost, const BigInt& b_pub);
+
+  const util::Bytes& SessionKey() const { return session_key_; }
+  const util::Bytes& ClientProof() const { return m1_; }
+
+  // Verifies the server's proof M2, completing mutual authentication.
+  util::Status VerifyServerProof(const util::Bytes& m2) const;
+
+ private:
+  SrpParams params_;
+  BigInt a_priv_;
+  BigInt a_pub_;
+  util::Bytes session_key_;
+  util::Bytes m1_;
+  util::Bytes m2_expected_;
+};
+
+// Server side of one SRP exchange.
+class SrpServer {
+ public:
+  SrpServer(const SrpParams& params, SrpVerifier verifier, Prng* prng);
+
+  // Processes the client's A and produces B.  Fails if A ≡ 0 (mod N).
+  util::Result<BigInt> ProcessClientHello(const BigInt& a_pub);
+
+  const util::Bytes& Salt() const { return verifier_.salt; }
+  unsigned Cost() const { return verifier_.cost; }
+
+  // Checks the client's proof M1.  On success the session key is agreed.
+  util::Status VerifyClientProof(const util::Bytes& m1) const;
+
+  const util::Bytes& SessionKey() const { return session_key_; }
+  const util::Bytes& ServerProof() const { return m2_; }
+
+ private:
+  SrpParams params_;
+  SrpVerifier verifier_;
+  BigInt b_priv_;
+  BigInt a_pub_;
+  BigInt b_pub_;
+  util::Bytes session_key_;
+  util::Bytes m1_expected_;
+  util::Bytes m2_;
+};
+
+}  // namespace crypto
+
+#endif  // SFS_SRC_CRYPTO_SRP_H_

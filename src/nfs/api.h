@@ -1,0 +1,60 @@
+// Abstract file system operations interface.
+//
+// MemFs (the server-side store), NfsClient (the remote stub), and
+// CachingFs (the client cache decorator) all implement this, so the VFS
+// layer and the benchmarks are indifferent to whether a mount is local,
+// plain NFS 3, or SFS — exactly the transparency the paper's /sfs
+// namespace provides to applications.
+#ifndef SFS_SRC_NFS_API_H_
+#define SFS_SRC_NFS_API_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nfs/types.h"
+#include "src/util/bytes.h"
+
+namespace nfs {
+
+class FileSystemApi {
+ public:
+  virtual ~FileSystemApi() = default;
+
+  virtual Stat GetAttr(const FileHandle& fh, Fattr* attr) = 0;
+  virtual Stat SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
+                       Fattr* attr) = 0;
+  virtual Stat Lookup(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                      FileHandle* out, Fattr* attr) = 0;
+  virtual Stat Access(const FileHandle& fh, const Credentials& cred, uint32_t want,
+                      uint32_t* allowed) = 0;
+  virtual Stat ReadLink(const FileHandle& fh, const Credentials& cred, std::string* target) = 0;
+  virtual Stat Read(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                    uint32_t count, util::Bytes* data, bool* eof) = 0;
+  virtual Stat Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                     const util::Bytes& data, bool stable, Fattr* attr) = 0;
+  virtual Stat Create(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                      const Sattr& sattr, FileHandle* out, Fattr* attr) = 0;
+  virtual Stat Mkdir(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                     uint32_t mode, FileHandle* out, Fattr* attr) = 0;
+  virtual Stat Symlink(const FileHandle& dir, const std::string& name,
+                       const std::string& target, const Credentials& cred, FileHandle* out,
+                       Fattr* attr) = 0;
+  virtual Stat Remove(const FileHandle& dir, const std::string& name,
+                      const Credentials& cred) = 0;
+  virtual Stat Rmdir(const FileHandle& dir, const std::string& name,
+                     const Credentials& cred) = 0;
+  virtual Stat Rename(const FileHandle& from_dir, const std::string& from_name,
+                      const FileHandle& to_dir, const std::string& to_name,
+                      const Credentials& cred) = 0;
+  // Hard link: new directory entry `name` in `dir` for the file `target`.
+  virtual Stat Link(const FileHandle& target, const FileHandle& dir, const std::string& name,
+                    const Credentials& cred) = 0;
+  virtual Stat ReadDir(const FileHandle& dir, const Credentials& cred, uint64_t cookie,
+                       uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) = 0;
+  virtual Stat FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) = 0;
+  virtual Stat Commit(const FileHandle& fh) = 0;
+};
+
+}  // namespace nfs
+
+#endif  // SFS_SRC_NFS_API_H_

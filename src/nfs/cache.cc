@@ -1,0 +1,355 @@
+#include "src/nfs/cache.h"
+
+#include <algorithm>
+
+namespace nfs {
+
+uint64_t CachingFs::ExpiryFor(const Fattr& attr) const {
+  if (options_.use_leases) {
+    // Lease granted by the server; zero means "no lease", fall back to
+    // the plain timeout so a lease-less server still caches a little.
+    uint64_t lease = attr.lease_ns != 0 ? attr.lease_ns : options_.attr_timeout_ns;
+    return clock_->now_ns() + lease;
+  }
+  return clock_->now_ns() + options_.attr_timeout_ns;
+}
+
+void CachingFs::StoreAttr(const FileHandle& fh, const Fattr& attr) {
+  AttrEntry& e = attr_cache_[Key(fh)];
+  // A data-version change invalidates the cached file contents.
+  auto data = data_cache_.find(Key(fh));
+  if (data != data_cache_.end() && data->second.mtime_ns != attr.mtime_ns) {
+    ForgetData(Key(fh));
+  }
+  e.attr = attr;
+  e.expiry_ns = ExpiryFor(attr);
+}
+
+void CachingFs::ForgetData(const std::string& key) {
+  auto it = data_cache_.find(key);
+  if (it != data_cache_.end()) {
+    data_cache_bytes_ -= it->second.content.size();
+    data_cache_.erase(it);
+  }
+}
+
+void CachingFs::EvictDataIfNeeded() {
+  if (data_cache_bytes_ <= options_.data_cache_total_limit) {
+    return;
+  }
+  // Coarse eviction: drop everything (the benchmarks' working sets either
+  // fit or thrash; finer LRU would not change the reported shapes).
+  data_cache_.clear();
+  data_cache_bytes_ = 0;
+}
+
+Stat CachingFs::GetAttr(const FileHandle& fh, Fattr* attr) {
+  auto it = attr_cache_.find(Key(fh));
+  if (it != attr_cache_.end() && it->second.expiry_ns > clock_->now_ns()) {
+    ++attr_hits_;
+    *attr = it->second.attr;
+    return Stat::kOk;
+  }
+  ++attr_misses_;
+  Stat s = backend_->GetAttr(fh, attr);
+  if (s == Stat::kOk) {
+    StoreAttr(fh, *attr);
+  } else if (s == Stat::kStale) {
+    InvalidateHandle(fh);
+  }
+  return s;
+}
+
+Stat CachingFs::SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
+                        Fattr* attr) {
+  Stat s = backend_->SetAttr(fh, cred, sattr, attr);
+  if (s == Stat::kOk) {
+    if (sattr.size.has_value()) {
+      ForgetData(Key(fh));
+    }
+    StoreAttr(fh, *attr);
+    access_cache_.clear();  // Mode changes can alter access decisions.
+  }
+  return s;
+}
+
+Stat CachingFs::Lookup(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                       FileHandle* out, Fattr* attr) {
+  auto key = std::make_pair(Key(dir), name);
+  auto it = name_cache_.find(key);
+  if (it != name_cache_.end() && it->second.expiry_ns > clock_->now_ns()) {
+    // Serve the handle from the name cache if we also have fresh
+    // attributes for it.
+    auto attr_it = attr_cache_.find(Key(it->second.fh));
+    if (attr_it != attr_cache_.end() && attr_it->second.expiry_ns > clock_->now_ns()) {
+      ++attr_hits_;
+      *out = it->second.fh;
+      *attr = attr_it->second.attr;
+      return Stat::kOk;
+    }
+  }
+  Stat s = backend_->Lookup(dir, name, cred, out, attr);
+  if (s == Stat::kOk) {
+    StoreAttr(*out, *attr);
+    name_cache_[key] = NameEntry{*out, ExpiryFor(*attr)};
+  } else if (s == Stat::kNoEnt) {
+    name_cache_.erase(key);
+  }
+  return s;
+}
+
+Stat CachingFs::Access(const FileHandle& fh, const Credentials& cred, uint32_t want,
+                       uint32_t* allowed) {
+  auto key = std::make_pair(Key(fh), cred.uid);
+  auto it = access_cache_.find(key);
+  if (it != access_cache_.end() && it->second.expiry_ns > clock_->now_ns() &&
+      (it->second.want & want) == want) {
+    ++access_hits_;
+    *allowed = it->second.allowed & want;
+    return Stat::kOk;
+  }
+  Stat s = backend_->Access(fh, cred, want, allowed);
+  if (s == Stat::kOk) {
+    uint64_t expiry;
+    {
+      auto attr_it = attr_cache_.find(Key(fh));
+      Fattr attr = attr_it != attr_cache_.end() ? attr_it->second.attr : Fattr{};
+      expiry = ExpiryFor(attr);
+    }
+    access_cache_[key] = AccessEntry{want, *allowed, expiry};
+  }
+  return s;
+}
+
+Stat CachingFs::ReadLink(const FileHandle& fh, const Credentials& cred, std::string* target) {
+  return backend_->ReadLink(fh, cred, target);
+}
+
+namespace {
+
+// The kernel's mode-bit check against cached attributes: a data-cache hit
+// must not leak bytes to a user the inode's permissions exclude.  (Local
+// root passes, as on any Unix client — SFS's threat model assumes users
+// trust their own client machine.)
+bool CachedAttrAllowsRead(const Fattr& attr, const Credentials& cred) {
+  if (cred.IsSuperuser()) {
+    return true;
+  }
+  uint32_t shift = cred.uid == attr.uid ? 6 : (cred.HasGid(attr.gid) ? 3 : 0);
+  return ((attr.mode >> shift) & 4) != 0;
+}
+
+}  // namespace
+
+Stat CachingFs::Read(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                     uint32_t count, util::Bytes* data, bool* eof) {
+  std::string key = Key(fh);
+  if (options_.enable_data_cache) {
+    // A data-cache hit requires fresh attributes to validate mtime, and
+    // the caller must pass the cached mode bits (otherwise fall through:
+    // the server decides authoritatively).
+    auto attr_it = attr_cache_.find(key);
+    auto data_it = data_cache_.find(key);
+    if (attr_it != attr_cache_.end() && attr_it->second.expiry_ns > clock_->now_ns() &&
+        CachedAttrAllowsRead(attr_it->second.attr, cred) &&
+        data_it != data_cache_.end() &&
+        data_it->second.mtime_ns == attr_it->second.attr.mtime_ns) {
+      const util::Bytes& content = data_it->second.content;
+      uint64_t file_size = attr_it->second.attr.size;
+      if (offset >= file_size) {
+        ++data_hits_;
+        data->clear();
+        *eof = true;
+        return Stat::kOk;
+      }
+      uint64_t end = std::min<uint64_t>(offset + count, file_size);
+      if (end <= content.size()) {
+        ++data_hits_;
+        data->assign(content.begin() + static_cast<long>(offset),
+                     content.begin() + static_cast<long>(end));
+        *eof = end >= file_size;
+        return Stat::kOk;
+      }
+    }
+  }
+
+  Stat s = backend_->Read(fh, cred, offset, count, data, eof);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  if (options_.enable_data_cache) {
+    auto attr_it = attr_cache_.find(key);
+    if (attr_it != attr_cache_.end()) {
+      DataEntry& entry = data_cache_[key];
+      if (entry.content.empty()) {
+        entry.mtime_ns = attr_it->second.attr.mtime_ns;
+      }
+      // Sequential fill only, and only for files under the size limit.
+      if (entry.mtime_ns == attr_it->second.attr.mtime_ns && offset == entry.content.size() &&
+          entry.content.size() + data->size() <= options_.data_cache_file_limit) {
+        util::Append(&entry.content, *data);
+        data_cache_bytes_ += data->size();
+        EvictDataIfNeeded();
+      }
+    }
+  }
+  return s;
+}
+
+Stat CachingFs::Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                      const util::Bytes& data, bool stable, Fattr* attr) {
+  Stat s = backend_->Write(fh, cred, offset, data, stable, attr);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  std::string key = Key(fh);
+  // Fold the write into the cached prefix when it extends or overlaps it;
+  // otherwise drop the cached data.
+  auto it = data_cache_.find(key);
+  if (it != data_cache_.end()) {
+    DataEntry& entry = it->second;
+    if (offset <= entry.content.size() &&
+        offset + data.size() <= options_.data_cache_file_limit) {
+      size_t new_size = std::max<size_t>(entry.content.size(), offset + data.size());
+      data_cache_bytes_ += new_size - entry.content.size();
+      entry.content.resize(new_size);
+      std::copy(data.begin(), data.end(), entry.content.begin() + static_cast<long>(offset));
+      entry.mtime_ns = attr->mtime_ns;
+      EvictDataIfNeeded();
+    } else {
+      ForgetData(key);
+    }
+  } else if (options_.enable_data_cache && offset == 0 &&
+             data.size() <= options_.data_cache_file_limit) {
+    data_cache_[key] = DataEntry{attr->mtime_ns, data};
+    data_cache_bytes_ += data.size();
+    EvictDataIfNeeded();
+  }
+  StoreAttr(fh, *attr);
+  return s;
+}
+
+Stat CachingFs::Create(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                       const Sattr& sattr, FileHandle* out, Fattr* attr) {
+  Stat s = backend_->Create(dir, name, cred, sattr, out, attr);
+  if (s == Stat::kOk) {
+    StoreAttr(*out, *attr);
+    name_cache_[{Key(dir), name}] = NameEntry{*out, ExpiryFor(*attr)};
+    ForgetParentAttrs(dir);
+  }
+  return s;
+}
+
+Stat CachingFs::Mkdir(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                      uint32_t mode, FileHandle* out, Fattr* attr) {
+  Stat s = backend_->Mkdir(dir, name, cred, mode, out, attr);
+  if (s == Stat::kOk) {
+    StoreAttr(*out, *attr);
+    name_cache_[{Key(dir), name}] = NameEntry{*out, ExpiryFor(*attr)};
+    ForgetParentAttrs(dir);
+  }
+  return s;
+}
+
+Stat CachingFs::Symlink(const FileHandle& dir, const std::string& name,
+                        const std::string& target, const Credentials& cred, FileHandle* out,
+                        Fattr* attr) {
+  Stat s = backend_->Symlink(dir, name, target, cred, out, attr);
+  if (s == Stat::kOk) {
+    StoreAttr(*out, *attr);
+    name_cache_[{Key(dir), name}] = NameEntry{*out, ExpiryFor(*attr)};
+    ForgetParentAttrs(dir);
+  }
+  return s;
+}
+
+Stat CachingFs::Remove(const FileHandle& dir, const std::string& name,
+                       const Credentials& cred) {
+  Stat s = backend_->Remove(dir, name, cred);
+  if (s == Stat::kOk) {
+    auto it = name_cache_.find({Key(dir), name});
+    if (it != name_cache_.end()) {
+      InvalidateHandle(it->second.fh);
+      name_cache_.erase(it);
+    }
+    ForgetParentAttrs(dir);
+  }
+  return s;
+}
+
+Stat CachingFs::Rmdir(const FileHandle& dir, const std::string& name, const Credentials& cred) {
+  Stat s = backend_->Rmdir(dir, name, cred);
+  if (s == Stat::kOk) {
+    name_cache_.erase({Key(dir), name});
+    ForgetParentAttrs(dir);
+  }
+  return s;
+}
+
+Stat CachingFs::Rename(const FileHandle& from_dir, const std::string& from_name,
+                       const FileHandle& to_dir, const std::string& to_name,
+                       const Credentials& cred) {
+  Stat s = backend_->Rename(from_dir, from_name, to_dir, to_name, cred);
+  if (s == Stat::kOk) {
+    name_cache_.erase({Key(from_dir), from_name});
+    name_cache_.erase({Key(to_dir), to_name});
+    ForgetParentAttrs(from_dir);
+    ForgetParentAttrs(to_dir);
+  }
+  return s;
+}
+
+Stat CachingFs::Link(const FileHandle& target, const FileHandle& dir,
+                     const std::string& name, const Credentials& cred) {
+  Stat s = backend_->Link(target, dir, name, cred);
+  if (s == Stat::kOk) {
+    attr_cache_.erase(Key(target));  // nlink/ctime changed.
+    name_cache_[{Key(dir), name}] = NameEntry{target, clock_->now_ns()};  // Expired entry.
+    ForgetParentAttrs(dir);
+  }
+  return s;
+}
+
+Stat CachingFs::ReadDir(const FileHandle& dir, const Credentials& cred, uint64_t cookie,
+                        uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) {
+  return backend_->ReadDir(dir, cred, cookie, max_entries, entries, eof);
+}
+
+Stat CachingFs::FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) {
+  return backend_->FsStat(fh, total_bytes, used_bytes);
+}
+
+Stat CachingFs::Commit(const FileHandle& fh) { return backend_->Commit(fh); }
+
+void CachingFs::ForgetParentAttrs(const FileHandle& dir) {
+  // Plain NFS3 must re-fetch the parent's attributes after changing it.
+  // In lease mode the server's callbacks cover *other* clients' changes,
+  // and our own mutation does not invalidate what we know — this is a
+  // large part of the "enhanced caching" RPC savings (paper §3.3).
+  if (!options_.use_leases) {
+    attr_cache_.erase(Key(dir));
+  }
+}
+
+void CachingFs::InvalidateHandle(const FileHandle& fh) {
+  std::string key = Key(fh);
+  attr_cache_.erase(key);
+  ForgetData(key);
+  for (auto it = access_cache_.begin(); it != access_cache_.end();) {
+    if (it->first.first == key) {
+      it = access_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CachingFs::InvalidateAll() {
+  attr_cache_.clear();
+  name_cache_.clear();
+  access_cache_.clear();
+  data_cache_.clear();
+  data_cache_bytes_ = 0;
+}
+
+}  // namespace nfs

@@ -1,0 +1,363 @@
+#include "src/nfs/client.h"
+
+#include "src/xdr/xdr.h"
+
+namespace nfs {
+namespace {
+
+// Decodes a status word into Stat, mapping unknown values to kIo.
+Stat DecodeStat(uint32_t raw) {
+  switch (raw) {
+    case 0:
+      return Stat::kOk;
+    case 1:
+      return Stat::kPerm;
+    case 2:
+      return Stat::kNoEnt;
+    case 5:
+      return Stat::kIo;
+    case 13:
+      return Stat::kAccess;
+    case 17:
+      return Stat::kExist;
+    case 20:
+      return Stat::kNotDir;
+    case 21:
+      return Stat::kIsDir;
+    case 22:
+      return Stat::kInval;
+    case 28:
+      return Stat::kNoSpace;
+    case 30:
+      return Stat::kReadOnlyFs;
+    case 63:
+      return Stat::kNameTooLong;
+    case 66:
+      return Stat::kNotEmpty;
+    case 70:
+      return Stat::kStale;
+    case 10001:
+      return Stat::kBadHandle;
+    case 10004:
+      return Stat::kNotSupported;
+    default:
+      return Stat::kIo;
+  }
+}
+
+// Parses the common (fh, fattr) success payload.
+Stat ParseHandleAttr(util::Bytes results, FileHandle* out, Fattr* attr) {
+  xdr::Decoder dec(std::move(results));
+  auto fh = dec.GetOpaque();
+  if (!fh.ok()) {
+    return Stat::kIo;
+  }
+  auto parsed = Fattr::Decode(&dec);
+  if (!parsed.ok()) {
+    return Stat::kIo;
+  }
+  *out = std::move(fh).value();
+  *attr = parsed.value();
+  return Stat::kOk;
+}
+
+}  // namespace
+
+NfsClient::HeaderEncoder NfsClient::WireCredentialsEncoder() {
+  return [](xdr::Encoder* enc, const Credentials& cred) { cred.Encode(enc); };
+}
+
+Stat NfsClient::Invoke(uint32_t proc, const util::Bytes& args, util::Bytes* results) {
+  ++calls_sent_;
+  auto reply = call_(proc, args);
+  if (!reply.ok()) {
+    last_transport_error_ = reply.status();
+    return Stat::kIo;
+  }
+  xdr::Decoder dec(std::move(reply).value());
+  auto raw = dec.GetUint32();
+  if (!raw.ok()) {
+    return Stat::kIo;
+  }
+  Stat s = DecodeStat(raw.value());
+  if (s == Stat::kOk) {
+    *results = dec.TakeRemaining();
+  }
+  return s;
+}
+
+#define NFS_CLIENT_ENCODER(enc, cred)      \
+  xdr::Encoder enc;                        \
+  header_encoder_(&enc, (cred));
+
+Stat NfsClient::GetAttr(const FileHandle& fh, Fattr* attr) {
+  NFS_CLIENT_ENCODER(enc, Credentials::Anonymous());
+  enc.PutOpaque(fh);
+  util::Bytes results;
+  Stat s = Invoke(kProcGetAttr, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto parsed = Fattr::Decode(&dec);
+  if (!parsed.ok()) {
+    return Stat::kIo;
+  }
+  *attr = parsed.value();
+  return Stat::kOk;
+}
+
+Stat NfsClient::SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
+                        Fattr* attr) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(fh);
+  sattr.Encode(&enc);
+  util::Bytes results;
+  Stat s = Invoke(kProcSetAttr, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto parsed = Fattr::Decode(&dec);
+  if (!parsed.ok()) {
+    return Stat::kIo;
+  }
+  *attr = parsed.value();
+  return Stat::kOk;
+}
+
+Stat NfsClient::Lookup(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                       FileHandle* out, Fattr* attr) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(dir);
+  enc.PutString(name);
+  util::Bytes results;
+  Stat s = Invoke(kProcLookup, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  return ParseHandleAttr(std::move(results), out, attr);
+}
+
+Stat NfsClient::Access(const FileHandle& fh, const Credentials& cred, uint32_t want,
+                       uint32_t* allowed) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(fh);
+  enc.PutUint32(want);
+  util::Bytes results;
+  Stat s = Invoke(kProcAccess, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto v = dec.GetUint32();
+  if (!v.ok()) {
+    return Stat::kIo;
+  }
+  *allowed = v.value();
+  return Stat::kOk;
+}
+
+Stat NfsClient::ReadLink(const FileHandle& fh, const Credentials& cred, std::string* target) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(fh);
+  util::Bytes results;
+  Stat s = Invoke(kProcReadLink, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto v = dec.GetString();
+  if (!v.ok()) {
+    return Stat::kIo;
+  }
+  *target = std::move(v).value();
+  return Stat::kOk;
+}
+
+Stat NfsClient::Read(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                     uint32_t count, util::Bytes* data, bool* eof) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(fh);
+  enc.PutUint64(offset);
+  enc.PutUint32(count);
+  util::Bytes results;
+  Stat s = Invoke(kProcRead, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto d = dec.GetOpaque();
+  auto e = dec.GetBool();
+  if (!d.ok() || !e.ok()) {
+    return Stat::kIo;
+  }
+  *data = std::move(d).value();
+  *eof = e.value();
+  return Stat::kOk;
+}
+
+Stat NfsClient::Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                      const util::Bytes& data, bool stable, Fattr* attr) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(fh);
+  enc.PutUint64(offset);
+  enc.PutBool(stable);
+  enc.PutOpaque(data);
+  util::Bytes results;
+  Stat s = Invoke(kProcWrite, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto parsed = Fattr::Decode(&dec);
+  if (!parsed.ok()) {
+    return Stat::kIo;
+  }
+  *attr = parsed.value();
+  return Stat::kOk;
+}
+
+Stat NfsClient::Create(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                       const Sattr& sattr, FileHandle* out, Fattr* attr) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(dir);
+  enc.PutString(name);
+  sattr.Encode(&enc);
+  util::Bytes results;
+  Stat s = Invoke(kProcCreate, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  return ParseHandleAttr(std::move(results), out, attr);
+}
+
+Stat NfsClient::Mkdir(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                      uint32_t mode, FileHandle* out, Fattr* attr) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(dir);
+  enc.PutString(name);
+  enc.PutUint32(mode);
+  util::Bytes results;
+  Stat s = Invoke(kProcMkdir, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  return ParseHandleAttr(std::move(results), out, attr);
+}
+
+Stat NfsClient::Symlink(const FileHandle& dir, const std::string& name,
+                        const std::string& target, const Credentials& cred, FileHandle* out,
+                        Fattr* attr) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(dir);
+  enc.PutString(name);
+  enc.PutString(target);
+  util::Bytes results;
+  Stat s = Invoke(kProcSymlink, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  return ParseHandleAttr(std::move(results), out, attr);
+}
+
+Stat NfsClient::Remove(const FileHandle& dir, const std::string& name,
+                       const Credentials& cred) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(dir);
+  enc.PutString(name);
+  util::Bytes results;
+  return Invoke(kProcRemove, enc.Take(), &results);
+}
+
+Stat NfsClient::Rmdir(const FileHandle& dir, const std::string& name, const Credentials& cred) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(dir);
+  enc.PutString(name);
+  util::Bytes results;
+  return Invoke(kProcRmdir, enc.Take(), &results);
+}
+
+Stat NfsClient::Rename(const FileHandle& from_dir, const std::string& from_name,
+                       const FileHandle& to_dir, const std::string& to_name,
+                       const Credentials& cred) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(from_dir);
+  enc.PutString(from_name);
+  enc.PutOpaque(to_dir);
+  enc.PutString(to_name);
+  util::Bytes results;
+  return Invoke(kProcRename, enc.Take(), &results);
+}
+
+Stat NfsClient::Link(const FileHandle& target, const FileHandle& dir,
+                     const std::string& name, const Credentials& cred) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(target);
+  enc.PutOpaque(dir);
+  enc.PutString(name);
+  util::Bytes results;
+  return Invoke(kProcLink, enc.Take(), &results);
+}
+
+Stat NfsClient::ReadDir(const FileHandle& dir, const Credentials& cred, uint64_t cookie,
+                        uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) {
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(dir);
+  enc.PutUint64(cookie);
+  enc.PutUint32(max_entries);
+  util::Bytes results;
+  Stat s = Invoke(kProcReadDir, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto count = dec.GetUint32();
+  if (!count.ok() || count.value() > max_entries) {
+    return Stat::kIo;
+  }
+  entries->clear();
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto e = DirEntry::Decode(&dec);
+    if (!e.ok()) {
+      return Stat::kIo;
+    }
+    entries->push_back(std::move(e).value());
+  }
+  auto e = dec.GetBool();
+  if (!e.ok()) {
+    return Stat::kIo;
+  }
+  *eof = e.value();
+  return Stat::kOk;
+}
+
+Stat NfsClient::FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) {
+  NFS_CLIENT_ENCODER(enc, Credentials::Anonymous());
+  enc.PutOpaque(fh);
+  util::Bytes results;
+  Stat s = Invoke(kProcFsStat, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto total = dec.GetUint64();
+  auto used = dec.GetUint64();
+  if (!total.ok() || !used.ok()) {
+    return Stat::kIo;
+  }
+  *total_bytes = total.value();
+  *used_bytes = used.value();
+  return Stat::kOk;
+}
+
+Stat NfsClient::Commit(const FileHandle& fh) {
+  NFS_CLIENT_ENCODER(enc, Credentials::Anonymous());
+  enc.PutOpaque(fh);
+  util::Bytes results;
+  return Invoke(kProcCommit, enc.Take(), &results);
+}
+
+#undef NFS_CLIENT_ENCODER
+
+}  // namespace nfs

@@ -1,0 +1,85 @@
+// Client-side NFS stub: implements FileSystemApi by marshaling each
+// operation through a call function (a plain rpc::Client for NFS 3, or
+// the SFS secure channel for remote SFS mounts).
+#ifndef SFS_SRC_NFS_CLIENT_H_
+#define SFS_SRC_NFS_CLIENT_H_
+
+#include <functional>
+
+#include "src/nfs/api.h"
+#include "src/xdr/xdr.h"
+#include "src/nfs/types.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace nfs {
+
+// Issues one NFS call: (proc, marshaled args) -> marshaled results.
+using CallFn =
+    std::function<util::Result<util::Bytes>(uint32_t proc, const util::Bytes& args)>;
+
+class NfsClient : public FileSystemApi {
+ public:
+  // Writes the per-request authentication header.  Plain NFS 3 marshals
+  // the caller's claimed credentials (AUTH_UNIX — trusted by the server,
+  // which is the weakness SFS fixes).  SFS mounts instead write the
+  // session's authentication number for this user; the server maps it to
+  // credentials established by the authserver, never trusting the wire.
+  using HeaderEncoder = std::function<void(xdr::Encoder*, const Credentials&)>;
+
+  NfsClient(CallFn call, HeaderEncoder header_encoder)
+      : call_(std::move(call)), header_encoder_(std::move(header_encoder)) {}
+
+  // The plain-NFS header: marshaled AUTH_UNIX-style credentials.
+  static HeaderEncoder WireCredentialsEncoder();
+
+  Stat GetAttr(const FileHandle& fh, Fattr* attr) override;
+  Stat SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
+               Fattr* attr) override;
+  Stat Lookup(const FileHandle& dir, const std::string& name, const Credentials& cred,
+              FileHandle* out, Fattr* attr) override;
+  Stat Access(const FileHandle& fh, const Credentials& cred, uint32_t want,
+              uint32_t* allowed) override;
+  Stat ReadLink(const FileHandle& fh, const Credentials& cred, std::string* target) override;
+  Stat Read(const FileHandle& fh, const Credentials& cred, uint64_t offset, uint32_t count,
+            util::Bytes* data, bool* eof) override;
+  Stat Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+             const util::Bytes& data, bool stable, Fattr* attr) override;
+  Stat Create(const FileHandle& dir, const std::string& name, const Credentials& cred,
+              const Sattr& sattr, FileHandle* out, Fattr* attr) override;
+  Stat Mkdir(const FileHandle& dir, const std::string& name, const Credentials& cred,
+             uint32_t mode, FileHandle* out, Fattr* attr) override;
+  Stat Symlink(const FileHandle& dir, const std::string& name, const std::string& target,
+               const Credentials& cred, FileHandle* out, Fattr* attr) override;
+  Stat Remove(const FileHandle& dir, const std::string& name, const Credentials& cred) override;
+  Stat Rmdir(const FileHandle& dir, const std::string& name, const Credentials& cred) override;
+  Stat Rename(const FileHandle& from_dir, const std::string& from_name,
+              const FileHandle& to_dir, const std::string& to_name,
+              const Credentials& cred) override;
+  Stat Link(const FileHandle& target, const FileHandle& dir, const std::string& name,
+            const Credentials& cred) override;
+  Stat ReadDir(const FileHandle& dir, const Credentials& cred, uint64_t cookie,
+               uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) override;
+  Stat FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) override;
+  Stat Commit(const FileHandle& fh) override;
+
+  // Number of calls actually sent (cache-effect instrumentation).
+  uint64_t calls_sent() const { return calls_sent_; }
+
+  // Last transport-level (non-NFS) error, if a call returned kIo.
+  const util::Status& last_transport_error() const { return last_transport_error_; }
+
+ private:
+  // Runs one call; returns the result decoder positioned after the status
+  // word, or a Stat error (transport failures map to kIo).
+  Stat Invoke(uint32_t proc, const util::Bytes& args, util::Bytes* results);
+
+  CallFn call_;
+  HeaderEncoder header_encoder_;
+  uint64_t calls_sent_ = 0;
+  util::Status last_transport_error_;
+};
+
+}  // namespace nfs
+
+#endif  // SFS_SRC_NFS_CLIENT_H_

@@ -1,0 +1,690 @@
+#include "src/nfs/memfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nfs {
+namespace {
+
+// Handle layout: fsid(8) || fileid(8) || generation(8) || secret(8).
+// The trailing secret is what makes plain-NFS handles guessable on weak
+// servers (paper §3.3); SFS encrypts the whole handle before exposing it.
+void PutU64(util::Bytes* out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint64_t GetU64(const util::Bytes& b, size_t off) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | b[off + i];
+  }
+  return v;
+}
+
+}  // namespace
+
+MemFs::MemFs(sim::Clock* clock, sim::Disk* disk, Options options)
+    : clock_(clock), disk_(disk), options_(options) {
+  Inode root;
+  root.id = next_id_++;
+  root.type = FileType::kDirectory;
+  root.mode = 0777;  // World-writable export root, like a shared /tmp.
+  root.nlink = 2;
+  root.atime_ns = root.mtime_ns = root.ctime_ns = clock_->now_ns();
+  root_id_ = root.id;
+  inodes_[root.id] = std::move(root);
+}
+
+FileHandle MemFs::root_handle() const {
+  auto it = inodes_.find(root_id_);
+  assert(it != inodes_.end());
+  return EncodeHandle(it->second);
+}
+
+MemFs::Inode* MemFs::FindInode(uint64_t id) {
+  auto it = inodes_.find(id);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+FileHandle MemFs::EncodeHandle(const Inode& inode) const {
+  FileHandle fh;
+  fh.reserve(kFileHandleSize);
+  PutU64(&fh, options_.fsid);
+  PutU64(&fh, inode.id);
+  PutU64(&fh, inode.generation);
+  PutU64(&fh, options_.handle_secret);
+  return fh;
+}
+
+MemFs::Inode* MemFs::DecodeHandle(const FileHandle& fh) {
+  if (fh.size() != kFileHandleSize) {
+    return nullptr;
+  }
+  if (GetU64(fh, 0) != options_.fsid || GetU64(fh, 24) != options_.handle_secret) {
+    return nullptr;
+  }
+  Inode* inode = FindInode(GetU64(fh, 8));
+  if (inode == nullptr || inode->generation != GetU64(fh, 16)) {
+    return nullptr;
+  }
+  return inode;
+}
+
+MemFs::Inode* MemFs::CreateInode(FileType type, uint32_t mode, const Credentials& cred) {
+  Inode inode;
+  inode.id = next_id_++;
+  inode.type = type;
+  inode.mode = mode & 07777;
+  inode.uid = cred.uid;
+  inode.gid = cred.gids.empty() ? cred.uid : cred.gids[0];
+  inode.nlink = type == FileType::kDirectory ? 2 : 1;
+  inode.atime_ns = inode.mtime_ns = inode.ctime_ns = clock_->now_ns();
+  uint64_t id = inode.id;
+  inodes_[id] = std::move(inode);
+  return &inodes_[id];
+}
+
+bool MemFs::CheckAccess(const Inode& inode, const Credentials& cred, uint32_t want) const {
+  if (cred.IsSuperuser()) {
+    return true;
+  }
+  uint32_t shift;
+  if (cred.uid == inode.uid) {
+    shift = 6;
+  } else if (cred.HasGid(inode.gid)) {
+    shift = 3;
+  } else {
+    shift = 0;
+  }
+  uint32_t rwx = (inode.mode >> shift) & 7;
+  uint32_t need = 0;
+  if (want & (kAccessRead | kAccessLookup)) {
+    need |= (want & kAccessRead) ? 4 : 0;
+  }
+  if (want & kAccessLookup) {
+    need |= 1;  // Directory search is the execute bit.
+  }
+  if (want & (kAccessModify | kAccessExtend | kAccessDelete)) {
+    need |= 2;
+  }
+  if (want & kAccessExecute) {
+    need |= 1;
+  }
+  return (rwx & need) == need;
+}
+
+void MemFs::Touch(Inode* inode, bool data_changed) {
+  uint64_t now = clock_->now_ns();
+  inode->ctime_ns = now;
+  if (data_changed) {
+    inode->mtime_ns = now;
+  }
+  ++change_counter_;
+}
+
+bool MemFs::NameOk(const std::string& name) {
+  if (name.empty() || name.size() > 255 || name == "." || name == "..") {
+    return false;
+  }
+  return name.find('/') == std::string::npos;
+}
+
+Stat MemFs::GetAttr(const FileHandle& fh, Fattr* attr) {
+  Inode* inode = DecodeHandle(fh);
+  if (inode == nullptr) {
+    return Stat::kStale;
+  }
+  attr->type = inode->type;
+  attr->mode = inode->mode;
+  attr->nlink = inode->nlink;
+  attr->uid = inode->uid;
+  attr->gid = inode->gid;
+  attr->size = inode->type == FileType::kSymlink ? inode->symlink_target.size() : inode->size;
+  attr->used = inode->chunks.size() * kBlockSize;
+  attr->fsid = options_.fsid;
+  attr->fileid = inode->id;
+  attr->atime_ns = inode->atime_ns;
+  attr->mtime_ns = inode->mtime_ns;
+  attr->ctime_ns = inode->ctime_ns;
+  attr->lease_ns = 0;
+  return Stat::kOk;
+}
+
+Stat MemFs::SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
+                    Fattr* attr) {
+  Inode* inode = DecodeHandle(fh);
+  if (inode == nullptr) {
+    return Stat::kStale;
+  }
+  if (options_.read_only) {
+    return Stat::kReadOnlyFs;
+  }
+  // chown/chgrp: superuser only.  chmod: owner or superuser.  truncate:
+  // write permission.
+  if ((sattr.uid.has_value() || sattr.gid.has_value()) && !cred.IsSuperuser()) {
+    return Stat::kPerm;
+  }
+  if (sattr.mode.has_value() && !cred.IsSuperuser() && cred.uid != inode->uid) {
+    return Stat::kPerm;
+  }
+  if (sattr.size.has_value()) {
+    if (inode->type != FileType::kRegular) {
+      return Stat::kInval;
+    }
+    if (!CheckAccess(*inode, cred, kAccessModify)) {
+      return Stat::kAccess;
+    }
+  }
+
+  if (sattr.mode.has_value()) {
+    inode->mode = *sattr.mode & 07777;
+  }
+  if (sattr.uid.has_value()) {
+    inode->uid = *sattr.uid;
+  }
+  if (sattr.gid.has_value()) {
+    inode->gid = *sattr.gid;
+  }
+  if (sattr.size.has_value()) {
+    uint64_t new_size = *sattr.size;
+    if (new_size < inode->size) {
+      // Drop chunks beyond the new size.
+      uint64_t first_dead_block = (new_size + kBlockSize - 1) / kBlockSize;
+      inode->chunks.erase(inode->chunks.lower_bound(first_dead_block), inode->chunks.end());
+      for (auto it = inode->cold_blocks.lower_bound(first_dead_block);
+           it != inode->cold_blocks.end();) {
+        it = inode->cold_blocks.erase(it);
+      }
+      // Zero the tail of the boundary chunk.
+      uint64_t boundary = new_size / kBlockSize;
+      auto it = inode->chunks.find(boundary);
+      if (it != inode->chunks.end()) {
+        std::fill(it->second.begin() + static_cast<long>(new_size % kBlockSize),
+                  it->second.end(), 0);
+      }
+    }
+    inode->size = new_size;
+    disk_->ChargeMetaUpdate();
+  }
+  Touch(inode, sattr.size.has_value() || sattr.touch_mtime);
+  return GetAttr(fh, attr);
+}
+
+Stat MemFs::Lookup(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                   FileHandle* out, Fattr* attr) {
+  Inode* parent = DecodeHandle(dir);
+  if (parent == nullptr) {
+    return Stat::kStale;
+  }
+  if (parent->type != FileType::kDirectory) {
+    return Stat::kNotDir;
+  }
+  if (!CheckAccess(*parent, cred, kAccessLookup)) {
+    return Stat::kAccess;
+  }
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) {
+    return Stat::kNoEnt;
+  }
+  Inode* child = FindInode(it->second);
+  assert(child != nullptr);
+  *out = EncodeHandle(*child);
+  return GetAttr(*out, attr);
+}
+
+Stat MemFs::Access(const FileHandle& fh, const Credentials& cred, uint32_t want,
+                   uint32_t* allowed) {
+  Inode* inode = DecodeHandle(fh);
+  if (inode == nullptr) {
+    return Stat::kStale;
+  }
+  *allowed = 0;
+  for (uint32_t bit :
+       {kAccessRead, kAccessLookup, kAccessModify, kAccessExtend, kAccessDelete,
+        kAccessExecute}) {
+    if ((want & bit) && CheckAccess(*inode, cred, bit)) {
+      *allowed |= bit;
+    }
+  }
+  if (options_.read_only) {
+    *allowed &= ~(kAccessModify | kAccessExtend | kAccessDelete);
+  }
+  return Stat::kOk;
+}
+
+Stat MemFs::ReadLink(const FileHandle& fh, const Credentials& cred, std::string* target) {
+  (void)cred;  // Readlink requires no permission bits in POSIX.
+  Inode* inode = DecodeHandle(fh);
+  if (inode == nullptr) {
+    return Stat::kStale;
+  }
+  if (inode->type != FileType::kSymlink) {
+    return Stat::kInval;
+  }
+  *target = inode->symlink_target;
+  return Stat::kOk;
+}
+
+Stat MemFs::Read(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                 uint32_t count, util::Bytes* data, bool* eof) {
+  Inode* inode = DecodeHandle(fh);
+  if (inode == nullptr) {
+    return Stat::kStale;
+  }
+  if (inode->type == FileType::kDirectory) {
+    return Stat::kIsDir;
+  }
+  if (inode->type != FileType::kRegular) {
+    return Stat::kInval;
+  }
+  if (!CheckAccess(*inode, cred, kAccessRead)) {
+    return Stat::kAccess;
+  }
+
+  data->clear();
+  if (offset >= inode->size) {
+    *eof = true;
+    return Stat::kOk;
+  }
+  uint64_t len = std::min<uint64_t>(count, inode->size - offset);
+  data->resize(len, 0);
+  uint64_t first_block = offset / kBlockSize;
+  uint64_t last_block = (offset + len - 1) / kBlockSize;
+  for (uint64_t block = first_block; block <= last_block; ++block) {
+    // Cold blocks charge the disk model once, then join the buffer cache.
+    auto cold = inode->cold_blocks.find(block);
+    if (cold != inode->cold_blocks.end()) {
+      disk_->ChargeRead(inode->id, block * kBlockSize, kBlockSize);
+      inode->cold_blocks.erase(cold);
+    }
+    auto chunk = inode->chunks.find(block);
+    if (chunk == inode->chunks.end()) {
+      continue;  // Hole: zeros.
+    }
+    uint64_t block_start = block * kBlockSize;
+    uint64_t copy_from = std::max(offset, block_start);
+    uint64_t copy_to = std::min(offset + len, block_start + kBlockSize);
+    std::copy(chunk->second.begin() + static_cast<long>(copy_from - block_start),
+              chunk->second.begin() + static_cast<long>(copy_to - block_start),
+              data->begin() + static_cast<long>(copy_from - offset));
+  }
+  inode->atime_ns = clock_->now_ns();
+  *eof = offset + len >= inode->size;
+  return Stat::kOk;
+}
+
+Stat MemFs::Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                  const util::Bytes& data, bool stable, Fattr* attr) {
+  Inode* inode = DecodeHandle(fh);
+  if (inode == nullptr) {
+    return Stat::kStale;
+  }
+  if (options_.read_only) {
+    return Stat::kReadOnlyFs;
+  }
+  if (inode->type == FileType::kDirectory) {
+    return Stat::kIsDir;
+  }
+  if (inode->type != FileType::kRegular) {
+    return Stat::kInval;
+  }
+  if (!CheckAccess(*inode, cred, kAccessModify)) {
+    return Stat::kAccess;
+  }
+
+  for (uint64_t pos = 0; pos < data.size();) {
+    uint64_t abs = offset + pos;
+    uint64_t block = abs / kBlockSize;
+    uint64_t block_off = abs % kBlockSize;
+    uint64_t n = std::min<uint64_t>(kBlockSize - block_off, data.size() - pos);
+    auto& chunk = inode->chunks[block];
+    if (chunk.empty()) {
+      chunk.resize(kBlockSize, 0);
+    }
+    std::copy(data.begin() + static_cast<long>(pos),
+              data.begin() + static_cast<long>(pos + n),
+              chunk.begin() + static_cast<long>(block_off));
+    inode->cold_blocks.erase(block);  // Freshly written data is cached.
+    pos += n;
+  }
+  inode->size = std::max(inode->size, offset + data.size());
+  disk_->BufferWrite(data.size());
+  if (stable) {
+    disk_->ChargeCommit();
+  }
+  Touch(inode, /*data_changed=*/true);
+  return GetAttr(fh, attr);
+}
+
+Stat MemFs::Create(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                   const Sattr& sattr, FileHandle* out, Fattr* attr) {
+  Inode* parent = DecodeHandle(dir);
+  if (parent == nullptr) {
+    return Stat::kStale;
+  }
+  if (options_.read_only) {
+    return Stat::kReadOnlyFs;
+  }
+  if (parent->type != FileType::kDirectory) {
+    return Stat::kNotDir;
+  }
+  if (!NameOk(name)) {
+    return name.size() > 255 ? Stat::kNameTooLong : Stat::kInval;
+  }
+  if (!CheckAccess(*parent, cred, kAccessModify)) {
+    return Stat::kAccess;
+  }
+  if (parent->children.count(name) != 0) {
+    return Stat::kExist;
+  }
+  Inode* child = CreateInode(FileType::kRegular, sattr.mode.value_or(0644), cred);
+  parent = DecodeHandle(dir);  // CreateInode may rehash the inode table.
+  parent->children[name] = child->id;
+  disk_->ChargeMetaUpdate();
+  Touch(parent, /*data_changed=*/true);
+  *out = EncodeHandle(*child);
+  return GetAttr(*out, attr);
+}
+
+Stat MemFs::Mkdir(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                  uint32_t mode, FileHandle* out, Fattr* attr) {
+  Inode* parent = DecodeHandle(dir);
+  if (parent == nullptr) {
+    return Stat::kStale;
+  }
+  if (options_.read_only) {
+    return Stat::kReadOnlyFs;
+  }
+  if (parent->type != FileType::kDirectory) {
+    return Stat::kNotDir;
+  }
+  if (!NameOk(name)) {
+    return name.size() > 255 ? Stat::kNameTooLong : Stat::kInval;
+  }
+  if (!CheckAccess(*parent, cred, kAccessModify)) {
+    return Stat::kAccess;
+  }
+  if (parent->children.count(name) != 0) {
+    return Stat::kExist;
+  }
+  Inode* child = CreateInode(FileType::kDirectory, mode, cred);
+  parent = DecodeHandle(dir);
+  parent->children[name] = child->id;
+  ++parent->nlink;
+  disk_->ChargeMetaUpdate();
+  Touch(parent, /*data_changed=*/true);
+  *out = EncodeHandle(*child);
+  return GetAttr(*out, attr);
+}
+
+Stat MemFs::Symlink(const FileHandle& dir, const std::string& name, const std::string& target,
+                    const Credentials& cred, FileHandle* out, Fattr* attr) {
+  Inode* parent = DecodeHandle(dir);
+  if (parent == nullptr) {
+    return Stat::kStale;
+  }
+  if (options_.read_only) {
+    return Stat::kReadOnlyFs;
+  }
+  if (parent->type != FileType::kDirectory) {
+    return Stat::kNotDir;
+  }
+  if (!NameOk(name) || target.empty() || target.size() > 1024) {
+    return Stat::kInval;
+  }
+  if (!CheckAccess(*parent, cred, kAccessModify)) {
+    return Stat::kAccess;
+  }
+  if (parent->children.count(name) != 0) {
+    return Stat::kExist;
+  }
+  Inode* child = CreateInode(FileType::kSymlink, 0777, cred);
+  child->symlink_target = target;
+  parent = DecodeHandle(dir);
+  parent->children[name] = child->id;
+  disk_->ChargeMetaUpdate();
+  Touch(parent, /*data_changed=*/true);
+  *out = EncodeHandle(*child);
+  return GetAttr(*out, attr);
+}
+
+Stat MemFs::RemoveCommon(const FileHandle& dir, const std::string& name,
+                         const Credentials& cred, bool want_dir) {
+  Inode* parent = DecodeHandle(dir);
+  if (parent == nullptr) {
+    return Stat::kStale;
+  }
+  if (options_.read_only) {
+    return Stat::kReadOnlyFs;
+  }
+  if (parent->type != FileType::kDirectory) {
+    return Stat::kNotDir;
+  }
+  if (!CheckAccess(*parent, cred, kAccessModify)) {
+    return Stat::kAccess;
+  }
+  auto it = parent->children.find(name);
+  if (it == parent->children.end()) {
+    return Stat::kNoEnt;
+  }
+  Inode* victim = FindInode(it->second);
+  assert(victim != nullptr);
+  if (want_dir) {
+    if (victim->type != FileType::kDirectory) {
+      return Stat::kNotDir;
+    }
+    if (!victim->children.empty()) {
+      return Stat::kNotEmpty;
+    }
+    --parent->nlink;
+  } else if (victim->type == FileType::kDirectory) {
+    return Stat::kIsDir;
+  }
+  uint64_t victim_id = it->second;
+  parent->children.erase(it);
+  // Hard links: the inode survives until its last name goes away.
+  if (victim->type == FileType::kDirectory || --victim->nlink == 0) {
+    inodes_.erase(victim_id);
+  } else {
+    Touch(victim, /*data_changed=*/false);
+  }
+  disk_->ChargeMetaUpdate();
+  Touch(DecodeHandle(dir), /*data_changed=*/true);
+  return Stat::kOk;
+}
+
+Stat MemFs::Remove(const FileHandle& dir, const std::string& name, const Credentials& cred) {
+  return RemoveCommon(dir, name, cred, /*want_dir=*/false);
+}
+
+Stat MemFs::Rmdir(const FileHandle& dir, const std::string& name, const Credentials& cred) {
+  return RemoveCommon(dir, name, cred, /*want_dir=*/true);
+}
+
+Stat MemFs::Rename(const FileHandle& from_dir, const std::string& from_name,
+                   const FileHandle& to_dir, const std::string& to_name,
+                   const Credentials& cred) {
+  Inode* src = DecodeHandle(from_dir);
+  Inode* dst = DecodeHandle(to_dir);
+  if (src == nullptr || dst == nullptr) {
+    return Stat::kStale;
+  }
+  if (options_.read_only) {
+    return Stat::kReadOnlyFs;
+  }
+  if (src->type != FileType::kDirectory || dst->type != FileType::kDirectory) {
+    return Stat::kNotDir;
+  }
+  if (!NameOk(to_name)) {
+    return Stat::kInval;
+  }
+  if (!CheckAccess(*src, cred, kAccessModify) || !CheckAccess(*dst, cred, kAccessModify)) {
+    return Stat::kAccess;
+  }
+  auto it = src->children.find(from_name);
+  if (it == src->children.end()) {
+    return Stat::kNoEnt;
+  }
+  uint64_t moving = it->second;
+  auto existing = dst->children.find(to_name);
+  if (existing != dst->children.end() && existing->second == moving) {
+    return Stat::kOk;  // Renaming a file onto itself is a no-op (POSIX).
+  }
+  if (existing != dst->children.end()) {
+    Inode* old = FindInode(existing->second);
+    if (old->type == FileType::kDirectory) {
+      if (!old->children.empty()) {
+        return Stat::kNotEmpty;
+      }
+      --dst->nlink;
+      inodes_.erase(existing->second);
+    } else if (--old->nlink == 0) {
+      inodes_.erase(existing->second);
+    }
+  }
+  src->children.erase(from_name);
+  dst = DecodeHandle(to_dir);
+  src = DecodeHandle(from_dir);
+  dst->children[to_name] = moving;
+  Inode* moved = FindInode(moving);
+  if (moved->type == FileType::kDirectory && src != dst) {
+    --src->nlink;
+    ++dst->nlink;
+  }
+  disk_->ChargeMetaUpdate();
+  Touch(src, /*data_changed=*/true);
+  if (src != dst) {
+    Touch(dst, /*data_changed=*/true);
+  }
+  return Stat::kOk;
+}
+
+Stat MemFs::Link(const FileHandle& target, const FileHandle& dir, const std::string& name,
+                 const Credentials& cred) {
+  Inode* inode = DecodeHandle(target);
+  Inode* parent = DecodeHandle(dir);
+  if (inode == nullptr || parent == nullptr) {
+    return Stat::kStale;
+  }
+  if (options_.read_only) {
+    return Stat::kReadOnlyFs;
+  }
+  if (inode->type == FileType::kDirectory) {
+    return Stat::kIsDir;  // Hard links to directories are forbidden.
+  }
+  if (parent->type != FileType::kDirectory) {
+    return Stat::kNotDir;
+  }
+  if (!NameOk(name)) {
+    return name.size() > 255 ? Stat::kNameTooLong : Stat::kInval;
+  }
+  if (!CheckAccess(*parent, cred, kAccessModify)) {
+    return Stat::kAccess;
+  }
+  if (parent->children.count(name) != 0) {
+    return Stat::kExist;
+  }
+  parent->children[name] = inode->id;
+  ++inode->nlink;
+  disk_->ChargeMetaUpdate();
+  Touch(parent, /*data_changed=*/true);
+  Touch(inode, /*data_changed=*/false);
+  return Stat::kOk;
+}
+
+Stat MemFs::ReadDir(const FileHandle& dir, const Credentials& cred, uint64_t cookie,
+                    uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) {
+  Inode* parent = DecodeHandle(dir);
+  if (parent == nullptr) {
+    return Stat::kStale;
+  }
+  if (parent->type != FileType::kDirectory) {
+    return Stat::kNotDir;
+  }
+  if (!CheckAccess(*parent, cred, kAccessRead)) {
+    return Stat::kAccess;
+  }
+  entries->clear();
+  uint64_t index = 0;
+  *eof = true;
+  for (const auto& [name, id] : parent->children) {
+    ++index;
+    if (index <= cookie) {
+      continue;
+    }
+    if (entries->size() >= max_entries) {
+      *eof = false;
+      break;
+    }
+    entries->push_back(DirEntry{id, name, index});
+  }
+  parent->atime_ns = clock_->now_ns();
+  return Stat::kOk;
+}
+
+Stat MemFs::FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) {
+  if (DecodeHandle(fh) == nullptr) {
+    return Stat::kStale;
+  }
+  uint64_t used = 0;
+  for (const auto& [id, inode] : inodes_) {
+    used += inode.chunks.size() * kBlockSize;
+  }
+  *total_bytes = 9ull << 30;  // The testbed's 9 GB SCSI disk.
+  *used_bytes = used;
+  return Stat::kOk;
+}
+
+Stat MemFs::Commit(const FileHandle& fh) {
+  if (DecodeHandle(fh) == nullptr) {
+    return Stat::kStale;
+  }
+  disk_->ChargeCommit();
+  return Stat::kOk;
+}
+
+Stat MemFs::AddColdFile(const FileHandle& dir, const std::string& name,
+                        const util::Bytes& content, uint32_t mode, uint32_t uid) {
+  Credentials cred = Credentials::User(uid);
+  cred.uid = 0;  // Setup runs as root; ownership set below.
+  Sattr sattr;
+  sattr.mode = mode;
+  FileHandle fh;
+  Fattr attr;
+  Stat s = Create(dir, name, cred, sattr, &fh, &attr);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  s = Write(fh, cred, 0, content, /*stable=*/false, &attr);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  Inode* inode = DecodeHandle(fh);
+  inode->uid = uid;
+  // Everything just written becomes "on disk, cold".
+  for (const auto& [block, chunk] : inode->chunks) {
+    inode->cold_blocks.insert(block);
+  }
+  disk_->DiscardDirty();  // Setup writes are free.
+  return Stat::kOk;
+}
+
+void MemFs::DropCaches() {
+  for (auto& [id, inode] : inodes_) {
+    for (const auto& [block, chunk] : inode.chunks) {
+      inode.cold_blocks.insert(block);
+    }
+  }
+  disk_->DiscardDirty();
+}
+
+void MemFs::InvalidateHandles(const FileHandle& fh) {
+  Inode* inode = DecodeHandle(fh);
+  if (inode != nullptr) {
+    ++inode->generation;
+  }
+}
+
+}  // namespace nfs

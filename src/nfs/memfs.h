@@ -1,0 +1,134 @@
+// In-memory NFS3-semantics file server with a disk-cost model.
+//
+// This is the substrate under both the plain-NFS baseline and the SFS
+// server (which, per the paper §3, "acts as an NFS client, passing the
+// request to an NFS server on the same machine").  Files are stored
+// sparsely in 8 KB chunks, so the paper's 1,000 MB sparse-file throughput
+// benchmark (§4.2) costs no memory; a per-block cold/cached state feeds
+// the sim::Disk model so cold reads pay seek+transfer and re-reads are
+// served from the buffer cache.
+#ifndef SFS_SRC_NFS_MEMFS_H_
+#define SFS_SRC_NFS_MEMFS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/nfs/api.h"
+#include "src/nfs/types.h"
+#include "src/sim/clock.h"
+#include "src/sim/disk.h"
+#include "src/util/bytes.h"
+
+namespace nfs {
+
+inline constexpr uint64_t kBlockSize = 8192;
+
+class MemFs : public FileSystemApi {
+ public:
+  struct Options {
+    uint64_t fsid = 1;
+    uint64_t handle_secret = 0x5f5fa1b2c3d4e5f6;  // Per-fs handle secret.
+    bool read_only = false;
+  };
+
+  MemFs(sim::Clock* clock, sim::Disk* disk, Options options);
+
+  FileHandle root_handle() const;
+
+  // --- NFS3 procedures (all return Stat; out-params on kOk) ---
+  Stat GetAttr(const FileHandle& fh, Fattr* attr) override;
+  Stat SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr, Fattr* attr) override;
+  Stat Lookup(const FileHandle& dir, const std::string& name, const Credentials& cred,
+              FileHandle* out, Fattr* attr) override;
+  Stat Access(const FileHandle& fh, const Credentials& cred, uint32_t want, uint32_t* allowed) override;
+  Stat ReadLink(const FileHandle& fh, const Credentials& cred, std::string* target) override;
+  Stat Read(const FileHandle& fh, const Credentials& cred, uint64_t offset, uint32_t count,
+            util::Bytes* data, bool* eof) override;
+  Stat Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+             const util::Bytes& data, bool stable, Fattr* attr) override;
+  Stat Create(const FileHandle& dir, const std::string& name, const Credentials& cred,
+              const Sattr& sattr, FileHandle* out, Fattr* attr) override;
+  Stat Mkdir(const FileHandle& dir, const std::string& name, const Credentials& cred,
+             uint32_t mode, FileHandle* out, Fattr* attr) override;
+  Stat Symlink(const FileHandle& dir, const std::string& name, const std::string& target,
+               const Credentials& cred, FileHandle* out, Fattr* attr) override;
+  Stat Remove(const FileHandle& dir, const std::string& name, const Credentials& cred) override;
+  Stat Rmdir(const FileHandle& dir, const std::string& name, const Credentials& cred) override;
+  Stat Rename(const FileHandle& from_dir, const std::string& from_name,
+              const FileHandle& to_dir, const std::string& to_name, const Credentials& cred) override;
+  Stat Link(const FileHandle& target, const FileHandle& dir, const std::string& name,
+            const Credentials& cred) override;
+  Stat ReadDir(const FileHandle& dir, const Credentials& cred, uint64_t cookie,
+               uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) override;
+  Stat FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) override;
+  Stat Commit(const FileHandle& fh) override;
+
+  // --- Setup helpers (not part of the protocol) ---
+  // Creates a file whose blocks are "on disk, not in the buffer cache":
+  // first reads charge the disk model.  Parent directories are not
+  // created; use the directory ops for those.
+  Stat AddColdFile(const FileHandle& dir, const std::string& name, const util::Bytes& content,
+                   uint32_t mode = 0644, uint32_t uid = 0);
+  // Marks every cached block of every file cold again (benchmark phase
+  // separation, "unmount/remount" analog).
+  void DropCaches();
+  // Generation bump: invalidates all outstanding handles for a file
+  // (used by tests exercising NFS3ERR_STALE).
+  void InvalidateHandles(const FileHandle& fh);
+
+  uint64_t fsid() const { return options_.fsid; }
+
+  // Change counter bumped on every mutation; cheap cache-coherence probe
+  // for the SFS server's lease callbacks.
+  uint64_t change_counter() const { return change_counter_; }
+
+ private:
+  struct Inode {
+    uint64_t id = 0;
+    FileType type = FileType::kRegular;
+    uint32_t mode = 0644;
+    uint32_t uid = 0;
+    uint32_t gid = 0;
+    uint32_t nlink = 1;
+    uint64_t generation = 1;
+    uint64_t size = 0;
+    uint64_t atime_ns = 0;
+    uint64_t mtime_ns = 0;
+    uint64_t ctime_ns = 0;
+
+    // Regular files: sparse chunk store + cold (on-disk) block set.
+    std::map<uint64_t, util::Bytes> chunks;  // block index -> kBlockSize bytes
+    std::set<uint64_t> cold_blocks;
+
+    // Directories: name -> inode id, sorted for stable readdir cookies.
+    std::map<std::string, uint64_t> children;
+
+    // Symlinks.
+    std::string symlink_target;
+  };
+
+  Inode* FindInode(uint64_t id);
+  Inode* DecodeHandle(const FileHandle& fh);
+  FileHandle EncodeHandle(const Inode& inode) const;
+  Inode* CreateInode(FileType type, uint32_t mode, const Credentials& cred);
+  bool CheckAccess(const Inode& inode, const Credentials& cred, uint32_t want) const;
+  void Touch(Inode* inode, bool data_changed);
+  Stat RemoveCommon(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                    bool want_dir);
+  static bool NameOk(const std::string& name);
+
+  sim::Clock* clock_;
+  sim::Disk* disk_;
+  Options options_;
+  std::map<uint64_t, Inode> inodes_;
+  uint64_t next_id_ = 1;
+  uint64_t root_id_ = 0;
+  uint64_t change_counter_ = 0;
+};
+
+}  // namespace nfs
+
+#endif  // SFS_SRC_NFS_MEMFS_H_

@@ -1,0 +1,228 @@
+#include "src/nfs/types.h"
+
+namespace nfs {
+
+const char* StatName(Stat s) {
+  switch (s) {
+    case Stat::kOk:
+      return "NFS3_OK";
+    case Stat::kPerm:
+      return "NFS3ERR_PERM";
+    case Stat::kNoEnt:
+      return "NFS3ERR_NOENT";
+    case Stat::kIo:
+      return "NFS3ERR_IO";
+    case Stat::kAccess:
+      return "NFS3ERR_ACCES";
+    case Stat::kExist:
+      return "NFS3ERR_EXIST";
+    case Stat::kNotDir:
+      return "NFS3ERR_NOTDIR";
+    case Stat::kIsDir:
+      return "NFS3ERR_ISDIR";
+    case Stat::kInval:
+      return "NFS3ERR_INVAL";
+    case Stat::kNoSpace:
+      return "NFS3ERR_NOSPC";
+    case Stat::kReadOnlyFs:
+      return "NFS3ERR_ROFS";
+    case Stat::kNameTooLong:
+      return "NFS3ERR_NAMETOOLONG";
+    case Stat::kNotEmpty:
+      return "NFS3ERR_NOTEMPTY";
+    case Stat::kStale:
+      return "NFS3ERR_STALE";
+    case Stat::kBadHandle:
+      return "NFS3ERR_BADHANDLE";
+    case Stat::kNotSupported:
+      return "NFS3ERR_NOTSUPP";
+  }
+  return "NFS3ERR_?";
+}
+
+util::Status ToStatus(Stat s, const std::string& context) {
+  std::string msg = context.empty() ? StatName(s) : context + ": " + StatName(s);
+  switch (s) {
+    case Stat::kOk:
+      return util::OkStatus();
+    case Stat::kNoEnt:
+      return util::NotFound(msg);
+    case Stat::kPerm:
+    case Stat::kAccess:
+    case Stat::kReadOnlyFs:
+      return util::PermissionDenied(msg);
+    case Stat::kExist:
+      return util::AlreadyExists(msg);
+    case Stat::kStale:
+    case Stat::kBadHandle:
+      return util::FailedPrecondition(msg);
+    default:
+      return util::InvalidArgument(msg);
+  }
+}
+
+const char* ProcName(uint32_t proc) {
+  switch (proc) {
+    case kProcNull:
+      return "NULL";
+    case kProcGetAttr:
+      return "GETATTR";
+    case kProcSetAttr:
+      return "SETATTR";
+    case kProcLookup:
+      return "LOOKUP";
+    case kProcAccess:
+      return "ACCESS";
+    case kProcReadLink:
+      return "READLINK";
+    case kProcRead:
+      return "READ";
+    case kProcWrite:
+      return "WRITE";
+    case kProcCreate:
+      return "CREATE";
+    case kProcMkdir:
+      return "MKDIR";
+    case kProcSymlink:
+      return "SYMLINK";
+    case kProcRemove:
+      return "REMOVE";
+    case kProcRmdir:
+      return "RMDIR";
+    case kProcRename:
+      return "RENAME";
+    case kProcLink:
+      return "LINK";
+    case kProcReadDir:
+      return "READDIR";
+    case kProcFsStat:
+      return "FSSTAT";
+    case kProcCommit:
+      return "COMMIT";
+    default:
+      return "?";
+  }
+}
+
+void Fattr::Encode(xdr::Encoder* enc) const {
+  enc->PutUint32(static_cast<uint32_t>(type));
+  enc->PutUint32(mode);
+  enc->PutUint32(nlink);
+  enc->PutUint32(uid);
+  enc->PutUint32(gid);
+  enc->PutUint64(size);
+  enc->PutUint64(used);
+  enc->PutUint64(fsid);
+  enc->PutUint64(fileid);
+  enc->PutUint64(atime_ns);
+  enc->PutUint64(mtime_ns);
+  enc->PutUint64(ctime_ns);
+  enc->PutUint64(lease_ns);
+}
+
+util::Result<Fattr> Fattr::Decode(xdr::Decoder* dec) {
+  Fattr out;
+  ASSIGN_OR_RETURN(uint32_t type_raw, dec->GetUint32());
+  if (type_raw != 1 && type_raw != 2 && type_raw != 5) {
+    return util::InvalidArgument("bad file type");
+  }
+  out.type = static_cast<FileType>(type_raw);
+  ASSIGN_OR_RETURN(out.mode, dec->GetUint32());
+  ASSIGN_OR_RETURN(out.nlink, dec->GetUint32());
+  ASSIGN_OR_RETURN(out.uid, dec->GetUint32());
+  ASSIGN_OR_RETURN(out.gid, dec->GetUint32());
+  ASSIGN_OR_RETURN(out.size, dec->GetUint64());
+  ASSIGN_OR_RETURN(out.used, dec->GetUint64());
+  ASSIGN_OR_RETURN(out.fsid, dec->GetUint64());
+  ASSIGN_OR_RETURN(out.fileid, dec->GetUint64());
+  ASSIGN_OR_RETURN(out.atime_ns, dec->GetUint64());
+  ASSIGN_OR_RETURN(out.mtime_ns, dec->GetUint64());
+  ASSIGN_OR_RETURN(out.ctime_ns, dec->GetUint64());
+  ASSIGN_OR_RETURN(out.lease_ns, dec->GetUint64());
+  return out;
+}
+
+namespace {
+
+template <typename T, typename Put>
+void EncodeOptional(xdr::Encoder* enc, const std::optional<T>& v, Put put) {
+  enc->PutBool(v.has_value());
+  if (v.has_value()) {
+    put(*v);
+  }
+}
+
+}  // namespace
+
+void Sattr::Encode(xdr::Encoder* enc) const {
+  EncodeOptional(enc, mode, [enc](uint32_t v) { enc->PutUint32(v); });
+  EncodeOptional(enc, uid, [enc](uint32_t v) { enc->PutUint32(v); });
+  EncodeOptional(enc, gid, [enc](uint32_t v) { enc->PutUint32(v); });
+  EncodeOptional(enc, size, [enc](uint64_t v) { enc->PutUint64(v); });
+  enc->PutBool(touch_mtime);
+}
+
+util::Result<Sattr> Sattr::Decode(xdr::Decoder* dec) {
+  Sattr out;
+  ASSIGN_OR_RETURN(bool has_mode, dec->GetBool());
+  if (has_mode) {
+    ASSIGN_OR_RETURN(uint32_t v, dec->GetUint32());
+    out.mode = v;
+  }
+  ASSIGN_OR_RETURN(bool has_uid, dec->GetBool());
+  if (has_uid) {
+    ASSIGN_OR_RETURN(uint32_t v, dec->GetUint32());
+    out.uid = v;
+  }
+  ASSIGN_OR_RETURN(bool has_gid, dec->GetBool());
+  if (has_gid) {
+    ASSIGN_OR_RETURN(uint32_t v, dec->GetUint32());
+    out.gid = v;
+  }
+  ASSIGN_OR_RETURN(bool has_size, dec->GetBool());
+  if (has_size) {
+    ASSIGN_OR_RETURN(uint64_t v, dec->GetUint64());
+    out.size = v;
+  }
+  ASSIGN_OR_RETURN(out.touch_mtime, dec->GetBool());
+  return out;
+}
+
+void Credentials::Encode(xdr::Encoder* enc) const {
+  enc->PutUint32(uid);
+  enc->PutUint32(static_cast<uint32_t>(gids.size()));
+  for (uint32_t g : gids) {
+    enc->PutUint32(g);
+  }
+}
+
+util::Result<Credentials> Credentials::Decode(xdr::Decoder* dec) {
+  Credentials out;
+  ASSIGN_OR_RETURN(out.uid, dec->GetUint32());
+  ASSIGN_OR_RETURN(uint32_t count, dec->GetUint32());
+  if (count > 64) {
+    return util::InvalidArgument("too many groups");
+  }
+  out.gids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(uint32_t g, dec->GetUint32());
+    out.gids.push_back(g);
+  }
+  return out;
+}
+
+void DirEntry::Encode(xdr::Encoder* enc) const {
+  enc->PutUint64(fileid);
+  enc->PutString(name);
+  enc->PutUint64(cookie);
+}
+
+util::Result<DirEntry> DirEntry::Decode(xdr::Decoder* dec) {
+  DirEntry out;
+  ASSIGN_OR_RETURN(out.fileid, dec->GetUint64());
+  ASSIGN_OR_RETURN(out.name, dec->GetString());
+  ASSIGN_OR_RETURN(out.cookie, dec->GetUint64());
+  return out;
+}
+
+}  // namespace nfs

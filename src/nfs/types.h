@@ -1,0 +1,165 @@
+// NFS version 3 protocol types (RFC 1813 subset), the file system wire
+// vocabulary shared by the plain NFS substrate and the SFS read-write
+// protocol (which the paper describes as "virtually identical to NFS 3",
+// §3.3).
+#ifndef SFS_SRC_NFS_TYPES_H_
+#define SFS_SRC_NFS_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+#include "src/xdr/xdr.h"
+
+namespace nfs {
+
+// Opaque file handle.  This implementation always uses 32 bytes, which is
+// also the size SFS's handle-encryption layer works on (paper §3.3).
+using FileHandle = util::Bytes;
+inline constexpr size_t kFileHandleSize = 32;
+
+enum class FileType : uint32_t {
+  kRegular = 1,
+  kDirectory = 2,
+  kSymlink = 5,
+};
+
+// NFS3 status codes (subset).
+enum class Stat : uint32_t {
+  kOk = 0,
+  kPerm = 1,
+  kNoEnt = 2,
+  kIo = 5,
+  kAccess = 13,
+  kExist = 17,
+  kNotDir = 20,
+  kIsDir = 21,
+  kInval = 22,
+  kNoSpace = 28,
+  kReadOnlyFs = 30,
+  kNameTooLong = 63,
+  kNotEmpty = 66,
+  kStale = 70,
+  kBadHandle = 10001,
+  kNotSupported = 10004,
+};
+
+const char* StatName(Stat s);
+
+// Converts an NFS status to a util::Status for API boundaries.
+util::Status ToStatus(Stat s, const std::string& context);
+
+// ACCESS bits (RFC 1813 §3.3.4).
+inline constexpr uint32_t kAccessRead = 0x01;
+inline constexpr uint32_t kAccessLookup = 0x02;
+inline constexpr uint32_t kAccessModify = 0x04;
+inline constexpr uint32_t kAccessExtend = 0x08;
+inline constexpr uint32_t kAccessDelete = 0x10;
+inline constexpr uint32_t kAccessExecute = 0x20;
+
+// File attributes (fattr3).  Times are virtual nanoseconds.
+struct Fattr {
+  FileType type = FileType::kRegular;
+  uint32_t mode = 0;
+  uint32_t nlink = 1;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint64_t size = 0;
+  uint64_t used = 0;
+  uint64_t fsid = 0;
+  uint64_t fileid = 0;
+  uint64_t atime_ns = 0;
+  uint64_t mtime_ns = 0;
+  uint64_t ctime_ns = 0;
+
+  // SFS read-write protocol extension (paper §3.3): attribute lease in
+  // nanoseconds.  Zero for plain NFS 3.
+  uint64_t lease_ns = 0;
+
+  void Encode(xdr::Encoder* enc) const;
+  static util::Result<Fattr> Decode(xdr::Decoder* dec);
+};
+
+// Settable attributes (sattr3).
+struct Sattr {
+  std::optional<uint32_t> mode;
+  std::optional<uint32_t> uid;
+  std::optional<uint32_t> gid;
+  std::optional<uint64_t> size;
+  bool touch_mtime = false;
+
+  void Encode(xdr::Encoder* enc) const;
+  static util::Result<Sattr> Decode(xdr::Decoder* dec);
+};
+
+// AUTH_UNIX-style credentials.  Plain NFS trusts whatever the client
+// sends (one of the weaknesses SFS exists to fix); the SFS server ignores
+// client-supplied credentials and substitutes the authserver's mapping.
+struct Credentials {
+  uint32_t uid = 65534;  // "nobody" by default.
+  std::vector<uint32_t> gids;
+
+  bool IsSuperuser() const { return uid == 0; }
+  bool HasGid(uint32_t gid) const {
+    for (uint32_t g : gids) {
+      if (g == gid) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Encode(xdr::Encoder* enc) const;
+  static util::Result<Credentials> Decode(xdr::Decoder* dec);
+
+  static Credentials Anonymous() { return Credentials{}; }
+  static Credentials User(uint32_t uid, std::vector<uint32_t> gids = {}) {
+    Credentials c;
+    c.uid = uid;
+    c.gids = std::move(gids);
+    return c;
+  }
+};
+
+struct DirEntry {
+  uint64_t fileid = 0;
+  std::string name;
+  uint64_t cookie = 0;  // Position of the *next* entry.
+
+  void Encode(xdr::Encoder* enc) const;
+  static util::Result<DirEntry> Decode(xdr::Decoder* dec);
+};
+
+// NFS3 procedure numbers (RFC 1813).
+enum Proc : uint32_t {
+  kProcNull = 0,
+  kProcGetAttr = 1,
+  kProcSetAttr = 2,
+  kProcLookup = 3,
+  kProcAccess = 4,
+  kProcReadLink = 5,
+  kProcRead = 6,
+  kProcWrite = 7,
+  kProcCreate = 8,
+  kProcMkdir = 9,
+  kProcSymlink = 10,
+  kProcRemove = 12,
+  kProcRmdir = 13,
+  kProcRename = 14,
+  kProcLink = 15,
+  kProcReadDir = 16,
+  kProcFsStat = 18,
+  kProcCommit = 21,
+};
+
+const char* ProcName(uint32_t proc);
+
+// RPC program numbers used in this tree.
+inline constexpr uint32_t kNfsProgram = 100003;
+
+}  // namespace nfs
+
+#endif  // SFS_SRC_NFS_TYPES_H_

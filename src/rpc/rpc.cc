@@ -1,0 +1,90 @@
+#include "src/rpc/rpc.h"
+
+#include "src/util/log.h"
+#include "src/xdr/xdr.h"
+
+namespace rpc {
+namespace {
+
+constexpr uint32_t kReplyAccepted = 0;
+constexpr uint32_t kReplyError = 1;
+
+}  // namespace
+
+void Dispatcher::RegisterProgram(uint32_t prog, ProgramHandler handler, ProcNamer namer) {
+  programs_[prog] = Program{std::move(handler), std::move(namer)};
+}
+
+util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
+  xdr::Decoder dec(request);
+  auto xid = dec.GetUint32();
+  auto prog = dec.GetUint32();
+  auto proc = dec.GetUint32();
+  auto args = dec.GetOpaque();
+  if (!xid.ok() || !prog.ok() || !proc.ok() || !args.ok() || !dec.AtEnd()) {
+    return util::InvalidArgument("RPC: malformed call message");
+  }
+
+  xdr::Encoder reply;
+  reply.PutUint32(xid.value());
+
+  auto it = programs_.find(prog.value());
+  if (it == programs_.end()) {
+    reply.PutUint32(kReplyError);
+    reply.PutUint32(static_cast<uint32_t>(util::ErrorCode::kNotFound));
+    reply.PutString("no such program");
+    return reply.Take();
+  }
+
+  if (util::GetLogLevel() <= util::LogLevel::kDebug) {
+    std::string proc_name =
+        it->second.namer ? it->second.namer(proc.value()) : std::to_string(proc.value());
+    SFS_LOG(kDebug) << "rpc call prog=" << prog.value() << " proc=" << proc_name
+                    << " args=" << args.value().size() << "B";
+  }
+
+  auto result = it->second.handler(proc.value(), args.value());
+  if (!result.ok()) {
+    reply.PutUint32(kReplyError);
+    reply.PutUint32(static_cast<uint32_t>(result.status().code()));
+    reply.PutString(result.status().message());
+    return reply.Take();
+  }
+  reply.PutUint32(kReplyAccepted);
+  reply.PutOpaque(result.value());
+  return reply.Take();
+}
+
+util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
+  uint32_t xid = next_xid_++;
+  ++calls_made_;
+  xdr::Encoder call;
+  call.PutUint32(xid);
+  call.PutUint32(prog_);
+  call.PutUint32(proc);
+  call.PutOpaque(args);
+
+  ASSIGN_OR_RETURN(util::Bytes raw_reply, transport_->Roundtrip(call.Take()));
+
+  xdr::Decoder dec(std::move(raw_reply));
+  ASSIGN_OR_RETURN(uint32_t reply_xid, dec.GetUint32());
+  if (reply_xid != xid) {
+    return util::SecurityError("RPC: reply xid mismatch");
+  }
+  ASSIGN_OR_RETURN(uint32_t status, dec.GetUint32());
+  if (status == kReplyAccepted) {
+    ASSIGN_OR_RETURN(util::Bytes results, dec.GetOpaque());
+    if (!dec.AtEnd()) {
+      return util::InvalidArgument("RPC: trailing bytes in reply");
+    }
+    return results;
+  }
+  ASSIGN_OR_RETURN(uint32_t code, dec.GetUint32());
+  ASSIGN_OR_RETURN(std::string message, dec.GetString());
+  if (code == 0 || code > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
+    code = static_cast<uint32_t>(util::ErrorCode::kInternal);
+  }
+  return util::Status(static_cast<util::ErrorCode>(code), message);
+}
+
+}  // namespace rpc

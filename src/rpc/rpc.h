@@ -1,0 +1,87 @@
+// Minimal Sun-RPC-style call/reply layer over simulated links.
+//
+// Mirrors the paper's implementation structure (§3.2): programs
+// communicate via RPC with XDR-described messages, and the library can
+// pretty-print traffic for debugging.  A Dispatcher is the server side of
+// one connection; a Client issues synchronous calls over a sim::Link.
+//
+// Wire format (XDR):
+//   call:  uint32 xid, uint32 prog, uint32 proc, opaque args
+//   reply: uint32 xid, uint32 status (0 = accepted), on error: uint32
+//          code + string message, else opaque results
+#ifndef SFS_SRC_RPC_RPC_H_
+#define SFS_SRC_RPC_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/sim/network.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace rpc {
+
+// Server-side handler for one RPC program.
+using ProgramHandler =
+    std::function<util::Result<util::Bytes>(uint32_t proc, const util::Bytes& args)>;
+
+// Optional proc-name resolver, used by the traffic pretty-printer.
+using ProcNamer = std::function<std::string(uint32_t proc)>;
+
+class Dispatcher : public sim::Service {
+ public:
+  void RegisterProgram(uint32_t prog, ProgramHandler handler, ProcNamer namer = nullptr);
+
+  // sim::Service: decode the call header, dispatch, encode the reply.
+  util::Result<util::Bytes> Handle(const util::Bytes& request) override;
+
+ private:
+  struct Program {
+    ProgramHandler handler;
+    ProcNamer namer;
+  };
+  std::map<uint32_t, Program> programs_;
+};
+
+// Transport abstraction for the client: anything that can do a
+// request/response roundtrip (a raw sim::Link, or an encrypted channel).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual util::Result<util::Bytes> Roundtrip(const util::Bytes& request) = 0;
+};
+
+// Adapts sim::Link to Transport.
+class LinkTransport : public Transport {
+ public:
+  explicit LinkTransport(sim::Link* link) : link_(link) {}
+  util::Result<util::Bytes> Roundtrip(const util::Bytes& request) override {
+    return link_->Roundtrip(request);
+  }
+
+ private:
+  sim::Link* link_;
+};
+
+class Client {
+ public:
+  Client(Transport* transport, uint32_t prog) : transport_(transport), prog_(prog) {}
+
+  // Synchronous call.  Errors from the transport (kUnavailable,
+  // kSecurityError) and from the remote handler both surface as Status.
+  util::Result<util::Bytes> Call(uint32_t proc, const util::Bytes& args);
+
+  uint64_t calls_made() const { return calls_made_; }
+
+ private:
+  Transport* transport_;
+  uint32_t prog_;
+  uint32_t next_xid_ = 1;
+  uint64_t calls_made_ = 0;
+};
+
+}  // namespace rpc
+
+#endif  // SFS_SRC_RPC_RPC_H_

@@ -1,0 +1,172 @@
+#include "src/sfs/handle_crypt.h"
+
+#include <cassert>
+
+namespace sfs {
+namespace {
+
+// Fixed IV: handles already contain a high-entropy per-server secret, so
+// identical plaintext handles across servers still encrypt differently
+// (the key differs); within one server, handle uniqueness comes from the
+// fileid/generation fields.
+const util::Bytes kHandleIv(crypto::kBlowfishBlockSize, 0x00);
+
+}  // namespace
+
+HandleCryptFs::HandleCryptFs(nfs::FileSystemApi* inner, const util::Bytes& key)
+    : inner_(inner), cipher_(key) {
+  assert(key.size() == 20);
+}
+
+nfs::FileHandle HandleCryptFs::EncryptHandle(const nfs::FileHandle& fh) const {
+  auto enc = cipher_.EncryptCbc(fh, kHandleIv);
+  assert(enc.ok());  // Server handles are always 32 bytes.
+  return std::move(enc).value();
+}
+
+std::optional<nfs::FileHandle> HandleCryptFs::DecryptHandle(const nfs::FileHandle& fh) const {
+  if (fh.size() != nfs::kFileHandleSize) {
+    return std::nullopt;
+  }
+  auto dec = cipher_.DecryptCbc(fh, kHandleIv);
+  if (!dec.ok()) {
+    return std::nullopt;
+  }
+  return std::move(dec).value();
+}
+
+// Decrypt-or-bail prologue shared by all methods taking a handle.
+#define SFS_DECRYPT_FH(var, fh)            \
+  auto var = DecryptHandle(fh);            \
+  if (!var.has_value()) {                  \
+    return nfs::Stat::kBadHandle;          \
+  }
+
+nfs::Stat HandleCryptFs::GetAttr(const nfs::FileHandle& fh, nfs::Fattr* attr) {
+  SFS_DECRYPT_FH(inner_fh, fh);
+  return inner_->GetAttr(*inner_fh, attr);
+}
+
+nfs::Stat HandleCryptFs::SetAttr(const nfs::FileHandle& fh, const nfs::Credentials& cred,
+                                 const nfs::Sattr& sattr, nfs::Fattr* attr) {
+  SFS_DECRYPT_FH(inner_fh, fh);
+  return inner_->SetAttr(*inner_fh, cred, sattr, attr);
+}
+
+nfs::Stat HandleCryptFs::Lookup(const nfs::FileHandle& dir, const std::string& name,
+                                const nfs::Credentials& cred, nfs::FileHandle* out,
+                                nfs::Fattr* attr) {
+  SFS_DECRYPT_FH(inner_dir, dir);
+  nfs::Stat s = inner_->Lookup(*inner_dir, name, cred, out, attr);
+  if (s == nfs::Stat::kOk) {
+    *out = EncryptHandle(*out);
+  }
+  return s;
+}
+
+nfs::Stat HandleCryptFs::Access(const nfs::FileHandle& fh, const nfs::Credentials& cred,
+                                uint32_t want, uint32_t* allowed) {
+  SFS_DECRYPT_FH(inner_fh, fh);
+  return inner_->Access(*inner_fh, cred, want, allowed);
+}
+
+nfs::Stat HandleCryptFs::ReadLink(const nfs::FileHandle& fh, const nfs::Credentials& cred,
+                                  std::string* target) {
+  SFS_DECRYPT_FH(inner_fh, fh);
+  return inner_->ReadLink(*inner_fh, cred, target);
+}
+
+nfs::Stat HandleCryptFs::Read(const nfs::FileHandle& fh, const nfs::Credentials& cred,
+                              uint64_t offset, uint32_t count, util::Bytes* data, bool* eof) {
+  SFS_DECRYPT_FH(inner_fh, fh);
+  return inner_->Read(*inner_fh, cred, offset, count, data, eof);
+}
+
+nfs::Stat HandleCryptFs::Write(const nfs::FileHandle& fh, const nfs::Credentials& cred,
+                               uint64_t offset, const util::Bytes& data, bool stable,
+                               nfs::Fattr* attr) {
+  SFS_DECRYPT_FH(inner_fh, fh);
+  return inner_->Write(*inner_fh, cred, offset, data, stable, attr);
+}
+
+nfs::Stat HandleCryptFs::Create(const nfs::FileHandle& dir, const std::string& name,
+                                const nfs::Credentials& cred, const nfs::Sattr& sattr,
+                                nfs::FileHandle* out, nfs::Fattr* attr) {
+  SFS_DECRYPT_FH(inner_dir, dir);
+  nfs::Stat s = inner_->Create(*inner_dir, name, cred, sattr, out, attr);
+  if (s == nfs::Stat::kOk) {
+    *out = EncryptHandle(*out);
+  }
+  return s;
+}
+
+nfs::Stat HandleCryptFs::Mkdir(const nfs::FileHandle& dir, const std::string& name,
+                               const nfs::Credentials& cred, uint32_t mode,
+                               nfs::FileHandle* out, nfs::Fattr* attr) {
+  SFS_DECRYPT_FH(inner_dir, dir);
+  nfs::Stat s = inner_->Mkdir(*inner_dir, name, cred, mode, out, attr);
+  if (s == nfs::Stat::kOk) {
+    *out = EncryptHandle(*out);
+  }
+  return s;
+}
+
+nfs::Stat HandleCryptFs::Symlink(const nfs::FileHandle& dir, const std::string& name,
+                                 const std::string& target, const nfs::Credentials& cred,
+                                 nfs::FileHandle* out, nfs::Fattr* attr) {
+  SFS_DECRYPT_FH(inner_dir, dir);
+  nfs::Stat s = inner_->Symlink(*inner_dir, name, target, cred, out, attr);
+  if (s == nfs::Stat::kOk) {
+    *out = EncryptHandle(*out);
+  }
+  return s;
+}
+
+nfs::Stat HandleCryptFs::Remove(const nfs::FileHandle& dir, const std::string& name,
+                                const nfs::Credentials& cred) {
+  SFS_DECRYPT_FH(inner_dir, dir);
+  return inner_->Remove(*inner_dir, name, cred);
+}
+
+nfs::Stat HandleCryptFs::Rmdir(const nfs::FileHandle& dir, const std::string& name,
+                               const nfs::Credentials& cred) {
+  SFS_DECRYPT_FH(inner_dir, dir);
+  return inner_->Rmdir(*inner_dir, name, cred);
+}
+
+nfs::Stat HandleCryptFs::Rename(const nfs::FileHandle& from_dir, const std::string& from_name,
+                                const nfs::FileHandle& to_dir, const std::string& to_name,
+                                const nfs::Credentials& cred) {
+  SFS_DECRYPT_FH(inner_from, from_dir);
+  SFS_DECRYPT_FH(inner_to, to_dir);
+  return inner_->Rename(*inner_from, from_name, *inner_to, to_name, cred);
+}
+
+nfs::Stat HandleCryptFs::Link(const nfs::FileHandle& target, const nfs::FileHandle& dir,
+                              const std::string& name, const nfs::Credentials& cred) {
+  SFS_DECRYPT_FH(inner_target, target);
+  SFS_DECRYPT_FH(inner_dir, dir);
+  return inner_->Link(*inner_target, *inner_dir, name, cred);
+}
+
+nfs::Stat HandleCryptFs::ReadDir(const nfs::FileHandle& dir, const nfs::Credentials& cred,
+                                 uint64_t cookie, uint32_t max_entries,
+                                 std::vector<nfs::DirEntry>* entries, bool* eof) {
+  SFS_DECRYPT_FH(inner_dir, dir);
+  return inner_->ReadDir(*inner_dir, cred, cookie, max_entries, entries, eof);
+}
+
+nfs::Stat HandleCryptFs::FsStat(const nfs::FileHandle& fh, uint64_t* total_bytes,
+                                uint64_t* used_bytes) {
+  SFS_DECRYPT_FH(inner_fh, fh);
+  return inner_->FsStat(*inner_fh, total_bytes, used_bytes);
+}
+
+nfs::Stat HandleCryptFs::Commit(const nfs::FileHandle& fh) {
+  SFS_DECRYPT_FH(inner_fh, fh);
+  return inner_->Commit(*inner_fh);
+}
+
+#undef SFS_DECRYPT_FH
+
+}  // namespace sfs

@@ -1,0 +1,77 @@
+// File-handle encryption (paper §3.3).
+//
+// Plain NFS file handles must stay secret: "an attacker who learns the
+// file handle of even a single directory can access any part of the file
+// system as any user."  SFS servers, in contrast, hand their handles to
+// anonymous clients, so sfsrwsd "generates its file handles by adding
+// redundancy to NFS handles and encrypting them in CBC mode with a
+// 20-byte Blowfish key."  HandleCryptFs is that layer, as a FileSystemApi
+// decorator: inbound handles are decrypted (garbage decrypts fail the
+// inner server's redundancy check and surface as stale), outbound handles
+// are encrypted.
+#ifndef SFS_SRC_SFS_HANDLE_CRYPT_H_
+#define SFS_SRC_SFS_HANDLE_CRYPT_H_
+
+#include <optional>
+
+#include "src/crypto/blowfish.h"
+#include "src/nfs/api.h"
+
+namespace sfs {
+
+class HandleCryptFs : public nfs::FileSystemApi {
+ public:
+  // `key` is the server's handle-encryption key (20 bytes).
+  HandleCryptFs(nfs::FileSystemApi* inner, const util::Bytes& key);
+
+  nfs::FileHandle EncryptHandle(const nfs::FileHandle& fh) const;
+  // Returns nullopt for structurally invalid (wrong-size) handles.
+  std::optional<nfs::FileHandle> DecryptHandle(const nfs::FileHandle& fh) const;
+
+  nfs::Stat GetAttr(const nfs::FileHandle& fh, nfs::Fattr* attr) override;
+  nfs::Stat SetAttr(const nfs::FileHandle& fh, const nfs::Credentials& cred,
+                    const nfs::Sattr& sattr, nfs::Fattr* attr) override;
+  nfs::Stat Lookup(const nfs::FileHandle& dir, const std::string& name,
+                   const nfs::Credentials& cred, nfs::FileHandle* out,
+                   nfs::Fattr* attr) override;
+  nfs::Stat Access(const nfs::FileHandle& fh, const nfs::Credentials& cred, uint32_t want,
+                   uint32_t* allowed) override;
+  nfs::Stat ReadLink(const nfs::FileHandle& fh, const nfs::Credentials& cred,
+                     std::string* target) override;
+  nfs::Stat Read(const nfs::FileHandle& fh, const nfs::Credentials& cred, uint64_t offset,
+                 uint32_t count, util::Bytes* data, bool* eof) override;
+  nfs::Stat Write(const nfs::FileHandle& fh, const nfs::Credentials& cred, uint64_t offset,
+                  const util::Bytes& data, bool stable, nfs::Fattr* attr) override;
+  nfs::Stat Create(const nfs::FileHandle& dir, const std::string& name,
+                   const nfs::Credentials& cred, const nfs::Sattr& sattr, nfs::FileHandle* out,
+                   nfs::Fattr* attr) override;
+  nfs::Stat Mkdir(const nfs::FileHandle& dir, const std::string& name,
+                  const nfs::Credentials& cred, uint32_t mode, nfs::FileHandle* out,
+                  nfs::Fattr* attr) override;
+  nfs::Stat Symlink(const nfs::FileHandle& dir, const std::string& name,
+                    const std::string& target, const nfs::Credentials& cred,
+                    nfs::FileHandle* out, nfs::Fattr* attr) override;
+  nfs::Stat Remove(const nfs::FileHandle& dir, const std::string& name,
+                   const nfs::Credentials& cred) override;
+  nfs::Stat Rmdir(const nfs::FileHandle& dir, const std::string& name,
+                  const nfs::Credentials& cred) override;
+  nfs::Stat Rename(const nfs::FileHandle& from_dir, const std::string& from_name,
+                   const nfs::FileHandle& to_dir, const std::string& to_name,
+                   const nfs::Credentials& cred) override;
+  nfs::Stat Link(const nfs::FileHandle& target, const nfs::FileHandle& dir,
+                 const std::string& name, const nfs::Credentials& cred) override;
+  nfs::Stat ReadDir(const nfs::FileHandle& dir, const nfs::Credentials& cred, uint64_t cookie,
+                    uint32_t max_entries, std::vector<nfs::DirEntry>* entries,
+                    bool* eof) override;
+  nfs::Stat FsStat(const nfs::FileHandle& fh, uint64_t* total_bytes,
+                   uint64_t* used_bytes) override;
+  nfs::Stat Commit(const nfs::FileHandle& fh) override;
+
+ private:
+  nfs::FileSystemApi* inner_;
+  crypto::Blowfish cipher_;
+};
+
+}  // namespace sfs
+
+#endif  // SFS_SRC_SFS_HANDLE_CRYPT_H_

@@ -1,0 +1,19 @@
+#include "src/sfs/idmap.h"
+
+namespace sfs {
+
+std::string FormatRemoteUser(uint32_t uid, const LocalIdTable& local,
+                             const RemoteIdLookup& remote) {
+  std::optional<std::string> remote_name = remote(uid);
+  if (!remote_name.has_value()) {
+    return std::to_string(uid);
+  }
+  // Same name and same uid on both sides: no qualifier needed.
+  auto local_uid = local.UidFor(*remote_name);
+  if (local_uid.has_value() && *local_uid == uid) {
+    return *remote_name;
+  }
+  return "%" + *remote_name;
+}
+
+}  // namespace sfs

@@ -1,0 +1,67 @@
+// libsfs ID mapping (paper §3.3).
+//
+// "The NFS protocol uses numeric user and group IDs ... These numbers
+// have no meaning outside of the local administrative realm.  A small C
+// library, libsfs, allows programs to query file servers (through the
+// client) for mappings of numeric IDs to and from human-readable names.
+// We adopt the convention that user and group names prefixed with '%' are
+// relative to the remote file server.  When both the ID and name of a
+// user or group are the same on the client and server ... libsfs detects
+// this situation and omits the percent sign."
+//
+// Server side: two control procedures backed by the authserver's public
+// database.  Client side: a formatting helper implementing the percent
+// convention against a local passwd-style table.
+#ifndef SFS_SRC_SFS_IDMAP_H_
+#define SFS_SRC_SFS_IDMAP_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace sfs {
+
+// Additional control procedures (continue the CtlProc space in proto.h).
+enum IdMapProc : uint32_t {
+  kCtlIdToName = 10,  // {uid} -> {bool found, name}
+  kCtlNameToId = 11,  // {name} -> {bool found, uid}
+};
+
+// The client's local account table (a passwd-file stand-in).
+class LocalIdTable {
+ public:
+  void Add(uint32_t uid, const std::string& name) {
+    by_uid_[uid] = name;
+    by_name_[name] = uid;
+  }
+  std::optional<std::string> NameFor(uint32_t uid) const {
+    auto it = by_uid_.find(uid);
+    return it == by_uid_.end() ? std::nullopt : std::optional<std::string>(it->second);
+  }
+  std::optional<uint32_t> UidFor(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? std::nullopt : std::optional<uint32_t>(it->second);
+  }
+
+ private:
+  std::map<uint32_t, std::string> by_uid_;
+  std::map<std::string, uint32_t> by_name_;
+};
+
+// Queries the remote server for uid -> name (nullopt if unmapped there).
+using RemoteIdLookup = std::function<std::optional<std::string>(uint32_t uid)>;
+
+// Formats a file owner for display, libsfs-style:
+//   * remote knows the uid as N, local maps N to the same name and uid
+//     -> "name"            (identical on both sides: omit the percent)
+//   * remote knows the uid as N otherwise -> "%N"  (server-relative)
+//   * remote has no mapping -> decimal uid string.
+std::string FormatRemoteUser(uint32_t uid, const LocalIdTable& local,
+                             const RemoteIdLookup& remote);
+
+}  // namespace sfs
+
+#endif  // SFS_SRC_SFS_IDMAP_H_

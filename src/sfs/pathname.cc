@@ -1,0 +1,51 @@
+#include "src/sfs/pathname.h"
+
+#include "src/crypto/sha1.h"
+#include "src/xdr/xdr.h"
+
+namespace sfs {
+
+util::Bytes ComputeHostId(const std::string& location, const crypto::RabinPublicKey& key) {
+  // XDR-marshal the duplicated ("HostInfo", Location, PublicKey) tuple and
+  // hash the raw bytes, per the paper's convention of hashing marshaled
+  // structures (§3.2).
+  xdr::Encoder enc;
+  for (int i = 0; i < 2; ++i) {
+    enc.PutString("HostInfo");
+    enc.PutString(location);
+    enc.PutOpaque(key.Serialize());
+  }
+  return crypto::Sha1Digest(enc.Take());
+}
+
+std::string SelfCertifyingPath::ComponentName() const {
+  return location + ":" + util::Base32Encode(host_id);
+}
+
+std::string SelfCertifyingPath::FullPath() const {
+  return std::string(kSfsRoot) + "/" + ComponentName();
+}
+
+bool SelfCertifyingPath::Certifies(const crypto::RabinPublicKey& key) const {
+  return ComputeHostId(location, key) == host_id;
+}
+
+SelfCertifyingPath SelfCertifyingPath::For(const std::string& location,
+                                           const crypto::RabinPublicKey& key) {
+  return SelfCertifyingPath{location, ComputeHostId(location, key)};
+}
+
+util::Result<SelfCertifyingPath> SelfCertifyingPath::Parse(const std::string& component) {
+  size_t colon = component.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon == component.size() - 1) {
+    return util::InvalidArgument("not a Location:HostID name: " + component);
+  }
+  std::string location = component.substr(0, colon);
+  ASSIGN_OR_RETURN(util::Bytes host_id, util::Base32Decode(component.substr(colon + 1)));
+  if (host_id.size() != kHostIdSize) {
+    return util::InvalidArgument("HostID has wrong length");
+  }
+  return SelfCertifyingPath{std::move(location), std::move(host_id)};
+}
+
+}  // namespace sfs

@@ -1,0 +1,65 @@
+// Self-certifying pathnames — the paper's central idea (§2.2).
+//
+// Every SFS file system lives under /sfs/Location:HostID, where Location
+// names the server (DNS name or IP) and HostID is a collision-resistant
+// hash of the server's public key and Location:
+//
+//   HostID = SHA-1("HostInfo", Location, PublicKey,
+//                  "HostInfo", Location, PublicKey)
+//
+// The duplicated input is the paper's hedge against SHA-1 cryptanalysis
+// (footnote 1).  Because the pathname pins the public key, a client can
+// certify any server it can name, with no key-management machinery.
+#ifndef SFS_SRC_SFS_PATHNAME_H_
+#define SFS_SRC_SFS_PATHNAME_H_
+
+#include <string>
+
+#include "src/crypto/rabin.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace sfs {
+
+inline constexpr size_t kHostIdSize = 20;
+inline constexpr char kSfsRoot[] = "/sfs";
+
+// Computes HostID for (location, public key).
+util::Bytes ComputeHostId(const std::string& location, const crypto::RabinPublicKey& key);
+
+// A parsed Location:HostID pair.
+struct SelfCertifyingPath {
+  std::string location;
+  util::Bytes host_id;  // 20 bytes.
+
+  // "location:base32hostid" (the component name under /sfs).
+  std::string ComponentName() const;
+  // "/sfs/location:base32hostid".
+  std::string FullPath() const;
+
+  // Checks that `key` actually hashes to host_id for this location — the
+  // certification step a client performs before trusting a server.
+  bool Certifies(const crypto::RabinPublicKey& key) const;
+
+  bool operator==(const SelfCertifyingPath& other) const {
+    return location == other.location && host_id == other.host_id;
+  }
+  bool operator<(const SelfCertifyingPath& other) const {
+    if (location != other.location) {
+      return location < other.location;
+    }
+    return host_id < other.host_id;
+  }
+
+  // Builds the path for a server whose key is known.
+  static SelfCertifyingPath For(const std::string& location,
+                                const crypto::RabinPublicKey& key);
+
+  // Parses a component of the form "location:hostid32".  Rejects missing
+  // separators, bad base32, and wrong-length HostIDs.
+  static util::Result<SelfCertifyingPath> Parse(const std::string& component);
+};
+
+}  // namespace sfs
+
+#endif  // SFS_SRC_SFS_PATHNAME_H_

@@ -1,0 +1,87 @@
+#include "src/sfs/revocation.h"
+
+#include "src/xdr/xdr.h"
+
+namespace sfs {
+
+util::Bytes PathRevokeCert::SignedBody(const std::string& location,
+                                       const std::optional<SelfCertifyingPath>& forward_to) {
+  xdr::Encoder enc;
+  enc.PutString("PathRevoke");
+  enc.PutString(location);
+  enc.PutBool(forward_to.has_value());  // NULL marker distinguishes revocations.
+  if (forward_to.has_value()) {
+    enc.PutString(forward_to->location);
+    enc.PutOpaque(forward_to->host_id);
+  }
+  return enc.Take();
+}
+
+PathRevokeCert PathRevokeCert::MakeRevocation(const crypto::RabinPrivateKey& key,
+                                              const std::string& location) {
+  PathRevokeCert cert;
+  cert.key_ = key.public_key();
+  cert.location_ = location;
+  cert.signature_ = key.Sign(SignedBody(location, std::nullopt));
+  return cert;
+}
+
+PathRevokeCert PathRevokeCert::MakeForwardingPointer(const crypto::RabinPrivateKey& key,
+                                                     const std::string& location,
+                                                     const SelfCertifyingPath& target) {
+  PathRevokeCert cert;
+  cert.key_ = key.public_key();
+  cert.location_ = location;
+  cert.forward_to_ = target;
+  cert.signature_ = key.Sign(SignedBody(location, cert.forward_to_));
+  return cert;
+}
+
+util::Status PathRevokeCert::Verify() const {
+  if (location_.empty()) {
+    return util::SecurityError("revocation certificate has no location");
+  }
+  return key_.Verify(SignedBody(location_, forward_to_), signature_);
+}
+
+SelfCertifyingPath PathRevokeCert::RevokedPath() const {
+  return SelfCertifyingPath::For(location_, key_);
+}
+
+util::Bytes PathRevokeCert::Serialize() const {
+  xdr::Encoder enc;
+  enc.PutOpaque(key_.Serialize());
+  enc.PutString(location_);
+  enc.PutBool(forward_to_.has_value());
+  if (forward_to_.has_value()) {
+    enc.PutString(forward_to_->location);
+    enc.PutOpaque(forward_to_->host_id);
+  }
+  enc.PutOpaque(signature_);
+  return enc.Take();
+}
+
+util::Result<PathRevokeCert> PathRevokeCert::Deserialize(const util::Bytes& bytes) {
+  xdr::Decoder dec(bytes);
+  PathRevokeCert cert;
+  ASSIGN_OR_RETURN(util::Bytes key_bytes, dec.GetOpaque());
+  ASSIGN_OR_RETURN(cert.key_, crypto::RabinPublicKey::Deserialize(key_bytes));
+  ASSIGN_OR_RETURN(cert.location_, dec.GetString());
+  ASSIGN_OR_RETURN(bool has_target, dec.GetBool());
+  if (has_target) {
+    SelfCertifyingPath target;
+    ASSIGN_OR_RETURN(target.location, dec.GetString());
+    ASSIGN_OR_RETURN(target.host_id, dec.GetOpaque());
+    if (target.host_id.size() != kHostIdSize) {
+      return util::InvalidArgument("forwarding target HostID has wrong length");
+    }
+    cert.forward_to_ = std::move(target);
+  }
+  ASSIGN_OR_RETURN(cert.signature_, dec.GetOpaque());
+  if (!dec.AtEnd()) {
+    return util::InvalidArgument("trailing bytes in revocation certificate");
+  }
+  return cert;
+}
+
+}  // namespace sfs

@@ -1,0 +1,71 @@
+// Key revocation certificates and forwarding pointers (paper §2.6).
+//
+//   {PathRevoke, Location, NULL}_K^-1      — revocation certificate
+//   {PathRevoke, Location, target}_K^-1    — forwarding pointer
+//
+// Certificates are self-authenticating: anyone can check one against the
+// public key it revokes, so distribution needs no trusted party ("even
+// someone without permission to obtain ordinary public key certificates
+// from Verisign could still submit revocation certificates").  A
+// revocation certificate always overrules a forwarding pointer for the
+// same HostID.
+#ifndef SFS_SRC_SFS_REVOCATION_H_
+#define SFS_SRC_SFS_REVOCATION_H_
+
+#include <optional>
+#include <string>
+
+#include "src/crypto/rabin.h"
+#include "src/sfs/pathname.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace sfs {
+
+// The pathname revoked/blocked paths resolve to, so that "users who
+// investigate further can easily notice that the pathname has actually
+// been revoked" (§2.6).
+inline constexpr char kRevokedLinkTarget[] = ":REVOKED:";
+
+class PathRevokeCert {
+ public:
+  PathRevokeCert() = default;
+
+  // Signs a revocation for `location` under `key` (the compromised key —
+  // only its owner can issue this).
+  static PathRevokeCert MakeRevocation(const crypto::RabinPrivateKey& key,
+                                       const std::string& location);
+
+  // Signs a forwarding pointer redirecting the old path to `target`.
+  static PathRevokeCert MakeForwardingPointer(const crypto::RabinPrivateKey& key,
+                                              const std::string& location,
+                                              const SelfCertifyingPath& target);
+
+  // Checks the signature under the embedded key.  A valid certificate
+  // proves the owner of RevokedPath()'s key issued it.
+  util::Status Verify() const;
+
+  // The self-certifying path this certificate applies to.
+  SelfCertifyingPath RevokedPath() const;
+
+  bool is_revocation() const { return !forward_to_.has_value(); }
+  const std::optional<SelfCertifyingPath>& forward_to() const { return forward_to_; }
+  const std::string& location() const { return location_; }
+  const crypto::RabinPublicKey& key() const { return key_; }
+
+  util::Bytes Serialize() const;
+  static util::Result<PathRevokeCert> Deserialize(const util::Bytes& bytes);
+
+ private:
+  static util::Bytes SignedBody(const std::string& location,
+                                const std::optional<SelfCertifyingPath>& forward_to);
+
+  crypto::RabinPublicKey key_;
+  std::string location_;
+  std::optional<SelfCertifyingPath> forward_to_;
+  util::Bytes signature_;
+};
+
+}  // namespace sfs
+
+#endif  // SFS_SRC_SFS_REVOCATION_H_

@@ -1,0 +1,108 @@
+// SFS secure-channel cryptography: the key-negotiation protocol of
+// Figure 3 and the per-message seal/open discipline of §3.1.3.
+//
+// Negotiation (client C, server S, Location/HostID from the pathname):
+//   1. C -> S: Location, HostID                  (connect request)
+//   2. S -> C: K_S                               (public key; C checks HostID)
+//   3. C -> S: K_C, {kc1}_KS, {kc2}_KS           (K_C short-lived, anonymous)
+//   4. S -> C: {ks1}_KC, {ks2}_KC
+// Session keys (quoted strings are XDR-marshaled constants):
+//   kcs = SHA-1("KCS", K_S, kc1, K_C, ks1)       (client->server direction)
+//   ksc = SHA-1("KSC", K_S, kc2, K_C, ks2)       (server->client direction)
+//
+// Forward secrecy: the server's key halves travel under the ephemeral
+// K_C, which clients "discard and regenerate at regular intervals", so a
+// later compromise of K_S's private half cannot decrypt recorded traffic.
+//
+// Channel discipline: each direction runs one ARC4 stream keyed by its
+// session key.  Per message, 32 bytes are drawn from the stream to key a
+// SHA-1 MAC (never used as encryption keystream); the MAC covers length
+// and plaintext; then length || plaintext || MAC are all encrypted.
+#ifndef SFS_SRC_SFS_SESSION_H_
+#define SFS_SRC_SFS_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/crypto/arc4.h"
+#include "src/crypto/prng.h"
+#include "src/crypto/rabin.h"
+#include "src/sfs/pathname.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace sfs {
+
+// One direction of the secure channel.
+class ChannelCipher {
+ public:
+  explicit ChannelCipher(const util::Bytes& session_key);
+
+  // Seals one message: draws the per-message MAC key, MACs length +
+  // plaintext, encrypts everything.
+  util::Bytes Seal(const util::Bytes& plaintext);
+
+  // Opens a sealed message; any tampering, truncation, replay, or
+  // reordering desynchronizes the stream or breaks the MAC and yields
+  // kSecurityError.
+  util::Result<util::Bytes> Open(const util::Bytes& sealed);
+
+ private:
+  crypto::Arc4 stream_;
+};
+
+// Both directions plus the session identity material.
+struct SessionKeys {
+  util::Bytes kcs;  // client -> server
+  util::Bytes ksc;  // server -> client
+
+  // SessionID = SHA-1("SessionInfo", ksc, kcs), paper §3.1.2.
+  util::Bytes SessionId() const;
+};
+
+// AuthInfo/AuthID for user authentication (paper §3.1.2):
+//   AuthInfo = {"AuthInfo", "FS", Location, HostID, SessionID}
+//   AuthID   = SHA-1(AuthInfo)
+util::Bytes MakeAuthInfo(const SelfCertifyingPath& path, const util::Bytes& session_id);
+util::Bytes MakeAuthId(const util::Bytes& auth_info);
+
+// Derives both session keys from the four exchanged key halves.
+SessionKeys DeriveSessionKeys(const crypto::RabinPublicKey& server_key,
+                              const crypto::RabinPublicKey& client_key,
+                              const util::Bytes& kc1, const util::Bytes& kc2,
+                              const util::Bytes& ks1, const util::Bytes& ks2);
+
+// Client side of the Figure 3 negotiation, computed against a server
+// public key that has already been checked against the HostID.
+struct ClientNegotiation {
+  crypto::RabinPrivateKey ephemeral_key;  // K_C
+  util::Bytes kc1;
+  util::Bytes kc2;
+  util::Bytes enc_kc1;  // {kc1}_KS
+  util::Bytes enc_kc2;  // {kc2}_KS
+
+  static util::Result<ClientNegotiation> Start(const crypto::RabinPublicKey& server_key,
+                                               crypto::Prng* prng, size_t ephemeral_bits);
+
+  // Step 4: decrypt the server's halves and derive session keys.
+  util::Result<SessionKeys> Finish(const crypto::RabinPublicKey& server_key,
+                                   const util::Bytes& enc_ks1,
+                                   const util::Bytes& enc_ks2) const;
+};
+
+// Server side: processes step 3, produces step 4.
+struct ServerNegotiation {
+  SessionKeys keys;
+  util::Bytes enc_ks1;
+  util::Bytes enc_ks2;
+
+  static util::Result<ServerNegotiation> Respond(const crypto::RabinPrivateKey& server_key,
+                                                 const util::Bytes& client_pubkey_bytes,
+                                                 const util::Bytes& enc_kc1,
+                                                 const util::Bytes& enc_kc2,
+                                                 crypto::Prng* prng);
+};
+
+}  // namespace sfs
+
+#endif  // SFS_SRC_SFS_SESSION_H_

@@ -1,0 +1,47 @@
+// Umbrella header: the SFS public API in one include.
+//
+//   #include "src/sfs/sfs.h"
+//
+// The pieces, bottom-up (each header carries its own detailed docs):
+//
+//   sfs::SelfCertifyingPath   (pathname.h)  — /sfs/Location:HostID names;
+//       parse, format, and certify server keys against HostIDs.
+//   sfs::ChannelCipher etc.   (session.h)   — the Figure-3 key negotiation
+//       and the per-message ARC4 + rekeyed-HMAC secure channel.
+//   sfs::SfsServer            (server.h)    — sfssd/sfsrwsd: serves a MemFs
+//       over the read-write dialect (encrypted handles, leases, authno
+//       credentials), hosts read-only images, answers SRP, serves
+//       revocation certificates.
+//   sfs::SfsClient            (client.h)    — sfscd: mounts self-certifying
+//       paths, certifies keys, negotiates sessions, stacks the caches,
+//       runs per-user Figure-4 authentication via agent signers.
+//   sfs::PathRevokeCert       (revocation.h)— self-authenticating
+//       revocations and forwarding pointers.
+//   sfs::SrpFetchKey etc.     (sfskey.h)    — password-only bootstrap:
+//       fetch the server's path + the user's encrypted key via SRP.
+//   sfs::FormatRemoteUser     (idmap.h)     — the libsfs %user convention.
+//
+// Typical wiring (see examples/quickstart.cpp for the runnable version):
+//
+//   sim::Clock clock;                    // Virtual time.
+//   sim::CostModel costs;                // Era-calibrated CPU costs.
+//   auth::AuthServer authserver;         // pubkey -> credentials.
+//   sfs::SfsServer server(&clock, &costs, {.location = "host.org"}, &authserver);
+//   sfs::SfsClient client(&clock, &costs, dialer, {});
+//   vfs::Vfs vfs(&clock, &costs);        // The "kernel".
+//   vfs.MountRoot(&local_fs, local_fs.root_handle());
+//   vfs.EnableSfs(&client);
+//   vfs.Open(user, server.Path().FullPath() + "/file", vfs::OpenFlags::CreateRw());
+#ifndef SFS_SRC_SFS_SFS_H_
+#define SFS_SRC_SFS_SFS_H_
+
+#include "src/sfs/client.h"
+#include "src/sfs/idmap.h"
+#include "src/sfs/pathname.h"
+#include "src/sfs/proto.h"
+#include "src/sfs/revocation.h"
+#include "src/sfs/server.h"
+#include "src/sfs/session.h"
+#include "src/sfs/sfskey.h"
+
+#endif  // SFS_SRC_SFS_SFS_H_

@@ -1,0 +1,66 @@
+// sfskey: the user's key-management utility (paper §2.4, §2.5.2).
+//
+// With nothing but a password, sfskey contacts a server's authserver over
+// an *insecure* connection, runs SRP (which authenticates both sides
+// without exposing the password to offline guessing), and downloads the
+// server's self-certifying pathname plus an encrypted copy of the user's
+// private key.  The password also decrypts that key — a safe design
+// because the server only ever stores the SRP verifier and a ciphertext.
+//
+// Passwords are hardened with eksblowfish at a configurable cost, so
+// guessing attacks "continue to take almost a full second of CPU time per
+// account and candidate password tried" at an appropriate setting.
+#ifndef SFS_SRC_SFS_SFSKEY_H_
+#define SFS_SRC_SFS_SFSKEY_H_
+
+#include <string>
+
+#include "src/auth/authserver.h"
+#include "src/crypto/prng.h"
+#include "src/crypto/rabin.h"
+#include "src/sfs/server.h"
+#include "src/sim/network.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace sfs {
+
+// Encrypts a private key under a password: salt || cost || sealed-blob,
+// where the seal key is eksblowfish(cost, salt, password).
+util::Bytes EncryptPrivateKey(const crypto::RabinPrivateKey& key, const std::string& password,
+                              unsigned cost, crypto::Prng* prng);
+
+// Inverts EncryptPrivateKey; fails on a wrong password (MAC mismatch).
+util::Result<crypto::RabinPrivateKey> DecryptPrivateKey(const util::Bytes& blob,
+                                                        const std::string& password);
+
+// Builds the complete per-user private record the user registers with
+// authserv: SRP verifier + encrypted private key, both derived from one
+// password ("typically also the password used in SRP").
+auth::PrivateUserRecord MakeSrpRecord(const std::string& password, unsigned cost,
+                                      const crypto::RabinPrivateKey& key, crypto::Prng* prng);
+
+// What "sfskey add user@server" returns.
+struct SfsKeyFetch {
+  std::string self_certifying_path;  // e.g. "/sfs/sfs.lcs.mit.edu:vefa...".
+  crypto::RabinPrivateKey private_key;
+};
+
+// Runs the full SRP fetch against `server` over a fresh connection with
+// the given link profile.  One password prompt; no administrators, no
+// certification authorities.
+util::Result<SfsKeyFetch> SrpFetchKey(sim::Clock* clock, SfsServer* server,
+                                      sim::LinkProfile profile, const std::string& user,
+                                      const std::string& password, crypto::Prng* prng);
+
+// "sfskey changepw": proves knowledge of the old password (a full SRP
+// fetch), then re-registers a fresh verifier and a re-encrypted private
+// key under the new password.  The authserver never sees either password.
+util::Status SrpChangePassword(sim::Clock* clock, SfsServer* server, sim::LinkProfile profile,
+                               const std::string& user, const std::string& old_password,
+                               const std::string& new_password, unsigned cost,
+                               crypto::Prng* prng);
+
+}  // namespace sfs
+
+#endif  // SFS_SRC_SFS_SFSKEY_H_

@@ -1,0 +1,43 @@
+// Virtual time for the simulation environment.
+//
+// All benchmark time in this repository is virtual: components charge the
+// clock for network transit, disk mechanics, crypto CPU and user-level
+// crossings according to the cost model, which makes every run
+// deterministic regardless of the host machine.  See DESIGN.md §1 for why
+// this substitution preserves the paper's comparisons.
+#ifndef SFS_SRC_SIM_CLOCK_H_
+#define SFS_SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace sim {
+
+class Clock {
+ public:
+  Clock() = default;
+
+  uint64_t now_ns() const { return now_ns_; }
+  void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+
+  double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+// Measures virtual elapsed time across a scope.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock), start_ns_(clock->now_ns()) {}
+  uint64_t elapsed_ns() const { return clock_->now_ns() - start_ns_; }
+  double elapsed_seconds() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+  void Reset() { start_ns_ = clock_->now_ns(); }
+
+ private:
+  const Clock* clock_;
+  uint64_t start_ns_;
+};
+
+}  // namespace sim
+
+#endif  // SFS_SRC_SIM_CLOCK_H_

@@ -1,0 +1,61 @@
+// Disk mechanics model for the in-memory file server.
+//
+// Approximates the evaluation's IBM 18ES SCSI disk (§4.1): milliseconds
+// of seek + rotational delay for non-sequential access, a fixed transfer
+// rate, and expensive synchronous metadata updates (which dominate the
+// unlink phase of the Sprite LFS small-file benchmark, §4.4).
+//
+// The model tracks a simple buffer cache notion: data written through the
+// file system is resident in server memory, so re-reads are free;
+// workload files pre-loaded as "cold" charge disk on first read.
+#ifndef SFS_SRC_SIM_DISK_H_
+#define SFS_SRC_SIM_DISK_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+
+namespace sim {
+
+struct DiskProfile {
+  uint64_t seek_ns = 6'000'000;        // Average seek + rotational delay.
+  uint64_t bytes_per_sec = 15'000'000; // Media transfer rate.
+  uint64_t meta_update_ns = 4'000'000; // Synchronous metadata write (create/unlink/rename).
+
+  static DiskProfile Ibm18Es() { return DiskProfile{}; }
+};
+
+class Disk {
+ public:
+  Disk(Clock* clock, DiskProfile profile) : clock_(clock), profile_(profile) {}
+
+  // Cold read of `bytes` from `file_id` at `offset`.  Sequential
+  // continuation of the previous read skips the seek.
+  void ChargeRead(uint64_t file_id, uint64_t offset, uint64_t bytes);
+
+  // Asynchronous (buffered) write: no immediate cost; the cost is paid at
+  // Commit time.  We accumulate the dirty byte count here.
+  void BufferWrite(uint64_t bytes) { dirty_bytes_ += bytes; }
+
+  // Synchronous flush of buffered data (NFS COMMIT / stable writes).
+  void ChargeCommit();
+
+  // Synchronous metadata update.
+  void ChargeMetaUpdate() { clock_->Advance(profile_.meta_update_ns); }
+
+  uint64_t dirty_bytes() const { return dirty_bytes_; }
+
+  // Forgets buffered writes without charging (benchmark setup helper).
+  void DiscardDirty() { dirty_bytes_ = 0; }
+
+ private:
+  Clock* clock_;
+  DiskProfile profile_;
+  uint64_t dirty_bytes_ = 0;
+  uint64_t last_file_id_ = ~uint64_t{0};
+  uint64_t next_sequential_offset_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SFS_SRC_SIM_DISK_H_

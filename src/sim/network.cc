@@ -1,0 +1,45 @@
+#include "src/sim/network.h"
+
+namespace sim {
+
+void Link::ChargeOneWay(size_t bytes) {
+  uint64_t transit = profile_.latency_ns + profile_.per_message_ns;
+  if (profile_.bytes_per_sec > 0) {
+    transit += static_cast<uint64_t>(bytes) * 1'000'000'000 / profile_.bytes_per_sec;
+  }
+  clock_->Advance(transit);
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+}
+
+util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
+  util::Bytes wire_request = request;
+  if (interposer_ != nullptr) {
+    auto intercepted = interposer_->OnRequest(std::move(wire_request));
+    if (!intercepted.ok()) {
+      return util::Unavailable("request dropped in transit: " +
+                               intercepted.status().message());
+    }
+    wire_request = std::move(intercepted).value();
+  }
+  ChargeOneWay(wire_request.size());
+
+  auto response = service_->Handle(wire_request);
+  if (!response.ok()) {
+    return response.status();
+  }
+  util::Bytes wire_response = std::move(response).value();
+
+  if (interposer_ != nullptr) {
+    auto intercepted = interposer_->OnResponse(std::move(wire_response));
+    if (!intercepted.ok()) {
+      return util::Unavailable("response dropped in transit: " +
+                               intercepted.status().message());
+    }
+    wire_response = std::move(intercepted).value();
+  }
+  ChargeOneWay(wire_response.size());
+  return wire_response;
+}
+
+}  // namespace sim

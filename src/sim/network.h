@@ -1,0 +1,88 @@
+// Simulated network: links with latency/bandwidth, a synchronous
+// request/response discipline, and an adversary interposition point.
+//
+// The paper's threat model (§2.1.2): "malicious parties entirely control
+// the network.  Attackers can intercept packets, tamper with them, and
+// inject new packets."  The Interposer hook gives tests exactly these
+// powers; the LinkProfile reproduces the 100 Mbit/s switched Ethernet of
+// the evaluation (§4.1) with separate UDP-like and TCP-like profiles.
+#ifndef SFS_SRC_SIM_NETWORK_H_
+#define SFS_SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace sim {
+
+// A request handler on the far side of a link ("the server machine").
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual util::Result<util::Bytes> Handle(const util::Bytes& request) = 0;
+};
+
+// Adversary hook: sees (and may rewrite, drop, or fabricate) every
+// message in both directions.
+class Interposer {
+ public:
+  virtual ~Interposer() = default;
+  // Return modified bytes to forward, or an error status to drop the
+  // message (the caller observes kUnavailable).
+  virtual util::Result<util::Bytes> OnRequest(util::Bytes request) { return request; }
+  virtual util::Result<util::Bytes> OnResponse(util::Bytes response) { return response; }
+};
+
+struct LinkProfile {
+  uint64_t latency_ns;          // One-way propagation + switching.
+  uint64_t bytes_per_sec;       // Wire bandwidth.
+  uint64_t per_message_ns;      // Per-packet protocol overhead (one way).
+
+  // 100 Mbit/s Ethernet, UDP transport (the paper's NFS 3 default).
+  static LinkProfile Udp() { return {45'000, 12'500'000, 25'000}; }
+  // Same wire, TCP transport (stream reassembly + ack overhead).  This is
+  // the profile SFS connections use.
+  static LinkProfile Tcp() { return {45'000, 11'500'000, 33'000}; }
+  // FreeBSD 3.3's in-kernel NFS-over-TCP, which the paper found
+  // "suboptimal" (§4.1, including a kernel panic while writing a large
+  // file): same latency, degraded streaming bandwidth.
+  static LinkProfile NfsTcpKernel() { return {45'000, 8'200'000, 33'000}; }
+  // Loopback for the local-FS baseline.
+  static LinkProfile Local() { return {0, 0, 0}; }
+};
+
+// A bidirectional link to one service.  Roundtrip() charges virtual time
+// for both directions and runs the interposer chain.
+class Link {
+ public:
+  Link(Clock* clock, LinkProfile profile, Service* service)
+      : clock_(clock), profile_(profile), service_(service) {}
+
+  // Installs (or clears, with nullptr) the adversary.
+  void set_interposer(Interposer* interposer) { interposer_ = interposer; }
+
+  util::Result<util::Bytes> Roundtrip(const util::Bytes& request);
+
+  // Counters for benchmark reporting.
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+  Clock* clock() const { return clock_; }
+  const LinkProfile& profile() const { return profile_; }
+
+ private:
+  void ChargeOneWay(size_t bytes);
+
+  Clock* clock_;
+  LinkProfile profile_;
+  Service* service_;
+  Interposer* interposer_ = nullptr;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SFS_SRC_SIM_NETWORK_H_

@@ -1,0 +1,156 @@
+// Lightweight Status / Result<T> error handling used across the SFS tree.
+//
+// SFS modules do not throw exceptions across module boundaries; fallible
+// operations return util::Status (or util::Result<T> when they also produce
+// a value).  This mirrors the style of other os-systems codebases where
+// error propagation must be explicit and cheap.
+#ifndef SFS_SRC_UTIL_STATUS_H_
+#define SFS_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace util {
+
+// Broad error categories.  SFS maps protocol-level failures (bad MAC, bad
+// signature, revoked HostID, ...) onto these so callers can react uniformly.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad pathname, bad XDR, ...)
+  kNotFound,          // no such file/server/key
+  kPermissionDenied,  // access control said no
+  kSecurityError,     // cryptographic verification failed (MAC, signature, HostID)
+  kUnavailable,       // server unreachable / connection torn down
+  kAlreadyExists,     // create on an existing name
+  kOutOfRange,        // offset/length outside object
+  kFailedPrecondition,// operation not valid in current state
+  kInternal,          // invariant violation; indicates a bug
+};
+
+// Human-readable name for an ErrorCode ("OK", "SECURITY_ERROR", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// A Status is either OK or an (ErrorCode, message) pair.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "SECURITY_ERROR: mac check failed".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(ErrorCode::kPermissionDenied, std::move(msg));
+}
+inline Status SecurityError(std::string msg) {
+  return Status(ErrorCode::kSecurityError, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(ErrorCode::kUnavailable, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(ErrorCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or
+  // `return util::NotFound("...");`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(value_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(value_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace util
+
+// Propagate a non-OK Status from an expression.
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::util::Status _status = (expr);           \
+    if (!_status.ok()) {                       \
+      return _status;                          \
+    }                                          \
+  } while (0)
+
+// Evaluate a Result-returning expression; bind the value or propagate.
+#define ASSIGN_OR_RETURN(lhs, rexpr)           \
+  ASSIGN_OR_RETURN_IMPL(                       \
+      SFS_STATUS_CONCAT(_result, __LINE__), lhs, rexpr)
+#define ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                          \
+  if (!result.ok()) {                             \
+    return result.status();                       \
+  }                                               \
+  lhs = std::move(result).value()
+#define SFS_STATUS_CONCAT_INNER(a, b) a##b
+#define SFS_STATUS_CONCAT(a, b) SFS_STATUS_CONCAT_INNER(a, b)
+
+#endif  // SFS_SRC_UTIL_STATUS_H_

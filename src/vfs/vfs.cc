@@ -1,0 +1,769 @@
+#include "src/vfs/vfs.h"
+
+#include <deque>
+
+#include "src/util/log.h"
+
+namespace vfs {
+namespace {
+
+constexpr int kMaxSymlinkDepth = 40;
+
+util::Status NfsError(nfs::Stat s, const std::string& context) {
+  return nfs::ToStatus(s, context);
+}
+
+nfs::Fattr SyntheticDirAttr(uint64_t fileid) {
+  nfs::Fattr attr;
+  attr.type = nfs::FileType::kDirectory;
+  attr.mode = 0555;
+  attr.nlink = 2;
+  attr.fileid = fileid;
+  return attr;
+}
+
+}  // namespace
+
+void Vfs::MountRoot(nfs::FileSystemApi* fs, nfs::FileHandle root_fh) {
+  root_fs_ = fs;
+  root_fh_ = std::move(root_fh);
+}
+
+void Vfs::EnableSfs(sfs::SfsClient* client) { sfs_client_ = client; }
+
+void Vfs::AddStaticSfsMount(const std::string& component, nfs::FileSystemApi* fs,
+                            nfs::FileHandle root_fh) {
+  static_sfs_mounts_[component] = StaticMount{fs, std::move(root_fh)};
+}
+
+void Vfs::CheckRevocationDirs(const UserContext& user, const sfs::SelfCertifyingPath& path,
+                              int* depth) {
+  if (user.agent == nullptr || user.agent->IsRevoked(path)) {
+    return;
+  }
+  std::string cert_name = util::Base32Encode(path.host_id);
+  for (const std::string& dir : user.agent->revocation_dirs()) {
+    std::string cert_path = dir;
+    if (cert_path.empty() || cert_path.back() != '/') {
+      cert_path.push_back('/');
+    }
+    cert_path += cert_name;
+    auto vnode = Resolve(user, cert_path, /*follow_terminal_symlink=*/true, depth);
+    if (!vnode.ok()) {
+      continue;
+    }
+    // Read the whole certificate file.
+    nfs::Fattr attr;
+    if (vnode->fs->GetAttr(vnode->fh, &attr) != nfs::Stat::kOk ||
+        attr.type != nfs::FileType::kRegular || attr.size > 65536) {
+      continue;
+    }
+    util::Bytes blob;
+    bool eof = false;
+    if (vnode->fs->Read(vnode->fh, user.creds, 0, static_cast<uint32_t>(attr.size), &blob,
+                        &eof) != nfs::Stat::kOk) {
+      continue;
+    }
+    auto cert = sfs::PathRevokeCert::Deserialize(blob);
+    if (!cert.ok()) {
+      continue;
+    }
+    // AddRevocation verifies the signature and that the certificate is a
+    // true revocation; a bogus file in the directory is simply ignored.
+    if (cert->RevokedPath().host_id == path.host_id) {
+      user.agent->AddRevocation(cert.value());
+      return;
+    }
+  }
+}
+
+std::vector<std::string> Vfs::SplitPath(const std::string& path) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : path) {
+    if (c == '/') {
+      if (!current.empty()) {
+        out.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    out.push_back(current);
+  }
+  return out;
+}
+
+util::Result<Vfs::Vnode> Vfs::MountSelfCertifying(const UserContext& user,
+                                                  const sfs::SelfCertifyingPath& path) {
+  // The agent gets the first word on revocation and blocking (§2.6).
+  if (user.agent != nullptr) {
+    if (user.agent->IsRevoked(path)) {
+      return util::SecurityError("pathname revoked (resolves to " +
+                                 std::string(sfs::kRevokedLinkTarget) + ")");
+    }
+    if (user.agent->IsBlocked(path)) {
+      return util::SecurityError("HostID blocked by agent (resolves to " +
+                                 std::string(sfs::kRevokedLinkTarget) + ")");
+    }
+  }
+  ASSIGN_OR_RETURN(sfs::SfsClient::MountPoint * mount, sfs_client_->Mount(path));
+
+  // First touch by this user: run the Figure 4 authentication, trying the
+  // agent's keys in succession; fall back to anonymous.
+  uint32_t uid = user.creds.uid;
+  if (!mount->HasAuthState(uid)) {
+    bool authenticated = false;
+    if (user.agent != nullptr) {
+      for (size_t i = 0; i < user.agent->key_count(); ++i) {
+        agent::Agent* ag = user.agent;
+        auto signer = [ag, i](const util::Bytes& info,
+                              uint32_t seqno) -> std::optional<util::Bytes> {
+          return ag->SignAuthRequest(i, info, seqno);
+        };
+        util::Status status = mount->Authenticate(uid, signer);
+        if (status.ok() && mount->AuthnoFor(uid) != sfs::kAnonymousAuthno) {
+          authenticated = true;
+          break;
+        }
+      }
+    }
+    if (!authenticated && !mount->HasAuthState(uid)) {
+      mount->Authenticate(uid, [](const util::Bytes&, uint32_t) { return std::nullopt; });
+    }
+  }
+  if (user.agent != nullptr) {
+    sfs_accessed_[user.agent].insert(path.ComponentName());
+  }
+
+  Vnode out;
+  out.kind = Vnode::Kind::kReal;
+  out.fs = mount->fs();
+  out.fh = mount->root_fh();
+  out.canonical = path.FullPath();
+  return out;
+}
+
+util::Result<std::optional<std::string>> Vfs::SfsComponentTarget(const UserContext& user,
+                                                                 const std::string& component,
+                                                                 int* depth, Vnode* out) {
+  auto static_mount = static_sfs_mounts_.find(component);
+  if (static_mount != static_sfs_mounts_.end()) {
+    out->kind = Vnode::Kind::kReal;
+    out->fs = static_mount->second.fs;
+    out->fh = static_mount->second.root_fh;
+    out->canonical = std::string(sfs::kSfsRoot) + "/" + component;
+    if (user.agent != nullptr) {
+      sfs_accessed_[user.agent].insert(component);
+    }
+    return std::optional<std::string>();
+  }
+
+  auto parsed = sfs::SelfCertifyingPath::Parse(component);
+  if (parsed.ok()) {
+    // Revocation check (paper §2.6): the agent consults its revocation
+    // directories before the client will touch a new HostID.
+    CheckRevocationDirs(user, parsed.value(), depth);
+    ASSIGN_OR_RETURN(*out, MountSelfCertifying(user, parsed.value()));
+    return std::optional<std::string>();  // Mounted; no redirect.
+  }
+
+  if (user.agent == nullptr) {
+    return util::NotFound("/sfs/" + component + ": no such file (no agent)");
+  }
+
+  // Agent dynamic links (secure bookmarks, manual key distribution, links
+  // created on the fly).
+  auto link = user.agent->LookupLink(component);
+  if (link.has_value()) {
+    return std::optional<std::string>(*link);
+  }
+
+  // Certification paths: search each directory for a symlink of the same
+  // name; on a hit, create the on-the-fly /sfs link (§2.4).
+  for (const std::string& dir : user.agent->cert_path()) {
+    std::string candidate = dir;
+    if (candidate.empty() || candidate.back() != '/') {
+      candidate.push_back('/');
+    }
+    candidate += component;
+    auto vnode = Resolve(user, candidate, /*follow_terminal_symlink=*/false, depth);
+    if (!vnode.ok()) {
+      continue;
+    }
+    nfs::Fattr attr;
+    if (vnode->fs->GetAttr(vnode->fh, &attr) != nfs::Stat::kOk) {
+      continue;
+    }
+    std::string target;
+    if (attr.type == nfs::FileType::kSymlink &&
+        vnode->fs->ReadLink(vnode->fh, user.creds, &target) == nfs::Stat::kOk) {
+      user.agent->AddLink(component, target);
+      return std::optional<std::string>(target);
+    }
+    if (attr.type == nfs::FileType::kDirectory) {
+      // A real directory entry in the certification path also works: the
+      // /sfs name aliases it.
+      user.agent->AddLink(component, vnode->canonical);
+      return std::optional<std::string>(vnode->canonical);
+    }
+  }
+  return util::NotFound("/sfs/" + component + ": no such file");
+}
+
+util::Result<Vfs::Vnode> Vfs::Resolve(const UserContext& user, const std::string& path,
+                                      bool follow_terminal_symlink, int* depth) {
+  if (root_fs_ == nullptr) {
+    return util::FailedPrecondition("no root file system mounted");
+  }
+  if (path.empty() || path[0] != '/') {
+    return util::InvalidArgument("path must be absolute: " + path);
+  }
+
+  Vnode current;
+  current.kind = Vnode::Kind::kRoot;
+  current.fs = root_fs_;
+  current.fh = root_fh_;
+  current.canonical = "";
+
+  std::vector<Vnode> ancestry;
+  std::deque<std::string> todo;
+  for (std::string& c : SplitPath(path)) {
+    todo.push_back(std::move(c));
+  }
+
+  while (!todo.empty()) {
+    std::string component = std::move(todo.front());
+    todo.pop_front();
+    if (component == ".") {
+      continue;
+    }
+    if (component == "..") {
+      if (!ancestry.empty()) {
+        current = ancestry.back();
+        ancestry.pop_back();
+      }
+      continue;
+    }
+    bool is_last = todo.empty();
+
+    Vnode next;
+    if (current.kind == Vnode::Kind::kSfsDir) {
+      ASSIGN_OR_RETURN(std::optional<std::string> redirect,
+                       SfsComponentTarget(user, component, depth, &next));
+      if (redirect.has_value()) {
+        // Acts as a symlink at /sfs/<component>.
+        if (++*depth > kMaxSymlinkDepth) {
+          return util::InvalidArgument("too many levels of symbolic links");
+        }
+        std::vector<std::string> target_parts = SplitPath(*redirect);
+        for (auto it = target_parts.rbegin(); it != target_parts.rend(); ++it) {
+          todo.push_front(*it);
+        }
+        if (!redirect->empty() && (*redirect)[0] == '/') {
+          ancestry.clear();
+          current.kind = Vnode::Kind::kRoot;
+          current.fs = root_fs_;
+          current.fh = root_fh_;
+          current.canonical = "";
+        }
+        continue;
+      }
+      // Mounted a remote file system; `next` is its root.
+    } else {
+      if (current.kind == Vnode::Kind::kRoot && component == "sfs" &&
+          sfs_client_ != nullptr) {
+        next.kind = Vnode::Kind::kSfsDir;
+        next.canonical = "/sfs";
+      } else {
+        nfs::FileHandle child_fh;
+        nfs::Fattr attr;
+        nfs::Stat s = current.fs->Lookup(current.fh, component, user.creds, &child_fh, &attr);
+        if (s != nfs::Stat::kOk) {
+          return NfsError(s, current.canonical + "/" + component);
+        }
+        if (attr.type == nfs::FileType::kSymlink &&
+            (!is_last || follow_terminal_symlink)) {
+          if (++*depth > kMaxSymlinkDepth) {
+            return util::InvalidArgument("too many levels of symbolic links");
+          }
+          std::string target;
+          nfs::Stat rs = current.fs->ReadLink(child_fh, user.creds, &target);
+          if (rs != nfs::Stat::kOk) {
+            return NfsError(rs, "readlink " + current.canonical + "/" + component);
+          }
+          std::vector<std::string> target_parts = SplitPath(target);
+          for (auto it = target_parts.rbegin(); it != target_parts.rend(); ++it) {
+            todo.push_front(*it);
+          }
+          if (!target.empty() && target[0] == '/') {
+            ancestry.clear();
+            current.kind = Vnode::Kind::kRoot;
+            current.fs = root_fs_;
+            current.fh = root_fh_;
+            current.canonical = "";
+          }
+          continue;  // Stay in the same directory for relative targets.
+        }
+        next.kind = Vnode::Kind::kReal;
+        next.fs = current.fs;
+        next.fh = child_fh;
+        next.canonical = current.canonical + "/" + component;
+      }
+    }
+    ancestry.push_back(current);
+    current = next;
+  }
+  if (current.kind == Vnode::Kind::kRoot) {
+    current.canonical = "/";
+  }
+  return current;
+}
+
+util::Result<Vfs::Vnode> Vfs::ResolveParent(const UserContext& user, const std::string& path,
+                                            std::string* leaf, int* depth) {
+  if (path.empty() || path[0] != '/') {
+    return util::InvalidArgument("path must be absolute: " + path);
+  }
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return util::InvalidArgument("cannot operate on /");
+  }
+  *leaf = parts.back();
+  if (*leaf == "." || *leaf == "..") {
+    return util::InvalidArgument("invalid final path component");
+  }
+  std::string parent = "/";
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    parent += parts[i];
+    parent += '/';
+  }
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, parent, /*follow_terminal_symlink=*/true, depth));
+  if (vnode.kind == Vnode::Kind::kSfsDir) {
+    return util::PermissionDenied("/sfs is not writable");
+  }
+  return vnode;
+}
+
+util::Result<OpenFile> Vfs::Open(const UserContext& user, const std::string& path,
+                                 const OpenFlags& flags) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+
+  nfs::FileSystemApi* fs = nullptr;
+  nfs::FileHandle fh;
+  nfs::Fattr attr;
+
+  if (flags.create) {
+    std::string leaf;
+    ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, path, &leaf, &depth));
+    nfs::FileHandle existing;
+    nfs::Stat s = parent.fs->Lookup(parent.fh, leaf, user.creds, &existing, &attr);
+    if (s == nfs::Stat::kOk) {
+      if (flags.exclusive) {
+        return util::AlreadyExists(path);
+      }
+      if (attr.type == nfs::FileType::kSymlink) {
+        // O_CREAT on an existing symlink: follow it.
+        ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
+        fs = vnode.fs;
+        fh = vnode.fh;
+        nfs::Stat gs = fs->GetAttr(fh, &attr);
+        if (gs != nfs::Stat::kOk) {
+          return NfsError(gs, path);
+        }
+      } else {
+        fs = parent.fs;
+        fh = existing;
+      }
+    } else if (s == nfs::Stat::kNoEnt) {
+      nfs::Sattr sattr;
+      sattr.mode = flags.mode;
+      nfs::Stat cs = parent.fs->Create(parent.fh, leaf, user.creds, sattr, &fh, &attr);
+      if (cs != nfs::Stat::kOk) {
+        return NfsError(cs, "create " + path);
+      }
+      fs = parent.fs;
+    } else {
+      return NfsError(s, path);
+    }
+  } else {
+    ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
+    if (vnode.kind != Vnode::Kind::kReal && vnode.kind != Vnode::Kind::kRoot) {
+      return util::InvalidArgument("cannot open " + path);
+    }
+    fs = vnode.fs;
+    fh = vnode.fh;
+    nfs::Stat gs = fs->GetAttr(fh, &attr);
+    if (gs != nfs::Stat::kOk) {
+      return NfsError(gs, path);
+    }
+  }
+
+  if (attr.type == nfs::FileType::kDirectory && flags.write) {
+    return util::InvalidArgument(path + ": is a directory");
+  }
+
+  // The open-time permission check (the ACCESS RPC pattern of real NFS3
+  // clients; served from the access cache on SFS mounts).
+  uint32_t want = 0;
+  if (flags.read) {
+    want |= nfs::kAccessRead;
+  }
+  if (flags.write) {
+    want |= nfs::kAccessModify;
+  }
+  if (want != 0) {
+    uint32_t allowed = 0;
+    nfs::Stat as = fs->Access(fh, user.creds, want, &allowed);
+    if (as != nfs::Stat::kOk) {
+      return NfsError(as, path);
+    }
+    if ((allowed & want) != want) {
+      return util::PermissionDenied(path);
+    }
+  }
+
+  if (flags.truncate && flags.write && attr.size > 0) {
+    nfs::Sattr sattr;
+    sattr.size = 0;
+    nfs::Stat ts = fs->SetAttr(fh, user.creds, sattr, &attr);
+    if (ts != nfs::Stat::kOk) {
+      return NfsError(ts, "truncate " + path);
+    }
+  }
+
+  OpenFile file;
+  file.vfs_ = this;
+  file.fs_ = fs;
+  file.fh_ = fh;
+  file.creds_ = user.creds;
+  file.writable_ = flags.write;
+  file.open_ = true;
+  return file;
+}
+
+util::Status Vfs::Mkdir(const UserContext& user, const std::string& path, uint32_t mode) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  std::string leaf;
+  ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, path, &leaf, &depth));
+  nfs::FileHandle out;
+  nfs::Fattr attr;
+  return NfsError(parent.fs->Mkdir(parent.fh, leaf, user.creds, mode, &out, &attr), path);
+}
+
+util::Status Vfs::Symlink(const UserContext& user, const std::string& target,
+                          const std::string& link_path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  std::string leaf;
+  ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, link_path, &leaf, &depth));
+  nfs::FileHandle out;
+  nfs::Fattr attr;
+  return NfsError(parent.fs->Symlink(parent.fh, leaf, target, user.creds, &out, &attr),
+                  link_path);
+}
+
+util::Status Vfs::Unlink(const UserContext& user, const std::string& path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  std::string leaf;
+  ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, path, &leaf, &depth));
+  return NfsError(parent.fs->Remove(parent.fh, leaf, user.creds), path);
+}
+
+util::Status Vfs::Rmdir(const UserContext& user, const std::string& path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  std::string leaf;
+  ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, path, &leaf, &depth));
+  return NfsError(parent.fs->Rmdir(parent.fh, leaf, user.creds), path);
+}
+
+util::Status Vfs::Rename(const UserContext& user, const std::string& from,
+                         const std::string& to) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  std::string from_leaf;
+  std::string to_leaf;
+  ASSIGN_OR_RETURN(Vnode from_parent, ResolveParent(user, from, &from_leaf, &depth));
+  ASSIGN_OR_RETURN(Vnode to_parent, ResolveParent(user, to, &to_leaf, &depth));
+  if (from_parent.fs != to_parent.fs) {
+    return util::InvalidArgument("rename across file systems");
+  }
+  return NfsError(
+      from_parent.fs->Rename(from_parent.fh, from_leaf, to_parent.fh, to_leaf, user.creds),
+      from);
+}
+
+util::Status Vfs::HardLink(const UserContext& user, const std::string& existing_path,
+                           const std::string& new_path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode target, Resolve(user, existing_path, true, &depth));
+  std::string leaf;
+  ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, new_path, &leaf, &depth));
+  if (target.fs != parent.fs) {
+    return util::InvalidArgument("hard link across file systems");
+  }
+  return NfsError(parent.fs->Link(target.fh, parent.fh, leaf, user.creds), new_path);
+}
+
+util::Result<nfs::Fattr> Vfs::Stat(const UserContext& user, const std::string& path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
+  if (vnode.kind == Vnode::Kind::kSfsDir) {
+    return SyntheticDirAttr(/*fileid=*/2);
+  }
+  nfs::Fattr attr;
+  nfs::Stat s = vnode.fs->GetAttr(vnode.fh, &attr);
+  if (s != nfs::Stat::kOk) {
+    return NfsError(s, path);
+  }
+  return attr;
+}
+
+util::Result<nfs::Fattr> Vfs::Lstat(const UserContext& user, const std::string& path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, false, &depth));
+  if (vnode.kind == Vnode::Kind::kSfsDir) {
+    return SyntheticDirAttr(/*fileid=*/2);
+  }
+  nfs::Fattr attr;
+  nfs::Stat s = vnode.fs->GetAttr(vnode.fh, &attr);
+  if (s != nfs::Stat::kOk) {
+    return NfsError(s, path);
+  }
+  return attr;
+}
+
+util::Result<std::string> Vfs::ReadLink(const UserContext& user, const std::string& path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, false, &depth));
+  std::string target;
+  nfs::Stat s = vnode.fs->ReadLink(vnode.fh, user.creds, &target);
+  if (s != nfs::Stat::kOk) {
+    return NfsError(s, path);
+  }
+  return target;
+}
+
+util::Status Vfs::Chmod(const UserContext& user, const std::string& path, uint32_t mode) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
+  nfs::Sattr sattr;
+  sattr.mode = mode;
+  nfs::Fattr attr;
+  return NfsError(vnode.fs->SetAttr(vnode.fh, user.creds, sattr, &attr), path);
+}
+
+util::Status Vfs::Truncate(const UserContext& user, const std::string& path, uint64_t size) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
+  nfs::Sattr sattr;
+  sattr.size = size;
+  nfs::Fattr attr;
+  return NfsError(vnode.fs->SetAttr(vnode.fh, user.creds, sattr, &attr), path);
+}
+
+util::Result<std::vector<std::string>> Vfs::ListDir(const UserContext& user,
+                                                    const std::string& path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
+
+  std::vector<std::string> names;
+  if (vnode.kind == Vnode::Kind::kSfsDir) {
+    // Per-agent view: only names this agent has touched, plus its own
+    // dynamic links (§2.3).
+    if (user.agent != nullptr) {
+      auto it = sfs_accessed_.find(user.agent);
+      if (it != sfs_accessed_.end()) {
+        names.assign(it->second.begin(), it->second.end());
+      }
+    }
+    return names;
+  }
+
+  uint64_t cookie = 0;
+  bool eof = false;
+  while (!eof) {
+    std::vector<nfs::DirEntry> entries;
+    nfs::Stat s = vnode.fs->ReadDir(vnode.fh, user.creds, cookie, 64, &entries, &eof);
+    if (s != nfs::Stat::kOk) {
+      return NfsError(s, path);
+    }
+    if (entries.empty() && !eof) {
+      break;
+    }
+    for (nfs::DirEntry& e : entries) {
+      cookie = e.cookie;
+      names.push_back(std::move(e.name));
+    }
+  }
+  if (vnode.kind == Vnode::Kind::kRoot && sfs_client_ != nullptr) {
+    names.push_back("sfs");
+  }
+  return names;
+}
+
+util::Result<std::string> Vfs::Realpath(const UserContext& user, const std::string& path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
+  return vnode.canonical.empty() ? std::string("/") : vnode.canonical;
+}
+
+util::Result<Vfs::FsUsage> Vfs::StatFs(const UserContext& user, const std::string& path) {
+  clock_->Advance(costs_->syscall_ns);
+  int depth = 0;
+  ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
+  if (vnode.kind == Vnode::Kind::kSfsDir) {
+    return util::InvalidArgument("/sfs is not a file system");
+  }
+  FsUsage usage;
+  nfs::Stat s = vnode.fs->FsStat(vnode.fh, &usage.total_bytes, &usage.used_bytes);
+  if (s != nfs::Stat::kOk) {
+    return NfsError(s, path);
+  }
+  return usage;
+}
+
+// --- OpenFile ---------------------------------------------------------------
+
+util::Status OpenFile::FlushWrites() {
+  if (wb_buf_.empty()) {
+    return util::OkStatus();
+  }
+  nfs::Fattr attr;
+  nfs::Stat s = fs_->Write(fh_, creds_, wb_offset_, wb_buf_, /*stable=*/false, &attr);
+  wb_buf_.clear();
+  if (s != nfs::Stat::kOk) {
+    return NfsError(s, "write");
+  }
+  dirty_ = true;
+  return util::OkStatus();
+}
+
+util::Result<util::Bytes> OpenFile::Pread(uint64_t offset, uint32_t count) {
+  if (!open_) {
+    return util::FailedPrecondition("file is closed");
+  }
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  // Reads must observe buffered writes: flush any overlap first.
+  if (!wb_buf_.empty() && offset < wb_offset_ + wb_buf_.size() &&
+      offset + count > wb_offset_) {
+    RETURN_IF_ERROR(FlushWrites());
+  }
+
+  // Serve from the read-ahead window when fully contained.
+  if (offset >= ra_offset_ && offset + count <= ra_offset_ + ra_buf_.size()) {
+    last_read_end_ = offset + count;
+    return util::Bytes(ra_buf_.begin() + static_cast<long>(offset - ra_offset_),
+                       ra_buf_.begin() + static_cast<long>(offset - ra_offset_ + count));
+  }
+
+  // Sequential access triggers read-ahead.
+  bool sequential = offset == last_read_end_ || offset == 0;
+  uint32_t fetch = sequential ? std::max(count, kReadAheadBytes) : count;
+  util::Bytes data;
+  bool eof = false;
+  nfs::Stat s = fs_->Read(fh_, creds_, offset, fetch, &data, &eof);
+  if (s != nfs::Stat::kOk) {
+    return NfsError(s, "read");
+  }
+  last_read_end_ = offset + std::min<uint64_t>(count, data.size());
+  if (data.size() > count) {
+    ra_offset_ = offset;
+    ra_buf_ = data;
+    data.resize(count);
+  }
+  return data;
+}
+
+util::Status OpenFile::Pwrite(uint64_t offset, const util::Bytes& data) {
+  if (!open_) {
+    return util::FailedPrecondition("file is closed");
+  }
+  if (!writable_) {
+    return util::PermissionDenied("file not open for writing");
+  }
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  ra_buf_.clear();  // Written data invalidates the read-ahead window.
+
+  // Gather contiguous writes into larger WRITE RPCs.
+  if (wb_buf_.empty()) {
+    wb_offset_ = offset;
+    wb_buf_ = data;
+  } else if (offset == wb_offset_ + wb_buf_.size()) {
+    util::Append(&wb_buf_, data);
+  } else {
+    RETURN_IF_ERROR(FlushWrites());
+    wb_offset_ = offset;
+    wb_buf_ = data;
+  }
+  if (wb_buf_.size() >= kReadAheadBytes) {
+    return FlushWrites();
+  }
+  return util::OkStatus();
+}
+
+util::Result<util::Bytes> OpenFile::Read(uint32_t count) {
+  ASSIGN_OR_RETURN(util::Bytes data, Pread(position_, count));
+  position_ += data.size();
+  return data;
+}
+
+util::Status OpenFile::Write(const util::Bytes& data) {
+  RETURN_IF_ERROR(Pwrite(position_, data));
+  position_ += data.size();
+  return util::OkStatus();
+}
+
+util::Result<nfs::Fattr> OpenFile::Stat() {
+  if (!open_) {
+    return util::FailedPrecondition("file is closed");
+  }
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  RETURN_IF_ERROR(FlushWrites());
+  nfs::Fattr attr;
+  nfs::Stat s = fs_->GetAttr(fh_, &attr);
+  if (s != nfs::Stat::kOk) {
+    return NfsError(s, "fstat");
+  }
+  return attr;
+}
+
+util::Status OpenFile::SetAttr(const nfs::Sattr& sattr) {
+  if (!open_) {
+    return util::FailedPrecondition("file is closed");
+  }
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  RETURN_IF_ERROR(FlushWrites());
+  nfs::Fattr attr;
+  return NfsError(fs_->SetAttr(fh_, creds_, sattr, &attr), "fsetattr");
+}
+
+util::Status OpenFile::Close() {
+  if (!open_) {
+    return util::OkStatus();
+  }
+  open_ = false;
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  RETURN_IF_ERROR(FlushWrites());
+  if (dirty_) {
+    // Flush buffered writes to stable storage on close, NFS3-style.
+    return NfsError(fs_->Commit(fh_), "close/commit");
+  }
+  return util::OkStatus();
+}
+
+}  // namespace vfs

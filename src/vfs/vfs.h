@@ -1,0 +1,226 @@
+// The client "kernel" boundary: POSIX-style path operations over a mount
+// table, with the /sfs namespace magic of the paper wired in.
+//
+// Resolution walks components, following symlinks (limit 40).  The /sfs
+// directory is virtual:
+//   * a component that parses as Location:HostID triggers the
+//     automounter — the client daemon dials, certifies, and mounts the
+//     remote file system transparently (§2.2: "the client transparently
+//     creates the referenced pathname and mounts the remote file system
+//     there"), after consulting the user's agent for revocations and
+//     HostID blocks;
+//   * any other name is referred to the user's agent, which can answer
+//     from its dynamic links (bookmarks, manual key distribution) or by
+//     searching its certification path for a matching symlink (§2.4);
+//   * directory listings of /sfs show only what this agent has accessed
+//     (§2.3) — the defense against HostID-completion spoofing.
+//
+// Because every operation carries a UserContext, one Vfs instance models
+// a multi-user client machine; users with different agents get different
+// /sfs views while sharing each mount's cache.
+#ifndef SFS_SRC_VFS_VFS_H_
+#define SFS_SRC_VFS_VFS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/agent/agent.h"
+#include "src/nfs/api.h"
+#include "src/sfs/client.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace vfs {
+
+struct UserContext {
+  nfs::Credentials creds;
+  agent::Agent* agent = nullptr;
+
+  static UserContext For(uint32_t uid, agent::Agent* agent = nullptr) {
+    UserContext ctx;
+    ctx.creds = nfs::Credentials::User(uid, {uid});
+    ctx.agent = agent;
+    return ctx;
+  }
+
+  // The ssu utility (paper §2.3): operations performed as the local
+  // super-user map to the invoking *user's* agent, so root shells keep
+  // the user's /sfs view and keys without any extra privilege.
+  static UserContext Ssu(agent::Agent* users_agent) { return For(0, users_agent); }
+};
+
+struct OpenFlags {
+  bool read = true;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  bool exclusive = false;
+  uint32_t mode = 0644;
+
+  static OpenFlags ReadOnly() { return OpenFlags{}; }
+  static OpenFlags WriteOnly() {
+    OpenFlags f;
+    f.read = false;
+    f.write = true;
+    return f;
+  }
+  static OpenFlags CreateRw(uint32_t mode = 0644) {
+    OpenFlags f;
+    f.write = true;
+    f.create = true;
+    f.truncate = true;
+    f.mode = mode;
+    return f;
+  }
+};
+
+class Vfs;
+
+// An open file descriptor.
+class OpenFile {
+ public:
+  OpenFile() = default;
+
+  util::Result<util::Bytes> Pread(uint64_t offset, uint32_t count);
+  util::Status Pwrite(uint64_t offset, const util::Bytes& data);
+  // Sequential variants maintaining a file position.
+  util::Result<util::Bytes> Read(uint32_t count);
+  util::Status Write(const util::Bytes& data);
+  util::Result<nfs::Fattr> Stat();
+  util::Status SetAttr(const nfs::Sattr& sattr);
+  // Flushes written data to stable storage (NFS COMMIT) and closes.
+  util::Status Close();
+
+  uint64_t position() const { return position_; }
+  const nfs::FileHandle& handle() const { return fh_; }
+
+ private:
+  friend class Vfs;
+
+  // Flushes the write-behind buffer to the server.
+  util::Status FlushWrites();
+
+  Vfs* vfs_ = nullptr;
+  nfs::FileSystemApi* fs_ = nullptr;
+  nfs::FileHandle fh_;
+  nfs::Credentials creds_;
+  uint64_t position_ = 0;
+  bool writable_ = false;
+  bool dirty_ = false;
+  bool open_ = false;
+
+  // Kernel-buffer-cache behavior: sequential reads pull a 32 KB
+  // read-ahead window; sequential writes gather into 32 KB WRITE RPCs.
+  // Real NFS3 clients pipeline I/O this way, and without it no remote
+  // file system approaches wire bandwidth.
+  static constexpr uint32_t kReadAheadBytes = 32768;
+  util::Bytes ra_buf_;
+  uint64_t ra_offset_ = 0;
+  uint64_t last_read_end_ = ~uint64_t{0};
+  util::Bytes wb_buf_;
+  uint64_t wb_offset_ = 0;
+};
+
+class Vfs {
+ public:
+  Vfs(sim::Clock* clock, const sim::CostModel* costs) : clock_(clock), costs_(costs) {}
+
+  // Configures the root ("/") file system.
+  void MountRoot(nfs::FileSystemApi* fs, nfs::FileHandle root_fh);
+  // Enables the /sfs namespace, served by this client daemon.
+  void EnableSfs(sfs::SfsClient* client);
+  // Pre-mounts a file system (typically a verified read-only dialect
+  // client, e.g. a certification authority) at /sfs/<component>.  Like
+  // real sfscd dialect hand-off, this is configuration, not per-user
+  // state: the mount is visible to every agent.
+  void AddStaticSfsMount(const std::string& component, nfs::FileSystemApi* fs,
+                         nfs::FileHandle root_fh);
+
+  // --- POSIX-ish operations (absolute paths) ---
+  util::Result<OpenFile> Open(const UserContext& user, const std::string& path,
+                              const OpenFlags& flags);
+  util::Status Mkdir(const UserContext& user, const std::string& path, uint32_t mode = 0755);
+  util::Status Symlink(const UserContext& user, const std::string& target,
+                       const std::string& link_path);
+  util::Status Unlink(const UserContext& user, const std::string& path);
+  util::Status Rmdir(const UserContext& user, const std::string& path);
+  util::Status Rename(const UserContext& user, const std::string& from, const std::string& to);
+  // Hard link: `new_path` becomes another name for `existing_path` (same
+  // file system only).
+  util::Status HardLink(const UserContext& user, const std::string& existing_path,
+                        const std::string& new_path);
+  util::Result<nfs::Fattr> Stat(const UserContext& user, const std::string& path);
+  util::Result<nfs::Fattr> Lstat(const UserContext& user, const std::string& path);
+  util::Result<std::string> ReadLink(const UserContext& user, const std::string& path);
+  util::Status Chmod(const UserContext& user, const std::string& path, uint32_t mode);
+  util::Status Truncate(const UserContext& user, const std::string& path, uint64_t size);
+  util::Result<std::vector<std::string>> ListDir(const UserContext& user,
+                                                 const std::string& path);
+  // Canonical path after following every symlink — what pwd prints, and
+  // the basis of the secure-bookmarks idiom (§2.4).
+  util::Result<std::string> Realpath(const UserContext& user, const std::string& path);
+  // statfs(2): capacity of the file system containing `path`.
+  struct FsUsage {
+    uint64_t total_bytes = 0;
+    uint64_t used_bytes = 0;
+  };
+  util::Result<FsUsage> StatFs(const UserContext& user, const std::string& path);
+
+  sim::Clock* clock() { return clock_; }
+
+ private:
+  friend class OpenFile;
+
+  // A position in the namespace during resolution.
+  struct Vnode {
+    enum class Kind { kRoot, kSfsDir, kReal };
+    Kind kind = Kind::kRoot;
+    nfs::FileSystemApi* fs = nullptr;
+    nfs::FileHandle fh;
+    std::string canonical;  // Canonical absolute path of this vnode.
+  };
+
+  util::Result<Vnode> Resolve(const UserContext& user, const std::string& path,
+                              bool follow_terminal_symlink, int* depth);
+  // Resolves all but the last component; returns the parent and leaf name.
+  util::Result<Vnode> ResolveParent(const UserContext& user, const std::string& path,
+                                    std::string* leaf, int* depth);
+  // Handles one lookup step under the virtual /sfs directory.
+  util::Result<std::optional<std::string>> SfsComponentTarget(const UserContext& user,
+                                                              const std::string& component,
+                                                              int* depth, Vnode* out);
+  // Mounts (and per-user authenticates) a self-certifying path.
+  util::Result<Vnode> MountSelfCertifying(const UserContext& user,
+                                          const sfs::SelfCertifyingPath& path);
+  // Consults the agent's revocation directories for a certificate naming
+  // this HostID (paper §2.6); found certificates are verified and added
+  // to the agent.
+  void CheckRevocationDirs(const UserContext& user, const sfs::SelfCertifyingPath& path,
+                           int* depth);
+
+  static std::vector<std::string> SplitPath(const std::string& path);
+
+  sim::Clock* clock_;
+  const sim::CostModel* costs_;
+  nfs::FileSystemApi* root_fs_ = nullptr;
+  nfs::FileHandle root_fh_;
+  sfs::SfsClient* sfs_client_ = nullptr;
+  // Per-agent record of /sfs names accessed (drives /sfs listings).
+  std::map<const agent::Agent*, std::set<std::string>> sfs_accessed_;
+  // Static /sfs mounts (read-only dialect file systems).
+  struct StaticMount {
+    nfs::FileSystemApi* fs;
+    nfs::FileHandle root_fh;
+  };
+  std::map<std::string, StaticMount> static_sfs_mounts_;
+};
+
+}  // namespace vfs
+
+#endif  // SFS_SRC_VFS_VFS_H_

@@ -1,0 +1,129 @@
+// Tests for Blowfish, the computed pi tables, CBC mode, and eksblowfish.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/crypto/blowfish.h"
+#include "src/crypto/prng.h"
+#include "src/util/bytes.h"
+
+namespace {
+
+using crypto::Blowfish;
+using crypto::BlowfishInitialState;
+using crypto::EksBlowfishHash;
+using crypto::Prng;
+using util::Bytes;
+using util::BytesOf;
+
+TEST(BlowfishTest, PiTablesMatchPublishedConstants) {
+  // The first P-array words are the leading fractional hex digits of pi.
+  const auto& st = BlowfishInitialState();
+  EXPECT_EQ(st.p[0], 0x243F6A88u);
+  EXPECT_EQ(st.p[1], 0x85A308D3u);
+  EXPECT_EQ(st.p[2], 0x13198A2Eu);
+  EXPECT_EQ(st.p[3], 0x03707344u);
+  EXPECT_EQ(st.p[4], 0xA4093822u);
+  EXPECT_EQ(st.p[5], 0x299F31D0u);
+}
+
+TEST(BlowfishTest, KnownVectorAllZeros) {
+  // Eric Young's reference vector: key=0^8, plaintext=0^8.
+  Bytes key(8, 0x00);
+  Blowfish bf(key);
+  uint32_t l = 0;
+  uint32_t r = 0;
+  bf.EncryptBlock(&l, &r);
+  EXPECT_EQ(l, 0x4EF99745u);
+  EXPECT_EQ(r, 0x6198DD78u);
+}
+
+TEST(BlowfishTest, KnownVectorAllOnes) {
+  Bytes key(8, 0xFF);
+  Blowfish bf(key);
+  uint32_t l = 0xFFFFFFFFu;
+  uint32_t r = 0xFFFFFFFFu;
+  bf.EncryptBlock(&l, &r);
+  EXPECT_EQ(l, 0x51866FD5u);
+  EXPECT_EQ(r, 0xB85ECB8Au);
+}
+
+TEST(BlowfishTest, BlockRoundTrip) {
+  Prng prng(uint64_t{21});
+  Blowfish bf(prng.RandomBytes(20));
+  for (int i = 0; i < 100; ++i) {
+    uint32_t l0 = static_cast<uint32_t>(prng.RandomUint64(0));
+    uint32_t r0 = static_cast<uint32_t>(prng.RandomUint64(0));
+    uint32_t l = l0;
+    uint32_t r = r0;
+    bf.EncryptBlock(&l, &r);
+    EXPECT_FALSE(l == l0 && r == r0);
+    bf.DecryptBlock(&l, &r);
+    EXPECT_EQ(l, l0);
+    EXPECT_EQ(r, r0);
+  }
+}
+
+TEST(BlowfishTest, CbcRoundTrip) {
+  Prng prng(uint64_t{22});
+  Blowfish bf(prng.RandomBytes(20));
+  Bytes iv = prng.RandomBytes(8);
+  Bytes plaintext = prng.RandomBytes(32);  // SFS file-handle size.
+  auto ct = bf.EncryptCbc(plaintext, iv);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_NE(ct.value(), plaintext);
+  auto pt = bf.DecryptCbc(ct.value(), iv);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(pt.value(), plaintext);
+}
+
+TEST(BlowfishTest, CbcChainsBlocks) {
+  // Identical plaintext blocks must produce different ciphertext blocks.
+  Prng prng(uint64_t{23});
+  Blowfish bf(prng.RandomBytes(20));
+  Bytes iv(8, 0);
+  Bytes plaintext(24, 0x42);
+  auto ct = bf.EncryptCbc(plaintext, iv);
+  ASSERT_TRUE(ct.ok());
+  Bytes b0(ct->begin(), ct->begin() + 8);
+  Bytes b1(ct->begin() + 8, ct->begin() + 16);
+  Bytes b2(ct->begin() + 16, ct->begin() + 24);
+  EXPECT_NE(b0, b1);
+  EXPECT_NE(b1, b2);
+}
+
+TEST(BlowfishTest, CbcRejectsBadInputs) {
+  Prng prng(uint64_t{24});
+  Blowfish bf(prng.RandomBytes(20));
+  EXPECT_FALSE(bf.EncryptCbc(Bytes(7, 0), Bytes(8, 0)).ok());
+  EXPECT_FALSE(bf.EncryptCbc(Bytes(16, 0), Bytes(4, 0)).ok());
+  EXPECT_FALSE(bf.DecryptCbc(Bytes(9, 0), Bytes(8, 0)).ok());
+}
+
+TEST(EksBlowfishTest, DeterministicAndSaltSensitive) {
+  Bytes salt1(16, 0x01);
+  Bytes salt2(16, 0x02);
+  Bytes pw = BytesOf("correct horse battery staple");
+  EXPECT_EQ(EksBlowfishHash(4, salt1, pw), EksBlowfishHash(4, salt1, pw));
+  EXPECT_NE(EksBlowfishHash(4, salt1, pw), EksBlowfishHash(4, salt2, pw));
+  EXPECT_NE(EksBlowfishHash(4, salt1, pw), EksBlowfishHash(5, salt1, pw));
+  EXPECT_NE(EksBlowfishHash(4, salt1, pw), EksBlowfishHash(4, salt1, BytesOf("wrong")));
+  EXPECT_EQ(EksBlowfishHash(4, salt1, pw).size(), 24u);
+}
+
+TEST(EksBlowfishTest, CostScalesWork) {
+  // 2^c iterations: cost 8 must take measurably longer than cost 2.  We
+  // only check monotonic growth, not absolute time.
+  Bytes salt(16, 0x07);
+  Bytes pw = BytesOf("pw");
+  auto time_cost = [&](unsigned cost) {
+    auto start = std::chrono::steady_clock::now();
+    EksBlowfishHash(cost, salt, pw);
+    return std::chrono::steady_clock::now() - start;
+  };
+  auto low = time_cost(2);
+  auto high = time_cost(8);
+  EXPECT_GT(high, low);
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Unit tests for the crypto substrate: SHA-1, HMAC, ARC4, PRNG, base32.
+#include <gtest/gtest.h>
+
+#include "src/crypto/arc4.h"
+#include "src/crypto/prng.h"
+#include "src/crypto/sha1.h"
+#include "src/util/bytes.h"
+
+namespace {
+
+using crypto::Arc4;
+using crypto::HmacSha1;
+using crypto::Prng;
+using crypto::Sha1;
+using crypto::Sha1Digest;
+using util::Bytes;
+using util::BytesOf;
+using util::HexEncode;
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(HexEncode(Sha1Digest(std::string(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(HexEncode(Sha1Digest(std::string("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(HexEncode(Sha1Digest(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(HexEncode(h.Digest()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Digest(), Sha1Digest(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha1Test, PaddingBoundaries) {
+  // Lengths straddling the 55/56/64-byte padding edge all hash distinctly
+  // and deterministically.
+  std::vector<Bytes> digests;
+  for (size_t len : {54, 55, 56, 57, 63, 64, 65, 119, 120, 128}) {
+    Bytes digest = Sha1Digest(std::string(len, 'x'));
+    for (const Bytes& prev : digests) {
+      EXPECT_NE(digest, prev);
+    }
+    EXPECT_EQ(digest, Sha1Digest(std::string(len, 'x')));
+    digests.push_back(digest);
+  }
+}
+
+TEST(HmacSha1Test, Rfc2202Vector1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacSha1(key, BytesOf("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1Test, Rfc2202Vector2) {
+  EXPECT_EQ(HexEncode(HmacSha1(BytesOf("Jefe"), BytesOf("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1Test, LongKeyIsHashed) {
+  // Keys longer than the block size must be pre-hashed (RFC 2202 case 6).
+  Bytes key(80, 0xaa);
+  EXPECT_EQ(HexEncode(HmacSha1(key, BytesOf("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha1Test, KeySensitivity) {
+  Bytes key1(20, 1);
+  Bytes key2(20, 2);
+  Bytes msg = BytesOf("message");
+  EXPECT_NE(HmacSha1(key1, msg), HmacSha1(key2, msg));
+}
+
+TEST(Arc4Test, ClassicKnownVectors) {
+  // Keys under 128 bits take a single key-schedule pass, i.e. standard
+  // RC4, so the classic published vectors must hold.
+  struct Vector {
+    const char* key;
+    const char* plaintext;
+    const char* ciphertext_hex;
+  };
+  const Vector kVectors[] = {
+      {"Key", "Plaintext", "bbf316e8d940af0ad3"},
+      {"Wiki", "pedia", "1021bf0420"},
+      {"Secret", "Attack at dawn", "45a01f645fc35b383552544b9bf5"},
+  };
+  for (const Vector& v : kVectors) {
+    Arc4 cipher(BytesOf(v.key));
+    Bytes data = BytesOf(v.plaintext);
+    cipher.Crypt(&data);
+    EXPECT_EQ(util::HexEncode(data), v.ciphertext_hex) << v.key;
+  }
+}
+
+TEST(Arc4Test, KeystreamIsDeterministic) {
+  Arc4 a(BytesOf("0123456789abcdefghij"));
+  Arc4 b(BytesOf("0123456789abcdefghij"));
+  EXPECT_EQ(a.NextBytes(256), b.NextBytes(256));
+}
+
+TEST(Arc4Test, EncryptDecryptRoundTrip) {
+  Bytes key = BytesOf("abcdefghijklmnopqrst");
+  Bytes plaintext = BytesOf("attack at dawn; bring the self-certifying pathnames");
+  Bytes data = plaintext;
+  Arc4 enc(key);
+  enc.Crypt(&data);
+  EXPECT_NE(data, plaintext);
+  Arc4 dec(key);
+  dec.Crypt(&data);
+  EXPECT_EQ(data, plaintext);
+}
+
+TEST(Arc4Test, DifferentKeysDifferentStreams) {
+  Arc4 a(BytesOf("abcdefghijklmnopqrst"));
+  Arc4 b(BytesOf("abcdefghijklmnopqrsu"));
+  EXPECT_NE(a.NextBytes(64), b.NextBytes(64));
+}
+
+TEST(Arc4Test, TwentyByteKeySpinsTwice) {
+  // A 20-byte key must not produce the same stream as standard single-pass
+  // RC4 of a 16-byte truncation or extension; sanity check: prefix change
+  // anywhere in the 20 bytes changes the stream.
+  Bytes base = BytesOf("aaaaaaaaaaaaaaaaaaaa");
+  Arc4 ref(base);
+  Bytes ref_stream = ref.NextBytes(64);
+  for (size_t i = 0; i < base.size(); ++i) {
+    Bytes k = base;
+    k[i] ^= 0x80;
+    Arc4 variant(k);
+    EXPECT_NE(variant.NextBytes(64), ref_stream) << "byte " << i << " ignored by schedule";
+  }
+}
+
+TEST(PrngTest, DeterministicFromSeed) {
+  Prng a(uint64_t{42});
+  Prng b(uint64_t{42});
+  EXPECT_EQ(a.RandomBytes(100), b.RandomBytes(100));
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng a(uint64_t{42});
+  Prng b(uint64_t{43});
+  EXPECT_NE(a.RandomBytes(100), b.RandomBytes(100));
+}
+
+TEST(PrngTest, RandomUint64RespectsBound) {
+  Prng prng(uint64_t{7});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(prng.RandomUint64(17), 17u);
+  }
+}
+
+TEST(PrngTest, RandomUint64CoversRange) {
+  Prng prng(uint64_t{7});
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[prng.RandomUint64(8)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 300) << "suspiciously non-uniform";
+  }
+}
+
+TEST(PrngTest, AddEntropyChangesStream) {
+  Prng a(uint64_t{1});
+  Prng b(uint64_t{1});
+  b.AddEntropy(BytesOf("keystroke timings"));
+  EXPECT_NE(a.RandomBytes(64), b.RandomBytes(64));
+}
+
+TEST(Base32Test, RoundTrip) {
+  Prng prng(uint64_t{5});
+  for (size_t len : {0, 1, 2, 5, 19, 20, 21, 64}) {
+    Bytes data = prng.RandomBytes(len);
+    std::string encoded = util::Base32Encode(data);
+    auto decoded = util::Base32Decode(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), data) << "len " << len;
+  }
+}
+
+TEST(Base32Test, HostIdLengthIs32Chars) {
+  Bytes host_id(20, 0xff);
+  EXPECT_EQ(util::Base32Encode(host_id).size(), 32u);
+}
+
+TEST(Base32Test, AlphabetOmitsConfusableCharacters) {
+  // Paper §2.2: the encoding omits "l", "1", "0", and "o".
+  Prng prng(uint64_t{11});
+  std::string all;
+  for (int i = 0; i < 100; ++i) {
+    all += util::Base32Encode(prng.RandomBytes(20));
+  }
+  EXPECT_EQ(all.find('l'), std::string::npos);
+  EXPECT_EQ(all.find('1'), std::string::npos);
+  EXPECT_EQ(all.find('0'), std::string::npos);
+  EXPECT_EQ(all.find('o'), std::string::npos);
+}
+
+TEST(Base32Test, RejectsInvalidCharacters) {
+  EXPECT_FALSE(util::Base32Decode("abc0").ok());
+  EXPECT_FALSE(util::Base32Decode("ab l").ok());
+}
+
+TEST(HexTest, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  auto decoded = util::HexDecode(util::HexEncode(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+TEST(HexTest, RejectsOddLengthAndBadChars) {
+  EXPECT_FALSE(util::HexDecode("abc").ok());
+  EXPECT_FALSE(util::HexDecode("zz").ok());
+}
+
+TEST(ConstantTimeEqualsTest, Basics) {
+  EXPECT_TRUE(util::ConstantTimeEquals({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(util::ConstantTimeEquals({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(util::ConstantTimeEquals({1, 2, 3}, {1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,589 @@
+// End-to-end integration tests: the new key-management mechanisms wired
+// through the whole stack (revocation directories, static read-only
+// mounts, proxy agents, ssu), plus failure injection (message loss,
+// server death, stale handles).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/agent/agent.h"
+#include "src/auth/authserver.h"
+#include "src/nfs/memfs.h"
+#include "src/readonly/readonly.h"
+#include "src/sfs/client.h"
+#include "src/sfs/idmap.h"
+#include "src/sfs/server.h"
+#include "src/sfs/sfskey.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using agent::Agent;
+using nfs::Credentials;
+using sfs::SelfCertifyingPath;
+using sfs::SfsClient;
+using sfs::SfsServer;
+using util::Bytes;
+using util::BytesOf;
+using vfs::OpenFlags;
+using vfs::UserContext;
+using vfs::Vfs;
+
+constexpr size_t kKeyBits = 512;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : local_disk_(&clock_, sim::DiskProfile::Ibm18Es()),
+        local_fs_(&clock_, &local_disk_, nfs::MemFs::Options{/*fsid=*/9}),
+        vfs_(&clock_, &costs_) {
+    SfsServer::Options so;
+    so.location = "files.example.org";
+    so.key_bits = kKeyBits;
+    server_ = std::make_unique<SfsServer>(&clock_, &costs_, so, &authserver_);
+
+    SfsClient::Options co;
+    co.ephemeral_key_bits = kKeyBits;
+    client_ = std::make_unique<SfsClient>(
+        &clock_, &costs_,
+        [this](const std::string& location) -> SfsServer* {
+          if (location == "files.example.org" && !server_down_) {
+            return server_.get();
+          }
+          return nullptr;
+        },
+        co);
+    vfs_.MountRoot(&local_fs_, local_fs_.root_handle());
+    vfs_.EnableSfs(client_.get());
+
+    crypto::Prng prng(uint64_t{400});
+    user_key_ = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+    auth::PublicUserRecord record;
+    record.name = "alice";
+    record.public_key = user_key_.public_key().Serialize();
+    record.credentials = Credentials::User(1000, {1000});
+    EXPECT_TRUE(authserver_.RegisterUser(record).ok());
+    alice_agent_ = std::make_unique<Agent>("alice");
+    alice_agent_->AddPrivateKey(user_key_);
+    alice_ = UserContext::For(1000, alice_agent_.get());
+  }
+
+  sim::Clock clock_;
+  sim::CostModel costs_;
+  sim::Disk local_disk_;
+  nfs::MemFs local_fs_;
+  auth::AuthServer authserver_;
+  std::unique_ptr<SfsServer> server_;
+  std::unique_ptr<SfsClient> client_;
+  Vfs vfs_;
+  crypto::RabinPrivateKey user_key_;
+  std::unique_ptr<Agent> alice_agent_;
+  UserContext alice_;
+  bool server_down_ = false;
+};
+
+TEST_F(IntegrationTest, RevocationDirectoryCheckedAtMountTime) {
+  // Install a revocation certificate file, named by base-32 HostID, in a
+  // local directory the agent watches (the Verisign idiom of §2.6).
+  sfs::PathRevokeCert cert =
+      sfs::PathRevokeCert::MakeRevocation(server_->private_key(), "files.example.org");
+  UserContext admin = UserContext::For(0);
+  ASSERT_TRUE(vfs_.Mkdir(admin, "/revocations").ok());
+  std::string cert_name = util::Base32Encode(server_->Path().host_id);
+  auto f = vfs_.Open(admin, "/revocations/" + cert_name, OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(cert.Serialize()).ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  alice_agent_->AddRevocationDir("/revocations");
+  auto stat = vfs_.Stat(alice_, server_->Path().FullPath());
+  ASSERT_FALSE(stat.ok());
+  EXPECT_EQ(stat.status().code(), util::ErrorCode::kSecurityError);
+  EXPECT_TRUE(alice_agent_->IsRevoked(server_->Path()));
+
+  // A user without that revocation dir still mounts fine.
+  Agent bob_agent("bob");
+  UserContext bob = UserContext::For(2000, &bob_agent);
+  EXPECT_TRUE(vfs_.Stat(bob, server_->Path().FullPath()).ok());
+}
+
+TEST_F(IntegrationTest, GarbageInRevocationDirectoryIsIgnored) {
+  UserContext admin = UserContext::For(0);
+  ASSERT_TRUE(vfs_.Mkdir(admin, "/revocations").ok());
+  std::string cert_name = util::Base32Encode(server_->Path().host_id);
+  auto f = vfs_.Open(admin, "/revocations/" + cert_name, OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(BytesOf("this is not a certificate")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  alice_agent_->AddRevocationDir("/revocations");
+  // Garbage cannot revoke anyone.
+  EXPECT_TRUE(vfs_.Stat(alice_, server_->Path().FullPath()).ok());
+}
+
+TEST_F(IntegrationTest, StaticReadOnlyMountUnderSfs) {
+  // A verified read-only CA appears at /sfs/verisign for every user.
+  crypto::Prng prng(uint64_t{410});
+  auto ca_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  readonly::ImageBuilder builder;
+  ASSERT_TRUE(
+      builder.AddSymlink(builder.RootDir(), "files", server_->Path().FullPath()).ok());
+  ASSERT_TRUE(builder.AddFile(builder.RootDir(), "policy.txt", BytesOf("be excellent")).ok());
+  readonly::SignedImage image = builder.Build(ca_key, "ca.example.org", 3);
+  readonly::ReplicaServer replica(&clock_, &costs_, image);
+  sim::Link link(&clock_, sim::LinkProfile::Tcp(), &replica);
+  readonly::ReadOnlyClient ca(&link, SelfCertifyingPath::For("ca.example.org",
+                                                             ca_key.public_key()));
+  ASSERT_TRUE(ca.Connect().ok());
+  vfs_.AddStaticSfsMount("verisign", &ca, ca.root_fh());
+
+  // Read a file off the CA through the VFS.
+  auto policy = vfs_.Open(alice_, "/sfs/verisign/policy.txt", OpenFlags::ReadOnly());
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  auto content = policy->Read(100);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(util::StringOf(*content), "be excellent");
+
+  // Follow the CA's symlink to the read-write server.
+  auto file = vfs_.Open(alice_, "/sfs/verisign/files/hello", OpenFlags::CreateRw());
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE(file->Close().ok());
+  EXPECT_TRUE(vfs_.Stat(alice_, server_->Path().FullPath() + "/hello").ok());
+
+  // Writes into the read-only mount fail.
+  EXPECT_FALSE(vfs_.Open(alice_, "/sfs/verisign/newfile", OpenFlags::CreateRw()).ok());
+  EXPECT_FALSE(vfs_.Mkdir(alice_, "/sfs/verisign/dir").ok());
+}
+
+TEST_F(IntegrationTest, ProxyAgentLogin) {
+  // Alice logs into a gateway machine; the gateway's proxy agent forwards
+  // signing requests to her home agent.  She gets her own credentials on
+  // the server, and her home agent's audit log shows the operation.
+  agent::ProxyAgent proxy("gateway.example.org", alice_agent_.get());
+  UserContext alice_remote = UserContext::For(1000, &proxy);
+
+  std::string home = server_->Path().FullPath();
+  auto f = vfs_.Open(alice_remote, home + "/via-proxy", OpenFlags::CreateRw(0600));
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE(f->Close().ok());
+  auto stat = vfs_.Stat(alice_remote, home + "/via-proxy");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->uid, 1000u);  // Authserver-mapped, via the proxy chain.
+  EXPECT_FALSE(proxy.audit_log().empty());
+  EXPECT_FALSE(alice_agent_->audit_log().empty());
+}
+
+TEST_F(IntegrationTest, SsuKeepsUsersAgent) {
+  // Root shell via ssu: uid 0 locally, but /sfs view and keys are the
+  // invoking user's.
+  alice_agent_->AddLink("work", server_->Path().FullPath());
+  UserContext root_shell = UserContext::Ssu(alice_agent_.get());
+  EXPECT_TRUE(vfs_.Stat(root_shell, "/sfs/work").ok());
+  // A plain root context (no agent) has no such view.
+  UserContext bare_root = UserContext::For(0);
+  EXPECT_FALSE(vfs_.Stat(bare_root, "/sfs/work").ok());
+}
+
+// --- Failure injection -----------------------------------------------------------
+
+class FlakyNetwork : public sim::Interposer {
+ public:
+  explicit FlakyNetwork(int drop_every) : drop_every_(drop_every) {}
+  util::Result<Bytes> OnRequest(Bytes request) override {
+    if (++count_ % drop_every_ == 0) {
+      return util::Unavailable("packet dropped");
+    }
+    return request;
+  }
+
+ private:
+  int drop_every_;
+  int count_ = 0;
+};
+
+TEST_F(IntegrationTest, DroppedMessagesSurfaceAsIoErrors) {
+  auto mount = client_->Mount(server_->Path());
+  ASSERT_TRUE(mount.ok());
+  FlakyNetwork flaky(1);  // Drop everything from now on.
+  (*mount)->link()->set_interposer(&flaky);
+  nfs::Fattr attr;
+  nfs::Stat s = (*mount)->fs()->GetAttr((*mount)->root_fh(), &attr);
+  EXPECT_EQ(s, nfs::Stat::kIo);
+  EXPECT_EQ((*mount)->raw_client()->last_transport_error().code(),
+            util::ErrorCode::kUnavailable);
+  // The paper's guarantee: attackers "can do no worse than delay the file
+  // system's operation" — a drop is unavailability, never bad data.
+}
+
+TEST_F(IntegrationTest, ServerUnreachableAtMountTime) {
+  server_down_ = true;
+  auto stat = vfs_.Stat(alice_, server_->Path().FullPath());
+  ASSERT_FALSE(stat.ok());
+  EXPECT_EQ(stat.status().code(), util::ErrorCode::kUnavailable);
+  // Once the server is back, the same pathname works — no state to fix.
+  server_down_ = false;
+  EXPECT_TRUE(vfs_.Stat(alice_, server_->Path().FullPath()).ok());
+}
+
+TEST_F(IntegrationTest, StaleHandleAfterServerSideInvalidation) {
+  std::string home = server_->Path().FullPath();
+  auto f = vfs_.Open(alice_, home + "/doomed", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  // The server invalidates handles out from under the client (restart
+  // with new generation numbers).
+  nfs::FileHandle server_fh;
+  nfs::Fattr attr;
+  Credentials root_creds = Credentials::User(0);
+  ASSERT_EQ(server_->fs()->Lookup(server_->fs()->root_handle(), "doomed", root_creds,
+                                  &server_fh, &attr),
+            nfs::Stat::kOk);
+  server_->fs()->InvalidateHandles(server_fh);
+  // The client's cached handle now yields stale errors on uncached ops.
+  auto reopen = vfs_.Open(alice_, home + "/doomed", OpenFlags::ReadOnly());
+  if (reopen.ok()) {
+    auto data = reopen->Read(10);
+    // Either the open or the read surfaces the staleness.
+    EXPECT_FALSE(data.ok());
+  }
+}
+
+TEST_F(IntegrationTest, AnonymousServerAccessWithoutAuthserver) {
+  // A server with no authserver still serves anonymous traffic (public
+  // file systems); logins fail gracefully.
+  SfsServer::Options so;
+  so.location = "public.example.org";
+  so.key_bits = kKeyBits;
+  so.prng_seed = 77;
+  SfsServer public_server(&clock_, &costs_, so, /*authserver=*/nullptr);
+  nfs::FileHandle fh;
+  nfs::Fattr attr;
+  Credentials root_creds = Credentials::User(0);
+  nfs::Sattr sattr;
+  sattr.mode = 0644;
+  ASSERT_EQ(public_server.fs()->Create(public_server.fs()->root_handle(), "index.html",
+                                       root_creds, sattr, &fh, &attr),
+            nfs::Stat::kOk);
+
+  SfsClient::Options co;
+  co.ephemeral_key_bits = kKeyBits;
+  co.prng_seed = 55;
+  SfsClient anon_client(
+      &clock_, &costs_, [&](const std::string&) { return &public_server; }, co);
+  auto mount = anon_client.Mount(public_server.Path());
+  ASSERT_TRUE(mount.ok());
+  // Login attempt fails (no authserver), leaving anonymous access.
+  util::Status login = (*mount)->Authenticate(
+      1000, [this](const Bytes& info, uint32_t seqno) {
+        return alice_agent_->SignAuthRequest(0, info, seqno);
+      });
+  EXPECT_FALSE(login.ok());
+  // Note: `fh` above is the server's *internal* handle; clients only ever
+  // see encrypted handles, so look the file up through the mount.
+  nfs::FileHandle client_fh;
+  ASSERT_EQ((*mount)->fs()->Lookup((*mount)->root_fh(), "index.html",
+                                   Credentials::User(1000), &client_fh, &attr),
+            nfs::Stat::kOk);
+  EXPECT_NE(client_fh, fh);  // Handle encryption at work.
+  Bytes data;
+  bool eof = false;
+  EXPECT_EQ((*mount)->fs()->Read(client_fh, Credentials::User(1000), 0, 10, &data, &eof),
+            nfs::Stat::kOk);
+}
+
+TEST_F(IntegrationTest, ManyServersManyMounts) {
+  // A client can hold many independent mounts simultaneously — the
+  // "access all servers from any client" property.
+  std::vector<std::unique_ptr<SfsServer>> servers;
+  std::vector<std::unique_ptr<auth::AuthServer>> auths;
+  for (int i = 0; i < 6; ++i) {
+    auths.push_back(std::make_unique<auth::AuthServer>());
+    SfsServer::Options so;
+    so.location = "host" + std::to_string(i) + ".example.org";
+    so.key_bits = kKeyBits;
+    so.prng_seed = 1000 + static_cast<uint64_t>(i);
+    servers.push_back(
+        std::make_unique<SfsServer>(&clock_, &costs_, so, auths.back().get()));
+  }
+  SfsClient::Options co;
+  co.ephemeral_key_bits = kKeyBits;
+  co.prng_seed = 66;
+  SfsClient client(
+      &clock_, &costs_,
+      [&](const std::string& location) -> SfsServer* {
+        for (auto& s : servers) {
+          if (s->Path().location == location) {
+            return s.get();
+          }
+        }
+        return nullptr;
+      },
+      co);
+  Credentials user = Credentials::User(1000, {1000});
+  for (auto& s : servers) {
+    auto mount = client.Mount(s->Path());
+    ASSERT_TRUE(mount.ok());
+    nfs::FileHandle fh;
+    nfs::Fattr attr;
+    ASSERT_EQ((*mount)->fs()->Create((*mount)->root_fh(), "tag", user, {}, &fh, &attr),
+              nfs::Stat::kOk);
+    ASSERT_EQ((*mount)
+                  ->fs()
+                  ->Write(fh, user, 0, BytesOf(s->Path().location), false, &attr),
+              nfs::Stat::kOk);
+  }
+  EXPECT_EQ(client.mounts_created(), 6u);
+  // Each mount still reads its own data back.
+  for (auto& s : servers) {
+    auto mount = client.Mount(s->Path());
+    ASSERT_TRUE(mount.ok());
+    nfs::FileHandle fh;
+    nfs::Fattr attr;
+    ASSERT_EQ((*mount)->fs()->Lookup((*mount)->root_fh(), "tag", user, &fh, &attr),
+              nfs::Stat::kOk);
+    Bytes data;
+    bool eof = false;
+    ASSERT_EQ((*mount)->fs()->Read(fh, user, 0, 200, &data, &eof), nfs::Stat::kOk);
+    EXPECT_EQ(util::StringOf(data), s->Path().location);
+  }
+}
+
+TEST_F(IntegrationTest, EphemeralKeyRotationKeepsExistingMounts) {
+  auto mount = client_->Mount(server_->Path());
+  ASSERT_TRUE(mount.ok());
+  nfs::Fattr attr;
+  ASSERT_EQ((*mount)->fs()->GetAttr((*mount)->root_fh(), &attr), nfs::Stat::kOk);
+  client_->RotateEphemeralKey();  // sfscd does this hourly.
+  // The established session continues (its keys were derived at mount).
+  ASSERT_EQ((*mount)->fs()->GetAttr((*mount)->root_fh(), &attr), nfs::Stat::kOk);
+  // And new mounts use the fresh key.
+  SfsServer::Options so;
+  so.location = "files.example.org";
+  so.key_bits = kKeyBits;
+  so.prng_seed = 99;
+  // (A second identity on the same server provides a distinct path.)
+  crypto::Prng prng(uint64_t{500});
+  auto second_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  server_->AddIdentity(second_key, "files.example.org");
+  auto mount2 =
+      client_->Mount(SelfCertifyingPath::For("files.example.org", second_key.public_key()));
+  EXPECT_TRUE(mount2.ok());
+}
+
+TEST_F(IntegrationTest, ReadOnlyDialectAutomounts) {
+  // The server also hosts a signed read-only image (the certification-
+  // authority deployment): its self-certifying pathname automounts
+  // through /sfs with the dialect hand-off, no key negotiation.
+  crypto::Prng prng(uint64_t{900});
+  auto ca_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  readonly::ImageBuilder builder;
+  ASSERT_TRUE(builder.AddFile(builder.RootDir(), "catalog", BytesOf("signed offline")).ok());
+  ASSERT_TRUE(
+      builder.AddSymlink(builder.RootDir(), "files", server_->Path().FullPath()).ok());
+  // The image's Location matches the hosting server so the dialer works.
+  readonly::SignedImage image = builder.Build(ca_key, "files.example.org", 1);
+  SelfCertifyingPath ro_path = server_->ServeReadOnlyImage(std::move(image));
+  EXPECT_NE(ro_path.host_id, server_->Path().host_id);
+
+  // Read through the VFS at the read-only self-certifying pathname.
+  auto f = vfs_.Open(alice_, ro_path.FullPath() + "/catalog", OpenFlags::ReadOnly());
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  auto content = f->Read(100);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(util::StringOf(*content), "signed offline");
+
+  // Mutations are structurally impossible.
+  EXPECT_FALSE(vfs_.Open(alice_, ro_path.FullPath() + "/new", OpenFlags::CreateRw()).ok());
+  EXPECT_FALSE(vfs_.Mkdir(alice_, ro_path.FullPath() + "/dir").ok());
+
+  // A secure link from the read-only CA to the read-write server works:
+  // /sfs/<ro>/files/... lands on the rw mount.
+  auto rw = vfs_.Open(alice_, ro_path.FullPath() + "/files/from-ca", OpenFlags::CreateRw());
+  ASSERT_TRUE(rw.ok()) << rw.status().ToString();
+  ASSERT_TRUE(rw->Close().ok());
+  EXPECT_TRUE(vfs_.Stat(alice_, server_->Path().FullPath() + "/from-ca").ok());
+}
+
+TEST_F(IntegrationTest, ReadOnlyDialectMountRejectsWrongHostId) {
+  crypto::Prng prng(uint64_t{901});
+  auto ca_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  readonly::ImageBuilder builder;
+  ASSERT_TRUE(builder.AddFile(builder.RootDir(), "x", BytesOf("y")).ok());
+  server_->ServeReadOnlyImage(builder.Build(ca_key, "files.example.org", 1));
+  // A different key's HostID at the same location must not mount.
+  auto other_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  SelfCertifyingPath bogus =
+      SelfCertifyingPath::For("files.example.org", other_key.public_key());
+  EXPECT_FALSE(vfs_.Stat(alice_, bogus.FullPath()).ok());
+}
+
+TEST_F(IntegrationTest, ReadOnlyDialectCachesAggressively) {
+  crypto::Prng prng(uint64_t{902});
+  auto ca_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  readonly::ImageBuilder builder;
+  ASSERT_TRUE(builder.AddFile(builder.RootDir(), "hot", BytesOf("cached content")).ok());
+  SelfCertifyingPath ro_path =
+      server_->ServeReadOnlyImage(builder.Build(ca_key, "files.example.org", 1));
+  // First read fetches; repeats are free (content-addressed => immutable).
+  ASSERT_TRUE(vfs_.Stat(alice_, ro_path.FullPath() + "/hot").ok());
+  uint64_t before = clock_.now_ns();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(vfs_.Stat(alice_, ro_path.FullPath() + "/hot").ok());
+  }
+  uint64_t per_stat = (clock_.now_ns() - before) / 20;
+  EXPECT_LT(per_stat, 100'000u);  // Syscall cost only, no wire traffic.
+}
+
+TEST_F(IntegrationTest, IdMappingQueries) {
+  // libsfs-style queries (paper §3.3): the client asks the server for its
+  // notion of uids and names.
+  auto mount = client_->Mount(server_->Path());
+  ASSERT_TRUE(mount.ok());
+  EXPECT_EQ((*mount)->RemoteUserName(1000).value_or("?"), "alice");
+  EXPECT_EQ((*mount)->RemoteUid("alice").value_or(0), 1000u);
+  EXPECT_FALSE((*mount)->RemoteUserName(9999).has_value());
+  EXPECT_FALSE((*mount)->RemoteUid("nobody-here").has_value());
+}
+
+TEST_F(IntegrationTest, PercentConventionFormatting) {
+  auto mount = client_->Mount(server_->Path());
+  ASSERT_TRUE(mount.ok());
+  sfs::RemoteIdLookup remote = [&](uint32_t uid) { return (*mount)->RemoteUserName(uid); };
+
+  sfs::LocalIdTable local;
+  local.Add(1000, "alice");  // Same name + uid locally: no percent.
+  local.Add(3000, "carol");
+
+  EXPECT_EQ(sfs::FormatRemoteUser(1000, local, remote), "alice");
+  // Remote knows uid 1000 as alice, but a local machine where alice has a
+  // different uid must show the server-relative form.
+  sfs::LocalIdTable other_local;
+  other_local.Add(555, "alice");
+  EXPECT_EQ(sfs::FormatRemoteUser(1000, other_local, remote), "%alice");
+  // Unmapped uid: plain number.
+  EXPECT_EQ(sfs::FormatRemoteUser(4242, local, remote), "4242");
+}
+
+TEST_F(IntegrationTest, SfsKeyChangePassword) {
+  crypto::Prng prng(uint64_t{940});
+  ASSERT_TRUE(authserver_
+                  .UpdatePrivateRecord("alice",
+                                       sfs::MakeSrpRecord("old pw", 2, user_key_, &prng))
+                  .ok());
+  ASSERT_TRUE(sfs::SrpChangePassword(&clock_, server_.get(), sim::LinkProfile::Tcp(),
+                                     "alice", "old pw", "new pw", 2, &prng)
+                  .ok());
+  // Old password no longer works; new one fetches the same key.
+  EXPECT_FALSE(sfs::SrpFetchKey(&clock_, server_.get(), sim::LinkProfile::Tcp(), "alice",
+                                "old pw", &prng)
+                   .ok());
+  auto fetch = sfs::SrpFetchKey(&clock_, server_.get(), sim::LinkProfile::Tcp(), "alice",
+                                "new pw", &prng);
+  ASSERT_TRUE(fetch.ok());
+  Bytes msg = BytesOf("same key after rotation");
+  EXPECT_TRUE(user_key_.public_key().Verify(msg, fetch->private_key.Sign(msg)).ok());
+  // Changing with a wrong old password fails and changes nothing.
+  EXPECT_FALSE(sfs::SrpChangePassword(&clock_, server_.get(), sim::LinkProfile::Tcp(),
+                                      "alice", "bogus", "evil pw", 2, &prng)
+                   .ok());
+  EXPECT_TRUE(sfs::SrpFetchKey(&clock_, server_.get(), sim::LinkProfile::Tcp(), "alice",
+                               "new pw", &prng)
+                  .ok());
+}
+
+TEST_F(IntegrationTest, BootstrapChainOfKeyManagementMechanisms) {
+  // The paper's composition claim: "people can bootstrap one key
+  // management mechanism using another."  Chain three mechanisms:
+  //   1. SRP (password) -> home server's self-certifying path + key;
+  //   2. the home server hosts a read-only CA image (dialect hand-off);
+  //   3. the CA, added to the agent's certification path, resolves a
+  //      third server by short name.
+  crypto::Prng prng(uint64_t{950});
+
+  // A third, unrelated server the CA vouches for.
+  auth::AuthServer third_auth;
+  SfsServer::Options so;
+  so.location = "third.example.org";
+  so.key_bits = kKeyBits;
+  so.prng_seed = 31;
+  SfsServer third(&clock_, &costs_, so, &third_auth);
+
+  // Teach the dialer about it.
+  // (The fixture dialer only knows files.example.org; wrap mounts through
+  // a second client dedicated to this test.)
+  SfsClient::Options co;
+  co.ephemeral_key_bits = kKeyBits;
+  co.prng_seed = 32;
+  SfsClient client(
+      &clock_, &costs_,
+      [&](const std::string& location) -> SfsServer* {
+        if (location == "files.example.org") {
+          return server_.get();
+        }
+        if (location == "third.example.org") {
+          return &third;
+        }
+        return nullptr;
+      },
+      co);
+  vfs::Vfs vfs(&clock_, &costs_);
+  vfs.MountRoot(&local_fs_, local_fs_.root_handle());
+  vfs.EnableSfs(&client);
+
+  // Step 1: SRP with only a password.
+  ASSERT_TRUE(
+      authserver_
+          .UpdatePrivateRecord("alice", sfs::MakeSrpRecord("tr4vel", 2, user_key_, &prng))
+          .ok());
+  auto fetch = sfs::SrpFetchKey(&clock_, server_.get(), sim::LinkProfile::Tcp(), "alice",
+                                "tr4vel", &prng);
+  ASSERT_TRUE(fetch.ok());
+
+  // Step 2: the home server hosts the CA image with a link to `third`.
+  auto ca_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  readonly::ImageBuilder builder;
+  ASSERT_TRUE(builder.AddSymlink(builder.RootDir(), "third", third.Path().FullPath()).ok());
+  SelfCertifyingPath ca_path =
+      server_->ServeReadOnlyImage(builder.Build(ca_key, "files.example.org", 1));
+
+  // Step 3: fresh agent, wired only from the SRP result.
+  Agent agent("alice-roaming");
+  agent.AddPrivateKey(fetch->private_key);
+  agent.AddLink("home", fetch->self_certifying_path);
+  agent.AddCertPathDir(ca_path.FullPath());  // CA by its own pathname.
+  UserContext alice = UserContext::For(1000, &agent);
+
+  // "/sfs/third" resolves through: agent cert path -> read-only CA
+  // (dialect hand-off, signature verified) -> symlink -> third server
+  // (key negotiation, HostID certified).
+  auto f = vfs.Open(alice, "/sfs/third/proof", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE(f->Close().ok());
+  auto real = vfs.Realpath(alice, "/sfs/third");
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(*real, third.Path().FullPath());
+}
+
+TEST_F(IntegrationTest, SfsKeyEndToEndThroughVfs) {
+  // Full circle: register with a password, fetch key+path via SRP, wire
+  // the agent, and access files through the VFS.
+  crypto::Prng prng(uint64_t{600});
+  ASSERT_TRUE(
+      authserver_.UpdatePrivateRecord("alice", sfs::MakeSrpRecord("pw!", 2, user_key_, &prng))
+          .ok());
+  auto fetch = sfs::SrpFetchKey(&clock_, server_.get(), sim::LinkProfile::Tcp(), "alice",
+                                "pw!", &prng);
+  ASSERT_TRUE(fetch.ok()) << fetch.status().ToString();
+
+  Agent roaming_agent("alice-roaming");
+  roaming_agent.AddPrivateKey(fetch->private_key);
+  roaming_agent.AddLink("home", fetch->self_certifying_path);
+  UserContext roaming = UserContext::For(1000, &roaming_agent);
+  auto f = vfs_.Open(roaming, "/sfs/home/roamed-in", OpenFlags::CreateRw(0600));
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE(f->Close().ok());
+  auto stat = vfs_.Stat(roaming, "/sfs/home/roamed-in");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->uid, 1000u);
+}
+
+}  // namespace

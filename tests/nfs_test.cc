@@ -1,0 +1,655 @@
+// Tests for the NFS substrate: MemFs semantics, the wire program/client
+// pair over the simulated network, and the caching layer.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/nfs/cache.h"
+#include "src/nfs/client.h"
+#include "src/nfs/memfs.h"
+#include "src/nfs/program.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/disk.h"
+#include "src/sim/network.h"
+
+namespace {
+
+using nfs::CachingFs;
+using nfs::Credentials;
+using nfs::Fattr;
+using nfs::FileHandle;
+using nfs::FileType;
+using nfs::MemFs;
+using nfs::NfsClient;
+using nfs::NfsProgram;
+using nfs::Sattr;
+using nfs::Stat;
+using util::Bytes;
+using util::BytesOf;
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  MemFsTest()
+      : disk_(&clock_, sim::DiskProfile::Ibm18Es()), fs_(&clock_, &disk_, MemFs::Options{}) {}
+
+  sim::Clock clock_;
+  sim::Disk disk_;
+  MemFs fs_;
+  Credentials root_ = Credentials::User(0);
+  Credentials alice_ = Credentials::User(1000, {1000});
+  Credentials bob_ = Credentials::User(1001, {1001});
+};
+
+TEST_F(MemFsTest, RootExists) {
+  Fattr attr;
+  EXPECT_EQ(fs_.GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  EXPECT_EQ(attr.type, FileType::kDirectory);
+  EXPECT_EQ(attr.mode, 0777u);
+}
+
+TEST_F(MemFsTest, CreateWriteReadRoundTrip) {
+  FileHandle fh;
+  Fattr attr;
+  Sattr sattr;
+  sattr.mode = 0644;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "hello.txt", alice_, sattr, &fh, &attr), Stat::kOk);
+  EXPECT_EQ(attr.uid, alice_.uid);
+  ASSERT_EQ(fs_.Write(fh, alice_, 0, BytesOf("hello, sfs"), false, &attr), Stat::kOk);
+  EXPECT_EQ(attr.size, 10u);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(fs_.Read(fh, alice_, 0, 100, &data, &eof), Stat::kOk);
+  EXPECT_EQ(util::StringOf(data), "hello, sfs");
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(MemFsTest, PartialAndOffsetReads) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Write(fh, alice_, 0, BytesOf("0123456789"), false, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = true;
+  ASSERT_EQ(fs_.Read(fh, alice_, 2, 5, &data, &eof), Stat::kOk);
+  EXPECT_EQ(util::StringOf(data), "23456");
+  EXPECT_FALSE(eof);
+  ASSERT_EQ(fs_.Read(fh, alice_, 20, 5, &data, &eof), Stat::kOk);
+  EXPECT_TRUE(data.empty());
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(MemFsTest, SparseFilesReadAsZeros) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "sparse", alice_, {}, &fh, &attr), Stat::kOk);
+  Sattr grow;
+  grow.size = 100ull << 20;  // 100 MB hole, no memory cost.
+  ASSERT_EQ(fs_.SetAttr(fh, alice_, grow, &attr), Stat::kOk);
+  EXPECT_EQ(attr.size, 100ull << 20);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(fs_.Read(fh, alice_, 50 << 20, 8192, &data, &eof), Stat::kOk);
+  ASSERT_EQ(data.size(), 8192u);
+  for (uint8_t b : data) {
+    ASSERT_EQ(b, 0);
+  }
+}
+
+TEST_F(MemFsTest, WriteAcrossBlockBoundary) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  Bytes big(20000, 0xab);
+  ASSERT_EQ(fs_.Write(fh, alice_, 5000, big, false, &attr), Stat::kOk);
+  EXPECT_EQ(attr.size, 25000u);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(fs_.Read(fh, alice_, 0, 25000, &data, &eof), Stat::kOk);
+  ASSERT_EQ(data.size(), 25000u);
+  for (size_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(data[i], 0) << i;
+  }
+  for (size_t i = 5000; i < 25000; ++i) {
+    ASSERT_EQ(data[i], 0xab) << i;
+  }
+}
+
+TEST_F(MemFsTest, PermissionEnforcement) {
+  FileHandle fh;
+  Fattr attr;
+  Sattr sattr;
+  sattr.mode = 0600;  // Owner-only.
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "secret", alice_, sattr, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Write(fh, alice_, 0, BytesOf("top secret"), false, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = false;
+  EXPECT_EQ(fs_.Read(fh, bob_, 0, 10, &data, &eof), Stat::kAccess);
+  EXPECT_EQ(fs_.Write(fh, bob_, 0, BytesOf("x"), false, &attr), Stat::kAccess);
+  EXPECT_EQ(fs_.Read(fh, root_, 0, 10, &data, &eof), Stat::kOk);  // Root bypasses.
+  EXPECT_EQ(fs_.Read(fh, alice_, 0, 10, &data, &eof), Stat::kOk);
+}
+
+TEST_F(MemFsTest, GroupPermissions) {
+  FileHandle fh;
+  Fattr attr;
+  Sattr sattr;
+  sattr.mode = 0640;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "shared", alice_, sattr, &fh, &attr), Stat::kOk);
+  Credentials carol = Credentials::User(1002, {1000});  // In alice's group.
+  Bytes data;
+  bool eof = false;
+  EXPECT_EQ(fs_.Read(fh, carol, 0, 10, &data, &eof), Stat::kOk);
+  EXPECT_EQ(fs_.Write(fh, carol, 0, BytesOf("x"), false, &attr), Stat::kAccess);
+}
+
+TEST_F(MemFsTest, ChownRequiresRoot) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  Sattr chown;
+  chown.uid = 1001;
+  EXPECT_EQ(fs_.SetAttr(fh, alice_, chown, &attr), Stat::kPerm);
+  EXPECT_EQ(fs_.SetAttr(fh, bob_, chown, &attr), Stat::kPerm);
+  EXPECT_EQ(fs_.SetAttr(fh, root_, chown, &attr), Stat::kOk);
+  EXPECT_EQ(attr.uid, 1001u);
+}
+
+TEST_F(MemFsTest, ChmodOwnerOnly) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  Sattr chmod;
+  chmod.mode = 0600;
+  EXPECT_EQ(fs_.SetAttr(fh, bob_, chmod, &attr), Stat::kPerm);
+  EXPECT_EQ(fs_.SetAttr(fh, alice_, chmod, &attr), Stat::kOk);
+  EXPECT_EQ(attr.mode, 0600u);
+}
+
+TEST_F(MemFsTest, DirectoryLifecycle) {
+  FileHandle dir;
+  Fattr attr;
+  ASSERT_EQ(fs_.Mkdir(fs_.root_handle(), "sub", alice_, 0755, &dir, &attr), Stat::kOk);
+  EXPECT_EQ(attr.type, FileType::kDirectory);
+  FileHandle fh;
+  ASSERT_EQ(fs_.Create(dir, "inner", alice_, {}, &fh, &attr), Stat::kOk);
+  // Non-empty rmdir fails.
+  EXPECT_EQ(fs_.Rmdir(fs_.root_handle(), "sub", alice_), Stat::kNotEmpty);
+  ASSERT_EQ(fs_.Remove(dir, "inner", alice_), Stat::kOk);
+  EXPECT_EQ(fs_.Rmdir(fs_.root_handle(), "sub", alice_), Stat::kOk);
+  FileHandle out;
+  EXPECT_EQ(fs_.Lookup(fs_.root_handle(), "sub", alice_, &out, &attr), Stat::kNoEnt);
+}
+
+TEST_F(MemFsTest, RemoveVsRmdirTypeChecks) {
+  FileHandle dir;
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Mkdir(fs_.root_handle(), "d", alice_, 0755, &dir, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  EXPECT_EQ(fs_.Remove(fs_.root_handle(), "d", alice_), Stat::kIsDir);
+  EXPECT_EQ(fs_.Rmdir(fs_.root_handle(), "f", alice_), Stat::kNotDir);
+}
+
+TEST_F(MemFsTest, SymlinkAndReadLink) {
+  FileHandle link;
+  Fattr attr;
+  ASSERT_EQ(fs_.Symlink(fs_.root_handle(), "ln", "/sfs/host:abc/file", alice_, &link, &attr),
+            Stat::kOk);
+  EXPECT_EQ(attr.type, FileType::kSymlink);
+  std::string target;
+  ASSERT_EQ(fs_.ReadLink(link, alice_, &target), Stat::kOk);
+  EXPECT_EQ(target, "/sfs/host:abc/file");
+  FileHandle fh;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  EXPECT_EQ(fs_.ReadLink(fh, alice_, &target), Stat::kInval);
+}
+
+TEST_F(MemFsTest, RenameBasicAndOverwrite) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "a", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Write(fh, alice_, 0, BytesOf("A"), false, &attr), Stat::kOk);
+  FileHandle fh2;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "b", alice_, {}, &fh2, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Rename(fs_.root_handle(), "a", fs_.root_handle(), "b", alice_), Stat::kOk);
+  FileHandle out;
+  EXPECT_EQ(fs_.Lookup(fs_.root_handle(), "a", alice_, &out, &attr), Stat::kNoEnt);
+  ASSERT_EQ(fs_.Lookup(fs_.root_handle(), "b", alice_, &out, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(fs_.Read(out, alice_, 0, 10, &data, &eof), Stat::kOk);
+  EXPECT_EQ(util::StringOf(data), "A");
+}
+
+TEST_F(MemFsTest, RenameAcrossDirectories) {
+  FileHandle d1;
+  FileHandle d2;
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Mkdir(fs_.root_handle(), "d1", alice_, 0755, &d1, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Mkdir(fs_.root_handle(), "d2", alice_, 0755, &d2, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Create(d1, "f", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Rename(d1, "f", d2, "g", alice_), Stat::kOk);
+  FileHandle out;
+  EXPECT_EQ(fs_.Lookup(d1, "f", alice_, &out, &attr), Stat::kNoEnt);
+  EXPECT_EQ(fs_.Lookup(d2, "g", alice_, &out, &attr), Stat::kOk);
+}
+
+TEST_F(MemFsTest, ReadDirPagination) {
+  for (int i = 0; i < 10; ++i) {
+    FileHandle fh;
+    Fattr attr;
+    ASSERT_EQ(fs_.Create(fs_.root_handle(), "f" + std::to_string(i), alice_, {}, &fh, &attr),
+              Stat::kOk);
+  }
+  std::vector<nfs::DirEntry> entries;
+  bool eof = true;
+  ASSERT_EQ(fs_.ReadDir(fs_.root_handle(), alice_, 0, 4, &entries, &eof), Stat::kOk);
+  EXPECT_EQ(entries.size(), 4u);
+  EXPECT_FALSE(eof);
+  uint64_t cookie = entries.back().cookie;
+  size_t total = entries.size();
+  while (!eof) {
+    ASSERT_EQ(fs_.ReadDir(fs_.root_handle(), alice_, cookie, 4, &entries, &eof), Stat::kOk);
+    total += entries.size();
+    if (!entries.empty()) {
+      cookie = entries.back().cookie;
+    }
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST_F(MemFsTest, DuplicateCreateFails) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  EXPECT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kExist);
+  EXPECT_EQ(fs_.Mkdir(fs_.root_handle(), "f", alice_, 0755, &fh, &attr), Stat::kExist);
+}
+
+TEST_F(MemFsTest, BadNamesRejected) {
+  FileHandle fh;
+  Fattr attr;
+  EXPECT_EQ(fs_.Create(fs_.root_handle(), "", alice_, {}, &fh, &attr), Stat::kInval);
+  EXPECT_EQ(fs_.Create(fs_.root_handle(), ".", alice_, {}, &fh, &attr), Stat::kInval);
+  EXPECT_EQ(fs_.Create(fs_.root_handle(), "..", alice_, {}, &fh, &attr), Stat::kInval);
+  EXPECT_EQ(fs_.Create(fs_.root_handle(), "a/b", alice_, {}, &fh, &attr), Stat::kInval);
+  EXPECT_EQ(fs_.Create(fs_.root_handle(), std::string(300, 'x'), alice_, {}, &fh, &attr),
+            Stat::kNameTooLong);
+}
+
+TEST_F(MemFsTest, StaleHandleDetection) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  fs_.InvalidateHandles(fh);
+  EXPECT_EQ(fs_.GetAttr(fh, &attr), Stat::kStale);
+  // Forged handles (wrong secret) are also stale.
+  FileHandle forged(nfs::kFileHandleSize, 0x00);
+  EXPECT_EQ(fs_.GetAttr(forged, &attr), Stat::kStale);
+}
+
+TEST_F(MemFsTest, TruncateShrinksAndZeroes) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Write(fh, alice_, 0, BytesOf("0123456789"), false, &attr), Stat::kOk);
+  Sattr trunc;
+  trunc.size = 4;
+  ASSERT_EQ(fs_.SetAttr(fh, alice_, trunc, &attr), Stat::kOk);
+  EXPECT_EQ(attr.size, 4u);
+  // Growing again exposes zeros, not the old data.
+  Sattr grow;
+  grow.size = 10;
+  ASSERT_EQ(fs_.SetAttr(fh, alice_, grow, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(fs_.Read(fh, alice_, 0, 10, &data, &eof), Stat::kOk);
+  EXPECT_EQ(util::StringOf(data).substr(0, 4), "0123");
+  for (size_t i = 4; i < 10; ++i) {
+    EXPECT_EQ(data[i], 0) << i;
+  }
+}
+
+TEST_F(MemFsTest, ColdFilesChargeDisk) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.AddColdFile(fs_.root_handle(), "cold", Bytes(16384, 0x5a)), Stat::kOk);
+  ASSERT_EQ(fs_.Lookup(fs_.root_handle(), "cold", root_, &fh, &attr), Stat::kOk);
+  uint64_t before = clock_.now_ns();
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(fs_.Read(fh, root_, 0, 16384, &data, &eof), Stat::kOk);
+  uint64_t first_read = clock_.now_ns() - before;
+  EXPECT_GT(first_read, 1'000'000u);  // Paid at least a seek.
+  before = clock_.now_ns();
+  ASSERT_EQ(fs_.Read(fh, root_, 0, 16384, &data, &eof), Stat::kOk);
+  EXPECT_EQ(clock_.now_ns() - before, 0u);  // Buffer cache hit.
+  EXPECT_EQ(data, Bytes(16384, 0x5a));
+}
+
+TEST_F(MemFsTest, StableWritesCostMoreThanUnstable) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  uint64_t t0 = clock_.now_ns();
+  ASSERT_EQ(fs_.Write(fh, alice_, 0, Bytes(8192, 1), /*stable=*/false, &attr), Stat::kOk);
+  uint64_t unstable_cost = clock_.now_ns() - t0;
+  t0 = clock_.now_ns();
+  ASSERT_EQ(fs_.Write(fh, alice_, 8192, Bytes(8192, 1), /*stable=*/true, &attr), Stat::kOk);
+  uint64_t stable_cost = clock_.now_ns() - t0;
+  EXPECT_GT(stable_cost, unstable_cost);
+}
+
+TEST_F(MemFsTest, HardLinkSharesInode) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "orig", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Write(fh, alice_, 0, BytesOf("shared bytes"), false, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Link(fh, fs_.root_handle(), "alias", alice_), Stat::kOk);
+
+  FileHandle alias_fh;
+  ASSERT_EQ(fs_.Lookup(fs_.root_handle(), "alias", alice_, &alias_fh, &attr), Stat::kOk);
+  EXPECT_EQ(alias_fh, fh);  // Same inode, same handle.
+  EXPECT_EQ(attr.nlink, 2u);
+
+  // Writes through one name are visible through the other.
+  ASSERT_EQ(fs_.Write(alias_fh, alice_, 0, BytesOf("SHARED"), false, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(fs_.Read(fh, alice_, 0, 6, &data, &eof), Stat::kOk);
+  EXPECT_EQ(util::StringOf(data), "SHARED");
+}
+
+TEST_F(MemFsTest, HardLinkUnlinkSemantics) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "orig", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Write(fh, alice_, 0, BytesOf("persistent"), false, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Link(fh, fs_.root_handle(), "alias", alice_), Stat::kOk);
+  // Removing the original name leaves the file alive under the alias.
+  ASSERT_EQ(fs_.Remove(fs_.root_handle(), "orig", alice_), Stat::kOk);
+  ASSERT_EQ(fs_.GetAttr(fh, &attr), Stat::kOk);
+  EXPECT_EQ(attr.nlink, 1u);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(fs_.Read(fh, alice_, 0, 100, &data, &eof), Stat::kOk);
+  EXPECT_EQ(util::StringOf(data), "persistent");
+  // Removing the last name destroys the inode.
+  ASSERT_EQ(fs_.Remove(fs_.root_handle(), "alias", alice_), Stat::kOk);
+  EXPECT_EQ(fs_.GetAttr(fh, &attr), Stat::kStale);
+}
+
+TEST_F(MemFsTest, HardLinkRestrictions) {
+  FileHandle dir;
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(fs_.Mkdir(fs_.root_handle(), "d", alice_, 0755, &dir, &attr), Stat::kOk);
+  ASSERT_EQ(fs_.Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  // No hard links to directories.
+  EXPECT_EQ(fs_.Link(dir, fs_.root_handle(), "dirlink", alice_), Stat::kIsDir);
+  // Existing names rejected.
+  EXPECT_EQ(fs_.Link(fh, fs_.root_handle(), "f", alice_), Stat::kExist);
+  // Write permission on the directory required.
+  Sattr lockdown;
+  lockdown.mode = 0555;
+  FileHandle d2;
+  ASSERT_EQ(fs_.Mkdir(fs_.root_handle(), "ro", alice_, 0555, &d2, &attr), Stat::kOk);
+  EXPECT_EQ(fs_.Link(fh, d2, "nope", bob_), Stat::kAccess);
+}
+
+TEST_F(MemFsTest, ReadOnlyFsRejectsMutation) {
+  MemFs::Options opts;
+  opts.read_only = true;
+  MemFs ro(&clock_, &disk_, opts);
+  FileHandle fh;
+  Fattr attr;
+  EXPECT_EQ(ro.Create(ro.root_handle(), "f", root_, {}, &fh, &attr), Stat::kReadOnlyFs);
+  EXPECT_EQ(ro.Mkdir(ro.root_handle(), "d", root_, 0755, &fh, &attr), Stat::kReadOnlyFs);
+}
+
+// ---------------------------------------------------------------------------
+// Wire round-trip: NfsClient -> rpc -> NfsProgram -> MemFs over a
+// simulated UDP link.
+
+class NfsWireTest : public ::testing::Test {
+ protected:
+  NfsWireTest()
+      : disk_(&clock_, sim::DiskProfile::Ibm18Es()),
+        fs_(&clock_, &disk_, MemFs::Options{}),
+        program_(&fs_, &clock_, &costs_) {
+    dispatcher_.RegisterProgram(
+        nfs::kNfsProgram,
+        [this](uint32_t proc, const Bytes& args) { return program_.HandleWire(proc, args); },
+        [](uint32_t proc) { return std::string(nfs::ProcName(proc)); });
+    link_ = std::make_unique<sim::Link>(&clock_, sim::LinkProfile::Udp(), &dispatcher_);
+    transport_ = std::make_unique<rpc::LinkTransport>(link_.get());
+    rpc_client_ = std::make_unique<rpc::Client>(transport_.get(), nfs::kNfsProgram);
+    client_ = std::make_unique<NfsClient>(
+        [this](uint32_t proc, const Bytes& args) { return rpc_client_->Call(proc, args); },
+        NfsClient::WireCredentialsEncoder());
+  }
+
+  sim::Clock clock_;
+  sim::CostModel costs_;
+  sim::Disk disk_;
+  MemFs fs_;
+  NfsProgram program_;
+  rpc::Dispatcher dispatcher_;
+  std::unique_ptr<sim::Link> link_;
+  std::unique_ptr<rpc::LinkTransport> transport_;
+  std::unique_ptr<rpc::Client> rpc_client_;
+  std::unique_ptr<NfsClient> client_;
+  Credentials alice_ = Credentials::User(1000, {1000});
+};
+
+TEST_F(NfsWireTest, EndToEndFileOperations) {
+  FileHandle root = fs_.root_handle();
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(client_->Create(root, "wire.txt", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(client_->Write(fh, alice_, 0, BytesOf("over the wire"), false, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(client_->Read(fh, alice_, 0, 100, &data, &eof), Stat::kOk);
+  EXPECT_EQ(util::StringOf(data), "over the wire");
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(client_->Remove(root, "wire.txt", alice_), Stat::kOk);
+}
+
+TEST_F(NfsWireTest, ErrorsPropagate) {
+  FileHandle root = fs_.root_handle();
+  FileHandle out;
+  Fattr attr;
+  EXPECT_EQ(client_->Lookup(root, "missing", alice_, &out, &attr), Stat::kNoEnt);
+  FileHandle forged(nfs::kFileHandleSize, 0xff);
+  EXPECT_EQ(client_->GetAttr(forged, &attr), Stat::kStale);
+}
+
+TEST_F(NfsWireTest, RpcChargesVirtualTime) {
+  Fattr attr;
+  uint64_t t0 = clock_.now_ns();
+  ASSERT_EQ(client_->GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  uint64_t elapsed = clock_.now_ns() - t0;
+  // Two one-way transits + server op: roughly 200us on the UDP profile.
+  EXPECT_GT(elapsed, 150'000u);
+  EXPECT_LT(elapsed, 300'000u);
+}
+
+TEST_F(NfsWireTest, WireCredentialsAreTrusted) {
+  // The classic plain-NFS weakness: a client claiming uid 0 gets root.
+  FileHandle root = fs_.root_handle();
+  FileHandle fh;
+  Fattr attr;
+  Sattr sattr;
+  sattr.mode = 0600;
+  ASSERT_EQ(client_->Create(root, "victim", alice_, sattr, &fh, &attr), Stat::kOk);
+  Credentials forged_root = Credentials::User(0);
+  Bytes data;
+  bool eof = false;
+  EXPECT_EQ(client_->Read(fh, forged_root, 0, 10, &data, &eof), Stat::kOk);
+}
+
+TEST_F(NfsWireTest, ReadDirOverWire) {
+  FileHandle root = fs_.root_handle();
+  FileHandle fh;
+  Fattr attr;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(client_->Create(root, "e" + std::to_string(i), alice_, {}, &fh, &attr), Stat::kOk);
+  }
+  std::vector<nfs::DirEntry> entries;
+  bool eof = false;
+  ASSERT_EQ(client_->ReadDir(root, alice_, 0, 100, &entries, &eof), Stat::kOk);
+  EXPECT_EQ(entries.size(), 5u);
+  EXPECT_TRUE(eof);
+}
+
+// ---------------------------------------------------------------------------
+// Caching layer.
+
+class CacheTest : public NfsWireTest {
+ protected:
+  CacheTest() {
+    nfs::CacheOptions opts;
+    opts.attr_timeout_ns = 5'000'000'000;
+    cached_ = std::make_unique<CachingFs>(client_.get(), &clock_, opts);
+  }
+  std::unique_ptr<CachingFs> cached_;
+};
+
+TEST_F(CacheTest, AttrCacheSuppressesRpcs) {
+  Fattr attr;
+  ASSERT_EQ(cached_->GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  uint64_t calls = client_->calls_sent();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(cached_->GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  }
+  EXPECT_EQ(client_->calls_sent(), calls);  // All hits.
+  EXPECT_GE(cached_->attr_hits(), 10u);
+}
+
+TEST_F(CacheTest, AttrCacheExpires) {
+  Fattr attr;
+  ASSERT_EQ(cached_->GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  clock_.Advance(6'000'000'000);  // Past the 5 s timeout.
+  uint64_t calls = client_->calls_sent();
+  ASSERT_EQ(cached_->GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls + 1);
+}
+
+TEST_F(CacheTest, DataCacheServesRereads) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(cached_->Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(cached_->Write(fh, alice_, 0, BytesOf("cached content"), false, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = false;
+  ASSERT_EQ(cached_->Read(fh, alice_, 0, 100, &data, &eof), Stat::kOk);
+  uint64_t calls = client_->calls_sent();
+  ASSERT_EQ(cached_->Read(fh, alice_, 0, 100, &data, &eof), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls);
+  EXPECT_EQ(util::StringOf(data), "cached content");
+  EXPECT_GE(cached_->data_hits(), 1u);
+}
+
+TEST_F(CacheTest, InvalidationCallbackForcesRefetch) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(cached_->Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(cached_->GetAttr(fh, &attr), Stat::kOk);
+  cached_->InvalidateHandle(fh);
+  uint64_t calls = client_->calls_sent();
+  ASSERT_EQ(cached_->GetAttr(fh, &attr), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls + 1);
+}
+
+TEST_F(CacheTest, WriteUpdatesCachedData) {
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(cached_->Create(fs_.root_handle(), "f", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(cached_->Write(fh, alice_, 0, BytesOf("AAAA"), false, &attr), Stat::kOk);
+  ASSERT_EQ(cached_->Write(fh, alice_, 2, BytesOf("BB"), false, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = false;
+  uint64_t calls = client_->calls_sent();
+  ASSERT_EQ(cached_->Read(fh, alice_, 0, 4, &data, &eof), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls);  // Served from cache.
+  EXPECT_EQ(util::StringOf(data), "AABB");
+}
+
+TEST_F(CacheTest, AccessCacheSuppressesRpcs) {
+  uint32_t allowed = 0;
+  ASSERT_EQ(cached_->Access(fs_.root_handle(), alice_, nfs::kAccessRead, &allowed), Stat::kOk);
+  uint64_t calls = client_->calls_sent();
+  ASSERT_EQ(cached_->Access(fs_.root_handle(), alice_, nfs::kAccessRead, &allowed), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls);
+  // Different uid misses.
+  Credentials bob = Credentials::User(7);
+  ASSERT_EQ(cached_->Access(fs_.root_handle(), bob, nfs::kAccessRead, &allowed), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls + 1);
+}
+
+TEST_F(CacheTest, DataCacheRespectsModeBits) {
+  // A cached 0600 file must not be served to another user from the data
+  // cache: the miss path reaches the server, which denies.
+  FileHandle fh;
+  Fattr attr;
+  nfs::Sattr mode;
+  mode.mode = 0600;
+  ASSERT_EQ(cached_->Create(fs_.root_handle(), "private", alice_, mode, &fh, &attr),
+            Stat::kOk);
+  ASSERT_EQ(cached_->Write(fh, alice_, 0, BytesOf("secret"), false, &attr), Stat::kOk);
+  Bytes data;
+  bool eof = false;
+  // Alice hits the cache.
+  ASSERT_EQ(cached_->Read(fh, alice_, 0, 10, &data, &eof), Stat::kOk);
+  // Bob (uid 1001) is pushed through to the server and denied.
+  Credentials bob = Credentials::User(1001, {1001});
+  EXPECT_EQ(cached_->Read(fh, bob, 0, 10, &data, &eof), Stat::kAccess);
+  // Group member with 0640 reads fine from cache after a mode change.
+  nfs::Sattr open_up;
+  open_up.mode = 0640;
+  ASSERT_EQ(cached_->SetAttr(fh, alice_, open_up, &attr), Stat::kOk);
+  Credentials carol = Credentials::User(1002, {1000});
+  EXPECT_EQ(cached_->Read(fh, carol, 0, 10, &data, &eof), Stat::kOk);
+}
+
+TEST_F(CacheTest, LeaseModeRetainsOwnParentDirAttrs) {
+  nfs::CacheOptions opts;
+  opts.use_leases = true;
+  CachingFs leased(client_.get(), &clock_, opts);
+  Fattr attr;
+  // Prime the parent's attributes (plain NFS program grants no lease, so
+  // the fallback timeout applies — still cached).
+  ASSERT_EQ(leased.GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  uint64_t calls = client_->calls_sent();
+  FileHandle fh;
+  ASSERT_EQ(leased.Create(fs_.root_handle(), "kid", alice_, {}, &fh, &attr), Stat::kOk);
+  // In lease mode our own create did not evict the parent attrs...
+  ASSERT_EQ(leased.GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls + 1);  // Only the CREATE went out.
+  // ...whereas the plain-timeout cache refetches after its own mutation.
+  ASSERT_EQ(cached_->GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  uint64_t calls2 = client_->calls_sent();
+  ASSERT_EQ(cached_->Create(fs_.root_handle(), "kid2", alice_, {}, &fh, &attr), Stat::kOk);
+  ASSERT_EQ(cached_->GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls2 + 2);  // CREATE + parent GETATTR.
+}
+
+TEST_F(CacheTest, LeaseModeHonorsServerLease) {
+  nfs::CacheOptions opts;
+  opts.use_leases = true;
+  CachingFs leased(client_.get(), &clock_, opts);
+  Fattr attr;
+  ASSERT_EQ(leased.GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  // Server granted no lease here (plain NFS program), so the fallback
+  // timeout applies; past it we refetch.
+  clock_.Advance(6'000'000'000);
+  uint64_t calls = client_->calls_sent();
+  ASSERT_EQ(leased.GetAttr(fs_.root_handle(), &attr), Stat::kOk);
+  EXPECT_EQ(client_->calls_sent(), calls + 1);
+}
+
+}  // namespace

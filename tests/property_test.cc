@@ -1,0 +1,523 @@
+// Property-based tests (parameterized gtest sweeps) on system invariants:
+// MemFs vs a reference model under random operation sequences, secure
+// channel tamper detection at every position, Rabin over multiple key
+// sizes, XDR robustness under truncation/corruption, and strong cache
+// coherence between clients under lease callbacks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/crypto/prng.h"
+#include "src/crypto/rabin.h"
+#include "src/nfs/memfs.h"
+#include "src/sfs/client.h"
+#include "src/sfs/server.h"
+#include "src/sfs/session.h"
+#include "src/xdr/xdr.h"
+
+namespace {
+
+using nfs::Credentials;
+using nfs::Fattr;
+using nfs::FileHandle;
+using nfs::MemFs;
+using nfs::Stat;
+using util::Bytes;
+using util::BytesOf;
+
+// --- MemFs vs reference model --------------------------------------------------
+
+// A trivial model: flat namespace of files with contents, plus dirs.
+struct Model {
+  std::map<std::string, Bytes> files;
+  std::map<std::string, bool> dirs;  // name -> exists
+};
+
+class MemFsModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemFsModelTest, RandomOperationsMatchModel) {
+  sim::Clock clock;
+  sim::Disk disk(&clock, sim::DiskProfile::Ibm18Es());
+  MemFs fs(&clock, &disk, MemFs::Options{});
+  Credentials user = Credentials::User(1000, {1000});
+  crypto::Prng prng(GetParam());
+
+  Model model;
+  FileHandle root = fs.root_handle();
+  auto name_for = [&](uint64_t i) { return "f" + std::to_string(i % 12); };
+
+  for (int step = 0; step < 400; ++step) {
+    uint64_t op = prng.RandomUint64(6);
+    std::string name = name_for(prng.RandomUint64(12));
+    switch (op) {
+      case 0: {  // Create.
+        FileHandle fh;
+        Fattr attr;
+        Stat s = fs.Create(root, name, user, {}, &fh, &attr);
+        bool exists = model.files.count(name) != 0 || model.dirs.count(name) != 0;
+        EXPECT_EQ(s == Stat::kOk, !exists) << "step " << step;
+        if (s == Stat::kOk) {
+          model.files[name] = {};
+        }
+        break;
+      }
+      case 1: {  // Write at random offset.
+        if (model.files.count(name) == 0) {
+          break;
+        }
+        FileHandle fh;
+        Fattr attr;
+        ASSERT_EQ(fs.Lookup(root, name, user, &fh, &attr), Stat::kOk);
+        uint64_t offset = prng.RandomUint64(10000);
+        Bytes data = prng.RandomBytes(1 + prng.RandomUint64(5000));
+        ASSERT_EQ(fs.Write(fh, user, offset, data, false, &attr), Stat::kOk);
+        Bytes& content = model.files[name];
+        if (content.size() < offset + data.size()) {
+          content.resize(offset + data.size(), 0);
+        }
+        std::copy(data.begin(), data.end(), content.begin() + static_cast<long>(offset));
+        break;
+      }
+      case 2: {  // Read a random range and compare with the model.
+        if (model.files.count(name) == 0) {
+          break;
+        }
+        FileHandle fh;
+        Fattr attr;
+        ASSERT_EQ(fs.Lookup(root, name, user, &fh, &attr), Stat::kOk);
+        const Bytes& content = model.files[name];
+        EXPECT_EQ(attr.size, content.size());
+        uint64_t offset = prng.RandomUint64(content.size() + 100);
+        uint32_t count = static_cast<uint32_t>(1 + prng.RandomUint64(6000));
+        Bytes data;
+        bool eof = false;
+        ASSERT_EQ(fs.Read(fh, user, offset, count, &data, &eof), Stat::kOk);
+        uint64_t expected_len =
+            offset >= content.size()
+                ? 0
+                : std::min<uint64_t>(count, content.size() - offset);
+        ASSERT_EQ(data.size(), expected_len) << "step " << step;
+        for (size_t i = 0; i < data.size(); ++i) {
+          ASSERT_EQ(data[i], content[offset + i]) << "step " << step << " byte " << i;
+        }
+        break;
+      }
+      case 3: {  // Remove.
+        Stat s = fs.Remove(root, name, user);
+        if (model.files.count(name) != 0) {
+          EXPECT_EQ(s, Stat::kOk);
+          model.files.erase(name);
+        } else if (model.dirs.count(name) != 0) {
+          EXPECT_EQ(s, Stat::kIsDir);
+        } else {
+          EXPECT_EQ(s, Stat::kNoEnt);
+        }
+        break;
+      }
+      case 4: {  // Truncate/grow.
+        if (model.files.count(name) == 0) {
+          break;
+        }
+        FileHandle fh;
+        Fattr attr;
+        ASSERT_EQ(fs.Lookup(root, name, user, &fh, &attr), Stat::kOk);
+        nfs::Sattr sattr;
+        uint64_t new_size = prng.RandomUint64(12000);
+        sattr.size = new_size;
+        ASSERT_EQ(fs.SetAttr(fh, user, sattr, &attr), Stat::kOk);
+        model.files[name].resize(new_size, 0);
+        break;
+      }
+      case 5: {  // Rename.
+        std::string to = name_for(prng.RandomUint64(12));
+        Stat s = fs.Rename(root, name, root, to, user);
+        bool from_file = model.files.count(name) != 0;
+        bool from_dir = model.dirs.count(name) != 0;
+        bool to_dir = model.dirs.count(to) != 0;
+        if (!from_file && !from_dir) {
+          EXPECT_EQ(s, Stat::kNoEnt);
+        } else if (name == to) {
+          EXPECT_EQ(s, Stat::kOk);
+        } else if (from_file && !to_dir) {
+          EXPECT_EQ(s, Stat::kOk);
+          model.files[to] = model.files[name];
+          model.files.erase(name);
+        }
+        break;
+      }
+    }
+  }
+
+  // Final sweep: every model file matches byte for byte.
+  for (const auto& [name, content] : model.files) {
+    FileHandle fh;
+    Fattr attr;
+    ASSERT_EQ(fs.Lookup(root, name, user, &fh, &attr), Stat::kOk) << name;
+    Bytes data;
+    bool eof = false;
+    ASSERT_EQ(fs.Read(fh, user, 0, static_cast<uint32_t>(content.size() + 1), &data, &eof),
+              Stat::kOk);
+    EXPECT_EQ(data, content) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemFsModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Channel tamper sweep --------------------------------------------------------
+
+class ChannelTamperTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChannelTamperTest, AnyCorruptionAtEveryPositionDetected) {
+  size_t msg_len = GetParam();
+  crypto::Prng prng(uint64_t{msg_len});
+  Bytes key = prng.RandomBytes(20);
+  Bytes msg = prng.RandomBytes(msg_len);
+  // For each byte position, corrupt and verify rejection.
+  Bytes reference_sealed;
+  {
+    sfs::ChannelCipher sender(key);
+    reference_sealed = sender.Seal(msg);
+  }
+  for (size_t pos = 0; pos < reference_sealed.size(); ++pos) {
+    sfs::ChannelCipher receiver(key);
+    Bytes bad = reference_sealed;
+    bad[pos] ^= static_cast<uint8_t>(1 + prng.RandomUint64(255));
+    auto opened = receiver.Open(bad);
+    ASSERT_FALSE(opened.ok()) << "undetected corruption at byte " << pos;
+  }
+  // And the untampered message still opens.
+  sfs::ChannelCipher receiver(key);
+  auto opened = receiver.Open(reference_sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChannelTamperTest, ::testing::Values(0, 1, 13, 64, 200));
+
+// --- Rabin key-size sweep ----------------------------------------------------------
+
+class RabinSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RabinSweepTest, SignVerifyEncryptDecryptAcrossKeySizes) {
+  crypto::Prng prng(GetParam());
+  auto key = crypto::RabinPrivateKey::Generate(&prng, GetParam());
+  EXPECT_GE(key.public_key().BitLength(), GetParam() - 2);
+  for (int i = 0; i < 5; ++i) {
+    Bytes msg = prng.RandomBytes(1 + prng.RandomUint64(100));
+    Bytes sig = key.Sign(msg);
+    EXPECT_TRUE(key.public_key().Verify(msg, sig).ok());
+    Bytes bad = sig;
+    bad[2 + prng.RandomUint64(bad.size() - 2)] ^= 1;
+    EXPECT_FALSE(key.public_key().Verify(msg, bad).ok());
+
+    Bytes plain = prng.RandomBytes(1 + prng.RandomUint64(key.public_key().MaxPlaintextBytes()));
+    auto ct = key.public_key().Encrypt(plain, &prng);
+    ASSERT_TRUE(ct.ok());
+    auto pt = key.Decrypt(ct.value());
+    ASSERT_TRUE(pt.ok());
+    EXPECT_EQ(pt.value(), plain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RabinSweepTest, ::testing::Values(384, 512, 768));
+
+// --- XDR robustness ------------------------------------------------------------------
+
+class XdrFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XdrFuzzTest, RandomCorruptionNeverCrashesDecoder) {
+  crypto::Prng prng(GetParam());
+  // Build a structured message.
+  xdr::Encoder enc;
+  enc.PutUint32(static_cast<uint32_t>(prng.RandomUint64(0)));
+  enc.PutString("structured");
+  enc.PutOpaque(prng.RandomBytes(prng.RandomUint64(64)));
+  enc.PutUint64(prng.RandomUint64(0));
+  enc.PutBool(true);
+  Bytes wire = enc.Take();
+
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes mutated = wire;
+    // Random truncation and/or byte flips.
+    if (prng.RandomUint64(2) == 0 && !mutated.empty()) {
+      mutated.resize(prng.RandomUint64(mutated.size()));
+    }
+    for (uint64_t flips = prng.RandomUint64(4); flips > 0 && !mutated.empty(); --flips) {
+      mutated[prng.RandomUint64(mutated.size())] ^=
+          static_cast<uint8_t>(prng.RandomUint64(256));
+    }
+    // Decoding must either succeed or fail cleanly — never crash or read
+    // out of bounds (exercised under the harness's normal build; the
+    // assertions in Decoder are bounds checks).
+    xdr::Decoder dec(std::move(mutated));
+    auto a = dec.GetUint32();
+    if (!a.ok()) {
+      continue;
+    }
+    auto b = dec.GetString();
+    if (!b.ok()) {
+      continue;
+    }
+    auto c = dec.GetOpaque();
+    if (!c.ok()) {
+      continue;
+    }
+    auto d = dec.GetUint64();
+    if (!d.ok()) {
+      continue;
+    }
+    (void)dec.GetBool();
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XdrFuzzTest, ::testing::Values(100, 200, 300));
+
+// --- Cache transparency ----------------------------------------------------------------
+
+#include "src/nfs/cache.h"
+
+class CacheTransparencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheTransparencyTest, CachedViewMatchesBackendExactly) {
+  // Single-writer invariant: with one client, every read through the
+  // caching layer returns exactly what an uncached read would — caching
+  // must be semantically invisible.
+  sim::Clock clock;
+  sim::Disk disk(&clock, sim::DiskProfile::Ibm18Es());
+  MemFs fs(&clock, &disk, MemFs::Options{});
+  nfs::CacheOptions opts;
+  opts.use_leases = true;
+  nfs::CachingFs cached(&fs, &clock, opts);
+  Credentials user = Credentials::User(1000, {1000});
+  crypto::Prng prng(GetParam());
+
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(cached.Create(fs.root_handle(), "f", user, {}, &fh, &attr), Stat::kOk);
+
+  for (int step = 0; step < 300; ++step) {
+    uint64_t op = prng.RandomUint64(4);
+    switch (op) {
+      case 0: {  // Write through the cache.
+        uint64_t offset = prng.RandomUint64(20000);
+        ASSERT_EQ(cached.Write(fh, user, offset, prng.RandomBytes(1 + prng.RandomUint64(3000)),
+                               false, &attr),
+                  Stat::kOk);
+        break;
+      }
+      case 1: {  // Truncate through the cache.
+        nfs::Sattr sattr;
+        sattr.size = prng.RandomUint64(25000);
+        ASSERT_EQ(cached.SetAttr(fh, user, sattr, &attr), Stat::kOk);
+        break;
+      }
+      case 2: {  // Compare a ranged read, cached vs direct.
+        uint64_t offset = prng.RandomUint64(25000);
+        uint32_t count = static_cast<uint32_t>(1 + prng.RandomUint64(4000));
+        Bytes via_cache;
+        Bytes direct;
+        bool eof1 = false;
+        bool eof2 = false;
+        ASSERT_EQ(cached.Read(fh, user, offset, count, &via_cache, &eof1), Stat::kOk);
+        ASSERT_EQ(fs.Read(fh, user, offset, count, &direct, &eof2), Stat::kOk);
+        ASSERT_EQ(via_cache, direct) << "step " << step;
+        ASSERT_EQ(eof1, eof2) << "step " << step;
+        break;
+      }
+      case 3: {  // Compare attributes (size is the load-bearing field).
+        Fattr via_cache;
+        Fattr direct;
+        ASSERT_EQ(cached.GetAttr(fh, &via_cache), Stat::kOk);
+        ASSERT_EQ(fs.GetAttr(fh, &direct), Stat::kOk);
+        ASSERT_EQ(via_cache.size, direct.size) << "step " << step;
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheTransparencyTest, ::testing::Values(11, 22, 33));
+
+// --- Cross-client coherence under lease callbacks -------------------------------------
+
+class CoherenceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static constexpr size_t kKeyBits = 512;
+};
+
+TEST_P(CoherenceTest, TwoClientsAlwaysSeeServerTruth) {
+  // Invariant: with lease callbacks, any client's GetAttr/Read observes
+  // the result of every previously completed mutation by either client
+  // (strong coherence, which the paper's design approximates by
+  // invalidating before replying to the writer is not required — our
+  // callbacks are synchronous in-process, hence exact).
+  sim::Clock clock;
+  sim::CostModel costs;
+  auth::AuthServer authserver;
+  sfs::SfsServer::Options so;
+  so.location = "coherence.test";
+  so.key_bits = kKeyBits;
+  sfs::SfsServer server(&clock, &costs, so, &authserver);
+
+  auto make_client = [&](uint64_t seed) {
+    sfs::SfsClient::Options co;
+    co.ephemeral_key_bits = kKeyBits;
+    co.prng_seed = seed;
+    return std::make_unique<sfs::SfsClient>(
+        &clock, &costs, [&](const std::string&) { return &server; }, co);
+  };
+  auto client_a = make_client(1);
+  auto client_b = make_client(2);
+  auto mount_a = client_a->Mount(server.Path());
+  auto mount_b = client_b->Mount(server.Path());
+  ASSERT_TRUE(mount_a.ok() && mount_b.ok());
+  sfs::SfsClient::MountPoint* mounts[2] = {mount_a.value(), mount_b.value()};
+
+  Credentials user = Credentials::User(1000, {1000});
+  crypto::Prng prng(GetParam());
+
+  // One shared file.
+  FileHandle fh;
+  Fattr attr;
+  ASSERT_EQ(mounts[0]->fs()->Create(mounts[0]->root_fh(), "shared", user, {}, &fh, &attr),
+            Stat::kOk);
+  Bytes truth;  // What the file must contain.
+
+  for (int step = 0; step < 120; ++step) {
+    int actor = static_cast<int>(prng.RandomUint64(2));
+    nfs::FileSystemApi* fs = mounts[actor]->fs();
+    if (prng.RandomUint64(2) == 0) {
+      // Write: extend or overwrite.
+      uint64_t offset = prng.RandomUint64(truth.size() + 1);
+      Bytes data = prng.RandomBytes(1 + prng.RandomUint64(2000));
+      ASSERT_EQ(fs->Write(fh, user, offset, data, false, &attr), Stat::kOk);
+      if (truth.size() < offset + data.size()) {
+        truth.resize(offset + data.size(), 0);
+      }
+      std::copy(data.begin(), data.end(), truth.begin() + static_cast<long>(offset));
+    } else {
+      // The *other* client validates size and a random range.
+      nfs::FileSystemApi* other = mounts[1 - actor]->fs();
+      Fattr check;
+      ASSERT_EQ(other->GetAttr(fh, &check), Stat::kOk);
+      ASSERT_EQ(check.size, truth.size()) << "step " << step;
+      if (!truth.empty()) {
+        uint64_t offset = prng.RandomUint64(truth.size());
+        uint32_t count = static_cast<uint32_t>(1 + prng.RandomUint64(1000));
+        Bytes data;
+        bool eof = false;
+        ASSERT_EQ(other->Read(fh, user, offset, count, &data, &eof), Stat::kOk);
+        size_t expected = std::min<size_t>(count, truth.size() - offset);
+        ASSERT_EQ(data.size(), expected);
+        for (size_t i = 0; i < data.size(); ++i) {
+          ASSERT_EQ(data[i], truth[offset + i]) << "step " << step;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceTest, ::testing::Values(7, 77, 777));
+
+// --- The paper's §2.1.2 guarantee, as a property ----------------------------------
+
+// Corrupts one randomly chosen byte in every message starting at the k-th
+// (both directions), with a per-message coin flip.
+class RandomCorruptor : public sim::Interposer {
+ public:
+  RandomCorruptor(uint64_t seed, int start_at) : prng_(seed), start_at_(start_at) {}
+
+  util::Result<Bytes> OnRequest(Bytes request) override { return MaybeCorrupt(request); }
+  util::Result<Bytes> OnResponse(Bytes response) override { return MaybeCorrupt(response); }
+
+ private:
+  util::Result<Bytes> MaybeCorrupt(Bytes msg) {
+    if (count_++ < start_at_ || msg.empty() || prng_.RandomUint64(2) == 0) {
+      return msg;
+    }
+    msg[prng_.RandomUint64(msg.size())] ^= static_cast<uint8_t>(1 + prng_.RandomUint64(255));
+    return msg;
+  }
+
+  crypto::Prng prng_;
+  int start_at_;
+  int count_ = 0;
+};
+
+class AdversaryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdversaryPropertyTest, ReadsReturnCorrectDataOrFailClosed) {
+  // "Under these assumptions, SFS ensures that attackers can do no worse
+  // than delay the file system's operation" — concretely: once files are
+  // written, no amount of traffic corruption can make a read that
+  // *succeeds* return the wrong bytes.
+  sim::Clock clock;
+  sim::CostModel costs;
+  auth::AuthServer authserver;
+  sfs::SfsServer::Options so;
+  so.location = "victim.example.org";
+  so.key_bits = 512;
+  sfs::SfsServer server(&clock, &costs, so, &authserver);
+
+  sfs::SfsClient::Options co;
+  co.ephemeral_key_bits = 512;
+  co.prng_seed = GetParam();
+  sfs::SfsClient client(&clock, &costs, [&](const std::string&) { return &server; }, co);
+
+  // Clean phase: mount and write known content.
+  auto mount = client.Mount(server.Path());
+  ASSERT_TRUE(mount.ok());
+  Credentials user = Credentials::User(1000, {1000});
+  crypto::Prng content_prng(uint64_t{123});  // Same content for every seed.
+  std::vector<std::pair<FileHandle, Bytes>> files;
+  for (int i = 0; i < 4; ++i) {
+    FileHandle fh;
+    Fattr attr;
+    Bytes content = content_prng.RandomBytes(2000 + 1000 * static_cast<size_t>(i));
+    ASSERT_EQ((*mount)->fs()->Create((*mount)->root_fh(), "f" + std::to_string(i), user, {},
+                                     &fh, &attr),
+              Stat::kOk);
+    ASSERT_EQ((*mount)->fs()->Write(fh, user, 0, content, false, &attr), Stat::kOk);
+    files.emplace_back(fh, std::move(content));
+  }
+  (*mount)->cache()->InvalidateAll();  // Force reads onto the wire.
+
+  // Attack phase: corrupt traffic with seed-dependent timing.
+  RandomCorruptor corruptor(GetParam(), static_cast<int>(GetParam() % 7));
+  (*mount)->link()->set_interposer(&corruptor);
+
+  int successes = 0;
+  int failures = 0;
+  for (int round = 0; round < 50; ++round) {
+    const auto& [fh, expected] = files[static_cast<size_t>(round) % files.size()];
+    uint64_t offset = (static_cast<uint64_t>(round) * 397) % expected.size();
+    uint32_t count = 512;
+    Bytes data;
+    bool eof = false;
+    Stat s = (*mount)->fs()->Read(fh, user, offset, count, &data, &eof);
+    if (s == Stat::kOk) {
+      ++successes;
+      size_t len = std::min<size_t>(count, expected.size() - offset);
+      ASSERT_EQ(data.size(), len) << "round " << round;
+      for (size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(data[i], expected[offset + i])
+            << "WRONG DATA round " << round << " byte " << i;
+      }
+    } else {
+      ++failures;
+    }
+  }
+  // The attacker certainly caused failures; it must never have caused
+  // wrong data (the ASSERTs above).
+  EXPECT_GT(failures, 0);
+  (void)successes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversaryPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

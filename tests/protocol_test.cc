@@ -1,0 +1,270 @@
+// Protocol state-machine hardening: a ServerConnection must fail closed
+// on out-of-order, malformed, or hostile connection-level messages —
+// "attackers can ... inject new packets onto the network" (§2.1.2).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/auth/authserver.h"
+#include "src/crypto/prng.h"
+#include "src/sfs/client.h"
+#include "src/sfs/proto.h"
+#include "src/sfs/server.h"
+#include "src/sfs/session.h"
+#include "src/xdr/xdr.h"
+
+namespace {
+
+using sfs::SfsServer;
+using util::Bytes;
+using util::BytesOf;
+
+constexpr size_t kKeyBits = 512;
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest() {
+    SfsServer::Options so;
+    so.location = "proto.test";
+    so.key_bits = kKeyBits;
+    server_ = std::make_unique<SfsServer>(&clock_, &costs_, so, &authserver_);
+  }
+
+  // A fresh raw connection (no SfsClient in the way).
+  std::unique_ptr<sim::Service> Connect() {
+    return std::move(server_->CreateConnection().connection);
+  }
+
+  static Bytes Frame(uint32_t type, const Bytes& payload) {
+    xdr::Encoder enc;
+    enc.PutUint32(type);
+    enc.PutOpaque(payload);
+    return enc.Take();
+  }
+
+  Bytes ValidHello() {
+    xdr::Encoder hello;
+    hello.PutUint32(static_cast<uint32_t>(sfs::ServiceType::kFileServer));
+    hello.PutString(server_->Path().location);
+    hello.PutOpaque(server_->Path().host_id);
+    hello.PutString("");
+    return Frame(sfs::kMsgConnect, hello.Take());
+  }
+
+  sim::Clock clock_;
+  sim::CostModel costs_;
+  auth::AuthServer authserver_;
+  std::unique_ptr<SfsServer> server_;
+};
+
+TEST_F(ProtocolTest, GarbageConnectionMessageKillsConnection) {
+  auto conn = Connect();
+  EXPECT_FALSE(conn->Handle(BytesOf("not even framed")).ok());
+  // Dead connection rejects even a valid hello afterwards.
+  EXPECT_FALSE(conn->Handle(ValidHello()).ok());
+}
+
+TEST_F(ProtocolTest, UnknownMessageTypeRejected) {
+  auto conn = Connect();
+  EXPECT_FALSE(conn->Handle(Frame(999, {})).ok());
+}
+
+TEST_F(ProtocolTest, NegotiateBeforeConnectRejected) {
+  auto conn = Connect();
+  xdr::Encoder neg;
+  neg.PutOpaque(Bytes(64, 1));
+  neg.PutOpaque(Bytes(64, 2));
+  neg.PutOpaque(Bytes(64, 3));
+  neg.PutBool(false);
+  auto reply = conn->Handle(Frame(sfs::kMsgNegotiate, neg.Take()));
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(ProtocolTest, EncryptedBeforeNegotiateRejected) {
+  auto conn = Connect();
+  ASSERT_TRUE(conn->Handle(ValidHello()).ok());
+  auto reply = conn->Handle(Frame(sfs::kMsgEncrypted, Bytes(64, 0xaa)));
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(ProtocolTest, DoubleConnectRejected) {
+  auto conn = Connect();
+  ASSERT_TRUE(conn->Handle(ValidHello()).ok());
+  EXPECT_FALSE(conn->Handle(ValidHello()).ok());
+}
+
+TEST_F(ProtocolTest, MalformedNegotiatePayloadKillsConnection) {
+  auto conn = Connect();
+  ASSERT_TRUE(conn->Handle(ValidHello()).ok());
+  EXPECT_FALSE(conn->Handle(Frame(sfs::kMsgNegotiate, BytesOf("trash"))).ok());
+}
+
+TEST_F(ProtocolTest, BogusKeyHalvesRejected) {
+  auto conn = Connect();
+  ASSERT_TRUE(conn->Handle(ValidHello()).ok());
+  // Well-formed XDR, but the "ciphertexts" are random bytes the server's
+  // key cannot decrypt to valid OAEP.
+  crypto::Prng prng(uint64_t{3});
+  auto client_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  size_t k = (server_->public_key().BitLength() + 7) / 8;
+  xdr::Encoder neg;
+  neg.PutOpaque(client_key.public_key().Serialize());
+  neg.PutOpaque(prng.RandomBytes(k));
+  neg.PutOpaque(prng.RandomBytes(k));
+  neg.PutBool(false);
+  auto reply = conn->Handle(Frame(sfs::kMsgNegotiate, neg.Take()));
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(ProtocolTest, SrpOnFileServerConnectionAfterHelloRejected) {
+  auto conn = Connect();
+  ASSERT_TRUE(conn->Handle(ValidHello()).ok());
+  xdr::Encoder srp;
+  srp.PutString("alice");
+  srp.PutOpaque(Bytes(16, 1));
+  EXPECT_FALSE(conn->Handle(Frame(sfs::kMsgSrpStart, srp.Take())).ok());
+}
+
+TEST_F(ProtocolTest, SrpFinishWithoutStartRejected) {
+  auto conn = Connect();
+  xdr::Encoder fin;
+  fin.PutOpaque(Bytes(20, 0));
+  EXPECT_FALSE(conn->Handle(Frame(sfs::kMsgSrpFinish, fin.Take())).ok());
+}
+
+TEST_F(ProtocolTest, HelloForWrongLocationRejected) {
+  auto conn = Connect();
+  xdr::Encoder hello;
+  hello.PutUint32(static_cast<uint32_t>(sfs::ServiceType::kFileServer));
+  hello.PutString("someone-else.example.org");  // Right HostID, wrong Location.
+  hello.PutOpaque(server_->Path().host_id);
+  hello.PutString("");
+  auto reply = conn->Handle(Frame(sfs::kMsgConnect, hello.Take()));
+  ASSERT_TRUE(reply.ok());
+  xdr::Decoder dec(reply.value());
+  ASSERT_TRUE(dec.GetUint32().ok());
+  xdr::Decoder payload(dec.GetOpaque().value());
+  EXPECT_EQ(payload.GetUint32().value(), static_cast<uint32_t>(sfs::kConnectUnknown));
+}
+
+TEST_F(ProtocolTest, FullHandshakeThenDesyncKillsSession) {
+  // Drive a complete handshake by hand, then send a garbage encrypted
+  // frame: the server's stream desynchronizes and the session dies —
+  // subsequent *valid* traffic cannot resurrect it.
+  auto conn = Connect();
+  auto hello_reply = conn->Handle(ValidHello());
+  ASSERT_TRUE(hello_reply.ok());
+
+  crypto::Prng prng(uint64_t{4});
+  auto negotiation =
+      sfs::ClientNegotiation::Start(server_->public_key(), &prng, kKeyBits);
+  ASSERT_TRUE(negotiation.ok());
+  xdr::Encoder neg;
+  neg.PutOpaque(negotiation->ephemeral_key.public_key().Serialize());
+  neg.PutOpaque(negotiation->enc_kc1);
+  neg.PutOpaque(negotiation->enc_kc2);
+  neg.PutBool(false);
+  auto neg_reply = conn->Handle(Frame(sfs::kMsgNegotiate, neg.Take()));
+  ASSERT_TRUE(neg_reply.ok());
+  xdr::Decoder nd(neg_reply.value());
+  ASSERT_TRUE(nd.GetUint32().ok());
+  xdr::Decoder np(nd.GetOpaque().value());
+  ASSERT_FALSE(np.GetBool().value());  // Not cleartext.
+  Bytes enc_ks1 = np.GetOpaque().value();
+  Bytes enc_ks2 = np.GetOpaque().value();
+  auto keys = negotiation->Finish(server_->public_key(), enc_ks1, enc_ks2);
+  ASSERT_TRUE(keys.ok());
+
+  sfs::ChannelCipher out(keys->kcs);
+  sfs::ChannelCipher in(keys->ksc);
+
+  // One good RPC (control program: get root).
+  xdr::Encoder rpc;
+  rpc.PutUint32(1);  // xid
+  rpc.PutUint32(sfs::kSfsCtlProgram);
+  rpc.PutUint32(sfs::kCtlGetRoot);
+  rpc.PutOpaque({});
+  auto good = conn->Handle(Frame(sfs::kMsgEncrypted, out.Seal(rpc.Take())));
+  ASSERT_TRUE(good.ok());
+
+  // Inject garbage; the server must kill the session...
+  EXPECT_FALSE(conn->Handle(Frame(sfs::kMsgEncrypted, Bytes(80, 0x5c))).ok());
+  // ...and refuse even a correctly sealed follow-up.
+  xdr::Encoder rpc2;
+  rpc2.PutUint32(2);
+  rpc2.PutUint32(sfs::kSfsCtlProgram);
+  rpc2.PutUint32(sfs::kCtlGetRoot);
+  rpc2.PutOpaque({});
+  EXPECT_FALSE(conn->Handle(Frame(sfs::kMsgEncrypted, out.Seal(rpc2.Take()))).ok());
+}
+
+TEST_F(ProtocolTest, SequenceNumberWindowEnforced) {
+  // Drive the login procedure directly to exercise the out-of-order
+  // window (§3.1.2 footnote 4: "the server accepts out-of-order sequence
+  // numbers within a reasonable window").
+  crypto::Prng prng(uint64_t{20});
+  auto user_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auth::PublicUserRecord rec;
+  rec.name = "alice";
+  rec.public_key = user_key.public_key().Serialize();
+  rec.credentials = nfs::Credentials::User(1000, {1000});
+  ASSERT_TRUE(authserver_.RegisterUser(rec).ok());
+
+  sfs::SfsClient::Options co;
+  co.ephemeral_key_bits = kKeyBits;
+  sfs::SfsClient client(&clock_, &costs_, [&](const std::string&) { return server_.get(); },
+                        co);
+  auto mount = client.Mount(server_->Path());
+  ASSERT_TRUE(mount.ok());
+
+  // Probe: several successful logins advance max_seqno; a replayed
+  // (duplicate) signature for an already-used seqno must fail.  The
+  // capturing signer records one message, replays it later.
+  Bytes captured;
+  uint32_t captured_seqno = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto signer = [&](const Bytes& info, uint32_t seqno) -> std::optional<Bytes> {
+      Bytes body = auth::MakeSignedAuthReqBody(sfs::MakeAuthId(info), seqno);
+      xdr::Encoder msg;
+      msg.PutOpaque(user_key.public_key().Serialize());
+      msg.PutOpaque(user_key.Sign(body));
+      if (i == 0) {
+        captured = msg.data();
+        captured_seqno = seqno;
+      }
+      return msg.Take();
+    };
+    ASSERT_TRUE((*mount)->Authenticate(static_cast<uint32_t>(100 + i), signer).ok());
+    EXPECT_NE((*mount)->AuthnoFor(static_cast<uint32_t>(100 + i)), sfs::kAnonymousAuthno);
+  }
+  // Replay of the captured message: the mount's counter has moved on, so
+  // the transmitted seqno mismatches the signed one — and even a
+  // same-seqno replay would hit the used-seqno set.
+  auto replayer = [&](const Bytes&, uint32_t) -> std::optional<Bytes> { return captured; };
+  EXPECT_FALSE((*mount)->Authenticate(999, replayer).ok());
+  EXPECT_GT(captured_seqno, 0u);
+}
+
+TEST_F(ProtocolTest, CleartextRefusedUnlessConfigured) {
+  // Server not configured for cleartext: a client asking for it still
+  // gets an encrypted channel (the reply's cleartext flag is false).
+  auto conn = Connect();
+  ASSERT_TRUE(conn->Handle(ValidHello()).ok());
+  crypto::Prng prng(uint64_t{5});
+  auto negotiation =
+      sfs::ClientNegotiation::Start(server_->public_key(), &prng, kKeyBits);
+  ASSERT_TRUE(negotiation.ok());
+  xdr::Encoder neg;
+  neg.PutOpaque(negotiation->ephemeral_key.public_key().Serialize());
+  neg.PutOpaque(negotiation->enc_kc1);
+  neg.PutOpaque(negotiation->enc_kc2);
+  neg.PutBool(true);  // Request cleartext.
+  auto reply = conn->Handle(Frame(sfs::kMsgNegotiate, neg.Take()));
+  ASSERT_TRUE(reply.ok());
+  xdr::Decoder dec(reply.value());
+  ASSERT_TRUE(dec.GetUint32().ok());
+  xdr::Decoder payload(dec.GetOpaque().value());
+  EXPECT_FALSE(payload.GetBool().value());
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for the SRP-6a implementation.
+#include <gtest/gtest.h>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/prng.h"
+#include "src/crypto/srp.h"
+
+namespace {
+
+using crypto::BigInt;
+using crypto::DefaultSrpParams;
+using crypto::MakeSrpVerifier;
+using crypto::Prng;
+using crypto::SrpClient;
+using crypto::SrpServer;
+using crypto::SrpVerifier;
+
+constexpr unsigned kTestCost = 2;  // Low eksblowfish cost for test speed.
+
+TEST(SrpParamsTest, GroupIsASafePrime) {
+  // N must be prime and (N-1)/2 prime for the SRP security argument.
+  const auto& params = DefaultSrpParams();
+  Prng prng(uint64_t{41});
+  EXPECT_EQ(params.n.BitLength(), 1024u);
+  EXPECT_TRUE(BigInt::IsProbablePrime(params.n, &prng, 10));
+  BigInt q = (params.n - BigInt(1)) >> 1;
+  EXPECT_TRUE(BigInt::IsProbablePrime(q, &prng, 10));
+  EXPECT_EQ(params.g, BigInt(2));
+}
+
+TEST(SrpTest, SuccessfulMutualAuthentication) {
+  const auto& params = DefaultSrpParams();
+  Prng prng(uint64_t{42});
+  SrpVerifier verifier = MakeSrpVerifier(params, "kaminsky's password", kTestCost, &prng);
+
+  SrpClient client(params, &prng);
+  SrpServer server(params, verifier, &prng);
+
+  auto b_pub = server.ProcessClientHello(client.A());
+  ASSERT_TRUE(b_pub.ok());
+  ASSERT_TRUE(client
+                  .ProcessServerReply("kaminsky's password", server.Salt(), server.Cost(),
+                                      b_pub.value())
+                  .ok());
+  EXPECT_TRUE(server.VerifyClientProof(client.ClientProof()).ok());
+  EXPECT_TRUE(client.VerifyServerProof(server.ServerProof()).ok());
+  EXPECT_EQ(client.SessionKey(), server.SessionKey());
+  EXPECT_EQ(client.SessionKey().size(), 20u);
+}
+
+TEST(SrpTest, WrongPasswordFailsClientProof) {
+  const auto& params = DefaultSrpParams();
+  Prng prng(uint64_t{43});
+  SrpVerifier verifier = MakeSrpVerifier(params, "right password", kTestCost, &prng);
+
+  SrpClient client(params, &prng);
+  SrpServer server(params, verifier, &prng);
+  auto b_pub = server.ProcessClientHello(client.A());
+  ASSERT_TRUE(b_pub.ok());
+  ASSERT_TRUE(client.ProcessServerReply("wrong password", server.Salt(), server.Cost(),
+                                        b_pub.value())
+                  .ok());
+  EXPECT_FALSE(server.VerifyClientProof(client.ClientProof()).ok());
+  EXPECT_NE(client.SessionKey(), server.SessionKey());
+}
+
+TEST(SrpTest, ServerRejectsDegenerateA) {
+  const auto& params = DefaultSrpParams();
+  Prng prng(uint64_t{44});
+  SrpVerifier verifier = MakeSrpVerifier(params, "pw", kTestCost, &prng);
+  SrpServer server(params, verifier, &prng);
+  EXPECT_FALSE(server.ProcessClientHello(BigInt(0)).ok());
+  SrpServer server2(params, verifier, &prng);
+  EXPECT_FALSE(server2.ProcessClientHello(params.n).ok());
+  SrpServer server3(params, verifier, &prng);
+  EXPECT_FALSE(server3.ProcessClientHello(params.n * BigInt(3)).ok());
+}
+
+TEST(SrpTest, ClientRejectsDegenerateB) {
+  const auto& params = DefaultSrpParams();
+  Prng prng(uint64_t{45});
+  SrpClient client(params, &prng);
+  util::Bytes salt(16, 1);
+  EXPECT_FALSE(client.ProcessServerReply("pw", salt, kTestCost, BigInt(0)).ok());
+  SrpClient client2(params, &prng);
+  EXPECT_FALSE(client2.ProcessServerReply("pw", salt, kTestCost, params.n).ok());
+}
+
+TEST(SrpTest, SessionKeysDifferAcrossRuns) {
+  // Fresh ephemerals every run: an eavesdropper replaying old transcripts
+  // learns nothing about new sessions.
+  const auto& params = DefaultSrpParams();
+  Prng prng(uint64_t{46});
+  SrpVerifier verifier = MakeSrpVerifier(params, "pw", kTestCost, &prng);
+  util::Bytes key1;
+  util::Bytes key2;
+  for (util::Bytes* key : {&key1, &key2}) {
+    SrpClient client(params, &prng);
+    SrpServer server(params, verifier, &prng);
+    auto b_pub = server.ProcessClientHello(client.A());
+    ASSERT_TRUE(b_pub.ok());
+    ASSERT_TRUE(client.ProcessServerReply("pw", server.Salt(), server.Cost(), b_pub.value()).ok());
+    ASSERT_TRUE(server.VerifyClientProof(client.ClientProof()).ok());
+    *key = client.SessionKey();
+  }
+  EXPECT_NE(key1, key2);
+}
+
+TEST(SrpTest, VerifierIsNotPasswordEquivalent) {
+  // Structural check on the paper's claim: what the server stores (salt,
+  // cost, v = g^x) differs from anything the client derives directly from
+  // the password, and two users with the same password get different
+  // verifiers thanks to the salt.
+  const auto& params = DefaultSrpParams();
+  Prng prng(uint64_t{47});
+  SrpVerifier v1 = MakeSrpVerifier(params, "shared password", kTestCost, &prng);
+  SrpVerifier v2 = MakeSrpVerifier(params, "shared password", kTestCost, &prng);
+  EXPECT_NE(v1.salt, v2.salt);
+  EXPECT_NE(v1.v, v2.v);
+}
+
+TEST(SrpTest, ProofsAreTranscriptBound) {
+  const auto& params = DefaultSrpParams();
+  Prng prng(uint64_t{48});
+  SrpVerifier verifier = MakeSrpVerifier(params, "pw", kTestCost, &prng);
+  SrpClient client(params, &prng);
+  SrpServer server(params, verifier, &prng);
+  auto b_pub = server.ProcessClientHello(client.A());
+  ASSERT_TRUE(b_pub.ok());
+  ASSERT_TRUE(client.ProcessServerReply("pw", server.Salt(), server.Cost(), b_pub.value()).ok());
+  // A bit-flipped proof must not verify.
+  util::Bytes bad = client.ClientProof();
+  bad[0] ^= 1;
+  EXPECT_FALSE(server.VerifyClientProof(bad).ok());
+  util::Bytes bad2 = server.ServerProof();
+  bad2[19] ^= 1;
+  EXPECT_FALSE(client.VerifyServerProof(bad2).ok());
+}
+
+}  // namespace

@@ -1,0 +1,608 @@
+// Tests for the VFS layer and the paper's key-management idioms built on
+// symbolic links: manual key distribution, secure links, certification
+// authorities, certification paths, secure bookmarks, per-agent /sfs
+// views, and revocation surfacing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/agent/agent.h"
+#include "src/auth/authserver.h"
+#include "src/nfs/memfs.h"
+#include "src/sfs/client.h"
+#include "src/sfs/server.h"
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using agent::Agent;
+using nfs::Credentials;
+using nfs::FileType;
+using sfs::SelfCertifyingPath;
+using sfs::SfsClient;
+using sfs::SfsServer;
+using util::Bytes;
+using util::BytesOf;
+using vfs::OpenFlags;
+using vfs::UserContext;
+using vfs::Vfs;
+
+constexpr size_t kKeyBits = 512;
+
+class VfsTest : public ::testing::Test {
+ protected:
+  VfsTest()
+      : local_disk_(&clock_, sim::DiskProfile::Ibm18Es()),
+        local_fs_(&clock_, &local_disk_, nfs::MemFs::Options{/*fsid=*/7}),
+        vfs_(&clock_, &costs_) {
+    // Two independent SFS servers ("MIT" and "Verisign the CA").
+    mit_ = MakeServer("sfs.lcs.mit.edu", 1);
+    ca_ = MakeServer("sfs.verisign.com", 2);
+
+    SfsClient::Options copts;
+    copts.ephemeral_key_bits = kKeyBits;
+    client_ = std::make_unique<SfsClient>(
+        &clock_, &costs_,
+        [this](const std::string& location) -> SfsServer* {
+          if (location == "sfs.lcs.mit.edu") {
+            return mit_.get();
+          }
+          if (location == "sfs.verisign.com") {
+            return ca_.get();
+          }
+          return nullptr;
+        },
+        copts);
+
+    vfs_.MountRoot(&local_fs_, local_fs_.root_handle());
+    vfs_.EnableSfs(client_.get());
+
+    // A user with an agent and a registered key on the MIT server.
+    crypto::Prng prng(uint64_t{88});
+    user_key_ = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+    auth::PublicUserRecord record;
+    record.name = "dm";
+    record.public_key = user_key_.public_key().Serialize();
+    record.credentials = Credentials::User(1000, {1000});
+    EXPECT_TRUE(mit_auth_.RegisterUser(record).ok());
+    alice_agent_ = std::make_unique<Agent>("dm");
+    alice_agent_->AddPrivateKey(user_key_);
+    alice_ = UserContext::For(1000, alice_agent_.get());
+  }
+
+  std::unique_ptr<SfsServer> MakeServer(const std::string& location, uint64_t fsid) {
+    SfsServer::Options options;
+    options.location = location;
+    options.key_bits = kKeyBits;
+    options.fsid = fsid;
+    options.prng_seed = fsid * 31;
+    auth::AuthServer* authsrv = location == "sfs.lcs.mit.edu" ? &mit_auth_ : &ca_auth_;
+    return std::make_unique<SfsServer>(&clock_, &costs_, options, authsrv);
+  }
+
+  sim::Clock clock_;
+  sim::CostModel costs_;
+  sim::Disk local_disk_;
+  nfs::MemFs local_fs_;
+  auth::AuthServer mit_auth_;
+  auth::AuthServer ca_auth_;
+  std::unique_ptr<SfsServer> mit_;
+  std::unique_ptr<SfsServer> ca_;
+  std::unique_ptr<SfsClient> client_;
+  Vfs vfs_;
+  crypto::RabinPrivateKey user_key_;
+  std::unique_ptr<Agent> alice_agent_;
+  UserContext alice_;
+};
+
+TEST_F(VfsTest, LocalFileLifecycle) {
+  auto file = vfs_.Open(alice_, "/hello.txt", OpenFlags::CreateRw());
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE(file->Write(BytesOf("local data")).ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  auto read_back = vfs_.Open(alice_, "/hello.txt", OpenFlags::ReadOnly());
+  ASSERT_TRUE(read_back.ok());
+  auto data = read_back->Read(100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(util::StringOf(*data), "local data");
+}
+
+TEST_F(VfsTest, DirectoriesAndListing) {
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/dir").ok());
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/dir/sub").ok());
+  auto f = vfs_.Open(alice_, "/dir/sub/file", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  auto listing = vfs_.ListDir(alice_, "/dir/sub");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 1u);
+  EXPECT_EQ((*listing)[0], "file");
+  // Root listing includes the virtual /sfs entry.
+  auto root = vfs_.ListDir(alice_, "/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_NE(std::find(root->begin(), root->end(), "sfs"), root->end());
+}
+
+TEST_F(VfsTest, SymlinkResolution) {
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/real").ok());
+  auto f = vfs_.Open(alice_, "/real/file", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(BytesOf("via link")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(vfs_.Symlink(alice_, "/real", "/alias").ok());
+
+  auto through = vfs_.Open(alice_, "/alias/file", OpenFlags::ReadOnly());
+  ASSERT_TRUE(through.ok());
+  auto data = through->Read(100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(util::StringOf(*data), "via link");
+
+  auto lstat = vfs_.Lstat(alice_, "/alias");
+  ASSERT_TRUE(lstat.ok());
+  EXPECT_EQ(lstat->type, FileType::kSymlink);
+  auto stat = vfs_.Stat(alice_, "/alias");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->type, FileType::kDirectory);
+  auto target = vfs_.ReadLink(alice_, "/alias");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/real");
+}
+
+TEST_F(VfsTest, RelativeSymlinksAndDotDot) {
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/a").ok());
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/a/b").ok());
+  auto f = vfs_.Open(alice_, "/a/target", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(BytesOf("X")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(vfs_.Symlink(alice_, "../target", "/a/b/rel").ok());
+  auto stat = vfs_.Stat(alice_, "/a/b/rel");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->size, 1u);
+  auto real = vfs_.Realpath(alice_, "/a/b/../../a/b/rel");
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(*real, "/a/target");
+}
+
+TEST_F(VfsTest, SymlinkLoopDetected) {
+  ASSERT_TRUE(vfs_.Symlink(alice_, "/loop2", "/loop1").ok());
+  ASSERT_TRUE(vfs_.Symlink(alice_, "/loop1", "/loop2").ok());
+  auto stat = vfs_.Stat(alice_, "/loop1");
+  EXPECT_FALSE(stat.ok());
+}
+
+TEST_F(VfsTest, SelfCertifyingPathnameAutomounts) {
+  // The paper's core flow: referencing /sfs/Location:HostID mounts the
+  // remote file system transparently.
+  std::string remote = mit_->Path().FullPath();
+  auto file = vfs_.Open(alice_, remote + "/remote.txt", OpenFlags::CreateRw());
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE(file->Write(BytesOf("remote bytes")).ok());
+  ASSERT_TRUE(file->Close().ok());
+  auto stat = vfs_.Stat(alice_, remote + "/remote.txt");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->size, 12u);
+  EXPECT_EQ(client_->mounts_created(), 1u);
+}
+
+TEST_F(VfsTest, WrongHostIdDoesNotMount) {
+  crypto::Prng prng(uint64_t{99});
+  auto fake = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  SelfCertifyingPath bogus = SelfCertifyingPath::For("sfs.lcs.mit.edu", fake.public_key());
+  auto stat = vfs_.Stat(alice_, bogus.FullPath());
+  EXPECT_FALSE(stat.ok());
+}
+
+TEST_F(VfsTest, ManualKeyDistribution) {
+  // Administrators install a symlink on the local disk (paper §2.4):
+  //   /mit -> /sfs/sfs.lcs.mit.edu:HostID
+  ASSERT_TRUE(vfs_.Symlink(alice_, mit_->Path().FullPath(), "/mit").ok());
+  auto file = vfs_.Open(alice_, "/mit/readme", OpenFlags::CreateRw());
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE(file->Write(BytesOf("hi")).ok());
+  ASSERT_TRUE(file->Close().ok());
+  // The file is really on the MIT server.
+  auto stat = vfs_.Stat(alice_, mit_->Path().FullPath() + "/readme");
+  ASSERT_TRUE(stat.ok());
+}
+
+TEST_F(VfsTest, SecureLinksAcrossServers) {
+  // A symlink stored on one SFS server points at another's
+  // self-certifying pathname — following it is certified end-to-end.
+  UserContext root_user = UserContext::For(0, alice_agent_.get());
+  std::string ca_path = ca_->Path().FullPath();
+  std::string mit_path = mit_->Path().FullPath();
+  ASSERT_TRUE(vfs_.Symlink(root_user, mit_path, ca_path + "/mit-link").ok());
+  auto f = vfs_.Open(alice_, mit_path + "/linked-file", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  auto stat = vfs_.Stat(alice_, ca_path + "/mit-link/linked-file");
+  ASSERT_TRUE(stat.ok()) << stat.status().ToString();
+  EXPECT_EQ(client_->mounts_created(), 2u);
+}
+
+TEST_F(VfsTest, CertificationAuthorityViaCertPath) {
+  // Verisign-as-CA (paper §2.4): the CA's file system holds symlinks to
+  // customer servers; the user's agent searches it via the certification
+  // path, so "/sfs/mit" works with no raw HostIDs.
+  UserContext ca_admin = UserContext::For(0, alice_agent_.get());
+  ASSERT_TRUE(
+      vfs_.Symlink(ca_admin, mit_->Path().FullPath(), ca_->Path().FullPath() + "/mit").ok());
+  alice_agent_->AddCertPathDir(ca_->Path().FullPath());
+
+  auto file = vfs_.Open(alice_, "/sfs/mit/from-ca", OpenFlags::CreateRw());
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE(file->Close().ok());
+  // The on-the-fly link was recorded in the agent.
+  EXPECT_TRUE(alice_agent_->LookupLink("mit").has_value());
+  // And the file landed on the MIT server.
+  auto stat = vfs_.Stat(alice_, mit_->Path().FullPath() + "/from-ca");
+  ASSERT_TRUE(stat.ok());
+}
+
+TEST_F(VfsTest, CertPathSearchedInOrder) {
+  // Two directories in the certification path both define "fileserver";
+  // the first must win (paper: "the agent maps the name by looking in
+  // each directory of the certification path in sequence").
+  UserContext admin = UserContext::For(0, alice_agent_.get());
+  ASSERT_TRUE(vfs_.Mkdir(admin, "/cp1").ok());
+  ASSERT_TRUE(vfs_.Mkdir(admin, "/cp2").ok());
+  ASSERT_TRUE(vfs_.Symlink(admin, mit_->Path().FullPath(), "/cp1/fileserver").ok());
+  ASSERT_TRUE(vfs_.Symlink(admin, ca_->Path().FullPath(), "/cp2/fileserver").ok());
+  alice_agent_->AddCertPathDir("/cp1");
+  alice_agent_->AddCertPathDir("/cp2");
+  auto real = vfs_.Realpath(alice_, "/sfs/fileserver");
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(*real, mit_->Path().FullPath());
+}
+
+TEST_F(VfsTest, SecureBookmarks) {
+  // The bookmark idiom: pwd returns the full self-certifying pathname;
+  // the bookmark is an agent link Location -> /sfs/Location:HostID.
+  std::string remote = mit_->Path().FullPath();
+  ASSERT_TRUE(vfs_.Mkdir(alice_, remote + "/projects").ok());
+  auto real = vfs_.Realpath(alice_, remote + "/projects");
+  ASSERT_TRUE(real.ok());
+  // Extract Location:HostID from the canonical path, as the 10-line
+  // bookmark script does.
+  std::string component = real->substr(5, real->find('/', 5) - 5);
+  alice_agent_->AddLink("mit-projects", "/sfs/" + component + "/projects");
+  auto stat = vfs_.Stat(alice_, "/sfs/mit-projects");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->type, FileType::kDirectory);
+}
+
+TEST_F(VfsTest, PerAgentSfsViews) {
+  // Alice accesses MIT; Bob (different agent) must not see it in his
+  // /sfs listing — the defense against HostID-completion tricks.
+  Agent bob_agent("bob");
+  UserContext bob = UserContext::For(2000, &bob_agent);
+
+  ASSERT_TRUE(vfs_.Stat(alice_, mit_->Path().FullPath()).ok());
+  auto alice_view = vfs_.ListDir(alice_, "/sfs");
+  ASSERT_TRUE(alice_view.ok());
+  EXPECT_EQ(alice_view->size(), 1u);
+
+  auto bob_view = vfs_.ListDir(bob, "/sfs");
+  ASSERT_TRUE(bob_view.ok());
+  EXPECT_TRUE(bob_view->empty());
+}
+
+TEST_F(VfsTest, AgentLinksArePerAgent) {
+  Agent bob_agent("bob");
+  UserContext bob = UserContext::For(2000, &bob_agent);
+  alice_agent_->AddLink("mit", mit_->Path().FullPath());
+  EXPECT_TRUE(vfs_.Stat(alice_, "/sfs/mit").ok());
+  EXPECT_FALSE(vfs_.Stat(bob, "/sfs/mit").ok());
+}
+
+TEST_F(VfsTest, UsersShareMountCache) {
+  // Alice and Bob both resolve the same self-certifying path: one mount,
+  // one connection (the AFS-conundrum fix, §5.1).
+  Agent bob_agent("bob");
+  UserContext bob = UserContext::For(2000, &bob_agent);
+  ASSERT_TRUE(vfs_.Stat(alice_, mit_->Path().FullPath()).ok());
+  ASSERT_TRUE(vfs_.Stat(bob, mit_->Path().FullPath()).ok());
+  EXPECT_EQ(client_->mounts_created(), 1u);
+}
+
+TEST_F(VfsTest, AuthenticatedUserGetsHerCredentials) {
+  std::string remote = mit_->Path().FullPath();
+  // Alice (registered) creates a 0600 file; the server must record her
+  // authserver-mapped uid 1000, so Bob (anonymous) cannot read it.
+  auto f = vfs_.Open(alice_, remote + "/secret", OpenFlags::CreateRw(0600));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(BytesOf("classified")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  auto stat = vfs_.Stat(alice_, remote + "/secret");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->uid, 1000u);
+
+  Agent bob_agent("bob");  // No keys: anonymous on the server.
+  UserContext bob = UserContext::For(2000, &bob_agent);
+  auto denied = vfs_.Open(bob, remote + "/secret", OpenFlags::ReadOnly());
+  EXPECT_FALSE(denied.ok());
+}
+
+TEST_F(VfsTest, RevokedPathIsUnreachable) {
+  sfs::PathRevokeCert cert =
+      sfs::PathRevokeCert::MakeRevocation(mit_->private_key(), "sfs.lcs.mit.edu");
+  ASSERT_TRUE(alice_agent_->AddRevocation(cert).ok());
+  auto stat = vfs_.Stat(alice_, mit_->Path().FullPath());
+  ASSERT_FALSE(stat.ok());
+  EXPECT_EQ(stat.status().code(), util::ErrorCode::kSecurityError);
+  // The error surfaces the :REVOKED: marker for users who investigate.
+  EXPECT_NE(stat.status().message().find(sfs::kRevokedLinkTarget), std::string::npos);
+}
+
+TEST_F(VfsTest, HostIdBlockingIsPerAgent) {
+  // Alice blocks the CA; Bob is unaffected (paper §2.6: blocking "does
+  // not affect any other users").
+  alice_agent_->BlockHostId(ca_->Path().host_id);
+  EXPECT_FALSE(vfs_.Stat(alice_, ca_->Path().FullPath()).ok());
+  Agent bob_agent("bob");
+  UserContext bob = UserContext::For(2000, &bob_agent);
+  EXPECT_TRUE(vfs_.Stat(bob, ca_->Path().FullPath()).ok());
+}
+
+TEST_F(VfsTest, ForwardingPointerAsRootSymlink) {
+  // Old server replaces its root content with a symlink to the new
+  // self-certifying pathname (paper §2.4 "Forwarding pointers").
+  UserContext admin = UserContext::For(0, alice_agent_.get());
+  ASSERT_TRUE(
+      vfs_.Symlink(admin, ca_->Path().FullPath(), mit_->Path().FullPath() + "/moved").ok());
+  auto real = vfs_.Realpath(alice_, mit_->Path().FullPath() + "/moved");
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(*real, ca_->Path().FullPath());
+}
+
+TEST_F(VfsTest, RenameAndUnlinkThroughVfs) {
+  auto f = vfs_.Open(alice_, "/f1", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(vfs_.Rename(alice_, "/f1", "/f2").ok());
+  EXPECT_FALSE(vfs_.Stat(alice_, "/f1").ok());
+  EXPECT_TRUE(vfs_.Stat(alice_, "/f2").ok());
+  ASSERT_TRUE(vfs_.Unlink(alice_, "/f2").ok());
+  EXPECT_FALSE(vfs_.Stat(alice_, "/f2").ok());
+}
+
+TEST_F(VfsTest, OpenFlagsSemantics) {
+  auto f = vfs_.Open(alice_, "/x", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(BytesOf("0123456789")).ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  OpenFlags excl = OpenFlags::CreateRw();
+  excl.exclusive = true;
+  EXPECT_FALSE(vfs_.Open(alice_, "/x", excl).ok());
+
+  // O_TRUNC empties the file.
+  auto t = vfs_.Open(alice_, "/x", OpenFlags::CreateRw());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->Close().ok());
+  auto stat = vfs_.Stat(alice_, "/x");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->size, 0u);
+
+  // Write through a read-only descriptor fails.
+  auto ro = vfs_.Open(alice_, "/x", OpenFlags::ReadOnly());
+  ASSERT_TRUE(ro.ok());
+  EXPECT_FALSE(ro->Write(BytesOf("nope")).ok());
+}
+
+TEST_F(VfsTest, PermissionDeniedOnOpen) {
+  auto f = vfs_.Open(alice_, "/private", OpenFlags::CreateRw(0600));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  UserContext bob = UserContext::For(2001);
+  EXPECT_FALSE(vfs_.Open(bob, "/private", OpenFlags::ReadOnly()).ok());
+}
+
+TEST_F(VfsTest, SfsDirIsNotWritable) {
+  EXPECT_FALSE(vfs_.Mkdir(alice_, "/sfs/newdir").ok());
+  EXPECT_FALSE(vfs_.Open(alice_, "/sfs/newfile", OpenFlags::CreateRw()).ok());
+}
+
+TEST_F(VfsTest, WriteGatheringFlushesOnOverlapAndClose) {
+  // The OpenFile write-behind buffer must never let a read observe stale
+  // data, for the same or for a different descriptor after close.
+  auto f = vfs_.Open(alice_, "/wb", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Pwrite(0, BytesOf("AAAA")).ok());      // Buffered.
+  ASSERT_TRUE(f->Pwrite(4, BytesOf("BBBB")).ok());      // Gathered.
+  auto overlap = f->Pread(2, 4);                        // Forces a flush.
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_EQ(util::StringOf(*overlap), "AABB");
+  ASSERT_TRUE(f->Pwrite(100, BytesOf("CC")).ok());      // Non-contiguous: new buffer.
+  ASSERT_TRUE(f->Close().ok());
+  auto stat = vfs_.Stat(alice_, "/wb");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->size, 102u);
+}
+
+TEST_F(VfsTest, ReadAheadStaysCoherentWithOwnWrites) {
+  auto f = vfs_.Open(alice_, "/ra", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  util::Bytes big(100000, 'x');
+  ASSERT_TRUE(f->Pwrite(0, big).ok());
+  // Sequential read primes the read-ahead window...
+  auto first = f->Pread(0, 8192);
+  ASSERT_TRUE(first.ok());
+  // ...a write invalidates it...
+  ASSERT_TRUE(f->Pwrite(8192, BytesOf("YY")).ok());
+  // ...so the next read must see the new bytes.
+  auto second = f->Pread(8192, 2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(util::StringOf(*second), "YY");
+  ASSERT_TRUE(f->Close().ok());
+}
+
+TEST_F(VfsTest, SequentialReadHelperWalksWholeFile) {
+  auto f = vfs_.Open(alice_, "/seq", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  util::Bytes content;
+  for (int i = 0; i < 1000; ++i) {
+    content.push_back(static_cast<uint8_t>(i * 7));
+  }
+  ASSERT_TRUE(f->Write(content).ok());
+  ASSERT_TRUE(f->Close().ok());
+  auto r = vfs_.Open(alice_, "/seq", OpenFlags::ReadOnly());
+  ASSERT_TRUE(r.ok());
+  util::Bytes assembled;
+  for (;;) {
+    auto chunk = r->Read(333);
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->empty()) {
+      break;
+    }
+    util::Append(&assembled, *chunk);
+  }
+  EXPECT_EQ(assembled, content);
+}
+
+TEST_F(VfsTest, DeepDirectoryTree) {
+  std::string path;
+  for (int depth = 0; depth < 24; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(vfs_.Mkdir(alice_, path).ok()) << path;
+  }
+  auto f = vfs_.Open(alice_, path + "/leaf", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  auto real = vfs_.Realpath(alice_, path + "/leaf");
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(*real, path + "/leaf");
+}
+
+TEST_F(VfsTest, ChainOfSymlinksIntoSfs) {
+  // local link -> local link -> self-certifying path -> file.
+  std::string remote = mit_->Path().FullPath();
+  auto f = vfs_.Open(alice_, remote + "/deep-target", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(vfs_.Symlink(alice_, remote, "/hop2").ok());
+  ASSERT_TRUE(vfs_.Symlink(alice_, "/hop2", "/hop1").ok());
+  EXPECT_TRUE(vfs_.Stat(alice_, "/hop1/deep-target").ok());
+}
+
+TEST_F(VfsTest, ChmodAndTruncateThroughVfs) {
+  auto f = vfs_.Open(alice_, "/attrs", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(BytesOf("0123456789")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(vfs_.Chmod(alice_, "/attrs", 0640).ok());
+  ASSERT_TRUE(vfs_.Truncate(alice_, "/attrs", 4).ok());
+  auto stat = vfs_.Stat(alice_, "/attrs");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->mode, 0640u);
+  EXPECT_EQ(stat->size, 4u);
+  // Non-owner cannot chmod.
+  UserContext bob = UserContext::For(2000);
+  EXPECT_FALSE(vfs_.Chmod(bob, "/attrs", 0777).ok());
+}
+
+TEST_F(VfsTest, RelativePathsRejected) {
+  EXPECT_FALSE(vfs_.Stat(alice_, "relative/path").ok());
+  EXPECT_FALSE(vfs_.Stat(alice_, "").ok());
+  EXPECT_FALSE(vfs_.Mkdir(alice_, "x").ok());
+}
+
+TEST_F(VfsTest, DotAndDotDotNormalization) {
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/n1").ok());
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/n1/n2").ok());
+  auto f = vfs_.Open(alice_, "/n1/n2/./../n2/file", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_TRUE(vfs_.Stat(alice_, "/n1/n2/file").ok());
+  // ".." above root stays at root.
+  EXPECT_TRUE(vfs_.Stat(alice_, "/../../n1").ok());
+}
+
+TEST_F(VfsTest, StatFsReportsUsage) {
+  auto before = vfs_.StatFs(alice_, "/");
+  ASSERT_TRUE(before.ok());
+  auto f = vfs_.Open(alice_, "/chunky", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(util::Bytes(64 * 1024, 0x77)).ok());
+  ASSERT_TRUE(f->Close().ok());
+  auto after = vfs_.StatFs(alice_, "/");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->used_bytes, before->used_bytes);
+  EXPECT_EQ(after->total_bytes, before->total_bytes);
+  // Remote file systems answer too.
+  auto remote = vfs_.StatFs(alice_, mit_->Path().FullPath());
+  ASSERT_TRUE(remote.ok());
+  // But the virtual /sfs directory is not a file system.
+  EXPECT_FALSE(vfs_.StatFs(alice_, "/sfs").ok());
+}
+
+TEST_F(VfsTest, DirectoryNlinkCountsSubdirectories) {
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/p").ok());
+  auto base = vfs_.Stat(alice_, "/p");
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->nlink, 2u);  // "." and the parent entry.
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/p/a").ok());
+  ASSERT_TRUE(vfs_.Mkdir(alice_, "/p/b").ok());
+  auto grown = vfs_.Stat(alice_, "/p");
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown->nlink, 4u);  // +1 per child's "..".
+  ASSERT_TRUE(vfs_.Rmdir(alice_, "/p/a").ok());
+  auto shrunk = vfs_.Stat(alice_, "/p");
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_EQ(shrunk->nlink, 3u);
+}
+
+TEST_F(VfsTest, HardLinksThroughVfs) {
+  auto f = vfs_.Open(alice_, "/orig", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(BytesOf("linked")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(vfs_.HardLink(alice_, "/orig", "/alias").ok());
+  auto stat = vfs_.Stat(alice_, "/alias");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->nlink, 2u);
+  ASSERT_TRUE(vfs_.Unlink(alice_, "/orig").ok());
+  auto read_back = vfs_.Open(alice_, "/alias", OpenFlags::ReadOnly());
+  ASSERT_TRUE(read_back.ok());
+  auto data = read_back->Read(100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(util::StringOf(*data), "linked");
+}
+
+TEST_F(VfsTest, HardLinkOnSfsMount) {
+  // Links work over the wire + handle encryption + leases too.
+  std::string remote = mit_->Path().FullPath();
+  auto f = vfs_.Open(alice_, remote + "/hl", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Write(BytesOf("X")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(vfs_.HardLink(alice_, remote + "/hl", remote + "/hl2").ok());
+  auto stat = vfs_.Stat(alice_, remote + "/hl2");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->nlink, 2u);
+  // Cross-filesystem hard links rejected.
+  EXPECT_FALSE(vfs_.HardLink(alice_, remote + "/hl", "/local-alias").ok());
+}
+
+TEST_F(VfsTest, RenameAcrossFileSystemsRejected) {
+  auto f = vfs_.Open(alice_, "/local-file", OpenFlags::CreateRw());
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::string remote = mit_->Path().FullPath();
+  EXPECT_FALSE(vfs_.Rename(alice_, "/local-file", remote + "/moved").ok());
+}
+
+TEST_F(VfsTest, RealpathOfSelfCertifyingMount) {
+  // pwd inside an SFS mount returns the full self-certifying pathname —
+  // the property the bookmark idiom depends on.
+  std::string remote = mit_->Path().FullPath();
+  ASSERT_TRUE(vfs_.Mkdir(alice_, remote + "/deep").ok());
+  ASSERT_TRUE(vfs_.Symlink(alice_, remote + "/deep", "/shortcut").ok());
+  auto real = vfs_.Realpath(alice_, "/shortcut");
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(*real, remote + "/deep");
+}
+
+}  // namespace
