@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_prims.dir/crypto_prims.cc.o"
+  "CMakeFiles/crypto_prims.dir/crypto_prims.cc.o.d"
+  "crypto_prims"
+  "crypto_prims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_prims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mab.dir/fig6_mab.cc.o"
+  "CMakeFiles/fig6_mab.dir/fig6_mab.cc.o.d"
+  "fig6_mab"
+  "fig6_mab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

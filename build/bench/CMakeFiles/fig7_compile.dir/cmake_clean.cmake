@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_compile.dir/fig7_compile.cc.o"
+  "CMakeFiles/fig7_compile.dir/fig7_compile.cc.o.d"
+  "fig7_compile"
+  "fig7_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lfs_small.dir/fig8_lfs_small.cc.o"
+  "CMakeFiles/fig8_lfs_small.dir/fig8_lfs_small.cc.o.d"
+  "fig8_lfs_small"
+  "fig8_lfs_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lfs_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readonly_scaling.dir/readonly_scaling.cc.o"
+  "CMakeFiles/readonly_scaling.dir/readonly_scaling.cc.o.d"
+  "readonly_scaling"
+  "readonly_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readonly_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

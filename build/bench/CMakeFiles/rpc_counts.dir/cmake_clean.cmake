@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_counts.dir/rpc_counts.cc.o"
+  "CMakeFiles/rpc_counts.dir/rpc_counts.cc.o.d"
+  "rpc_counts"
+  "rpc_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

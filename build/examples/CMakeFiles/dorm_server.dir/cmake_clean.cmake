@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dorm_server.dir/dorm_server.cpp.o"
+  "CMakeFiles/dorm_server.dir/dorm_server.cpp.o.d"
+  "dorm_server"
+  "dorm_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dorm_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_weakness.dir/nfs_weakness.cpp.o"
+  "CMakeFiles/nfs_weakness.dir/nfs_weakness.cpp.o.d"
+  "nfs_weakness"
+  "nfs_weakness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_weakness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

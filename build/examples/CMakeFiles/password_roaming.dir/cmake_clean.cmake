@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/password_roaming.dir/password_roaming.cpp.o"
+  "CMakeFiles/password_roaming.dir/password_roaming.cpp.o.d"
+  "password_roaming"
+  "password_roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/password_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_agent.dir/agent.cc.o"
+  "CMakeFiles/sfs_agent.dir/agent.cc.o.d"
+  "libsfs_agent.a"
+  "libsfs_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_auth.dir/authserver.cc.o"
+  "CMakeFiles/sfs_auth.dir/authserver.cc.o.d"
+  "libsfs_auth.a"
+  "libsfs_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/arc4.cc" "src/crypto/CMakeFiles/sfs_crypto.dir/arc4.cc.o" "gcc" "src/crypto/CMakeFiles/sfs_crypto.dir/arc4.cc.o.d"
+  "/root/repo/src/crypto/bignum.cc" "src/crypto/CMakeFiles/sfs_crypto.dir/bignum.cc.o" "gcc" "src/crypto/CMakeFiles/sfs_crypto.dir/bignum.cc.o.d"
+  "/root/repo/src/crypto/blowfish.cc" "src/crypto/CMakeFiles/sfs_crypto.dir/blowfish.cc.o" "gcc" "src/crypto/CMakeFiles/sfs_crypto.dir/blowfish.cc.o.d"
+  "/root/repo/src/crypto/prng.cc" "src/crypto/CMakeFiles/sfs_crypto.dir/prng.cc.o" "gcc" "src/crypto/CMakeFiles/sfs_crypto.dir/prng.cc.o.d"
+  "/root/repo/src/crypto/rabin.cc" "src/crypto/CMakeFiles/sfs_crypto.dir/rabin.cc.o" "gcc" "src/crypto/CMakeFiles/sfs_crypto.dir/rabin.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/crypto/CMakeFiles/sfs_crypto.dir/sha1.cc.o" "gcc" "src/crypto/CMakeFiles/sfs_crypto.dir/sha1.cc.o.d"
+  "/root/repo/src/crypto/srp.cc" "src/crypto/CMakeFiles/sfs_crypto.dir/srp.cc.o" "gcc" "src/crypto/CMakeFiles/sfs_crypto.dir/srp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

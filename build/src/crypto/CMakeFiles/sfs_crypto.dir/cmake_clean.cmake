@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_crypto.dir/arc4.cc.o"
+  "CMakeFiles/sfs_crypto.dir/arc4.cc.o.d"
+  "CMakeFiles/sfs_crypto.dir/bignum.cc.o"
+  "CMakeFiles/sfs_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/sfs_crypto.dir/blowfish.cc.o"
+  "CMakeFiles/sfs_crypto.dir/blowfish.cc.o.d"
+  "CMakeFiles/sfs_crypto.dir/prng.cc.o"
+  "CMakeFiles/sfs_crypto.dir/prng.cc.o.d"
+  "CMakeFiles/sfs_crypto.dir/rabin.cc.o"
+  "CMakeFiles/sfs_crypto.dir/rabin.cc.o.d"
+  "CMakeFiles/sfs_crypto.dir/sha1.cc.o"
+  "CMakeFiles/sfs_crypto.dir/sha1.cc.o.d"
+  "CMakeFiles/sfs_crypto.dir/srp.cc.o"
+  "CMakeFiles/sfs_crypto.dir/srp.cc.o.d"
+  "libsfs_crypto.a"
+  "libsfs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/cache.cc" "src/nfs/CMakeFiles/sfs_nfs.dir/cache.cc.o" "gcc" "src/nfs/CMakeFiles/sfs_nfs.dir/cache.cc.o.d"
+  "/root/repo/src/nfs/client.cc" "src/nfs/CMakeFiles/sfs_nfs.dir/client.cc.o" "gcc" "src/nfs/CMakeFiles/sfs_nfs.dir/client.cc.o.d"
+  "/root/repo/src/nfs/memfs.cc" "src/nfs/CMakeFiles/sfs_nfs.dir/memfs.cc.o" "gcc" "src/nfs/CMakeFiles/sfs_nfs.dir/memfs.cc.o.d"
+  "/root/repo/src/nfs/program.cc" "src/nfs/CMakeFiles/sfs_nfs.dir/program.cc.o" "gcc" "src/nfs/CMakeFiles/sfs_nfs.dir/program.cc.o.d"
+  "/root/repo/src/nfs/types.cc" "src/nfs/CMakeFiles/sfs_nfs.dir/types.cc.o" "gcc" "src/nfs/CMakeFiles/sfs_nfs.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/sfs_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/sfs_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_nfs.dir/cache.cc.o"
+  "CMakeFiles/sfs_nfs.dir/cache.cc.o.d"
+  "CMakeFiles/sfs_nfs.dir/client.cc.o"
+  "CMakeFiles/sfs_nfs.dir/client.cc.o.d"
+  "CMakeFiles/sfs_nfs.dir/memfs.cc.o"
+  "CMakeFiles/sfs_nfs.dir/memfs.cc.o.d"
+  "CMakeFiles/sfs_nfs.dir/program.cc.o"
+  "CMakeFiles/sfs_nfs.dir/program.cc.o.d"
+  "CMakeFiles/sfs_nfs.dir/types.cc.o"
+  "CMakeFiles/sfs_nfs.dir/types.cc.o.d"
+  "libsfs_nfs.a"
+  "libsfs_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_readonly.dir/readonly.cc.o"
+  "CMakeFiles/sfs_readonly.dir/readonly.cc.o.d"
+  "libsfs_readonly.a"
+  "libsfs_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_rpc.dir/rpc.cc.o"
+  "CMakeFiles/sfs_rpc.dir/rpc.cc.o.d"
+  "libsfs_rpc.a"
+  "libsfs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

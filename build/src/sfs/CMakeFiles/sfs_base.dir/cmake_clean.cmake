@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_base.dir/pathname.cc.o"
+  "CMakeFiles/sfs_base.dir/pathname.cc.o.d"
+  "CMakeFiles/sfs_base.dir/revocation.cc.o"
+  "CMakeFiles/sfs_base.dir/revocation.cc.o.d"
+  "libsfs_base.a"
+  "libsfs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

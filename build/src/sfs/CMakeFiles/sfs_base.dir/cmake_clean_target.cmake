@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfs_base.a"
+)

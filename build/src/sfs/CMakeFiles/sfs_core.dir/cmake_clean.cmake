@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_core.dir/client.cc.o"
+  "CMakeFiles/sfs_core.dir/client.cc.o.d"
+  "CMakeFiles/sfs_core.dir/handle_crypt.cc.o"
+  "CMakeFiles/sfs_core.dir/handle_crypt.cc.o.d"
+  "CMakeFiles/sfs_core.dir/idmap.cc.o"
+  "CMakeFiles/sfs_core.dir/idmap.cc.o.d"
+  "CMakeFiles/sfs_core.dir/server.cc.o"
+  "CMakeFiles/sfs_core.dir/server.cc.o.d"
+  "CMakeFiles/sfs_core.dir/session.cc.o"
+  "CMakeFiles/sfs_core.dir/session.cc.o.d"
+  "CMakeFiles/sfs_core.dir/sfskey.cc.o"
+  "CMakeFiles/sfs_core.dir/sfskey.cc.o.d"
+  "libsfs_core.a"
+  "libsfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_sim.dir/disk.cc.o"
+  "CMakeFiles/sfs_sim.dir/disk.cc.o.d"
+  "CMakeFiles/sfs_sim.dir/network.cc.o"
+  "CMakeFiles/sfs_sim.dir/network.cc.o.d"
+  "libsfs_sim.a"
+  "libsfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_util.dir/bytes.cc.o"
+  "CMakeFiles/sfs_util.dir/bytes.cc.o.d"
+  "CMakeFiles/sfs_util.dir/log.cc.o"
+  "CMakeFiles/sfs_util.dir/log.cc.o.d"
+  "CMakeFiles/sfs_util.dir/status.cc.o"
+  "CMakeFiles/sfs_util.dir/status.cc.o.d"
+  "libsfs_util.a"
+  "libsfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

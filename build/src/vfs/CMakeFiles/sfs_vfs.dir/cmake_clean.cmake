@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_vfs.dir/vfs.cc.o"
+  "CMakeFiles/sfs_vfs.dir/vfs.cc.o.d"
+  "libsfs_vfs.a"
+  "libsfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

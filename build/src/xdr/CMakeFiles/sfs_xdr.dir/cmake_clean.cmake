@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_xdr.dir/xdr.cc.o"
+  "CMakeFiles/sfs_xdr.dir/xdr.cc.o.d"
+  "libsfs_xdr.a"
+  "libsfs_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

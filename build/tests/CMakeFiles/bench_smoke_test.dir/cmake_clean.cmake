@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smoke_test.dir/bench_smoke_test.cc.o"
+  "CMakeFiles/bench_smoke_test.dir/bench_smoke_test.cc.o.d"
+  "bench_smoke_test"
+  "bench_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blowfish_test.dir/blowfish_test.cc.o"
+  "CMakeFiles/blowfish_test.dir/blowfish_test.cc.o.d"
+  "blowfish_test"
+  "blowfish_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blowfish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readonly_test.dir/readonly_test.cc.o"
+  "CMakeFiles/readonly_test.dir/readonly_test.cc.o.d"
+  "readonly_test"
+  "readonly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readonly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_test.dir/srp_test.cc.o"
+  "CMakeFiles/srp_test.dir/srp_test.cc.o.d"
+  "srp_test"
+  "srp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
