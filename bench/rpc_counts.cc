@@ -5,11 +5,15 @@
 // number of RPCs that need to travel over the network", and "without
 // enhanced caching, MAB takes ... 0.7 seconds slower".  This benchmark
 // reports the actual number of messages crossing the simulated wire for
-// the MAB workload in each remote configuration.
+// the MAB workload in each remote configuration, plus the retransmission
+// and duplicate-request-cache counters: on a clean link both must be
+// zero (the loss-masking machinery costs nothing), and on a lossy link
+// they show how much traffic the at-most-once transport absorbed.
 #include <benchmark/benchmark.h>
 
 #include "bench/testbed.h"
 #include "bench/workloads.h"
+#include "src/sim/network.h"
 
 namespace {
 
@@ -25,6 +29,30 @@ void BM_RpcCounts_Mab(benchmark::State& state) {
     state.SetIterationTime(result.total());
     state.counters["wire_messages"] = static_cast<double>(messages);
     state.counters["rpcs"] = static_cast<double>(messages) / 2.0;  // Call + reply.
+    // Clean link: both stay zero, or the retry machinery is misfiring.
+    state.counters["retransmissions"] = static_cast<double>(tb.Retransmissions());
+    state.counters["drc_hits"] = static_cast<double>(tb.DrcHits());
+    state.SetLabel(bench::ConfigName(tb.config()));
+  }
+}
+
+// Same workload over a faulty wire (seeded 5% drop + 2% duplicate): the
+// run must still complete, with the masked loss visible in the counters.
+void BM_RpcCounts_MabLossy(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb(static_cast<Config>(state.range(0)));
+    sim::LossyInterposer lossy(/*seed=*/42, {.drop = 0.05, .duplicate = 0.02});
+    tb.InstallInterposer(&lossy);
+    uint64_t before = tb.WireMessages();
+    bench::MabResult result = bench::RunMab(&tb);
+    uint64_t messages = tb.WireMessages() - before;
+    state.SetIterationTime(result.total());
+    state.counters["wire_messages"] = static_cast<double>(messages);
+    state.counters["retransmissions"] = static_cast<double>(tb.Retransmissions());
+    state.counters["drc_hits"] = static_cast<double>(tb.DrcHits());
+    state.counters["dropped"] =
+        static_cast<double>(lossy.requests_dropped() + lossy.responses_dropped());
+    state.counters["duplicated"] = static_cast<double>(lossy.duplicates());
     state.SetLabel(bench::ConfigName(tb.config()));
   }
 }
@@ -35,6 +63,13 @@ BENCHMARK(BM_RpcCounts_Mab)
     ->Arg(static_cast<int>(Config::kNfsUdp))
     ->Arg(static_cast<int>(Config::kSfs))
     ->Arg(static_cast<int>(Config::kSfsNoCache))
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_RpcCounts_MabLossy)
+    ->Arg(static_cast<int>(Config::kNfsUdp))
+    ->Arg(static_cast<int>(Config::kSfs))
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

@@ -187,6 +187,46 @@ class Testbed {
     return 0;
   }
 
+  // Fault injector for lossy-network benchmarks.  Must be called before
+  // the first operation (the SFS mount link is created lazily).
+  void InstallInterposer(sim::Interposer* interposer) {
+    if (link_ != nullptr) {
+      link_->set_interposer(interposer);
+    }
+    if (sfs_client_ != nullptr) {
+      sfs_client_->set_interposer(interposer);
+    }
+  }
+
+  // Timer-driven resends (transit loss) plus stale-reply resends.
+  uint64_t Retransmissions() {
+    uint64_t total = 0;
+    if (link_ != nullptr) {
+      total += link_->retransmissions();
+    }
+    if (rpc_client_ != nullptr) {
+      total += rpc_client_->retransmissions();
+    }
+    if (sfs_client_ != nullptr) {
+      auto mount = sfs_client_->Mount(sfs_server_->Path());
+      if (mount.ok()) {
+        total += (*mount)->link()->retransmissions() + (*mount)->stale_retries();
+      }
+    }
+    return total;
+  }
+
+  // Requests the server answered from its duplicate-request cache.
+  uint64_t DrcHits() {
+    if (dispatcher_ != nullptr) {
+      return dispatcher_->drc_hits();
+    }
+    if (sfs_server_ != nullptr) {
+      return sfs_server_->drc_hits();
+    }
+    return 0;
+  }
+
   bool IsSfs() const {
     return config_ == Config::kSfs || config_ == Config::kSfsNoCrypt ||
            config_ == Config::kSfsNoCache;

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_test.cc" "tests/CMakeFiles/fault_test.dir/fault_test.cc.o" "gcc" "tests/CMakeFiles/fault_test.dir/fault_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfs/CMakeFiles/sfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/sfs_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/sfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/sfs_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/readonly/CMakeFiles/sfs_readonly.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfs/CMakeFiles/sfs_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/sfs_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sfs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

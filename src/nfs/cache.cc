@@ -181,11 +181,16 @@ Stat CachingFs::Read(const FileHandle& fh, const Credentials& cred, uint64_t off
     auto attr_it = attr_cache_.find(key);
     if (attr_it != attr_cache_.end()) {
       DataEntry& entry = data_cache_[key];
-      if (entry.content.empty()) {
+      if (entry.mtime_ns != attr_it->second.attr.mtime_ns) {
+        // The file changed under the cached prefix: the stale bytes can
+        // never be served again, so drop them and restart the fill —
+        // otherwise the mismatch permanently disables caching this file.
+        data_cache_bytes_ -= entry.content.size();
+        entry.content.clear();
         entry.mtime_ns = attr_it->second.attr.mtime_ns;
       }
       // Sequential fill only, and only for files under the size limit.
-      if (entry.mtime_ns == attr_it->second.attr.mtime_ns && offset == entry.content.size() &&
+      if (offset == entry.content.size() &&
           entry.content.size() + data->size() <= options_.data_cache_file_limit) {
         util::Append(&entry.content, *data);
         data_cache_bytes_ += data->size();

@@ -382,6 +382,7 @@ Stat MemFs::Create(const FileHandle& dir, const std::string& name, const Credent
   Inode* child = CreateInode(FileType::kRegular, sattr.mode.value_or(0644), cred);
   parent = DecodeHandle(dir);  // CreateInode may rehash the inode table.
   parent->children[name] = child->id;
+  ++creates_applied_;
   disk_->ChargeMetaUpdate();
   Touch(parent, /*data_changed=*/true);
   *out = EncodeHandle(*child);
@@ -484,6 +485,7 @@ Stat MemFs::RemoveCommon(const FileHandle& dir, const std::string& name,
   }
   uint64_t victim_id = it->second;
   parent->children.erase(it);
+  ++removes_applied_;
   // Hard links: the inode survives until its last name goes away.
   if (victim->type == FileType::kDirectory || --victim->nlink == 0) {
     inodes_.erase(victim_id);

@@ -85,6 +85,12 @@ class MemFs : public FileSystemApi {
   // for the SFS server's lease callbacks.
   uint64_t change_counter() const { return change_counter_; }
 
+  // Successful non-idempotent mutations, for at-most-once verification:
+  // a retransmitted CREATE or REMOVE that re-executed would double these
+  // (fault-injection tests compare them against client-side op counts).
+  uint64_t creates_applied() const { return creates_applied_; }
+  uint64_t removes_applied() const { return removes_applied_; }
+
  private:
   struct Inode {
     uint64_t id = 0;
@@ -127,6 +133,8 @@ class MemFs : public FileSystemApi {
   uint64_t next_id_ = 1;
   uint64_t root_id_ = 0;
   uint64_t change_counter_ = 0;
+  uint64_t creates_applied_ = 0;
+  uint64_t removes_applied_ = 0;
 };
 
 }  // namespace nfs

@@ -18,73 +18,131 @@ void Dispatcher::RegisterProgram(uint32_t prog, ProgramHandler handler, ProcName
 util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
   xdr::Decoder dec(request);
   auto xid = dec.GetUint32();
+  auto seqno = dec.GetUint32();
   auto prog = dec.GetUint32();
   auto proc = dec.GetUint32();
   auto args = dec.GetOpaque();
-  if (!xid.ok() || !prog.ok() || !proc.ok() || !args.ok() || !dec.AtEnd()) {
+  if (!xid.ok() || !seqno.ok() || !prog.ok() || !proc.ok() || !args.ok() || !dec.AtEnd()) {
     return util::InvalidArgument("RPC: malformed call message");
+  }
+
+  // Duplicate-request cache: a retransmitted call must not re-execute a
+  // non-idempotent handler.  Replay the reply recorded the first time.
+  if (auto cached = drc_.find(seqno.value()); cached != drc_.end()) {
+    ++drc_hits_;
+    return cached->second;
+  }
+  if (seqno.value() + kDrcWindow <= drc_max_seqno_ && drc_max_seqno_ != 0) {
+    // Older than anything the cache retains; the reply is long gone and
+    // re-executing would break at-most-once.
+    return util::InvalidArgument("RPC: request seqno below duplicate-cache window");
   }
 
   xdr::Encoder reply;
   reply.PutUint32(xid.value());
 
+  util::Bytes reply_bytes;
   auto it = programs_.find(prog.value());
   if (it == programs_.end()) {
     reply.PutUint32(kReplyError);
     reply.PutUint32(static_cast<uint32_t>(util::ErrorCode::kNotFound));
     reply.PutString("no such program");
-    return reply.Take();
+    reply_bytes = reply.Take();
+  } else {
+    if (util::GetLogLevel() <= util::LogLevel::kDebug) {
+      std::string proc_name =
+          it->second.namer ? it->second.namer(proc.value()) : std::to_string(proc.value());
+      SFS_LOG(kDebug) << "rpc call prog=" << prog.value() << " proc=" << proc_name
+                      << " args=" << args.value().size() << "B";
+    }
+
+    auto result = it->second.handler(proc.value(), args.value());
+    if (!result.ok()) {
+      reply.PutUint32(kReplyError);
+      reply.PutUint32(static_cast<uint32_t>(result.status().code()));
+      reply.PutString(result.status().message());
+    } else {
+      reply.PutUint32(kReplyAccepted);
+      reply.PutOpaque(result.value());
+    }
+    reply_bytes = reply.Take();
   }
 
-  if (util::GetLogLevel() <= util::LogLevel::kDebug) {
-    std::string proc_name =
-        it->second.namer ? it->second.namer(proc.value()) : std::to_string(proc.value());
-    SFS_LOG(kDebug) << "rpc call prog=" << prog.value() << " proc=" << proc_name
-                    << " args=" << args.value().size() << "B";
+  // Cache every reply — including handler errors, which a duplicate must
+  // see verbatim rather than triggering a second execution attempt.
+  drc_[seqno.value()] = reply_bytes;
+  if (seqno.value() > drc_max_seqno_) {
+    drc_max_seqno_ = seqno.value();
   }
-
-  auto result = it->second.handler(proc.value(), args.value());
-  if (!result.ok()) {
-    reply.PutUint32(kReplyError);
-    reply.PutUint32(static_cast<uint32_t>(result.status().code()));
-    reply.PutString(result.status().message());
-    return reply.Take();
+  while (!drc_.empty() && drc_.begin()->first + kDrcWindow <= drc_max_seqno_) {
+    drc_.erase(drc_.begin());
   }
-  reply.PutUint32(kReplyAccepted);
-  reply.PutOpaque(result.value());
-  return reply.Take();
+  return reply_bytes;
 }
 
 util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
   uint32_t xid = next_xid_++;
+  uint32_t seqno = next_seqno_++;
   ++calls_made_;
   xdr::Encoder call;
   call.PutUint32(xid);
+  call.PutUint32(seqno);
   call.PutUint32(prog_);
   call.PutUint32(proc);
   call.PutOpaque(args);
+  const util::Bytes wire = call.Take();
 
-  ASSIGN_OR_RETURN(util::Bytes raw_reply, transport_->Roundtrip(call.Take()));
-
-  xdr::Decoder dec(std::move(raw_reply));
-  ASSIGN_OR_RETURN(uint32_t reply_xid, dec.GetUint32());
-  if (reply_xid != xid) {
-    return util::SecurityError("RPC: reply xid mismatch");
+  // Network reordering can hand us a stale reply (some earlier call's
+  // xid).  That is loss, not an attack: discard it, wait out a timeout,
+  // and retransmit the same wire bytes — the server's DRC guarantees the
+  // handler does not run twice.
+  const sim::RetryPolicy* policy = transport_->retry_policy();
+  sim::RetryPolicy default_policy;
+  if (policy == nullptr) {
+    policy = &default_policy;
   }
-  ASSIGN_OR_RETURN(uint32_t status, dec.GetUint32());
-  if (status == kReplyAccepted) {
-    ASSIGN_OR_RETURN(util::Bytes results, dec.GetOpaque());
-    if (!dec.AtEnd()) {
-      return util::InvalidArgument("RPC: trailing bytes in reply");
+  uint32_t attempts = policy->max_transmissions == 0 ? 1 : policy->max_transmissions;
+  util::Status last_error = util::Unavailable("RPC: no matching reply");
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      if (sim::Clock* clock = transport_->clock(); clock != nullptr) {
+        clock->Advance(policy->initial_rto_ns);
+      }
+      ++retransmissions_;
     }
-    return results;
+
+    auto roundtrip = transport_->Roundtrip(wire);
+    if (!roundtrip.ok()) {
+      // The transport already retried transit loss; its verdict is final.
+      return roundtrip.status();
+    }
+
+    xdr::Decoder dec(std::move(roundtrip).value());
+    auto reply_xid = dec.GetUint32();
+    if (!reply_xid.ok()) {
+      last_error = util::InvalidArgument("RPC: truncated reply");
+      continue;
+    }
+    if (reply_xid.value() != xid) {
+      last_error = util::Unavailable("RPC: stale reply xid, retransmitting");
+      continue;
+    }
+    ASSIGN_OR_RETURN(uint32_t status, dec.GetUint32());
+    if (status == kReplyAccepted) {
+      ASSIGN_OR_RETURN(util::Bytes results, dec.GetOpaque());
+      if (!dec.AtEnd()) {
+        return util::InvalidArgument("RPC: trailing bytes in reply");
+      }
+      return results;
+    }
+    ASSIGN_OR_RETURN(uint32_t code, dec.GetUint32());
+    ASSIGN_OR_RETURN(std::string message, dec.GetString());
+    if (code == 0 || code > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
+      code = static_cast<uint32_t>(util::ErrorCode::kInternal);
+    }
+    return util::Status(static_cast<util::ErrorCode>(code), message);
   }
-  ASSIGN_OR_RETURN(uint32_t code, dec.GetUint32());
-  ASSIGN_OR_RETURN(std::string message, dec.GetString());
-  if (code == 0 || code > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
-    code = static_cast<uint32_t>(util::ErrorCode::kInternal);
-  }
-  return util::Status(static_cast<util::ErrorCode>(code), message);
+  return util::Unavailable("RPC: gave up waiting for a fresh reply: " + last_error.message());
 }
 
 }  // namespace rpc

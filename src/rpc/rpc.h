@@ -6,9 +6,17 @@
 // one connection; a Client issues synchronous calls over a sim::Link.
 //
 // Wire format (XDR):
-//   call:  uint32 xid, uint32 prog, uint32 proc, opaque args
+//   call:  uint32 xid, uint32 seqno, uint32 prog, uint32 proc, opaque args
 //   reply: uint32 xid, uint32 status (0 = accepted), on error: uint32
 //          code + string message, else opaque results
+//
+// At-most-once semantics: the link retransmits lost messages, so the
+// Dispatcher keeps a duplicate-request cache (DRC) keyed by the call's
+// wire sequence number — a redelivered request replays the cached reply
+// instead of re-executing a possibly non-idempotent handler.  The Client
+// discards replies whose xid does not match the outstanding call (stale
+// messages from network reordering) and retransmits until the matching
+// reply arrives or the retry budget runs out.
 #ifndef SFS_SRC_RPC_RPC_H_
 #define SFS_SRC_RPC_RPC_H_
 
@@ -22,6 +30,11 @@
 #include "src/util/status.h"
 
 namespace rpc {
+
+// How many recent replies a duplicate-request cache retains.  A
+// retransmitted request older than this gets an error instead of a
+// replay (with a synchronous client it would have to be ancient).
+inline constexpr uint32_t kDrcWindow = 64;
 
 // Server-side handler for one RPC program.
 using ProgramHandler =
@@ -37,12 +50,20 @@ class Dispatcher : public sim::Service {
   // sim::Service: decode the call header, dispatch, encode the reply.
   util::Result<util::Bytes> Handle(const util::Bytes& request) override;
 
+  // Requests answered from the duplicate-request cache (no re-execution).
+  uint64_t drc_hits() const { return drc_hits_; }
+
  private:
   struct Program {
     ProgramHandler handler;
     ProcNamer namer;
   };
   std::map<uint32_t, Program> programs_;
+
+  // Duplicate-request cache: wire seqno -> complete reply message.
+  std::map<uint32_t, util::Bytes> drc_;
+  uint32_t drc_max_seqno_ = 0;
+  uint64_t drc_hits_ = 0;
 };
 
 // Transport abstraction for the client: anything that can do a
@@ -51,6 +72,10 @@ class Transport {
  public:
   virtual ~Transport() = default;
   virtual util::Result<util::Bytes> Roundtrip(const util::Bytes& request) = 0;
+  // The clock and retry policy governing this transport, when it has one;
+  // lets the client charge virtual time while waiting out stale replies.
+  virtual sim::Clock* clock() { return nullptr; }
+  virtual const sim::RetryPolicy* retry_policy() const { return nullptr; }
 };
 
 // Adapts sim::Link to Transport.
@@ -60,6 +85,8 @@ class LinkTransport : public Transport {
   util::Result<util::Bytes> Roundtrip(const util::Bytes& request) override {
     return link_->Roundtrip(request);
   }
+  sim::Clock* clock() override { return link_->clock(); }
+  const sim::RetryPolicy* retry_policy() const override { return &link_->retry_policy(); }
 
  private:
   sim::Link* link_;
@@ -74,12 +101,16 @@ class Client {
   util::Result<util::Bytes> Call(uint32_t proc, const util::Bytes& args);
 
   uint64_t calls_made() const { return calls_made_; }
+  // Calls resent because the reply in hand was stale (wrong xid).
+  uint64_t retransmissions() const { return retransmissions_; }
 
  private:
   Transport* transport_;
   uint32_t prog_;
   uint32_t next_xid_ = 1;
+  uint32_t next_seqno_ = 1;
   uint64_t calls_made_ = 0;
+  uint64_t retransmissions_ = 0;
 };
 
 }  // namespace rpc

@@ -25,6 +25,33 @@ util::Result<util::Bytes> Unframe(uint32_t expected_type, const util::Bytes& mes
   return payload;
 }
 
+// One handshake roundtrip with stale-reply tolerance: the link masks
+// transit loss, and a reply with unexpected framing (a reordered, stale
+// message) is discarded and the request retransmitted — the server
+// recognizes the redelivered handshake bytes and replays its reply.
+util::Result<util::Bytes> HandshakeRoundtrip(sim::Link* link, uint32_t type,
+                                             const util::Bytes& payload) {
+  const util::Bytes request = FrameMessage(type, payload);
+  const sim::RetryPolicy& policy = link->retry_policy();
+  uint32_t attempts = policy.max_transmissions == 0 ? 1 : policy.max_transmissions;
+  util::Status last_error = util::Unavailable("no valid handshake reply");
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      link->clock()->Advance(policy.initial_rto_ns);
+    }
+    auto raw = link->Roundtrip(request);
+    if (!raw.ok()) {
+      return raw.status();
+    }
+    auto reply = Unframe(type, raw.value());
+    if (reply.ok()) {
+      return reply;
+    }
+    last_error = reply.status();
+  }
+  return last_error;
+}
+
 }  // namespace
 
 SfsClient::SfsClient(sim::Clock* clock, const sim::CostModel* costs, Dialer dialer,
@@ -103,9 +130,8 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   hello.PutString(path.location);
   hello.PutOpaque(path.host_id);
   hello.PutString("");  // Extensions.
-  ASSIGN_OR_RETURN(util::Bytes hello_raw,
-                   mount->link_->Roundtrip(FrameMessage(kMsgConnect, hello.Take())));
-  ASSIGN_OR_RETURN(util::Bytes hello_reply, Unframe(kMsgConnect, hello_raw));
+  ASSIGN_OR_RETURN(util::Bytes hello_reply,
+                   HandshakeRoundtrip(mount->link_.get(), kMsgConnect, hello.Take()));
   xdr::Decoder hello_dec(hello_reply);
   ASSIGN_OR_RETURN(uint32_t connect_result, hello_dec.GetUint32());
   if (connect_result == kConnectRevoked) {
@@ -166,9 +192,8 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   neg.PutOpaque(negotiation.enc_kc1);
   neg.PutOpaque(negotiation.enc_kc2);
   neg.PutBool(!options_.encrypt);
-  ASSIGN_OR_RETURN(util::Bytes neg_raw,
-                   mount->link_->Roundtrip(FrameMessage(kMsgNegotiate, neg.Take())));
-  ASSIGN_OR_RETURN(util::Bytes neg_reply, Unframe(kMsgNegotiate, neg_raw));
+  ASSIGN_OR_RETURN(util::Bytes neg_reply,
+                   HandshakeRoundtrip(mount->link_.get(), kMsgNegotiate, neg.Take()));
   xdr::Decoder neg_dec(neg_reply);
   ASSIGN_OR_RETURN(bool cleartext, neg_dec.GetBool());
   ASSIGN_OR_RETURN(util::Bytes enc_ks1, neg_dec.GetOpaque());
@@ -224,51 +249,98 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
 util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t proc,
                                                       const util::Bytes& args) {
   // Build the RPC message.
+  uint32_t xid = next_xid_++;
   xdr::Encoder call;
-  call.PutUint32(next_xid_++);
+  call.PutUint32(xid);
   call.PutUint32(prog);
   call.PutUint32(proc);
   call.PutOpaque(args);
   util::Bytes rpc_message = call.Take();
 
-  // User-level client daemon: two kernel crossings, then seal.
+  // User-level client daemon: two kernel crossings, then seal — exactly
+  // once.  Retransmission resends these identical sealed bytes, so the
+  // send keystream advances once per request no matter how many copies
+  // the network loses; the wire seqno outside the sealed body lets the
+  // server deduplicate without opening the duplicate.
   client_->costs_->ChargeCrossing(client_->clock_, 2);
-  util::Bytes wire;
+  util::Bytes sealed;
   if (cleartext_) {
     client_->costs_->ChargeCopy(client_->clock_, rpc_message.size());
-    wire = rpc_message;
+    sealed = rpc_message;
   } else {
-    wire = cipher_out_->Seal(rpc_message);
-    client_->costs_->ChargeCrypto(client_->clock_, wire.size());
+    sealed = cipher_out_->Seal(rpc_message);
+    client_->costs_->ChargeCrypto(client_->clock_, sealed.size());
   }
+  xdr::Encoder frame;
+  frame.PutUint32(next_wire_seqno_++);
+  frame.PutOpaque(sealed);
+  const util::Bytes wire = FrameMessage(kMsgEncrypted, frame.Take());
 
-  ASSIGN_OR_RETURN(util::Bytes raw_reply,
-                   link_->Roundtrip(FrameMessage(kMsgEncrypted, wire)));
-  ASSIGN_OR_RETURN(util::Bytes sealed_reply, Unframe(kMsgEncrypted, raw_reply));
+  const sim::RetryPolicy& policy = link_->retry_policy();
+  uint32_t attempts = policy.max_transmissions == 0 ? 1 : policy.max_transmissions;
+  util::Status last_error = util::Unavailable("no valid reply");
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // The reply in hand was stale; wait out a timeout and resend.  The
+      // server's duplicate-request cache replays the genuine sealed
+      // reply without re-executing or advancing either keystream.
+      client_->clock_->Advance(policy.initial_rto_ns);
+      ++stale_retries_;
+    }
 
-  util::Bytes reply;
-  if (cleartext_) {
-    client_->costs_->ChargeCopy(client_->clock_, sealed_reply.size());
-    reply = sealed_reply;
-  } else {
-    client_->costs_->ChargeCrypto(client_->clock_, sealed_reply.size());
-    ASSIGN_OR_RETURN(reply, cipher_in_->Open(sealed_reply));
-  }
+    auto raw_reply = link_->Roundtrip(wire);
+    if (!raw_reply.ok()) {
+      // The link already retried transit loss; its verdict is final.
+      return raw_reply.status();
+    }
+    auto sealed_reply = Unframe(kMsgEncrypted, raw_reply.value());
+    if (!sealed_reply.ok()) {
+      last_error = sealed_reply.status();
+      continue;
+    }
 
-  // Parse the RPC reply.
-  xdr::Decoder dec(reply);
-  ASSIGN_OR_RETURN(uint32_t xid, dec.GetUint32());
-  (void)xid;
-  ASSIGN_OR_RETURN(uint32_t status, dec.GetUint32());
-  if (status == 0) {
-    return dec.GetOpaque();
+    util::Bytes reply;
+    if (cleartext_) {
+      client_->costs_->ChargeCopy(client_->clock_, sealed_reply->size());
+      reply = sealed_reply.value();
+    } else {
+      client_->costs_->ChargeCrypto(client_->clock_, sealed_reply->size());
+      auto opened = cipher_in_->Open(sealed_reply.value());
+      if (!opened.ok()) {
+        // Wrong keystream position: a reordered or replayed stale reply
+        // (or tampering — indistinguishable here).  Open left the stream
+        // untouched, so discard and retransmit; persistent failure
+        // surfaces the security error after the retry budget.
+        last_error = opened.status();
+        continue;
+      }
+      reply = std::move(opened).value();
+    }
+
+    // Parse the RPC reply; a mismatched xid marks a stale reply in
+    // cleartext mode (sealed mode already caught it via the MAC).
+    xdr::Decoder dec(reply);
+    auto reply_xid = dec.GetUint32();
+    if (!reply_xid.ok()) {
+      last_error = util::InvalidArgument("truncated RPC reply");
+      continue;
+    }
+    if (reply_xid.value() != xid) {
+      last_error = util::Unavailable("stale RPC reply xid");
+      continue;
+    }
+    ASSIGN_OR_RETURN(uint32_t status, dec.GetUint32());
+    if (status == 0) {
+      return dec.GetOpaque();
+    }
+    ASSIGN_OR_RETURN(uint32_t code, dec.GetUint32());
+    ASSIGN_OR_RETURN(std::string message, dec.GetString());
+    if (code == 0 || code > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
+      code = static_cast<uint32_t>(util::ErrorCode::kInternal);
+    }
+    return util::Status(static_cast<util::ErrorCode>(code), message);
   }
-  ASSIGN_OR_RETURN(uint32_t code, dec.GetUint32());
-  ASSIGN_OR_RETURN(std::string message, dec.GetString());
-  if (code == 0 || code > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
-    code = static_cast<uint32_t>(util::ErrorCode::kInternal);
-  }
-  return util::Status(static_cast<util::ErrorCode>(code), message);
+  return last_error;
 }
 
 util::Status SfsClient::MountPoint::Authenticate(uint32_t uid, const AuthSigner& signer) {

@@ -87,6 +87,11 @@ class SfsClient {
 
     sim::Link* link() { return link_.get(); }
 
+    // Calls resent from above the link because the reply in hand was
+    // stale (wrong xid or wrong keystream position).  Transit-loss
+    // retransmits are counted by link()->retransmissions().
+    uint64_t stale_retries() const { return stale_retries_; }
+
     // True for mounts served by the read-only dialect (verified signed
     // images; no secure channel, no user authentication).
     bool read_only() const { return ro_client_ != nullptr; }
@@ -110,6 +115,10 @@ class SfsClient {
     std::map<uint32_t, uint32_t> authnos_;  // uid -> authno (0 = anonymous).
     uint32_t next_seqno_ = 1;
     uint32_t next_xid_ = 1;
+    // Wire-level sequence number prefixed to each kMsgEncrypted frame;
+    // keys the server connection's duplicate-request cache.
+    uint32_t next_wire_seqno_ = 1;
+    uint64_t stale_retries_ = 0;
 
     // Sends one RPC through the secure channel, charging client-side
     // crossings and crypto.

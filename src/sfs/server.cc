@@ -135,22 +135,35 @@ util::Result<util::Bytes> ServerConnection::Handle(const util::Bytes& request) {
     return util::InvalidArgument("malformed connection message");
   }
   // Read-only dialect hand-off: once a connection is bound to a replica,
-  // its protocol messages go straight to the subsidiary server.
+  // its protocol messages go straight to the subsidiary server.  (These
+  // are idempotent reads, so redelivered copies may simply re-execute.)
   if (ro_delegate_ != nullptr && (type.value() == readonly::kMsgRoGetRoot ||
                                   type.value() == readonly::kMsgRoGetNode)) {
     return ro_delegate_->Handle(request);
   }
   switch (type.value()) {
     case kMsgConnect:
-      return HandleConnect(payload.value());
     case kMsgNegotiate:
-      return HandleNegotiate(payload.value());
+    case kMsgSrpStart:
+    case kMsgSrpFinish: {
+      // A duplicated handshake message would otherwise hit the state
+      // machine out of phase and kill the connection; replay the reply.
+      if (!last_handshake_request_.empty() && request == last_handshake_request_) {
+        ++server_->drc_hits_;
+        return last_handshake_reply_;
+      }
+      auto reply = type.value() == kMsgConnect     ? HandleConnect(payload.value())
+                   : type.value() == kMsgNegotiate ? HandleNegotiate(payload.value())
+                   : type.value() == kMsgSrpStart  ? HandleSrpStart(payload.value())
+                                                   : HandleSrpFinish(payload.value());
+      if (reply.ok()) {
+        last_handshake_request_ = request;
+        last_handshake_reply_ = reply.value();
+      }
+      return reply;
+    }
     case kMsgEncrypted:
       return HandleEncrypted(payload.value());
-    case kMsgSrpStart:
-      return HandleSrpStart(payload.value());
-    case kMsgSrpFinish:
-      return HandleSrpFinish(payload.value());
     default:
       state_ = State::kDead;
       return util::InvalidArgument("unknown message type");
@@ -254,15 +267,35 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
   // User-level server daemon: two kernel crossings per request.
   server_->costs_->ChargeCrossing(server_->clock_, 2);
 
+  // The wire seqno travels outside the sealed body: the duplicate check
+  // must run *before* the cipher, because opening a retransmitted copy
+  // would advance the receive keystream a second time.
+  xdr::Decoder frame(payload);
+  auto wire_seqno = frame.GetUint32();
+  auto sealed_body = frame.GetOpaque();
+  if (!wire_seqno.ok() || !sealed_body.ok() || !frame.AtEnd()) {
+    state_ = State::kDead;
+    return util::InvalidArgument("malformed channel frame");
+  }
+  if (auto cached = reply_cache_.find(wire_seqno.value()); cached != reply_cache_.end()) {
+    ++server_->drc_hits_;
+    return cached->second;
+  }
+  if (reply_cache_max_seqno_ != 0 &&
+      wire_seqno.value() + kDrcWindow <= reply_cache_max_seqno_) {
+    state_ = State::kDead;
+    return util::SecurityError("channel seqno below duplicate-cache window");
+  }
+
   util::Bytes plaintext;
   if (cleartext_) {
-    server_->costs_->ChargeCopy(server_->clock_, payload.size());
-    plaintext = payload;
+    server_->costs_->ChargeCopy(server_->clock_, sealed_body->size());
+    plaintext = sealed_body.value();
   } else {
-    server_->costs_->ChargeCrypto(server_->clock_, payload.size());
-    auto opened = cipher_in_->Open(payload);
+    server_->costs_->ChargeCrypto(server_->clock_, sealed_body->size());
+    auto opened = cipher_in_->Open(sealed_body.value());
     if (!opened.ok()) {
-      state_ = State::kDead;  // Desynchronized or tampered: kill the session.
+      state_ = State::kDead;  // Tampered or forged: kill the session.
       return opened.status();
     }
     plaintext = std::move(opened).value();
@@ -273,13 +306,27 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
     state_ = State::kDead;
     return reply.status();
   }
+  util::Bytes framed_reply;
   if (cleartext_) {
     server_->costs_->ChargeCopy(server_->clock_, reply->size());
-    return FrameMessage(kMsgEncrypted, reply.value());
+    framed_reply = FrameMessage(kMsgEncrypted, reply.value());
+  } else {
+    util::Bytes sealed = cipher_out_->Seal(reply.value());
+    server_->costs_->ChargeCrypto(server_->clock_, sealed.size());
+    framed_reply = FrameMessage(kMsgEncrypted, sealed);
   }
-  util::Bytes sealed = cipher_out_->Seal(reply.value());
-  server_->costs_->ChargeCrypto(server_->clock_, sealed.size());
-  return FrameMessage(kMsgEncrypted, sealed);
+
+  // Record the framed reply so a retransmit replays these exact bytes
+  // without touching either keystream.
+  reply_cache_[wire_seqno.value()] = framed_reply;
+  if (wire_seqno.value() > reply_cache_max_seqno_) {
+    reply_cache_max_seqno_ = wire_seqno.value();
+  }
+  while (!reply_cache_.empty() &&
+         reply_cache_.begin()->first + kDrcWindow <= reply_cache_max_seqno_) {
+    reply_cache_.erase(reply_cache_.begin());
+  }
+  return framed_reply;
 }
 
 util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_message) {

@@ -100,6 +100,10 @@ class SfsServer {
 
   uint64_t connections_accepted() const { return next_connection_id_ - 1; }
 
+  // Channel requests answered from a connection's duplicate-request
+  // cache (retransmits deduplicated; the handler did not run again).
+  uint64_t drc_hits() const { return drc_hits_; }
+
  private:
   friend class ServerConnection;
 
@@ -127,6 +131,7 @@ class SfsServer {
   std::map<std::string, std::unique_ptr<readonly::ReplicaServer>> ro_replicas_;
   std::map<uint64_t, InvalidateFn> cache_callbacks_;
   uint64_t next_connection_id_ = 1;
+  uint64_t drc_hits_ = 0;
 };
 
 // One accepted connection (one client <-> server TCP stream).
@@ -167,6 +172,19 @@ class ServerConnection : public sim::Service {
   uint32_t next_authno_ = 1;
   std::set<uint32_t> seqnos_seen_;
   uint32_t max_seqno_ = 0;
+
+  // Duplicate-request cache for the secure channel: wire seqno -> the
+  // complete framed (sealed) reply.  Replaying the cached bytes keeps
+  // both keystreams untouched, so a retransmitted request advances
+  // neither cipher (see docs/PROTOCOL.md).
+  std::map<uint32_t, util::Bytes> reply_cache_;
+  uint32_t reply_cache_max_seqno_ = 0;
+
+  // Handshake messages have no seqno; a redelivered copy is recognized by
+  // byte identity and answered with the recorded reply instead of hitting
+  // the state machine (which would treat it as a protocol violation).
+  util::Bytes last_handshake_request_;
+  util::Bytes last_handshake_reply_;
 
   // SRP service state (authserver connections).
   std::unique_ptr<crypto::SrpServer> srp_;

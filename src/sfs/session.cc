@@ -31,8 +31,17 @@ util::Bytes ChannelCipher::Seal(const util::Bytes& plaintext) {
 }
 
 util::Result<util::Bytes> ChannelCipher::Open(const util::Bytes& sealed) {
+  // Transactional: a failed Open must leave the stream where it was, so a
+  // stale or corrupt message does not desynchronize the channel for the
+  // genuine copy that retransmission will deliver.
+  crypto::Arc4 checkpoint = stream_;
+  auto fail = [&](const char* reason) {
+    stream_ = checkpoint;
+    return util::SecurityError(reason);
+  };
+
   if (sealed.size() < 4 + kMacSize) {
-    return util::SecurityError("sealed message too short");
+    return fail("sealed message too short");
   }
   util::Bytes mac_key = stream_.NextBytes(kMacKeySize);
   util::Bytes buf = sealed;
@@ -41,15 +50,18 @@ util::Result<util::Bytes> ChannelCipher::Open(const util::Bytes& sealed) {
   util::Bytes framed(buf.begin(), buf.end() - static_cast<long>(kMacSize));
   util::Bytes mac(buf.end() - static_cast<long>(kMacSize), buf.end());
   if (!util::ConstantTimeEquals(mac, crypto::HmacSha1(mac_key, framed))) {
-    return util::SecurityError("MAC check failed");
+    return fail("MAC check failed");
   }
   xdr::Decoder dec(std::move(framed));
-  ASSIGN_OR_RETURN(uint32_t len, dec.GetUint32());
-  ASSIGN_OR_RETURN(util::Bytes plaintext, dec.GetFixedOpaque(len));
-  if (!dec.AtEnd()) {
-    return util::SecurityError("length field inconsistent with message");
+  auto len = dec.GetUint32();
+  if (!len.ok()) {
+    return fail("sealed message missing length");
   }
-  return plaintext;
+  auto plaintext = dec.GetFixedOpaque(len.value());
+  if (!plaintext.ok() || !dec.AtEnd()) {
+    return fail("length field inconsistent with message");
+  }
+  return std::move(plaintext).value();
 }
 
 util::Bytes SessionKeys::SessionId() const {

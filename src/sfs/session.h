@@ -42,9 +42,13 @@ class ChannelCipher {
   // plaintext, encrypts everything.
   util::Bytes Seal(const util::Bytes& plaintext);
 
-  // Opens a sealed message; any tampering, truncation, replay, or
-  // reordering desynchronizes the stream or breaks the MAC and yields
-  // kSecurityError.
+  // Opens a sealed message; tampering, truncation, replay, or reordering
+  // breaks the MAC and yields kSecurityError.  A failed Open restores the
+  // stream to its prior position, so the caller may discard the bad
+  // message and open a later (retransmitted) copy of the expected one —
+  // required for loss masking, where a stale reply must not poison the
+  // channel.  Whether a failure is fatal is the caller's policy: the
+  // server still kills the connection on any bad message.
   util::Result<util::Bytes> Open(const util::Bytes& sealed);
 
  private:

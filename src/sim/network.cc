@@ -1,5 +1,7 @@
 #include "src/sim/network.h"
 
+#include <algorithm>
+
 namespace sim {
 
 void Link::ChargeOneWay(size_t bytes) {
@@ -13,33 +15,107 @@ void Link::ChargeOneWay(size_t bytes) {
 }
 
 util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
-  util::Bytes wire_request = request;
-  if (interposer_ != nullptr) {
-    auto intercepted = interposer_->OnRequest(std::move(wire_request));
-    if (!intercepted.ok()) {
-      return util::Unavailable("request dropped in transit: " +
-                               intercepted.status().message());
+  uint64_t rto = retry_policy_.initial_rto_ns;
+  util::Status last_drop = util::Unavailable("request dropped in transit");
+  for (uint32_t attempt = 0; attempt < retry_policy_.max_transmissions; ++attempt) {
+    if (attempt > 0) {
+      // The full retransmission timeout elapses before the sender gives
+      // up on the outstanding copy and resends the same wire bytes.
+      clock_->Advance(rto);
+      rto = std::min(rto * retry_policy_.backoff_factor, retry_policy_.max_rto_ns);
+      ++retransmissions_;
     }
-    wire_request = std::move(intercepted).value();
-  }
-  ChargeOneWay(wire_request.size());
 
-  auto response = service_->Handle(wire_request);
-  if (!response.ok()) {
-    return response.status();
-  }
-  util::Bytes wire_response = std::move(response).value();
-
-  if (interposer_ != nullptr) {
-    auto intercepted = interposer_->OnResponse(std::move(wire_response));
-    if (!intercepted.ok()) {
-      return util::Unavailable("response dropped in transit: " +
-                               intercepted.status().message());
+    util::Bytes wire_request = request;
+    if (interposer_ != nullptr) {
+      auto intercepted = interposer_->OnRequest(std::move(wire_request));
+      if (!intercepted.ok()) {
+        ++drops_observed_;
+        last_drop = util::Unavailable("request dropped in transit: " +
+                                      intercepted.status().message());
+        continue;
+      }
+      wire_request = std::move(intercepted).value();
     }
-    wire_response = std::move(intercepted).value();
+    ChargeOneWay(wire_request.size());
+
+    auto response = service_->Handle(wire_request);
+    if (!response.ok()) {
+      // An error from the service itself (dead connection, bad message)
+      // is not transit loss; retrying the same bytes cannot help.
+      return response.status();
+    }
+    util::Bytes wire_response = std::move(response).value();
+
+    if (interposer_ != nullptr && interposer_->DuplicateRequest()) {
+      // The network delivers a second copy of the request.  The service
+      // must deduplicate; its reply to the copy finds no one waiting.
+      ++duplicates_delivered_;
+      ChargeOneWay(wire_request.size());
+      (void)service_->Handle(wire_request);
+    }
+
+    if (interposer_ != nullptr) {
+      auto intercepted = interposer_->OnResponse(std::move(wire_response));
+      if (!intercepted.ok()) {
+        ++drops_observed_;
+        last_drop = util::Unavailable("response dropped in transit: " +
+                                      intercepted.status().message());
+        continue;
+      }
+      wire_response = std::move(intercepted).value();
+    }
+    ChargeOneWay(wire_response.size());
+    return wire_response;
   }
-  ChargeOneWay(wire_response.size());
-  return wire_response;
+  return last_drop;
+}
+
+// splitmix64: tiny, deterministic, and independent of the crypto layer.
+bool LossyInterposer::Chance(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53 < p;
+}
+
+util::Result<util::Bytes> LossyInterposer::OnRequest(util::Bytes request) {
+  if (Chance(profile_.drop)) {
+    ++requests_dropped_;
+    return util::Unavailable("lossy network: request lost");
+  }
+  return request;
+}
+
+util::Result<util::Bytes> LossyInterposer::OnResponse(util::Bytes response) {
+  if (Chance(profile_.reorder)) {
+    ++reorders_;
+    if (held_.has_value()) {
+      // Deliver the delayed response in place of the fresh one; the
+      // receiver sees a stale message and must discard it.
+      std::swap(*held_, response);
+      return response;
+    }
+    held_ = std::move(response);
+    return util::Unavailable("lossy network: response delayed");
+  }
+  if (Chance(profile_.drop)) {
+    ++responses_dropped_;
+    return util::Unavailable("lossy network: response lost");
+  }
+  return response;
+}
+
+bool LossyInterposer::DuplicateRequest() {
+  if (Chance(profile_.duplicate)) {
+    ++duplicates_;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace sim

@@ -6,10 +6,19 @@
 // inject new packets."  The Interposer hook gives tests exactly these
 // powers; the LinkProfile reproduces the 100 Mbit/s switched Ethernet of
 // the evaluation (§4.1) with separate UDP-like and TCP-like profiles.
+//
+// Loss masking: real NFS/SFS transports retransmit on a timer, so a
+// dropped datagram delays an operation instead of failing it.  Roundtrip
+// implements that discipline — the same wire bytes are resent after an
+// exponentially backed-off timeout, up to RetryPolicy::max_transmissions;
+// only then does the caller observe kUnavailable.  Services are expected
+// to deduplicate redelivered requests (see rpc::Dispatcher and
+// sfs::ServerConnection).
 #ifndef SFS_SRC_SIM_NETWORK_H_
 #define SFS_SRC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "src/sim/clock.h"
 #include "src/util/bytes.h"
@@ -30,9 +39,14 @@ class Interposer {
  public:
   virtual ~Interposer() = default;
   // Return modified bytes to forward, or an error status to drop the
-  // message (the caller observes kUnavailable).
+  // message (the sender's retransmission timer eventually fires; after
+  // the retry cap the caller observes kUnavailable).
   virtual util::Result<util::Bytes> OnRequest(util::Bytes request) { return request; }
   virtual util::Result<util::Bytes> OnResponse(util::Bytes response) { return response; }
+  // Network duplication: return true to deliver the current request to
+  // the service a second time.  The far side must deduplicate; the extra
+  // reply finds no one waiting and is discarded.
+  virtual bool DuplicateRequest() { return false; }
 };
 
 struct LinkProfile {
@@ -53,8 +67,57 @@ struct LinkProfile {
   static LinkProfile Local() { return {0, 0, 0}; }
 };
 
+// Sender-side retransmission discipline (NFS-style timer: the FreeBSD
+// default timeo is in this neighborhood, doubling per retry).
+struct RetryPolicy {
+  uint32_t max_transmissions = 6;        // 1 initial send + 5 retransmissions.
+  uint64_t initial_rto_ns = 200'000'000;  // 200 ms before the first retry.
+  uint64_t max_rto_ns = 3'200'000'000;    // Backoff ceiling.
+  uint32_t backoff_factor = 2;
+};
+
+// Deterministic fault injector: drops, duplicates, and reorders messages
+// with seeded probabilities.  Used by the fault-injection tests and the
+// lossy benchmark configurations; with retransmission plus server-side
+// duplicate-request caches, a workload must survive it with zero
+// application-visible errors.
+class LossyInterposer : public Interposer {
+ public:
+  struct Profile {
+    double drop = 0.0;       // Per-message loss (each direction, independently).
+    double duplicate = 0.0;  // Per-request duplicate delivery.
+    double reorder = 0.0;    // Per-response delay/swap (stale delivery).
+  };
+
+  LossyInterposer(uint64_t seed, Profile profile)
+      : state_(seed * 2 + 1), profile_(profile) {}
+
+  util::Result<util::Bytes> OnRequest(util::Bytes request) override;
+  util::Result<util::Bytes> OnResponse(util::Bytes response) override;
+  bool DuplicateRequest() override;
+
+  uint64_t requests_dropped() const { return requests_dropped_; }
+  uint64_t responses_dropped() const { return responses_dropped_; }
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t reorders() const { return reorders_; }
+
+ private:
+  bool Chance(double p);
+
+  uint64_t state_;
+  Profile profile_;
+  // A response held back by the network; delivered later in place of a
+  // fresher one (the receiver sees a stale message, not silence).
+  std::optional<util::Bytes> held_;
+  uint64_t requests_dropped_ = 0;
+  uint64_t responses_dropped_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t reorders_ = 0;
+};
+
 // A bidirectional link to one service.  Roundtrip() charges virtual time
-// for both directions and runs the interposer chain.
+// for both directions, runs the interposer chain, and masks transit loss
+// by retransmitting the same wire bytes on a backed-off timer.
 class Link {
  public:
   Link(Clock* clock, LinkProfile profile, Service* service)
@@ -63,11 +126,20 @@ class Link {
   // Installs (or clears, with nullptr) the adversary.
   void set_interposer(Interposer* interposer) { interposer_ = interposer; }
 
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   util::Result<util::Bytes> Roundtrip(const util::Bytes& request);
 
   // Counters for benchmark reporting.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  // Timer-driven resends of cached wire bytes (zero on a loss-free link).
+  uint64_t retransmissions() const { return retransmissions_; }
+  // Messages the interposer dropped in transit (both directions).
+  uint64_t drops_observed() const { return drops_observed_; }
+  // Requests the interposer delivered twice.
+  uint64_t duplicates_delivered() const { return duplicates_delivered_; }
 
   Clock* clock() const { return clock_; }
   const LinkProfile& profile() const { return profile_; }
@@ -79,8 +151,12 @@ class Link {
   LinkProfile profile_;
   Service* service_;
   Interposer* interposer_ = nullptr;
+  RetryPolicy retry_policy_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t retransmissions_ = 0;
+  uint64_t drops_observed_ = 0;
+  uint64_t duplicates_delivered_ = 0;
 };
 
 }  // namespace sim

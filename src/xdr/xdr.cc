@@ -28,7 +28,10 @@ void Encoder::PutString(const std::string& s) { PutOpaque(util::BytesOf(s)); }
 
 void Encoder::PutFixedOpaque(const util::Bytes& data) {
   util::Append(&buffer_, data);
-  while (buffer_.size() % 4 != 0) {
+  // XDR pads each item to a multiple of 4 *of its own length* — padding
+  // to the buffer position instead would mis-frame the item whenever the
+  // encoder is not already 4-aligned.
+  for (size_t i = data.size(); i % 4 != 0; ++i) {
     buffer_.push_back(0);
   }
 }

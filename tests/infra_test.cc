@@ -64,6 +64,27 @@ TEST(XdrTest, FixedOpaqueHasNoLengthPrefix) {
   EXPECT_TRUE(dec.AtEnd());
 }
 
+TEST(XdrTest, FixedOpaquePaddingIsPerItem) {
+  // XDR pads each fixed opaque to a multiple of 4 of *its own length*,
+  // never to the encoder's buffer position.  Regression test for a
+  // latent mis-framing: padding to buffer alignment happens to agree
+  // only because every public Put* keeps the buffer 4-aligned.
+  size_t expected = 0;
+  xdr::Encoder enc;
+  for (size_t len = 1; len <= 9; ++len) {
+    enc.PutFixedOpaque(Bytes(len, static_cast<uint8_t>(len)));
+    expected += (len + 3) / 4 * 4;
+    EXPECT_EQ(enc.data().size(), expected);
+  }
+  xdr::Decoder dec(enc.Take());
+  for (size_t len = 1; len <= 9; ++len) {
+    auto item = dec.GetFixedOpaque(static_cast<uint32_t>(len));
+    ASSERT_TRUE(item.ok());
+    EXPECT_EQ(item.value(), Bytes(len, static_cast<uint8_t>(len)));
+  }
+  EXPECT_TRUE(dec.AtEnd());
+}
+
 TEST(XdrTest, TruncationDetected) {
   xdr::Encoder enc;
   enc.PutUint64(7);
@@ -274,7 +295,8 @@ TEST_F(RpcFixture, MalformedCallRejectedByDispatcher) {
   EXPECT_FALSE(reply.ok());
 }
 
-// An interposer that rewrites the xid in replies: the client must notice.
+// An interposer that rewrites the xid in replies: the client must treat
+// each such reply as stale (discard and retransmit), then give up.
 class XidRewriter : public sim::Interposer {
  public:
   util::Result<Bytes> OnResponse(Bytes response) override {
@@ -290,7 +312,11 @@ TEST_F(RpcFixture, MismatchedXidDetected) {
   link_.set_interposer(&rewriter);
   rpc::Client client(&transport_, 77);
   auto reply = client.Call(1, BytesOf("x"));
-  EXPECT_EQ(reply.status().code(), util::ErrorCode::kSecurityError);
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kUnavailable);
+  // Every reply was stale, so the client kept retransmitting; the
+  // dispatcher answered the repeats from its duplicate-request cache.
+  EXPECT_GT(client.retransmissions(), 0u);
+  EXPECT_GT(dispatcher_.drc_hits(), 0u);
 }
 
 // --- Status / Result ---------------------------------------------------------------

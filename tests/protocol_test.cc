@@ -42,6 +42,15 @@ class ProtocolTest : public ::testing::Test {
     return enc.Take();
   }
 
+  // A channel frame: the wire seqno travels outside the sealed body so
+  // the server can deduplicate retransmits without opening the cipher.
+  static Bytes EncFrame(uint32_t seqno, const Bytes& sealed) {
+    xdr::Encoder enc;
+    enc.PutUint32(seqno);
+    enc.PutOpaque(sealed);
+    return Frame(sfs::kMsgEncrypted, enc.Take());
+  }
+
   Bytes ValidHello() {
     xdr::Encoder hello;
     hello.PutUint32(static_cast<uint32_t>(sfs::ServiceType::kFileServer));
@@ -89,8 +98,22 @@ TEST_F(ProtocolTest, EncryptedBeforeNegotiateRejected) {
 
 TEST_F(ProtocolTest, DoubleConnectRejected) {
   auto conn = Connect();
-  ASSERT_TRUE(conn->Handle(ValidHello()).ok());
-  EXPECT_FALSE(conn->Handle(ValidHello()).ok());
+  auto first = conn->Handle(ValidHello());
+  ASSERT_TRUE(first.ok());
+  // A byte-identical second copy is a retransmitted duplicate: the
+  // server replays its recorded reply instead of re-running the state
+  // machine (which would kill the connection).
+  auto replay = conn->Handle(ValidHello());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value(), first.value());
+  // A *different* connect after the handshake began is still a protocol
+  // violation.
+  xdr::Encoder hello;
+  hello.PutUint32(static_cast<uint32_t>(sfs::ServiceType::kFileServer));
+  hello.PutString(server_->Path().location);
+  hello.PutOpaque(server_->Path().host_id);
+  hello.PutString("different-extensions");
+  EXPECT_FALSE(conn->Handle(Frame(sfs::kMsgConnect, hello.Take())).ok());
 }
 
 TEST_F(ProtocolTest, MalformedNegotiatePayloadKillsConnection) {
@@ -184,18 +207,18 @@ TEST_F(ProtocolTest, FullHandshakeThenDesyncKillsSession) {
   rpc.PutUint32(sfs::kSfsCtlProgram);
   rpc.PutUint32(sfs::kCtlGetRoot);
   rpc.PutOpaque({});
-  auto good = conn->Handle(Frame(sfs::kMsgEncrypted, out.Seal(rpc.Take())));
+  auto good = conn->Handle(EncFrame(1, out.Seal(rpc.Take())));
   ASSERT_TRUE(good.ok());
 
-  // Inject garbage; the server must kill the session...
-  EXPECT_FALSE(conn->Handle(Frame(sfs::kMsgEncrypted, Bytes(80, 0x5c))).ok());
+  // Inject garbage under a fresh seqno; the server must kill the session...
+  EXPECT_FALSE(conn->Handle(EncFrame(2, Bytes(80, 0x5c))).ok());
   // ...and refuse even a correctly sealed follow-up.
   xdr::Encoder rpc2;
   rpc2.PutUint32(2);
   rpc2.PutUint32(sfs::kSfsCtlProgram);
   rpc2.PutUint32(sfs::kCtlGetRoot);
   rpc2.PutOpaque({});
-  EXPECT_FALSE(conn->Handle(Frame(sfs::kMsgEncrypted, out.Seal(rpc2.Take()))).ok());
+  EXPECT_FALSE(conn->Handle(EncFrame(3, out.Seal(rpc2.Take()))).ok());
 }
 
 TEST_F(ProtocolTest, SequenceNumberWindowEnforced) {

@@ -372,22 +372,36 @@ class ReplayInterposer : public sim::Interposer {
   bool replay_now_ = false;
 };
 
-TEST_F(SfsTest, ReplayedChannelMessagesAreRejected) {
+TEST_F(SfsTest, ReplayedChannelMessagesAreDeduplicatedNotReexecuted) {
+  // Let the anonymous user create files so a non-idempotent op is
+  // available without going through login.
+  Fattr attr;
+  nfs::Sattr chmod;
+  chmod.mode = 0777;
+  ASSERT_EQ(server_->fs()->SetAttr(server_->fs()->root_handle(), Credentials::User(0), chmod,
+                                   &attr),
+            Stat::kOk);
+
   auto mount = client_->Mount(server_->Path());
   ASSERT_TRUE(mount.ok());
   ReplayInterposer replayer;
   (*mount)->link()->set_interposer(&replayer);
-  Fattr attr;
   ASSERT_EQ((*mount)->fs()->GetAttr((*mount)->root_fh(), &attr), Stat::kOk);  // Recorded.
   replayer.ReplayNext();
-  // The replayed ciphertext was sealed at an earlier stream position; the
-  // server's keystream has advanced, so the MAC cannot verify.
-  nfs::Sattr sattr;
-  sattr.mode = 0700;
-  Stat s = (*mount)->fs()->SetAttr((*mount)->root_fh(), Credentials::User(0), sattr, &attr);
-  EXPECT_EQ(s, Stat::kIo);
-  EXPECT_EQ((*mount)->raw_client()->last_transport_error().code(),
-            util::ErrorCode::kSecurityError);
+  uint64_t creates_before = server_->fs()->creates_applied();
+  // The attacker substitutes the recorded earlier request for this one.
+  // The server recognizes the old wire seqno and replays its cached
+  // reply without re-executing anything or advancing either keystream;
+  // the client rejects that stale reply (sealed at an earlier stream
+  // position, so the MAC cannot verify), retransmits, and the genuine
+  // CREATE then executes — exactly once.
+  nfs::FileHandle fh;
+  Stat s = (*mount)->fs()->Create((*mount)->root_fh(), "replayed-create",
+                                  Credentials::User(0), nfs::Sattr{}, &fh, &attr);
+  EXPECT_EQ(s, Stat::kOk);
+  EXPECT_GT(server_->drc_hits(), 0u);
+  EXPECT_GT((*mount)->stale_retries(), 0u);
+  EXPECT_EQ(server_->fs()->creates_applied(), creates_before + 1);
 }
 
 // --- Secure channel unit behavior -------------------------------------------
