@@ -10,8 +10,15 @@
 // Latency: an operation that always requires a remote RPC but never a
 // disk access — an unauthorized fchown.  Throughput: sequentially reading
 // a large sparse file (holes, so no server disk activity).
+//
+// --obs: instead of the benchmark tables, run the shared observability
+// workload and emit each configuration's full registry snapshot as JSON
+// (per-procedure latency histograms + link/crypto/disk time split).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench/obs_report.h"
 #include "bench/testbed.h"
 #include "bench/workloads.h"
 
@@ -83,4 +90,18 @@ BENCHMARK(BM_Fig5_Throughput)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs") == 0) {
+      std::fputs(bench::ObsReportJson().c_str(), stdout);
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

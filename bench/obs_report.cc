@@ -1,0 +1,34 @@
+// Standalone observability report: runs the mixed workload on the main
+// remote configurations and dumps each testbed's full registry snapshot
+// as JSON — per-procedure latency histograms, byte counters, and the
+// link/crypto/disk/CPU time split (docs/OBSERVABILITY.md).
+//
+// Usage: obs_report [--text]
+//   --text   human-readable SnapshotText() instead of JSON.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/obs_report.h"
+
+int main(int argc, char** argv) {
+  bool text = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--text") == 0) {
+      text = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--text]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  if (!text) {
+    std::fputs(bench::ObsReportJson().c_str(), stdout);
+    return 0;
+  }
+  for (bench::Config config :
+       {bench::Config::kNfsUdp, bench::Config::kSfs, bench::Config::kSfsNoCrypt}) {
+    std::printf("=== %s ===\n%s\n", bench::ConfigName(config),
+                bench::RunObsWorkload(config, /*text=*/true).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared observability-report workload: one testbed, a small mixed
+// workload that exercises the common NFS procedures (LOOKUP, GETATTR,
+// READ, WRITE, CREATE), then the registry's full JSON snapshot.
+//
+// Used by the standalone bench/obs_report binary and by fig5_micro's
+// --obs flag, so both emit the same per-procedure breakdown shape.
+#ifndef SFS_BENCH_OBS_REPORT_H_
+#define SFS_BENCH_OBS_REPORT_H_
+
+#include <string>
+
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+
+namespace bench {
+
+// Runs the mixed workload on a fresh testbed of `config` and returns
+// Testbed::ObsSnapshotJson() — counters, per-procedure histograms, and
+// the time.<category>_ns split refreshed from the clock's ledger.
+// `text` swaps the JSON snapshot for the human-readable SnapshotText().
+inline std::string RunObsWorkload(Config config, bool text = false) {
+  Testbed tb(config);
+  std::string dir = tb.WorkDir();
+
+  // Write phase: CREATE + WRITE (+ the LOOKUPs of path resolution).
+  const util::Bytes content = Content(32 * 1024, /*seed=*/99);
+  for (int i = 0; i < 8; ++i) {
+    WriteFile(&tb, dir + "/f" + std::to_string(i), content);
+  }
+
+  // Cold-cache read phase: LOOKUP + GETATTR + READ against the server.
+  tb.DropClientCaches();
+  for (int i = 0; i < 8; ++i) {
+    std::string path = dir + "/f" + std::to_string(i);
+    CheckResult(tb.vfs()->Stat(tb.user(), path), "stat");
+    ReadFile(&tb, path);
+  }
+  // GETATTR phase: fstat an already-open handle after the attribute
+  // lease/timeout expires, so revalidation needs a bare GETATTR (a
+  // path stat would re-LOOKUP instead).
+  auto probe = CheckResult(
+      tb.vfs()->Open(tb.user(), dir + "/f0", vfs::OpenFlags::ReadOnly()), "open probe");
+  for (int i = 0; i < 4; ++i) {
+    tb.clock()->Advance(61'000'000'000, obs::TimeCategory::kApp);  // > lease + timeout.
+    CheckResult(probe.Stat(), "fstat");
+  }
+
+  if (text) {
+    tb.clock()->ExportTimeCounters(tb.registry());
+    return tb.registry()->SnapshotText();
+  }
+  return tb.ObsSnapshotJson();
+}
+
+// Emits {"config_name": <snapshot>, ...} for each named configuration.
+inline std::string ObsReportJson() {
+  std::string out = "{\n";
+  bool first = true;
+  for (Config config : {Config::kNfsUdp, Config::kSfs, Config::kSfsNoCrypt}) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "\"";
+    out += ConfigName(config);
+    out += "\": ";
+    out += RunObsWorkload(config);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace bench
+
+#endif  // SFS_BENCH_OBS_REPORT_H_

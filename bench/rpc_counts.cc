@@ -20,6 +20,26 @@ namespace {
 using bench::Config;
 using bench::Testbed;
 
+// Surfaces the per-procedure registry families for the hot NFS
+// procedures as benchmark counters: how many calls each procedure made,
+// how many were resent stale, and the mean virtual latency.
+void ReportPerProc(benchmark::State& state, Testbed& tb) {
+  for (const char* proc : {"LOOKUP", "GETATTR", "READ", "WRITE"}) {
+    const std::string prefix = std::string("rpc.client.NFS3.") + proc;
+    uint64_t calls = tb.registry()->CounterValue(prefix + ".calls");
+    if (calls == 0) {
+      continue;
+    }
+    state.counters[std::string(proc) + "_calls"] = static_cast<double>(calls);
+    state.counters[std::string(proc) + "_retrans"] =
+        static_cast<double>(tb.registry()->CounterValue(prefix + ".retransmits"));
+    if (const obs::Histogram* latency = tb.registry()->FindHistogram(prefix + ".latency_ns");
+        latency != nullptr && latency->count() > 0) {
+      state.counters[std::string(proc) + "_mean_us"] = latency->MeanNs() / 1000.0;
+    }
+  }
+}
+
 void BM_RpcCounts_Mab(benchmark::State& state) {
   for (auto _ : state) {
     Testbed tb(static_cast<Config>(state.range(0)));
@@ -53,6 +73,9 @@ void BM_RpcCounts_MabLossy(benchmark::State& state) {
     state.counters["dropped"] =
         static_cast<double>(lossy.requests_dropped() + lossy.responses_dropped());
     state.counters["duplicated"] = static_cast<double>(lossy.duplicates());
+    // Per-procedure attribution of the masked loss: which procedures
+    // absorbed the retransmissions and what they cost in latency.
+    ReportPerProc(state, tb);
     state.SetLabel(bench::ConfigName(tb.config()));
   }
 }

@@ -20,6 +20,7 @@
 #include "src/agent/agent.h"
 #include "src/auth/authserver.h"
 #include "src/nfs/cache.h"
+#include "src/obs/metrics.h"
 #include "src/nfs/client.h"
 #include "src/nfs/memfs.h"
 #include "src/nfs/program.h"
@@ -82,19 +83,22 @@ class Testbed {
         disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es());
         memfs_ = std::make_unique<nfs::MemFs>(&clock_, disk_.get(), nfs::MemFs::Options{});
         program_ = std::make_unique<nfs::NfsProgram>(memfs_.get(), &clock_, &costs_);
-        dispatcher_ = std::make_unique<rpc::Dispatcher>();
+        dispatcher_ = std::make_unique<rpc::Dispatcher>(&registry_, &clock_);
         dispatcher_->RegisterProgram(
             nfs::kNfsProgram,
             [this](uint32_t proc, const util::Bytes& args) {
               return program_->HandleWire(proc, args);
-            });
+            },
+            [](uint32_t proc) { return std::string(nfs::ProcName(proc)); }, "NFS3");
         link_ = std::make_unique<sim::Link>(&clock_,
                                             config == Config::kNfsUdp
                                                 ? sim::LinkProfile::Udp()
                                                 : sim::LinkProfile::NfsTcpKernel(),
-                                            dispatcher_.get());
+                                            dispatcher_.get(), &registry_);
         transport_ = std::make_unique<rpc::LinkTransport>(link_.get());
-        rpc_client_ = std::make_unique<rpc::Client>(transport_.get(), nfs::kNfsProgram);
+        rpc_client_ = std::make_unique<rpc::Client>(
+            transport_.get(), nfs::kNfsProgram, &registry_, "NFS3",
+            [](uint32_t proc) { return std::string(nfs::ProcName(proc)); });
         nfs_client_ = std::make_unique<nfs::NfsClient>(
             [this](uint32_t proc, const util::Bytes& args) {
               return rpc_client_->Call(proc, args);
@@ -120,6 +124,7 @@ class Testbed {
         server_options.location = "server.bench";
         server_options.key_bits = 512;
         server_options.allow_cleartext = config == Config::kSfsNoCrypt;
+        server_options.registry = &registry_;
         sfs_server_ = std::make_unique<sfs::SfsServer>(&clock_, &costs_, server_options,
                                                        authserver_.get());
         server_fs_ = sfs_server_->fs();
@@ -128,6 +133,7 @@ class Testbed {
         client_options.ephemeral_key_bits = 512;
         client_options.encrypt = config != Config::kSfsNoCrypt;
         client_options.enhanced_caching = config != Config::kSfsNoCache;
+        client_options.registry = &registry_;
         sfs_client_ = std::make_unique<sfs::SfsClient>(
             &clock_, &costs_,
             [this](const std::string&) { return sfs_server_.get(); }, client_options);
@@ -173,19 +179,10 @@ class Testbed {
     }
   }
 
-  // Messages that actually crossed the wire (both directions).
-  uint64_t WireMessages() {
-    if (link_ != nullptr) {
-      return link_->messages_sent();
-    }
-    if (sfs_client_ != nullptr) {
-      auto mount = sfs_client_->Mount(sfs_server_->Path());
-      if (mount.ok()) {
-        return (*mount)->link()->messages_sent();
-      }
-    }
-    return 0;
-  }
+  // Messages that actually crossed the wire (both directions).  All
+  // links publish into this testbed's registry, so one counter covers
+  // every configuration.
+  uint64_t WireMessages() { return registry_.CounterValue("link.messages"); }
 
   // Fault injector for lossy-network benchmarks.  Must be called before
   // the first operation (the SFS mount link is created lazily).
@@ -198,34 +195,17 @@ class Testbed {
     }
   }
 
-  // Timer-driven resends (transit loss) plus stale-reply resends.
+  // Timer-driven resends (transit loss) plus stale-reply resends.  These
+  // used to be hand-summed from three per-component counters; every
+  // layer now also publishes into the registry, which is authoritative.
   uint64_t Retransmissions() {
-    uint64_t total = 0;
-    if (link_ != nullptr) {
-      total += link_->retransmissions();
-    }
-    if (rpc_client_ != nullptr) {
-      total += rpc_client_->retransmissions();
-    }
-    if (sfs_client_ != nullptr) {
-      auto mount = sfs_client_->Mount(sfs_server_->Path());
-      if (mount.ok()) {
-        total += (*mount)->link()->retransmissions() + (*mount)->stale_retries();
-      }
-    }
-    return total;
+    return registry_.CounterValue("link.retransmissions") +
+           registry_.CounterValue("rpc.client.stale_retries");
   }
 
-  // Requests the server answered from its duplicate-request cache.
-  uint64_t DrcHits() {
-    if (dispatcher_ != nullptr) {
-      return dispatcher_->drc_hits();
-    }
-    if (sfs_server_ != nullptr) {
-      return sfs_server_->drc_hits();
-    }
-    return 0;
-  }
+  // Requests the server answered from its duplicate-request cache
+  // (rpc::Dispatcher's DRC or sfs::ServerConnection's reply cache).
+  uint64_t DrcHits() { return registry_.CounterValue("server.drc_hits"); }
 
   bool IsSfs() const {
     return config_ == Config::kSfs || config_ == Config::kSfsNoCrypt ||
@@ -234,6 +214,16 @@ class Testbed {
 
   Config config() const { return config_; }
   sim::Clock* clock() { return &clock_; }
+  // This testbed's private metrics registry; every component publishes
+  // here, so concurrent testbeds never share counters.
+  obs::Registry* registry() { return &registry_; }
+
+  // Full machine-readable dump: refreshes the time.<category>_ns
+  // counters from the clock's ledger, then snapshots every metric.
+  std::string ObsSnapshotJson() {
+    clock_.ExportTimeCounters(&registry_);
+    return registry_.SnapshotJson();
+  }
   vfs::Vfs* vfs() { return vfs_.get(); }
   const vfs::UserContext& user() const { return user_; }
   // The server-side file store (for cold-file setup and cache drops).
@@ -241,6 +231,9 @@ class Testbed {
 
  private:
   Config config_;
+  // Declared before the components so it outlives them (they cache
+  // pointers to its counters).
+  obs::Registry registry_;
   sim::Clock clock_;
   sim::CostModel costs_;
   std::unique_ptr<vfs::Vfs> vfs_;

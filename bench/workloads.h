@@ -126,7 +126,7 @@ inline MabResult RunMab(Testbed* tb, uint64_t compile_cpu_per_file_ns = 50'000'0
   // Phase 5: compile (read source, burn CPU, write object).
   for (const std::string& f : files) {
     ReadFile(tb, f);
-    tb->clock()->Advance(compile_cpu_per_file_ns);
+    tb->clock()->Advance(compile_cpu_per_file_ns, obs::TimeCategory::kApp);
     WriteFile(tb, f + ".o", Content(kMabFileSize / 2, 777));
   }
   result.compile = watch.elapsed_seconds();

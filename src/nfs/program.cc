@@ -34,7 +34,7 @@ util::Result<util::Bytes> NfsProgram::HandleWire(uint32_t proc, const util::Byte
 
 util::Result<util::Bytes> NfsProgram::Handle(const Credentials& cred, uint32_t proc,
                                              const util::Bytes& args) {
-  clock_->Advance(costs_->nfs_server_op_ns);
+  clock_->Advance(costs_->nfs_server_op_ns, obs::TimeCategory::kCpu);
   ++ops_handled_;
   xdr::Decoder dec(args);
 

@@ -1,0 +1,221 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace obs {
+
+const char* TimeCategoryName(TimeCategory category) {
+  switch (category) {
+    case TimeCategory::kLink:
+      return "link";
+    case TimeCategory::kCrypto:
+      return "crypto";
+    case TimeCategory::kDisk:
+      return "disk";
+    case TimeCategory::kCpu:
+      return "cpu";
+    case TimeCategory::kSyscall:
+      return "syscall";
+    case TimeCategory::kWait:
+      return "wait";
+    case TimeCategory::kApp:
+      return "app";
+    case TimeCategory::kUntracked:
+      return "untracked";
+  }
+  return "?";
+}
+
+void Histogram::Record(uint64_t value_ns) {
+  size_t i = 0;
+  while (i + 1 < kNumBuckets && value_ns > BucketBoundNs(i)) {
+    ++i;
+  }
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(value_ns, std::memory_order_relaxed);
+}
+
+double Histogram::MeanNs() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_ns()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::ApproxPercentileNs(double p) const {
+  uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 1.0) {
+    p = 1.0;
+  }
+  // Rank of the percentile sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) {
+      return BucketBoundNs(i);
+    }
+  }
+  return BucketBoundNs(kNumBuckets - 1);
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+// Metric names are dotted identifiers of our own making, but escape
+// defensively so the snapshot is valid JSON whatever callers register.
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+std::string Registry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(&out, name);
+    out << ": " << counter->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(&out, name);
+    out << ": {\"count\": " << hist->count() << ", \"sum_ns\": " << hist->sum_ns()
+        << ", \"mean_ns\": " << static_cast<uint64_t>(hist->MeanNs())
+        << ", \"p50_ns\": " << hist->ApproxPercentileNs(0.5)
+        << ", \"p99_ns\": " << hist->ApproxPercentileNs(0.99) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t n = hist->bucket(i);
+      if (n == 0) {
+        continue;
+      }
+      out << (first_bucket ? "" : ", ") << "{\"le_ns\": ";
+      if (Histogram::BucketBoundNs(i) == UINT64_MAX) {
+        out << "\"inf\"";
+      } else {
+        out << Histogram::BucketBoundNs(i);
+      }
+      out << ", \"count\": " << n << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string Registry::SnapshotText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << name << " count=" << hist->count() << " mean_ns="
+        << static_cast<uint64_t>(hist->MeanNs())
+        << " p50_ns=" << hist->ApproxPercentileNs(0.5)
+        << " p99_ns=" << hist->ApproxPercentileNs(0.99) << "\n";
+  }
+  return out.str();
+}
+
+Registry* Registry::Default() {
+  static Registry* instance = new Registry();
+  return instance;
+}
+
+void ProcMetricsTable::Init(Registry* registry, std::string prefix) {
+  registry_ = registry;
+  prefix_ = std::move(prefix);
+  procs_.clear();
+}
+
+ProcMetrics* ProcMetricsTable::Get(uint32_t proc, const std::string& proc_name) {
+  auto it = procs_.find(proc);
+  if (it != procs_.end()) {
+    return &it->second;
+  }
+  std::string base = prefix_ + "." + proc_name;
+  ProcMetrics m;
+  m.calls = registry_->GetCounter(base + ".calls");
+  m.errors = registry_->GetCounter(base + ".errors");
+  m.retransmits = registry_->GetCounter(base + ".retransmits");
+  m.bytes_sent = registry_->GetCounter(base + ".bytes_sent");
+  m.bytes_received = registry_->GetCounter(base + ".bytes_received");
+  m.latency = registry_->GetHistogram(base + ".latency_ns");
+  for (size_t i = 0; i < kTimeCategoryCount; ++i) {
+    m.time[i] = registry_->GetCounter(
+        base + ".time." + TimeCategoryName(static_cast<TimeCategory>(i)) + "_ns");
+  }
+  return &procs_.emplace(proc, m).first->second;
+}
+
+}  // namespace obs

@@ -1,0 +1,165 @@
+// Process-wide metrics registry: named counters and fixed-bucket latency
+// histograms, cheap enough to stay enabled in benchmarks.
+//
+// The paper's evaluation (§4, Figures 5-9) is built on per-RPC
+// breakdowns — which procedures a workload issues and what each costs in
+// network, crypto, and disk time.  This registry is where every layer
+// (sim::Link, rpc::Client/Dispatcher, sfs::MountPoint/ServerConnection,
+// nfs::NfsProgram) publishes those numbers, replacing the ad-hoc
+// counters that used to be hand-summed in bench/testbed.h.
+//
+// Concurrency: increments are relaxed atomic adds — no locks, no
+// allocation on the hot path.  Metric *creation* (GetCounter /
+// GetHistogram) takes a mutex and may allocate; callers cache the
+// returned pointer, which stays valid for the registry's lifetime.
+#ifndef SFS_SRC_OBS_METRICS_H_
+#define SFS_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace obs {
+
+// Where a nanosecond of virtual time was charged.  sim::Clock accounts
+// every Advance() against one of these; the per-category totals become
+// the time.<category>_ns counters in snapshots and must sum to the
+// clock's total (see docs/OBSERVABILITY.md).
+enum class TimeCategory : uint8_t {
+  kLink = 0,   // Wire transit: latency + bandwidth + per-message overhead.
+  kCrypto,     // Symmetric seal/open and public-key operations.
+  kDisk,       // Disk mechanics: seeks, transfers, metadata updates.
+  kCpu,        // User-level daemon crossings, copies, server op processing.
+  kSyscall,    // Local system-call overhead (VFS entry).
+  kWait,       // Retransmission timeouts spent waiting out lost messages.
+  kApp,        // Application CPU simulated by workloads (compile phases).
+  kUntracked,  // Legacy untagged Advance() calls; ~0 on instrumented paths.
+};
+inline constexpr size_t kTimeCategoryCount = 8;
+const char* TimeCategoryName(TimeCategory category);
+
+// Monotonic counter.  Increment is a relaxed atomic add; Set exists for
+// exported gauges (e.g. copying clock totals into a snapshot).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Fixed-bucket latency histogram.  Bucket i counts samples with
+// value <= BucketBoundNs(i); bounds double from 1us, the last bucket is
+// unbounded.  Everything is relaxed atomics: Record never locks or
+// allocates.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 28;
+
+  // Upper bound (inclusive) of bucket i: 1us << i, except the last
+  // bucket which absorbs everything larger (~2.2 virtual minutes).
+  static uint64_t BucketBoundNs(size_t i) {
+    return i + 1 >= kNumBuckets ? UINT64_MAX : uint64_t{1000} << i;
+  }
+
+  void Record(uint64_t value_ns);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  double MeanNs() const;
+  // Upper bucket bound containing the p-th percentile sample (p in
+  // [0, 1]); 0 when empty.  Coarse by construction — bucket resolution.
+  uint64_t ApproxPercentileNs(double p) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+// Named metrics for one process (or one testbed).  Also owns the Tracer
+// through which the RPC layers publish structured trace events — one
+// handle threads the whole observability subsystem through a stack.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-create.  The returned pointer is stable for the registry's
+  // lifetime; cache it rather than re-resolving per increment.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Read-side lookups; 0 / nullptr when the metric was never created.
+  uint64_t CounterValue(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Machine-readable dump: {"counters": {...}, "histograms": {...}}.
+  // Histograms list only their nonzero buckets.
+  std::string SnapshotJson() const;
+  // Human-readable dump, one metric per line.
+  std::string SnapshotText() const;
+
+  Tracer& tracer() { return tracer_; }
+
+  // Shared fallback for components constructed without an explicit
+  // registry (the "process-wide" registry).
+  static Registry* Default();
+
+ private:
+  mutable std::mutex mu_;  // Guards the maps, not the metric values.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  Tracer tracer_;
+};
+
+// Per-procedure client-side metric family: call/error/byte counters, a
+// latency histogram, and per-category time counters sliced out of the
+// clock's accounting across the call.
+struct ProcMetrics {
+  Counter* calls = nullptr;
+  Counter* errors = nullptr;
+  Counter* retransmits = nullptr;
+  Counter* bytes_sent = nullptr;
+  Counter* bytes_received = nullptr;
+  Histogram* latency = nullptr;
+  Counter* time[kTimeCategoryCount] = {};
+};
+
+// Caches ProcMetrics per procedure number under one name prefix
+// (e.g. "rpc.client.NFS3").  Get() allocates only on the first call for
+// a given procedure; steady-state lookups are one map find.
+class ProcMetricsTable {
+ public:
+  ProcMetricsTable() = default;
+
+  void Init(Registry* registry, std::string prefix);
+  bool initialized() const { return registry_ != nullptr; }
+
+  // `proc_name` is used to build metric names on first sight of `proc`
+  // (the existing proc-name resolvers plug in here).
+  ProcMetrics* Get(uint32_t proc, const std::string& proc_name);
+
+ private:
+  Registry* registry_ = nullptr;
+  std::string prefix_;
+  std::map<uint32_t, ProcMetrics> procs_;
+};
+
+}  // namespace obs
+
+#endif  // SFS_SRC_OBS_METRICS_H_

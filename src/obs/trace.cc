@@ -1,0 +1,104 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace obs {
+
+const char* TraceEventKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kClientCall:
+      return "call";
+    case TraceEvent::Kind::kClientRetransmit:
+      return "retransmit";
+    case TraceEvent::Kind::kClientStaleReply:
+      return "stale-reply";
+    case TraceEvent::Kind::kClientReply:
+      return "reply";
+    case TraceEvent::Kind::kServerDispatch:
+      return "dispatch";
+    case TraceEvent::Kind::kServerReply:
+      return "server-reply";
+    case TraceEvent::Kind::kServerDrcHit:
+      return "drc-hit";
+  }
+  return "?";
+}
+
+RingBufferSink::RingBufferSink(size_t capacity) : capacity_(capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 256));
+}
+
+void RingBufferSink::OnEvent(const TraceEvent& event) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> RingBufferSink::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ points at the oldest retained event once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void RingBufferSink::Clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string PrettyPrintSink::Format(const TraceEvent& event) {
+  std::ostringstream out;
+  out << event.layer << " " << TraceEventKindName(event.kind);
+  if (!event.proc_name.empty()) {
+    out << " " << event.proc_name;
+  } else if (event.proc != 0 || event.prog != 0) {
+    out << " proc=" << event.proc;
+  }
+  out << " xid=" << event.xid;
+  if (event.seqno != 0) {
+    out << " seq=" << event.seqno;
+  }
+  if (event.wire_bytes != 0) {
+    out << " " << event.wire_bytes << "B";
+  }
+  if (event.attempt != 0) {
+    out << " attempt=" << event.attempt;
+  }
+  if (event.t_recv_ns != 0) {
+    out << " t=" << event.t_send_ns << ".." << event.t_recv_ns << "ns"
+        << " rtt=" << (event.t_recv_ns - event.t_send_ns) / 1000 << "us";
+  } else if (event.t_send_ns != 0) {
+    out << " t=" << event.t_send_ns << "ns";
+  }
+  if (event.drc_hit) {
+    out << " [drc]";
+  }
+  if (!event.note.empty()) {
+    out << " (" << event.note << ")";
+  }
+  return out.str();
+}
+
+void PrettyPrintSink::OnEvent(const TraceEvent& event) {
+  if (util::GetLogLevel() > level_) {
+    return;
+  }
+  util::LogMessage(level_, Format(event));
+}
+
+void Tracer::AddSink(TraceSink* sink) { sinks_.push_back(sink); }
+
+void Tracer::RemoveSink(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+}  // namespace obs

@@ -206,7 +206,7 @@ SignedImage ImageBuilder::Build(const crypto::RabinPrivateKey& key,
 }
 
 util::Result<util::Bytes> ReplicaServer::Handle(const util::Bytes& request) {
-  clock_->Advance(costs_->nfs_server_op_ns);
+  clock_->Advance(costs_->nfs_server_op_ns, obs::TimeCategory::kCpu);
   xdr::Decoder dec(request);
   ASSIGN_OR_RETURN(uint32_t type, dec.GetUint32());
   ASSIGN_OR_RETURN(util::Bytes payload, dec.GetOpaque());

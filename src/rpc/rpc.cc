@@ -11,8 +11,29 @@ constexpr uint32_t kReplyError = 1;
 
 }  // namespace
 
-void Dispatcher::RegisterProgram(uint32_t prog, ProgramHandler handler, ProcNamer namer) {
-  programs_[prog] = Program{std::move(handler), std::move(namer)};
+Dispatcher::Dispatcher(obs::Registry* registry, const sim::Clock* clock)
+    : registry_(registry != nullptr ? registry : obs::Registry::Default()),
+      clock_(clock),
+      tracer_(&registry_->tracer()),
+      m_drc_hits_(registry_->GetCounter("server.drc_hits")) {}
+
+void Dispatcher::RegisterProgram(uint32_t prog, ProgramHandler handler, ProcNamer namer,
+                                 std::string name) {
+  if (name.empty()) {
+    name = "PROG" + std::to_string(prog);
+  }
+  Program& program = programs_[prog];
+  program.handler = std::move(handler);
+  program.namer = std::move(namer);
+  program.name = std::move(name);
+  program.metrics.Init(registry_, "server." + program.name);
+}
+
+std::string Dispatcher::ProcNameFor(const Program* program, uint32_t proc) const {
+  if (program != nullptr && program->namer) {
+    return program->namer(proc);
+  }
+  return std::to_string(proc);
 }
 
 util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
@@ -26,10 +47,31 @@ util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
     return util::InvalidArgument("RPC: malformed call message");
   }
 
+  auto it = programs_.find(prog.value());
+  Program* program = it == programs_.end() ? nullptr : &it->second;
+  const uint64_t now_ns = clock_ != nullptr ? clock_->now_ns() : 0;
+
   // Duplicate-request cache: a retransmitted call must not re-execute a
   // non-idempotent handler.  Replay the reply recorded the first time.
   if (auto cached = drc_.find(seqno.value()); cached != drc_.end()) {
     ++drc_hits_;
+    m_drc_hits_->Increment();
+    if (tracer_->active()) {
+      obs::TraceEvent event;
+      event.kind = obs::TraceEvent::Kind::kServerDrcHit;
+      event.layer = "rpc";
+      event.prog = prog.value();
+      event.proc = proc.value();
+      event.proc_name = ProcNameFor(program, proc.value());
+      event.xid = xid.value();
+      event.seqno = seqno.value();
+      event.wire_bytes = cached->second.size();
+      event.t_send_ns = now_ns;
+      event.t_recv_ns = now_ns;
+      event.drc_hit = true;
+      event.note = "replayed cached reply";
+      tracer_->Emit(event);
+    }
     return cached->second;
   }
   if (seqno.value() + kDrcWindow <= drc_max_seqno_ && drc_max_seqno_ != 0) {
@@ -42,22 +84,42 @@ util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
   reply.PutUint32(xid.value());
 
   util::Bytes reply_bytes;
-  auto it = programs_.find(prog.value());
-  if (it == programs_.end()) {
+  if (program == nullptr) {
     reply.PutUint32(kReplyError);
     reply.PutUint32(static_cast<uint32_t>(util::ErrorCode::kNotFound));
     reply.PutString("no such program");
     reply_bytes = reply.Take();
   } else {
+    std::string proc_name = ProcNameFor(program, proc.value());
     if (util::GetLogLevel() <= util::LogLevel::kDebug) {
-      std::string proc_name =
-          it->second.namer ? it->second.namer(proc.value()) : std::to_string(proc.value());
       SFS_LOG(kDebug) << "rpc call prog=" << prog.value() << " proc=" << proc_name
                       << " args=" << args.value().size() << "B";
     }
+    if (tracer_->active()) {
+      obs::TraceEvent event;
+      event.kind = obs::TraceEvent::Kind::kServerDispatch;
+      event.layer = "rpc";
+      event.prog = prog.value();
+      event.proc = proc.value();
+      event.proc_name = proc_name;
+      event.xid = xid.value();
+      event.seqno = seqno.value();
+      event.wire_bytes = request.size();
+      event.t_send_ns = now_ns;
+      tracer_->Emit(event);
+    }
 
-    auto result = it->second.handler(proc.value(), args.value());
+    obs::ProcMetrics* pm = program->metrics.Get(proc.value(), proc_name);
+    pm->calls->Increment();
+    pm->bytes_received->Increment(request.size());
+
+    auto result = program->handler(proc.value(), args.value());
+    if (clock_ != nullptr) {
+      // Handler execution time (server CPU + disk, by the cost model).
+      pm->latency->Record(clock_->now_ns() - now_ns);
+    }
     if (!result.ok()) {
+      pm->errors->Increment();
       reply.PutUint32(kReplyError);
       reply.PutUint32(static_cast<uint32_t>(result.status().code()));
       reply.PutString(result.status().message());
@@ -66,6 +128,25 @@ util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
       reply.PutOpaque(result.value());
     }
     reply_bytes = reply.Take();
+    pm->bytes_sent->Increment(reply_bytes.size());
+
+    if (tracer_->active()) {
+      obs::TraceEvent event;
+      event.kind = obs::TraceEvent::Kind::kServerReply;
+      event.layer = "rpc";
+      event.prog = prog.value();
+      event.proc = proc.value();
+      event.proc_name = proc_name;
+      event.xid = xid.value();
+      event.seqno = seqno.value();
+      event.wire_bytes = reply_bytes.size();
+      event.t_send_ns = now_ns;
+      event.t_recv_ns = clock_ != nullptr ? clock_->now_ns() : 0;
+      if (!result.ok()) {
+        event.note = result.status().message();
+      }
+      tracer_->Emit(event);
+    }
   }
 
   // Cache every reply — including handler errors, which a duplicate must
@@ -80,6 +161,18 @@ util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
   return reply_bytes;
 }
 
+Client::Client(Transport* transport, uint32_t prog, obs::Registry* registry,
+               std::string prog_name, ProcNamer namer)
+    : transport_(transport),
+      prog_(prog),
+      prog_name_(prog_name.empty() ? "PROG" + std::to_string(prog) : std::move(prog_name)),
+      namer_(std::move(namer)),
+      registry_(registry != nullptr ? registry : obs::Registry::Default()),
+      tracer_(&registry_->tracer()),
+      m_stale_retries_(registry_->GetCounter("rpc.client.stale_retries")) {
+  metrics_.Init(registry_, "rpc.client." + prog_name_);
+}
+
 util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
   uint32_t xid = next_xid_++;
   uint32_t seqno = next_seqno_++;
@@ -91,6 +184,56 @@ util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
   call.PutUint32(proc);
   call.PutOpaque(args);
   const util::Bytes wire = call.Take();
+
+  const std::string proc_name = namer_ ? namer_(proc) : std::to_string(proc);
+  obs::ProcMetrics* pm = metrics_.Get(proc, proc_name);
+  pm->calls->Increment();
+
+  sim::Clock* clock = transport_->clock();
+  const uint64_t t_call_ns = clock != nullptr ? clock->now_ns() : 0;
+  sim::Clock::CategorySnapshot before;
+  if (clock != nullptr) {
+    before = clock->categories();
+  }
+
+  auto emit = [&](obs::TraceEvent::Kind kind, uint32_t attempt, uint64_t wire_bytes,
+                  const std::string& note) {
+    if (!tracer_->active()) {
+      return;
+    }
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.layer = "rpc";
+    event.prog = prog_;
+    event.proc = proc;
+    event.proc_name = proc_name;
+    event.xid = xid;
+    event.seqno = seqno;
+    event.wire_bytes = wire_bytes;
+    event.t_send_ns = t_call_ns;
+    event.t_recv_ns = clock != nullptr ? clock->now_ns() : 0;
+    event.attempt = attempt;
+    event.note = note;
+    tracer_->Emit(event);
+  };
+
+  // On every exit path, attribute the call's elapsed virtual time to the
+  // per-procedure latency histogram and slice it by charge category.
+  auto finish = [&](bool ok, uint64_t reply_bytes) {
+    if (!ok) {
+      pm->errors->Increment();
+    }
+    pm->bytes_received->Increment(reply_bytes);
+    if (clock != nullptr) {
+      pm->latency->Record(clock->now_ns() - t_call_ns);
+      const sim::Clock::CategorySnapshot& after = clock->categories();
+      for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+        pm->time[i]->Increment(after.ns[i] - before.ns[i]);
+      }
+    }
+  };
+
+  emit(obs::TraceEvent::Kind::kClientCall, 0, wire.size(), "");
 
   // Network reordering can hand us a stale reply (some earlier call's
   // xid).  That is loss, not an attack: discard it, wait out a timeout,
@@ -105,15 +248,21 @@ util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
   util::Status last_error = util::Unavailable("RPC: no matching reply");
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      if (sim::Clock* clock = transport_->clock(); clock != nullptr) {
-        clock->Advance(policy->initial_rto_ns);
+      if (clock != nullptr) {
+        clock->Advance(policy->initial_rto_ns, obs::TimeCategory::kWait);
       }
       ++retransmissions_;
+      m_stale_retries_->Increment();
+      pm->retransmits->Increment();
+      emit(obs::TraceEvent::Kind::kClientRetransmit, attempt, wire.size(),
+           last_error.message());
     }
+    pm->bytes_sent->Increment(wire.size());
 
     auto roundtrip = transport_->Roundtrip(wire);
     if (!roundtrip.ok()) {
       // The transport already retried transit loss; its verdict is final.
+      finish(false, 0);
       return roundtrip.status();
     }
 
@@ -125,14 +274,19 @@ util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
     }
     if (reply_xid.value() != xid) {
       last_error = util::Unavailable("RPC: stale reply xid, retransmitting");
+      emit(obs::TraceEvent::Kind::kClientStaleReply, attempt, 0,
+           "reply xid " + std::to_string(reply_xid.value()));
       continue;
     }
     ASSIGN_OR_RETURN(uint32_t status, dec.GetUint32());
     if (status == kReplyAccepted) {
       ASSIGN_OR_RETURN(util::Bytes results, dec.GetOpaque());
       if (!dec.AtEnd()) {
+        finish(false, 0);
         return util::InvalidArgument("RPC: trailing bytes in reply");
       }
+      finish(true, results.size());
+      emit(obs::TraceEvent::Kind::kClientReply, attempt, results.size(), "");
       return results;
     }
     ASSIGN_OR_RETURN(uint32_t code, dec.GetUint32());
@@ -140,8 +294,10 @@ util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
     if (code == 0 || code > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
       code = static_cast<uint32_t>(util::ErrorCode::kInternal);
     }
+    finish(false, 0);
     return util::Status(static_cast<util::ErrorCode>(code), message);
   }
+  finish(false, 0);
   return util::Unavailable("RPC: gave up waiting for a fresh reply: " + last_error.message());
 }
 

@@ -25,6 +25,7 @@
 #include <map>
 #include <string>
 
+#include "src/obs/metrics.h"
 #include "src/sim/network.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
@@ -45,25 +46,47 @@ using ProcNamer = std::function<std::string(uint32_t proc)>;
 
 class Dispatcher : public sim::Service {
  public:
-  void RegisterProgram(uint32_t prog, ProgramHandler handler, ProcNamer namer = nullptr);
+  // `registry` receives the server.* counters, per-procedure ops metrics
+  // and trace events; nullptr selects obs::Registry::Default().  `clock`
+  // (optional) timestamps trace events and feeds per-procedure handler
+  // latency histograms.
+  explicit Dispatcher(obs::Registry* registry = nullptr,
+                      const sim::Clock* clock = nullptr);
+
+  // `name` labels this program's server-side metrics
+  // ("server.<name>.<PROC>.*"); empty derives "PROG<prog>".
+  void RegisterProgram(uint32_t prog, ProgramHandler handler, ProcNamer namer = nullptr,
+                       std::string name = "");
 
   // sim::Service: decode the call header, dispatch, encode the reply.
   util::Result<util::Bytes> Handle(const util::Bytes& request) override;
 
   // Requests answered from the duplicate-request cache (no re-execution).
+  // Per-instance shim; the registry's server.drc_hits counter aggregates
+  // the same events across dispatchers.
   uint64_t drc_hits() const { return drc_hits_; }
 
  private:
   struct Program {
     ProgramHandler handler;
     ProcNamer namer;
+    std::string name;
+    obs::ProcMetricsTable metrics;
   };
+
+  std::string ProcNameFor(const Program* program, uint32_t proc) const;
+
   std::map<uint32_t, Program> programs_;
 
   // Duplicate-request cache: wire seqno -> complete reply message.
   std::map<uint32_t, util::Bytes> drc_;
   uint32_t drc_max_seqno_ = 0;
   uint64_t drc_hits_ = 0;
+
+  obs::Registry* registry_;
+  const sim::Clock* clock_;
+  obs::Tracer* tracer_;
+  obs::Counter* m_drc_hits_;
 };
 
 // Transport abstraction for the client: anything that can do a
@@ -94,7 +117,13 @@ class LinkTransport : public Transport {
 
 class Client {
  public:
-  Client(Transport* transport, uint32_t prog) : transport_(transport), prog_(prog) {}
+  // `registry` receives the rpc.client.* counters, the per-procedure
+  // metric family ("rpc.client.<prog_name>.<PROC>.*") and trace events;
+  // nullptr selects obs::Registry::Default().  `prog_name` labels the
+  // metric names (empty derives "PROG<prog>"); `namer` resolves
+  // procedure numbers for metric names and trace events.
+  Client(Transport* transport, uint32_t prog, obs::Registry* registry = nullptr,
+         std::string prog_name = "", ProcNamer namer = nullptr);
 
   // Synchronous call.  Errors from the transport (kUnavailable,
   // kSecurityError) and from the remote handler both surface as Status.
@@ -102,15 +131,24 @@ class Client {
 
   uint64_t calls_made() const { return calls_made_; }
   // Calls resent because the reply in hand was stale (wrong xid).
+  // Per-instance shim; the registry's rpc.client.stale_retries counter
+  // aggregates the same events across clients.
   uint64_t retransmissions() const { return retransmissions_; }
 
  private:
   Transport* transport_;
   uint32_t prog_;
+  std::string prog_name_;
+  ProcNamer namer_;
   uint32_t next_xid_ = 1;
   uint32_t next_seqno_ = 1;
   uint64_t calls_made_ = 0;
   uint64_t retransmissions_ = 0;
+
+  obs::Registry* registry_;
+  obs::Tracer* tracer_;
+  obs::Counter* m_stale_retries_;
+  obs::ProcMetricsTable metrics_;
 };
 
 }  // namespace rpc

@@ -37,7 +37,7 @@ util::Result<util::Bytes> HandshakeRoundtrip(sim::Link* link, uint32_t type,
   util::Status last_error = util::Unavailable("no valid handshake reply");
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      link->clock()->Advance(policy.initial_rto_ns);
+      link->clock()->Advance(policy.initial_rto_ns, obs::TimeCategory::kWait);
     }
     auto raw = link->Roundtrip(request);
     if (!raw.ok()) {
@@ -57,6 +57,8 @@ util::Result<util::Bytes> HandshakeRoundtrip(sim::Link* link, uint32_t type,
 SfsClient::SfsClient(sim::Clock* clock, const sim::CostModel* costs, Dialer dialer,
                      Options options)
     : clock_(clock),
+      registry_(options.registry != nullptr ? options.registry
+                                            : obs::Registry::Default()),
       costs_(costs),
       dialer_(std::move(dialer)),
       options_(options),
@@ -118,11 +120,15 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   SfsServer::Accepted accepted = server->CreateConnection();
   mount->connection_ = std::move(accepted.connection);
   mount->connection_id_ = accepted.connection_id;
-  mount->link_ =
-      std::make_unique<sim::Link>(clock_, options_.profile, mount->connection_.get());
+  mount->link_ = std::make_unique<sim::Link>(clock_, options_.profile,
+                                             mount->connection_.get(), registry_);
   if (interposer_ != nullptr) {
     mount->link_->set_interposer(interposer_);
   }
+  mount->tracer_ = &registry_->tracer();
+  mount->m_stale_retries_ = registry_->GetCounter("rpc.client.stale_retries");
+  mount->nfs_metrics_.Init(registry_, "rpc.client.NFS3");
+  mount->ctl_metrics_.Init(registry_, "rpc.client.SFSCTL");
 
   // --- Step 1-2: connect; obtain and certify the server's public key. ---
   xdr::Encoder hello;
@@ -179,7 +185,7 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   }
 
   // --- Step 3-4: key negotiation (Figure 3). ---
-  clock_->Advance(costs_->pk_encrypt_ns * 2);
+  clock_->Advance(costs_->pk_encrypt_ns * 2, obs::TimeCategory::kCrypto);
   ClientNegotiation negotiation;
   negotiation.ephemeral_key = ephemeral_key_;
   negotiation.kc1 = prng_.RandomBytes(20);
@@ -198,7 +204,7 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   ASSIGN_OR_RETURN(bool cleartext, neg_dec.GetBool());
   ASSIGN_OR_RETURN(util::Bytes enc_ks1, neg_dec.GetOpaque());
   ASSIGN_OR_RETURN(util::Bytes enc_ks2, neg_dec.GetOpaque());
-  clock_->Advance(costs_->pk_decrypt_ns * 2);
+  clock_->Advance(costs_->pk_decrypt_ns * 2, obs::TimeCategory::kCrypto);
   ASSIGN_OR_RETURN(SessionKeys keys, negotiation.Finish(server_key, enc_ks1, enc_ks2));
 
   mount->cleartext_ = cleartext;
@@ -257,6 +263,31 @@ util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t pr
   call.PutOpaque(args);
   util::Bytes rpc_message = call.Take();
 
+  const bool is_nfs = prog == nfs::kNfsProgram;
+  const std::string proc_name =
+      is_nfs ? nfs::ProcName(proc)
+             : (prog == kSfsCtlProgram ? CtlProcName(proc) : std::to_string(proc));
+  obs::ProcMetrics* pm = is_nfs ? nfs_metrics_.Get(proc, proc_name)
+                                : ctl_metrics_.Get(proc, proc_name);
+  pm->calls->Increment();
+  sim::Clock* clock = client_->clock_;
+  const uint64_t t_call_ns = clock->now_ns();
+  const sim::Clock::CategorySnapshot before = clock->categories();
+
+  // On every exit path, attribute the call's elapsed virtual time to the
+  // per-procedure latency histogram and slice it by charge category.
+  auto finish = [&](bool ok, uint64_t reply_bytes) {
+    if (!ok) {
+      pm->errors->Increment();
+    }
+    pm->bytes_received->Increment(reply_bytes);
+    pm->latency->Record(clock->now_ns() - t_call_ns);
+    const sim::Clock::CategorySnapshot& after = clock->categories();
+    for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+      pm->time[i]->Increment(after.ns[i] - before.ns[i]);
+    }
+  };
+
   // User-level client daemon: two kernel crossings, then seal — exactly
   // once.  Retransmission resends these identical sealed bytes, so the
   // send keystream advances once per request no matter how many copies
@@ -271,10 +302,33 @@ util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t pr
     sealed = cipher_out_->Seal(rpc_message);
     client_->costs_->ChargeCrypto(client_->clock_, sealed.size());
   }
+  uint32_t wire_seqno = next_wire_seqno_++;
   xdr::Encoder frame;
-  frame.PutUint32(next_wire_seqno_++);
+  frame.PutUint32(wire_seqno);
   frame.PutOpaque(sealed);
   const util::Bytes wire = FrameMessage(kMsgEncrypted, frame.Take());
+
+  auto emit = [&](obs::TraceEvent::Kind kind, uint32_t attempt, uint64_t wire_bytes,
+                  const std::string& note) {
+    if (!tracer_->active()) {
+      return;
+    }
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.layer = "sfs.chan";
+    event.prog = prog;
+    event.proc = proc;
+    event.proc_name = proc_name;
+    event.xid = xid;
+    event.seqno = wire_seqno;
+    event.wire_bytes = wire_bytes;
+    event.t_send_ns = t_call_ns;
+    event.t_recv_ns = clock->now_ns();
+    event.attempt = attempt;
+    event.note = note;
+    tracer_->Emit(event);
+  };
+  emit(obs::TraceEvent::Kind::kClientCall, 0, wire.size(), "");
 
   const sim::RetryPolicy& policy = link_->retry_policy();
   uint32_t attempts = policy.max_transmissions == 0 ? 1 : policy.max_transmissions;
@@ -284,18 +338,26 @@ util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t pr
       // The reply in hand was stale; wait out a timeout and resend.  The
       // server's duplicate-request cache replays the genuine sealed
       // reply without re-executing or advancing either keystream.
-      client_->clock_->Advance(policy.initial_rto_ns);
+      client_->clock_->Advance(policy.initial_rto_ns, obs::TimeCategory::kWait);
       ++stale_retries_;
+      m_stale_retries_->Increment();
+      pm->retransmits->Increment();
+      emit(obs::TraceEvent::Kind::kClientRetransmit, attempt, wire.size(),
+           last_error.message());
     }
+    pm->bytes_sent->Increment(wire.size());
 
     auto raw_reply = link_->Roundtrip(wire);
     if (!raw_reply.ok()) {
       // The link already retried transit loss; its verdict is final.
+      finish(false, 0);
       return raw_reply.status();
     }
     auto sealed_reply = Unframe(kMsgEncrypted, raw_reply.value());
     if (!sealed_reply.ok()) {
       last_error = sealed_reply.status();
+      emit(obs::TraceEvent::Kind::kClientStaleReply, attempt, raw_reply->size(),
+           last_error.message());
       continue;
     }
 
@@ -312,6 +374,8 @@ util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t pr
         // untouched, so discard and retransmit; persistent failure
         // surfaces the security error after the retry budget.
         last_error = opened.status();
+        emit(obs::TraceEvent::Kind::kClientStaleReply, attempt, sealed_reply->size(),
+             last_error.message());
         continue;
       }
       reply = std::move(opened).value();
@@ -327,19 +391,28 @@ util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t pr
     }
     if (reply_xid.value() != xid) {
       last_error = util::Unavailable("stale RPC reply xid");
+      emit(obs::TraceEvent::Kind::kClientStaleReply, attempt, reply.size(),
+           "reply xid " + std::to_string(reply_xid.value()));
       continue;
     }
     ASSIGN_OR_RETURN(uint32_t status, dec.GetUint32());
     if (status == 0) {
-      return dec.GetOpaque();
+      auto results = dec.GetOpaque();
+      finish(results.ok(), results.ok() ? results->size() : 0);
+      if (results.ok()) {
+        emit(obs::TraceEvent::Kind::kClientReply, attempt, results->size(), "");
+      }
+      return results;
     }
     ASSIGN_OR_RETURN(uint32_t code, dec.GetUint32());
     ASSIGN_OR_RETURN(std::string message, dec.GetString());
     if (code == 0 || code > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
       code = static_cast<uint32_t>(util::ErrorCode::kInternal);
     }
+    finish(false, 0);
     return util::Status(static_cast<util::ErrorCode>(code), message);
   }
+  finish(false, 0);
   return last_error;
 }
 
@@ -357,7 +430,8 @@ util::Status SfsClient::MountPoint::Authenticate(uint32_t uid, const AuthSigner&
     authnos_[uid] = kAnonymousAuthno;
     return util::OkStatus();
   }
-  client_->clock_->Advance(client_->costs_->pk_sign_ns);  // Agent signed the request.
+  client_->clock_->Advance(client_->costs_->pk_sign_ns,
+                           obs::TimeCategory::kCrypto);  // Agent signed the request.
 
   xdr::Encoder args;
   args.PutUint32(seqno);

@@ -50,6 +50,9 @@ class SfsClient {
     sim::LinkProfile profile = sim::LinkProfile::Tcp();
     uint64_t attr_timeout_ns = 5'000'000'000;
     uint64_t prng_seed = 2;
+    // Receives the link.* / rpc.client.* metrics and trace events for
+    // every mount; nullptr selects obs::Registry::Default().
+    obs::Registry* registry = nullptr;
   };
 
   // Resolves a Location to a server, or nullptr (host unreachable).
@@ -89,7 +92,9 @@ class SfsClient {
 
     // Calls resent from above the link because the reply in hand was
     // stale (wrong xid or wrong keystream position).  Transit-loss
-    // retransmits are counted by link()->retransmissions().
+    // retransmits are counted by link()->retransmissions().  Per-instance
+    // shim; the registry's rpc.client.stale_retries counter aggregates
+    // the same events across mounts (and plain rpc::Clients).
     uint64_t stale_retries() const { return stale_retries_; }
 
     // True for mounts served by the read-only dialect (verified signed
@@ -120,6 +125,14 @@ class SfsClient {
     uint32_t next_wire_seqno_ = 1;
     uint64_t stale_retries_ = 0;
 
+    // Observability handles (owned by the client's registry).  The
+    // per-procedure prefixes match the plain-RPC Client's, so NFS3 and
+    // SFS stacks report under the same metric names.
+    obs::Tracer* tracer_ = nullptr;
+    obs::Counter* m_stale_retries_ = nullptr;
+    obs::ProcMetricsTable nfs_metrics_;  // "rpc.client.NFS3"
+    obs::ProcMetricsTable ctl_metrics_;  // "rpc.client.SFSCTL"
+
     // Sends one RPC through the secure channel, charging client-side
     // crossings and crypto.
     util::Result<util::Bytes> Call(uint32_t prog, uint32_t proc, const util::Bytes& args);
@@ -144,9 +157,11 @@ class SfsClient {
   void RotateEphemeralKey();
 
   sim::Clock* clock() { return clock_; }
+  obs::Registry* registry() { return registry_; }
 
  private:
   sim::Clock* clock_;
+  obs::Registry* registry_;
   const sim::CostModel* costs_;
   Dialer dialer_;
   Options options_;

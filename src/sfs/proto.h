@@ -48,6 +48,24 @@ enum CtlProc : uint32_t {
   kCtlLogin = 2,    // {seqno, AuthMsg} -> {authno}
 };
 
+// Names for the control program's procedures, for metric names and the
+// RPC trace pretty-printer.  Covers the libsfs ID-mapping procedures
+// declared in idmap.h (numbers 10/11) without depending on that header.
+inline const char* CtlProcName(uint32_t proc) {
+  switch (proc) {
+    case kCtlGetRoot:
+      return "GETROOT";
+    case kCtlLogin:
+      return "LOGIN";
+    case 10:  // kCtlIdToName (idmap.h)
+      return "IDTONAME";
+    case 11:  // kCtlNameToId (idmap.h)
+      return "NAMETOID";
+    default:
+      return "UNKNOWN";
+  }
+}
+
 // Authentication number reserved for anonymous access (paper §3.1.2).
 inline constexpr uint32_t kAnonymousAuthno = 0;
 

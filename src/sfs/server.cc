@@ -50,8 +50,14 @@ SfsServer::SfsServer(sim::Clock* clock, const sim::CostModel* costs, Options opt
         return identities_[0].key;
       }())),
       nfs_program_(&crypt_fs_, clock, costs),
-      authserver_(authserver) {
+      authserver_(authserver),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : obs::Registry::Default()),
+      tracer_(&registry_->tracer()),
+      m_drc_hits_(registry_->GetCounter("server.drc_hits")) {
   nfs_program_.set_lease_ns(options_.lease_ns);
+  nfs_metrics_.Init(registry_, "server.NFS3");
+  ctl_metrics_.Init(registry_, "server.SFSCTL");
 }
 
 const crypto::RabinPublicKey& SfsServer::public_key() const {
@@ -150,6 +156,19 @@ util::Result<util::Bytes> ServerConnection::Handle(const util::Bytes& request) {
       // machine out of phase and kill the connection; replay the reply.
       if (!last_handshake_request_.empty() && request == last_handshake_request_) {
         ++server_->drc_hits_;
+        server_->m_drc_hits_->Increment();
+        if (server_->tracer_->active()) {
+          obs::TraceEvent event;
+          event.kind = obs::TraceEvent::Kind::kServerDrcHit;
+          event.layer = "sfs.chan";
+          event.proc_name = "HANDSHAKE";
+          event.wire_bytes = last_handshake_reply_.size();
+          event.t_send_ns = server_->clock_->now_ns();
+          event.t_recv_ns = event.t_send_ns;
+          event.drc_hit = true;
+          event.note = "redelivered handshake answered with recorded reply";
+          server_->tracer_->Emit(event);
+        }
         return last_handshake_reply_;
       }
       auto reply = type.value() == kMsgConnect     ? HandleConnect(payload.value())
@@ -235,7 +254,8 @@ util::Result<util::Bytes> ServerConnection::HandleNegotiate(const util::Bytes& p
   }
 
   server_->clock_->Advance(server_->costs_->pk_decrypt_ns * 2 +
-                           server_->costs_->pk_encrypt_ns * 2);
+                               server_->costs_->pk_encrypt_ns * 2,
+                           obs::TimeCategory::kCrypto);
   auto negotiation = ServerNegotiation::Respond(identity_->key, client_pubkey.value(),
                                                 enc_kc1.value(), enc_kc2.value(),
                                                 &server_->prng_);
@@ -279,6 +299,19 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
   }
   if (auto cached = reply_cache_.find(wire_seqno.value()); cached != reply_cache_.end()) {
     ++server_->drc_hits_;
+    server_->m_drc_hits_->Increment();
+    if (server_->tracer_->active()) {
+      obs::TraceEvent event;
+      event.kind = obs::TraceEvent::Kind::kServerDrcHit;
+      event.layer = "sfs.chan";
+      event.seqno = wire_seqno.value();
+      event.wire_bytes = cached->second.size();
+      event.t_send_ns = server_->clock_->now_ns();
+      event.t_recv_ns = event.t_send_ns;
+      event.drc_hit = true;
+      event.note = "replayed sealed reply; keystreams untouched";
+      server_->tracer_->Emit(event);
+    }
     return cached->second;
   }
   if (reply_cache_max_seqno_ != 0 &&
@@ -301,7 +334,7 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
     plaintext = std::move(opened).value();
   }
 
-  auto reply = DispatchRpc(plaintext);
+  auto reply = DispatchRpc(plaintext, wire_seqno.value());
   if (!reply.ok()) {
     state_ = State::kDead;
     return reply.status();
@@ -329,7 +362,8 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
   return framed_reply;
 }
 
-util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_message) {
+util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_message,
+                                                        uint32_t wire_seqno) {
   // Minimal RPC framing: xid, prog, proc, args (see rpc/rpc.h).
   xdr::Decoder dec(rpc_message);
   auto xid = dec.GetUint32();
@@ -340,11 +374,55 @@ util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_m
     return util::InvalidArgument("malformed RPC in channel");
   }
 
+  const bool is_nfs = prog.value() == nfs::kNfsProgram;
+  const bool is_ctl = prog.value() == kSfsCtlProgram;
+  const std::string proc_name = is_nfs   ? nfs::ProcName(proc.value())
+                                : is_ctl ? CtlProcName(proc.value())
+                                         : std::to_string(proc.value());
+  const uint64_t t_dispatch_ns = server_->clock_->now_ns();
+
+  auto emit = [&](obs::TraceEvent::Kind kind, uint64_t wire_bytes,
+                  const std::string& note) {
+    if (!server_->tracer_->active()) {
+      return;
+    }
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.layer = "sfs.chan";
+    event.prog = prog.value();
+    event.proc = proc.value();
+    event.proc_name = proc_name;
+    event.xid = xid.value();
+    event.seqno = wire_seqno;
+    event.wire_bytes = wire_bytes;
+    event.t_send_ns = t_dispatch_ns;
+    event.t_recv_ns = server_->clock_->now_ns();
+    event.note = note;
+    server_->tracer_->Emit(event);
+  };
+  emit(obs::TraceEvent::Kind::kServerDispatch, rpc_message.size(), "");
+
+  obs::ProcMetrics* pm = is_nfs   ? server_->nfs_metrics_.Get(proc.value(), proc_name)
+                         : is_ctl ? server_->ctl_metrics_.Get(proc.value(), proc_name)
+                                  : nullptr;
+  if (pm != nullptr) {
+    pm->calls->Increment();
+    pm->bytes_received->Increment(rpc_message.size());
+  }
+
   util::Result<util::Bytes> result = util::InvalidArgument("no such program");
-  if (prog.value() == nfs::kNfsProgram) {
+  if (is_nfs) {
     result = HandleNfs(proc.value(), args.value());
-  } else if (prog.value() == kSfsCtlProgram) {
+  } else if (is_ctl) {
     result = HandleCtl(proc.value(), args.value());
+  }
+
+  if (pm != nullptr) {
+    // Handler execution time (server CPU + disk, by the cost model).
+    pm->latency->Record(server_->clock_->now_ns() - t_dispatch_ns);
+    if (!result.ok()) {
+      pm->errors->Increment();
+    }
   }
 
   xdr::Encoder reply;
@@ -357,7 +435,13 @@ util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_m
     reply.PutUint32(static_cast<uint32_t>(result.status().code()));
     reply.PutString(result.status().message());
   }
-  return reply.Take();
+  util::Bytes reply_bytes = reply.Take();
+  if (pm != nullptr) {
+    pm->bytes_sent->Increment(reply_bytes.size());
+  }
+  emit(obs::TraceEvent::Kind::kServerReply, reply_bytes.size(),
+       result.ok() ? "" : result.status().message());
+  return reply_bytes;
 }
 
 util::Result<util::Bytes> ServerConnection::HandleNfs(uint32_t proc,
@@ -449,7 +533,7 @@ util::Result<util::Bytes> ServerConnection::HandleCtl(uint32_t proc, const util:
       // The file server hands the opaque AuthMsg to the authserver over
       // RPC (here, an in-process call on the same machine).
       server_->costs_->ChargeCrossing(server_->clock_, 2);
-      server_->clock_->Advance(server_->costs_->pk_verify_ns);
+      server_->clock_->Advance(server_->costs_->pk_verify_ns, obs::TimeCategory::kCrypto);
       ASSIGN_OR_RETURN(nfs::Credentials creds,
                        server_->authserver_->ValidateAuthMsg(auth_msg, auth_id, seqno));
       uint32_t authno = next_authno_++;

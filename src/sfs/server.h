@@ -56,6 +56,9 @@ class SfsServer {
                                          // (benchmarks only).
     uint64_t fsid = 1;
     uint64_t prng_seed = 1;
+    // Receives server.* counters, per-procedure server metrics and trace
+    // events; nullptr selects obs::Registry::Default().
+    obs::Registry* registry = nullptr;
   };
 
   SfsServer(sim::Clock* clock, const sim::CostModel* costs, Options options,
@@ -102,7 +105,11 @@ class SfsServer {
 
   // Channel requests answered from a connection's duplicate-request
   // cache (retransmits deduplicated; the handler did not run again).
+  // Per-instance shim; the registry's server.drc_hits counter aggregates
+  // the same events.
   uint64_t drc_hits() const { return drc_hits_; }
+
+  obs::Registry* registry() { return registry_; }
 
  private:
   friend class ServerConnection;
@@ -132,6 +139,15 @@ class SfsServer {
   std::map<uint64_t, InvalidateFn> cache_callbacks_;
   uint64_t next_connection_id_ = 1;
   uint64_t drc_hits_ = 0;
+
+  // Observability: shared across connections so the per-procedure server
+  // metrics aggregate the whole server (prefixes match the plain-RPC
+  // Dispatcher's, so NFS3 and SFS stacks report under the same names).
+  obs::Registry* registry_;
+  obs::Tracer* tracer_;
+  obs::Counter* m_drc_hits_;
+  obs::ProcMetricsTable nfs_metrics_;  // "server.NFS3"
+  obs::ProcMetricsTable ctl_metrics_;  // "server.SFSCTL"
 };
 
 // One accepted connection (one client <-> server TCP stream).
@@ -150,8 +166,10 @@ class ServerConnection : public sim::Service {
   util::Result<util::Bytes> HandleSrpStart(const util::Bytes& payload);
   util::Result<util::Bytes> HandleSrpFinish(const util::Bytes& payload);
 
-  // Dispatches one plaintext RPC (NFS or control program).
-  util::Result<util::Bytes> DispatchRpc(const util::Bytes& rpc_message);
+  // Dispatches one plaintext RPC (NFS or control program).  `wire_seqno`
+  // identifies the channel frame in trace events.
+  util::Result<util::Bytes> DispatchRpc(const util::Bytes& rpc_message,
+                                        uint32_t wire_seqno);
   util::Result<util::Bytes> HandleNfs(uint32_t proc, const util::Bytes& args);
   util::Result<util::Bytes> HandleCtl(uint32_t proc, const util::Bytes& args);
 

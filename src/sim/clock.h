@@ -5,24 +5,61 @@
 // crossings according to the cost model, which makes every run
 // deterministic regardless of the host machine.  See DESIGN.md §1 for why
 // this substitution preserves the paper's comparisons.
+//
+// Every Advance() is attributed to an obs::TimeCategory, so the clock
+// doubles as the ledger behind per-operation latency breakdowns: the
+// per-category totals always sum to now_ns(), and the instrumented RPC
+// layers diff CategorySnapshots around a call to attribute its cost to
+// link vs crypto vs disk vs CPU (docs/OBSERVABILITY.md).
 #ifndef SFS_SRC_SIM_CLOCK_H_
 #define SFS_SRC_SIM_CLOCK_H_
 
 #include <cstdint>
 
+#include "src/obs/metrics.h"
+
 namespace sim {
 
 class Clock {
  public:
+  // Per-category charge totals; diff two snapshots to slice one
+  // operation's cost by category.
+  struct CategorySnapshot {
+    uint64_t ns[obs::kTimeCategoryCount] = {};
+  };
+
   Clock() = default;
 
   uint64_t now_ns() const { return now_ns_; }
-  void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+  void Advance(uint64_t delta_ns,
+               obs::TimeCategory category = obs::TimeCategory::kUntracked) {
+    now_ns_ += delta_ns;
+    charged_.ns[static_cast<size_t>(category)] += delta_ns;
+  }
 
   double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
 
+  uint64_t charged_ns(obs::TimeCategory category) const {
+    return charged_.ns[static_cast<size_t>(category)];
+  }
+  const CategorySnapshot& categories() const { return charged_; }
+
+  // Copies the per-category totals into `time.<category>_ns` counters
+  // plus `time.total_ns`, for inclusion in a registry snapshot.
+  void ExportTimeCounters(obs::Registry* registry) const {
+    for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+      registry
+          ->GetCounter(std::string("time.") +
+                       obs::TimeCategoryName(static_cast<obs::TimeCategory>(i)) +
+                       "_ns")
+          ->Set(charged_.ns[i]);
+    }
+    registry->GetCounter("time.total_ns")->Set(now_ns_);
+  }
+
  private:
   uint64_t now_ns_ = 0;
+  CategorySnapshot charged_;
 };
 
 // Measures virtual elapsed time across a scope.

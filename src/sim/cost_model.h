@@ -53,15 +53,19 @@ struct CostModel {
   // Simulated CPU work per source file in the "compile" benchmark phases.
   uint64_t compile_cpu_per_file_ns = 250'000'000;
 
-  // Helpers: charge `clock` for an operation.
+  // Helpers: charge `clock` for an operation.  Each helper attributes
+  // the time to the matching obs::TimeCategory so per-operation
+  // breakdowns can tell daemon CPU from crypto.
   void ChargeCrossing(Clock* clock, int crossings = 1) const {
-    clock->Advance(user_crossing_ns * static_cast<uint64_t>(crossings));
+    clock->Advance(user_crossing_ns * static_cast<uint64_t>(crossings),
+                   obs::TimeCategory::kCpu);
   }
   void ChargeCopy(Clock* clock, uint64_t bytes) const {
-    clock->Advance(bytes * 1'000'000'000 / copy_bytes_per_sec);
+    clock->Advance(bytes * 1'000'000'000 / copy_bytes_per_sec, obs::TimeCategory::kCpu);
   }
   void ChargeCrypto(Clock* clock, uint64_t bytes) const {
-    clock->Advance(crypto_per_message_ns + bytes * 1'000'000'000 / crypto_bytes_per_sec);
+    clock->Advance(crypto_per_message_ns + bytes * 1'000'000'000 / crypto_bytes_per_sec,
+                   obs::TimeCategory::kCrypto);
   }
 
   // The paper's testbed profile (default-constructed).

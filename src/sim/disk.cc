@@ -5,9 +5,9 @@ namespace sim {
 void Disk::ChargeRead(uint64_t file_id, uint64_t offset, uint64_t bytes) {
   bool sequential = file_id == last_file_id_ && offset == next_sequential_offset_;
   if (!sequential) {
-    clock_->Advance(profile_.seek_ns);
+    clock_->Advance(profile_.seek_ns, obs::TimeCategory::kDisk);
   }
-  clock_->Advance(bytes * 1'000'000'000 / profile_.bytes_per_sec);
+  clock_->Advance(bytes * 1'000'000'000 / profile_.bytes_per_sec, obs::TimeCategory::kDisk);
   last_file_id_ = file_id;
   next_sequential_offset_ = offset + bytes;
 }
@@ -17,8 +17,9 @@ void Disk::ChargeCommit() {
     return;
   }
   // One seek to the log/segment plus a streaming write of the dirty data.
-  clock_->Advance(profile_.seek_ns);
-  clock_->Advance(dirty_bytes_ * 1'000'000'000 / profile_.bytes_per_sec);
+  clock_->Advance(profile_.seek_ns, obs::TimeCategory::kDisk);
+  clock_->Advance(dirty_bytes_ * 1'000'000'000 / profile_.bytes_per_sec,
+                  obs::TimeCategory::kDisk);
   dirty_bytes_ = 0;
   last_file_id_ = ~uint64_t{0};  // The write moved the head.
 }

@@ -41,7 +41,9 @@ class Disk {
   void ChargeCommit();
 
   // Synchronous metadata update.
-  void ChargeMetaUpdate() { clock_->Advance(profile_.meta_update_ns); }
+  void ChargeMetaUpdate() {
+    clock_->Advance(profile_.meta_update_ns, obs::TimeCategory::kDisk);
+  }
 
   uint64_t dirty_bytes() const { return dirty_bytes_; }
 

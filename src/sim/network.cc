@@ -9,9 +9,11 @@ void Link::ChargeOneWay(size_t bytes) {
   if (profile_.bytes_per_sec > 0) {
     transit += static_cast<uint64_t>(bytes) * 1'000'000'000 / profile_.bytes_per_sec;
   }
-  clock_->Advance(transit);
+  clock_->Advance(transit, obs::TimeCategory::kLink);
   ++messages_sent_;
   bytes_sent_ += bytes;
+  m_messages_->Increment();
+  m_bytes_->Increment(bytes);
 }
 
 util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
@@ -21,9 +23,10 @@ util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
     if (attempt > 0) {
       // The full retransmission timeout elapses before the sender gives
       // up on the outstanding copy and resends the same wire bytes.
-      clock_->Advance(rto);
+      clock_->Advance(rto, obs::TimeCategory::kWait);
       rto = std::min(rto * retry_policy_.backoff_factor, retry_policy_.max_rto_ns);
       ++retransmissions_;
+      m_retransmissions_->Increment();
     }
 
     util::Bytes wire_request = request;
@@ -31,6 +34,7 @@ util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
       auto intercepted = interposer_->OnRequest(std::move(wire_request));
       if (!intercepted.ok()) {
         ++drops_observed_;
+        m_drops_->Increment();
         last_drop = util::Unavailable("request dropped in transit: " +
                                       intercepted.status().message());
         continue;
@@ -51,6 +55,7 @@ util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
       // The network delivers a second copy of the request.  The service
       // must deduplicate; its reply to the copy finds no one waiting.
       ++duplicates_delivered_;
+      m_duplicates_->Increment();
       ChargeOneWay(wire_request.size());
       (void)service_->Handle(wire_request);
     }
@@ -59,6 +64,7 @@ util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
       auto intercepted = interposer_->OnResponse(std::move(wire_response));
       if (!intercepted.ok()) {
         ++drops_observed_;
+        m_drops_->Increment();
         last_drop = util::Unavailable("response dropped in transit: " +
                                       intercepted.status().message());
         continue;

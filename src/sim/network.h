@@ -120,8 +120,18 @@ class LossyInterposer : public Interposer {
 // by retransmitting the same wire bytes on a backed-off timer.
 class Link {
  public:
-  Link(Clock* clock, LinkProfile profile, Service* service)
-      : clock_(clock), profile_(profile), service_(service) {}
+  // `registry` receives the aggregate link.* counters; nullptr selects
+  // the process-wide obs::Registry::Default().
+  Link(Clock* clock, LinkProfile profile, Service* service,
+       obs::Registry* registry = nullptr)
+      : clock_(clock), profile_(profile), service_(service) {
+    obs::Registry* reg = registry != nullptr ? registry : obs::Registry::Default();
+    m_messages_ = reg->GetCounter("link.messages");
+    m_bytes_ = reg->GetCounter("link.bytes");
+    m_retransmissions_ = reg->GetCounter("link.retransmissions");
+    m_drops_ = reg->GetCounter("link.drops");
+    m_duplicates_ = reg->GetCounter("link.duplicates_delivered");
+  }
 
   // Installs (or clears, with nullptr) the adversary.
   void set_interposer(Interposer* interposer) { interposer_ = interposer; }
@@ -131,7 +141,10 @@ class Link {
 
   util::Result<util::Bytes> Roundtrip(const util::Bytes& request);
 
-  // Counters for benchmark reporting.
+  // Per-instance counters.  The same increments also feed the link.*
+  // aggregate counters in the registry, which is what benchmark
+  // reporting reads (bench/testbed.h); these accessors remain as shims
+  // for callers that care about one specific link.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   // Timer-driven resends of cached wire bytes (zero on a loss-free link).
@@ -157,6 +170,12 @@ class Link {
   uint64_t retransmissions_ = 0;
   uint64_t drops_observed_ = 0;
   uint64_t duplicates_delivered_ = 0;
+  // Registry aggregates (shared across links on the same registry).
+  obs::Counter* m_messages_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_retransmissions_ = nullptr;
+  obs::Counter* m_drops_ = nullptr;
+  obs::Counter* m_duplicates_ = nullptr;
 };
 
 }  // namespace sim

@@ -349,7 +349,7 @@ util::Result<Vfs::Vnode> Vfs::ResolveParent(const UserContext& user, const std::
 
 util::Result<OpenFile> Vfs::Open(const UserContext& user, const std::string& path,
                                  const OpenFlags& flags) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
 
   nfs::FileSystemApi* fs = nullptr;
@@ -446,7 +446,7 @@ util::Result<OpenFile> Vfs::Open(const UserContext& user, const std::string& pat
 }
 
 util::Status Vfs::Mkdir(const UserContext& user, const std::string& path, uint32_t mode) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string leaf;
   ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, path, &leaf, &depth));
@@ -457,7 +457,7 @@ util::Status Vfs::Mkdir(const UserContext& user, const std::string& path, uint32
 
 util::Status Vfs::Symlink(const UserContext& user, const std::string& target,
                           const std::string& link_path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string leaf;
   ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, link_path, &leaf, &depth));
@@ -468,7 +468,7 @@ util::Status Vfs::Symlink(const UserContext& user, const std::string& target,
 }
 
 util::Status Vfs::Unlink(const UserContext& user, const std::string& path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string leaf;
   ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, path, &leaf, &depth));
@@ -476,7 +476,7 @@ util::Status Vfs::Unlink(const UserContext& user, const std::string& path) {
 }
 
 util::Status Vfs::Rmdir(const UserContext& user, const std::string& path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string leaf;
   ASSIGN_OR_RETURN(Vnode parent, ResolveParent(user, path, &leaf, &depth));
@@ -485,7 +485,7 @@ util::Status Vfs::Rmdir(const UserContext& user, const std::string& path) {
 
 util::Status Vfs::Rename(const UserContext& user, const std::string& from,
                          const std::string& to) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string from_leaf;
   std::string to_leaf;
@@ -501,7 +501,7 @@ util::Status Vfs::Rename(const UserContext& user, const std::string& from,
 
 util::Status Vfs::HardLink(const UserContext& user, const std::string& existing_path,
                            const std::string& new_path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode target, Resolve(user, existing_path, true, &depth));
   std::string leaf;
@@ -513,7 +513,7 @@ util::Status Vfs::HardLink(const UserContext& user, const std::string& existing_
 }
 
 util::Result<nfs::Fattr> Vfs::Stat(const UserContext& user, const std::string& path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
   if (vnode.kind == Vnode::Kind::kSfsDir) {
@@ -528,7 +528,7 @@ util::Result<nfs::Fattr> Vfs::Stat(const UserContext& user, const std::string& p
 }
 
 util::Result<nfs::Fattr> Vfs::Lstat(const UserContext& user, const std::string& path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, false, &depth));
   if (vnode.kind == Vnode::Kind::kSfsDir) {
@@ -543,7 +543,7 @@ util::Result<nfs::Fattr> Vfs::Lstat(const UserContext& user, const std::string& 
 }
 
 util::Result<std::string> Vfs::ReadLink(const UserContext& user, const std::string& path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, false, &depth));
   std::string target;
@@ -555,7 +555,7 @@ util::Result<std::string> Vfs::ReadLink(const UserContext& user, const std::stri
 }
 
 util::Status Vfs::Chmod(const UserContext& user, const std::string& path, uint32_t mode) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
   nfs::Sattr sattr;
@@ -565,7 +565,7 @@ util::Status Vfs::Chmod(const UserContext& user, const std::string& path, uint32
 }
 
 util::Status Vfs::Truncate(const UserContext& user, const std::string& path, uint64_t size) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
   nfs::Sattr sattr;
@@ -576,7 +576,7 @@ util::Status Vfs::Truncate(const UserContext& user, const std::string& path, uin
 
 util::Result<std::vector<std::string>> Vfs::ListDir(const UserContext& user,
                                                     const std::string& path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
 
@@ -616,14 +616,14 @@ util::Result<std::vector<std::string>> Vfs::ListDir(const UserContext& user,
 }
 
 util::Result<std::string> Vfs::Realpath(const UserContext& user, const std::string& path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
   return vnode.canonical.empty() ? std::string("/") : vnode.canonical;
 }
 
 util::Result<Vfs::FsUsage> Vfs::StatFs(const UserContext& user, const std::string& path) {
-  clock_->Advance(costs_->syscall_ns);
+  clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
   if (vnode.kind == Vnode::Kind::kSfsDir) {
@@ -657,7 +657,7 @@ util::Result<util::Bytes> OpenFile::Pread(uint64_t offset, uint32_t count) {
   if (!open_) {
     return util::FailedPrecondition("file is closed");
   }
-  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   // Reads must observe buffered writes: flush any overlap first.
   if (!wb_buf_.empty() && offset < wb_offset_ + wb_buf_.size() &&
       offset + count > wb_offset_) {
@@ -696,7 +696,7 @@ util::Status OpenFile::Pwrite(uint64_t offset, const util::Bytes& data) {
   if (!writable_) {
     return util::PermissionDenied("file not open for writing");
   }
-  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   ra_buf_.clear();  // Written data invalidates the read-ahead window.
 
   // Gather contiguous writes into larger WRITE RPCs.
@@ -732,7 +732,7 @@ util::Result<nfs::Fattr> OpenFile::Stat() {
   if (!open_) {
     return util::FailedPrecondition("file is closed");
   }
-  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   RETURN_IF_ERROR(FlushWrites());
   nfs::Fattr attr;
   nfs::Stat s = fs_->GetAttr(fh_, &attr);
@@ -746,7 +746,7 @@ util::Status OpenFile::SetAttr(const nfs::Sattr& sattr) {
   if (!open_) {
     return util::FailedPrecondition("file is closed");
   }
-  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   RETURN_IF_ERROR(FlushWrites());
   nfs::Fattr attr;
   return NfsError(fs_->SetAttr(fh_, creds_, sattr, &attr), "fsetattr");
@@ -757,7 +757,7 @@ util::Status OpenFile::Close() {
     return util::OkStatus();
   }
   open_ = false;
-  vfs_->clock_->Advance(vfs_->costs_->syscall_ns);
+  vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   RETURN_IF_ERROR(FlushWrites());
   if (dirty_) {
     // Flush buffered writes to stable storage on close, NFS3-style.

@@ -70,6 +70,27 @@ TEST(BenchSmokeTest, Fig5ThroughputOrdering) {
   EXPECT_LT(sfs / udp, 3.5);
 }
 
+TEST(BenchSmokeTest, CleanRunReportsZeroRetransmissionsViaRegistry) {
+  // The loss-masking machinery must be invisible on a clean link: the
+  // registry aggregates that the benchmarks report (link retransmissions
+  // + stale retries, duplicate-cache hits) all read zero.
+  for (Config config : {Config::kNfsUdp, Config::kSfs}) {
+    Testbed tb(config);
+    std::string dir = tb.WorkDir();
+    bench::WriteFile(&tb, dir + "/clean", bench::Content(16 * 1024, /*seed=*/7));
+    tb.DropClientCaches();
+    bench::ReadFile(&tb, dir + "/clean");
+    EXPECT_GT(tb.WireMessages(), 0u) << bench::ConfigName(config);
+    EXPECT_EQ(tb.Retransmissions(), 0u) << bench::ConfigName(config);
+    EXPECT_EQ(tb.DrcHits(), 0u) << bench::ConfigName(config);
+    EXPECT_EQ(tb.registry()->CounterValue("link.retransmissions"), 0u)
+        << bench::ConfigName(config);
+    EXPECT_EQ(tb.registry()->CounterValue("rpc.client.stale_retries"), 0u)
+        << bench::ConfigName(config);
+    EXPECT_EQ(tb.registry()->CounterValue("link.drops"), 0u) << bench::ConfigName(config);
+  }
+}
+
 TEST(BenchSmokeTest, MabOrderingAndCachingAblation) {
   auto total = [](Config c) {
     Testbed tb(c);
