@@ -8,6 +8,8 @@
 #ifndef SFS_SRC_NFS_API_H_
 #define SFS_SRC_NFS_API_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,27 @@ class FileSystemApi {
                        uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) = 0;
   virtual Stat FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) = 0;
   virtual Stat Commit(const FileHandle& fh) = 0;
+};
+
+// Asynchronous subset of FileSystemApi used for read-ahead and batched
+// prefetching over a pipelined transport: the call returns once the
+// request is in flight and the callback runs when the reply arrives —
+// typically while a later synchronous call is pumping the same channel.
+// A backend without real concurrency may run the callback synchronously
+// before returning.
+class AsyncFileOps {
+ public:
+  virtual ~AsyncFileOps() = default;
+
+  using ReadCallback = std::function<void(Stat stat, util::Bytes data, bool eof)>;
+  using LookupCallback = std::function<void(Stat stat, FileHandle fh, Fattr attr)>;
+  using AttrCallback = std::function<void(Stat stat, Fattr attr)>;
+
+  virtual void ReadAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                         uint32_t count, ReadCallback done) = 0;
+  virtual void LookupAsync(const FileHandle& dir, const std::string& name,
+                           const Credentials& cred, LookupCallback done) = 0;
+  virtual void GetAttrAsync(const FileHandle& fh, AttrCallback done) = 0;
 };
 
 }  // namespace nfs

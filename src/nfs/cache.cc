@@ -197,8 +197,113 @@ Stat CachingFs::Read(const FileHandle& fh, const Credentials& cred, uint64_t off
         EvictDataIfNeeded();
       }
     }
+    if (!*eof) {
+      // Issued last: completions can run while the async call is being
+      // submitted (a full send window pumps the channel), and they may
+      // mutate the caches this function was holding iterators into.
+      MaybeReadAhead(fh, cred, count);
+    }
   }
   return s;
+}
+
+void CachingFs::MaybeReadAhead(const FileHandle& fh, const Credentials& cred,
+                               uint32_t count) {
+  if (async_ops_ == nullptr || options_.read_ahead_chunks == 0 || count == 0 ||
+      !options_.enable_data_cache) {
+    return;
+  }
+  const std::string key = Key(fh);
+  for (uint32_t i = 0; i < options_.read_ahead_chunks; ++i) {
+    // Re-find per chunk: issuing a read can pump the channel and run
+    // completions that restructure both caches.
+    auto attr_it = attr_cache_.find(key);
+    auto data_it = data_cache_.find(key);
+    if (attr_it == attr_cache_.end() || data_it == data_cache_.end()) {
+      return;
+    }
+    // Skip past chunks already in flight for this file; their replies
+    // complete in issue order and each appends exactly at its offset.
+    uint64_t next_offset = data_it->second.content.size();
+    while (read_ahead_inflight_.count({key, next_offset}) != 0) {
+      next_offset += count;
+    }
+    if (next_offset >= attr_it->second.attr.size ||
+        next_offset + count > options_.data_cache_file_limit) {
+      return;
+    }
+    const uint64_t expected_mtime = data_it->second.mtime_ns;
+    read_ahead_inflight_.insert({key, next_offset});
+    ++read_aheads_issued_;
+    async_ops_->ReadAsync(
+        fh, cred, next_offset, count,
+        [this, key, next_offset, expected_mtime](Stat s, util::Bytes data, bool eof) {
+          (void)eof;
+          read_ahead_inflight_.erase({key, next_offset});
+          if (s != Stat::kOk || data.empty()) {
+            return;
+          }
+          auto it = data_cache_.find(key);
+          if (it == data_cache_.end()) {
+            return;
+          }
+          DataEntry& entry = it->second;
+          // The prefix must not have moved under us: same validator,
+          // and the chunk still lands exactly at the sequential edge.
+          if (entry.mtime_ns != expected_mtime ||
+              entry.content.size() != next_offset ||
+              entry.content.size() + data.size() > options_.data_cache_file_limit) {
+            return;
+          }
+          util::Append(&entry.content, data);
+          data_cache_bytes_ += data.size();
+          ++read_ahead_fills_;
+          EvictDataIfNeeded();
+        });
+  }
+}
+
+void CachingFs::PrefetchLookups(const FileHandle& dir, const std::vector<std::string>& names,
+                                const Credentials& cred) {
+  if (async_ops_ == nullptr) {
+    return;
+  }
+  for (const std::string& name : names) {
+    auto key = std::make_pair(Key(dir), name);
+    auto it = name_cache_.find(key);
+    if (it != name_cache_.end() && it->second.expiry_ns > clock_->now_ns()) {
+      continue;
+    }
+    ++prefetches_issued_;
+    async_ops_->LookupAsync(dir, name, cred,
+                            [this, key](Stat s, FileHandle fh, Fattr attr) {
+                              if (s == Stat::kOk) {
+                                StoreAttr(fh, attr);
+                                name_cache_[key] = NameEntry{fh, ExpiryFor(attr)};
+                              } else if (s == Stat::kNoEnt) {
+                                name_cache_.erase(key);
+                              }
+                            });
+  }
+}
+
+void CachingFs::PrefetchAttrs(const std::vector<FileHandle>& handles) {
+  if (async_ops_ == nullptr) {
+    return;
+  }
+  for (const FileHandle& fh : handles) {
+    auto it = attr_cache_.find(Key(fh));
+    if (it != attr_cache_.end() && it->second.expiry_ns > clock_->now_ns()) {
+      continue;
+    }
+    ++prefetches_issued_;
+    FileHandle copy = fh;
+    async_ops_->GetAttrAsync(fh, [this, copy](Stat s, Fattr attr) {
+      if (s == Stat::kOk) {
+        StoreAttr(copy, attr);
+      }
+    });
+  }
 }
 
 Stat CachingFs::Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,

@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "src/nfs/api.h"
 #include "src/sim/clock.h"
@@ -30,6 +32,10 @@ struct CacheOptions {
   bool enable_data_cache = true;
   uint64_t data_cache_file_limit = 1 << 20;
   uint64_t data_cache_total_limit = 64 << 20;
+  // Pipelined read-ahead: on a sequential-fill read miss, prefetch up to
+  // this many further chunks of the same size through the async backend
+  // (0 disables; requires set_async_ops).
+  uint32_t read_ahead_chunks = 0;
 };
 
 class CachingFs : public FileSystemApi {
@@ -73,11 +79,28 @@ class CachingFs : public FileSystemApi {
   void InvalidateHandle(const FileHandle& fh);
   void InvalidateAll();
 
+  // Installs the asynchronous backend surface for read-ahead and
+  // prefetch (typically the same NfsClient as `backend`, wired to a
+  // pipelined channel).  Completions run while later synchronous calls
+  // pump that channel and re-validate the cache state before filling.
+  void set_async_ops(AsyncFileOps* ops) { async_ops_ = ops; }
+
+  // Batched name prefetch: one async LOOKUP per not-fresh name; replies
+  // warm the name/attr caches while the caller's own traffic proceeds.
+  void PrefetchLookups(const FileHandle& dir, const std::vector<std::string>& names,
+                       const Credentials& cred);
+  // Batched attribute refresh (async GETATTR per stale handle).
+  void PrefetchAttrs(const std::vector<FileHandle>& handles);
+
   // Cache-effectiveness counters.
   uint64_t attr_hits() const { return attr_hits_; }
   uint64_t attr_misses() const { return attr_misses_; }
   uint64_t access_hits() const { return access_hits_; }
   uint64_t data_hits() const { return data_hits_; }
+  // Read-ahead / prefetch instrumentation.
+  uint64_t read_aheads_issued() const { return read_aheads_issued_; }
+  uint64_t read_ahead_fills() const { return read_ahead_fills_; }
+  uint64_t prefetches_issued() const { return prefetches_issued_; }
 
  private:
   struct AttrEntry {
@@ -104,10 +127,13 @@ class CachingFs : public FileSystemApi {
   void ForgetData(const std::string& key);
   void ForgetParentAttrs(const FileHandle& dir);
   void EvictDataIfNeeded();
+  // Issues async reads past the cached prefix after a sequential fill.
+  void MaybeReadAhead(const FileHandle& fh, const Credentials& cred, uint32_t count);
 
   FileSystemApi* backend_;
   sim::Clock* clock_;
   CacheOptions options_;
+  AsyncFileOps* async_ops_ = nullptr;
 
   std::map<std::string, AttrEntry> attr_cache_;
   std::map<std::pair<std::string, std::string>, NameEntry> name_cache_;
@@ -115,10 +141,17 @@ class CachingFs : public FileSystemApi {
   std::map<std::string, DataEntry> data_cache_;
   uint64_t data_cache_bytes_ = 0;
 
+  // Read-ahead chunks in flight, keyed by (file key, offset); guards
+  // against duplicate issues while a chunk's reply is pending.
+  std::set<std::pair<std::string, uint64_t>> read_ahead_inflight_;
+
   uint64_t attr_hits_ = 0;
   uint64_t attr_misses_ = 0;
   uint64_t access_hits_ = 0;
   uint64_t data_hits_ = 0;
+  uint64_t read_aheads_issued_ = 0;
+  uint64_t read_ahead_fills_ = 0;
+  uint64_t prefetches_issued_ = 0;
 };
 
 }  // namespace nfs

@@ -358,6 +358,123 @@ Stat NfsClient::Commit(const FileHandle& fh) {
   return Invoke(kProcCommit, enc.Take(), &results);
 }
 
+void NfsClient::ReadAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                          uint32_t count, ReadCallback done) {
+  if (!async_call_) {
+    util::Bytes data;
+    bool eof = false;
+    Stat s = Read(fh, cred, offset, count, &data, &eof);
+    done(s, std::move(data), eof);
+    return;
+  }
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(fh);
+  enc.PutUint64(offset);
+  enc.PutUint32(count);
+  ++calls_sent_;
+  ++async_calls_sent_;
+  async_call_(kProcRead, enc.Take(),
+              [done = std::move(done)](util::Result<util::Bytes> reply) {
+                if (!reply.ok()) {
+                  done(Stat::kIo, {}, false);
+                  return;
+                }
+                xdr::Decoder dec(std::move(reply).value());
+                auto raw = dec.GetUint32();
+                if (!raw.ok()) {
+                  done(Stat::kIo, {}, false);
+                  return;
+                }
+                Stat s = DecodeStat(raw.value());
+                if (s != Stat::kOk) {
+                  done(s, {}, false);
+                  return;
+                }
+                auto d = dec.GetOpaque();
+                auto e = dec.GetBool();
+                if (!d.ok() || !e.ok()) {
+                  done(Stat::kIo, {}, false);
+                  return;
+                }
+                done(Stat::kOk, std::move(d).value(), e.value());
+              });
+}
+
+void NfsClient::LookupAsync(const FileHandle& dir, const std::string& name,
+                            const Credentials& cred, LookupCallback done) {
+  if (!async_call_) {
+    FileHandle out;
+    Fattr attr;
+    Stat s = Lookup(dir, name, cred, &out, &attr);
+    done(s, std::move(out), attr);
+    return;
+  }
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(dir);
+  enc.PutString(name);
+  ++calls_sent_;
+  ++async_calls_sent_;
+  async_call_(kProcLookup, enc.Take(),
+              [done = std::move(done)](util::Result<util::Bytes> reply) {
+                if (!reply.ok()) {
+                  done(Stat::kIo, {}, Fattr{});
+                  return;
+                }
+                xdr::Decoder dec(std::move(reply).value());
+                auto raw = dec.GetUint32();
+                if (!raw.ok()) {
+                  done(Stat::kIo, {}, Fattr{});
+                  return;
+                }
+                Stat s = DecodeStat(raw.value());
+                if (s != Stat::kOk) {
+                  done(s, {}, Fattr{});
+                  return;
+                }
+                FileHandle out;
+                Fattr attr;
+                s = ParseHandleAttr(dec.TakeRemaining(), &out, &attr);
+                done(s, std::move(out), attr);
+              });
+}
+
+void NfsClient::GetAttrAsync(const FileHandle& fh, AttrCallback done) {
+  if (!async_call_) {
+    Fattr attr;
+    Stat s = GetAttr(fh, &attr);
+    done(s, attr);
+    return;
+  }
+  NFS_CLIENT_ENCODER(enc, Credentials::Anonymous());
+  enc.PutOpaque(fh);
+  ++calls_sent_;
+  ++async_calls_sent_;
+  async_call_(kProcGetAttr, enc.Take(),
+              [done = std::move(done)](util::Result<util::Bytes> reply) {
+                if (!reply.ok()) {
+                  done(Stat::kIo, Fattr{});
+                  return;
+                }
+                xdr::Decoder dec(std::move(reply).value());
+                auto raw = dec.GetUint32();
+                if (!raw.ok()) {
+                  done(Stat::kIo, Fattr{});
+                  return;
+                }
+                Stat s = DecodeStat(raw.value());
+                if (s != Stat::kOk) {
+                  done(s, Fattr{});
+                  return;
+                }
+                auto parsed = Fattr::Decode(&dec);
+                if (!parsed.ok()) {
+                  done(Stat::kIo, Fattr{});
+                  return;
+                }
+                done(Stat::kOk, parsed.value());
+              });
+}
+
 #undef NFS_CLIENT_ENCODER
 
 }  // namespace nfs

@@ -18,7 +18,16 @@ namespace nfs {
 using CallFn =
     std::function<util::Result<util::Bytes>(uint32_t proc, const util::Bytes& args)>;
 
-class NfsClient : public FileSystemApi {
+// Completion for an asynchronous call: the marshaled results, or the
+// transport error.
+using AsyncReplyFn = std::function<void(util::Result<util::Bytes>)>;
+
+// Issues one NFS call without waiting for the reply; `done` runs when
+// the reply arrives (a pipelined transport overlaps the round trips).
+using AsyncCallFn =
+    std::function<void(uint32_t proc, const util::Bytes& args, AsyncReplyFn done)>;
+
+class NfsClient : public FileSystemApi, public AsyncFileOps {
  public:
   // Writes the per-request authentication header.  Plain NFS 3 marshals
   // the caller's claimed credentials (AUTH_UNIX — trusted by the server,
@@ -63,8 +72,23 @@ class NfsClient : public FileSystemApi {
   Stat FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) override;
   Stat Commit(const FileHandle& fh) override;
 
+  // Installs the pipelined call path used by the AsyncFileOps methods.
+  // Without one, the async methods degrade to the synchronous CallFn and
+  // run their callback before returning.
+  void set_async_call(AsyncCallFn async_call) { async_call_ = std::move(async_call); }
+  bool supports_async() const { return static_cast<bool>(async_call_); }
+
+  // AsyncFileOps (read-ahead / prefetch surface for CachingFs).
+  void ReadAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                 uint32_t count, ReadCallback done) override;
+  void LookupAsync(const FileHandle& dir, const std::string& name, const Credentials& cred,
+                   LookupCallback done) override;
+  void GetAttrAsync(const FileHandle& fh, AttrCallback done) override;
+
   // Number of calls actually sent (cache-effect instrumentation).
   uint64_t calls_sent() const { return calls_sent_; }
+  // Calls issued through the asynchronous path.
+  uint64_t async_calls_sent() const { return async_calls_sent_; }
 
   // Last transport-level (non-NFS) error, if a call returned kIo.
   const util::Status& last_transport_error() const { return last_transport_error_; }
@@ -75,8 +99,10 @@ class NfsClient : public FileSystemApi {
   Stat Invoke(uint32_t proc, const util::Bytes& args, util::Bytes* results);
 
   CallFn call_;
+  AsyncCallFn async_call_;
   HeaderEncoder header_encoder_;
   uint64_t calls_sent_ = 0;
+  uint64_t async_calls_sent_ = 0;
   util::Status last_transport_error_;
 };
 

@@ -1,5 +1,8 @@
 #include "src/rpc/rpc.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/util/log.h"
 #include "src/xdr/xdr.h"
 
@@ -169,11 +172,38 @@ Client::Client(Transport* transport, uint32_t prog, obs::Registry* registry,
       namer_(std::move(namer)),
       registry_(registry != nullptr ? registry : obs::Registry::Default()),
       tracer_(&registry_->tracer()),
-      m_stale_retries_(registry_->GetCounter("rpc.client.stale_retries")) {
+      m_stale_retries_(registry_->GetCounter("rpc.client.stale_retries")),
+      m_unmatched_replies_(registry_->GetCounter("rpc.client.unmatched_replies")),
+      m_window_occupancy_sum_(registry_->GetCounter("rpc.client.window_occupancy_sum")),
+      m_window_samples_(registry_->GetCounter("rpc.client.window_samples")),
+      m_queue_wait_(registry_->GetHistogram("rpc.client.queue_wait_ns")) {
   metrics_.Init(registry_, "rpc.client." + prog_name_);
 }
 
+void Client::set_window(uint32_t window) {
+  window_ = std::clamp<uint32_t>(window, 1, kMaxSendWindow);
+}
+
+bool Client::UsePipelining() const {
+  return window_ > 1 && transport_->SupportsPipelining();
+}
+
 util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
+  if (!UsePipelining()) {
+    return LegacyCall(proc, args);
+  }
+  // Submit through the window and pump until this call's reply lands;
+  // earlier async calls complete (and run their callbacks) on the way.
+  std::optional<util::Result<util::Bytes>> out;
+  CallAsync(proc, args,
+            [&out](util::Result<util::Bytes> result) { out = std::move(result); });
+  while (!out.has_value()) {
+    PumpOnce();
+  }
+  return std::move(*out);
+}
+
+util::Result<util::Bytes> Client::LegacyCall(uint32_t proc, const util::Bytes& args) {
   uint32_t xid = next_xid_++;
   uint32_t seqno = next_seqno_++;
   ++calls_made_;
@@ -273,6 +303,11 @@ util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
       continue;
     }
     if (reply_xid.value() != xid) {
+      // Lookup-or-count: with a single outstanding call the lookup is
+      // just an equality check, but the discard is never silent — the
+      // unmatched-replies counter records every one.
+      ++unmatched_replies_;
+      m_unmatched_replies_->Increment();
       last_error = util::Unavailable("RPC: stale reply xid, retransmitting");
       emit(obs::TraceEvent::Kind::kClientStaleReply, attempt, 0,
            "reply xid " + std::to_string(reply_xid.value()));
@@ -299,6 +334,278 @@ util::Result<util::Bytes> Client::Call(uint32_t proc, const util::Bytes& args) {
   }
   finish(false, 0);
   return util::Unavailable("RPC: gave up waiting for a fresh reply: " + last_error.message());
+}
+
+// --- Pipelined path ---------------------------------------------------------
+
+void Client::EmitEvent(obs::TraceEvent::Kind kind, const PendingCall& call,
+                       uint64_t wire_bytes, const std::string& note) {
+  if (!tracer_->active()) {
+    return;
+  }
+  sim::Clock* clock = transport_->clock();
+  obs::TraceEvent event;
+  event.kind = kind;
+  event.layer = "rpc";
+  event.prog = prog_;
+  event.proc = call.proc;
+  event.proc_name = call.proc_name;
+  event.xid = call.xid;
+  event.seqno = call.seqno;
+  event.wire_bytes = wire_bytes;
+  event.t_send_ns = call.t_call_ns;
+  event.t_recv_ns = clock != nullptr ? clock->now_ns() : 0;
+  event.attempt = call.attempt;
+  event.note = note;
+  tracer_->Emit(event);
+}
+
+void Client::Transmit(PendingCall* call) {
+  call->pm->bytes_sent->Increment(call->wire.size());
+  const uint64_t token = transport_->Submit(call->wire);
+  token_to_xid_[token] = call->xid;
+  sim::Clock* clock = transport_->clock();
+  call->deadline_ns = (clock != nullptr ? clock->now_ns() : 0) + call->rto_ns;
+}
+
+void Client::CallAsync(uint32_t proc, const util::Bytes& args, Callback done) {
+  if (!UsePipelining()) {
+    // Stop-and-wait fallback: complete synchronously.
+    done(LegacyCall(proc, args));
+    return;
+  }
+  sim::Clock* clock = transport_->clock();
+  // A new call may enter only when (a) a window slot is free and (b) its
+  // seqno would stay within the server's duplicate-request window of the
+  // oldest outstanding call.  (b) matters because completions arrive out
+  // of order: while the oldest call waits out its retransmission timer,
+  // newer calls keep completing and freeing slots, so the send window
+  // alone does not bound the seqno spread — without this hold, the DRC
+  // can slide past the stuck seqno and reject its retransmission.
+  // pending_ is keyed by xid, and xids and seqnos advance together, so
+  // the first entry is the oldest seqno.  kDrcWindow/2 leaves the server
+  // margin for retransmitted copies and matches kMaxSendWindow, so the
+  // hold only ever engages when completions have outrun the oldest call
+  // by more than a full window.
+  auto may_issue = [this] {
+    return pending_.size() < window_ &&
+           (pending_.empty() ||
+            next_seqno_ - pending_.begin()->second.seqno < kDrcWindow / 2);
+  };
+  if (!may_issue()) {
+    // Pump until the call may enter.  The wait is real queueing delay the
+    // caller experiences, so record it.
+    const uint64_t wait_start = clock != nullptr ? clock->now_ns() : 0;
+    while (!may_issue()) {
+      PumpOnce();
+    }
+    if (clock != nullptr) {
+      m_queue_wait_->Record(clock->now_ns() - wait_start);
+    }
+  } else {
+    m_queue_wait_->Record(0);
+  }
+
+  const sim::RetryPolicy* policy = transport_->retry_policy();
+  sim::RetryPolicy default_policy;
+  if (policy == nullptr) {
+    policy = &default_policy;
+  }
+
+  uint32_t xid = next_xid_++;
+  uint32_t seqno = next_seqno_++;
+  ++calls_made_;
+  xdr::Encoder enc;
+  enc.PutUint32(xid);
+  enc.PutUint32(seqno);
+  enc.PutUint32(prog_);
+  enc.PutUint32(proc);
+  enc.PutOpaque(args);
+
+  PendingCall call;
+  call.xid = xid;
+  call.seqno = seqno;
+  call.proc = proc;
+  call.proc_name = namer_ ? namer_(proc) : std::to_string(proc);
+  call.wire = enc.Take();
+  call.t_call_ns = clock != nullptr ? clock->now_ns() : 0;
+  call.rto_ns = policy->initial_rto_ns;
+  call.pm = metrics_.Get(proc, call.proc_name);
+  call.pm->calls->Increment();
+  call.done = std::move(done);
+
+  auto [it, inserted] = pending_.emplace(xid, std::move(call));
+  (void)inserted;
+  EmitEvent(obs::TraceEvent::Kind::kClientCall, it->second, it->second.wire.size(), "");
+  Transmit(&it->second);
+  m_window_occupancy_sum_->Increment(pending_.size());
+  m_window_samples_->Increment();
+}
+
+void Client::Drain() {
+  while (!pending_.empty()) {
+    PumpOnce();
+  }
+}
+
+void Client::PumpOnce() {
+  if (pending_.empty()) {
+    return;
+  }
+  uint64_t deadline = pending_.begin()->second.deadline_ns;
+  for (const auto& [xid, call] : pending_) {
+    deadline = std::min(deadline, call.deadline_ns);
+  }
+  auto delivery = transport_->AwaitNext(deadline);
+  if (delivery.has_value()) {
+    OnDelivery(std::move(*delivery));
+    return;
+  }
+
+  // The earliest retransmission timer fired with nothing on the wire:
+  // resend (or give up on) every expired call.
+  const sim::RetryPolicy* policy = transport_->retry_policy();
+  sim::RetryPolicy default_policy;
+  if (policy == nullptr) {
+    policy = &default_policy;
+  }
+  sim::Clock* clock = transport_->clock();
+  const uint64_t now = clock != nullptr ? clock->now_ns() : deadline;
+  std::vector<uint32_t> expired;
+  for (const auto& [xid, call] : pending_) {
+    if (call.deadline_ns <= now) {
+      expired.push_back(xid);
+    }
+  }
+  const uint32_t attempts = policy->max_transmissions == 0 ? 1 : policy->max_transmissions;
+  for (uint32_t xid : expired) {
+    auto it = pending_.find(xid);
+    if (it == pending_.end()) {
+      continue;
+    }
+    PendingCall& call = it->second;
+    if (call.attempt + 1 >= attempts) {
+      Complete(xid, util::Unavailable("RPC: retry budget exhausted waiting for reply"));
+      continue;
+    }
+    ++call.attempt;
+    call.rto_ns = std::min(call.rto_ns * policy->backoff_factor, policy->max_rto_ns);
+    // Timer resends count as link retransmissions (we cannot tell loss
+    // from reordering here), not as stale_retries — Testbed sums the
+    // two, so attributing to both would double-count.
+    ++retransmissions_;
+    transport_->NoteRetransmission();
+    call.pm->retransmits->Increment();
+    EmitEvent(obs::TraceEvent::Kind::kClientRetransmit, call, call.wire.size(),
+              "retransmission timer expired");
+    Transmit(&call);
+  }
+}
+
+void Client::OnDelivery(sim::Delivery delivery) {
+  // Attribute service-level verdicts through the submission token (the
+  // response bytes, if any, are not a parseable reply).
+  uint32_t token_xid = 0;
+  if (auto tok = token_to_xid_.find(delivery.token); tok != token_to_xid_.end()) {
+    token_xid = tok->second;
+    token_to_xid_.erase(tok);
+  }
+  if (!delivery.status.ok()) {
+    if (pending_.count(token_xid) != 0) {
+      Complete(token_xid, delivery.status);
+    }
+    return;
+  }
+
+  auto count_unmatched = [&](uint32_t xid, const std::string& note) {
+    ++unmatched_replies_;
+    m_unmatched_replies_->Increment();
+    if (tracer_->active()) {
+      sim::Clock* clock = transport_->clock();
+      obs::TraceEvent event;
+      event.kind = obs::TraceEvent::Kind::kClientStaleReply;
+      event.layer = "rpc";
+      event.prog = prog_;
+      event.xid = xid;
+      event.wire_bytes = delivery.response.size();
+      event.t_recv_ns = clock != nullptr ? clock->now_ns() : 0;
+      event.note = note;
+      tracer_->Emit(event);
+    }
+  };
+
+  xdr::Decoder dec(std::move(delivery.response));
+  auto reply_xid = dec.GetUint32();
+  if (!reply_xid.ok()) {
+    count_unmatched(0, "truncated reply header");
+    return;
+  }
+  auto it = pending_.find(reply_xid.value());
+  if (it == pending_.end()) {
+    // No outstanding call wants this xid: a late duplicate of an already
+    // completed call (retransmit raced the reply).  Counted, not silent.
+    count_unmatched(reply_xid.value(), "no outstanding call for xid");
+    return;
+  }
+
+  auto status_word = dec.GetUint32();
+  if (!status_word.ok()) {
+    // Matched but unparseable: discard and let the timer resend; the
+    // server DRC replays the intact reply.
+    count_unmatched(reply_xid.value(), "truncated reply body");
+    return;
+  }
+  if (status_word.value() == kReplyAccepted) {
+    auto results = dec.GetOpaque();
+    if (!results.ok() || !dec.AtEnd()) {
+      count_unmatched(reply_xid.value(), "malformed accepted reply");
+      return;
+    }
+    Complete(reply_xid.value(), std::move(results).value());
+    return;
+  }
+  auto code = dec.GetUint32();
+  auto message = dec.GetString();
+  if (!code.ok() || !message.ok()) {
+    count_unmatched(reply_xid.value(), "malformed error reply");
+    return;
+  }
+  uint32_t clamped = code.value();
+  if (clamped == 0 || clamped > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
+    clamped = static_cast<uint32_t>(util::ErrorCode::kInternal);
+  }
+  Complete(reply_xid.value(),
+           util::Status(static_cast<util::ErrorCode>(clamped), message.value()));
+}
+
+void Client::Complete(uint32_t xid, util::Result<util::Bytes> result) {
+  auto it = pending_.find(xid);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingCall call = std::move(it->second);
+  pending_.erase(it);
+  // Retire every submission token still pointing at this call (dropped
+  // copies never produced a delivery to clean themselves up).
+  for (auto tok = token_to_xid_.begin(); tok != token_to_xid_.end();) {
+    tok = tok->second == xid ? token_to_xid_.erase(tok) : std::next(tok);
+  }
+  sim::Clock* clock = transport_->clock();
+  if (result.ok()) {
+    call.pm->bytes_received->Increment(result.value().size());
+    EmitEvent(obs::TraceEvent::Kind::kClientReply, call, result.value().size(), "");
+  } else {
+    call.pm->errors->Increment();
+  }
+  if (clock != nullptr) {
+    // Wall-clock latency of the whole call.  Per-category slices are not
+    // recorded here: overlapping calls share elapsed time, so a per-call
+    // category diff would double-charge (the legacy path keeps them).
+    call.pm->latency->Record(clock->now_ns() - call.t_call_ns);
+  }
+  if (call.done) {
+    call.done(std::move(result));
+  }
 }
 
 }  // namespace rpc

@@ -14,9 +14,18 @@
 // Dispatcher keeps a duplicate-request cache (DRC) keyed by the call's
 // wire sequence number — a redelivered request replays the cached reply
 // instead of re-executing a possibly non-idempotent handler.  The Client
-// discards replies whose xid does not match the outstanding call (stale
-// messages from network reordering) and retransmits until the matching
-// reply arrives or the retry budget runs out.
+// matches replies to outstanding calls by xid; a reply matching no
+// outstanding call (a late duplicate from network reordering) is counted
+// and discarded, and each call retransmits on its own timer until the
+// matching reply arrives or the retry budget runs out.
+//
+// Pipelining: set_window(n > 1) lets the Client keep up to n calls in
+// flight over a transport that supports Submit/AwaitNext, overlapping
+// their round trips.  Replies may arrive out of order (the xid map
+// reassociates them); each in-flight call carries its own backed-off
+// retransmission timer and resends the identical wire bytes, so the
+// server-side DRC semantics are unchanged at any window size.  The
+// default window of 1 keeps the original stop-and-wait path.
 #ifndef SFS_SRC_RPC_RPC_H_
 #define SFS_SRC_RPC_RPC_H_
 
@@ -36,6 +45,11 @@ namespace rpc {
 // retransmitted request older than this gets an error instead of a
 // replay (with a synchronous client it would have to be ancient).
 inline constexpr uint32_t kDrcWindow = 64;
+
+// Largest send window a pipelined client may use.  Kept well under
+// kDrcWindow so every in-flight seqno (and a margin of recently
+// completed ones) still has a cached reply a retransmit can hit.
+inline constexpr uint32_t kMaxSendWindow = 32;
 
 // Server-side handler for one RPC program.
 using ProgramHandler =
@@ -99,6 +113,19 @@ class Transport {
   // lets the client charge virtual time while waiting out stale replies.
   virtual sim::Clock* clock() { return nullptr; }
   virtual const sim::RetryPolicy* retry_policy() const { return nullptr; }
+
+  // Pipelining surface (see sim::Link): transports that can overlap
+  // calls implement these; the default keeps callers on Roundtrip.
+  virtual bool SupportsPipelining() const { return false; }
+  virtual uint64_t Submit(const util::Bytes& request) {
+    (void)request;
+    return 0;
+  }
+  virtual std::optional<sim::Delivery> AwaitNext(uint64_t deadline_ns) {
+    (void)deadline_ns;
+    return std::nullopt;
+  }
+  virtual void NoteRetransmission() {}
 };
 
 // Adapts sim::Link to Transport.
@@ -110,6 +137,12 @@ class LinkTransport : public Transport {
   }
   sim::Clock* clock() override { return link_->clock(); }
   const sim::RetryPolicy* retry_policy() const override { return &link_->retry_policy(); }
+  bool SupportsPipelining() const override { return true; }
+  uint64_t Submit(const util::Bytes& request) override { return link_->Submit(request); }
+  std::optional<sim::Delivery> AwaitNext(uint64_t deadline_ns) override {
+    return link_->AwaitNext(deadline_ns);
+  }
+  void NoteRetransmission() override { link_->NoteRetransmission(); }
 
  private:
   sim::Link* link_;
@@ -127,27 +160,91 @@ class Client {
 
   // Synchronous call.  Errors from the transport (kUnavailable,
   // kSecurityError) and from the remote handler both surface as Status.
+  // With a window > 1 this submits through the pipelined path and pumps
+  // deliveries until this call completes — earlier async calls' replies
+  // are processed (and their callbacks run) along the way.
   util::Result<util::Bytes> Call(uint32_t proc, const util::Bytes& args);
+
+  // Completion for an asynchronous call: the decoded results, or the
+  // transport/handler error.  Runs inside a later Call/CallAsync/Drain.
+  using Callback = std::function<void(util::Result<util::Bytes>)>;
+
+  // Starts a call without waiting for its reply.  If the window is full,
+  // blocks (pumping deliveries) until a slot frees; the wait is recorded
+  // in the rpc.client.queue_wait_ns histogram.  Requires a pipelining
+  // transport and window > 1.
+  void CallAsync(uint32_t proc, const util::Bytes& args, Callback done);
+
+  // Pumps until every outstanding async call has completed.
+  void Drain();
+
+  // Sliding send window: 1 (default) is stop-and-wait; larger values
+  // pipeline up to `window` concurrent calls.  Clamped to kMaxSendWindow.
+  void set_window(uint32_t window);
+  uint32_t window() const { return window_; }
+  uint64_t in_flight() const { return pending_.size(); }
 
   uint64_t calls_made() const { return calls_made_; }
   // Calls resent because the reply in hand was stale (wrong xid).
   // Per-instance shim; the registry's rpc.client.stale_retries counter
   // aggregates the same events across clients.
   uint64_t retransmissions() const { return retransmissions_; }
+  // Replies that matched no outstanding call (late duplicates from
+  // reordering); aggregated in rpc.client.unmatched_replies.
+  uint64_t unmatched_replies() const { return unmatched_replies_; }
 
  private:
+  struct PendingCall {
+    uint32_t xid = 0;
+    uint32_t seqno = 0;
+    uint32_t proc = 0;
+    std::string proc_name;
+    util::Bytes wire;  // Sealed once; retransmissions resend these bytes.
+    uint64_t t_call_ns = 0;
+    uint64_t deadline_ns = 0;
+    uint64_t rto_ns = 0;
+    uint32_t attempt = 0;
+    obs::ProcMetrics* pm = nullptr;
+    Callback done;
+  };
+
+  bool UsePipelining() const;
+  // Sends (or resends) a pending call and arms its timer.
+  void Transmit(PendingCall* call);
+  // Waits for the next delivery or the earliest retransmission deadline;
+  // processes whichever fires.  Returns after at most one event.
+  void PumpOnce();
+  // Handles one delivered message: match by xid, complete or count.
+  void OnDelivery(sim::Delivery delivery);
+  // Removes the call from the window and runs its callback.
+  void Complete(uint32_t xid, util::Result<util::Bytes> result);
+  void EmitEvent(obs::TraceEvent::Kind kind, const PendingCall& call,
+                 uint64_t wire_bytes, const std::string& note);
+  util::Result<util::Bytes> LegacyCall(uint32_t proc, const util::Bytes& args);
+
   Transport* transport_;
   uint32_t prog_;
   std::string prog_name_;
   ProcNamer namer_;
   uint32_t next_xid_ = 1;
   uint32_t next_seqno_ = 1;
+  uint32_t window_ = 1;
   uint64_t calls_made_ = 0;
   uint64_t retransmissions_ = 0;
+  uint64_t unmatched_replies_ = 0;
+
+  // Outstanding pipelined calls by xid, plus the submission-token map
+  // used to attribute service-level error deliveries.
+  std::map<uint32_t, PendingCall> pending_;
+  std::map<uint64_t, uint32_t> token_to_xid_;
 
   obs::Registry* registry_;
   obs::Tracer* tracer_;
   obs::Counter* m_stale_retries_;
+  obs::Counter* m_unmatched_replies_;
+  obs::Counter* m_window_occupancy_sum_;
+  obs::Counter* m_window_samples_;
+  obs::Histogram* m_queue_wait_;
   obs::ProcMetricsTable metrics_;
 };
 

@@ -1,5 +1,8 @@
 #include "src/sfs/client.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/sfs/idmap.h"
 #include "src/util/log.h"
 #include "src/xdr/xdr.h"
@@ -127,6 +130,11 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   }
   mount->tracer_ = &registry_->tracer();
   mount->m_stale_retries_ = registry_->GetCounter("rpc.client.stale_retries");
+  mount->m_unmatched_replies_ = registry_->GetCounter("rpc.client.unmatched_replies");
+  mount->m_window_occupancy_sum_ = registry_->GetCounter("rpc.client.window_occupancy_sum");
+  mount->m_window_samples_ = registry_->GetCounter("rpc.client.window_samples");
+  mount->m_queue_wait_ = registry_->GetHistogram("rpc.client.queue_wait_ns");
+  mount->window_ = std::clamp(options_.window, 1u, rpc::kMaxSendWindow);
   mount->nfs_metrics_.Init(registry_, "rpc.client.NFS3");
   mount->ctl_metrics_.Init(registry_, "rpc.client.SFSCTL");
 
@@ -236,7 +244,18 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   nfs::CacheOptions cache_options;
   cache_options.use_leases = options_.enhanced_caching;
   cache_options.attr_timeout_ns = options_.attr_timeout_ns;
+  if (mp->window_ > 1) {
+    // Pipelined channel: overlap sequential read misses with read-ahead.
+    mp->nfs_client_->set_async_call(
+        [mp](uint32_t proc, const util::Bytes& args, nfs::AsyncReplyFn done) {
+          mp->CallAsync(nfs::kNfsProgram, proc, args, std::move(done));
+        });
+    cache_options.read_ahead_chunks = 2;
+  }
   mp->cache_ = std::make_unique<nfs::CachingFs>(mp->nfs_client_.get(), clock_, cache_options);
+  if (mp->window_ > 1) {
+    mp->cache_->set_async_ops(mp->nfs_client_.get());
+  }
 
   if (options_.enhanced_caching) {
     nfs::CachingFs* cache = mp->cache_.get();
@@ -254,6 +273,20 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
 
 util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t proc,
                                                       const util::Bytes& args) {
+  if (window_ <= 1) {
+    return LegacyCall(prog, proc, args);
+  }
+  std::optional<util::Result<util::Bytes>> out;
+  CallAsync(prog, proc, args,
+            [&out](util::Result<util::Bytes> result) { out = std::move(result); });
+  while (!out.has_value()) {
+    PumpOnce();
+  }
+  return std::move(*out);
+}
+
+util::Result<util::Bytes> SfsClient::MountPoint::LegacyCall(uint32_t prog, uint32_t proc,
+                                                            const util::Bytes& args) {
   // Build the RPC message.
   uint32_t xid = next_xid_++;
   xdr::Encoder call;
@@ -353,9 +386,30 @@ util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t pr
       finish(false, 0);
       return raw_reply.status();
     }
-    auto sealed_reply = Unframe(kMsgEncrypted, raw_reply.value());
-    if (!sealed_reply.ok()) {
-      last_error = sealed_reply.status();
+    auto frame_payload = Unframe(kMsgEncrypted, raw_reply.value());
+    if (!frame_payload.ok()) {
+      last_error = frame_payload.status();
+      emit(obs::TraceEvent::Kind::kClientStaleReply, attempt, raw_reply->size(),
+           last_error.message());
+      continue;
+    }
+    // The reply frame echoes the request's wire seqno in cleartext
+    // (docs/PROTOCOL.md §10), so a stale duplicate is caught before the
+    // cipher is touched.
+    xdr::Decoder frame_dec(frame_payload.value());
+    auto echo_seqno = frame_dec.GetUint32();
+    auto sealed_reply = frame_dec.GetOpaque();
+    if (!echo_seqno.ok() || !sealed_reply.ok() || !frame_dec.AtEnd()) {
+      last_error = util::SecurityError("malformed encrypted reply frame");
+      emit(obs::TraceEvent::Kind::kClientStaleReply, attempt, raw_reply->size(),
+           last_error.message());
+      continue;
+    }
+    if (echo_seqno.value() != wire_seqno) {
+      ++unmatched_replies_;
+      m_unmatched_replies_->Increment();
+      last_error = util::Unavailable("stale reply for seqno " +
+                                     std::to_string(echo_seqno.value()));
       emit(obs::TraceEvent::Kind::kClientStaleReply, attempt, raw_reply->size(),
            last_error.message());
       continue;
@@ -414,6 +468,304 @@ util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t pr
   }
   finish(false, 0);
   return last_error;
+}
+
+void SfsClient::MountPoint::EmitChannelEvent(obs::TraceEvent::Kind kind,
+                                             const PendingChannelCall& call,
+                                             uint64_t wire_bytes, const std::string& note) {
+  if (!tracer_->active()) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.kind = kind;
+  event.layer = "sfs.chan";
+  event.prog = call.prog;
+  event.proc = call.proc;
+  event.proc_name = call.proc_name;
+  event.xid = call.xid;
+  event.seqno = call.wire_seqno;
+  event.wire_bytes = wire_bytes;
+  event.t_send_ns = call.t_call_ns;
+  event.t_recv_ns = client_->clock_->now_ns();
+  event.attempt = call.attempt;
+  event.note = note;
+  tracer_->Emit(event);
+}
+
+void SfsClient::MountPoint::CountUnmatched(uint32_t seqno, uint64_t wire_bytes,
+                                           const std::string& note) {
+  ++unmatched_replies_;
+  m_unmatched_replies_->Increment();
+  if (!tracer_->active()) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.kind = obs::TraceEvent::Kind::kClientStaleReply;
+  event.layer = "sfs.chan";
+  event.seqno = seqno;
+  event.wire_bytes = wire_bytes;
+  event.t_send_ns = client_->clock_->now_ns();
+  event.t_recv_ns = client_->clock_->now_ns();
+  event.note = note;
+  tracer_->Emit(event);
+}
+
+void SfsClient::MountPoint::Transmit(PendingChannelCall* call) {
+  call->pm->bytes_sent->Increment(call->wire.size());
+  const uint64_t token = link_->Submit(call->wire);
+  token_to_seqno_[token] = call->wire_seqno;
+  call->deadline_ns = client_->clock_->now_ns() + call->rto_ns;
+}
+
+void SfsClient::MountPoint::CallAsync(uint32_t prog, uint32_t proc, const util::Bytes& args,
+                                      std::function<void(util::Result<util::Bytes>)> done) {
+  sim::Clock* clock = client_->clock_;
+  if (pending_.size() >= window_) {
+    const uint64_t wait_start = clock->now_ns();
+    while (pending_.size() >= window_) {
+      PumpOnce();
+    }
+    m_queue_wait_->Record(clock->now_ns() - wait_start);
+  } else {
+    m_queue_wait_->Record(0);
+  }
+
+  uint32_t xid = next_xid_++;
+  xdr::Encoder call_enc;
+  call_enc.PutUint32(xid);
+  call_enc.PutUint32(prog);
+  call_enc.PutUint32(proc);
+  call_enc.PutOpaque(args);
+  util::Bytes rpc_message = call_enc.Take();
+
+  const bool is_nfs = prog == nfs::kNfsProgram;
+  PendingChannelCall call;
+  call.xid = xid;
+  call.prog = prog;
+  call.proc = proc;
+  call.proc_name = is_nfs ? nfs::ProcName(proc)
+                          : (prog == kSfsCtlProgram ? CtlProcName(proc) : std::to_string(proc));
+  call.pm = is_nfs ? nfs_metrics_.Get(proc, call.proc_name)
+                   : ctl_metrics_.Get(proc, call.proc_name);
+  call.pm->calls->Increment();
+  call.t_call_ns = clock->now_ns();
+  call.done = std::move(done);
+
+  // Seal exactly once — the same rule as the stop-and-wait path.  Timer
+  // retransmissions resend these identical bytes, so the send keystream
+  // advances once per request no matter how many copies the network
+  // loses, and the server's DRC matches duplicates without opening them.
+  client_->costs_->ChargeCrossing(client_->clock_, 2);
+  util::Bytes sealed;
+  if (cleartext_) {
+    client_->costs_->ChargeCopy(client_->clock_, rpc_message.size());
+    sealed = rpc_message;
+  } else {
+    sealed = cipher_out_->Seal(rpc_message);
+    client_->costs_->ChargeCrypto(client_->clock_, sealed.size());
+  }
+  call.wire_seqno = next_wire_seqno_++;
+  xdr::Encoder frame;
+  frame.PutUint32(call.wire_seqno);
+  frame.PutOpaque(sealed);
+  call.wire = FrameMessage(kMsgEncrypted, frame.Take());
+  call.rto_ns = link_->retry_policy().initial_rto_ns;
+
+  auto [it, inserted] = pending_.emplace(call.wire_seqno, std::move(call));
+  (void)inserted;
+  EmitChannelEvent(obs::TraceEvent::Kind::kClientCall, it->second, it->second.wire.size(), "");
+  Transmit(&it->second);
+  m_window_occupancy_sum_->Increment(pending_.size());
+  m_window_samples_->Increment();
+}
+
+void SfsClient::MountPoint::Drain() {
+  while (!pending_.empty()) {
+    PumpOnce();
+  }
+}
+
+void SfsClient::MountPoint::PumpOnce() {
+  if (pending_.empty()) {
+    return;
+  }
+  uint64_t deadline = UINT64_MAX;
+  for (const auto& [seqno, call] : pending_) {
+    deadline = std::min(deadline, call.deadline_ns);
+  }
+  auto delivery = link_->AwaitNext(deadline);
+  if (delivery.has_value()) {
+    OnChannelDelivery(std::move(*delivery));
+    return;
+  }
+
+  const sim::RetryPolicy& policy = link_->retry_policy();
+  const uint32_t attempts = policy.max_transmissions == 0 ? 1 : policy.max_transmissions;
+  const uint64_t now = client_->clock_->now_ns();
+  std::vector<uint32_t> expired;
+  for (const auto& [seqno, call] : pending_) {
+    if (call.deadline_ns <= now) {
+      expired.push_back(seqno);
+    }
+  }
+  for (uint32_t seqno : expired) {
+    auto it = pending_.find(seqno);
+    if (it == pending_.end()) {
+      continue;
+    }
+    PendingChannelCall& call = it->second;
+    if (call.attempt + 1 >= attempts) {
+      CompleteChannelCall(
+          seqno, util::Unavailable("channel retry budget exhausted waiting for reply"));
+      continue;
+    }
+    ++call.attempt;
+    call.rto_ns = std::min(call.rto_ns * policy.backoff_factor, policy.max_rto_ns);
+    // Timer resends count as link retransmissions — the pipelined analog
+    // of Roundtrip's internal retry loop — not as stale_retries: the
+    // benchmark testbed sums both and must not double-count.
+    link_->NoteRetransmission();
+    call.pm->retransmits->Increment();
+    EmitChannelEvent(obs::TraceEvent::Kind::kClientRetransmit, call, call.wire.size(),
+                     "retransmission timer expired");
+    Transmit(&call);
+  }
+}
+
+void SfsClient::MountPoint::OnChannelDelivery(sim::Delivery delivery) {
+  uint32_t token_seqno = 0;
+  auto tok = token_to_seqno_.find(delivery.token);
+  if (tok != token_to_seqno_.end()) {
+    token_seqno = tok->second;
+    token_to_seqno_.erase(tok);
+  }
+  if (!delivery.status.ok()) {
+    // A verdict from the connection itself (dead channel, malformed
+    // message): retrying the same bytes cannot help the call whose copy
+    // provoked it.
+    if (pending_.count(token_seqno) != 0) {
+      CompleteChannelCall(token_seqno, delivery.status);
+    }
+    return;
+  }
+  auto frame_payload = Unframe(kMsgEncrypted, delivery.response);
+  if (!frame_payload.ok()) {
+    CountUnmatched(token_seqno, delivery.response.size(), frame_payload.status().message());
+    return;
+  }
+  xdr::Decoder frame_dec(frame_payload.value());
+  auto echo_seqno = frame_dec.GetUint32();
+  auto sealed = frame_dec.GetOpaque();
+  if (!echo_seqno.ok() || !sealed.ok() || !frame_dec.AtEnd()) {
+    CountUnmatched(token_seqno, delivery.response.size(), "malformed encrypted reply frame");
+    return;
+  }
+  const uint32_t seqno = echo_seqno.value();
+  if (seqno < next_open_seqno_ || pending_.count(seqno) == 0) {
+    // A duplicate of an already-opened reply, or a seqno we never sent.
+    CountUnmatched(seqno, delivery.response.size(), "no outstanding call for seqno");
+    return;
+  }
+  // Stash the sealed body and open as far as the in-order cursor allows.
+  // A duplicate overwrites with identical bytes (the server's DRC
+  // replays the frame verbatim), so the overwrite is harmless.
+  reorder_[seqno] = std::move(sealed).value();
+  TryOpenInOrder();
+}
+
+void SfsClient::MountPoint::TryOpenInOrder() {
+  while (true) {
+    auto stash = reorder_.find(next_open_seqno_);
+    if (stash == reorder_.end()) {
+      return;
+    }
+    util::Bytes sealed = std::move(stash->second);
+    reorder_.erase(stash);
+    auto it = pending_.find(next_open_seqno_);
+    if (it == pending_.end()) {
+      // The call gave up (retry budget) before its reply arrived; the
+      // keystream position cannot be recovered.
+      CountUnmatched(next_open_seqno_, sealed.size(), "reply for abandoned call");
+      return;
+    }
+    PendingChannelCall& call = it->second;
+
+    util::Bytes reply;
+    if (cleartext_) {
+      client_->costs_->ChargeCopy(client_->clock_, sealed.size());
+      reply = std::move(sealed);
+    } else {
+      client_->costs_->ChargeCrypto(client_->clock_, sealed.size());
+      auto opened = cipher_in_->Open(sealed);
+      if (!opened.ok()) {
+        // Tampered or corrupt at the expected keystream position.  Open
+        // left the stream untouched; the call's timer resends, and the
+        // server's DRC replays the genuine sealed bytes for this seqno.
+        CountUnmatched(next_open_seqno_, sealed.size(), opened.status().message());
+        return;
+      }
+      reply = std::move(opened).value();
+    }
+    ++next_open_seqno_;
+
+    xdr::Decoder dec(reply);
+    auto reply_xid = dec.GetUint32();
+    if (!reply_xid.ok() || reply_xid.value() != call.xid) {
+      // The MAC (or, in cleartext mode, nothing) vouched for this reply,
+      // yet it names the wrong call: a server bug, not a network one.
+      CompleteChannelCall(call.wire_seqno,
+                          util::SecurityError("channel reply xid does not match call"));
+      continue;
+    }
+    auto status_word = dec.GetUint32();
+    if (!status_word.ok()) {
+      CompleteChannelCall(call.wire_seqno, util::InvalidArgument("truncated RPC reply"));
+      continue;
+    }
+    if (status_word.value() == 0) {
+      auto results = dec.GetOpaque();
+      if (results.ok()) {
+        EmitChannelEvent(obs::TraceEvent::Kind::kClientReply, call, results->size(), "");
+      }
+      CompleteChannelCall(call.wire_seqno, std::move(results));
+      continue;
+    }
+    auto code = dec.GetUint32();
+    auto message = dec.GetString();
+    uint32_t code_value =
+        code.ok() ? code.value() : static_cast<uint32_t>(util::ErrorCode::kInternal);
+    if (code_value == 0 || code_value > static_cast<uint32_t>(util::ErrorCode::kInternal)) {
+      code_value = static_cast<uint32_t>(util::ErrorCode::kInternal);
+    }
+    CompleteChannelCall(call.wire_seqno,
+                        util::Status(static_cast<util::ErrorCode>(code_value),
+                                     message.ok() ? message.value() : std::string()));
+  }
+}
+
+void SfsClient::MountPoint::CompleteChannelCall(uint32_t wire_seqno,
+                                                util::Result<util::Bytes> result) {
+  auto it = pending_.find(wire_seqno);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingChannelCall call = std::move(it->second);
+  pending_.erase(it);
+  for (auto tok = token_to_seqno_.begin(); tok != token_to_seqno_.end();) {
+    tok = tok->second == wire_seqno ? token_to_seqno_.erase(tok) : std::next(tok);
+  }
+  if (!result.ok()) {
+    call.pm->errors->Increment();
+  } else {
+    call.pm->bytes_received->Increment(result->size());
+  }
+  call.pm->latency->Record(client_->clock_->now_ns() - call.t_call_ns);
+  // Per-category time slices are deliberately not recorded for pipelined
+  // calls: overlapping calls would each claim the full shared-clock
+  // delta and double-count every category.
+  if (call.done) {
+    call.done(std::move(result));
+  }
 }
 
 util::Status SfsClient::MountPoint::Authenticate(uint32_t uid, const AuthSigner& signer) {

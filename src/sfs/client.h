@@ -50,6 +50,11 @@ class SfsClient {
     sim::LinkProfile profile = sim::LinkProfile::Tcp();
     uint64_t attr_timeout_ns = 5'000'000'000;
     uint64_t prng_seed = 2;
+    // Sliding send window for channel RPCs: 1 (default) keeps the
+    // original stop-and-wait discipline; larger values pipeline up to
+    // `window` concurrent calls over the secure channel (clamped to
+    // rpc::kMaxSendWindow) and enable read-ahead in the cache layer.
+    uint32_t window = 1;
     // Receives the link.* / rpc.client.* metrics and trace events for
     // every mount; nullptr selects obs::Registry::Default().
     obs::Registry* registry = nullptr;
@@ -101,6 +106,23 @@ class SfsClient {
     // images; no secure channel, no user authentication).
     bool read_only() const { return ro_client_ != nullptr; }
 
+    // --- Pipelined channel (Options::window > 1) -----------------------
+    // Starts a channel call without waiting for its reply.  If the send
+    // window is full, blocks (pumping deliveries) until a slot frees;
+    // the wait lands in the rpc.client.queue_wait_ns histogram.  `done`
+    // runs when the matching reply opens, inside a later Call/CallAsync/
+    // Drain on this mount.
+    void CallAsync(uint32_t prog, uint32_t proc, const util::Bytes& args,
+                   std::function<void(util::Result<util::Bytes>)> done);
+    // Completes every outstanding pipelined call.
+    void Drain();
+    uint32_t window() const { return window_; }
+    uint64_t in_flight() const { return pending_.size(); }
+    // Replies that matched no outstanding call or failed to open at
+    // their keystream position (late duplicates, tampering); aggregated
+    // in rpc.client.unmatched_replies.
+    uint64_t unmatched_replies() const { return unmatched_replies_; }
+
    private:
     friend class SfsClient;
     SfsClient* client_ = nullptr;
@@ -125,17 +147,66 @@ class SfsClient {
     uint32_t next_wire_seqno_ = 1;
     uint64_t stale_retries_ = 0;
 
+    // Pipelined-channel state.  The receive keystream is positional, so
+    // sealed replies must open strictly in wire-seqno order: out-of-order
+    // arrivals wait in `reorder_` until `next_open_seqno_` catches up (a
+    // gap is filled by the owning call's retransmission timer — the
+    // server's DRC replays the original sealed bytes for that seqno, at
+    // the correct keystream position).
+    struct PendingChannelCall {
+      uint32_t xid = 0;
+      uint32_t wire_seqno = 0;
+      uint32_t prog = 0;
+      uint32_t proc = 0;
+      std::string proc_name;
+      util::Bytes wire;  // Sealed once; retransmissions resend these bytes.
+      uint64_t t_call_ns = 0;
+      uint64_t deadline_ns = 0;
+      uint64_t rto_ns = 0;
+      uint32_t attempt = 0;
+      obs::ProcMetrics* pm = nullptr;
+      std::function<void(util::Result<util::Bytes>)> done;
+    };
+    uint32_t window_ = 1;
+    uint64_t unmatched_replies_ = 0;
+    std::map<uint32_t, PendingChannelCall> pending_;  // By wire seqno.
+    std::map<uint64_t, uint32_t> token_to_seqno_;     // Submission tokens.
+    std::map<uint32_t, util::Bytes> reorder_;  // Sealed bodies awaiting order.
+    uint32_t next_open_seqno_ = 1;
+
     // Observability handles (owned by the client's registry).  The
     // per-procedure prefixes match the plain-RPC Client's, so NFS3 and
     // SFS stacks report under the same metric names.
     obs::Tracer* tracer_ = nullptr;
     obs::Counter* m_stale_retries_ = nullptr;
+    obs::Counter* m_unmatched_replies_ = nullptr;
+    obs::Counter* m_window_occupancy_sum_ = nullptr;
+    obs::Counter* m_window_samples_ = nullptr;
+    obs::Histogram* m_queue_wait_ = nullptr;
     obs::ProcMetricsTable nfs_metrics_;  // "rpc.client.NFS3"
     obs::ProcMetricsTable ctl_metrics_;  // "rpc.client.SFSCTL"
 
     // Sends one RPC through the secure channel, charging client-side
-    // crossings and crypto.
+    // crossings and crypto.  At window 1 this is the stop-and-wait
+    // LegacyCall; otherwise it submits through the pipelined path and
+    // pumps until this call completes (earlier async calls' callbacks
+    // run along the way).
     util::Result<util::Bytes> Call(uint32_t prog, uint32_t proc, const util::Bytes& args);
+    util::Result<util::Bytes> LegacyCall(uint32_t prog, uint32_t proc,
+                                         const util::Bytes& args);
+    // Sends (or resends) a pending call and arms its timer.
+    void Transmit(PendingChannelCall* call);
+    // Waits for the next delivery or the earliest retransmission
+    // deadline; processes whichever fires (at most one event).
+    void PumpOnce();
+    void OnChannelDelivery(sim::Delivery delivery);
+    // Opens stashed sealed replies in seqno order from next_open_seqno_.
+    void TryOpenInOrder();
+    // Removes the call from the window and runs its callback.
+    void CompleteChannelCall(uint32_t wire_seqno, util::Result<util::Bytes> result);
+    void CountUnmatched(uint32_t seqno, uint64_t wire_bytes, const std::string& note);
+    void EmitChannelEvent(obs::TraceEvent::Kind kind, const PendingChannelCall& call,
+                          uint64_t wire_bytes, const std::string& note);
   };
 
   // Mounts (or returns the existing mount for) a self-certifying path.

@@ -339,15 +339,23 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
     state_ = State::kDead;
     return reply.status();
   }
-  util::Bytes framed_reply;
+  // The reply frame echoes the request's wire seqno in cleartext, so a
+  // pipelined client can order sealed replies for in-order opening
+  // before touching the receive cipher (docs/PROTOCOL.md §10).  Fresh
+  // replies are sealed in request order — requests are handled serially
+  // — so the echoed seqnos are exactly the keystream order.
+  util::Bytes sealed_reply;
   if (cleartext_) {
     server_->costs_->ChargeCopy(server_->clock_, reply->size());
-    framed_reply = FrameMessage(kMsgEncrypted, reply.value());
+    sealed_reply = reply.value();
   } else {
-    util::Bytes sealed = cipher_out_->Seal(reply.value());
-    server_->costs_->ChargeCrypto(server_->clock_, sealed.size());
-    framed_reply = FrameMessage(kMsgEncrypted, sealed);
+    sealed_reply = cipher_out_->Seal(reply.value());
+    server_->costs_->ChargeCrypto(server_->clock_, sealed_reply.size());
   }
+  xdr::Encoder reply_frame;
+  reply_frame.PutUint32(wire_seqno.value());
+  reply_frame.PutOpaque(sealed_reply);
+  util::Bytes framed_reply = FrameMessage(kMsgEncrypted, reply_frame.Take());
 
   // Record the framed reply so a retransmit replays these exact bytes
   // without touching either keystream.

@@ -4,16 +4,106 @@
 
 namespace sim {
 
-void Link::ChargeOneWay(size_t bytes) {
-  uint64_t transit = profile_.latency_ns + profile_.per_message_ns;
-  if (profile_.bytes_per_sec > 0) {
-    transit += static_cast<uint64_t>(bytes) * 1'000'000'000 / profile_.bytes_per_sec;
+uint64_t Link::SerializationNs(size_t bytes) const {
+  if (profile_.bytes_per_sec == 0) {
+    return 0;
   }
-  clock_->Advance(transit, obs::TimeCategory::kLink);
+  return static_cast<uint64_t>(bytes) * 1'000'000'000 / profile_.bytes_per_sec;
+}
+
+void Link::CountMessage(size_t bytes) {
   ++messages_sent_;
   bytes_sent_ += bytes;
   m_messages_->Increment();
   m_bytes_->Increment(bytes);
+}
+
+void Link::ChargeOneWay(size_t bytes) {
+  uint64_t transit = profile_.latency_ns + profile_.per_message_ns + SerializationNs(bytes);
+  clock_->Advance(transit, obs::TimeCategory::kLink);
+  CountMessage(bytes);
+}
+
+uint64_t Link::Submit(const util::Bytes& request) {
+  const uint64_t token = next_token_++;
+  util::Bytes wire_request = request;
+  if (interposer_ != nullptr) {
+    auto intercepted = interposer_->OnRequest(std::move(wire_request));
+    if (!intercepted.ok()) {
+      // Lost in transit: no delivery is ever scheduled; the sender's
+      // retransmission timer is the only recovery.
+      ++drops_observed_;
+      m_drops_->Increment();
+      return token;
+    }
+    wire_request = std::move(intercepted).value();
+  }
+  CountMessage(wire_request.size());
+
+  // Uplink: messages queue for bandwidth but overlap in propagation.
+  const uint64_t up_start = std::max(clock_->now_ns(), uplink_free_ns_);
+  uplink_free_ns_ = up_start + SerializationNs(wire_request.size());
+  const uint64_t arrive_ns = uplink_free_ns_ + profile_.latency_ns + profile_.per_message_ns;
+
+  // The server is a serial resource executing requests in arrival order.
+  // The handler's own charges (disk, CPU, crypto) advance the shared
+  // clock; the watermark positions its completion on the wire timeline.
+  const uint64_t exec_start = std::max(arrive_ns, server_free_ns_);
+  const uint64_t handler_begin = clock_->now_ns();
+  auto response = service_->Handle(wire_request);
+  server_free_ns_ = exec_start + (clock_->now_ns() - handler_begin);
+
+  if (interposer_ != nullptr && interposer_->DuplicateRequest()) {
+    // The network delivers a second copy; the service deduplicates and
+    // its reply to the copy finds no one waiting.
+    ++duplicates_delivered_;
+    m_duplicates_->Increment();
+    CountMessage(wire_request.size());
+    (void)service_->Handle(wire_request);
+  }
+
+  if (!response.ok()) {
+    // A verdict from the service itself (dead connection, bad message)
+    // is delivered like a reply: retrying the same bytes cannot help,
+    // and the caller must hear about it.
+    deliveries_.emplace(server_free_ns_,
+                        Delivery{token, response.status(), util::Bytes{}});
+    return token;
+  }
+  util::Bytes wire_response = std::move(response).value();
+  if (interposer_ != nullptr) {
+    auto intercepted = interposer_->OnResponse(std::move(wire_response));
+    if (!intercepted.ok()) {
+      ++drops_observed_;
+      m_drops_->Increment();
+      return token;
+    }
+    wire_response = std::move(intercepted).value();
+  }
+  CountMessage(wire_response.size());
+  const uint64_t down_start = std::max(server_free_ns_, downlink_free_ns_);
+  downlink_free_ns_ = down_start + SerializationNs(wire_response.size());
+  const uint64_t deliver_ns =
+      downlink_free_ns_ + profile_.latency_ns + profile_.per_message_ns;
+  deliveries_.emplace(deliver_ns,
+                      Delivery{token, util::OkStatus(), std::move(wire_response)});
+  return token;
+}
+
+std::optional<Delivery> Link::AwaitNext(uint64_t deadline_ns) {
+  auto it = deliveries_.begin();
+  if (it != deliveries_.end() && it->first <= deadline_ns) {
+    if (it->first > clock_->now_ns()) {
+      clock_->Advance(it->first - clock_->now_ns(), obs::TimeCategory::kLink);
+    }
+    Delivery delivery = std::move(it->second);
+    deliveries_.erase(it);
+    return delivery;
+  }
+  if (deadline_ns > clock_->now_ns()) {
+    clock_->Advance(deadline_ns - clock_->now_ns(), obs::TimeCategory::kWait);
+  }
+  return std::nullopt;
 }
 
 util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {

@@ -18,6 +18,7 @@
 #define SFS_SRC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 
 #include "src/sim/clock.h"
@@ -25,6 +26,16 @@
 #include "src/util/status.h"
 
 namespace sim {
+
+// One reply arriving on a pipelined link (see Link::Submit/AwaitNext).
+// `status` carries a service-level verdict (dead connection, malformed
+// message); transit loss produces no Delivery at all — the sender's
+// retransmission timer is the only signal.
+struct Delivery {
+  uint64_t token = 0;
+  util::Status status = util::OkStatus();
+  util::Bytes response;
+};
 
 // A request handler on the far side of a link ("the server machine").
 class Service {
@@ -141,6 +152,41 @@ class Link {
 
   util::Result<util::Bytes> Roundtrip(const util::Bytes& request);
 
+  // --- Pipelined mode -----------------------------------------------------
+  //
+  // Submit() puts a request on the wire without blocking for the reply,
+  // so several calls can share one round-trip of latency.  The link
+  // models three serial resources — uplink, server, downlink — with
+  // busy-until watermarks: concurrent messages overlap in propagation
+  // but queue for bandwidth and for the server, which executes requests
+  // strictly in arrival order (so a channel's replies are sealed in
+  // request order).  The handler runs inside Submit and its charges
+  // advance the shared clock as usual; transit time is only charged
+  // when AwaitNext() sleeps until a delivery.  A message the interposer
+  // drops schedules no delivery: the caller's retransmission timer is
+  // the only recovery, exactly as with Roundtrip().
+  //
+  // Returns a token identifying the submission; the matching Delivery
+  // carries it back (callers typically match on message content instead,
+  // since duplicated/reordered replies can arrive under any token).
+  uint64_t Submit(const util::Bytes& request);
+
+  // Advances virtual time to the earliest scheduled delivery, charging
+  // the gap to kLink, and returns it — unless that delivery is after
+  // `deadline_ns`, in which case time advances to the deadline (charged
+  // kWait, the retransmission-timer idle) and nullopt is returned.
+  std::optional<Delivery> AwaitNext(uint64_t deadline_ns);
+
+  // True if any reply is still scheduled for delivery.
+  bool HasPendingDelivery() const { return !deliveries_.empty(); }
+
+  // Counts a client-driven retransmission (pipelined callers resend on
+  // their own timers; Roundtrip's internal retry loop counts itself).
+  void NoteRetransmission() {
+    ++retransmissions_;
+    m_retransmissions_->Increment();
+  }
+
   // Per-instance counters.  The same increments also feed the link.*
   // aggregate counters in the registry, which is what benchmark
   // reporting reads (bench/testbed.h); these accessors remain as shims
@@ -159,12 +205,22 @@ class Link {
 
  private:
   void ChargeOneWay(size_t bytes);
+  // Wire occupancy (bandwidth) of one message, excluding propagation.
+  uint64_t SerializationNs(size_t bytes) const;
+  void CountMessage(size_t bytes);
 
   Clock* clock_;
   LinkProfile profile_;
   Service* service_;
   Interposer* interposer_ = nullptr;
   RetryPolicy retry_policy_;
+  // Pipelined-mode state: scheduled deliveries ordered by arrival time,
+  // and busy-until watermarks for the three serial resources.
+  std::multimap<uint64_t, Delivery> deliveries_;
+  uint64_t next_token_ = 1;
+  uint64_t uplink_free_ns_ = 0;
+  uint64_t server_free_ns_ = 0;
+  uint64_t downlink_free_ns_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t retransmissions_ = 0;

@@ -6,6 +6,7 @@
 // answered from the server's duplicate-request cache, never re-executed.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -206,6 +207,62 @@ TEST(RpcFaultTest, LossyLinkMasksFaultsWithExactlyOnceDispatch) {
   EXPECT_GT(link.retransmissions(), 0u);
   EXPECT_GT(dispatcher.drc_hits(), 0u);
   EXPECT_EQ(executions, kCalls);
+}
+
+// Sliding-window client under loss and duplication: every outstanding
+// xid completes exactly once, in whatever order replies arrive, and the
+// handler still executes exactly once per distinct payload.
+TEST(RpcFaultTest, PipelinedWindowSweepMasksFaultsExactlyOnce) {
+  for (uint32_t window : {2u, 4u, 8u}) {
+    SCOPED_TRACE("window=" + std::to_string(window));
+    sim::Clock clock;
+    rpc::Dispatcher dispatcher;
+    std::map<std::string, uint64_t> executions;
+    dispatcher.RegisterProgram(9, [&executions](uint32_t, const Bytes& args) {
+      ++executions[util::StringOf(args)];
+      return util::Result<Bytes>(args);
+    });
+    sim::Link link(&clock, sim::LinkProfile::Udp(), &dispatcher);
+    sim::LossyInterposer lossy(/*seed=*/500 + window, {.drop = 0.05, .duplicate = 0.05});
+    link.set_interposer(&lossy);
+    rpc::LinkTransport transport(&link);
+    rpc::Client client(&transport, 9);
+    client.set_window(window);
+    ASSERT_EQ(client.window(), window);
+
+    constexpr uint64_t kCalls = 200;
+    std::map<std::string, uint64_t> completions;
+    for (uint64_t i = 0; i < kCalls; ++i) {
+      std::string payload = "payload " + std::to_string(i);
+      client.CallAsync(1, BytesOf(payload),
+                       [payload, &completions](util::Result<Bytes> reply) {
+                         EXPECT_TRUE(reply.ok())
+                             << payload << ": " << reply.status().ToString();
+                         if (reply.ok()) {
+                           EXPECT_EQ(reply.value(), BytesOf(payload)) << payload;
+                         }
+                         ++completions[payload];
+                       });
+      EXPECT_LE(client.in_flight(), window);
+    }
+    client.Drain();
+    EXPECT_EQ(client.in_flight(), 0u);
+
+    // Exactly one completion per call and one execution per payload —
+    // duplicates were answered from the DRC, not re-executed.
+    EXPECT_EQ(completions.size(), kCalls);
+    for (const auto& [payload, n] : completions) {
+      EXPECT_EQ(n, 1u) << payload;
+    }
+    EXPECT_EQ(executions.size(), kCalls);
+    for (const auto& [payload, n] : executions) {
+      EXPECT_EQ(n, 1u) << payload;
+    }
+    // The seed deterministically injected faults and the window machinery
+    // masked them.
+    EXPECT_GT(lossy.requests_dropped() + lossy.responses_dropped() + lossy.duplicates(), 0u);
+    EXPECT_GT(link.retransmissions() + dispatcher.drc_hits(), 0u);
+  }
 }
 
 TEST(RpcFaultTest, CleanLinkNeverRetransmits) {

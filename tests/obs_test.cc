@@ -421,6 +421,111 @@ TEST_F(ObsTest, LossyRunShowsExactlyOnceDeliveryInTrace) {
   EXPECT_EQ(mount->stale_retries(), registry_.CounterValue("rpc.client.stale_retries"));
 }
 
+// --- Pipelined channel: exactly-once at every swept window size --------------
+
+TEST_F(ObsTest, PipelinedLossyRunShowsExactlyOnceAtEverySweptWindow) {
+  // Same acceptance profile as above, but with a sliding send window
+  // keeping several calls in flight.  Out-of-order completion, timer
+  // retransmissions, and DRC replays must still collapse to exactly one
+  // application-level reply per xid and one dispatch per seqno — and the
+  // ring-buffer trace, not just counters, must prove it per window size.
+  for (uint32_t window : {2u, 4u, 8u}) {
+    SCOPED_TRACE("window=" + std::to_string(window));
+    SfsClient::Options options;
+    options.ephemeral_key_bits = kKeyBits;
+    options.registry = &registry_;
+    options.window = window;
+    SfsClient client(&clock_, &costs_,
+                     [this](const std::string&) { return server_.get(); }, options);
+    sim::LossyInterposer lossy(/*seed=*/1000 + window, {.drop = 0.05, .duplicate = 0.02});
+    client.set_interposer(&lossy);
+
+    const size_t skip = sink_.Events().size();
+    auto mount = client.Mount(server_->Path());
+    ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+    EXPECT_EQ((*mount)->window(), window);
+
+    nfs::FileSystemApi* fs = (*mount)->fs();
+    const Credentials cred = Credentials::User(0);
+    Fattr attr;
+    for (int i = 0; i < 12; ++i) {
+      FileHandle fh;
+      std::string name = "pipelined-" + std::to_string(i);
+      ASSERT_EQ(fs->Create((*mount)->root_fh(), name, cred, nfs::Sattr{}, &fh, &attr),
+                Stat::kOk)
+          << name;
+      ASSERT_EQ(fs->Write(fh, cred, 0, BytesOf(name), /*stable=*/true, &attr), Stat::kOk);
+      Bytes data;
+      bool eof = false;
+      ASSERT_EQ(fs->Read(fh, cred, 0, 4096, &data, &eof), Stat::kOk);
+      EXPECT_EQ(data, BytesOf(name));
+      ASSERT_EQ(fs->Remove((*mount)->root_fh(), name, cred), Stat::kOk);
+    }
+    (*mount)->Drain();
+    EXPECT_EQ((*mount)->in_flight(), 0u);
+
+    // This window's slice of the trace (the ring is large enough that
+    // nothing from this run has been evicted).
+    ASSERT_EQ(sink_.dropped(), 0u) << "ring too small: trace incomplete";
+    std::vector<obs::TraceEvent> events = sink_.Events();
+    ASSERT_GE(events.size(), skip);
+    std::map<uint32_t, int> calls, replies, retransmits;
+    std::map<uint32_t, int> dispatches_by_seqno;
+    std::map<uint32_t, int> drc_hits_by_seqno;
+    for (size_t i = skip; i < events.size(); ++i) {
+      const obs::TraceEvent& event = events[i];
+      if (std::string(event.layer) != "sfs.chan") {
+        continue;
+      }
+      switch (event.kind) {
+        case obs::TraceEvent::Kind::kClientCall:
+          ++calls[event.xid];
+          break;
+        case obs::TraceEvent::Kind::kClientReply:
+          ++replies[event.xid];
+          break;
+        case obs::TraceEvent::Kind::kClientRetransmit:
+          ++retransmits[event.xid];
+          break;
+        case obs::TraceEvent::Kind::kServerDispatch:
+          ++dispatches_by_seqno[event.seqno];
+          break;
+        case obs::TraceEvent::Kind::kServerDrcHit:
+          ++drc_hits_by_seqno[event.seqno];
+          break;
+        default:
+          break;
+      }
+    }
+
+    // The seed deterministically injected faults, so the masking machinery
+    // demonstrably ran at this window size.
+    EXPECT_GT(lossy.requests_dropped() + lossy.responses_dropped() + lossy.duplicates(), 0u);
+    EXPECT_FALSE(retransmits.empty());
+
+    // Exactly-once, by trace: one application reply per xid...
+    ASSERT_FALSE(calls.empty());
+    for (const auto& [xid, n] : calls) {
+      EXPECT_EQ(n, 1) << "xid " << xid << " entered the window twice";
+      EXPECT_EQ(replies[xid], 1) << "xid " << xid;
+    }
+    for (const auto& [xid, n] : replies) {
+      EXPECT_EQ(n, 1) << "xid " << xid << " delivered " << n << " times";
+    }
+    // ...one handler execution per seqno, and every DRC hit names a seqno
+    // that genuinely was dispatched once before (a hit for a never-seen
+    // seqno would mean the cache is answering requests it never executed).
+    for (const auto& [seqno, n] : dispatches_by_seqno) {
+      EXPECT_EQ(n, 1) << "seqno " << seqno << " dispatched " << n << " times";
+    }
+    for (const auto& [seqno, n] : drc_hits_by_seqno) {
+      EXPECT_GT(n, 0);
+      EXPECT_EQ(dispatches_by_seqno.count(seqno), 1u)
+          << "DRC hit for seqno " << seqno << " that was never dispatched";
+    }
+  }
+}
+
 // --- Snapshot round-trip -----------------------------------------------------
 
 TEST_F(ObsTest, SnapshotJsonParsesAndCarriesTimeSplit) {

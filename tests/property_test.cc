@@ -8,11 +8,14 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/crypto/prng.h"
 #include "src/crypto/rabin.h"
 #include "src/nfs/memfs.h"
 #include "src/sfs/client.h"
+#include "src/sfs/proto.h"
 #include "src/sfs/server.h"
 #include "src/sfs/session.h"
 #include "src/xdr/xdr.h"
@@ -275,6 +278,229 @@ TEST_P(XdrFuzzTest, RandomCorruptionNeverCrashesDecoder) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XdrFuzzTest, ::testing::Values(100, 200, 300));
+
+// --- Pipelined framing robustness ----------------------------------------------------
+
+#include "src/rpc/rpc.h"
+
+// With a sliding send window, the server sees call frames out of order
+// and redelivered, and the client sees reply frames out of order and
+// corrupted.  Neither side may crash or violate at-most-once, whatever
+// the stream looks like.
+class PipelinedFramingFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // Fisher-Yates using the test's PRNG, so every seed sweeps a different
+  // delivery order.
+  template <typename T>
+  static void Shuffle(std::vector<T>* v, crypto::Prng* prng) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[prng->RandomUint64(i)]);
+    }
+  }
+
+  static Bytes CallFrame(uint32_t xid, uint32_t seqno, uint32_t prog, uint32_t proc,
+                         const Bytes& args) {
+    xdr::Encoder enc;
+    enc.PutUint32(xid);
+    enc.PutUint32(seqno);
+    enc.PutUint32(prog);
+    enc.PutUint32(proc);
+    enc.PutOpaque(args);
+    return enc.Take();
+  }
+
+  static Bytes Mutate(Bytes frame, crypto::Prng* prng) {
+    if (prng->RandomUint64(2) == 0 && !frame.empty()) {
+      frame.resize(prng->RandomUint64(frame.size()));
+    }
+    for (uint64_t flips = prng->RandomUint64(4); flips > 0 && !frame.empty(); --flips) {
+      frame[prng->RandomUint64(frame.size())] ^=
+          static_cast<uint8_t>(prng->RandomUint64(256));
+    }
+    return frame;
+  }
+};
+
+TEST_P(PipelinedFramingFuzzTest, ReorderedAndCorruptCallStreamsKeepAtMostOnce) {
+  crypto::Prng prng(GetParam());
+  sim::Clock clock;
+  obs::Registry registry;
+  rpc::Dispatcher dispatcher(&registry, &clock);
+  constexpr uint32_t kProg = 77;
+  std::map<std::string, int> executions;
+  dispatcher.RegisterProgram(kProg, [&](uint32_t, const Bytes& args) -> util::Result<Bytes> {
+    ++executions[util::StringOf(args)];
+    return args;
+  });
+
+  // A window's worth of valid call frames, as the pipelined client seals
+  // them: consecutive seqnos, distinct payloads.
+  constexpr uint32_t kBatch = 16;
+  std::vector<Bytes> frames;
+  std::vector<Bytes> replies(kBatch);
+  for (uint32_t i = 0; i < kBatch; ++i) {
+    frames.push_back(
+        CallFrame(/*xid=*/100 + i, /*seqno=*/1 + i, kProg, /*proc=*/1,
+                  BytesOf("call-" + std::to_string(i))));
+  }
+
+  // Out-of-order first delivery: every frame accepted, every payload
+  // executed exactly once.
+  std::vector<uint32_t> order(kBatch);
+  for (uint32_t i = 0; i < kBatch; ++i) {
+    order[i] = i;
+  }
+  Shuffle(&order, &prng);
+  for (uint32_t i : order) {
+    auto reply = dispatcher.Handle(frames[i]);
+    ASSERT_TRUE(reply.ok()) << "frame " << i << ": " << reply.status().message();
+    replies[i] = reply.value();
+  }
+  EXPECT_EQ(executions.size(), kBatch);
+  for (const auto& [payload, count] : executions) {
+    EXPECT_EQ(count, 1) << payload;
+  }
+
+  // Shuffled redelivery (retransmitted copies): the DRC replays each
+  // reply byte-identical, with no re-execution.
+  Shuffle(&order, &prng);
+  for (uint32_t i : order) {
+    auto replay = dispatcher.Handle(frames[i]);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay.value(), replies[i]) << "DRC replay differs for frame " << i;
+  }
+  for (const auto& [payload, count] : executions) {
+    EXPECT_EQ(count, 1) << "redelivery re-executed " << payload;
+  }
+
+  // Corruption sweep: truncated/flipped frames must decode cleanly or
+  // fail cleanly — never crash the dispatcher.  The replies it produced
+  // get the same treatment through the client's reply-decode sequence.
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes call = Mutate(frames[prng.RandomUint64(kBatch)], &prng);
+    (void)dispatcher.Handle(call);
+
+    xdr::Decoder dec(Mutate(replies[prng.RandomUint64(kBatch)], &prng));
+    auto xid = dec.GetUint32();
+    auto status = dec.GetUint32();
+    if (!xid.ok() || !status.ok()) {
+      continue;
+    }
+    if (status.value() == 0) {
+      (void)dec.GetOpaque();
+    } else {
+      auto code = dec.GetUint32();
+      if (code.ok()) {
+        (void)dec.GetString();
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(PipelinedFramingFuzzTest, ReorderedAndCorruptReplyStreamsDecodeOrFailCleanly) {
+  crypto::Prng prng(GetParam());
+  Bytes key = prng.RandomBytes(20);
+
+  // Seal a window of replies the way the pipelined server connection
+  // does: positional channel cipher, then a cleartext seqno echo, then
+  // the {type, payload} connection frame.
+  constexpr uint32_t kBatch = 12;
+  std::vector<Bytes> messages;
+  std::vector<Bytes> wire_frames;
+  {
+    sfs::ChannelCipher sender(key);
+    for (uint32_t i = 0; i < kBatch; ++i) {
+      messages.push_back(prng.RandomBytes(1 + prng.RandomUint64(400)));
+      xdr::Encoder inner;
+      inner.PutUint32(1 + i);  // Echoed wire seqno.
+      inner.PutOpaque(sender.Seal(messages.back()));
+      xdr::Encoder outer;
+      outer.PutUint32(sfs::kMsgEncrypted);
+      outer.PutOpaque(inner.Take());
+      wire_frames.push_back(outer.Take());
+    }
+  }
+
+  // Decode one delivery exactly as the client's pipelined path does:
+  // unframe, read the seqno echo, extract the sealed body.  Returns
+  // false for any malformed stage.
+  auto decode = [](const Bytes& delivery, uint32_t* seqno, Bytes* sealed) {
+    xdr::Decoder outer(delivery);
+    auto type = outer.GetUint32();
+    auto payload = outer.GetOpaque();
+    if (!type.ok() || !payload.ok() || type.value() != sfs::kMsgEncrypted ||
+        !outer.AtEnd()) {
+      return false;
+    }
+    xdr::Decoder inner(payload.value());
+    auto echo = inner.GetUint32();
+    auto body = inner.GetOpaque();
+    if (!echo.ok() || !body.ok() || !inner.AtEnd()) {
+      return false;
+    }
+    *seqno = echo.value();
+    *sealed = body.value();
+    return true;
+  };
+
+  // Reordered (but intact) delivery: the reorder buffer admits frames in
+  // any arrival order, and in-seqno-order opening recovers every message
+  // against the positional keystream.
+  std::vector<uint32_t> order(kBatch);
+  for (uint32_t i = 0; i < kBatch; ++i) {
+    order[i] = i;
+  }
+  Shuffle(&order, &prng);
+  {
+    sfs::ChannelCipher receiver(key);
+    std::map<uint32_t, Bytes> reorder;
+    uint32_t next_open = 1;
+    uint32_t opened = 0;
+    for (uint32_t i : order) {
+      uint32_t seqno = 0;
+      Bytes sealed;
+      ASSERT_TRUE(decode(wire_frames[i], &seqno, &sealed)) << "frame " << i;
+      ASSERT_EQ(seqno, 1 + i);
+      reorder[seqno] = sealed;
+      for (auto it = reorder.find(next_open); it != reorder.end();
+           it = reorder.find(next_open)) {
+        auto open = receiver.Open(it->second);
+        ASSERT_TRUE(open.ok()) << "seqno " << next_open;
+        EXPECT_EQ(open.value(), messages[next_open - 1]);
+        reorder.erase(it);
+        ++next_open;
+        ++opened;
+      }
+    }
+    EXPECT_EQ(opened, kBatch);
+  }
+
+  // Corruption sweep on the first frame (the only one a fresh receiver's
+  // keystream position can open): every stage either rejects cleanly or,
+  // if the sealed body survived intact, opens to exactly the original
+  // message.  Tampered bodies must never open.
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes mutated = Mutate(wire_frames[0], &prng);
+    uint32_t seqno = 0;
+    Bytes sealed;
+    if (!decode(mutated, &seqno, &sealed)) {
+      continue;  // Malformed framing: discarded, counted as unmatched.
+    }
+    if (seqno != 1) {
+      continue;  // No outstanding call for this seqno: discarded.
+    }
+    sfs::ChannelCipher receiver(key);
+    auto open = receiver.Open(sealed);
+    if (open.ok()) {
+      EXPECT_EQ(open.value(), messages[0]) << "tampered frame opened to wrong bytes";
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedFramingFuzzTest,
+                         ::testing::Values(41, 42, 43, 44));
 
 // --- Cache transparency ----------------------------------------------------------------
 
