@@ -10,6 +10,8 @@
 // encryption, plus NFS3/UDP as the baseline.
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include "bench/testbed.h"
 #include "bench/workloads.h"
 
@@ -41,4 +43,4 @@ BENCHMARK(BM_Ablation_MabCaching)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("ablation_caching")

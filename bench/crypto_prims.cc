@@ -7,6 +7,8 @@
 // figure benchmarks, which charge the era-calibrated simulated rates.
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include "src/crypto/arc4.h"
 #include "src/crypto/blowfish.h"
 #include "src/crypto/prng.h"
@@ -145,4 +147,4 @@ BENCHMARK(BM_EksBlowfishCost)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecon
 BENCHMARK(BM_SrpExchange)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_KeyNegotiation)->Arg(512)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("crypto_prims")

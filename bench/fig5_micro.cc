@@ -97,11 +97,5 @@ int main(int argc, char** argv) {
       return 0;
     }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::BenchJsonMain(argc, argv, "fig5_micro");
 }

@@ -6,6 +6,8 @@
 // counter on the benchmark below.
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include "bench/testbed.h"
 #include "bench/workloads.h"
 
@@ -40,4 +42,4 @@ BENCHMARK(BM_Fig6_Mab)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("fig6_mab")

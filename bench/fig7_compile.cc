@@ -9,6 +9,8 @@
 // source and the headers, burns fixed CPU, and writes an object file.
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include "bench/testbed.h"
 #include "bench/workloads.h"
 
@@ -98,4 +100,4 @@ BENCHMARK(BM_Fig7_KernelCompile)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("fig7_compile")

@@ -7,6 +7,8 @@
 // writes dominate).
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include "bench/testbed.h"
 #include "bench/workloads.h"
 
@@ -38,4 +40,4 @@ BENCHMARK(BM_Fig8_LfsSmall)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("fig8_lfs_small")

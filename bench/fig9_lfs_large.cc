@@ -7,6 +7,8 @@
 // the gap closes (17% / 31%).
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include "bench/testbed.h"
 #include "bench/workloads.h"
 
@@ -42,4 +44,4 @@ BENCHMARK(BM_Fig9_LfsLarge)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("fig9_lfs_large")

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   }
 
   if (!text) {
-    std::fputs(bench::ObsReportJson().c_str(), stdout);
+    bench::BenchReport report("obs_report");
+    std::fputs(bench::ObsReportJson(&report).c_str(), stdout);
+    report.WriteTo();
     return 0;
   }
   for (bench::Config config :

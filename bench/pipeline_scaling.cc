@@ -14,6 +14,8 @@
 // fresh environment, so every row carries its own speedup_vs_w1.
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -274,4 +276,4 @@ BENCHMARK(BM_PipelineScaling_SfsChannelRead)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("pipeline_scaling")

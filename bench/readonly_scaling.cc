@@ -13,6 +13,8 @@
 // operations ever — the one signature was computed offline).
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include "bench/testbed.h"
 #include "bench/workloads.h"
 #include "src/readonly/readonly.h"
@@ -102,4 +104,4 @@ BENCHMARK(BM_ReadOnlyServerPerClientCrypto)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("readonly_scaling")

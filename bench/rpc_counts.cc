@@ -11,6 +11,8 @@
 // they show how much traffic the at-most-once transport absorbed.
 #include <benchmark/benchmark.h>
 
+#include "bench/obs_report.h"
+
 #include "bench/testbed.h"
 #include "bench/workloads.h"
 #include "src/sim/network.h"
@@ -97,4 +99,4 @@ BENCHMARK(BM_RpcCounts_MabLossy)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SFS_BENCH_JSON_MAIN("rpc_counts")

@@ -1,0 +1,256 @@
+// Per-procedure critical-path report over the causal span traces
+// (docs/OBSERVABILITY.md §Spans).  Runs a fig5- or fig7-style workload
+// on the full SFS configuration with span collection enabled, prints
+// critical-path tables for the root operations and the rpc / secure
+// channel layers, and cross-checks the root table against the
+// sim::Clock ledger: in the single-threaded simulation every
+// nanosecond the workload advances the clock must land in exactly one
+// TimeCategory bucket of exactly one root span, so the table's totals
+// and the ledger must agree (the tool fails if they diverge by more
+// than 1%).
+//
+// Usage: span_report [--workload fig5|fig7] [--export <trace.json>]
+//                    [--slow-ns <n>] [--tree] [--bench_json_dir=<dir>]
+//   --export    writes the collected spans as Chrome trace-event JSON,
+//               loadable in Perfetto (ui.perfetto.dev).
+//   --slow-ns   slow-op log threshold in virtual ns (default 5ms; 0
+//               keeps only the retransmit/DRC triggers).
+//   --tree      dumps the first trace's span tree (debugging aid).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/obs_report.h"
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+#include "src/obs/span.h"
+
+namespace {
+
+using bench::Config;
+using bench::Testbed;
+
+// Fig5-style microbenchmark mix: operations that always require a
+// remote RPC.  A hundred denied fchowns (never cached) plus a
+// sequential sparse-file read.
+void RunFig5Workload(Testbed* tb, const std::string& dir) {
+  auto target = bench::CheckResult(
+      tb->vfs()->Open(tb->user(), dir + "/target", vfs::OpenFlags::CreateRw()), "create");
+  nfs::Sattr chown;
+  chown.uid = 4242;  // Requires superuser: always denied, never cached.
+  for (int i = 0; i < 100; ++i) {
+    util::Status status = target.SetAttr(chown);
+    if (status.ok()) {
+      bench::Check(util::InvalidArgument("unauthorized chown succeeded"), "fchown");
+    }
+  }
+  bench::Check(target.Close(), "close");
+
+  const uint64_t kFileSize = 4u << 20;  // Sparse: no server disk activity.
+  bench::Check(
+      tb->vfs()->Open(tb->user(), dir + "/sparse", vfs::OpenFlags::CreateRw()).status(),
+      "create sparse");
+  bench::Check(tb->vfs()->Truncate(tb->user(), dir + "/sparse", kFileSize), "truncate");
+  tb->DropClientCaches();
+  auto sparse = bench::CheckResult(
+      tb->vfs()->Open(tb->user(), dir + "/sparse", vfs::OpenFlags::ReadOnly()), "open sparse");
+  for (uint64_t off = 0; off < kFileSize; off += 8192) {
+    bench::CheckResult(sparse.Pread(off, 8192), "pread");
+  }
+}
+
+// Fig7-style miniature compile: read each source plus a shared header
+// set, burn compile CPU, write the object file.
+void RunFig7Workload(Testbed* tb, const std::string& dir) {
+  constexpr int kSources = 20;
+  constexpr int kHeaders = 5;
+  constexpr uint64_t kCompileCpuNs = 10'000'000;  // 10 ms per unit.
+  for (int h = 0; h < kHeaders; ++h) {
+    bench::WriteFile(tb, dir + "/hdr" + std::to_string(h) + ".h",
+                     bench::Content(16 * 1024, /*seed=*/500 + h));
+  }
+  for (int s = 0; s < kSources; ++s) {
+    bench::WriteFile(tb, dir + "/unit" + std::to_string(s) + ".c",
+                     bench::Content(24 * 1024, /*seed=*/600 + s));
+  }
+  tb->DropClientCaches();
+  for (int s = 0; s < kSources; ++s) {
+    bench::ReadFile(tb, dir + "/unit" + std::to_string(s) + ".c");
+    for (int h = 0; h < kHeaders; ++h) {
+      bench::ReadFile(tb, dir + "/hdr" + std::to_string(h) + ".h");
+    }
+    tb->clock()->Advance(kCompileCpuNs, obs::TimeCategory::kApp);
+    bench::WriteFile(tb, dir + "/unit" + std::to_string(s) + ".o",
+                     bench::Content(32 * 1024, /*seed=*/700 + s));
+  }
+}
+
+void PrintTable(const char* title, const std::vector<obs::CriticalPathRow>& rows) {
+  if (rows.empty()) {
+    return;  // Layer unused by this configuration (e.g. plain rpc under SFS).
+  }
+  std::printf("\n%s\n", title);
+  std::printf("  %-28s %8s %14s", "name", "count", "total_ms");
+  for (size_t c = 0; c < obs::kTimeCategoryCount; ++c) {
+    std::printf(" %9s", obs::TimeCategoryName(static_cast<obs::TimeCategory>(c)));
+  }
+  std::printf("\n");
+  for (const obs::CriticalPathRow& row : rows) {
+    std::printf("  %-28s %8llu %14.3f", row.name.c_str(),
+                static_cast<unsigned long long>(row.count),
+                static_cast<double>(row.total_ns) / 1e6);
+    for (size_t c = 0; c < obs::kTimeCategoryCount; ++c) {
+      std::printf(" %9.3f", static_cast<double>(row.cat_ns[c]) / 1e6);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "fig5";
+  std::string export_path;
+  std::string json_dir = ".";
+  uint64_t slow_ns = 5'000'000;
+  bool dump_tree = false;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kDirFlag[] = "--bench_json_dir=";
+    if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      workload = argv[++i];
+    } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+      export_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slow-ns") == 0 && i + 1 < argc) {
+      slow_ns = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--tree") == 0) {
+      dump_tree = true;
+    } else if (std::strncmp(argv[i], kDirFlag, sizeof(kDirFlag) - 1) == 0) {
+      json_dir = argv[i] + sizeof(kDirFlag) - 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--workload fig5|fig7] [--export <trace.json>] "
+                   "[--slow-ns <n>] [--tree] [--bench_json_dir=<dir>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (workload != "fig5" && workload != "fig7") {
+    std::fprintf(stderr, "unknown workload %s (expected fig5 or fig7)\n", workload.c_str());
+    return 2;
+  }
+
+  Testbed tb(Config::kSfs);
+  std::string dir = tb.WorkDir();
+  tb.EnableSpans();
+  uint64_t slow_op_dumps = 0;
+  tb.registry()->spans().EnableSlowOpLog(
+      slow_ns, [&slow_op_dumps](const std::string& dump) {
+        ++slow_op_dumps;
+        if (slow_op_dumps <= 3) {  // Keep the report readable.
+          std::fprintf(stderr, "slow op:\n%s", dump.c_str());
+        }
+      });
+
+  // Direct ledger reading around the workload — the reference the span
+  // tables are checked against.
+  obs::SpanCollector* spans = &tb.registry()->spans();
+  uint64_t ledger_before[obs::kTimeCategoryCount];
+  uint64_t ledger_after[obs::kTimeCategoryCount];
+  for (size_t c = 0; c < obs::kTimeCategoryCount; ++c) {
+    ledger_before[c] = tb.clock()->categories().ns[c];
+  }
+  const uint64_t start_ns = tb.clock()->now_ns();
+
+  if (workload == "fig5") {
+    RunFig5Workload(&tb, dir);
+  } else {
+    RunFig7Workload(&tb, dir);
+  }
+
+  const uint64_t elapsed_ns = tb.clock()->now_ns() - start_ns;
+  for (size_t c = 0; c < obs::kTimeCategoryCount; ++c) {
+    ledger_after[c] = tb.clock()->categories().ns[c];
+  }
+
+  std::vector<obs::Span> collected = spans->TakeFinished();
+  std::printf("span_report: workload=%s config=%s spans=%zu dropped=%llu "
+              "slow_ops=%llu virtual_elapsed_ms=%.3f\n",
+              workload.c_str(), bench::ConfigName(tb.config()), collected.size(),
+              static_cast<unsigned long long>(spans->dropped()),
+              static_cast<unsigned long long>(slow_op_dumps),
+              static_cast<double>(elapsed_ns) / 1e6);
+
+  std::vector<obs::CriticalPathRow> by_root = obs::CriticalPathByRoot(collected);
+  PrintTable("critical path by root operation (ms)", by_root);
+  PrintTable("rpc layer by procedure (ms)", obs::CriticalPathByName(collected, "rpc"));
+  PrintTable("secure channel by procedure (ms)",
+             obs::CriticalPathByName(collected, "sfs.chan"));
+  PrintTable("server dispatch by procedure (ms)",
+             obs::CriticalPathByName(collected, "server"));
+
+  if (dump_tree && !collected.empty()) {
+    std::printf("\nfirst trace:\n%s",
+                obs::FormatSpanTree(collected, collected.front().trace_id).c_str());
+  }
+
+  // Cross-check: per category, the root table's total must match the
+  // clock ledger's charge over the same interval within 1%.  Time the
+  // workload spends outside any root span (e.g. fig7's compile-CPU
+  // bursts between file operations) is legitimately absent from the
+  // table, so the check is one-sided: spans must never claim *more*
+  // than the ledger, and the per-category shortfall must itself be
+  // attributable (tracked, for the wire/crypto/disk categories every
+  // charge of which happens inside some traced operation).
+  std::printf("\nledger cross-check (ms):\n  %-10s %12s %12s %9s\n", "category",
+              "ledger", "spans", "delta");
+  bool ok = true;
+  for (size_t c = 0; c < obs::kTimeCategoryCount; ++c) {
+    const uint64_t ledger_ns = ledger_after[c] - ledger_before[c];
+    uint64_t span_ns = 0;
+    for (const obs::CriticalPathRow& row : by_root) {
+      span_ns += row.cat_ns[c];
+    }
+    const double delta =
+        ledger_ns == 0 ? (span_ns == 0 ? 0.0 : 1.0)
+                       : (static_cast<double>(span_ns) - static_cast<double>(ledger_ns)) /
+                             static_cast<double>(ledger_ns);
+    // kLink, kCrypto, kDisk and kSyscall charges only ever happen inside
+    // a traced operation, so for those the match must be two-sided.
+    const auto category = static_cast<obs::TimeCategory>(c);
+    const bool strict = category == obs::TimeCategory::kLink ||
+                        category == obs::TimeCategory::kCrypto ||
+                        category == obs::TimeCategory::kDisk ||
+                        category == obs::TimeCategory::kSyscall;
+    const bool bad = strict ? (delta > 0.01 || delta < -0.01) : delta > 0.01;
+    if (bad) {
+      ok = false;
+    }
+    std::printf("  %-10s %12.3f %12.3f %+8.2f%%%s\n", obs::TimeCategoryName(category),
+                static_cast<double>(ledger_ns) / 1e6, static_cast<double>(span_ns) / 1e6,
+                delta * 100.0, bad ? "  MISMATCH" : "");
+  }
+  std::printf("ledger cross-check: %s\n", ok ? "OK (within 1%)" : "FAILED");
+
+  if (!export_path.empty()) {
+    if (!obs::WriteChromeTrace(export_path, collected)) {
+      std::fprintf(stderr, "error: cannot write %s\n", export_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu spans; load at ui.perfetto.dev)\n", export_path.c_str(),
+                collected.size());
+  }
+
+  bench::BenchReport report("span_report");
+  bench::BenchRun run;
+  run.name = "SpanReport/" + workload;
+  run.real_time_s = static_cast<double>(elapsed_ns) * 1e-9;
+  run.iterations = 1;
+  run.error = !ok;
+  run.counters.emplace_back("spans", static_cast<double>(collected.size()));
+  run.counters.emplace_back("slow_ops", static_cast<double>(slow_op_dumps));
+  report.Add(std::move(run));
+  report.WriteTo(json_dir);
+
+  return ok ? 0 : 1;
+}

@@ -67,12 +67,12 @@ inline const char* ConfigName(Config c) {
 class Testbed {
  public:
   explicit Testbed(Config config) : config_(config), costs_(sim::CostModel::PentiumIII550()) {
-    vfs_ = std::make_unique<vfs::Vfs>(&clock_, &costs_);
+    vfs_ = std::make_unique<vfs::Vfs>(&clock_, &costs_, &registry_);
 
     switch (config) {
       case Config::kLocal: {
         // Client-local file system; syscalls + disk only.
-        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es());
+        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es(), &registry_);
         memfs_ = std::make_unique<nfs::MemFs>(&clock_, disk_.get(), nfs::MemFs::Options{});
         vfs_->MountRoot(memfs_.get(), memfs_->root_handle());
         server_fs_ = memfs_.get();
@@ -80,7 +80,7 @@ class Testbed {
       }
       case Config::kNfsUdp:
       case Config::kNfsTcp: {
-        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es());
+        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es(), &registry_);
         memfs_ = std::make_unique<nfs::MemFs>(&clock_, disk_.get(), nfs::MemFs::Options{});
         program_ = std::make_unique<nfs::NfsProgram>(memfs_.get(), &clock_, &costs_);
         dispatcher_ = std::make_unique<rpc::Dispatcher>(&registry_, &clock_);
@@ -105,6 +105,7 @@ class Testbed {
             },
             nfs::NfsClient::WireCredentialsEncoder());
         nfs::CacheOptions cache_options;  // Plain NFS3 attribute timeouts.
+        cache_options.registry = &registry_;
         cached_ = std::make_unique<nfs::CachingFs>(nfs_client_.get(), &clock_, cache_options);
         vfs_->MountRoot(cached_.get(), memfs_->root_handle());
         server_fs_ = memfs_.get();
@@ -115,7 +116,7 @@ class Testbed {
       case Config::kSfsNoCache: {
         // Client keeps a (rarely used) local root; the workload lives on
         // the SFS server.
-        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es());
+        disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es(), &registry_);
         memfs_ = std::make_unique<nfs::MemFs>(&clock_, disk_.get(), nfs::MemFs::Options{});
         vfs_->MountRoot(memfs_.get(), memfs_->root_handle());
 
@@ -217,6 +218,21 @@ class Testbed {
   // This testbed's private metrics registry; every component publishes
   // here, so concurrent testbeds never share counters.
   obs::Registry* registry() { return &registry_; }
+
+  // Turns on span collection for this testbed, wiring the collector to
+  // the shared virtual clock.  Call before running a workload; collected
+  // spans are at registry()->spans().
+  void EnableSpans(size_t capacity = 1 << 20) {
+    registry_.spans().Enable(
+        [this] { return clock_.now_ns(); },
+        [this](uint64_t out[obs::kTimeCategoryCount]) {
+          const sim::Clock::CategorySnapshot& charged = clock_.categories();
+          for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+            out[i] = charged.ns[i];
+          }
+        },
+        capacity);
+  }
 
   // Full machine-readable dump: refreshes the time.<category>_ns
   // counters from the clock's ledger, then snapshots every metric.

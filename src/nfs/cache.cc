@@ -44,10 +44,14 @@ void CachingFs::EvictDataIfNeeded() {
 }
 
 Stat CachingFs::GetAttr(const FileHandle& fh, Fattr* attr) {
+  obs::ScopedSpan op_span(spans_, "cache.GetAttr", "nfs.cache");
   auto it = attr_cache_.find(Key(fh));
   if (it != attr_cache_.end() && it->second.expiry_ns > clock_->now_ns()) {
     ++attr_hits_;
     *attr = it->second.attr;
+    if (obs::Span* s = op_span.span()) {
+      s->detail = "hit";
+    }
     return Stat::kOk;
   }
   ++attr_misses_;
@@ -62,6 +66,7 @@ Stat CachingFs::GetAttr(const FileHandle& fh, Fattr* attr) {
 
 Stat CachingFs::SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
                         Fattr* attr) {
+  obs::ScopedSpan op_span(spans_, "cache.SetAttr", "nfs.cache");
   Stat s = backend_->SetAttr(fh, cred, sattr, attr);
   if (s == Stat::kOk) {
     if (sattr.size.has_value()) {
@@ -75,6 +80,7 @@ Stat CachingFs::SetAttr(const FileHandle& fh, const Credentials& cred, const Sat
 
 Stat CachingFs::Lookup(const FileHandle& dir, const std::string& name, const Credentials& cred,
                        FileHandle* out, Fattr* attr) {
+  obs::ScopedSpan op_span(spans_, "cache.Lookup", "nfs.cache");
   auto key = std::make_pair(Key(dir), name);
   auto it = name_cache_.find(key);
   if (it != name_cache_.end() && it->second.expiry_ns > clock_->now_ns()) {
@@ -85,6 +91,9 @@ Stat CachingFs::Lookup(const FileHandle& dir, const std::string& name, const Cre
       ++attr_hits_;
       *out = it->second.fh;
       *attr = attr_it->second.attr;
+      if (obs::Span* s = op_span.span()) {
+        s->detail = "hit";
+      }
       return Stat::kOk;
     }
   }
@@ -100,12 +109,16 @@ Stat CachingFs::Lookup(const FileHandle& dir, const std::string& name, const Cre
 
 Stat CachingFs::Access(const FileHandle& fh, const Credentials& cred, uint32_t want,
                        uint32_t* allowed) {
+  obs::ScopedSpan op_span(spans_, "cache.Access", "nfs.cache");
   auto key = std::make_pair(Key(fh), cred.uid);
   auto it = access_cache_.find(key);
   if (it != access_cache_.end() && it->second.expiry_ns > clock_->now_ns() &&
       (it->second.want & want) == want) {
     ++access_hits_;
     *allowed = it->second.allowed & want;
+    if (obs::Span* s = op_span.span()) {
+      s->detail = "hit";
+    }
     return Stat::kOk;
   }
   Stat s = backend_->Access(fh, cred, want, allowed);
@@ -122,6 +135,7 @@ Stat CachingFs::Access(const FileHandle& fh, const Credentials& cred, uint32_t w
 }
 
 Stat CachingFs::ReadLink(const FileHandle& fh, const Credentials& cred, std::string* target) {
+  obs::ScopedSpan op_span(spans_, "cache.ReadLink", "nfs.cache");
   return backend_->ReadLink(fh, cred, target);
 }
 
@@ -143,6 +157,7 @@ bool CachedAttrAllowsRead(const Fattr& attr, const Credentials& cred) {
 
 Stat CachingFs::Read(const FileHandle& fh, const Credentials& cred, uint64_t offset,
                      uint32_t count, util::Bytes* data, bool* eof) {
+  obs::ScopedSpan op_span(spans_, "cache.Read", "nfs.cache");
   std::string key = Key(fh);
   if (options_.enable_data_cache) {
     // A data-cache hit requires fresh attributes to validate mtime, and
@@ -160,6 +175,9 @@ Stat CachingFs::Read(const FileHandle& fh, const Credentials& cred, uint64_t off
         ++data_hits_;
         data->clear();
         *eof = true;
+        if (obs::Span* s = op_span.span()) {
+          s->detail = "hit";
+        }
         return Stat::kOk;
       }
       uint64_t end = std::min<uint64_t>(offset + count, file_size);
@@ -168,6 +186,9 @@ Stat CachingFs::Read(const FileHandle& fh, const Credentials& cred, uint64_t off
         data->assign(content.begin() + static_cast<long>(offset),
                      content.begin() + static_cast<long>(end));
         *eof = end >= file_size;
+        if (obs::Span* s = op_span.span()) {
+          s->detail = "hit";
+        }
         return Stat::kOk;
       }
     }
@@ -308,6 +329,7 @@ void CachingFs::PrefetchAttrs(const std::vector<FileHandle>& handles) {
 
 Stat CachingFs::Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,
                       const util::Bytes& data, bool stable, Fattr* attr) {
+  obs::ScopedSpan op_span(spans_, "cache.Write", "nfs.cache");
   Stat s = backend_->Write(fh, cred, offset, data, stable, attr);
   if (s != Stat::kOk) {
     return s;
@@ -341,6 +363,7 @@ Stat CachingFs::Write(const FileHandle& fh, const Credentials& cred, uint64_t of
 
 Stat CachingFs::Create(const FileHandle& dir, const std::string& name, const Credentials& cred,
                        const Sattr& sattr, FileHandle* out, Fattr* attr) {
+  obs::ScopedSpan op_span(spans_, "cache.Create", "nfs.cache");
   Stat s = backend_->Create(dir, name, cred, sattr, out, attr);
   if (s == Stat::kOk) {
     StoreAttr(*out, *attr);
@@ -352,6 +375,7 @@ Stat CachingFs::Create(const FileHandle& dir, const std::string& name, const Cre
 
 Stat CachingFs::Mkdir(const FileHandle& dir, const std::string& name, const Credentials& cred,
                       uint32_t mode, FileHandle* out, Fattr* attr) {
+  obs::ScopedSpan op_span(spans_, "cache.Mkdir", "nfs.cache");
   Stat s = backend_->Mkdir(dir, name, cred, mode, out, attr);
   if (s == Stat::kOk) {
     StoreAttr(*out, *attr);
@@ -364,6 +388,7 @@ Stat CachingFs::Mkdir(const FileHandle& dir, const std::string& name, const Cred
 Stat CachingFs::Symlink(const FileHandle& dir, const std::string& name,
                         const std::string& target, const Credentials& cred, FileHandle* out,
                         Fattr* attr) {
+  obs::ScopedSpan op_span(spans_, "cache.Symlink", "nfs.cache");
   Stat s = backend_->Symlink(dir, name, target, cred, out, attr);
   if (s == Stat::kOk) {
     StoreAttr(*out, *attr);
@@ -375,6 +400,7 @@ Stat CachingFs::Symlink(const FileHandle& dir, const std::string& name,
 
 Stat CachingFs::Remove(const FileHandle& dir, const std::string& name,
                        const Credentials& cred) {
+  obs::ScopedSpan op_span(spans_, "cache.Remove", "nfs.cache");
   Stat s = backend_->Remove(dir, name, cred);
   if (s == Stat::kOk) {
     auto it = name_cache_.find({Key(dir), name});
@@ -388,6 +414,7 @@ Stat CachingFs::Remove(const FileHandle& dir, const std::string& name,
 }
 
 Stat CachingFs::Rmdir(const FileHandle& dir, const std::string& name, const Credentials& cred) {
+  obs::ScopedSpan op_span(spans_, "cache.Rmdir", "nfs.cache");
   Stat s = backend_->Rmdir(dir, name, cred);
   if (s == Stat::kOk) {
     name_cache_.erase({Key(dir), name});
@@ -399,6 +426,7 @@ Stat CachingFs::Rmdir(const FileHandle& dir, const std::string& name, const Cred
 Stat CachingFs::Rename(const FileHandle& from_dir, const std::string& from_name,
                        const FileHandle& to_dir, const std::string& to_name,
                        const Credentials& cred) {
+  obs::ScopedSpan op_span(spans_, "cache.Rename", "nfs.cache");
   Stat s = backend_->Rename(from_dir, from_name, to_dir, to_name, cred);
   if (s == Stat::kOk) {
     name_cache_.erase({Key(from_dir), from_name});
@@ -411,6 +439,7 @@ Stat CachingFs::Rename(const FileHandle& from_dir, const std::string& from_name,
 
 Stat CachingFs::Link(const FileHandle& target, const FileHandle& dir,
                      const std::string& name, const Credentials& cred) {
+  obs::ScopedSpan op_span(spans_, "cache.Link", "nfs.cache");
   Stat s = backend_->Link(target, dir, name, cred);
   if (s == Stat::kOk) {
     attr_cache_.erase(Key(target));  // nlink/ctime changed.
@@ -422,14 +451,19 @@ Stat CachingFs::Link(const FileHandle& target, const FileHandle& dir,
 
 Stat CachingFs::ReadDir(const FileHandle& dir, const Credentials& cred, uint64_t cookie,
                         uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) {
+  obs::ScopedSpan op_span(spans_, "cache.ReadDir", "nfs.cache");
   return backend_->ReadDir(dir, cred, cookie, max_entries, entries, eof);
 }
 
 Stat CachingFs::FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) {
+  obs::ScopedSpan op_span(spans_, "cache.FsStat", "nfs.cache");
   return backend_->FsStat(fh, total_bytes, used_bytes);
 }
 
-Stat CachingFs::Commit(const FileHandle& fh) { return backend_->Commit(fh); }
+Stat CachingFs::Commit(const FileHandle& fh) {
+  obs::ScopedSpan op_span(spans_, "cache.Commit", "nfs.cache");
+  return backend_->Commit(fh);
+}
 
 void CachingFs::ForgetParentAttrs(const FileHandle& dir) {
   // Plain NFS3 must re-fetch the parent's attributes after changing it.

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "src/nfs/api.h"
+#include "src/obs/span.h"
 #include "src/sim/clock.h"
 #include "src/util/bytes.h"
 
@@ -36,12 +37,20 @@ struct CacheOptions {
   // this many further chunks of the same size through the async backend
   // (0 disables; requires set_async_ops).
   uint32_t read_ahead_chunks = 0;
+  // Receives per-op "cache.*" spans while span tracing is enabled;
+  // nullptr selects obs::Registry::Default().
+  obs::Registry* registry = nullptr;
 };
 
 class CachingFs : public FileSystemApi {
  public:
   CachingFs(FileSystemApi* backend, sim::Clock* clock, CacheOptions options)
-      : backend_(backend), clock_(clock), options_(options) {}
+      : backend_(backend),
+        clock_(clock),
+        options_(options),
+        spans_(&(options_.registry != nullptr ? options_.registry
+                                              : obs::Registry::Default())
+                    ->spans()) {}
 
   Stat GetAttr(const FileHandle& fh, Fattr* attr) override;
   Stat SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
@@ -133,6 +142,7 @@ class CachingFs : public FileSystemApi {
   FileSystemApi* backend_;
   sim::Clock* clock_;
   CacheOptions options_;
+  obs::SpanCollector* spans_;
   AsyncFileOps* async_ops_ = nullptr;
 
   std::map<std::string, AttrEntry> attr_cache_;

@@ -3,7 +3,13 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/obs/span.h"
+
 namespace obs {
+
+// Out of line: metrics.h only forward-declares SpanCollector.
+Registry::Registry() : spans_(std::make_unique<SpanCollector>()) {}
+Registry::~Registry() = default;
 
 const char* TimeCategoryName(TimeCategory category) {
   switch (category) {
@@ -57,10 +63,23 @@ uint64_t Histogram::ApproxPercentileNs(double p) const {
   uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n - 1)) + 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    seen += bucket(i);
-    if (seen >= rank) {
-      return BucketBoundNs(i);
+    uint64_t in_bucket = bucket(i);
+    seen += in_bucket;
+    if (seen < rank) {
+      continue;
     }
+    // Interpolate linearly inside the winning bucket by the sample's
+    // rank among this bucket's counts.  rank == seen (the bucket's last
+    // sample) yields the upper bound, matching the old behavior for
+    // single-sample buckets.
+    uint64_t lo = i == 0 ? 0 : BucketBoundNs(i - 1);
+    uint64_t hi = BucketBoundNs(i);
+    if (hi == UINT64_MAX) {
+      hi = lo * 2;  // The unbounded bucket has no real upper edge.
+    }
+    double pos = static_cast<double>(rank - (seen - in_bucket)) /
+                 static_cast<double>(in_bucket);
+    return lo + static_cast<uint64_t>(pos * static_cast<double>(hi - lo));
   }
   return BucketBoundNs(kNumBuckets - 1);
 }
@@ -149,6 +168,7 @@ std::string Registry::SnapshotJson() const {
     out << ": {\"count\": " << hist->count() << ", \"sum_ns\": " << hist->sum_ns()
         << ", \"mean_ns\": " << static_cast<uint64_t>(hist->MeanNs())
         << ", \"p50_ns\": " << hist->ApproxPercentileNs(0.5)
+        << ", \"p90_ns\": " << hist->ApproxPercentileNs(0.9)
         << ", \"p99_ns\": " << hist->ApproxPercentileNs(0.99) << ", \"buckets\": [";
     bool first_bucket = true;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -182,6 +202,7 @@ std::string Registry::SnapshotText() const {
     out << name << " count=" << hist->count() << " mean_ns="
         << static_cast<uint64_t>(hist->MeanNs())
         << " p50_ns=" << hist->ApproxPercentileNs(0.5)
+        << " p90_ns=" << hist->ApproxPercentileNs(0.9)
         << " p99_ns=" << hist->ApproxPercentileNs(0.99) << "\n";
   }
   return out.str();

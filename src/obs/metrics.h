@@ -80,8 +80,10 @@ class Histogram {
   }
 
   double MeanNs() const;
-  // Upper bucket bound containing the p-th percentile sample (p in
-  // [0, 1]); 0 when empty.  Coarse by construction — bucket resolution.
+  // Estimate of the p-th percentile sample (p in [0, 1]); 0 when empty.
+  // Linearly interpolates within the winning bucket by the sample's rank
+  // among that bucket's counts, so a lone sample still reports the
+  // bucket's upper bound but dense buckets resolve finer than 2×.
   uint64_t ApproxPercentileNs(double p) const;
 
  private:
@@ -93,9 +95,12 @@ class Histogram {
 // Named metrics for one process (or one testbed).  Also owns the Tracer
 // through which the RPC layers publish structured trace events — one
 // handle threads the whole observability subsystem through a stack.
+class SpanCollector;
+
 class Registry {
  public:
-  Registry() = default;
+  Registry();
+  ~Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -116,6 +121,11 @@ class Registry {
 
   Tracer& tracer() { return tracer_; }
 
+  // The registry's span collector (src/obs/span.h); disabled until a
+  // harness calls spans().Enable() with clock callbacks.  Held by
+  // pointer so this header need not see the span types.
+  SpanCollector& spans() { return *spans_; }
+
   // Shared fallback for components constructed without an explicit
   // registry (the "process-wide" registry).
   static Registry* Default();
@@ -125,6 +135,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   Tracer tracer_;
+  std::unique_ptr<SpanCollector> spans_;
 };
 
 // Per-procedure client-side metric family: call/error/byte counters, a

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/obs/metrics.h"
+
 namespace obs {
 
 const char* TraceEventKindName(TraceEvent::Kind kind) {
@@ -29,6 +31,13 @@ RingBufferSink::RingBufferSink(size_t capacity) : capacity_(capacity) {
   ring_.reserve(std::min<size_t>(capacity_, 256));
 }
 
+RingBufferSink::RingBufferSink(size_t capacity, Registry* registry)
+    : RingBufferSink(capacity) {
+  if (registry != nullptr) {
+    dropped_counter_ = registry->GetCounter("trace.ring.dropped");
+  }
+}
+
 void RingBufferSink::OnEvent(const TraceEvent& event) {
   ++total_;
   if (ring_.size() < capacity_) {
@@ -37,6 +46,9 @@ void RingBufferSink::OnEvent(const TraceEvent& event) {
   }
   ring_[next_] = event;
   next_ = (next_ + 1) % capacity_;
+  if (dropped_counter_ != nullptr) {
+    dropped_counter_->Increment();
+  }
 }
 
 std::vector<TraceEvent> RingBufferSink::Events() const {

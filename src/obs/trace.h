@@ -22,6 +22,9 @@
 
 namespace obs {
 
+class Counter;
+class Registry;
+
 struct TraceEvent {
   enum class Kind : uint8_t {
     kClientCall,        // First transmission of a call.
@@ -64,6 +67,10 @@ class TraceSink {
 class RingBufferSink : public TraceSink {
  public:
   explicit RingBufferSink(size_t capacity = 4096);
+  // Also publishes overwrites to the registry's "trace.ring.dropped"
+  // counter, so exactly-once proofs can assert no events were lost
+  // without holding the sink itself.
+  RingBufferSink(size_t capacity, Registry* registry);
 
   void OnEvent(const TraceEvent& event) override;
 
@@ -80,6 +87,7 @@ class RingBufferSink : public TraceSink {
   std::vector<TraceEvent> ring_;
   size_t next_ = 0;     // Overwrite position once the ring is full.
   uint64_t total_ = 0;  // Events ever seen.
+  Counter* dropped_counter_ = nullptr;  // "trace.ring.dropped", optional.
 };
 
 // Pretty-prints each event as one log line at the given level.  Enable

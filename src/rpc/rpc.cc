@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/obs/span.h"
 #include "src/util/log.h"
 #include "src/xdr/xdr.h"
 
@@ -18,6 +19,7 @@ Dispatcher::Dispatcher(obs::Registry* registry, const sim::Clock* clock)
     : registry_(registry != nullptr ? registry : obs::Registry::Default()),
       clock_(clock),
       tracer_(&registry_->tracer()),
+      spans_(&registry_->spans()),
       m_drc_hits_(registry_->GetCounter("server.drc_hits")) {}
 
 void Dispatcher::RegisterProgram(uint32_t prog, ProgramHandler handler, ProcNamer namer,
@@ -46,7 +48,22 @@ util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
   auto prog = dec.GetUint32();
   auto proc = dec.GetUint32();
   auto args = dec.GetOpaque();
-  if (!xid.ok() || !seqno.ok() || !prog.ok() || !proc.ok() || !args.ok() || !dec.AtEnd()) {
+  if (!xid.ok() || !seqno.ok() || !prog.ok() || !proc.ok() || !args.ok()) {
+    return util::InvalidArgument("RPC: malformed call message");
+  }
+  // Optional trailing trace context, present only while the caller's span
+  // collector is enabled (docs/OBSERVABILITY.md §"Spans").  Retransmits
+  // resend identical bytes, so a duplicate carries its original context.
+  obs::SpanContext wire_ctx;
+  if (!dec.AtEnd()) {
+    auto trace_id = dec.GetUint64();
+    auto parent_span = dec.GetUint64();
+    if (!trace_id.ok() || !parent_span.ok()) {
+      return util::InvalidArgument("RPC: malformed call message");
+    }
+    wire_ctx = obs::SpanContext{trace_id.value(), parent_span.value()};
+  }
+  if (!dec.AtEnd()) {
     return util::InvalidArgument("RPC: malformed call message");
   }
 
@@ -74,6 +91,22 @@ util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
       event.drc_hit = true;
       event.note = "replayed cached reply";
       tracer_->Emit(event);
+    }
+    if (spans_->enabled()) {
+      // Zero-duration marker: the retransmitted copy was answered from
+      // the cache, parented into the original call's trace by the wire
+      // context the duplicate still carries.
+      obs::Span span;
+      span.name = "rpc.drc_hit";
+      span.layer = "server";
+      span.start_ns = now_ns;
+      span.end_ns = now_ns;
+      span.xid = xid.value();
+      span.seqno = seqno.value();
+      span.wire_bytes = cached->second.size();
+      span.drc_hit = true;
+      spans_->RecordClosed(std::move(span),
+                           wire_ctx.valid() ? wire_ctx : spans_->current());
     }
     return cached->second;
   }
@@ -116,7 +149,28 @@ util::Result<util::Bytes> Dispatcher::Handle(const util::Bytes& request) {
     pm->calls->Increment();
     pm->bytes_received->Increment(request.size());
 
+    // Dispatch span: explicit wire-context parent when the caller sent
+    // one (correct even for a retransmitted copy raced by the original),
+    // ambient otherwise.  Pushed so handler-side spans (disk charges)
+    // nest under it.
+    uint64_t dispatch_span = 0;
+    if (spans_->enabled()) {
+      dispatch_span = spans_->Begin("rpc.dispatch." + proc_name, "server", wire_ctx);
+      if (obs::Span* s = spans_->Find(dispatch_span)) {
+        s->xid = xid.value();
+        s->seqno = seqno.value();
+        s->wire_bytes = request.size();
+      }
+      spans_->Push(dispatch_span);
+    }
     auto result = program->handler(proc.value(), args.value());
+    if (dispatch_span != 0) {
+      if (obs::Span* s = spans_->Find(dispatch_span)) {
+        s->error = !result.ok();
+      }
+      spans_->Pop(dispatch_span);
+      spans_->End(dispatch_span);
+    }
     if (clock_ != nullptr) {
       // Handler execution time (server CPU + disk, by the cost model).
       pm->latency->Record(clock_->now_ns() - now_ns);
@@ -172,6 +226,7 @@ Client::Client(Transport* transport, uint32_t prog, obs::Registry* registry,
       namer_(std::move(namer)),
       registry_(registry != nullptr ? registry : obs::Registry::Default()),
       tracer_(&registry_->tracer()),
+      spans_(&registry_->spans()),
       m_stale_retries_(registry_->GetCounter("rpc.client.stale_retries")),
       m_unmatched_replies_(registry_->GetCounter("rpc.client.unmatched_replies")),
       m_window_occupancy_sum_(registry_->GetCounter("rpc.client.window_occupancy_sum")),
@@ -207,15 +262,31 @@ util::Result<util::Bytes> Client::LegacyCall(uint32_t proc, const util::Bytes& a
   uint32_t xid = next_xid_++;
   uint32_t seqno = next_seqno_++;
   ++calls_made_;
+  const std::string proc_name = namer_ ? namer_(proc) : std::to_string(proc);
+
+  // The call span covers the whole stop-and-wait exchange, retransmits
+  // included; pushed so link/server child spans nest under it.
+  obs::ScopedSpan call_span(spans_, "rpc.call." + proc_name, "rpc");
+
   xdr::Encoder call;
   call.PutUint32(xid);
   call.PutUint32(seqno);
   call.PutUint32(prog_);
   call.PutUint32(proc);
   call.PutOpaque(args);
+  if (obs::Span* s = call_span.span()) {
+    // Trace context rides after the args; sealed/retransmitted copies
+    // carry it verbatim, so the server always sees the original parent.
+    call.PutUint64(s->trace_id);
+    call.PutUint64(s->id);
+  }
   const util::Bytes wire = call.Take();
+  if (obs::Span* s = call_span.span()) {
+    s->xid = xid;
+    s->seqno = seqno;
+    s->wire_bytes = wire.size();
+  }
 
-  const std::string proc_name = namer_ ? namer_(proc) : std::to_string(proc);
   obs::ProcMetrics* pm = metrics_.Get(proc, proc_name);
   pm->calls->Increment();
 
@@ -252,6 +323,9 @@ util::Result<util::Bytes> Client::LegacyCall(uint32_t proc, const util::Bytes& a
   auto finish = [&](bool ok, uint64_t reply_bytes) {
     if (!ok) {
       pm->errors->Increment();
+      if (obs::Span* s = call_span.span()) {
+        s->error = true;
+      }
     }
     pm->bytes_received->Increment(reply_bytes);
     if (clock != nullptr) {
@@ -284,6 +358,9 @@ util::Result<util::Bytes> Client::LegacyCall(uint32_t proc, const util::Bytes& a
       ++retransmissions_;
       m_stale_retries_->Increment();
       pm->retransmits->Increment();
+      if (obs::Span* s = call_span.span()) {
+        ++s->retransmits;
+      }
       emit(obs::TraceEvent::Kind::kClientRetransmit, attempt, wire.size(),
            last_error.message());
     }
@@ -362,7 +439,11 @@ void Client::EmitEvent(obs::TraceEvent::Kind kind, const PendingCall& call,
 
 void Client::Transmit(PendingCall* call) {
   call->pm->bytes_sent->Increment(call->wire.size());
+  // The call span is ambient across Submit so the inline server handler
+  // and the link's transit bookkeeping parent under it (Push(0) no-ops).
+  spans_->Push(call->span_id);
   const uint64_t token = transport_->Submit(call->wire);
+  spans_->Pop(call->span_id);
   token_to_xid_[token] = call->xid;
   sim::Clock* clock = transport_->clock();
   call->deadline_ns = (clock != nullptr ? clock->now_ns() : 0) + call->rto_ns;
@@ -415,19 +496,40 @@ void Client::CallAsync(uint32_t proc, const util::Bytes& args, Callback done) {
   uint32_t xid = next_xid_++;
   uint32_t seqno = next_seqno_++;
   ++calls_made_;
+  const std::string proc_name = namer_ ? namer_(proc) : std::to_string(proc);
+
+  // Async call span: parented to the ambient span at submission (the
+  // initiating operation), ended when the reply completes the call.
+  // Initiators that must satisfy the nesting invariant drain their async
+  // calls before closing their own span.
+  uint64_t span_id = 0;
+  if (spans_->enabled()) {
+    span_id = spans_->Begin("rpc.call." + proc_name, "rpc");
+  }
+
   xdr::Encoder enc;
   enc.PutUint32(xid);
   enc.PutUint32(seqno);
   enc.PutUint32(prog_);
   enc.PutUint32(proc);
   enc.PutOpaque(args);
+  if (obs::Span* s = spans_->Find(span_id)) {
+    enc.PutUint64(s->trace_id);
+    enc.PutUint64(s->id);
+    s->xid = xid;
+    s->seqno = seqno;
+  }
 
   PendingCall call;
   call.xid = xid;
   call.seqno = seqno;
   call.proc = proc;
-  call.proc_name = namer_ ? namer_(proc) : std::to_string(proc);
+  call.proc_name = proc_name;
+  call.span_id = span_id;
   call.wire = enc.Take();
+  if (obs::Span* s = spans_->Find(span_id)) {
+    s->wire_bytes = call.wire.size();
+  }
   call.t_call_ns = clock != nullptr ? clock->now_ns() : 0;
   call.rto_ns = policy->initial_rto_ns;
   call.pm = metrics_.Get(proc, call.proc_name);
@@ -496,6 +598,9 @@ void Client::PumpOnce() {
     ++retransmissions_;
     transport_->NoteRetransmission();
     call.pm->retransmits->Increment();
+    if (obs::Span* s = spans_->Find(call.span_id)) {
+      ++s->retransmits;
+    }
     EmitEvent(obs::TraceEvent::Kind::kClientRetransmit, call, call.wire.size(),
               "retransmission timer expired");
     Transmit(&call);
@@ -602,6 +707,12 @@ void Client::Complete(uint32_t xid, util::Result<util::Bytes> result) {
     // recorded here: overlapping calls share elapsed time, so a per-call
     // category diff would double-charge (the legacy path keeps them).
     call.pm->latency->Record(clock->now_ns() - call.t_call_ns);
+  }
+  if (call.span_id != 0) {
+    if (obs::Span* s = spans_->Find(call.span_id)) {
+      s->error = !result.ok();
+    }
+    spans_->End(call.span_id);
   }
   if (call.done) {
     call.done(std::move(result));

@@ -7,6 +7,10 @@
 //
 // Wire format (XDR):
 //   call:  uint32 xid, uint32 seqno, uint32 prog, uint32 proc, opaque args
+//          [, uint64 trace_id, uint64 parent_span_id]  — optional trace
+//          context, appended only while span tracing is enabled (the
+//          server parents its dispatch span under the client's call span;
+//          see docs/OBSERVABILITY.md §"Spans")
 //   reply: uint32 xid, uint32 status (0 = accepted), on error: uint32
 //          code + string message, else opaque results
 //
@@ -100,6 +104,7 @@ class Dispatcher : public sim::Service {
   obs::Registry* registry_;
   const sim::Clock* clock_;
   obs::Tracer* tracer_;
+  obs::SpanCollector* spans_;
   obs::Counter* m_drc_hits_;
 };
 
@@ -204,6 +209,7 @@ class Client {
     uint64_t deadline_ns = 0;
     uint64_t rto_ns = 0;
     uint32_t attempt = 0;
+    uint64_t span_id = 0;  // Open "rpc.call.<proc>" span; 0 = tracing off.
     obs::ProcMetrics* pm = nullptr;
     Callback done;
   };
@@ -240,6 +246,7 @@ class Client {
 
   obs::Registry* registry_;
   obs::Tracer* tracer_;
+  obs::SpanCollector* spans_;
   obs::Counter* m_stale_retries_;
   obs::Counter* m_unmatched_replies_;
   obs::Counter* m_window_occupancy_sum_;

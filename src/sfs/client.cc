@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/obs/span.h"
 #include "src/sfs/idmap.h"
 #include "src/util/log.h"
 #include "src/xdr/xdr.h"
 
 namespace sfs {
 namespace {
+
+// Records one already-elapsed all-kCrypto interval (a seal or open of the
+// channel cipher) as a child of `parent`.
+void RecordCryptoSpan(obs::SpanCollector* spans, const char* name, uint64_t start_ns,
+                      uint64_t end_ns, uint64_t bytes, obs::SpanContext parent) {
+  if (spans == nullptr || !spans->enabled() || end_ns == start_ns) {
+    return;
+  }
+  obs::Span span;
+  span.name = name;
+  span.layer = "sfs.chan";
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.cat_ns[static_cast<size_t>(obs::TimeCategory::kCrypto)] = end_ns - start_ns;
+  span.wire_bytes = bytes;
+  spans->RecordClosed(std::move(span), parent);
+}
 
 util::Bytes FrameMessage(uint32_t type, const util::Bytes& payload) {
   xdr::Encoder enc;
@@ -129,6 +147,7 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
     mount->link_->set_interposer(interposer_);
   }
   mount->tracer_ = &registry_->tracer();
+  mount->spans_ = &registry_->spans();
   mount->m_stale_retries_ = registry_->GetCounter("rpc.client.stale_retries");
   mount->m_unmatched_replies_ = registry_->GetCounter("rpc.client.unmatched_replies");
   mount->m_window_occupancy_sum_ = registry_->GetCounter("rpc.client.window_occupancy_sum");
@@ -181,6 +200,7 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
     mp->root_fh_ = mp->ro_client_->root_fh();
     nfs::CacheOptions cache_options;
     cache_options.use_leases = true;  // Content-addressed data: cache hard.
+    cache_options.registry = registry_;
     mp->cache_ =
         std::make_unique<nfs::CachingFs>(mp->ro_client_.get(), clock_, cache_options);
     ++mounts_created_;
@@ -244,6 +264,7 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   nfs::CacheOptions cache_options;
   cache_options.use_leases = options_.enhanced_caching;
   cache_options.attr_timeout_ns = options_.attr_timeout_ns;
+  cache_options.registry = registry_;
   if (mp->window_ > 1) {
     // Pipelined channel: overlap sequential read misses with read-ahead.
     mp->nfs_client_->set_async_call(
@@ -287,19 +308,30 @@ util::Result<util::Bytes> SfsClient::MountPoint::Call(uint32_t prog, uint32_t pr
 
 util::Result<util::Bytes> SfsClient::MountPoint::LegacyCall(uint32_t prog, uint32_t proc,
                                                             const util::Bytes& args) {
-  // Build the RPC message.
+  const bool is_nfs = prog == nfs::kNfsProgram;
+  const std::string proc_name =
+      is_nfs ? nfs::ProcName(proc)
+             : (prog == kSfsCtlProgram ? CtlProcName(proc) : std::to_string(proc));
+
+  // Channel call span: covers seal, transit, server work, open, and any
+  // retransmission waits.  Pushed so those child spans nest under it.
+  obs::ScopedSpan call_span(spans_, "sfs.call." + proc_name, "sfs.chan");
+
+  // Build the RPC message.  The trace context travels *inside* the
+  // sealed body (the server parents its dispatch span after opening);
+  // only the wire seqno is cleartext (docs/PROTOCOL.md §10).
   uint32_t xid = next_xid_++;
   xdr::Encoder call;
   call.PutUint32(xid);
   call.PutUint32(prog);
   call.PutUint32(proc);
   call.PutOpaque(args);
+  if (obs::Span* s = call_span.span()) {
+    call.PutUint64(s->trace_id);
+    call.PutUint64(s->id);
+  }
   util::Bytes rpc_message = call.Take();
 
-  const bool is_nfs = prog == nfs::kNfsProgram;
-  const std::string proc_name =
-      is_nfs ? nfs::ProcName(proc)
-             : (prog == kSfsCtlProgram ? CtlProcName(proc) : std::to_string(proc));
   obs::ProcMetrics* pm = is_nfs ? nfs_metrics_.Get(proc, proc_name)
                                 : ctl_metrics_.Get(proc, proc_name);
   pm->calls->Increment();
@@ -312,6 +344,9 @@ util::Result<util::Bytes> SfsClient::MountPoint::LegacyCall(uint32_t prog, uint3
   auto finish = [&](bool ok, uint64_t reply_bytes) {
     if (!ok) {
       pm->errors->Increment();
+      if (obs::Span* s = call_span.span()) {
+        s->error = true;
+      }
     }
     pm->bytes_received->Increment(reply_bytes);
     pm->latency->Record(clock->now_ns() - t_call_ns);
@@ -332,14 +367,22 @@ util::Result<util::Bytes> SfsClient::MountPoint::LegacyCall(uint32_t prog, uint3
     client_->costs_->ChargeCopy(client_->clock_, rpc_message.size());
     sealed = rpc_message;
   } else {
+    const uint64_t seal_start_ns = clock->now_ns();
     sealed = cipher_out_->Seal(rpc_message);
     client_->costs_->ChargeCrypto(client_->clock_, sealed.size());
+    RecordCryptoSpan(spans_, "sfs.seal", seal_start_ns, clock->now_ns(), sealed.size(),
+                     spans_->current());
   }
   uint32_t wire_seqno = next_wire_seqno_++;
   xdr::Encoder frame;
   frame.PutUint32(wire_seqno);
   frame.PutOpaque(sealed);
   const util::Bytes wire = FrameMessage(kMsgEncrypted, frame.Take());
+  if (obs::Span* s = call_span.span()) {
+    s->xid = xid;
+    s->seqno = wire_seqno;
+    s->wire_bytes = wire.size();
+  }
 
   auto emit = [&](obs::TraceEvent::Kind kind, uint32_t attempt, uint64_t wire_bytes,
                   const std::string& note) {
@@ -375,6 +418,9 @@ util::Result<util::Bytes> SfsClient::MountPoint::LegacyCall(uint32_t prog, uint3
       ++stale_retries_;
       m_stale_retries_->Increment();
       pm->retransmits->Increment();
+      if (obs::Span* s = call_span.span()) {
+        ++s->retransmits;
+      }
       emit(obs::TraceEvent::Kind::kClientRetransmit, attempt, wire.size(),
            last_error.message());
     }
@@ -420,7 +466,10 @@ util::Result<util::Bytes> SfsClient::MountPoint::LegacyCall(uint32_t prog, uint3
       client_->costs_->ChargeCopy(client_->clock_, sealed_reply->size());
       reply = sealed_reply.value();
     } else {
+      const uint64_t open_start_ns = clock->now_ns();
       client_->costs_->ChargeCrypto(client_->clock_, sealed_reply->size());
+      RecordCryptoSpan(spans_, "sfs.open", open_start_ns, clock->now_ns(),
+                       sealed_reply->size(), spans_->current());
       auto opened = cipher_in_->Open(sealed_reply.value());
       if (!opened.ok()) {
         // Wrong keystream position: a reordered or replayed stale reply
@@ -512,7 +561,11 @@ void SfsClient::MountPoint::CountUnmatched(uint32_t seqno, uint64_t wire_bytes,
 
 void SfsClient::MountPoint::Transmit(PendingChannelCall* call) {
   call->pm->bytes_sent->Increment(call->wire.size());
+  // Ambient across Submit so the inline server handler and the link's
+  // transit bookkeeping parent under this call (Push(0) no-ops).
+  spans_->Push(call->span_id);
   const uint64_t token = link_->Submit(call->wire);
+  spans_->Pop(call->span_id);
   token_to_seqno_[token] = call->wire_seqno;
   call->deadline_ns = client_->clock_->now_ns() + call->rto_ns;
 }
@@ -531,20 +584,37 @@ void SfsClient::MountPoint::CallAsync(uint32_t prog, uint32_t proc, const util::
   }
 
   uint32_t xid = next_xid_++;
+  const bool is_nfs = prog == nfs::kNfsProgram;
+  const std::string proc_name =
+      is_nfs ? nfs::ProcName(proc)
+             : (prog == kSfsCtlProgram ? CtlProcName(proc) : std::to_string(proc));
+
+  // Async channel call span, parented to the ambient span at submission
+  // and ended when the in-order opener completes the call.
+  uint64_t span_id = 0;
+  if (spans_->enabled()) {
+    span_id = spans_->Begin("sfs.call." + proc_name, "sfs.chan");
+  }
+
   xdr::Encoder call_enc;
   call_enc.PutUint32(xid);
   call_enc.PutUint32(prog);
   call_enc.PutUint32(proc);
   call_enc.PutOpaque(args);
+  if (obs::Span* s = spans_->Find(span_id)) {
+    // Trace context rides inside the sealed body (see LegacyCall).
+    call_enc.PutUint64(s->trace_id);
+    call_enc.PutUint64(s->id);
+    s->xid = xid;
+  }
   util::Bytes rpc_message = call_enc.Take();
 
-  const bool is_nfs = prog == nfs::kNfsProgram;
   PendingChannelCall call;
   call.xid = xid;
   call.prog = prog;
   call.proc = proc;
-  call.proc_name = is_nfs ? nfs::ProcName(proc)
-                          : (prog == kSfsCtlProgram ? CtlProcName(proc) : std::to_string(proc));
+  call.span_id = span_id;
+  call.proc_name = proc_name;
   call.pm = is_nfs ? nfs_metrics_.Get(proc, call.proc_name)
                    : ctl_metrics_.Get(proc, call.proc_name);
   call.pm->calls->Increment();
@@ -561,8 +631,12 @@ void SfsClient::MountPoint::CallAsync(uint32_t prog, uint32_t proc, const util::
     client_->costs_->ChargeCopy(client_->clock_, rpc_message.size());
     sealed = rpc_message;
   } else {
+    const uint64_t seal_start_ns = clock->now_ns();
     sealed = cipher_out_->Seal(rpc_message);
     client_->costs_->ChargeCrypto(client_->clock_, sealed.size());
+    obs::Span* s = spans_->Find(span_id);
+    RecordCryptoSpan(spans_, "sfs.seal", seal_start_ns, clock->now_ns(), sealed.size(),
+                     s != nullptr ? s->context() : obs::SpanContext{});
   }
   call.wire_seqno = next_wire_seqno_++;
   xdr::Encoder frame;
@@ -570,6 +644,10 @@ void SfsClient::MountPoint::CallAsync(uint32_t prog, uint32_t proc, const util::
   frame.PutOpaque(sealed);
   call.wire = FrameMessage(kMsgEncrypted, frame.Take());
   call.rto_ns = link_->retry_policy().initial_rto_ns;
+  if (obs::Span* s = spans_->Find(span_id)) {
+    s->seqno = call.wire_seqno;
+    s->wire_bytes = call.wire.size();
+  }
 
   auto [it, inserted] = pending_.emplace(call.wire_seqno, std::move(call));
   (void)inserted;
@@ -626,6 +704,9 @@ void SfsClient::MountPoint::PumpOnce() {
     // benchmark testbed sums both and must not double-count.
     link_->NoteRetransmission();
     call.pm->retransmits->Increment();
+    if (obs::Span* s = spans_->Find(call.span_id)) {
+      ++s->retransmits;
+    }
     EmitChannelEvent(obs::TraceEvent::Kind::kClientRetransmit, call, call.wire.size(),
                      "retransmission timer expired");
     Transmit(&call);
@@ -695,7 +776,12 @@ void SfsClient::MountPoint::TryOpenInOrder() {
       client_->costs_->ChargeCopy(client_->clock_, sealed.size());
       reply = std::move(sealed);
     } else {
+      const uint64_t open_start_ns = client_->clock_->now_ns();
       client_->costs_->ChargeCrypto(client_->clock_, sealed.size());
+      if (obs::Span* s = spans_->Find(call.span_id)) {
+        RecordCryptoSpan(spans_, "sfs.open", open_start_ns, client_->clock_->now_ns(),
+                         sealed.size(), s->context());
+      }
       auto opened = cipher_in_->Open(sealed);
       if (!opened.ok()) {
         // Tampered or corrupt at the expected keystream position.  Open
@@ -763,6 +849,12 @@ void SfsClient::MountPoint::CompleteChannelCall(uint32_t wire_seqno,
   // Per-category time slices are deliberately not recorded for pipelined
   // calls: overlapping calls would each claim the full shared-clock
   // delta and double-count every category.
+  if (call.span_id != 0) {
+    if (obs::Span* s = spans_->Find(call.span_id)) {
+      s->error = !result.ok();
+    }
+    spans_->End(call.span_id);
+  }
   if (call.done) {
     call.done(std::move(result));
   }

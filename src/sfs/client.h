@@ -164,6 +164,7 @@ class SfsClient {
       uint64_t deadline_ns = 0;
       uint64_t rto_ns = 0;
       uint32_t attempt = 0;
+      uint64_t span_id = 0;  // Open "sfs.call.<proc>" span; 0 = tracing off.
       obs::ProcMetrics* pm = nullptr;
       std::function<void(util::Result<util::Bytes>)> done;
     };
@@ -178,6 +179,7 @@ class SfsClient {
     // per-procedure prefixes match the plain-RPC Client's, so NFS3 and
     // SFS stacks report under the same metric names.
     obs::Tracer* tracer_ = nullptr;
+    obs::SpanCollector* spans_ = nullptr;
     obs::Counter* m_stale_retries_ = nullptr;
     obs::Counter* m_unmatched_replies_ = nullptr;
     obs::Counter* m_window_occupancy_sum_ = nullptr;

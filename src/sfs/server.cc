@@ -27,6 +27,22 @@ util::Bytes FrameMessage(uint32_t type, const util::Bytes& payload) {
   return enc.Take();
 }
 
+// Closed all-crypto span for a seal/open interval on the server side.
+void RecordCryptoSpan(obs::SpanCollector* spans, const char* name, uint64_t start_ns,
+                      uint64_t end_ns, uint64_t bytes, obs::SpanContext parent) {
+  if (spans == nullptr || !spans->enabled() || end_ns == start_ns) {
+    return;
+  }
+  obs::Span span;
+  span.name = name;
+  span.layer = "server";
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.cat_ns[static_cast<size_t>(obs::TimeCategory::kCrypto)] = end_ns - start_ns;
+  span.wire_bytes = bytes;
+  spans->RecordClosed(std::move(span), parent);
+}
+
 }  // namespace
 
 SfsServer::SfsServer(sim::Clock* clock, const sim::CostModel* costs, Options options,
@@ -36,7 +52,8 @@ SfsServer::SfsServer(sim::Clock* clock, const sim::CostModel* costs, Options opt
       options_(std::move(options)),
       prng_(options_.prng_seed),
       identities_(),
-      disk_(clock, sim::DiskProfile::Ibm18Es()),
+      disk_(clock, sim::DiskProfile::Ibm18Es(),
+            options_.registry != nullptr ? options_.registry : obs::Registry::Default()),
       memfs_(clock, &disk_,
              nfs::MemFs::Options{options_.fsid,
                                  /*handle_secret=*/prng_.RandomUint64(0),
@@ -54,6 +71,7 @@ SfsServer::SfsServer(sim::Clock* clock, const sim::CostModel* costs, Options opt
       registry_(options_.registry != nullptr ? options_.registry
                                              : obs::Registry::Default()),
       tracer_(&registry_->tracer()),
+      spans_(&registry_->spans()),
       m_drc_hits_(registry_->GetCounter("server.drc_hits")) {
   nfs_program_.set_lease_ns(options_.lease_ns);
   nfs_metrics_.Init(registry_, "server.NFS3");
@@ -312,6 +330,24 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
       event.note = "replayed sealed reply; keystreams untouched";
       server_->tracer_->Emit(event);
     }
+    if (server_->spans_->enabled()) {
+      // The sealed body cannot be opened again (the keystream must not
+      // advance), so the replay's trace context comes from the cache of
+      // the original dispatch.
+      obs::SpanContext parent = server_->spans_->current();
+      if (auto ctx = ctx_cache_.find(wire_seqno.value()); ctx != ctx_cache_.end()) {
+        parent = ctx->second;
+      }
+      obs::Span span;
+      span.name = "sfs.drc_hit";
+      span.layer = "server";
+      span.start_ns = server_->clock_->now_ns();
+      span.end_ns = span.start_ns;
+      span.seqno = wire_seqno.value();
+      span.wire_bytes = cached->second.size();
+      span.drc_hit = true;
+      server_->spans_->RecordClosed(std::move(span), parent);
+    }
     return cached->second;
   }
   if (reply_cache_max_seqno_ != 0 &&
@@ -325,7 +361,11 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
     server_->costs_->ChargeCopy(server_->clock_, sealed_body->size());
     plaintext = sealed_body.value();
   } else {
+    const uint64_t open_start_ns = server_->clock_->now_ns();
     server_->costs_->ChargeCrypto(server_->clock_, sealed_body->size());
+    RecordCryptoSpan(server_->spans_, "sfs.open", open_start_ns,
+                     server_->clock_->now_ns(), sealed_body->size(),
+                     server_->spans_->current());
     auto opened = cipher_in_->Open(sealed_body.value());
     if (!opened.ok()) {
       state_ = State::kDead;  // Tampered or forged: kill the session.
@@ -349,8 +389,12 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
     server_->costs_->ChargeCopy(server_->clock_, reply->size());
     sealed_reply = reply.value();
   } else {
+    const uint64_t seal_start_ns = server_->clock_->now_ns();
     sealed_reply = cipher_out_->Seal(reply.value());
     server_->costs_->ChargeCrypto(server_->clock_, sealed_reply.size());
+    RecordCryptoSpan(server_->spans_, "sfs.seal", seal_start_ns,
+                     server_->clock_->now_ns(), sealed_reply.size(),
+                     server_->spans_->current());
   }
   xdr::Encoder reply_frame;
   reply_frame.PutUint32(wire_seqno.value());
@@ -367,6 +411,10 @@ util::Result<util::Bytes> ServerConnection::HandleEncrypted(const util::Bytes& p
          reply_cache_.begin()->first + kDrcWindow <= reply_cache_max_seqno_) {
     reply_cache_.erase(reply_cache_.begin());
   }
+  while (!ctx_cache_.empty() &&
+         ctx_cache_.begin()->first + kDrcWindow <= reply_cache_max_seqno_) {
+    ctx_cache_.erase(ctx_cache_.begin());
+  }
   return framed_reply;
 }
 
@@ -378,8 +426,25 @@ util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_m
   auto prog = dec.GetUint32();
   auto proc = dec.GetUint32();
   auto args = dec.GetOpaque();
-  if (!xid.ok() || !prog.ok() || !proc.ok() || !args.ok() || !dec.AtEnd()) {
+  if (!xid.ok() || !prog.ok() || !proc.ok() || !args.ok()) {
     return util::InvalidArgument("malformed RPC in channel");
+  }
+  // Optional trailing trace context (rides inside the sealed body; see
+  // docs/OBSERVABILITY.md §"Spans").
+  obs::SpanContext wire_ctx;
+  if (!dec.AtEnd()) {
+    auto trace_id = dec.GetUint64();
+    auto parent_span = dec.GetUint64();
+    if (!trace_id.ok() || !parent_span.ok()) {
+      return util::InvalidArgument("malformed RPC in channel");
+    }
+    wire_ctx = obs::SpanContext{trace_id.value(), parent_span.value()};
+  }
+  if (!dec.AtEnd()) {
+    return util::InvalidArgument("malformed RPC in channel");
+  }
+  if (wire_ctx.valid()) {
+    ctx_cache_[wire_seqno] = wire_ctx;
   }
 
   const bool is_nfs = prog.value() == nfs::kNfsProgram;
@@ -418,11 +483,30 @@ util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_m
     pm->bytes_received->Increment(rpc_message.size());
   }
 
+  uint64_t dispatch_span = 0;
+  if (server_->spans_->enabled()) {
+    dispatch_span = server_->spans_->Begin("sfs.dispatch." + proc_name, "server", wire_ctx);
+    if (obs::Span* s = server_->spans_->Find(dispatch_span)) {
+      s->xid = xid.value();
+      s->seqno = wire_seqno;
+      s->wire_bytes = rpc_message.size();
+    }
+    server_->spans_->Push(dispatch_span);
+  }
+
   util::Result<util::Bytes> result = util::InvalidArgument("no such program");
   if (is_nfs) {
     result = HandleNfs(proc.value(), args.value());
   } else if (is_ctl) {
     result = HandleCtl(proc.value(), args.value());
+  }
+
+  if (dispatch_span != 0) {
+    if (obs::Span* s = server_->spans_->Find(dispatch_span)) {
+      s->error = !result.ok();
+    }
+    server_->spans_->Pop(dispatch_span);
+    server_->spans_->End(dispatch_span);
   }
 
   if (pm != nullptr) {

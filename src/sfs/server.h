@@ -31,6 +31,7 @@
 #include "src/crypto/rabin.h"
 #include "src/nfs/memfs.h"
 #include "src/nfs/program.h"
+#include "src/obs/span.h"
 #include "src/sfs/handle_crypt.h"
 #include "src/sfs/pathname.h"
 #include "src/sfs/proto.h"
@@ -145,6 +146,7 @@ class SfsServer {
   // Dispatcher's, so NFS3 and SFS stacks report under the same names).
   obs::Registry* registry_;
   obs::Tracer* tracer_;
+  obs::SpanCollector* spans_;
   obs::Counter* m_drc_hits_;
   obs::ProcMetricsTable nfs_metrics_;  // "server.NFS3"
   obs::ProcMetricsTable ctl_metrics_;  // "server.SFSCTL"
@@ -197,6 +199,12 @@ class ServerConnection : public sim::Service {
   // neither cipher (see docs/PROTOCOL.md).
   std::map<uint32_t, util::Bytes> reply_cache_;
   uint32_t reply_cache_max_seqno_ = 0;
+  // Trace context of the request that produced each cached reply: a DRC
+  // hit records its span into the *original* call's trace (the
+  // retransmitted frame carries the same sealed bytes, so the context is
+  // unreadable at hit time — the cipher must not run twice).  Pruned in
+  // lockstep with reply_cache_.
+  std::map<uint32_t, obs::SpanContext> ctx_cache_;
 
   // Handshake messages have no seqno; a redelivered copy is recognized by
   // byte identity and answered with the recorded reply instead of hitting

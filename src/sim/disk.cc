@@ -1,8 +1,30 @@
 #include "src/sim/disk.h"
 
+#include "src/obs/span.h"
+
 namespace sim {
 
+void Disk::RecordDiskSpan(const char* name, uint64_t start_ns, uint64_t bytes) {
+  if (registry_ == nullptr || !registry_->spans().enabled()) {
+    return;
+  }
+  const uint64_t now = clock_->now_ns();
+  if (now == start_ns) {
+    return;  // Free operation (buffered, cache-resident); no span.
+  }
+  obs::Span span;
+  span.name = name;
+  span.layer = "sim.disk";
+  span.start_ns = start_ns;
+  span.end_ns = now;
+  // Every nanosecond of these charges goes to kDisk by construction.
+  span.cat_ns[static_cast<size_t>(obs::TimeCategory::kDisk)] = now - start_ns;
+  span.wire_bytes = bytes;
+  registry_->spans().RecordClosed(std::move(span), registry_->spans().current());
+}
+
 void Disk::ChargeRead(uint64_t file_id, uint64_t offset, uint64_t bytes) {
+  const uint64_t start_ns = clock_->now_ns();
   bool sequential = file_id == last_file_id_ && offset == next_sequential_offset_;
   if (!sequential) {
     clock_->Advance(profile_.seek_ns, obs::TimeCategory::kDisk);
@@ -10,18 +32,28 @@ void Disk::ChargeRead(uint64_t file_id, uint64_t offset, uint64_t bytes) {
   clock_->Advance(bytes * 1'000'000'000 / profile_.bytes_per_sec, obs::TimeCategory::kDisk);
   last_file_id_ = file_id;
   next_sequential_offset_ = offset + bytes;
+  RecordDiskSpan("disk.read", start_ns, bytes);
 }
 
 void Disk::ChargeCommit() {
   if (dirty_bytes_ == 0) {
     return;
   }
+  const uint64_t start_ns = clock_->now_ns();
+  const uint64_t bytes = dirty_bytes_;
   // One seek to the log/segment plus a streaming write of the dirty data.
   clock_->Advance(profile_.seek_ns, obs::TimeCategory::kDisk);
   clock_->Advance(dirty_bytes_ * 1'000'000'000 / profile_.bytes_per_sec,
                   obs::TimeCategory::kDisk);
   dirty_bytes_ = 0;
   last_file_id_ = ~uint64_t{0};  // The write moved the head.
+  RecordDiskSpan("disk.commit", start_ns, bytes);
+}
+
+void Disk::ChargeMetaUpdate() {
+  const uint64_t start_ns = clock_->now_ns();
+  clock_->Advance(profile_.meta_update_ns, obs::TimeCategory::kDisk);
+  RecordDiskSpan("disk.meta_update", start_ns, 0);
 }
 
 }  // namespace sim

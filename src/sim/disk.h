@@ -27,7 +27,10 @@ struct DiskProfile {
 
 class Disk {
  public:
-  Disk(Clock* clock, DiskProfile profile) : clock_(clock), profile_(profile) {}
+  // `registry` (optional) lets disk charges record child spans when the
+  // registry's SpanCollector is enabled (see src/obs/span.h).
+  Disk(Clock* clock, DiskProfile profile, obs::Registry* registry = nullptr)
+      : clock_(clock), profile_(profile), registry_(registry) {}
 
   // Cold read of `bytes` from `file_id` at `offset`.  Sequential
   // continuation of the previous read skips the seek.
@@ -41,9 +44,7 @@ class Disk {
   void ChargeCommit();
 
   // Synchronous metadata update.
-  void ChargeMetaUpdate() {
-    clock_->Advance(profile_.meta_update_ns, obs::TimeCategory::kDisk);
-  }
+  void ChargeMetaUpdate();
 
   uint64_t dirty_bytes() const { return dirty_bytes_; }
 
@@ -51,8 +52,13 @@ class Disk {
   void DiscardDirty() { dirty_bytes_ = 0; }
 
  private:
+  // Records one already-elapsed all-kDisk interval as a child span of the
+  // ambient span (typically the server dispatch span).
+  void RecordDiskSpan(const char* name, uint64_t start_ns, uint64_t bytes);
+
   Clock* clock_;
   DiskProfile profile_;
+  obs::Registry* registry_ = nullptr;
   uint64_t dirty_bytes_ = 0;
   uint64_t last_file_id_ = ~uint64_t{0};
   uint64_t next_sequential_offset_ = 0;

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "src/obs/span.h"
+
 namespace sim {
+
+namespace {
+// Bounds transit_info_: tokens whose message was dropped never deliver,
+// so their entries are reclaimed oldest-first past this size.
+constexpr size_t kMaxTransitInfo = 4096;
+}  // namespace
+
+bool Link::SpansEnabled() const { return registry_->spans().enabled(); }
 
 uint64_t Link::SerializationNs(size_t bytes) const {
   if (profile_.bytes_per_sec == 0) {
@@ -18,14 +28,33 @@ void Link::CountMessage(size_t bytes) {
   m_bytes_->Increment(bytes);
 }
 
-void Link::ChargeOneWay(size_t bytes) {
+void Link::ChargeOneWay(size_t bytes, const char* span_name) {
   uint64_t transit = profile_.latency_ns + profile_.per_message_ns + SerializationNs(bytes);
+  const uint64_t start_ns = clock_->now_ns();
   clock_->Advance(transit, obs::TimeCategory::kLink);
   CountMessage(bytes);
+  if (transit != 0 && SpansEnabled()) {
+    obs::SpanCollector& spans = registry_->spans();
+    obs::Span span;
+    span.name = span_name;
+    span.layer = "sim.link";
+    span.start_ns = start_ns;
+    span.end_ns = start_ns + transit;
+    span.cat_ns[static_cast<size_t>(obs::TimeCategory::kLink)] = transit;
+    span.wire_bytes = bytes;
+    spans.RecordClosed(std::move(span), spans.current());
+  }
 }
 
 uint64_t Link::Submit(const util::Bytes& request) {
   const uint64_t token = next_token_++;
+  if (SpansEnabled()) {
+    obs::SpanContext ctx = registry_->spans().current();
+    transit_info_[token] = TransitInfo{ctx.trace_id, ctx.span_id, clock_->now_ns()};
+    while (transit_info_.size() > kMaxTransitInfo) {
+      transit_info_.erase(transit_info_.begin());
+    }
+  }
   util::Bytes wire_request = request;
   if (interposer_ != nullptr) {
     auto intercepted = interposer_->OnRequest(std::move(wire_request));
@@ -98,6 +127,25 @@ std::optional<Delivery> Link::AwaitNext(uint64_t deadline_ns) {
     }
     Delivery delivery = std::move(it->second);
     deliveries_.erase(it);
+    if (auto info = transit_info_.find(delivery.token); info != transit_info_.end()) {
+      if (SpansEnabled()) {
+        // Interval marker covering submit → delivery, parented into the
+        // submitter's trace.  Categories stay empty: the interval spans
+        // the inline handler execution and any concurrently pumped work,
+        // so a ledger slice here would misattribute shared time.
+        obs::Span span;
+        span.name = "link.transit";
+        span.layer = "sim.link";
+        span.start_ns = info->second.submit_ns;
+        span.end_ns = clock_->now_ns();
+        span.wire_bytes = delivery.response.size();
+        span.error = !delivery.status.ok();
+        registry_->spans().RecordClosed(
+            std::move(span),
+            obs::SpanContext{info->second.trace_id, info->second.parent_span_id});
+      }
+      transit_info_.erase(info);
+    }
     return delivery;
   }
   if (deadline_ns > clock_->now_ns()) {
@@ -131,7 +179,7 @@ util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
       }
       wire_request = std::move(intercepted).value();
     }
-    ChargeOneWay(wire_request.size());
+    ChargeOneWay(wire_request.size(), "link.send");
 
     auto response = service_->Handle(wire_request);
     if (!response.ok()) {
@@ -146,7 +194,7 @@ util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
       // must deduplicate; its reply to the copy finds no one waiting.
       ++duplicates_delivered_;
       m_duplicates_->Increment();
-      ChargeOneWay(wire_request.size());
+      ChargeOneWay(wire_request.size(), "link.send.dup");
       (void)service_->Handle(wire_request);
     }
 
@@ -161,7 +209,7 @@ util::Result<util::Bytes> Link::Roundtrip(const util::Bytes& request) {
       }
       wire_response = std::move(intercepted).value();
     }
-    ChargeOneWay(wire_response.size());
+    ChargeOneWay(wire_response.size(), "link.recv");
     return wire_response;
   }
   return last_drop;

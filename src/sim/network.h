@@ -136,12 +136,12 @@ class Link {
   Link(Clock* clock, LinkProfile profile, Service* service,
        obs::Registry* registry = nullptr)
       : clock_(clock), profile_(profile), service_(service) {
-    obs::Registry* reg = registry != nullptr ? registry : obs::Registry::Default();
-    m_messages_ = reg->GetCounter("link.messages");
-    m_bytes_ = reg->GetCounter("link.bytes");
-    m_retransmissions_ = reg->GetCounter("link.retransmissions");
-    m_drops_ = reg->GetCounter("link.drops");
-    m_duplicates_ = reg->GetCounter("link.duplicates_delivered");
+    registry_ = registry != nullptr ? registry : obs::Registry::Default();
+    m_messages_ = registry_->GetCounter("link.messages");
+    m_bytes_ = registry_->GetCounter("link.bytes");
+    m_retransmissions_ = registry_->GetCounter("link.retransmissions");
+    m_drops_ = registry_->GetCounter("link.drops");
+    m_duplicates_ = registry_->GetCounter("link.duplicates_delivered");
   }
 
   // Installs (or clears, with nullptr) the adversary.
@@ -204,10 +204,11 @@ class Link {
   const LinkProfile& profile() const { return profile_; }
 
  private:
-  void ChargeOneWay(size_t bytes);
+  void ChargeOneWay(size_t bytes, const char* span_name);
   // Wire occupancy (bandwidth) of one message, excluding propagation.
   uint64_t SerializationNs(size_t bytes) const;
   void CountMessage(size_t bytes);
+  bool SpansEnabled() const;
 
   Clock* clock_;
   LinkProfile profile_;
@@ -226,6 +227,17 @@ class Link {
   uint64_t retransmissions_ = 0;
   uint64_t drops_observed_ = 0;
   uint64_t duplicates_delivered_ = 0;
+  // Pipelined-mode span bookkeeping: the ambient span and submit time of
+  // each in-flight token, so AwaitNext can record a "link.transit" span
+  // parented into the submitter's trace.  Bounded: dropped messages
+  // never deliver, so stale entries are pruned oldest-first.
+  struct TransitInfo {
+    uint64_t trace_id = 0;
+    uint64_t parent_span_id = 0;
+    uint64_t submit_ns = 0;
+  };
+  std::map<uint64_t, TransitInfo> transit_info_;
+  obs::Registry* registry_ = nullptr;
   // Registry aggregates (shared across links on the same registry).
   obs::Counter* m_messages_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;

@@ -349,6 +349,7 @@ util::Result<Vfs::Vnode> Vfs::ResolveParent(const UserContext& user, const std::
 
 util::Result<OpenFile> Vfs::Open(const UserContext& user, const std::string& path,
                                  const OpenFlags& flags) {
+  obs::ScopedSpan op_span(spans_, "vfs.open", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
 
@@ -446,6 +447,7 @@ util::Result<OpenFile> Vfs::Open(const UserContext& user, const std::string& pat
 }
 
 util::Status Vfs::Mkdir(const UserContext& user, const std::string& path, uint32_t mode) {
+  obs::ScopedSpan op_span(spans_, "vfs.mkdir", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string leaf;
@@ -457,6 +459,7 @@ util::Status Vfs::Mkdir(const UserContext& user, const std::string& path, uint32
 
 util::Status Vfs::Symlink(const UserContext& user, const std::string& target,
                           const std::string& link_path) {
+  obs::ScopedSpan op_span(spans_, "vfs.symlink", "vfs", link_path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string leaf;
@@ -468,6 +471,7 @@ util::Status Vfs::Symlink(const UserContext& user, const std::string& target,
 }
 
 util::Status Vfs::Unlink(const UserContext& user, const std::string& path) {
+  obs::ScopedSpan op_span(spans_, "vfs.unlink", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string leaf;
@@ -476,6 +480,7 @@ util::Status Vfs::Unlink(const UserContext& user, const std::string& path) {
 }
 
 util::Status Vfs::Rmdir(const UserContext& user, const std::string& path) {
+  obs::ScopedSpan op_span(spans_, "vfs.rmdir", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string leaf;
@@ -485,6 +490,7 @@ util::Status Vfs::Rmdir(const UserContext& user, const std::string& path) {
 
 util::Status Vfs::Rename(const UserContext& user, const std::string& from,
                          const std::string& to) {
+  obs::ScopedSpan op_span(spans_, "vfs.rename", "vfs", from);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   std::string from_leaf;
@@ -501,6 +507,7 @@ util::Status Vfs::Rename(const UserContext& user, const std::string& from,
 
 util::Status Vfs::HardLink(const UserContext& user, const std::string& existing_path,
                            const std::string& new_path) {
+  obs::ScopedSpan op_span(spans_, "vfs.hardlink", "vfs", new_path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode target, Resolve(user, existing_path, true, &depth));
@@ -513,6 +520,7 @@ util::Status Vfs::HardLink(const UserContext& user, const std::string& existing_
 }
 
 util::Result<nfs::Fattr> Vfs::Stat(const UserContext& user, const std::string& path) {
+  obs::ScopedSpan op_span(spans_, "vfs.stat", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
@@ -528,6 +536,7 @@ util::Result<nfs::Fattr> Vfs::Stat(const UserContext& user, const std::string& p
 }
 
 util::Result<nfs::Fattr> Vfs::Lstat(const UserContext& user, const std::string& path) {
+  obs::ScopedSpan op_span(spans_, "vfs.lstat", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, false, &depth));
@@ -543,6 +552,7 @@ util::Result<nfs::Fattr> Vfs::Lstat(const UserContext& user, const std::string& 
 }
 
 util::Result<std::string> Vfs::ReadLink(const UserContext& user, const std::string& path) {
+  obs::ScopedSpan op_span(spans_, "vfs.readlink", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, false, &depth));
@@ -555,6 +565,7 @@ util::Result<std::string> Vfs::ReadLink(const UserContext& user, const std::stri
 }
 
 util::Status Vfs::Chmod(const UserContext& user, const std::string& path, uint32_t mode) {
+  obs::ScopedSpan op_span(spans_, "vfs.chmod", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
@@ -565,6 +576,7 @@ util::Status Vfs::Chmod(const UserContext& user, const std::string& path, uint32
 }
 
 util::Status Vfs::Truncate(const UserContext& user, const std::string& path, uint64_t size) {
+  obs::ScopedSpan op_span(spans_, "vfs.truncate", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
@@ -576,6 +588,7 @@ util::Status Vfs::Truncate(const UserContext& user, const std::string& path, uin
 
 util::Result<std::vector<std::string>> Vfs::ListDir(const UserContext& user,
                                                     const std::string& path) {
+  obs::ScopedSpan op_span(spans_, "vfs.listdir", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
@@ -616,6 +629,7 @@ util::Result<std::vector<std::string>> Vfs::ListDir(const UserContext& user,
 }
 
 util::Result<std::string> Vfs::Realpath(const UserContext& user, const std::string& path) {
+  obs::ScopedSpan op_span(spans_, "vfs.realpath", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
@@ -623,6 +637,7 @@ util::Result<std::string> Vfs::Realpath(const UserContext& user, const std::stri
 }
 
 util::Result<Vfs::FsUsage> Vfs::StatFs(const UserContext& user, const std::string& path) {
+  obs::ScopedSpan op_span(spans_, "vfs.statfs", "vfs", path);
   clock_->Advance(costs_->syscall_ns, obs::TimeCategory::kSyscall);
   int depth = 0;
   ASSIGN_OR_RETURN(Vnode vnode, Resolve(user, path, true, &depth));
@@ -657,6 +672,7 @@ util::Result<util::Bytes> OpenFile::Pread(uint64_t offset, uint32_t count) {
   if (!open_) {
     return util::FailedPrecondition("file is closed");
   }
+  obs::ScopedSpan op_span(vfs_->spans_, "vfs.pread", "vfs");
   vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   // Reads must observe buffered writes: flush any overlap first.
   if (!wb_buf_.empty() && offset < wb_offset_ + wb_buf_.size() &&
@@ -696,6 +712,7 @@ util::Status OpenFile::Pwrite(uint64_t offset, const util::Bytes& data) {
   if (!writable_) {
     return util::PermissionDenied("file not open for writing");
   }
+  obs::ScopedSpan op_span(vfs_->spans_, "vfs.pwrite", "vfs");
   vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   ra_buf_.clear();  // Written data invalidates the read-ahead window.
 
@@ -732,6 +749,7 @@ util::Result<nfs::Fattr> OpenFile::Stat() {
   if (!open_) {
     return util::FailedPrecondition("file is closed");
   }
+  obs::ScopedSpan op_span(vfs_->spans_, "vfs.fstat", "vfs");
   vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   RETURN_IF_ERROR(FlushWrites());
   nfs::Fattr attr;
@@ -746,6 +764,7 @@ util::Status OpenFile::SetAttr(const nfs::Sattr& sattr) {
   if (!open_) {
     return util::FailedPrecondition("file is closed");
   }
+  obs::ScopedSpan op_span(vfs_->spans_, "vfs.fsetattr", "vfs");
   vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   RETURN_IF_ERROR(FlushWrites());
   nfs::Fattr attr;
@@ -757,6 +776,7 @@ util::Status OpenFile::Close() {
     return util::OkStatus();
   }
   open_ = false;
+  obs::ScopedSpan op_span(vfs_->spans_, "vfs.close", "vfs");
   vfs_->clock_->Advance(vfs_->costs_->syscall_ns, obs::TimeCategory::kSyscall);
   RETURN_IF_ERROR(FlushWrites());
   if (dirty_) {

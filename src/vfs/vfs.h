@@ -30,6 +30,7 @@
 
 #include "src/agent/agent.h"
 #include "src/nfs/api.h"
+#include "src/obs/span.h"
 #include "src/sfs/client.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
@@ -129,7 +130,13 @@ class OpenFile {
 
 class Vfs {
  public:
-  Vfs(sim::Clock* clock, const sim::CostModel* costs) : clock_(clock), costs_(costs) {}
+  // `registry` receives the "vfs.*" root spans opened around each
+  // operation while span tracing is enabled; nullptr selects
+  // obs::Registry::Default().
+  Vfs(sim::Clock* clock, const sim::CostModel* costs, obs::Registry* registry = nullptr)
+      : clock_(clock),
+        costs_(costs),
+        spans_(&(registry != nullptr ? registry : obs::Registry::Default())->spans()) {}
 
   // Configures the root ("/") file system.
   void MountRoot(nfs::FileSystemApi* fs, nfs::FileHandle root_fh);
@@ -208,6 +215,7 @@ class Vfs {
 
   sim::Clock* clock_;
   const sim::CostModel* costs_;
+  obs::SpanCollector* spans_;
   nfs::FileSystemApi* root_fs_ = nullptr;
   nfs::FileHandle root_fh_;
   sfs::SfsClient* sfs_client_ = nullptr;

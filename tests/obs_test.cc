@@ -16,6 +16,7 @@
 
 #include "src/auth/authserver.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/sfs/client.h"
 #include "src/sfs/server.h"
@@ -550,6 +551,213 @@ TEST_F(ObsTest, SnapshotJsonParsesAndCarriesTimeSplit) {
   EXPECT_GT(clock_.charged_ns(obs::TimeCategory::kLink), 0u);
   EXPECT_GT(clock_.charged_ns(obs::TimeCategory::kCrypto), 0u);
   EXPECT_GT(clock_.charged_ns(obs::TimeCategory::kDisk), 0u);
+}
+
+// --- SpanCollector unit behavior ---------------------------------------------
+
+// A hand-cranked clock + ledger pair for driving the collector without a
+// simulation: Tick() advances time and charges one category.
+struct FakeLedger {
+  uint64_t now = 0;
+  uint64_t charged[obs::kTimeCategoryCount] = {};
+
+  void Tick(obs::TimeCategory category, uint64_t ns) {
+    now += ns;
+    charged[static_cast<size_t>(category)] += ns;
+  }
+  void Wire(obs::SpanCollector* spans, size_t capacity = 1 << 10) {
+    spans->Enable([this] { return now; },
+                  [this](uint64_t out[obs::kTimeCategoryCount]) {
+                    for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+                      out[i] = charged[i];
+                    }
+                  },
+                  capacity);
+  }
+};
+
+TEST(SpanCollectorTest, DisabledCollectorIsFreeAndInert) {
+  obs::SpanCollector spans;
+  EXPECT_FALSE(spans.enabled());
+  EXPECT_EQ(spans.Begin("op", "test"), 0u);
+  spans.End(0);  // No-op, must not crash.
+  {
+    obs::ScopedSpan scoped(&spans, "op", "test");
+    EXPECT_EQ(scoped.id(), 0u);
+    EXPECT_EQ(scoped.span(), nullptr);
+  }
+  EXPECT_FALSE(spans.current().valid());
+  EXPECT_TRUE(spans.finished().empty());
+}
+
+TEST(SpanCollectorTest, AmbientStackBuildsTreeAndSplitsLedger) {
+  obs::SpanCollector spans;
+  FakeLedger ledger;
+  ledger.Wire(&spans);
+
+  uint64_t root = spans.Begin("vfs.open", "vfs");
+  spans.Push(root);
+  ledger.Tick(obs::TimeCategory::kSyscall, 10);
+  uint64_t child = spans.Begin("rpc.call", "rpc");  // Ambient parent: root.
+  spans.Push(child);
+  ledger.Tick(obs::TimeCategory::kLink, 100);
+  spans.Pop(child);
+  spans.End(child);
+  ledger.Tick(obs::TimeCategory::kCpu, 5);
+  spans.Pop(root);
+  spans.End(root);
+
+  ASSERT_EQ(spans.finished().size(), 2u);
+  const obs::Span& c = spans.finished()[0];
+  const obs::Span& r = spans.finished()[1];
+  EXPECT_EQ(r.parent_id, 0u);
+  EXPECT_EQ(r.trace_id, r.id);
+  EXPECT_EQ(c.parent_id, r.id);
+  EXPECT_EQ(c.trace_id, r.trace_id);
+
+  // Intervals nest and the ledger split is exact at both levels: the
+  // child saw only the link time, the root the whole 115ns.
+  EXPECT_LE(r.start_ns, c.start_ns);
+  EXPECT_GE(r.end_ns, c.end_ns);
+  EXPECT_EQ(c.duration_ns(), 100u);
+  EXPECT_EQ(c.CategoryTotalNs(), c.duration_ns());
+  EXPECT_EQ(c.cat_ns[static_cast<size_t>(obs::TimeCategory::kLink)], 100u);
+  EXPECT_EQ(r.duration_ns(), 115u);
+  EXPECT_EQ(r.CategoryTotalNs(), r.duration_ns());
+  EXPECT_EQ(r.cat_ns[static_cast<size_t>(obs::TimeCategory::kSyscall)], 10u);
+  EXPECT_EQ(r.cat_ns[static_cast<size_t>(obs::TimeCategory::kLink)], 100u);
+  EXPECT_EQ(r.cat_ns[static_cast<size_t>(obs::TimeCategory::kCpu)], 5u);
+}
+
+TEST(SpanCollectorTest, ExplicitParentWinsOverAmbientStack) {
+  obs::SpanCollector spans;
+  FakeLedger ledger;
+  ledger.Wire(&spans);
+
+  uint64_t root_a = spans.Begin("op.a", "test");
+  obs::SpanContext ctx_a = spans.Find(root_a)->context();
+  spans.End(root_a);
+
+  // An unrelated ambient span is open, but the explicit context (as
+  // carried across the wire) must take precedence.
+  uint64_t root_b = spans.Begin("op.b", "test");
+  spans.Push(root_b);
+  uint64_t child = spans.Begin("server.dispatch", "server", ctx_a);
+  spans.End(child);
+  spans.Pop(root_b);
+  spans.End(root_b);
+
+  std::vector<obs::Span> finished = spans.TakeFinished();
+  ASSERT_EQ(finished.size(), 3u);
+  const obs::Span& dispatch = finished[1];
+  EXPECT_EQ(dispatch.name, "server.dispatch");
+  EXPECT_EQ(dispatch.parent_id, root_a);
+  EXPECT_EQ(dispatch.trace_id, root_a);
+}
+
+TEST(SpanCollectorTest, RecordClosedAssignsIdsAndCapacityDropsCount) {
+  obs::SpanCollector spans;
+  FakeLedger ledger;
+  ledger.Wire(&spans, /*capacity=*/2);
+
+  uint64_t root = spans.Begin("op", "test");
+  obs::SpanContext ctx = spans.Find(root)->context();
+
+  // A pipelined link transit is measured externally and recorded whole.
+  obs::Span transit;
+  transit.name = "link.transit";
+  transit.layer = "sim.link";
+  transit.start_ns = 1;
+  transit.end_ns = 4;
+  spans.RecordClosed(transit, ctx);
+  ASSERT_EQ(spans.finished().size(), 1u);
+  EXPECT_EQ(spans.finished()[0].parent_id, root);
+  EXPECT_EQ(spans.finished()[0].trace_id, root);
+  EXPECT_NE(spans.finished()[0].id, 0u);
+
+  spans.End(root);  // Fills the 2-slot store.
+  EXPECT_EQ(spans.dropped(), 0u);
+  uint64_t extra = spans.Begin("overflow", "test");
+  spans.End(extra);
+  EXPECT_EQ(spans.finished().size(), 2u);
+  EXPECT_EQ(spans.dropped(), 1u);
+}
+
+TEST(SpanCollectorTest, SlowOpLogFiresOnThresholdAndOnDrcHit) {
+  obs::SpanCollector spans;
+  FakeLedger ledger;
+  ledger.Wire(&spans);
+  std::vector<std::string> dumps;
+  spans.EnableSlowOpLog(1'000, [&dumps](const std::string& d) { dumps.push_back(d); });
+
+  // Fast and clean: not logged.
+  uint64_t fast = spans.Begin("fast.op", "test");
+  ledger.Tick(obs::TimeCategory::kCpu, 10);
+  spans.End(fast);
+  EXPECT_EQ(dumps.size(), 0u);
+
+  // Over threshold: logged with the whole tree in the dump.
+  uint64_t slow = spans.Begin("slow.op", "test");
+  spans.Push(slow);
+  uint64_t child = spans.Begin("slow.child", "test");
+  ledger.Tick(obs::TimeCategory::kLink, 5'000);
+  spans.End(child);
+  spans.Pop(slow);
+  spans.End(slow);
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].find("slow.op"), std::string::npos);
+  EXPECT_NE(dumps[0].find("slow.child"), std::string::npos);
+
+  // Fast but answered from the duplicate-request cache: still logged.
+  uint64_t dup = spans.Begin("dup.op", "test");
+  if (obs::Span* s = spans.Find(dup)) {
+    s->drc_hit = true;
+  }
+  spans.End(dup);
+  EXPECT_EQ(dumps.size(), 2u);
+  EXPECT_EQ(spans.slow_ops_logged(), 2u);
+}
+
+TEST(SpanAnalysisTest, CriticalPathTablesAndChromeExport) {
+  obs::SpanCollector spans;
+  FakeLedger ledger;
+  ledger.Wire(&spans);
+
+  for (int i = 0; i < 3; ++i) {
+    uint64_t root = spans.Begin("vfs.read", "vfs");
+    spans.Push(root);
+    ledger.Tick(obs::TimeCategory::kSyscall, 10);
+    uint64_t call = spans.Begin("rpc.call.READ", "rpc");
+    ledger.Tick(obs::TimeCategory::kLink, 200);
+    spans.End(call);
+    spans.Pop(root);
+    spans.End(root);
+  }
+  std::vector<obs::Span> finished = spans.TakeFinished();
+
+  std::vector<obs::CriticalPathRow> roots = obs::CriticalPathByRoot(finished);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].name, "vfs.read");
+  EXPECT_EQ(roots[0].count, 3u);
+  EXPECT_EQ(roots[0].total_ns, 3u * 210u);
+  EXPECT_EQ(roots[0].cat_ns[static_cast<size_t>(obs::TimeCategory::kLink)], 600u);
+  EXPECT_EQ(roots[0].cat_ns[static_cast<size_t>(obs::TimeCategory::kSyscall)], 30u);
+
+  std::vector<obs::CriticalPathRow> rpc = obs::CriticalPathByName(finished, "rpc");
+  ASSERT_EQ(rpc.size(), 1u);
+  EXPECT_EQ(rpc[0].name, "rpc.call.READ");
+  EXPECT_EQ(rpc[0].count, 3u);
+
+  std::string json = obs::ExportChromeTrace(finished);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"vfs.read\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  std::string tree = obs::FormatSpanTree(finished, finished[1].trace_id);
+  EXPECT_NE(tree.find("vfs.read"), std::string::npos);
+  EXPECT_NE(tree.find("rpc.call.READ"), std::string::npos);
 }
 
 }  // namespace

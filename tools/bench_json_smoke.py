@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Smoke-check the machine-readable benchmark pipeline.
+
+Runs each benchmark binary given on the command line with a minimal
+workload into a temporary directory, then validates every BENCH_*.json
+it produced (via bench_compare.py's loader) and, for span_report, the
+exported Chrome trace.  Wired up as the `bench_json_smoke` CMake target
+and ctest entry.
+
+Usage: bench_json_smoke.py <binary> [<binary>...]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import bench_compare
+
+
+def args_for(binary):
+    """The smallest honest invocation of each supported binary."""
+    name = os.path.basename(binary)
+    if name == "span_report":
+        return [binary, "--workload", "fig5", "--export", "trace.json"]
+    if name == "obs_report":
+        return [binary]
+    if name == "crypto_prims":
+        return [binary, "--benchmark_filter=Sha1", "--benchmark_min_time=0.01"]
+    # google-benchmark binaries: one cheap repetition of everything.
+    return [binary, "--benchmark_min_time=0.01"]
+
+
+def main(argv):
+    if not argv:
+        print("usage: bench_json_smoke.py <binary> [<binary>...]")
+        return 2
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="bench_json_smoke.") as tmp:
+        for binary in argv:
+            cmd = args_for(binary) + [f"--bench_json_dir={tmp}"]
+            print("running:", " ".join(cmd), flush=True)
+            proc = subprocess.run(cmd, cwd=tmp, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                print(f"FAIL {binary}: exit {proc.returncode}")
+                failures += 1
+                continue
+            name = os.path.basename(binary)
+            path = os.path.join(tmp, f"BENCH_{name}.json")
+            try:
+                doc = bench_compare.load(path)
+            except (OSError, ValueError, json.JSONDecodeError) as e:
+                print(f"FAIL {binary}: {e}")
+                failures += 1
+                continue
+            errored = [r["name"] for r in doc["runs"] if r["error"]]
+            if errored:
+                print(f"FAIL {binary}: runs errored: {', '.join(errored)}")
+                failures += 1
+                continue
+            print(f"ok   {name}: {len(doc['runs'])} run(s)")
+            if name == "span_report":
+                with open(os.path.join(tmp, "trace.json"), encoding="utf-8") as f:
+                    trace = json.load(f)
+                if not trace.get("traceEvents"):
+                    print(f"FAIL {binary}: empty traceEvents")
+                    failures += 1
+                else:
+                    print(f"ok   {name}: trace.json with "
+                          f"{len(trace['traceEvents'])} events")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
