@@ -54,6 +54,32 @@ void BM_ChannelSealOpen(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 
+void BM_ModExp(benchmark::State& state) {
+  // The public-key inner loop: one full-width modular exponentiation with
+  // an odd modulus (what every SRP exchange and Rabin square root pays).
+  crypto::Prng prng(uint64_t{10});
+  size_t bits = static_cast<size_t>(state.range(0));
+  crypto::BigInt m = crypto::BigInt::Random(&prng, bits);
+  if (m.is_even()) {
+    m = m + crypto::BigInt(1);
+  }
+  crypto::BigInt base = crypto::BigInt::Random(&prng, bits - 1);
+  crypto::BigInt exp = crypto::BigInt::Random(&prng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigInt::ModExp(base, exp, m));
+  }
+}
+
+void BM_GeneratePrime(benchmark::State& state) {
+  // Key-generation cost: a random prime in the Williams residue class
+  // (half of a Rabin modulus of twice this size).
+  crypto::Prng prng(uint64_t{11});
+  size_t bits = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigInt::GeneratePrime(&prng, bits, 3, 8));
+  }
+}
+
 void BM_RabinSign(benchmark::State& state) {
   crypto::Prng prng(uint64_t{4});
   auto key = crypto::RabinPrivateKey::Generate(&prng, static_cast<size_t>(state.range(0)));
@@ -139,6 +165,8 @@ void BM_KeyNegotiation(benchmark::State& state) {
 BENCHMARK(BM_Sha1)->Arg(64)->Arg(8192)->Arg(1 << 20);
 BENCHMARK(BM_Arc4Stream)->Arg(8192)->Arg(1 << 20);
 BENCHMARK(BM_ChannelSealOpen)->Arg(128)->Arg(8192);
+BENCHMARK(BM_ModExp)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GeneratePrime)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RabinSign)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RabinVerify)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_RabinEncrypt)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -127,10 +128,18 @@ class BenchReport {
   const std::string& name() const { return name_; }
   bool empty() const { return runs_.empty(); }
 
+  // Which sim::CostModel profile the runs were produced under
+  // ("p3-550" or "calibrated"); emitted so compared results are known
+  // to share a profile.
+  void set_profile(std::string profile) { profile_ = std::move(profile); }
+
   std::string ToJson() const {
     std::string out = "{\n";
     out += "  \"bench\": \"" + BenchJsonEscape(name_) + "\",\n";
     out += "  \"schema\": 1,\n";
+    if (!profile_.empty()) {
+      out += "  \"profile\": \"" + BenchJsonEscape(profile_) + "\",\n";
+    }
     out += "  \"runs\": [";
     bool first = true;
     for (const BenchRun& run : runs_) {
@@ -187,6 +196,7 @@ class BenchReport {
 
  private:
   std::string name_;
+  std::string profile_;
   std::vector<BenchRun> runs_;
 };
 
@@ -248,17 +258,22 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 
 // Drop-in replacement for BENCHMARK_MAIN(): runs the registered
 // benchmarks with console output, then writes BENCH_<bench_name>.json.
-// The one extra flag, --bench_json_dir=<dir>, picks the output
-// directory (default ".") and is stripped before google-benchmark sees
-// the argument list.
+// Two extra flags are stripped before google-benchmark sees the
+// argument list: --bench_json_dir=<dir> picks the output directory
+// (default "."), and --sfs_cost_model=<profile> selects the cost model
+// ("p3-550" or "calibrated") by setting SFS_COST_MODEL before the
+// first testbed is built.
 inline int BenchJsonMain(int argc, char** argv, const char* bench_name) {
   std::string out_dir = ".";
   std::vector<char*> pass;
   pass.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     constexpr const char kDirFlag[] = "--bench_json_dir=";
+    constexpr const char kCostFlag[] = "--sfs_cost_model=";
     if (std::strncmp(argv[i], kDirFlag, sizeof(kDirFlag) - 1) == 0) {
       out_dir = argv[i] + sizeof(kDirFlag) - 1;
+    } else if (std::strncmp(argv[i], kCostFlag, sizeof(kCostFlag) - 1) == 0) {
+      setenv("SFS_COST_MODEL", argv[i] + sizeof(kCostFlag) - 1, /*overwrite=*/1);
     } else {
       pass.push_back(argv[i]);
     }
@@ -269,6 +284,7 @@ inline int BenchJsonMain(int argc, char** argv, const char* bench_name) {
     return 1;
   }
   BenchReport report(bench_name);
+  report.set_profile(ActiveCostModel().profile);
   JsonCaptureReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

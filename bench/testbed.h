@@ -14,6 +14,8 @@
 #ifndef SFS_BENCH_TESTBED_H_
 #define SFS_BENCH_TESTBED_H_
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -62,11 +64,38 @@ inline const char* ConfigName(Config c) {
   return "?";
 }
 
+// The cost model every testbed runs under.  Defaults to the paper's
+// Pentium III profile; SFS_COST_MODEL=calibrated (set directly or via
+// the --sfs_cost_model= flag of BenchJsonMain) times this build's real
+// crypto primitives on the host CPU instead.  Calibration runs once and
+// is cached — it costs a few hundred ms.
+inline const sim::CostModel& ActiveCostModel() {
+  static const sim::CostModel kModel = [] {
+    const char* env = std::getenv("SFS_COST_MODEL");
+    if (env != nullptr && std::strcmp(env, "calibrated") == 0) {
+      return sim::CostModel::CalibrateFromPrimitives();
+    }
+    return sim::CostModel::PentiumIII550();
+  }();
+  return kModel;
+}
+
+// The benchmark user's 512-bit Rabin key.  Deterministic (fixed seed)
+// and generated once per process: every Testbed shares it, which keeps
+// per-testbed setup out of measured benchmark time.
+inline const crypto::RabinPrivateKey& BenchUserKey() {
+  static const crypto::RabinPrivateKey kKey = [] {
+    crypto::Prng prng(uint64_t{7001});
+    return crypto::RabinPrivateKey::Generate(&prng, 512);
+  }();
+  return kKey;
+}
+
 // One fully wired client/server pair.  All members share one virtual
 // clock; workloads measure with sim::Stopwatch over `clock`.
 class Testbed {
  public:
-  explicit Testbed(Config config) : config_(config), costs_(sim::CostModel::PentiumIII550()) {
+  explicit Testbed(Config config) : config_(config), costs_(ActiveCostModel()) {
     vfs_ = std::make_unique<vfs::Vfs>(&clock_, &costs_, &registry_);
 
     switch (config) {
@@ -141,8 +170,7 @@ class Testbed {
         vfs_->EnableSfs(sfs_client_.get());
 
         // Register the benchmark user and give her agent the key.
-        crypto::Prng prng(uint64_t{7001});
-        user_key_ = crypto::RabinPrivateKey::Generate(&prng, 512);
+        user_key_ = BenchUserKey();
         auth::PublicUserRecord record;
         record.name = "bench";
         record.public_key = user_key_.public_key().Serialize();

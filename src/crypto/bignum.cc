@@ -2,11 +2,44 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+
+#include "src/crypto/montgomery.h"
 
 namespace crypto {
 
 namespace {
 constexpr uint64_t kLimbBase = uint64_t{1} << 32;
+
+// Below this many limbs in the smaller operand, schoolbook multiplication
+// beats Karatsuba's extra passes and temporaries.  Measured crossover on
+// this implementation is between 128 and 256 limbs — the recursion's
+// allocations are expensive relative to the tight schoolbook inner loop —
+// so key-sized (<= 2048-bit) operands always take the schoolbook path
+// (see docs/CRYPTO_PERF.md).
+constexpr size_t kKaratsubaThresholdLimbs = 130;
+
+// out[0..an+bn) += a[0..an) * b[0..bn), schoolbook.  out must have room
+// for the carry to propagate (an + bn limbs, pre-zeroed by the caller).
+void MulSchoolbook(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
+                   uint32_t* out) {
+  for (size_t i = 0; i < an; ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = 0; j < bn; ++j) {
+      uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + bn;
+    while (carry) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+}
 }  // namespace
 
 BigInt::BigInt(int64_t v) : negative_(v < 0) {
@@ -86,12 +119,28 @@ util::Result<BigInt> BigInt::FromDecimal(const std::string& s) {
   if (pos == s.size()) {
     return util::InvalidArgument("empty decimal string");
   }
+  // Base-10^9 chunking: one bignum multiply-add per nine digits instead
+  // of one per digit.
+  constexpr uint32_t kChunkBase = 1'000'000'000;
   BigInt out;
+  uint32_t chunk = 0;
+  size_t chunk_digits = (s.size() - pos) % 9;
+  if (chunk_digits == 0) {
+    chunk_digits = 9;
+  }
+  size_t in_chunk = 0;
   for (; pos < s.size(); ++pos) {
     if (s[pos] < '0' || s[pos] > '9') {
       return util::InvalidArgument("invalid decimal digit");
     }
-    out = out * BigInt(10) + BigInt(s[pos] - '0');
+    chunk = chunk * 10 + static_cast<uint32_t>(s[pos] - '0');
+    if (++in_chunk == chunk_digits) {
+      out = out * BigInt(static_cast<uint64_t>(kChunkBase)) +
+            BigInt(static_cast<uint64_t>(chunk));
+      chunk = 0;
+      in_chunk = 0;
+      chunk_digits = 9;
+    }
   }
   out.negative_ = neg && !out.is_zero();
   return out;
@@ -110,20 +159,34 @@ std::string BigInt::ToDecimal() const {
   if (is_zero()) {
     return "0";
   }
-  std::string digits;
-  BigInt v = Abs();
-  BigInt ten(10);
-  while (!v.is_zero()) {
-    BigInt q;
-    BigInt r;
-    DivMod(v, ten, &q, &r);
-    digits.push_back(static_cast<char>('0' + r.Low64()));
-    v = q;
+  // Divide by 10^9 in place, peeling nine digits per pass over the limbs
+  // instead of one.
+  constexpr uint32_t kChunkBase = 1'000'000'000;
+  std::vector<uint32_t> v = limbs_;
+  std::vector<uint32_t> chunks;
+  while (!v.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = v.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | v[i];
+      v[i] = static_cast<uint32_t>(cur / kChunkBase);
+      rem = cur % kChunkBase;
+    }
+    while (!v.empty() && v.back() == 0) {
+      v.pop_back();
+    }
+    chunks.push_back(static_cast<uint32_t>(rem));
   }
+  std::string digits;
   if (negative_) {
     digits.push_back('-');
   }
-  std::reverse(digits.begin(), digits.end());
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u", chunks.back());
+  digits += buf;
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof(buf), "%09u", chunks[i]);
+    digits += buf;
+  }
   return digits;
 }
 
@@ -172,6 +235,22 @@ uint64_t BigInt::Low64() const {
     v |= static_cast<uint64_t>(limbs_[1]) << 32;
   }
   return v;
+}
+
+uint32_t BigInt::ModU32(uint32_t d) const {
+  assert(d != 0);
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % d;
+  }
+  return static_cast<uint32_t>(rem);
+}
+
+BigInt BigInt::FromLimbs(std::vector<uint32_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.Normalize();
+  return out;
 }
 
 int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
@@ -277,24 +356,39 @@ BigInt BigInt::operator*(const BigInt& other) const {
   if (is_zero() || other.is_zero()) {
     return BigInt();
   }
-  BigInt out;
-  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
-  for (size_t i = 0; i < limbs_.size(); ++i) {
-    uint64_t carry = 0;
-    uint64_t ai = limbs_[i];
-    for (size_t j = 0; j < other.limbs_.size(); ++j) {
-      uint64_t cur = out.limbs_[i + j] + ai * other.limbs_[j] + carry;
-      out.limbs_[i + j] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
+  const size_t an = limbs_.size();
+  const size_t bn = other.limbs_.size();
+  if (std::min(an, bn) >= kKaratsubaThresholdLimbs) {
+    // Karatsuba: split both magnitudes at half the larger operand and
+    // trade one of the four half-products for additions.
+    const size_t half = (std::max(an, bn) + 1) / 2;
+    BigInt a0;
+    BigInt a1;
+    BigInt b0;
+    BigInt b1;
+    a0.limbs_.assign(limbs_.begin(),
+                     limbs_.begin() + static_cast<long>(std::min(half, an)));
+    if (an > half) {
+      a1.limbs_.assign(limbs_.begin() + static_cast<long>(half), limbs_.end());
     }
-    size_t k = i + other.limbs_.size();
-    while (carry) {
-      uint64_t cur = out.limbs_[k] + carry;
-      out.limbs_[k] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
-      ++k;
+    b0.limbs_.assign(other.limbs_.begin(),
+                     other.limbs_.begin() + static_cast<long>(std::min(half, bn)));
+    if (bn > half) {
+      b1.limbs_.assign(other.limbs_.begin() + static_cast<long>(half),
+                       other.limbs_.end());
     }
+    a0.Normalize();
+    b0.Normalize();
+    BigInt z0 = a0 * b0;
+    BigInt z2 = a1 * b1;
+    BigInt z1 = (a0 + a1) * (b0 + b1) - z0 - z2;
+    BigInt out = z0 + (z1 << (32 * half)) + (z2 << (64 * half));
+    out.negative_ = negative_ != other.negative_;
+    return out;
   }
+  BigInt out;
+  out.limbs_.assign(an + bn, 0);
+  MulSchoolbook(limbs_.data(), an, other.limbs_.data(), bn, out.limbs_.data());
   out.negative_ = negative_ != other.negative_;
   out.Normalize();
   return out;
@@ -488,6 +582,14 @@ BigInt BigInt::Mod(const BigInt& m) const {
 
 BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
   assert(!exp.is_negative());
+  if (m.is_odd()) {
+    return MontgomeryCtx(m).ModExp(base, exp);
+  }
+  return ModExpNaive(base, exp, m);
+}
+
+BigInt BigInt::ModExpNaive(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!exp.is_negative());
   BigInt result(1);
   BigInt b = base.Mod(m);
   size_t bits = exp.BitLength();
@@ -501,14 +603,45 @@ BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
 }
 
 BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  // Binary GCD: only shifts and subtractions, no DivMod per step.
   BigInt x = a.Abs();
   BigInt y = b.Abs();
-  while (!y.is_zero()) {
-    BigInt r = x % y;
-    x = y;
-    y = r;
+  if (x.is_zero()) {
+    return y;
   }
-  return x;
+  if (y.is_zero()) {
+    return x;
+  }
+  auto trailing_zeros = [](const BigInt& v) {
+    size_t bits = 0;
+    size_t limb = 0;
+    while (v.limbs_[limb] == 0) {
+      ++limb;
+      bits += 32;
+    }
+    uint32_t w = v.limbs_[limb];
+    while (!(w & 1)) {
+      w >>= 1;
+      ++bits;
+    }
+    return bits;
+  };
+  const size_t xz = trailing_zeros(x);
+  const size_t yz = trailing_zeros(y);
+  const size_t common = std::min(xz, yz);
+  x = x >> xz;
+  y = y >> yz;
+  // Both odd from here on; gcd(x, y) = gcd(|x - y| / 2^k, min(x, y)).
+  for (;;) {
+    if (CompareMagnitude(x, y) < 0) {
+      std::swap(x, y);
+    }
+    x = SubMagnitude(x, y);
+    if (x.is_zero()) {
+      return y << common;
+    }
+    x = x >> trailing_zeros(x);
+  }
 }
 
 util::Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
@@ -583,6 +716,45 @@ BigInt BigInt::RandomBelow(Prng* prng, const BigInt& bound) {
   }
 }
 
+namespace {
+
+// Primes below 4096, for sieving candidate increments (built on first use).
+const std::vector<uint32_t>& SievePrimes() {
+  static const std::vector<uint32_t>* primes = [] {
+    constexpr uint32_t kLimit = 4096;
+    std::vector<bool> composite(kLimit, false);
+    auto* out = new std::vector<uint32_t>();
+    for (uint32_t i = 2; i < kLimit; ++i) {
+      if (composite[i]) {
+        continue;
+      }
+      out->push_back(i);
+      for (uint32_t j = i * i; j < kLimit; j += i) {
+        composite[j] = true;
+      }
+    }
+    return out;
+  }();
+  return *primes;
+}
+
+// a^{-1} mod p for prime p and a not divisible by p (Fermat).
+uint32_t InverseModPrime(uint32_t a, uint32_t p) {
+  uint64_t result = 1;
+  uint64_t base = a % p;
+  uint32_t e = p - 2;
+  while (e) {
+    if (e & 1) {
+      result = result * base % p;
+    }
+    base = base * base % p;
+    e >>= 1;
+  }
+  return static_cast<uint32_t>(result);
+}
+
+}  // namespace
+
 bool BigInt::IsProbablePrime(const BigInt& n, Prng* prng, int rounds) {
   if (n < BigInt(2)) {
     return false;
@@ -591,11 +763,10 @@ bool BigInt::IsProbablePrime(const BigInt& n, Prng* prng, int rounds) {
                                           37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
                                           83, 89, 97, 101, 103, 107, 109, 113};
   for (uint32_t p : kSmallPrimes) {
-    BigInt bp(static_cast<uint64_t>(p));
-    if (n == bp) {
+    if (n.limbs_.size() == 1 && n.limbs_[0] == p) {
       return true;
     }
-    if ((n % bp).is_zero()) {
+    if (n.ModU32(p) == 0) {
       return false;
     }
   }
@@ -609,16 +780,21 @@ bool BigInt::IsProbablePrime(const BigInt& n, Prng* prng, int rounds) {
     ++s;
   }
 
+  // n is odd here (2 is in the trial-division list), so all the witness
+  // exponentiations can share one Montgomery context.
+  MontgomeryCtx ctx(n);
+  const MontgomeryCtx::Residue& one = ctx.One();
+  const MontgomeryCtx::Residue minus_one = ctx.ToMont(n_minus_1);
   for (int round = 0; round < rounds; ++round) {
     BigInt a = RandomBelow(prng, n - BigInt(3)) + BigInt(2);  // a in [2, n-2].
-    BigInt x = ModExp(a, d, n);
-    if (x == BigInt(1) || x == n_minus_1) {
+    MontgomeryCtx::Residue x = ctx.Exp(ctx.ToMont(a), d);
+    if (x == one || x == minus_one) {
       continue;
     }
     bool witness = true;
     for (size_t i = 1; i < s; ++i) {
-      x = (x * x) % n;
-      if (x == n_minus_1) {
+      x = ctx.Mul(x, x);
+      if (x == minus_one) {
         witness = false;
         break;
       }
@@ -632,11 +808,14 @@ bool BigInt::IsProbablePrime(const BigInt& n, Prng* prng, int rounds) {
 
 BigInt BigInt::GeneratePrime(Prng* prng, size_t bits, uint32_t residue, uint32_t modulus) {
   assert(bits >= 16);
+  const std::vector<uint32_t>& primes = SievePrimes();
+  const uint32_t step = modulus != 0 ? modulus : 2;
+  constexpr size_t kSpan = 1024;  // Candidates sieved per random base.
   for (;;) {
     BigInt candidate = Random(prng, bits);
     if (modulus != 0) {
       // Adjust to the requested residue class.
-      uint64_t current = (candidate % BigInt(static_cast<uint64_t>(modulus))).Low64();
+      uint64_t current = candidate.ModU32(modulus);
       uint64_t delta = (residue + modulus - current) % modulus;
       candidate = candidate + BigInt(delta);
     } else if (candidate.is_even()) {
@@ -645,8 +824,44 @@ BigInt BigInt::GeneratePrime(Prng* prng, size_t bits, uint32_t residue, uint32_t
     if (candidate.BitLength() != bits) {
       continue;
     }
-    if (IsProbablePrime(candidate, prng)) {
-      return candidate;
+
+    // Sieve the arithmetic progression candidate + k*step: one small
+    // division per prime replaces a trial-division pass per candidate,
+    // so Miller–Rabin only ever sees survivors.
+    std::vector<bool> composite(kSpan, false);
+    bool base_dead = false;
+    for (uint32_t p : primes) {
+      const uint32_t r = candidate.ModU32(p);
+      const uint32_t sp = step % p;
+      if (sp == 0) {
+        // Every candidate in the progression has the same residue mod p.
+        if (r == 0) {
+          base_dead = true;
+          break;
+        }
+        continue;
+      }
+      const auto k0 = static_cast<uint32_t>(
+          (static_cast<uint64_t>(p - r) * InverseModPrime(sp, p)) % p);
+      for (size_t k = k0; k < kSpan; k += p) {
+        composite[k] = true;
+      }
+    }
+    if (base_dead) {
+      continue;
+    }
+
+    for (size_t k = 0; k < kSpan; ++k) {
+      if (composite[k]) {
+        continue;
+      }
+      BigInt cand = candidate + BigInt(static_cast<uint64_t>(k) * step);
+      if (cand.BitLength() != bits) {
+        break;  // Ran past the requested width; draw a fresh base.
+      }
+      if (IsProbablePrime(cand, prng)) {
+        return cand;
+      }
     }
   }
 }

@@ -52,6 +52,17 @@ class BigInt {
   // Value of the low 64 bits of the magnitude (sign ignored).
   uint64_t Low64() const;
 
+  // Remainder of the magnitude modulo a small divisor (sign ignored);
+  // d > 0.  One pass over the limbs — much cheaper than `% BigInt(d)`.
+  uint32_t ModU32(uint32_t d) const;
+
+  // Read-only view of the little-endian 32-bit limb vector (normalized:
+  // no high zero limbs; empty for zero).  The Montgomery kernel operates
+  // directly on this representation.
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+  // Non-negative value from a little-endian limb vector (normalizes).
+  static BigInt FromLimbs(std::vector<uint32_t> limbs);
+
   // Comparison of signed values: -1, 0, +1.
   int Compare(const BigInt& other) const;
 
@@ -81,8 +92,15 @@ class BigInt {
   // Non-negative remainder in [0, m); m > 0.
   BigInt Mod(const BigInt& m) const;
 
-  // (base^exp) mod m;  exp >= 0, m > 0.
+  // (base^exp) mod m;  exp >= 0, m > 0.  Odd moduli are routed through
+  // the Montgomery kernel (src/crypto/montgomery.h); even moduli fall
+  // back to ModExpNaive.
   static BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  // Textbook square-and-multiply with a division per step.  Reference
+  // implementation: the fallback for even moduli and the oracle the
+  // Montgomery property tests compare against.
+  static BigInt ModExpNaive(const BigInt& base, const BigInt& exp, const BigInt& m);
 
   // Greatest common divisor of |a| and |b|.
   static BigInt Gcd(const BigInt& a, const BigInt& b);

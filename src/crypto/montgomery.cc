@@ -1,0 +1,192 @@
+#include "src/crypto/montgomery.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crypto {
+namespace {
+
+// Inverse of an odd x mod 2^32 by Newton–Hensel lifting: inv = x is
+// correct mod 8, and each iteration doubles the number of correct bits.
+uint32_t InverseMod32(uint32_t x) {
+  assert(x & 1);
+  uint32_t inv = x;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - x * inv;
+  }
+  return inv;
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : m_(modulus) {
+  assert(m_.is_odd() && !m_.is_negative());
+  n_ = m_.limbs();
+  n0inv_ = 0u - InverseMod32(n_[0]);
+  const size_t s = n_.size();
+  BigInt r1 = (BigInt(1) << (32 * s)).Mod(m_);
+  BigInt r2 = (BigInt(1) << (64 * s)).Mod(m_);
+  r1_ = r1.limbs();
+  r1_.resize(s, 0);
+  r2_ = r2.limbs();
+  r2_.resize(s, 0);
+}
+
+void MontgomeryCtx::Cios(const uint32_t* a, const uint32_t* b, uint32_t* out,
+                         uint32_t* t) const {
+  const size_t s = n_.size();
+  const uint32_t* n = n_.data();
+  std::fill(t, t + s + 2, 0u);
+  for (size_t i = 0; i < s; ++i) {
+    // t += a * b[i].
+    const uint64_t bi = b[i];
+    uint64_t carry = 0;
+    for (size_t j = 0; j < s; ++j) {
+      uint64_t cur = t[j] + a[j] * bi + carry;
+      t[j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    uint64_t cur = t[s] + carry;
+    t[s] = static_cast<uint32_t>(cur);
+    t[s + 1] = static_cast<uint32_t>(cur >> 32);
+
+    // t += (t[0] * n') * m, making t[0] zero, then drop one word: the
+    // interleaved reduce that keeps t below 2m throughout.
+    const uint64_t mi = static_cast<uint32_t>(t[0] * n0inv_);
+    cur = t[0] + mi * n[0];
+    carry = cur >> 32;
+    for (size_t j = 1; j < s; ++j) {
+      cur = t[j] + mi * n[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = static_cast<uint64_t>(t[s]) + carry;
+    t[s - 1] = static_cast<uint32_t>(cur);
+    t[s] = t[s + 1] + static_cast<uint32_t>(cur >> 32);
+  }
+
+  // Final conditional subtraction: t is in [0, 2m).
+  bool ge = t[s] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t j = s; j-- > 0;) {
+      if (t[j] != n[j]) {
+        ge = t[j] > n[j];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t j = 0; j < s; ++j) {
+      uint64_t diff = static_cast<uint64_t>(t[j]) - n[j] - borrow;
+      out[j] = static_cast<uint32_t>(diff);
+      borrow = (diff >> 32) & 1;
+    }
+  } else {
+    std::copy(t, t + s, out);
+  }
+}
+
+MontgomeryCtx::Residue MontgomeryCtx::ToMont(const BigInt& x) const {
+  const size_t s = n_.size();
+  Residue a = x.Mod(m_).limbs();
+  a.resize(s, 0);
+  Residue out(s);
+  std::vector<uint32_t> t(s + 2);
+  Cios(a.data(), r2_.data(), out.data(), t.data());
+  return out;
+}
+
+BigInt MontgomeryCtx::FromMont(const Residue& a) const {
+  const size_t s = n_.size();
+  assert(a.size() == s);
+  Residue one(s, 0);
+  one[0] = 1;
+  Residue out(s);
+  std::vector<uint32_t> t(s + 2);
+  Cios(a.data(), one.data(), out.data(), t.data());
+  return BigInt::FromLimbs(std::move(out));
+}
+
+MontgomeryCtx::Residue MontgomeryCtx::Mul(const Residue& a, const Residue& b) const {
+  const size_t s = n_.size();
+  assert(a.size() == s && b.size() == s);
+  Residue out(s);
+  std::vector<uint32_t> t(s + 2);
+  Cios(a.data(), b.data(), out.data(), t.data());
+  return out;
+}
+
+MontgomeryCtx::Residue MontgomeryCtx::Exp(const Residue& base, const BigInt& exp) const {
+  assert(!exp.is_negative());
+  const size_t s = n_.size();
+  assert(base.size() == s);
+  Residue result = r1_;
+  const size_t bits = exp.BitLength();
+  if (bits == 0) {
+    return result;
+  }
+
+  // Odd-power table: table[k] = base^(2k+1) in Montgomery form.
+  std::vector<uint32_t> t(s + 2);
+  Residue sq(s);
+  Cios(base.data(), base.data(), sq.data(), t.data());
+  Residue table[8];
+  table[0] = base;
+  for (int k = 1; k < 8; ++k) {
+    table[k].resize(s);
+    Cios(table[k - 1].data(), sq.data(), table[k].data(), t.data());
+  }
+
+  // Left-to-right with 4-bit windows anchored on set bits: zeros cost
+  // one squaring each; a window of width d costs d squarings plus one
+  // table multiply.
+  size_t i = bits;
+  while (i > 0) {
+    if (!exp.Bit(i - 1)) {
+      Cios(result.data(), result.data(), result.data(), t.data());
+      --i;
+      continue;
+    }
+    size_t low = i >= 4 ? i - 4 : 0;  // Window spans bits [low, i).
+    while (!exp.Bit(low)) {
+      ++low;
+    }
+    uint32_t w = 0;
+    for (size_t j = i; j-- > low;) {
+      w = (w << 1) | (exp.Bit(j) ? 1u : 0u);
+      Cios(result.data(), result.data(), result.data(), t.data());
+    }
+    Cios(result.data(), table[w >> 1].data(), result.data(), t.data());
+    i = low;
+  }
+  return result;
+}
+
+BigInt MontgomeryCtx::ModExp(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_zero()) {
+    return BigInt(1);  // x^0 = 1 by convention, matching ModExpNaive.
+  }
+  return FromMont(Exp(ToMont(base), exp));
+}
+
+BigInt MontgomeryCtx::ModMul(const BigInt& a, const BigInt& b) const {
+  return FromMont(Mul(ToMont(a), ToMont(b)));
+}
+
+BigInt MontgomeryCtx::ModSquare(const BigInt& a) const {
+  // Asymmetric trick: Cios(x, y) = x*y*R^{-1}, so multiplying the plain
+  // value by its own Montgomery form gives a * (a*R) * R^{-1} = a^2 mod m
+  // in two passes instead of ToMont/Mul/FromMont's three.
+  const size_t s = n_.size();
+  Residue plain = a.Mod(m_).limbs();
+  plain.resize(s, 0);
+  Residue am = ToMont(a);
+  Residue out(s);
+  std::vector<uint32_t> t(s + 2);
+  Cios(plain.data(), am.data(), out.data(), t.data());
+  return BigInt::FromLimbs(std::move(out));
+}
+
+}  // namespace crypto

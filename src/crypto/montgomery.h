@@ -1,0 +1,78 @@
+// Montgomery-form modular arithmetic: the kernel under every modular
+// exponentiation in SFS's public-key hot path (SRP-6a exchanges, Rabin
+// square roots, Miller–Rabin witnesses).
+//
+// For an odd modulus m of s 32-bit limbs, values are kept as residues
+// x*R mod m with R = 2^(32s).  The Montgomery product of two residues
+// — one CIOS (coarsely integrated operand scanning) pass interleaving
+// word-level multiply and reduce — costs 2s^2 + s single-word multiplies
+// and *no* division, replacing the schoolbook multiply + full Knuth
+// algorithm-D division the textbook path pays per step.
+//
+// Exponentiation uses a fixed 4-bit sliding window over a table of the
+// eight odd powers base^1, base^3, ..., base^15, cutting the number of
+// non-squaring multiplies from ~bits/2 to ~bits/5.
+//
+// Even moduli cannot be represented (R must be invertible mod m);
+// BigInt::ModExp falls back to the naive path for them.
+#ifndef SFS_SRC_CRYPTO_MONTGOMERY_H_
+#define SFS_SRC_CRYPTO_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/bignum.h"
+
+namespace crypto {
+
+class MontgomeryCtx {
+ public:
+  // A residue in Montgomery form: exactly limbs() little-endian words,
+  // value < modulus.  Opaque to callers; convert with ToMont/FromMont.
+  using Residue = std::vector<uint32_t>;
+
+  // Requires modulus odd and >= 1.  Precomputes n' = -m^{-1} mod 2^32
+  // and R^2 mod m; build once per modulus and reuse (RabinPrivateKey
+  // caches one per prime, SrpParams shares one for the group N).
+  explicit MontgomeryCtx(const BigInt& modulus);
+
+  const BigInt& modulus() const { return m_; }
+  size_t limbs() const { return n_.size(); }
+
+  // x*R mod m (x is reduced mod m first; negative x handled).
+  Residue ToMont(const BigInt& x) const;
+  // a*R^{-1} mod m: back to a plain integer.
+  BigInt FromMont(const Residue& a) const;
+  // The residue of 1 (R mod m).
+  const Residue& One() const { return r1_; }
+
+  // Montgomery product a*b*R^{-1} mod m of two residues.
+  Residue Mul(const Residue& a, const Residue& b) const;
+
+  // base^exp in Montgomery form; base a residue, exp plain and >= 0.
+  // exp == 0 yields One() (even when modulus == 1, where One() is 0).
+  Residue Exp(const Residue& base, const BigInt& exp) const;
+
+  // Convenience wrappers for callers with plain-integer operands.
+  // ModExp matches BigInt::ModExpNaive bit-for-bit, including the
+  // convention that exp == 0 returns 1 regardless of the modulus.
+  BigInt ModExp(const BigInt& base, const BigInt& exp) const;
+  BigInt ModMul(const BigInt& a, const BigInt& b) const;
+  BigInt ModSquare(const BigInt& a) const;
+
+ private:
+  // One CIOS pass: out = a*b*R^{-1} mod m.  `a`, `b`, `out` are
+  // limbs()-word arrays; `t` is scratch of limbs()+2 words.  `out` may
+  // alias `a` or `b` (the accumulator is `t`).
+  void Cios(const uint32_t* a, const uint32_t* b, uint32_t* out, uint32_t* t) const;
+
+  BigInt m_;                    // The modulus.
+  std::vector<uint32_t> n_;     // Its limbs (size s, top limb nonzero).
+  uint32_t n0inv_ = 0;          // -m^{-1} mod 2^32.
+  Residue r1_;                  // R mod m.
+  Residue r2_;                  // R^2 mod m (the ToMont multiplier).
+};
+
+}  // namespace crypto
+
+#endif  // SFS_SRC_CRYPTO_MONTGOMERY_H_

@@ -89,6 +89,9 @@ util::Status RabinPublicKey::Verify(const util::Bytes& message,
   if (e_byte == 1) {
     expected = (n_ - expected).Mod(n_);
   }
+  // Plain square-and-divide: at full-modulus width one product plus one
+  // division beats two Montgomery reduce passes, so Verify stays on the
+  // schoolbook path (results are identical either way).
   BigInt u = (s * s).Mod(n_);
   if (u != expected) {
     return util::SecurityError("signature verification failed");
@@ -121,7 +124,7 @@ util::Result<util::Bytes> RabinPublicKey::Encrypt(const util::Bytes& plaintext,
   util::Append(&em, db);
 
   BigInt m = BigInt::FromBytes(em);
-  BigInt c = (m * m).Mod(n_);
+  BigInt c = (m * m).Mod(n_);  // Same full-width tradeoff as Verify.
   return c.ToBytesPadded(k);
 }
 
@@ -130,6 +133,11 @@ RabinPrivateKey::RabinPrivateKey(BigInt p, BigInt q) : p_(std::move(p)), q_(std:
   assert(inv.ok());
   q_inv_p_ = inv.value();
   public_key_ = RabinPublicKey(p_ * q_);
+  ctx_p_ = std::make_shared<const MontgomeryCtx>(p_);
+  ctx_q_ = std::make_shared<const MontgomeryCtx>(q_);
+  sqrt_exp_p_ = (p_ + BigInt(1)) >> 2;
+  sqrt_exp_q_ = (q_ + BigInt(1)) >> 2;
+  q_inv_p_mont_ = ctx_p_->ToMont(q_inv_p_);
 }
 
 RabinPrivateKey RabinPrivateKey::Generate(Prng* prng, size_t modulus_bits) {
@@ -142,18 +150,20 @@ RabinPrivateKey RabinPrivateKey::Generate(Prng* prng, size_t modulus_bits) {
   return RabinPrivateKey(std::move(p), std::move(q));
 }
 
-BigInt RabinPrivateKey::SqrtMod(const BigInt& a, const BigInt& p) {
-  // p ≡ 3 (mod 4): square root of a QR is a^((p+1)/4).
-  BigInt exp = (p + BigInt(1)) >> 2;
-  return BigInt::ModExp(a.Mod(p), exp, p);
+BigInt RabinPrivateKey::CrtCombine(const BigInt& xp, const BigInt& xq) const {
+  // x ≡ xp (mod p), x ≡ xq (mod q): x = xq + q * ((xp - xq) * q^{-1} mod p),
+  // with the inner product done in Montgomery form against the cached
+  // residue of q^{-1}.
+  BigInt diff = (xp - xq).Mod(p_);
+  BigInt h = ctx_p_->FromMont(ctx_p_->Mul(ctx_p_->ToMont(diff), q_inv_p_mont_));
+  return (xq + q_ * h).Mod(public_key_.n());
 }
 
 BigInt RabinPrivateKey::SqrtModN(const BigInt& a) const {
-  BigInt rp = SqrtMod(a, p_);
-  BigInt rq = SqrtMod(a, q_);
-  // CRT: x ≡ rp (mod p), x ≡ rq (mod q).
-  BigInt diff = (rp - rq).Mod(p_);
-  return (rq + q_ * ((diff * q_inv_p_).Mod(p_))).Mod(public_key_.n());
+  // p, q ≡ 3 (mod 4): square root of a QR is a^((p+1)/4) mod p.
+  BigInt rp = ctx_p_->ModExp(a, sqrt_exp_p_);
+  BigInt rq = ctx_q_->ModExp(a, sqrt_exp_q_);
+  return CrtCombine(rp, rq);
 }
 
 util::Bytes RabinPrivateKey::Sign(const util::Bytes& message) const {
@@ -198,9 +208,9 @@ util::Result<util::Bytes> RabinPrivateKey::Decrypt(const util::Bytes& ciphertext
   if (c >= n) {
     return util::SecurityError("ciphertext out of range");
   }
-  BigInt rp = SqrtMod(c, p_);
-  BigInt rq = SqrtMod(c, q_);
-  if ((rp * rp).Mod(p_) != c.Mod(p_) || (rq * rq).Mod(q_) != c.Mod(q_)) {
+  BigInt rp = ctx_p_->ModExp(c, sqrt_exp_p_);
+  BigInt rq = ctx_q_->ModExp(c, sqrt_exp_q_);
+  if (ctx_p_->ModSquare(rp) != c.Mod(p_) || ctx_q_->ModSquare(rq) != c.Mod(q_)) {
     return util::SecurityError("ciphertext is not a quadratic residue");
   }
 
@@ -209,8 +219,7 @@ util::Result<util::Bytes> RabinPrivateKey::Decrypt(const util::Bytes& ciphertext
     for (int sign_q = 0; sign_q < 2; ++sign_q) {
       BigInt xp = sign_p == 0 ? rp : (p_ - rp).Mod(p_);
       BigInt xq = sign_q == 0 ? rq : (q_ - rq).Mod(q_);
-      BigInt diff = (xp - xq).Mod(p_);
-      BigInt root = (xq + q_ * ((diff * q_inv_p_).Mod(p_))).Mod(n);
+      BigInt root = CrtCombine(xp, xq);
 
       util::Bytes em = root.ToBytesPadded(k);
       if (em[0] != 0x00) {

@@ -19,8 +19,10 @@
 #define SFS_SRC_CRYPTO_RABIN_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/crypto/bignum.h"
+#include "src/crypto/montgomery.h"
 #include "src/crypto/prng.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
@@ -87,8 +89,8 @@ class RabinPrivateKey {
  private:
   RabinPrivateKey(BigInt p, BigInt q);
 
-  // Square root of a mod p (p ≡ 3 mod 4); a must be a QR mod p.
-  static BigInt SqrtMod(const BigInt& a, const BigInt& p);
+  // CRT combine: the x in [0, n) with x ≡ xp (mod p), x ≡ xq (mod q).
+  BigInt CrtCombine(const BigInt& xp, const BigInt& xq) const;
   // CRT-combined square root mod n of a QR `a`.
   BigInt SqrtModN(const BigInt& a) const;
 
@@ -96,6 +98,14 @@ class RabinPrivateKey {
   BigInt q_;
   BigInt q_inv_p_;  // q^{-1} mod p, cached for CRT.
   RabinPublicKey public_key_;
+
+  // Montgomery contexts for the two primes, shared across copies of the
+  // key: sign/decrypt run the CRT square roots entirely through them.
+  std::shared_ptr<const MontgomeryCtx> ctx_p_;
+  std::shared_ptr<const MontgomeryCtx> ctx_q_;
+  BigInt sqrt_exp_p_;  // (p+1)/4: QR square-root exponent mod p.
+  BigInt sqrt_exp_q_;  // (q+1)/4.
+  MontgomeryCtx::Residue q_inv_p_mont_;  // q^{-1} mod p in Montgomery form.
 };
 
 }  // namespace crypto

@@ -18,6 +18,15 @@ constexpr char kGroup1024Hex[] =
 
 util::Bytes PadTo(const BigInt& v, size_t len) { return v.ToBytesPadded(len); }
 
+// base^exp mod N through the group's shared Montgomery context when
+// present; otherwise the generic path.
+BigInt GroupExp(const SrpParams& params, const BigInt& base, const BigInt& exp) {
+  if (params.ctx) {
+    return params.ctx->ModExp(base, exp);
+  }
+  return BigInt::ModExp(base, exp, params.n);
+}
+
 size_t GroupBytes(const SrpParams& params) { return (params.n.BitLength() + 7) / 8; }
 
 // k = H(N || PAD(g)), the SRP-6a multiplier.
@@ -62,7 +71,8 @@ const SrpParams& DefaultSrpParams() {
   static const SrpParams kParams = [] {
     auto n = BigInt::FromHex(kGroup1024Hex);
     assert(n.ok());
-    return SrpParams{n.value(), BigInt(2)};
+    return SrpParams{n.value(), BigInt(2),
+                     std::make_shared<const MontgomeryCtx>(n.value())};
   }();
   return kParams;
 }
@@ -81,13 +91,13 @@ SrpVerifier MakeSrpVerifier(const SrpParams& params, const std::string& password
   out.salt = prng->RandomBytes(16);
   out.cost = cost;
   BigInt x = SrpPrivateExponent(params, password, out.salt, cost);
-  out.v = BigInt::ModExp(params.g, x, params.n);
+  out.v = GroupExp(params, params.g, x);
   return out;
 }
 
 SrpClient::SrpClient(const SrpParams& params, Prng* prng) : params_(params) {
   a_priv_ = BigInt::RandomBelow(prng, params_.n - BigInt(2)) + BigInt(1);
-  a_pub_ = BigInt::ModExp(params_.g, a_priv_, params_.n);
+  a_pub_ = GroupExp(params_, params_.g, a_priv_);
 }
 
 util::Status SrpClient::ProcessServerReply(const std::string& password,
@@ -103,10 +113,10 @@ util::Status SrpClient::ProcessServerReply(const std::string& password,
   BigInt x = SrpPrivateExponent(params_, password, salt, cost);
   BigInt k = Multiplier(params_);
   // S = (B - k*g^x) ^ (a + u*x) mod N.
-  BigInt gx = BigInt::ModExp(params_.g, x, params_.n);
+  BigInt gx = GroupExp(params_, params_.g, x);
   BigInt base = (b_pub - k * gx).Mod(params_.n);
   BigInt exp = a_priv_ + u * x;
-  BigInt s = BigInt::ModExp(base, exp, params_.n);
+  BigInt s = GroupExp(params_, base, exp);
   session_key_ = Sha1Digest(PadTo(s, GroupBytes(params_)));
   m1_ = ComputeM1(params_, a_pub_, b_pub, session_key_);
   m2_expected_ = ComputeM2(params_, a_pub_, m1_, session_key_);
@@ -134,11 +144,11 @@ util::Result<BigInt> SrpServer::ProcessClientHello(const BigInt& a_pub) {
   }
   a_pub_ = a_pub;
   BigInt k = Multiplier(params_);
-  b_pub_ = (k * verifier_.v + BigInt::ModExp(params_.g, b_priv_, params_.n)).Mod(params_.n);
+  b_pub_ = (k * verifier_.v + GroupExp(params_, params_.g, b_priv_)).Mod(params_.n);
   BigInt u = Scrambler(params_, a_pub_, b_pub_);
   // S = (A * v^u) ^ b mod N.
-  BigInt base = (a_pub_ * BigInt::ModExp(verifier_.v, u, params_.n)).Mod(params_.n);
-  BigInt s = BigInt::ModExp(base, b_priv_, params_.n);
+  BigInt base = (a_pub_ * GroupExp(params_, verifier_.v, u)).Mod(params_.n);
+  BigInt s = GroupExp(params_, base, b_priv_);
   session_key_ = Sha1Digest(PadTo(s, GroupBytes(params_)));
   m1_expected_ = ComputeM1(params_, a_pub_, b_pub_, session_key_);
   m2_ = ComputeM2(params_, a_pub_, m1_expected_, session_key_);

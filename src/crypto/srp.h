@@ -13,19 +13,26 @@
 #ifndef SFS_SRC_CRYPTO_SRP_H_
 #define SFS_SRC_CRYPTO_SRP_H_
 
+#include <memory>
 #include <string>
 
 #include "src/crypto/bignum.h"
+#include "src/crypto/montgomery.h"
 #include "src/crypto/prng.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
 
 namespace crypto {
 
-// Group parameters: a safe prime N and generator g.
+// Group parameters: a safe prime N and generator g.  `ctx` is the shared
+// Montgomery context for N — one per group, reused by every client,
+// server, and verifier computation.  May be null (e.g. for hand-built
+// params); exponentiations then go through BigInt::ModExp, which
+// rebuilds a context per call.
 struct SrpParams {
   BigInt n;
   BigInt g;
+  std::shared_ptr<const MontgomeryCtx> ctx;
 };
 
 // The standard 1024-bit group (RFC 5054 appendix A), g = 2.

@@ -18,6 +18,7 @@
 #define SFS_SRC_SIM_COST_MODEL_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/sim/clock.h"
 
@@ -53,6 +54,10 @@ struct CostModel {
   // Simulated CPU work per source file in the "compile" benchmark phases.
   uint64_t compile_cpu_per_file_ns = 250'000'000;
 
+  // Which profile produced these constants; reported in BENCH JSON so
+  // results from different machines are never compared blindly.
+  std::string profile = "p3-550";
+
   // Helpers: charge `clock` for an operation.  Each helper attributes
   // the time to the matching obs::TimeCategory so per-operation
   // breakdowns can tell daemon CPU from crypto.
@@ -70,6 +75,15 @@ struct CostModel {
 
   // The paper's testbed profile (default-constructed).
   static CostModel PentiumIII550() { return CostModel{}; }
+
+  // Derives the crypto constants (pk_* and the symmetric rates) by
+  // timing this build's real primitives — Rabin sign/verify/encrypt/
+  // decrypt and ARC4+HMAC — on the host CPU.  The structural costs
+  // (crossings, copies, syscalls, NFS server work) keep the paper
+  // profile: they model 1999 kernel behaviour, not this machine's.
+  // Takes a few hundred ms; callers cache the result (see
+  // bench::ActiveCostModel).  Defined in calibrate.cc.
+  static CostModel CalibrateFromPrimitives();
 };
 
 }  // namespace sim

@@ -10,6 +10,7 @@
 #include "src/sfs/session.h"
 #include "src/sfs/sfskey.h"
 #include "src/xdr/xdr.h"
+#include "tests/test_keys.h"
 
 namespace {
 
@@ -23,8 +24,7 @@ using util::BytesOf;
 constexpr size_t kKeyBits = 512;
 
 crypto::RabinPrivateKey MakeKey(uint64_t seed) {
-  crypto::Prng prng(seed);
-  return crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  return test_keys::CachedTestKey(seed, kKeyBits);
 }
 
 PublicUserRecord MakeRecord(const std::string& name, const crypto::RabinPrivateKey& key,

@@ -15,6 +15,7 @@
 #include "src/sfs/server.h"
 #include "src/sfs/sfskey.h"
 #include "src/vfs/vfs.h"
+#include "tests/test_keys.h"
 
 namespace {
 
@@ -56,8 +57,7 @@ class IntegrationTest : public ::testing::Test {
     vfs_.MountRoot(&local_fs_, local_fs_.root_handle());
     vfs_.EnableSfs(client_.get());
 
-    crypto::Prng prng(uint64_t{400});
-    user_key_ = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+    user_key_ = test_keys::CachedTestKey(400, kKeyBits);
     auth::PublicUserRecord record;
     record.name = "alice";
     record.public_key = user_key_.public_key().Serialize();
@@ -122,8 +122,7 @@ TEST_F(IntegrationTest, GarbageInRevocationDirectoryIsIgnored) {
 
 TEST_F(IntegrationTest, StaticReadOnlyMountUnderSfs) {
   // A verified read-only CA appears at /sfs/verisign for every user.
-  crypto::Prng prng(uint64_t{410});
-  auto ca_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto ca_key = test_keys::CachedTestKey(410, kKeyBits);
   readonly::ImageBuilder builder;
   ASSERT_TRUE(
       builder.AddSymlink(builder.RootDir(), "files", server_->Path().FullPath()).ok());
@@ -361,8 +360,7 @@ TEST_F(IntegrationTest, EphemeralKeyRotationKeepsExistingMounts) {
   so.key_bits = kKeyBits;
   so.prng_seed = 99;
   // (A second identity on the same server provides a distinct path.)
-  crypto::Prng prng(uint64_t{500});
-  auto second_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto second_key = test_keys::CachedTestKey(500, kKeyBits);
   server_->AddIdentity(second_key, "files.example.org");
   auto mount2 =
       client_->Mount(SelfCertifyingPath::For("files.example.org", second_key.public_key()));
@@ -373,8 +371,7 @@ TEST_F(IntegrationTest, ReadOnlyDialectAutomounts) {
   // The server also hosts a signed read-only image (the certification-
   // authority deployment): its self-certifying pathname automounts
   // through /sfs with the dialect hand-off, no key negotiation.
-  crypto::Prng prng(uint64_t{900});
-  auto ca_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto ca_key = test_keys::CachedTestKey(900, kKeyBits);
   readonly::ImageBuilder builder;
   ASSERT_TRUE(builder.AddFile(builder.RootDir(), "catalog", BytesOf("signed offline")).ok());
   ASSERT_TRUE(
@@ -417,8 +414,7 @@ TEST_F(IntegrationTest, ReadOnlyDialectMountRejectsWrongHostId) {
 }
 
 TEST_F(IntegrationTest, ReadOnlyDialectCachesAggressively) {
-  crypto::Prng prng(uint64_t{902});
-  auto ca_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto ca_key = test_keys::CachedTestKey(902, kKeyBits);
   readonly::ImageBuilder builder;
   ASSERT_TRUE(builder.AddFile(builder.RootDir(), "hot", BytesOf("cached content")).ok());
   SelfCertifyingPath ro_path =

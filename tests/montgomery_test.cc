@@ -1,0 +1,159 @@
+// Property tests for the Montgomery kernel: the optimized path must be
+// bit-for-bit equal to the naive reference (BigInt::ModExpNaive) on
+// every input shape the callers can produce, and the key flows that now
+// run through cached contexts (Rabin, SRP) must still round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/montgomery.h"
+#include "src/crypto/prng.h"
+#include "src/crypto/rabin.h"
+#include "src/crypto/srp.h"
+
+namespace {
+
+using crypto::BigInt;
+using crypto::MontgomeryCtx;
+using crypto::Prng;
+
+BigInt RandomOdd(Prng* prng, size_t bits) {
+  BigInt m = BigInt::Random(prng, bits);
+  return m.is_odd() ? m : m + BigInt(1);
+}
+
+TEST(MontgomeryTest, ModExpMatchesNaiveAcrossSizes) {
+  Prng prng(uint64_t{1001});
+  for (size_t bits : {33, 64, 96, 160, 512, 1024}) {
+    BigInt m = RandomOdd(&prng, bits);
+    MontgomeryCtx ctx(m);
+    for (int i = 0; i < 8; ++i) {
+      BigInt base = BigInt::Random(&prng, bits - 7);
+      BigInt exp = BigInt::Random(&prng, bits);
+      EXPECT_EQ(ctx.ModExp(base, exp), BigInt::ModExpNaive(base, exp, m))
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(MontgomeryTest, ModExpReducesLargeAndNegativeBases) {
+  Prng prng(uint64_t{1002});
+  BigInt m = RandomOdd(&prng, 256);
+  MontgomeryCtx ctx(m);
+  for (int i = 0; i < 10; ++i) {
+    BigInt base = BigInt::Random(&prng, 512);  // base >= m: must reduce first.
+    BigInt exp = BigInt::Random(&prng, 128);
+    EXPECT_EQ(ctx.ModExp(base, exp), BigInt::ModExpNaive(base, exp, m));
+    EXPECT_EQ(ctx.ModExp(-base, exp), BigInt::ModExpNaive((-base).Mod(m), exp, m));
+  }
+}
+
+TEST(MontgomeryTest, ModExpEdgeExponents) {
+  Prng prng(uint64_t{1003});
+  BigInt m = RandomOdd(&prng, 200);
+  MontgomeryCtx ctx(m);
+  BigInt base = BigInt::Random(&prng, 150);
+  EXPECT_EQ(ctx.ModExp(base, BigInt(0)), BigInt(1));  // x^0 == 1 by convention.
+  EXPECT_EQ(ctx.ModExp(base, BigInt(1)), base.Mod(m));
+  EXPECT_EQ(ctx.ModExp(BigInt(0), BigInt(5)), BigInt(0));
+  EXPECT_EQ(ctx.ModExp(BigInt(1), BigInt::Random(&prng, 100)), BigInt(1));
+}
+
+TEST(MontgomeryTest, ModulusOne) {
+  MontgomeryCtx ctx(BigInt(1));
+  // Everything is 0 mod 1 — except exp == 0, where both paths return 1.
+  EXPECT_EQ(ctx.ModExp(BigInt(5), BigInt(3)), BigInt(0));
+  EXPECT_EQ(ctx.ModExp(BigInt(5), BigInt(3)), BigInt::ModExpNaive(BigInt(5), BigInt(3), BigInt(1)));
+  EXPECT_EQ(ctx.ModExp(BigInt(5), BigInt(0)), BigInt::ModExpNaive(BigInt(5), BigInt(0), BigInt(1)));
+}
+
+TEST(MontgomeryTest, EvenModulusFallsBackToNaive) {
+  Prng prng(uint64_t{1004});
+  for (int i = 0; i < 6; ++i) {
+    BigInt m = BigInt::Random(&prng, 160);
+    if (m.is_odd()) {
+      m = m + BigInt(1);
+    }
+    BigInt base = BigInt::Random(&prng, 200);
+    BigInt exp = BigInt::Random(&prng, 80);
+    EXPECT_EQ(BigInt::ModExp(base, exp, m), BigInt::ModExpNaive(base, exp, m));
+  }
+}
+
+TEST(MontgomeryTest, ToMontFromMontRoundTrips) {
+  Prng prng(uint64_t{1005});
+  BigInt m = RandomOdd(&prng, 320);
+  MontgomeryCtx ctx(m);
+  for (int i = 0; i < 10; ++i) {
+    BigInt x = BigInt::Random(&prng, 400).Mod(m);
+    EXPECT_EQ(ctx.FromMont(ctx.ToMont(x)), x);
+  }
+  EXPECT_EQ(ctx.FromMont(ctx.One()), BigInt(1));
+}
+
+TEST(MontgomeryTest, MulMatchesPlainModularProduct) {
+  Prng prng(uint64_t{1006});
+  BigInt m = RandomOdd(&prng, 256);
+  MontgomeryCtx ctx(m);
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = BigInt::Random(&prng, 250);
+    BigInt b = BigInt::Random(&prng, 250);
+    EXPECT_EQ(ctx.ModMul(a, b), (a * b).Mod(m));
+    EXPECT_EQ(ctx.ModSquare(a), (a * a).Mod(m));
+  }
+}
+
+// The multiply above the Karatsuba threshold must agree with division:
+// (a*b)/b == a and (a*b) mod b == 0 exercise the split/recombine path
+// against independent code.
+TEST(MontgomeryTest, KaratsubaProductConsistentWithDivision) {
+  Prng prng(uint64_t{1007});
+  // 800 bits stays schoolbook; 4500 crosses the Karatsuba threshold once;
+  // 9000 recurses (each half is itself above the threshold).
+  for (size_t bits : {800, 4500, 9000}) {
+    BigInt a = BigInt::Random(&prng, bits);
+    BigInt b = BigInt::Random(&prng, bits - 13);
+    BigInt p = a * b;
+    EXPECT_EQ(p / b, a);
+    EXPECT_EQ(p % b, BigInt(0));
+    EXPECT_EQ(p.ModU32(999999937u),
+              static_cast<uint64_t>(a.ModU32(999999937u)) * b.ModU32(999999937u) % 999999937u);
+  }
+}
+
+TEST(MontgomeryTest, Rfc5054GroupUsesSharedContext) {
+  const crypto::SrpParams& params = crypto::DefaultSrpParams();
+  ASSERT_NE(params.ctx, nullptr);
+  EXPECT_EQ(params.ctx->modulus(), params.n);
+  Prng prng(uint64_t{1008});
+  BigInt x = BigInt::Random(&prng, 512);
+  EXPECT_EQ(params.ctx->ModExp(params.g, x), BigInt::ModExpNaive(params.g, x, params.n));
+}
+
+TEST(MontgomeryTest, RabinSignVerifyRoundTripsThroughContexts) {
+  Prng prng(uint64_t{1009});
+  crypto::RabinPrivateKey key = crypto::RabinPrivateKey::Generate(&prng, 512);
+  for (int i = 0; i < 4; ++i) {
+    util::Bytes message = prng.RandomBytes(40 + static_cast<size_t>(i) * 17);
+    util::Bytes signature = key.Sign(message);
+    EXPECT_TRUE(key.public_key().Verify(message, signature).ok());
+    message[0] ^= 1;
+    EXPECT_FALSE(key.public_key().Verify(message, signature).ok());
+  }
+}
+
+TEST(MontgomeryTest, RabinEncryptDecryptRoundTripsThroughContexts) {
+  Prng prng(uint64_t{1010});
+  crypto::RabinPrivateKey key = crypto::RabinPrivateKey::Generate(&prng, 512);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{16}, key.public_key().MaxPlaintextBytes()}) {
+    util::Bytes plaintext = prng.RandomBytes(len);
+    auto ciphertext = key.public_key().Encrypt(plaintext, &prng);
+    ASSERT_TRUE(ciphertext.ok());
+    auto decrypted = key.Decrypt(ciphertext.value());
+    ASSERT_TRUE(decrypted.ok());
+    EXPECT_EQ(decrypted.value(), plaintext);
+  }
+}
+
+}  // namespace

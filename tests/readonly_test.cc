@@ -6,6 +6,7 @@
 
 #include "src/crypto/prng.h"
 #include "src/readonly/readonly.h"
+#include "tests/test_keys.h"
 
 namespace {
 
@@ -22,8 +23,7 @@ constexpr size_t kKeyBits = 512;
 class ReadOnlyTest : public ::testing::Test {
  protected:
   ReadOnlyTest() {
-    crypto::Prng prng(uint64_t{51});
-    key_ = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+    key_ = test_keys::CachedTestKey(51, kKeyBits);
     path_ = SelfCertifyingPath::For("ca.example.org", key_.public_key());
 
     ImageBuilder builder;
@@ -57,8 +57,7 @@ TEST_F(ReadOnlyTest, ConnectVerifiesSignature) {
 }
 
 TEST_F(ReadOnlyTest, ConnectRejectsWrongHostId) {
-  crypto::Prng prng(uint64_t{53});
-  auto other = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto other = test_keys::CachedTestKey(53, kKeyBits);
   SelfCertifyingPath wrong = SelfCertifyingPath::For("ca.example.org", other.public_key());
   ReadOnlyClient client(link_.get(), wrong);
   EXPECT_EQ(client.Connect().code(), util::ErrorCode::kSecurityError);
@@ -152,8 +151,7 @@ TEST_F(ReadOnlyTest, ReplicaCannotForgeNewImage) {
   // serve it with the old signature.
   ImageBuilder evil;
   EXPECT_TRUE(evil.AddFile(evil.RootDir(), "README", BytesOf("evil data")).ok());
-  crypto::Prng prng(uint64_t{54});
-  auto evil_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto evil_key = test_keys::CachedTestKey(54, kKeyBits);
   SignedImage forged = evil.Build(evil_key, "ca.example.org", /*version=*/2);
   forged.public_key = image_.public_key;  // Claim the real key...
   forged.signature = image_.signature;    // ...with the old signature.

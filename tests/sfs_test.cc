@@ -14,6 +14,7 @@
 #include "src/sfs/server.h"
 #include "src/sfs/session.h"
 #include "src/xdr/xdr.h"
+#include "tests/test_keys.h"
 
 namespace {
 
@@ -52,8 +53,7 @@ class SfsTest : public ::testing::Test {
         client_options);
 
     // Register a user with the authserver.
-    crypto::Prng prng(uint64_t{77});
-    user_key_ = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+    user_key_ = test_keys::CachedTestKey(77, kKeyBits);
     auth::PublicUserRecord record;
     record.name = "kaminsky";
     record.public_key = user_key_.public_key().Serialize();
@@ -107,8 +107,7 @@ TEST_F(SfsTest, PathnameParseRejectsMalformed) {
 
 TEST_F(SfsTest, HostIdBindsLocationAndKey) {
   // Same key, different location -> different HostID; and vice versa.
-  crypto::Prng prng(uint64_t{5});
-  auto other_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto other_key = test_keys::CachedTestKey(5, kKeyBits);
   Bytes id1 = sfs::ComputeHostId("a.example.com", server_->public_key());
   Bytes id2 = sfs::ComputeHostId("b.example.com", server_->public_key());
   Bytes id3 = sfs::ComputeHostId("a.example.com", other_key.public_key());
@@ -145,8 +144,7 @@ TEST_F(SfsTest, MountIsSharedAcrossUsers) {
 TEST_F(SfsTest, MountFailsForWrongHostId) {
   // A path naming the right Location but a different key's HostID must
   // not mount, even though the server is reachable.
-  crypto::Prng prng(uint64_t{6});
-  auto other_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto other_key = test_keys::CachedTestKey(6, kKeyBits);
   SelfCertifyingPath bogus = SelfCertifyingPath::For("sfs.lcs.mit.edu", other_key.public_key());
   auto mount = client_->Mount(bogus);
   EXPECT_FALSE(mount.ok());
@@ -239,8 +237,7 @@ TEST_F(SfsTest, LoginReplayIsRejected) {
 TEST_F(SfsTest, SignatureFromUnknownKeyIsRejected) {
   auto mount = client_->Mount(server_->Path());
   ASSERT_TRUE(mount.ok());
-  crypto::Prng prng(uint64_t{9});
-  auto rogue = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto rogue = test_keys::CachedTestKey(9, kKeyBits);
   auto rogue_signer = [&](const Bytes& auth_info, uint32_t seqno) -> std::optional<Bytes> {
     Bytes body = auth::MakeSignedAuthReqBody(sfs::MakeAuthId(auth_info), seqno);
     xdr::Encoder enc;
@@ -338,8 +335,7 @@ class KeySubstitutionInterposer : public sim::Interposer {
 };
 
 TEST_F(SfsTest, ManInTheMiddleKeySubstitutionFailsCertification) {
-  crypto::Prng prng(uint64_t{10});
-  auto attacker_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto attacker_key = test_keys::CachedTestKey(10, kKeyBits);
   KeySubstitutionInterposer mitm(attacker_key.public_key());
   client_->set_interposer(&mitm);
   auto mount = client_->Mount(server_->Path());
@@ -510,8 +506,7 @@ TEST_F(SfsTest, RevocationCertificateBlocksMount) {
 TEST_F(SfsTest, ForgedRevocationCertificateRejected) {
   // Only the key's owner can revoke: a cert signed by a different key
   // for this path must not be accepted.
-  crypto::Prng prng(uint64_t{14});
-  auto attacker = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto attacker = test_keys::CachedTestKey(14, kKeyBits);
   PathRevokeCert forged =
       PathRevokeCert::MakeRevocation(attacker, server_->Path().location);
   // The certificate verifies under the attacker's key, but it revokes the
@@ -547,8 +542,7 @@ TEST_F(SfsTest, ServerServesRevocationOnConnect) {
 }
 
 TEST_F(SfsTest, ForwardingPointerCertificate) {
-  crypto::Prng prng(uint64_t{15});
-  auto new_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto new_key = test_keys::CachedTestKey(15, kKeyBits);
   SelfCertifyingPath new_path = SelfCertifyingPath::For("new.example.com",
                                                         new_key.public_key());
   PathRevokeCert forward = PathRevokeCert::MakeForwardingPointer(
@@ -564,8 +558,7 @@ TEST_F(SfsTest, ForwardingPointerCertificate) {
 TEST_F(SfsTest, MultipleIdentitiesServeSameFileSystem) {
   // Key rollover: the server adds a second (location, key) identity; both
   // self-certifying pathnames reach the same files.
-  crypto::Prng prng(uint64_t{16});
-  auto new_key = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto new_key = test_keys::CachedTestKey(16, kKeyBits);
   server_->AddIdentity(new_key, "sfs.lcs.mit.edu");
   SelfCertifyingPath new_path =
       SelfCertifyingPath::For("sfs.lcs.mit.edu", new_key.public_key());

@@ -1,0 +1,38 @@
+// Per-process cache of deterministic Rabin test keys.
+//
+// Many fixtures regenerate the same key — fresh `Prng(seed)`, one
+// `Generate` call — in every test's SetUp.  The cache produces exactly
+// the bytes that pattern would (same seed, same bits, fresh PRNG), so
+// swapping a call site in is behaviour-preserving; it just pays the
+// prime search once per binary instead of once per test.
+//
+// Only use this where the original PRNG was dedicated to the one
+// generation: if the test keeps drawing from it afterwards, replacing
+// the call would shift that test's randomness.
+#ifndef SFS_TESTS_TEST_KEYS_H_
+#define SFS_TESTS_TEST_KEYS_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/crypto/prng.h"
+#include "src/crypto/rabin.h"
+
+namespace test_keys {
+
+inline const crypto::RabinPrivateKey& CachedTestKey(uint64_t seed, size_t bits) {
+  static auto* cache =
+      new std::map<std::pair<uint64_t, size_t>, crypto::RabinPrivateKey>();
+  auto key = std::make_pair(seed, bits);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    crypto::Prng prng(seed);
+    it = cache->emplace(key, crypto::RabinPrivateKey::Generate(&prng, bits)).first;
+  }
+  return it->second;
+}
+
+}  // namespace test_keys
+
+#endif  // SFS_TESTS_TEST_KEYS_H_

@@ -12,6 +12,7 @@
 #include "src/sfs/client.h"
 #include "src/sfs/server.h"
 #include "src/vfs/vfs.h"
+#include "tests/test_keys.h"
 
 namespace {
 
@@ -58,8 +59,7 @@ class VfsTest : public ::testing::Test {
     vfs_.EnableSfs(client_.get());
 
     // A user with an agent and a registered key on the MIT server.
-    crypto::Prng prng(uint64_t{88});
-    user_key_ = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+    user_key_ = test_keys::CachedTestKey(88, kKeyBits);
     auth::PublicUserRecord record;
     record.name = "dm";
     record.public_key = user_key_.public_key().Serialize();
@@ -187,8 +187,7 @@ TEST_F(VfsTest, SelfCertifyingPathnameAutomounts) {
 }
 
 TEST_F(VfsTest, WrongHostIdDoesNotMount) {
-  crypto::Prng prng(uint64_t{99});
-  auto fake = crypto::RabinPrivateKey::Generate(&prng, kKeyBits);
+  auto fake = test_keys::CachedTestKey(99, kKeyBits);
   SelfCertifyingPath bogus = SelfCertifyingPath::For("sfs.lcs.mit.edu", fake.public_key());
   auto stat = vfs_.Stat(alice_, bogus.FullPath());
   EXPECT_FALSE(stat.ok());
