@@ -1,0 +1,484 @@
+// Fleet-scale discrete-event simulation: thousands of pipelined NFS
+// clients against one serial server machine, all on a single virtual
+// clock (the sim::EventQueue makes this one process, one thread).
+//
+// Each simulated client runs a closed loop of open/close "sessions":
+// LOOKUP a file chosen by Zipfian popularity, issue a burst of
+// GETATTR/READ operations against the handle (the workload mix sets
+// the read fraction), then think for a few hundred microseconds and
+// open the next file.  Clients self-limit to their send window, so the
+// offered load rises with the client count and the rows trace out the
+// latency-vs-throughput knee of the shared sim::Host admission queue:
+// below saturation p99 tracks the wire, past it queueing delay takes
+// over while throughput flattens at the server's service rate.
+//
+// Per-row counters carry the knee curve (p50/p90/p99 of
+// fleet.op_latency_ns, ops/s over virtual time) plus the server-side
+// evidence (server.queue_wait_ns percentiles, shed count) and a ledger
+// cross-check that every virtual nanosecond is still attributed to
+// exactly one TimeCategory at fleet scale.  BM_FleetKnee_Attribution
+// re-runs a saturated point with span collection on and reports where
+// the knee's time actually goes (link transit vs queue wait vs
+// service), both from the clock ledger and from the span tree.
+//
+// BM_FleetSmoke_* rows are small deterministic configurations for the
+// fleet_smoke regression gate (virtual time is exactly reproducible,
+// so tools/bench_compare.py flags any timing-model drift).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/obs_report.h"
+#include "src/nfs/memfs.h"
+#include "src/nfs/program.h"
+#include "src/nfs/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/disk.h"
+#include "src/sim/event.h"
+#include "src/sim/network.h"
+#include "src/xdr/xdr.h"
+
+namespace {
+
+// Deterministic per-client RNG (splitmix64): the whole fleet run is a
+// pure function of the configuration, so BENCH json rows are exactly
+// reproducible across checkouts.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4568bULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+struct FleetOptions {
+  uint32_t clients = 64;
+  uint32_t window = 8;
+  uint32_t read_pct = 50;        // % of session ops that are READs (rest GETATTR).
+  uint32_t sessions = 2;         // open/close churn: sessions per client.
+  uint32_t ops_per_session = 3;  // data ops after each session's LOOKUP.
+  sim::Host::Options host;       // concurrency / queue depth of the server machine.
+  bool spans = false;            // collect spans (attribution rows only).
+};
+
+constexpr uint32_t kFleetFiles = 256;
+constexpr uint32_t kFileBytes = 8 * 1024;
+constexpr uint32_t kReadBytes = 4 * 1024;
+constexpr double kZipfSkew = 0.99;
+
+// One server machine (MemFs + NfsProgram behind a shared sim::Host)
+// and `clients` independent event-driven rpc::Client stacks, all in
+// one process on one virtual clock.
+class Fleet {
+ public:
+  explicit Fleet(const FleetOptions& opt) : opt_(opt) {
+    if (opt_.spans) {
+      registry_.spans().Enable(
+          [this] { return clock_.now_ns(); },
+          [this](uint64_t out[obs::kTimeCategoryCount]) {
+            const sim::Clock::CategorySnapshot charged = clock_.categories();
+            for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+              out[i] = charged.ns[i];
+            }
+          },
+          /*capacity=*/1 << 17);
+    }
+    disk_ = std::make_unique<sim::Disk>(&clock_, sim::DiskProfile::Ibm18Es());
+    memfs_ = std::make_unique<nfs::MemFs>(&clock_, disk_.get(), nfs::MemFs::Options{});
+    program_ = std::make_unique<nfs::NfsProgram>(memfs_.get(), &clock_, &costs_);
+    dispatcher_ = std::make_unique<rpc::Dispatcher>(&registry_, &clock_);
+    RegisterNfs(dispatcher_.get());
+    host_ = std::make_unique<sim::Host>(&clock_, dispatcher_.get(), &registry_, opt_.host);
+
+    // Server-side setup: the popularity-ranked file set, created before
+    // any wire traffic so the measured run sees only client operations.
+    const nfs::Credentials root = nfs::Credentials::User(0);
+    nfs::Fattr attr;
+    nfs::Sattr world;
+    world.mode = 0777;
+    memfs_->SetAttr(memfs_->root_handle(), root, world, &attr);
+    const util::Bytes content(kFileBytes, 0x5a);
+    for (uint32_t i = 0; i < kFleetFiles; ++i) {
+      nfs::Sattr file_mode;
+      file_mode.mode = 0666;
+      nfs::FileHandle fh;
+      memfs_->Create(memfs_->root_handle(), FileName(i), root, file_mode, &fh, &attr);
+      memfs_->Write(fh, root, 0, content, /*stable=*/true, &attr);
+    }
+
+    // Zipfian popularity CDF over the file ranks (s = 0.99, the usual
+    // web/file-trace skew): a handful of hot files absorb most opens.
+    zipf_cdf_.resize(kFleetFiles);
+    double mass = 0.0;
+    for (uint32_t i = 0; i < kFleetFiles; ++i) {
+      mass += 1.0 / std::pow(static_cast<double>(i + 1), kZipfSkew);
+      zipf_cdf_[i] = mass;
+    }
+    for (double& c : zipf_cdf_) {
+      c /= mass;
+    }
+
+    latency_ = registry_.GetHistogram("fleet.op_latency_ns");
+    stacks_.reserve(opt_.clients);
+    drivers_.resize(opt_.clients);
+    for (uint32_t i = 0; i < opt_.clients; ++i) {
+      auto stack = std::make_unique<ClientStack>();
+      // Per-connection Dispatcher over the shared NfsProgram: each
+      // client's duplicate-request cache follows its own seqno stream
+      // (sharing one DRC across clients would alias their seqnos and
+      // replay one client's replies to another).  The Host still
+      // serializes every connection through the one machine.
+      stack->dispatcher = std::make_unique<rpc::Dispatcher>(&registry_, &clock_);
+      RegisterNfs(stack->dispatcher.get());
+      stack->link = std::make_unique<sim::Link>(&clock_, sim::LinkProfile::Udp(),
+                                               host_.get(), &registry_,
+                                               stack->dispatcher.get());
+      stack->transport = std::make_unique<rpc::LinkTransport>(stack->link.get());
+      stack->client = std::make_unique<rpc::Client>(
+          stack->transport.get(), nfs::kNfsProgram, &registry_, "NFS3",
+          [](uint32_t proc) { return std::string(nfs::ProcName(proc)); });
+      stack->client->set_window(opt_.window);
+      stack->client->EnableEventDriven();
+      stacks_.push_back(std::move(stack));
+
+      Driver& d = drivers_[i];
+      d.rpc = stacks_.back()->client.get();
+      d.rng = 0x5eed5eedULL + 0x9e3779b9ULL * (i + 1);
+      d.sessions_left = opt_.sessions;
+    }
+    total_ops_ = static_cast<uint64_t>(opt_.clients) * opt_.sessions *
+                 (1 + opt_.ops_per_session);
+  }
+
+  // Runs the whole fleet to completion on the shared event loop and
+  // returns elapsed virtual nanoseconds.
+  uint64_t Run() {
+    const uint64_t start_ns = clock_.now_ns();
+    for (Driver& d : drivers_) {
+      StartSession(&d);
+    }
+    while (ops_done_ < total_ops_) {
+      if (clock_.events()->empty()) {
+        std::fprintf(stderr, "fleet deadlock: %llu/%llu ops done\n",
+                     static_cast<unsigned long long>(ops_done_),
+                     static_cast<unsigned long long>(total_ops_));
+        std::abort();
+      }
+      clock_.events()->RunOne();
+    }
+    return clock_.now_ns() - start_ns;
+  }
+
+  uint64_t total_ops() const { return total_ops_; }
+  uint64_t op_errors() const { return op_errors_; }
+  const obs::Histogram* latency() const { return latency_; }
+  obs::Registry* registry() { return &registry_; }
+  sim::Clock* clock() { return &clock_; }
+
+  // True when every charged nanosecond across all categories sums back
+  // to the clock's position — the ledger invariant at fleet scale.
+  bool LedgerBalanced() const {
+    const sim::Clock::CategorySnapshot charged = clock_.categories();
+    uint64_t sum = 0;
+    for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+      sum += charged.ns[i];
+    }
+    return sum == clock_.now_ns();
+  }
+
+ private:
+  struct ClientStack {
+    std::unique_ptr<rpc::Dispatcher> dispatcher;
+    std::unique_ptr<sim::Link> link;
+    std::unique_ptr<rpc::LinkTransport> transport;
+    std::unique_ptr<rpc::Client> client;
+  };
+
+  void RegisterNfs(rpc::Dispatcher* dispatcher) {
+    dispatcher->RegisterProgram(
+        nfs::kNfsProgram,
+        [this](uint32_t proc, const util::Bytes& args) {
+          return program_->HandleWire(proc, args);
+        },
+        [](uint32_t proc) { return std::string(nfs::ProcName(proc)); }, "NFS3");
+  }
+
+  struct Driver {
+    rpc::Client* rpc = nullptr;
+    uint64_t rng = 0;
+    uint32_t in_flight = 0;
+    uint32_t sessions_left = 0;
+    uint32_t session_ops_left = 0;  // Data ops not yet issued this session.
+    nfs::FileHandle fh;             // Current session's handle (post-LOOKUP).
+  };
+
+  static std::string FileName(uint32_t i) { return "f" + std::to_string(i); }
+
+  uint32_t SampleZipf(uint64_t* rng) {
+    const double u = UnitUniform(rng);
+    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return static_cast<uint32_t>(it - zipf_cdf_.begin());
+  }
+
+  util::Bytes LookupArgs(uint32_t file) {
+    xdr::Encoder enc;
+    cred_.Encode(&enc);
+    enc.PutOpaque(memfs_->root_handle());
+    enc.PutString(FileName(file));
+    return enc.Take();
+  }
+
+  util::Bytes GetAttrArgs(const nfs::FileHandle& fh) {
+    xdr::Encoder enc;
+    cred_.Encode(&enc);
+    enc.PutOpaque(fh);
+    return enc.Take();
+  }
+
+  util::Bytes ReadArgs(const nfs::FileHandle& fh, uint64_t offset) {
+    xdr::Encoder enc;
+    cred_.Encode(&enc);
+    enc.PutOpaque(fh);
+    enc.PutUint64(offset);
+    enc.PutUint32(kReadBytes);
+    return enc.Take();
+  }
+
+  // Session open: LOOKUP the Zipf-chosen file; data ops start when the
+  // handle comes back (real open/close churn serializes on the open).
+  void StartSession(Driver* d) {
+    const uint32_t file = SampleZipf(&d->rng);
+    Issue(d, nfs::kProcLookup, LookupArgs(file), /*is_lookup=*/true);
+  }
+
+  // Fills the client's window with this session's remaining data ops.
+  void IssueSessionOps(Driver* d) {
+    while (d->session_ops_left > 0 && d->in_flight < opt_.window) {
+      d->session_ops_left--;
+      if (UnitUniform(&d->rng) * 100.0 < static_cast<double>(opt_.read_pct)) {
+        const uint64_t offset =
+            (SplitMix64(&d->rng) % (kFileBytes / kReadBytes)) * kReadBytes;
+        Issue(d, nfs::kProcRead, ReadArgs(d->fh, offset), /*is_lookup=*/false);
+      } else {
+        Issue(d, nfs::kProcGetAttr, GetAttrArgs(d->fh), /*is_lookup=*/false);
+      }
+    }
+  }
+
+  void Issue(Driver* d, uint32_t proc, util::Bytes args, bool is_lookup) {
+    d->in_flight++;
+    const uint64_t t0 = clock_.now_ns();
+    // in_flight < window always holds here, so CallAsync never blocks
+    // on a full window (which would pump the event loop reentrantly
+    // under thousands of peers).
+    d->rpc->CallAsync(proc, args, [this, d, t0, is_lookup](util::Result<util::Bytes> reply) {
+      OnOpDone(d, t0, is_lookup, std::move(reply));
+    });
+  }
+
+  void OnOpDone(Driver* d, uint64_t t0, bool is_lookup, util::Result<util::Bytes> reply) {
+    latency_->Record(clock_.now_ns() - t0);
+    ops_done_++;
+    d->in_flight--;
+    if (!reply.ok()) {
+      // Retry budget exhausted (possible under a bounded admission
+      // queue when every copy was shed): the op still completes.  A
+      // failed open aborts its session, so the data ops it would have
+      // issued count as skipped — otherwise Run() would wait forever.
+      op_errors_++;
+      if (is_lookup) {
+        ops_done_ += opt_.ops_per_session;
+      }
+    } else if (is_lookup) {
+      xdr::Decoder dec(*reply);
+      auto stat = dec.GetUint32();
+      if (stat.ok() && *stat == static_cast<uint32_t>(nfs::Stat::kOk)) {
+        if (auto fh = dec.GetOpaque(); fh.ok()) {
+          d->fh = *fh;
+        }
+      }
+    }
+    if (is_lookup && reply.ok()) {
+      d->session_ops_left = opt_.ops_per_session;
+    }
+    if (d->session_ops_left > 0) {
+      IssueSessionOps(d);
+      return;
+    }
+    if (d->in_flight > 0) {
+      return;  // Session tail still in flight.
+    }
+    // Session closed: think, then open the next file (or finish).
+    d->sessions_left--;
+    if (d->sessions_left == 0) {
+      return;
+    }
+    const uint64_t think_ns = 100'000 + (SplitMix64(&d->rng) & 0x3ffff);
+    clock_.events()->Schedule(clock_.now_ns() + think_ns, obs::TimeCategory::kWait,
+                              [this, d] { StartSession(d); });
+  }
+
+  FleetOptions opt_;
+  obs::Registry registry_;
+  sim::Clock clock_;
+  sim::CostModel costs_ = bench::ActiveCostModel();
+  std::unique_ptr<sim::Disk> disk_;
+  std::unique_ptr<nfs::MemFs> memfs_;
+  std::unique_ptr<nfs::NfsProgram> program_;
+  std::unique_ptr<rpc::Dispatcher> dispatcher_;
+  std::unique_ptr<sim::Host> host_;
+  std::vector<std::unique_ptr<ClientStack>> stacks_;
+  std::vector<Driver> drivers_;
+  std::vector<double> zipf_cdf_;
+  const nfs::Credentials cred_ = nfs::Credentials::User(1000, {1000});
+  obs::Histogram* latency_ = nullptr;
+  uint64_t total_ops_ = 0;
+  uint64_t ops_done_ = 0;
+  uint64_t op_errors_ = 0;
+};
+
+void ReportFleetCounters(benchmark::State& state, Fleet* fleet, uint64_t elapsed_ns) {
+  state.SetIterationTime(static_cast<double>(elapsed_ns) * 1e-9);
+  state.counters["ops_per_sec"] = static_cast<double>(fleet->total_ops()) * 1e9 /
+                                  static_cast<double>(elapsed_ns);
+  state.counters["p50_us"] =
+      static_cast<double>(fleet->latency()->ApproxPercentileNs(0.50)) / 1000.0;
+  state.counters["p90_us"] =
+      static_cast<double>(fleet->latency()->ApproxPercentileNs(0.90)) / 1000.0;
+  state.counters["p99_us"] =
+      static_cast<double>(fleet->latency()->ApproxPercentileNs(0.99)) / 1000.0;
+  obs::Registry* registry = fleet->registry();
+  if (const obs::Histogram* qw = registry->FindHistogram("server.queue_wait_ns");
+      qw != nullptr && qw->count() > 0) {
+    state.counters["queue_wait_p50_us"] =
+        static_cast<double>(qw->ApproxPercentileNs(0.50)) / 1000.0;
+    state.counters["queue_wait_p99_us"] =
+        static_cast<double>(qw->ApproxPercentileNs(0.99)) / 1000.0;
+  }
+  state.counters["shed"] = static_cast<double>(registry->CounterValue("server.shed"));
+  state.counters["retransmissions"] =
+      static_cast<double>(registry->CounterValue("link.retransmissions"));
+  state.counters["op_errors"] = static_cast<double>(fleet->op_errors());
+  state.counters["unmatched_replies"] =
+      static_cast<double>(registry->CounterValue("rpc.client.unmatched_replies"));
+  // Ledger invariant at fleet scale: categories sum exactly to now_ns.
+  state.counters["ledger_ok"] = fleet->LedgerBalanced() ? 1.0 : 0.0;
+}
+
+// The knee sweep: client count is the offered load, window the per-
+// client pipelining, read_pct the workload mix.
+void BM_FleetScaling_Knee(benchmark::State& state) {
+  FleetOptions opt;
+  opt.clients = static_cast<uint32_t>(state.range(0));
+  opt.window = static_cast<uint32_t>(state.range(1));
+  opt.read_pct = static_cast<uint32_t>(state.range(2));
+  for (auto _ : state) {
+    Fleet fleet(opt);
+    const uint64_t elapsed_ns = fleet.Run();
+    ReportFleetCounters(state, &fleet, elapsed_ns);
+    state.SetLabel("clients=" + std::to_string(opt.clients) +
+                   " window=" + std::to_string(opt.window) +
+                   " read%=" + std::to_string(opt.read_pct));
+  }
+}
+
+// A saturated point rerun with span collection: where does the knee's
+// time go?  Reported two ways that must agree in shape — the clock
+// ledger's category split over the run (virtual time is single-
+// threaded, so the ledger IS the critical path), and the span tree's
+// per-layer aggregation (server queue wait and handler service).
+void BM_FleetKnee_Attribution(benchmark::State& state) {
+  FleetOptions opt;
+  opt.clients = 1024;
+  opt.window = 8;
+  opt.read_pct = 50;
+  opt.spans = true;
+  for (auto _ : state) {
+    Fleet fleet(opt);
+    const sim::Clock::CategorySnapshot before = fleet.clock()->categories();
+    const uint64_t elapsed_ns = fleet.Run();
+    const sim::Clock::CategorySnapshot after = fleet.clock()->categories();
+    ReportFleetCounters(state, &fleet, elapsed_ns);
+    for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+      const double frac = static_cast<double>(after.ns[i] - before.ns[i]) /
+                          static_cast<double>(elapsed_ns);
+      if (frac > 0.0) {
+        state.counters[std::string("time.") +
+                       obs::TimeCategoryName(static_cast<obs::TimeCategory>(i))] = frac;
+      }
+    }
+    std::vector<obs::Span> spans = fleet.registry()->spans().TakeFinished();
+    for (const char* layer : {"sim.host", "server"}) {
+      for (const obs::CriticalPathRow& row : obs::CriticalPathByName(spans, layer)) {
+        state.counters["span." + row.name + ".total_ms"] =
+            static_cast<double>(row.total_ns) * 1e-6;
+      }
+    }
+    state.counters["span.dropped"] =
+        static_cast<double>(fleet.registry()->spans().dropped());
+    state.SetLabel("clients=1024 window=8 read%=50 (spans on)");
+  }
+}
+
+// Small deterministic rows for the fleet_smoke regression gate.  The
+// bounded row runs the admission queue at a shallow depth so shedding and the
+// retransmission recovery path stay covered by the gate.
+void BM_FleetSmoke_Open(benchmark::State& state) {
+  FleetOptions opt;
+  opt.clients = 32;
+  opt.window = 8;
+  opt.read_pct = 50;
+  for (auto _ : state) {
+    Fleet fleet(opt);
+    const uint64_t elapsed_ns = fleet.Run();
+    ReportFleetCounters(state, &fleet, elapsed_ns);
+    state.SetLabel("clients=32 window=8 unbounded queue");
+  }
+}
+
+void BM_FleetSmoke_BoundedQueue(benchmark::State& state) {
+  FleetOptions opt;
+  opt.clients = 48;
+  opt.window = 8;
+  opt.read_pct = 50;
+  opt.host.queue_depth = 16;
+  for (auto _ : state) {
+    Fleet fleet(opt);
+    const uint64_t elapsed_ns = fleet.Run();
+    ReportFleetCounters(state, &fleet, elapsed_ns);
+    state.SetLabel("clients=48 window=8 queue_depth=16");
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FleetScaling_Knee)
+    ->ArgsProduct({{2, 8, 32, 128, 1024, 10240}, {4, 16}, {20, 80}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_FleetKnee_Attribution)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_FleetSmoke_Open)->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_FleetSmoke_BoundedQueue)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+SFS_BENCH_JSON_MAIN("fleet_scaling")

@@ -47,7 +47,9 @@ struct RpcEnv {
   std::unique_ptr<nfs::MemFs> memfs;
   std::unique_ptr<nfs::NfsProgram> program;
   std::unique_ptr<rpc::Dispatcher> dispatcher;
+  std::unique_ptr<sim::Host> host;
   struct ClientStack {
+    std::unique_ptr<rpc::Dispatcher> dispatcher;
     std::unique_ptr<sim::Link> link;
     std::unique_ptr<rpc::LinkTransport> transport;
     std::unique_ptr<rpc::Client> client;
@@ -65,10 +67,25 @@ struct RpcEnv {
           return program->HandleWire(proc, args);
         },
         [](uint32_t proc) { return std::string(nfs::ProcName(proc)); }, "NFS3");
+    // One server machine: every client link feeds the same admission
+    // queue and serial executor instead of a private per-link watermark.
+    host = std::make_unique<sim::Host>(&clock, dispatcher.get(), &registry);
     clients.resize(nclients);
     for (auto& stack : clients) {
+      // Per-connection Dispatcher: each client's duplicate-request
+      // cache follows its own seqno stream (a shared DRC would alias
+      // seqnos across clients and replay one client's replies to
+      // another).  The shared Host still serializes the machine.
+      stack.dispatcher = std::make_unique<rpc::Dispatcher>(&registry, &clock);
+      stack.dispatcher->RegisterProgram(
+          nfs::kNfsProgram,
+          [this](uint32_t proc, const util::Bytes& args) {
+            return program->HandleWire(proc, args);
+          },
+          [](uint32_t proc) { return std::string(nfs::ProcName(proc)); }, "NFS3");
       stack.link = std::make_unique<sim::Link>(&clock, sim::LinkProfile::Udp(),
-                                               dispatcher.get(), &registry);
+                                               host.get(), &registry,
+                                               stack.dispatcher.get());
       stack.transport = std::make_unique<rpc::LinkTransport>(stack.link.get());
       stack.client = std::make_unique<rpc::Client>(
           stack.transport.get(), nfs::kNfsProgram, &registry, "NFS3",

@@ -119,11 +119,14 @@ class Testbed {
               return program_->HandleWire(proc, args);
             },
             [](uint32_t proc) { return std::string(nfs::ProcName(proc)); }, "NFS3");
+        // The server machine is explicit: an admission/execution Host
+        // the link (and any additional fleet links) schedules into.
+        host_ = std::make_unique<sim::Host>(&clock_, dispatcher_.get(), &registry_);
         link_ = std::make_unique<sim::Link>(&clock_,
                                             config == Config::kNfsUdp
                                                 ? sim::LinkProfile::Udp()
                                                 : sim::LinkProfile::NfsTcpKernel(),
-                                            dispatcher_.get(), &registry_);
+                                            host_.get(), &registry_);
         transport_ = std::make_unique<rpc::LinkTransport>(link_.get());
         rpc_client_ = std::make_unique<rpc::Client>(
             transport_.get(), nfs::kNfsProgram, &registry_, "NFS3",
@@ -243,6 +246,9 @@ class Testbed {
 
   Config config() const { return config_; }
   sim::Clock* clock() { return &clock_; }
+  // The NFS server machine (null for local/SFS configs, which own their
+  // service pipelines elsewhere).
+  sim::Host* host() { return host_.get(); }
   // This testbed's private metrics registry; every component publishes
   // here, so concurrent testbeds never share counters.
   obs::Registry* registry() { return &registry_; }
@@ -290,6 +296,7 @@ class Testbed {
   // Plain NFS pieces.
   std::unique_ptr<nfs::NfsProgram> program_;
   std::unique_ptr<rpc::Dispatcher> dispatcher_;
+  std::unique_ptr<sim::Host> host_;
   std::unique_ptr<sim::Link> link_;
   std::unique_ptr<rpc::LinkTransport> transport_;
   std::unique_ptr<rpc::Client> rpc_client_;

@@ -25,6 +25,8 @@ const char* TimeCategoryName(TimeCategory category) {
       return "syscall";
     case TimeCategory::kWait:
       return "wait";
+    case TimeCategory::kQueue:
+      return "queue";
     case TimeCategory::kApp:
       return "app";
     case TimeCategory::kUntracked:

@@ -37,10 +37,16 @@ enum class TimeCategory : uint8_t {
   kCpu,        // User-level daemon crossings, copies, server op processing.
   kSyscall,    // Local system-call overhead (VFS entry).
   kWait,       // Retransmission timeouts spent waiting out lost messages.
+  kQueue,      // Server admission-queue wait (overload).  Rarely lands on
+               // the global ledger — queue wait overlaps the service of
+               // whatever the server is busy with, and the single shared
+               // timeline charges each nanosecond once — but spans and
+               // the server.queue_wait_ns histogram report it per
+               // request (docs/OBSERVABILITY.md §"time.queue").
   kApp,        // Application CPU simulated by workloads (compile phases).
   kUntracked,  // Legacy untagged Advance() calls; ~0 on instrumented paths.
 };
-inline constexpr size_t kTimeCategoryCount = 8;
+inline constexpr size_t kTimeCategoryCount = 9;
 const char* TimeCategoryName(TimeCategory category);
 
 // Monotonic counter.  Increment is a relaxed atomic add; Set exists for

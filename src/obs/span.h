@@ -110,6 +110,16 @@ class SpanCollector {
   void Pop(uint64_t id);
   SpanContext current() const;
 
+  // Replaces the ambient stack wholesale, returning the previous one.
+  // The discrete-event loop uses this to run a server handler under the
+  // submitting client's context instead of whichever caller happens to
+  // be pumping events (sim::Host); a stale id in the installed stack is
+  // harmless — current() treats closed spans as no context.
+  std::vector<uint64_t> SwapStack(std::vector<uint64_t> stack) {
+    std::swap(stack_, stack);
+    return stack;
+  }
+
   // Records an already-measured interval (used for pipelined link
   // transits, whose endpoints are known only at delivery time).  The
   // span's id/trace are assigned here; cat_ns is taken as given.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/obs/span.h"
+#include "src/sim/event.h"
 #include "src/util/log.h"
 #include "src/xdr/xdr.h"
 
@@ -235,8 +236,33 @@ Client::Client(Transport* transport, uint32_t prog, obs::Registry* registry,
   metrics_.Init(registry_, "rpc.client." + prog_name_);
 }
 
+Client::~Client() {
+  // Disarm event-driven retransmission timers: the clock (and its event
+  // queue) outlives the client, and a fired timer would touch freed
+  // state.
+  if (event_driven_) {
+    if (sim::Clock* clock = transport_->clock()) {
+      for (auto& [xid, call] : pending_) {
+        if (call.timer_id != 0) {
+          clock->events()->Cancel(call.timer_id);
+        }
+      }
+    }
+  }
+}
+
 void Client::set_window(uint32_t window) {
   window_ = std::clamp<uint32_t>(window, 1, kMaxSendWindow);
+}
+
+void Client::EnableEventDriven() {
+  if (event_driven_ || !transport_->SupportsEventDriven() ||
+      !transport_->SupportsPipelining() || transport_->clock() == nullptr) {
+    return;
+  }
+  event_driven_ = true;
+  transport_->SetDeliverySink(
+      [this](sim::Delivery delivery) { OnDelivery(std::move(delivery)); });
 }
 
 bool Client::UsePipelining() const {
@@ -439,14 +465,25 @@ void Client::EmitEvent(obs::TraceEvent::Kind kind, const PendingCall& call,
 
 void Client::Transmit(PendingCall* call) {
   call->pm->bytes_sent->Increment(call->wire.size());
-  // The call span is ambient across Submit so the inline server handler
-  // and the link's transit bookkeeping parent under it (Push(0) no-ops).
+  // The call span is ambient across Submit so the link's transit
+  // bookkeeping (and the server-side dispatch, which executes under the
+  // submitter's context) parent under it (Push(0) no-ops).
   spans_->Push(call->span_id);
   const uint64_t token = transport_->Submit(call->wire);
   spans_->Pop(call->span_id);
   token_to_xid_[token] = call->xid;
   sim::Clock* clock = transport_->clock();
   call->deadline_ns = (clock != nullptr ? clock->now_ns() : 0) + call->rto_ns;
+  if (event_driven_) {
+    // Cancellable engine timer instead of the AwaitNext deadline poll.
+    // The timer fires only if nothing completed the call first; the gap
+    // it bridges (idle waiting out a lost message) is kWait, same as the
+    // pull path charges it.
+    const uint32_t xid = call->xid;
+    call->timer_id = clock->events()->Schedule(
+        call->deadline_ns, obs::TimeCategory::kWait,
+        [this, xid] { OnRetransmitTimer(xid); });
+  }
 }
 
 void Client::CallAsync(uint32_t proc, const util::Bytes& args, Callback done) {
@@ -554,6 +591,13 @@ void Client::PumpOnce() {
   if (pending_.empty()) {
     return;
   }
+  if (event_driven_) {
+    // Deliveries and retransmission timers are all engine events; with a
+    // call pending there is always at least one scheduled (its timer),
+    // so one dispatch always makes progress.
+    transport_->clock()->events()->RunOne();
+    return;
+  }
   uint64_t deadline = pending_.begin()->second.deadline_ns;
   for (const auto& [xid, call] : pending_) {
     deadline = std::min(deadline, call.deadline_ns);
@@ -605,6 +649,36 @@ void Client::PumpOnce() {
               "retransmission timer expired");
     Transmit(&call);
   }
+}
+
+void Client::OnRetransmitTimer(uint32_t xid) {
+  auto it = pending_.find(xid);
+  if (it == pending_.end()) {
+    return;  // Completed in the same dispatch round; timer raced the cancel.
+  }
+  PendingCall& call = it->second;
+  call.timer_id = 0;  // This timer just fired; Transmit re-arms.
+  const sim::RetryPolicy* policy = transport_->retry_policy();
+  sim::RetryPolicy default_policy;
+  if (policy == nullptr) {
+    policy = &default_policy;
+  }
+  const uint32_t attempts = policy->max_transmissions == 0 ? 1 : policy->max_transmissions;
+  if (call.attempt + 1 >= attempts) {
+    Complete(xid, util::Unavailable("RPC: retry budget exhausted waiting for reply"));
+    return;
+  }
+  ++call.attempt;
+  call.rto_ns = std::min(call.rto_ns * policy->backoff_factor, policy->max_rto_ns);
+  ++retransmissions_;
+  transport_->NoteRetransmission();
+  call.pm->retransmits->Increment();
+  if (obs::Span* s = spans_->Find(call.span_id)) {
+    ++s->retransmits;
+  }
+  EmitEvent(obs::TraceEvent::Kind::kClientRetransmit, call, call.wire.size(),
+            "retransmission timer expired");
+  Transmit(&call);
 }
 
 void Client::OnDelivery(sim::Delivery delivery) {
@@ -690,6 +764,11 @@ void Client::Complete(uint32_t xid, util::Result<util::Bytes> result) {
   }
   PendingCall call = std::move(it->second);
   pending_.erase(it);
+  if (call.timer_id != 0) {
+    // Event-driven mode: the reply beat the retransmission timer; cancel
+    // it so it neither fires nor holds the event queue open.
+    transport_->clock()->events()->Cancel(call.timer_id);
+  }
   // Retire every submission token still pointing at this call (dropped
   // copies never produced a delivery to clean themselves up).
   for (auto tok = token_to_xid_.begin(); tok != token_to_xid_.end();) {

@@ -131,6 +131,13 @@ class Transport {
     return std::nullopt;
   }
   virtual void NoteRetransmission() {}
+
+  // Event-driven surface: a transport that can push deliveries at their
+  // delivery event (instead of being pulled via AwaitNext) accepts a
+  // sink here.  Fleet-scale harnesses run one top-level event loop over
+  // thousands of clients; nested per-client pumping would recurse.
+  virtual bool SupportsEventDriven() const { return false; }
+  virtual void SetDeliverySink(std::function<void(sim::Delivery)> sink) { (void)sink; }
 };
 
 // Adapts sim::Link to Transport.
@@ -148,6 +155,10 @@ class LinkTransport : public Transport {
     return link_->AwaitNext(deadline_ns);
   }
   void NoteRetransmission() override { link_->NoteRetransmission(); }
+  bool SupportsEventDriven() const override { return true; }
+  void SetDeliverySink(std::function<void(sim::Delivery)> sink) override {
+    link_->set_delivery_sink(std::move(sink));
+  }
 
  private:
   sim::Link* link_;
@@ -162,6 +173,7 @@ class Client {
   // procedure numbers for metric names and trace events.
   Client(Transport* transport, uint32_t prog, obs::Registry* registry = nullptr,
          std::string prog_name = "", ProcNamer namer = nullptr);
+  ~Client();
 
   // Synchronous call.  Errors from the transport (kUnavailable,
   // kSecurityError) and from the remote handler both surface as Status.
@@ -182,6 +194,17 @@ class Client {
 
   // Pumps until every outstanding async call has completed.
   void Drain();
+
+  // Switches this client to event-driven completion: deliveries arrive
+  // through the transport's sink at their delivery event, and each
+  // in-flight call arms a cancellable retransmission timer on the
+  // clock's EventQueue instead of being polled by AwaitNext.  Call/
+  // CallAsync/Drain keep working (they pump the shared event loop), but
+  // a fleet harness can equally run the loop itself and let completions
+  // flow through callbacks.  Requires a pipelining, event-capable
+  // transport; no-op otherwise.
+  void EnableEventDriven();
+  bool event_driven() const { return event_driven_; }
 
   // Sliding send window: 1 (default) is stop-and-wait; larger values
   // pipeline up to `window` concurrent calls.  Clamped to kMaxSendWindow.
@@ -208,6 +231,7 @@ class Client {
     uint64_t t_call_ns = 0;
     uint64_t deadline_ns = 0;
     uint64_t rto_ns = 0;
+    uint64_t timer_id = 0;  // Event-driven retransmission timer; 0 = none.
     uint32_t attempt = 0;
     uint64_t span_id = 0;  // Open "rpc.call.<proc>" span; 0 = tracing off.
     obs::ProcMetrics* pm = nullptr;
@@ -222,6 +246,8 @@ class Client {
   void PumpOnce();
   // Handles one delivered message: match by xid, complete or count.
   void OnDelivery(sim::Delivery delivery);
+  // Event-driven retransmission timer fired for `xid`: resend or give up.
+  void OnRetransmitTimer(uint32_t xid);
   // Removes the call from the window and runs its callback.
   void Complete(uint32_t xid, util::Result<util::Bytes> result);
   void EmitEvent(obs::TraceEvent::Kind kind, const PendingCall& call,
@@ -235,6 +261,7 @@ class Client {
   uint32_t next_xid_ = 1;
   uint32_t next_seqno_ = 1;
   uint32_t window_ = 1;
+  bool event_driven_ = false;
   uint64_t calls_made_ = 0;
   uint64_t retransmissions_ = 0;
   uint64_t unmatched_replies_ = 0;

@@ -1,0 +1,12 @@
+#include "src/sim/clock.h"
+
+#include "src/sim/event.h"
+
+namespace sim {
+
+// Out of line so clock.h can hold the queue through a forward
+// declaration (event.h includes clock.h for CategorySnapshot).
+Clock::Clock() : events_(std::make_unique<EventQueue>(this)) {}
+Clock::~Clock() = default;
+
+}  // namespace sim

@@ -11,14 +11,28 @@
 // per-category totals always sum to now_ns(), and the instrumented RPC
 // layers diff CategorySnapshots around a call to attribute its cost to
 // link vs crypto vs disk vs CPU (docs/OBSERVABILITY.md).
+//
+// Measure frames: the discrete-event core (src/sim/event.h) runs server
+// handlers at their service-start event, but their cost must occupy the
+// timeline *later*, as the gap up to the completion event.  A frame
+// captures a scope's Advance() calls into an overlay instead of the
+// global ledger; inside the frame, now_ns() and categories() include the
+// overlay, so the handler's own stopwatches, histograms and span ledger
+// diffs see time passing normally.  EndMeasureFrame() pops the overlay
+// and returns the captured breakdown, which the scheduler replays onto
+// the timeline proportionally when the completion event dispatches.
 #ifndef SFS_SRC_SIM_CLOCK_H_
 #define SFS_SRC_SIM_CLOCK_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/obs/metrics.h"
 
 namespace sim {
+
+class EventQueue;
 
 class Clock {
  public:
@@ -28,38 +42,91 @@ class Clock {
     uint64_t ns[obs::kTimeCategoryCount] = {};
   };
 
-  Clock() = default;
+  Clock();
+  ~Clock();
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
 
-  uint64_t now_ns() const { return now_ns_; }
+  uint64_t now_ns() const { return now_ns_ + frame_extra_ns_; }
   void Advance(uint64_t delta_ns,
                obs::TimeCategory category = obs::TimeCategory::kUntracked) {
+    if (!frames_.empty()) {
+      frames_.back().ns[static_cast<size_t>(category)] += delta_ns;
+      frame_extra_ns_ += delta_ns;
+      return;
+    }
     now_ns_ += delta_ns;
     charged_.ns[static_cast<size_t>(category)] += delta_ns;
   }
 
-  double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+  double now_seconds() const { return static_cast<double>(now_ns()) * 1e-9; }
 
   uint64_t charged_ns(obs::TimeCategory category) const {
-    return charged_.ns[static_cast<size_t>(category)];
+    uint64_t total = charged_.ns[static_cast<size_t>(category)];
+    for (const CategorySnapshot& frame : frames_) {
+      total += frame.ns[static_cast<size_t>(category)];
+    }
+    return total;
   }
-  const CategorySnapshot& categories() const { return charged_; }
+  // By value: active measure frames overlay the global ledger, so the
+  // snapshot is computed.  Callers binding `const CategorySnapshot&`
+  // still work (lifetime extension).
+  CategorySnapshot categories() const {
+    CategorySnapshot out = charged_;
+    for (const CategorySnapshot& frame : frames_) {
+      for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
+        out.ns[i] += frame.ns[i];
+      }
+    }
+    return out;
+  }
+
+  // --- Measure frames (discrete-event scheduler support) --------------------
+  //
+  // Between Begin and End, Advance() accumulates into a frame overlay
+  // instead of the global ledger; End returns the overlay.  Frames nest:
+  // each captures only its own charges, and an inner frame's charges
+  // never leak into the outer one — the scheduler replays each captured
+  // breakdown onto the timeline exactly once.
+  void BeginMeasureFrame() { frames_.emplace_back(); }
+  CategorySnapshot EndMeasureFrame() {
+    CategorySnapshot frame = frames_.back();
+    frames_.pop_back();
+    uint64_t total = 0;
+    for (uint64_t ns : frame.ns) {
+      total += ns;
+    }
+    frame_extra_ns_ -= total;
+    return frame;
+  }
+  bool InMeasureFrame() const { return !frames_.empty(); }
+
+  // The event queue sharing this timeline (src/sim/event.h).  Created
+  // lazily-at-construction; every Link/Host on this clock schedules here.
+  EventQueue* events() { return events_.get(); }
 
   // Copies the per-category totals into `time.<category>_ns` counters
   // plus `time.total_ns`, for inclusion in a registry snapshot.
   void ExportTimeCounters(obs::Registry* registry) const {
+    const CategorySnapshot snapshot = categories();
     for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
       registry
           ->GetCounter(std::string("time.") +
                        obs::TimeCategoryName(static_cast<obs::TimeCategory>(i)) +
                        "_ns")
-          ->Set(charged_.ns[i]);
+          ->Set(snapshot.ns[i]);
     }
-    registry->GetCounter("time.total_ns")->Set(now_ns_);
+    registry->GetCounter("time.total_ns")->Set(now_ns());
   }
 
  private:
   uint64_t now_ns_ = 0;
   CategorySnapshot charged_;
+  // Active measure frames (innermost last) and the sum of their charges,
+  // kept separately so now_ns() stays O(1).
+  std::vector<CategorySnapshot> frames_;
+  uint64_t frame_extra_ns_ = 0;
+  std::unique_ptr<EventQueue> events_;
 };
 
 // Measures virtual elapsed time across a scope.

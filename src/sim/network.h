@@ -14,13 +14,28 @@
 // only then does the caller observe kUnavailable.  Services are expected
 // to deduplicate redelivered requests (see rpc::Dispatcher and
 // sfs::ServerConnection).
+//
+// Discrete-event model: pipelined submissions flow through the clock's
+// EventQueue (src/sim/event.h).  Submit() schedules a message-arrival
+// event on the far host; the Host admits it (or queues it behind a
+// concurrency limit, or sheds it past the queue depth), runs the handler
+// in a clock measure frame, and schedules a completion event; the reply
+// then takes the downlink as a delivery event.  Nothing executes inline
+// inside Submit, which makes the server a genuinely serial (or
+// C-parallel) resource shared by every link pointed at it and makes
+// inline-execution timing bugs structurally impossible.
 #ifndef SFS_SRC_SIM_NETWORK_H_
 #define SFS_SRC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 
+#include "src/obs/span.h"
 #include "src/sim/clock.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
@@ -107,10 +122,21 @@ class LossyInterposer : public Interposer {
   util::Result<util::Bytes> OnResponse(util::Bytes response) override;
   bool DuplicateRequest() override;
 
+  // End-of-run reconciliation: a response still held back for reordering
+  // has left the simulation without ever being delivered.  Flushing
+  // reclassifies it as a drop (counted in responses_dropped and
+  // held_flushed), so sent = delivered + dropped balances after a run;
+  // without the flush the held message is silently destroyed and the
+  // accounting disagrees by one.  Returns how many messages (0 or 1)
+  // were reclassified.
+  size_t FlushHeld();
+  bool has_held() const { return held_.has_value(); }
+
   uint64_t requests_dropped() const { return requests_dropped_; }
   uint64_t responses_dropped() const { return responses_dropped_; }
   uint64_t duplicates() const { return duplicates_; }
   uint64_t reorders() const { return reorders_; }
+  uint64_t held_flushed() const { return held_flushed_; }
 
  private:
   bool Chance(double p);
@@ -124,6 +150,93 @@ class LossyInterposer : public Interposer {
   uint64_t responses_dropped_ = 0;
   uint64_t duplicates_ = 0;
   uint64_t reorders_ = 0;
+  uint64_t held_flushed_ = 0;
+};
+
+// The server machine as an event source: an admission queue in front of
+// a concurrency-limited executor.  Requests arrive from any number of
+// links; each is either started immediately (a free service slot),
+// queued (recorded as server.queue_wait_ns and, with spans on, a
+// server.queue span), or shed when the queue is full — a shed request
+// simply vanishes, exactly like a datagram the kernel dropped on a full
+// socket buffer, and the client's retransmission timer is the recovery.
+//
+// The handler runs at its service-start event inside a clock measure
+// frame (see sim::Clock), so its disk/CPU/crypto charges are captured
+// and replayed as the gap to its completion event: the server occupies
+// the timeline for exactly the measured service time, whether or not the
+// submitting client is the one pumping the event loop.
+class Host {
+ public:
+  struct Options {
+    // Service slots executing concurrently (the paper's server is one
+    // machine — 1 models a serial daemon; >1 models SMP or async I/O).
+    uint32_t concurrency = 1;
+    // Admission-queue bound; arrivals past it are shed.  The default is
+    // effectively unbounded (honest infinite-buffer model).
+    size_t queue_depth = SIZE_MAX;
+  };
+
+  // `registry` receives server.queue_wait_ns / server.shed; nullptr
+  // selects obs::Registry::Default().  The clock must outlive the host
+  // (completion events scheduled on its queue are cancelled here).
+  // Two overloads instead of a defaulted Options argument: a default
+  // argument would need Options complete inside its own class.
+  Host(Clock* clock, Service* service, obs::Registry* registry = nullptr)
+      : Host(clock, service, registry, Options()) {}
+  Host(Clock* clock, Service* service, obs::Registry* registry, Options options);
+  ~Host();
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  using ResponseFn = std::function<void(util::Result<util::Bytes>)>;
+
+  // Called at message-arrival-event time.  `respond` fires at the
+  // service-completion event with the handler's verdict; `shed` (may be
+  // null) fires instead, immediately, if the admission queue is full.
+  // `ctx` is the submitting client's span context: queue spans parent
+  // under it, and the handler executes with it as the ambient stack.
+  // `service` overrides the host's default handler for this arrival:
+  // per-connection protocol state (an rpc::Dispatcher's duplicate-
+  // request cache is keyed by the connection's seqnos) lives in the
+  // service, while the machine's slots and queue stay shared here.
+  void Arrive(util::Bytes request, obs::SpanContext ctx, ResponseFn respond,
+              std::function<void()> shed = nullptr, Service* service = nullptr);
+
+  Clock* clock() const { return clock_; }
+  Service* service() const { return service_; }
+  const Options& options() const { return options_; }
+
+  uint64_t arrivals() const { return arrivals_; }
+  uint64_t shed_count() const { return shed_; }
+  uint32_t in_service() const { return in_service_; }
+  size_t queue_length() const { return queue_.size(); }
+
+ private:
+  struct Job {
+    util::Bytes request;
+    obs::SpanContext ctx;
+    ResponseFn respond;
+    uint64_t arrive_ns = 0;
+    Service* service = nullptr;  // Per-connection override; null = host default.
+  };
+
+  void StartService(Job job);
+  void FinishService();
+
+  Clock* clock_;
+  Service* service_;
+  Options options_;
+  std::deque<Job> queue_;
+  // Completion events still scheduled; cancelled at destruction so a
+  // host can die before its clock without dangling dispatches.
+  std::set<uint64_t> outstanding_events_;
+  uint32_t in_service_ = 0;
+  uint64_t arrivals_ = 0;
+  uint64_t shed_ = 0;
+  obs::Registry* registry_;
+  obs::Histogram* m_queue_wait_;
+  obs::Counter* m_shed_;
 };
 
 // A bidirectional link to one service.  Roundtrip() charges virtual time
@@ -132,17 +245,26 @@ class LossyInterposer : public Interposer {
 class Link {
  public:
   // `registry` receives the aggregate link.* counters; nullptr selects
-  // the process-wide obs::Registry::Default().
+  // the process-wide obs::Registry::Default().  This form gives the link
+  // its own private Host around `service` — the classic one-client
+  // topology, where the far machine serves only this link.
   Link(Clock* clock, LinkProfile profile, Service* service,
-       obs::Registry* registry = nullptr)
-      : clock_(clock), profile_(profile), service_(service) {
-    registry_ = registry != nullptr ? registry : obs::Registry::Default();
-    m_messages_ = registry_->GetCounter("link.messages");
-    m_bytes_ = registry_->GetCounter("link.bytes");
-    m_retransmissions_ = registry_->GetCounter("link.retransmissions");
-    m_drops_ = registry_->GetCounter("link.drops");
-    m_duplicates_ = registry_->GetCounter("link.duplicates_delivered");
-  }
+       obs::Registry* registry = nullptr);
+
+  // Shared-host form: many links (client machines) feed one server
+  // machine, competing for its service slots and admission queue.
+  // `service`, when given, is this connection's endpoint on the server
+  // (e.g. its own rpc::Dispatcher, whose duplicate-request cache is
+  // keyed by this connection's seqnos); null shares the host's default.
+  Link(Clock* clock, LinkProfile profile, Host* host,
+       obs::Registry* registry = nullptr, Service* service = nullptr);
+
+  // The clock must outlive the link: in-flight events it scheduled are
+  // cancelled here, and response closures a shared Host still holds are
+  // disarmed (they hold a weak liveness token, not a bare this).
+  ~Link();
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
 
   // Installs (or clears, with nullptr) the adversary.
   void set_interposer(Interposer* interposer) { interposer_ = interposer; }
@@ -155,30 +277,38 @@ class Link {
   // --- Pipelined mode -----------------------------------------------------
   //
   // Submit() puts a request on the wire without blocking for the reply,
-  // so several calls can share one round-trip of latency.  The link
-  // models three serial resources — uplink, server, downlink — with
-  // busy-until watermarks: concurrent messages overlap in propagation
-  // but queue for bandwidth and for the server, which executes requests
-  // strictly in arrival order (so a channel's replies are sealed in
-  // request order).  The handler runs inside Submit and its charges
-  // advance the shared clock as usual; transit time is only charged
-  // when AwaitNext() sleeps until a delivery.  A message the interposer
-  // drops schedules no delivery: the caller's retransmission timer is
-  // the only recovery, exactly as with Roundtrip().
+  // so several calls can share one round-trip of latency.  The uplink
+  // and downlink are serial bandwidth resources (busy-until watermarks:
+  // concurrent messages overlap in propagation but queue for the wire);
+  // the server is the Host's admission/execution pipeline.  Everything
+  // beyond the uplink watermark happens as scheduled events: arrival,
+  // handler completion, delivery.  A message the interposer drops
+  // schedules no delivery: the caller's retransmission timer is the
+  // only recovery, exactly as with Roundtrip().
   //
   // Returns a token identifying the submission; the matching Delivery
   // carries it back (callers typically match on message content instead,
   // since duplicated/reordered replies can arrive under any token).
   uint64_t Submit(const util::Bytes& request);
 
-  // Advances virtual time to the earliest scheduled delivery, charging
-  // the gap to kLink, and returns it — unless that delivery is after
-  // `deadline_ns`, in which case time advances to the deadline (charged
-  // kWait, the retransmission-timer idle) and nullopt is returned.
+  // Runs the event loop until a delivery for THIS link is ready (it is
+  // returned; the gaps to intervening events are charged per-event: link
+  // transit to kLink, handler completions to their measured categories)
+  // or the next event lies beyond `deadline_ns` — then time advances to
+  // the deadline (charged kWait, the retransmission-timer idle) and
+  // nullopt is returned.
   std::optional<Delivery> AwaitNext(uint64_t deadline_ns);
 
-  // True if any reply is still scheduled for delivery.
-  bool HasPendingDelivery() const { return !deliveries_.empty(); }
+  // Event-driven delivery: when set, deliveries are handed to `sink` at
+  // their delivery event instead of queueing for AwaitNext.  Fleet-scale
+  // harnesses drive one top-level EventQueue loop and let every client's
+  // completions flow through sinks, avoiding nested pumping.
+  void set_delivery_sink(std::function<void(Delivery)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  // True if a reply has arrived and not yet been consumed by AwaitNext.
+  bool HasPendingDelivery() const { return !ready_.empty(); }
 
   // Counts a client-driven retransmission (pipelined callers resend on
   // their own timers; Roundtrip's internal retry loop counts itself).
@@ -199,8 +329,13 @@ class Link {
   uint64_t drops_observed() const { return drops_observed_; }
   // Requests the interposer delivered twice.
   uint64_t duplicates_delivered() const { return duplicates_delivered_; }
+  // In-flight span bookkeeping entries (bounded by in-flight tokens:
+  // entries are erased at delivery and on every drop/shed — a live
+  // token is never evicted).
+  size_t transit_info_size() const { return transit_info_.size(); }
 
   Clock* clock() const { return clock_; }
+  Host* host() const { return host_; }
   const LinkProfile& profile() const { return profile_; }
 
  private:
@@ -209,18 +344,36 @@ class Link {
   uint64_t SerializationNs(size_t bytes) const;
   void CountMessage(size_t bytes);
   bool SpansEnabled() const;
+  // Charges the uplink watermark and schedules the arrival event.
+  void ScheduleRequestLeg(uint64_t token, const util::Bytes& wire_request,
+                          obs::SpanContext ctx, bool is_duplicate);
+  // Service verdict in hand (at completion-event time): run the response
+  // interposer, charge the downlink, schedule the delivery event.  Error
+  // verdicts take the same downlink leg as success replies.
+  void CompleteResponse(uint64_t token, util::Result<util::Bytes> result);
+  void ScheduleResponseLeg(uint64_t token, util::Status status, util::Bytes response);
+  // Delivery-event time: record the transit span, then sink or queue.
+  void Deliver(Delivery delivery);
+  void EraseTransitInfo(uint64_t token);
+  // Schedules on the clock's queue, tracking the id for cancellation at
+  // destruction (the event wrapper un-tracks itself on dispatch).
+  void ScheduleEvent(uint64_t at_ns, obs::TimeCategory category,
+                     std::function<void()> fn);
 
   Clock* clock_;
   LinkProfile profile_;
   Service* service_;
+  Host* host_;
+  std::unique_ptr<Host> owned_host_;
   Interposer* interposer_ = nullptr;
   RetryPolicy retry_policy_;
-  // Pipelined-mode state: scheduled deliveries ordered by arrival time,
-  // and busy-until watermarks for the three serial resources.
-  std::multimap<uint64_t, Delivery> deliveries_;
+  // Pipelined-mode state: replies delivered but not yet consumed, and
+  // busy-until watermarks for the two wire directions (the server's
+  // occupancy lives in the Host).
+  std::deque<Delivery> ready_;
+  std::function<void(Delivery)> sink_;
   uint64_t next_token_ = 1;
   uint64_t uplink_free_ns_ = 0;
-  uint64_t server_free_ns_ = 0;
   uint64_t downlink_free_ns_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
@@ -228,15 +381,23 @@ class Link {
   uint64_t drops_observed_ = 0;
   uint64_t duplicates_delivered_ = 0;
   // Pipelined-mode span bookkeeping: the ambient span and submit time of
-  // each in-flight token, so AwaitNext can record a "link.transit" span
-  // parented into the submitter's trace.  Bounded: dropped messages
-  // never deliver, so stale entries are pruned oldest-first.
+  // each in-flight token, so the delivery event can record a
+  // "link.transit" span parented into the submitter's trace.  Entries
+  // are erased exactly when the token dies — delivery, interposer drop,
+  // or server shed — never by size pruning (which used to evict live
+  // tokens at fleet scale and orphan their spans).
   struct TransitInfo {
     uint64_t trace_id = 0;
     uint64_t parent_span_id = 0;
     uint64_t submit_ns = 0;
   };
   std::map<uint64_t, TransitInfo> transit_info_;
+  // Events this link scheduled and has not yet seen dispatch; cancelled
+  // at destruction.
+  std::set<uint64_t> outstanding_events_;
+  // Liveness token for closures handed to a shared Host: they capture a
+  // weak copy and no-op once the link is gone.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   obs::Registry* registry_ = nullptr;
   // Registry aggregates (shared across links on the same registry).
   obs::Counter* m_messages_ = nullptr;

@@ -247,12 +247,11 @@ TEST(SpanTreeTest, RootCriticalPathReproducesClockLedger) {
   // itself charges must then land inside some cache.* root span.
   ASSERT_NE(stack.Mount(), nullptr);
   stack.registry_.spans().ClearFinished();
-  uint64_t before[obs::kTimeCategoryCount];
-  const sim::Clock::CategorySnapshot& charged = stack.clock_.categories();
-  for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
-    before[i] = charged.ns[i];
-  }
+  // categories() returns a value snapshot (measure frames overlay the
+  // global ledger), so take one before and one after the workload.
+  const sim::Clock::CategorySnapshot before = stack.clock_.categories();
   stack.RunWorkload(8);
+  const sim::Clock::CategorySnapshot charged = stack.clock_.categories();
   std::vector<obs::Span> spans = stack.Collect();
 
   uint64_t span_cat[obs::kTimeCategoryCount] = {};
@@ -263,7 +262,7 @@ TEST(SpanTreeTest, RootCriticalPathReproducesClockLedger) {
   }
   for (size_t i = 0; i < obs::kTimeCategoryCount; ++i) {
     SCOPED_TRACE(obs::TimeCategoryName(static_cast<obs::TimeCategory>(i)));
-    EXPECT_EQ(span_cat[i], charged.ns[i] - before[i]);
+    EXPECT_EQ(span_cat[i], charged.ns[i] - before.ns[i]);
   }
 }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Fleet-simulator smoke gate: run and diff against the committed baseline.
+
+Runs the BM_FleetSmoke_* rows of the fleet_scaling benchmark (small,
+deterministic fleet configurations over the discrete-event core) into a
+scratch directory, then delegates to bench_compare.py to diff the fresh
+BENCH_fleet_scaling.json against the committed baseline.  The rows
+report *virtual* time, which is a pure function of the timing model, so
+the comparison is exact: any delta means the event core, admission
+queue, or link model changed behaviour.  The 10% threshold exists only
+to absorb a deliberately retuned cost model half-way through a stack of
+commits; honest refactors reproduce the baseline to the nanosecond.
+
+Usage: fleet_smoke.py <fleet_scaling-binary> <baseline.json> <scratch-dir>
+"""
+
+import os
+import subprocess
+import sys
+
+
+def main(argv):
+    if len(argv) != 4:
+        print(__doc__.strip().splitlines()[-1])
+        return 2
+    binary, baseline, scratch = argv[1], argv[2], argv[3]
+    os.makedirs(scratch, exist_ok=True)
+    run = subprocess.run(
+        [
+            binary,
+            "--benchmark_filter=BM_FleetSmoke",
+            f"--bench_json_dir={scratch}",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    sys.stdout.write(run.stdout)
+    if run.returncode != 0:
+        print(f"FAIL: {binary} exited {run.returncode}")
+        return 1
+    compare = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "bench_compare.py")
+    candidate = os.path.join(scratch, "BENCH_fleet_scaling.json")
+    return subprocess.call([
+        sys.executable, compare, "compare", "--threshold", "0.10",
+        baseline, candidate,
+    ])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
