@@ -1,0 +1,144 @@
+// Audit-journal overhead on the paper's write-path benchmarks.
+//
+// Runs the fig8 (Sprite LFS small-file) and fig9 (large-file) workloads
+// on the SFS configuration with the journal off (batch=0), per-record
+// sealing (batch=1, the unamortized worst case), and the default
+// batched MAC (batch=64).  All time is virtual and deterministic, so
+// the committed BENCH_audit_overhead.json is an exact baseline;
+// tools/audit_smoke.py diffs against it and asserts the batched
+// overhead stays under 3% (ISSUE 7 acceptance).
+//
+// The binary doubles as the forensic-artifact generator for the smoke
+// gate: --audit_emit=<dir> runs a small traced workload and writes
+//   <dir>/audit.log    the finalized journal bytes
+//   <dir>/audit.key    the genesis key (hex)
+//   <dir>/trace.json   the Perfetto export of the same run
+// so the tamper scenarios and the trace-id cross-link run offline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/obs_report.h"
+#include "bench/testbed.h"
+#include "bench/workloads.h"
+#include "src/obs/auditlog.h"
+#include "src/obs/span.h"
+#include "src/sfs/audit.h"
+#include "src/util/bytes.h"
+
+namespace {
+
+using bench::Config;
+using bench::Testbed;
+
+Testbed::AuditKnobs KnobsFor(int batch) {
+  Testbed::AuditKnobs knobs;
+  knobs.enabled = batch > 0;
+  knobs.batch_records = batch > 0 ? static_cast<uint32_t>(batch) : 64;
+  return knobs;
+}
+
+void AddAuditCounters(benchmark::State& state, Testbed& tb) {
+  state.counters["audit_records"] =
+      static_cast<double>(tb.registry()->CounterValue("audit.records"));
+  state.counters["audit_batches"] =
+      static_cast<double>(tb.registry()->CounterValue("audit.batches"));
+  state.counters["audit_bytes"] =
+      static_cast<double>(tb.registry()->CounterValue("audit.bytes"));
+}
+
+// Fig8 write path: create/read/unlink 1,000 1 KB files over SFS.
+void BM_Fig8Audit(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb(Config::kSfs, KnobsFor(static_cast<int>(state.range(0))));
+    bench::LfsSmallResult result = bench::RunLfsSmall(&tb);
+    state.SetIterationTime(result.create + result.read + result.unlink);
+    state.counters["create_s"] = result.create;
+    state.counters["read_s"] = result.read;
+    state.counters["unlink_s"] = result.unlink;
+    AddAuditCounters(state, tb);
+    state.SetLabel(state.range(0) == 0
+                       ? "audit off"
+                       : "batch=" + std::to_string(state.range(0)));
+  }
+}
+
+// Fig9 write path: 8 MB sequential/random write + read phases over SFS.
+void BM_Fig9Audit(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb(Config::kSfs, KnobsFor(static_cast<int>(state.range(0))));
+    bench::LfsLargeResult result = bench::RunLfsLarge(&tb, /*file_mb=*/8);
+    state.SetIterationTime(result.seq_write + result.seq_read + result.rand_write +
+                           result.rand_read + result.seq_read2);
+    state.counters["seq_write_s"] = result.seq_write;
+    state.counters["seq_read_s"] = result.seq_read;
+    state.counters["rand_write_s"] = result.rand_write;
+    state.counters["rand_read_s"] = result.rand_read;
+    state.counters["seq_read2_s"] = result.seq_read2;
+    AddAuditCounters(state, tb);
+    state.SetLabel(state.range(0) == 0
+                       ? "audit off"
+                       : "batch=" + std::to_string(state.range(0)));
+  }
+}
+
+// Forensic-artifact mode: a small traced SFS workload, journal
+// finalized and exported together with its genesis key and trace.
+int EmitForensicArtifacts(const std::string& dir) {
+  Testbed tb(Config::kSfs, Testbed::AuditKnobs{true, /*batch_records=*/8});
+  tb.EnableSpans();
+  bench::RunLfsSmall(&tb, /*num_files=*/40, /*file_size=*/1024);
+
+  sfs::ServerAuditor* auditor = tb.sfs_server()->auditor();
+  auditor->Finalize();
+  const obs::AuditLog& log = auditor->log();
+  if (!log.WriteTo(dir + "/audit.log")) {
+    std::fprintf(stderr, "audit_overhead: cannot write %s/audit.log\n", dir.c_str());
+    return 1;
+  }
+  std::FILE* kf = std::fopen((dir + "/audit.key").c_str(), "w");
+  if (kf == nullptr) {
+    std::fprintf(stderr, "audit_overhead: cannot write %s/audit.key\n", dir.c_str());
+    return 1;
+  }
+  std::fprintf(kf, "%s\n", util::HexEncode(auditor->genesis_key()).c_str());
+  std::fclose(kf);
+  if (!obs::WriteChromeTrace(dir + "/trace.json", tb.registry()->spans().finished())) {
+    std::fprintf(stderr, "audit_overhead: cannot write %s/trace.json\n", dir.c_str());
+    return 1;
+  }
+  std::printf("audit_overhead: %llu records, %llu batches, %zu log bytes -> %s\n",
+              static_cast<unsigned long long>(log.next_seqno()),
+              static_cast<unsigned long long>(log.batches_sealed()),
+              log.bytes().size(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig8Audit)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(64)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_Fig9Audit)
+    ->Arg(0)
+    ->Arg(64)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  constexpr const char kEmitFlag[] = "--audit_emit=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kEmitFlag, sizeof(kEmitFlag) - 1) == 0) {
+      return EmitForensicArtifacts(argv[i] + sizeof(kEmitFlag) - 1);
+    }
+  }
+  return bench::BenchJsonMain(argc, argv, "audit_overhead");
+}

@@ -95,7 +95,16 @@ inline const crypto::RabinPrivateKey& BenchUserKey() {
 // clock; workloads measure with sim::Stopwatch over `clock`.
 class Testbed {
  public:
-  explicit Testbed(Config config) : config_(config), costs_(ActiveCostModel()) {
+  // Audit-journal knobs for the SFS configurations (bench/audit_overhead
+  // sweeps these; everything else runs the server default).
+  struct AuditKnobs {
+    bool enabled = true;
+    uint32_t batch_records = 64;
+  };
+
+  explicit Testbed(Config config) : Testbed(config, AuditKnobs()) {}
+
+  Testbed(Config config, AuditKnobs audit) : config_(config), costs_(ActiveCostModel()) {
     vfs_ = std::make_unique<vfs::Vfs>(&clock_, &costs_, &registry_);
 
     switch (config) {
@@ -158,6 +167,8 @@ class Testbed {
         server_options.key_bits = 512;
         server_options.allow_cleartext = config == Config::kSfsNoCrypt;
         server_options.registry = &registry_;
+        server_options.audit = audit.enabled;
+        server_options.audit_batch_records = audit.batch_records;
         sfs_server_ = std::make_unique<sfs::SfsServer>(&clock_, &costs_, server_options,
                                                        authserver_.get());
         server_fs_ = sfs_server_->fs();
@@ -275,6 +286,9 @@ class Testbed {
     return registry_.SnapshotJson();
   }
   vfs::Vfs* vfs() { return vfs_.get(); }
+  // The SFS server (null for non-SFS configs); audit_overhead uses it
+  // to finalize and export the journal.
+  sfs::SfsServer* sfs_server() { return sfs_server_.get(); }
   const vfs::UserContext& user() const { return user_; }
   // The server-side file store (for cold-file setup and cache drops).
   nfs::MemFs* server_fs() { return server_fs_; }

@@ -1,6 +1,8 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <iomanip>
 #include <sstream>
 
 #include "src/obs/span.h"
@@ -194,18 +196,44 @@ std::string Registry::SnapshotJson() const {
   return out.str();
 }
 
+std::string Histogram::SnapshotText() const {
+  std::ostringstream out;
+  out << "count=" << count() << " mean_ns=" << static_cast<uint64_t>(MeanNs())
+      << " p50_ns=" << ApproxPercentileNs(0.5)
+      << " p90_ns=" << ApproxPercentileNs(0.9)
+      << " p99_ns=" << ApproxPercentileNs(0.99);
+  return out.str();
+}
+
 std::string Registry::SnapshotText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
+  size_t width = 4;
   for (const auto& [name, counter] : counters_) {
-    out << name << " " << counter->value() << "\n";
+    width = std::max(width, name.size());
   }
   for (const auto& [name, hist] : histograms_) {
-    out << name << " count=" << hist->count() << " mean_ns="
-        << static_cast<uint64_t>(hist->MeanNs())
-        << " p50_ns=" << hist->ApproxPercentileNs(0.5)
-        << " p90_ns=" << hist->ApproxPercentileNs(0.9)
-        << " p99_ns=" << hist->ApproxPercentileNs(0.99) << "\n";
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, counter] : counters_) {
+    out << std::left << std::setw(static_cast<int>(width)) << name << "  "
+        << counter->value() << "\n";
+  }
+  if (!histograms_.empty()) {
+    // Percentile table: the distribution shape at a glance, instead of
+    // the raw bucket counts (those remain in SnapshotJson).
+    out << std::left << std::setw(static_cast<int>(width)) << "histogram"
+        << "  " << std::right << std::setw(10) << "count" << std::setw(12)
+        << "mean_ns" << std::setw(12) << "p50_ns" << std::setw(12) << "p90_ns"
+        << std::setw(12) << "p99_ns" << "\n";
+    for (const auto& [name, hist] : histograms_) {
+      out << std::left << std::setw(static_cast<int>(width)) << name << "  "
+          << std::right << std::setw(10) << hist->count() << std::setw(12)
+          << static_cast<uint64_t>(hist->MeanNs()) << std::setw(12)
+          << hist->ApproxPercentileNs(0.5) << std::setw(12)
+          << hist->ApproxPercentileNs(0.9) << std::setw(12)
+          << hist->ApproxPercentileNs(0.99) << "\n";
+    }
   }
   return out.str();
 }

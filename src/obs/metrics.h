@@ -92,6 +92,10 @@ class Histogram {
   // bucket's upper bound but dense buckets resolve finer than 2×.
   uint64_t ApproxPercentileNs(double p) const;
 
+  // One-line human-readable summary: count, mean, and the p50/p90/p99
+  // estimates — the distribution shape, not the raw bucket counts.
+  std::string SnapshotText() const;
+
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};

@@ -76,6 +76,17 @@ SfsServer::SfsServer(sim::Clock* clock, const sim::CostModel* costs, Options opt
   nfs_program_.set_lease_ns(options_.lease_ns);
   nfs_metrics_.Init(registry_, "server.NFS3");
   ctl_metrics_.Init(registry_, "server.SFSCTL");
+  if (options_.audit) {
+    ServerAuditor::Options audit_options;
+    audit_options.batch_records = options_.audit_batch_records;
+    // The genesis key is the verifier's root of trust; it is drawn from
+    // the server PRNG (deterministic per seed) unless supplied, and
+    // would be escrowed off-host in a real deployment.
+    audit_options.genesis_key = options_.audit_genesis_key.empty()
+                                    ? prng_.RandomBytes(crypto::kSha1DigestSize)
+                                    : options_.audit_genesis_key;
+    auditor_ = std::make_unique<ServerAuditor>(clock_, costs_, registry_, audit_options);
+  }
 }
 
 const crypto::RabinPublicKey& SfsServer::public_key() const {
@@ -97,7 +108,13 @@ void SfsServer::AddIdentity(crypto::RabinPrivateKey key, const std::string& loca
 }
 
 void SfsServer::ServeRevocation(PathRevokeCert cert) {
-  revocations_[util::StringOf(cert.RevokedPath().host_id)] = std::move(cert);
+  const util::Bytes host_id = cert.RevokedPath().host_id;
+  revocations_[util::StringOf(host_id)] = std::move(cert);
+  if (auditor_ != nullptr) {
+    auditor_->Record(obs::AuditKind::kRevocationInstalled, /*connection_id=*/0,
+                     /*wire_seqno=*/0, /*proc=*/0, /*verdict=*/0,
+                     obs::AuditDigest(host_id));
+  }
 }
 
 SelfCertifyingPath SfsServer::ServeReadOnlyImage(readonly::SignedImage image) {
@@ -146,6 +163,12 @@ void SfsServer::NotifyMutation(const nfs::FileHandle& fh, uint64_t originating_c
 
 ServerConnection::ServerConnection(SfsServer* server, uint64_t id)
     : server_(server), id_(id) {}
+
+ServerConnection::~ServerConnection() {
+  if (server_->auditor_ != nullptr) {
+    server_->auditor_->Flush();
+  }
+}
 
 util::Result<util::Bytes> ServerConnection::Handle(const util::Bytes& request) {
   if (state_ == State::kDead) {
@@ -226,6 +249,11 @@ util::Result<util::Bytes> ServerConnection::HandleConnect(const util::Bytes& pay
   // A served revocation certificate overrides everything for its HostID.
   auto revoked = server_->revocations_.find(util::StringOf(host_id.value()));
   if (revoked != server_->revocations_.end()) {
+    if (server_->auditor_ != nullptr) {
+      server_->auditor_->Record(obs::AuditKind::kRevocationServed, id_,
+                                /*wire_seqno=*/0, /*proc=*/kConnectRevoked,
+                                /*verdict=*/0, obs::AuditDigest(host_id.value()));
+    }
     reply.PutUint32(kConnectRevoked);
     reply.PutOpaque(revoked->second.Serialize());
     return FrameMessage(kMsgConnect, reply.Take());
@@ -499,6 +527,20 @@ util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_m
     result = HandleNfs(proc.value(), args.value());
   } else if (is_ctl) {
     result = HandleCtl(proc.value(), args.value());
+  }
+
+  // Journal the executed operation (retransmits answered from the DRC
+  // never reach this point, so the journal is exactly-once).  Recorded
+  // while the dispatch span is still ambient: the record carries its
+  // trace/span ids.
+  if (server_->auditor_ != nullptr) {
+    server_->auditor_->Record(
+        is_nfs   ? obs::AuditKind::kNfs
+        : is_ctl ? obs::AuditKind::kCtl
+                 : obs::AuditKind::kOther,
+        id_, wire_seqno, proc.value(),
+        result.ok() ? 0 : static_cast<uint32_t>(result.status().code()),
+        is_nfs ? AuditFhDigestOfNfsArgs(args.value()) : 0);
   }
 
   if (dispatch_span != 0) {

@@ -32,6 +32,7 @@
 #include "src/nfs/memfs.h"
 #include "src/nfs/program.h"
 #include "src/obs/span.h"
+#include "src/sfs/audit.h"
 #include "src/sfs/handle_crypt.h"
 #include "src/sfs/pathname.h"
 #include "src/sfs/proto.h"
@@ -60,6 +61,14 @@ class SfsServer {
     // Receives server.* counters, per-procedure server metrics and trace
     // events; nullptr selects obs::Registry::Default().
     obs::Registry* registry = nullptr;
+    // Tamper-evident operation journal (docs/OBSERVABILITY.md §Audit
+    // log).  Every dispatched RPC, connect verdict, and revocation event
+    // is recorded; per-batch MAC keys ratchet forward through the SHA-1
+    // PRNG.  An empty genesis key derives one deterministically from
+    // prng_seed.
+    bool audit = true;
+    uint32_t audit_batch_records = 64;
+    util::Bytes audit_genesis_key;
   };
 
   SfsServer(sim::Clock* clock, const sim::CostModel* costs, Options options,
@@ -112,6 +121,11 @@ class SfsServer {
 
   obs::Registry* registry() { return registry_; }
 
+  // The tamper-evident operation journal; nullptr when Options::audit is
+  // off.  Callers Finalize() it before handing the log bytes to
+  // obs::VerifyAuditLog / tools/audit_verify.
+  ServerAuditor* auditor() { return auditor_.get(); }
+
  private:
   friend class ServerConnection;
 
@@ -140,6 +154,7 @@ class SfsServer {
   std::map<uint64_t, InvalidateFn> cache_callbacks_;
   uint64_t next_connection_id_ = 1;
   uint64_t drc_hits_ = 0;
+  std::unique_ptr<ServerAuditor> auditor_;
 
   // Observability: shared across connections so the per-procedure server
   // metrics aggregate the whole server (prefixes match the plain-RPC
@@ -156,6 +171,9 @@ class SfsServer {
 class ServerConnection : public sim::Service {
  public:
   ServerConnection(SfsServer* server, uint64_t id);
+  // Connection teardown seals the open audit batch: the journal's
+  // per-connection epoch closes with the stream.
+  ~ServerConnection() override;
 
   util::Result<util::Bytes> Handle(const util::Bytes& request) override;
 

@@ -50,6 +50,21 @@ void Disk::ChargeCommit() {
   RecordDiskSpan("disk.commit", start_ns, bytes);
 }
 
+void Disk::ChargeAppend(uint64_t bytes) {
+  const uint64_t start_ns = clock_->now_ns();
+  // The journal tail is modeled as a reserved file id; any interleaved
+  // read/commit moves the head away and the next append pays the seek.
+  constexpr uint64_t kLogFileId = ~uint64_t{0} - 1;
+  if (last_file_id_ != kLogFileId) {
+    clock_->Advance(profile_.seek_ns, obs::TimeCategory::kDisk);
+    next_sequential_offset_ = 0;
+  }
+  clock_->Advance(bytes * 1'000'000'000 / profile_.bytes_per_sec, obs::TimeCategory::kDisk);
+  last_file_id_ = kLogFileId;
+  next_sequential_offset_ += bytes;
+  RecordDiskSpan("disk.log_append", start_ns, bytes);
+}
+
 void Disk::ChargeMetaUpdate() {
   const uint64_t start_ns = clock_->now_ns();
   clock_->Advance(profile_.meta_update_ns, obs::TimeCategory::kDisk);

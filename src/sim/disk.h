@@ -43,6 +43,12 @@ class Disk {
   // Synchronous flush of buffered data (NFS COMMIT / stable writes).
   void ChargeCommit();
 
+  // Durable sequential append to an on-disk log (the audit journal).
+  // Pays the transfer always, and a seek only when the head is not
+  // already parked at the log's tail — a disk dedicated to the journal
+  // seeks once and then streams.
+  void ChargeAppend(uint64_t bytes);
+
   // Synchronous metadata update.
   void ChargeMetaUpdate();
 

@@ -555,6 +555,66 @@ TEST_F(SfsTest, ForwardingPointerCertificate) {
   EXPECT_FALSE(client_->SubmitRevocation(forward).ok());
 }
 
+TEST_F(SfsTest, RevokedHostIdRejectedOnNextConnect) {
+  // An already-connected client keeps its session, but the *next*
+  // connect for the revoked HostID is answered with the certificate.
+  auto before = client_->Mount(server_->Path());
+  ASSERT_TRUE(before.ok());
+  PathRevokeCert cert =
+      PathRevokeCert::MakeRevocation(server_->private_key(), server_->Path().location);
+  server_->ServeRevocation(cert);
+
+  // A fresh client machine (no cached mount) connects next.
+  SfsClient::Options opts;
+  opts.ephemeral_key_bits = kKeyBits;
+  opts.prng_seed = 98;
+  SfsClient fresh(
+      &clock_, &costs_, [this](const std::string&) { return server_.get(); }, opts);
+  auto mount = fresh.Mount(server_->Path());
+  EXPECT_EQ(mount.status().code(), util::ErrorCode::kSecurityError);
+  EXPECT_TRUE(fresh.IsRevoked(server_->Path()));
+}
+
+TEST_F(SfsTest, ReServingSameRevocationIsIdempotent) {
+  PathRevokeCert cert =
+      PathRevokeCert::MakeRevocation(server_->private_key(), server_->Path().location);
+  server_->ServeRevocation(cert);
+  server_->ServeRevocation(cert);  // Operator re-runs the install: no-op.
+  auto mount = client_->Mount(server_->Path());
+  EXPECT_EQ(mount.status().code(), util::ErrorCode::kSecurityError);
+  // Re-serving overwrote the same HostID slot; connects keep being
+  // answered with the certificate.
+  auto again = client_->Mount(server_->Path());
+  EXPECT_EQ(again.status().code(), util::ErrorCode::kSecurityError);
+}
+
+TEST_F(SfsTest, ServedRevocationIsJournaled) {
+  // The audit journal records both the installation and every connect
+  // answered with the certificate (forensics for key compromise).
+  PathRevokeCert cert =
+      PathRevokeCert::MakeRevocation(server_->private_key(), server_->Path().location);
+  server_->ServeRevocation(cert);
+  auto mount = client_->Mount(server_->Path());
+  EXPECT_FALSE(mount.ok());
+
+  ASSERT_NE(server_->auditor(), nullptr);
+  server_->auditor()->Finalize();
+  obs::AuditVerifyResult verified = obs::VerifyAuditLog(
+      server_->auditor()->genesis_key(), server_->auditor()->log().bytes());
+  ASSERT_TRUE(verified.ok) << verified.detail;
+  int installed = 0, served = 0;
+  for (const obs::AuditRecordInfo& info : verified.records) {
+    if (info.record.kind == static_cast<uint32_t>(obs::AuditKind::kRevocationInstalled)) {
+      ++installed;
+    }
+    if (info.record.kind == static_cast<uint32_t>(obs::AuditKind::kRevocationServed)) {
+      ++served;
+    }
+  }
+  EXPECT_EQ(installed, 1);
+  EXPECT_GE(served, 1);
+}
+
 TEST_F(SfsTest, MultipleIdentitiesServeSameFileSystem) {
   // Key rollover: the server adds a second (location, key) identity; both
   // self-certifying pathnames reach the same files.

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Audit-journal forensic + overhead smoke gate.
+
+Exercises the whole tamper-evident audit pipeline end to end:
+
+  1. `audit_overhead --audit_emit=<dir>` runs a traced SFS workload and
+     exports the finalized journal, its genesis key, and the Perfetto
+     trace of the same run.
+  2. The pristine journal must verify (`audit_verify` exit 0) and every
+     record carrying a span id must cross-link to a (trace_id, span_id)
+     pair present in the Perfetto export.
+  3. Four adversaries each corrupt the journal at a chosen record k —
+     rewrite a byte of record k, truncate the file at k, reorder k with
+     its in-batch successor, splice an earlier record over k — and the
+     verifier must report earliest_bad == k exactly, with every record
+     before k still attested.
+  4. The BM_Fig8Audit/BM_Fig9Audit rows rerun and diff against the
+     committed BENCH_audit_overhead.json via bench_compare.py (virtual
+     time, so honest builds reproduce the baseline to the nanosecond).
+  5. The fresh rows must show <3% fig8/fig9 write-path overhead for the
+     default batch=64 journal versus audit-off.
+
+Usage: audit_smoke.py <audit_overhead-bin> <audit_verify-bin> \
+                      <baseline.json> <scratch-dir>
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+ENTRY = 72  # header-relative record stride: 64-byte record + 8-byte tag
+OVERHEAD_BOUND = 0.03
+
+
+def run_verify(verify_bin, keyfile, log_path):
+    """Runs audit_verify --json and returns (exit_code, parsed_json)."""
+    out = subprocess.run(
+        [verify_bin, "--json", "--records", f"--keyfile={keyfile}", log_path],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        doc = json.loads(out.stdout)
+    except json.JSONDecodeError:
+        print(out.stdout)
+        raise SystemExit(f"FAIL: audit_verify produced invalid JSON for {log_path}")
+    return out.returncode, doc
+
+
+def expect_tamper(name, code, doc, k):
+    if code != 1:
+        raise SystemExit(f"FAIL [{name}]: expected exit 1, got {code}")
+    if doc["earliest_bad"] != k:
+        raise SystemExit(f"FAIL [{name}]: expected earliest_bad={k}, "
+                         f"got {doc['earliest_bad']} ({doc['detail']})")
+    # A seqno may appear twice after a splice (the genuine record plus
+    # the unattested copy); it stays attested if any copy survives.
+    survives = {}
+    for r in doc["records"]:
+        survives[r["seqno"]] = survives.get(r["seqno"], False) or r["survives"]
+    lost = sorted(s for s, ok in survives.items() if s < k and not ok)
+    if lost:
+        raise SystemExit(f"FAIL [{name}]: records before k lost attestation: {lost}")
+    print(f"ok   [{name}] earliest_bad={k}: {doc['detail']}")
+
+
+def main(argv):
+    if len(argv) != 5:
+        print(__doc__.strip().splitlines()[-2].strip() + "\n" +
+              __doc__.strip().splitlines()[-1].strip())
+        return 2
+    overhead_bin, verify_bin, baseline, scratch = argv[1:5]
+    os.makedirs(scratch, exist_ok=True)
+
+    # --- 1. Emit forensic artifacts -----------------------------------------
+    emit_dir = os.path.join(scratch, "emit")
+    os.makedirs(emit_dir, exist_ok=True)
+    emit = subprocess.run([overhead_bin, f"--audit_emit={emit_dir}"],
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                          text=True)
+    sys.stdout.write(emit.stdout)
+    if emit.returncode != 0:
+        print(f"FAIL: --audit_emit exited {emit.returncode}")
+        return 1
+    log_path = os.path.join(emit_dir, "audit.log")
+    keyfile = os.path.join(emit_dir, "audit.key")
+    trace_path = os.path.join(emit_dir, "trace.json")
+
+    # --- 2. Pristine verification + trace cross-link ------------------------
+    code, doc = run_verify(verify_bin, keyfile, log_path)
+    if code != 0 or not doc["ok"] or not doc["finalized"]:
+        print(f"FAIL: pristine journal did not verify: {doc.get('detail')}")
+        return 1
+    records = doc["records"]
+    if len(records) < 20:
+        print(f"FAIL: expected a non-trivial journal, got {len(records)} records")
+        return 1
+    print(f"ok   pristine journal: {doc['records_ok']} records, "
+          f"{doc['batches_ok']} batches")
+
+    with open(trace_path, "r", encoding="utf-8") as f:
+        trace = json.load(f)
+    span_pairs = set()
+    for event in trace.get("traceEvents", []):
+        event_args = event.get("args", {})
+        if "trace_id" in event_args and "span_id" in event_args:
+            span_pairs.add((event_args["trace_id"], event_args["span_id"]))
+    with_span = [r for r in records if r["span_id"] != 0]
+    unlinked = [r["seqno"] for r in with_span
+                if (r["trace_id"], r["span_id"]) not in span_pairs]
+    if not with_span:
+        print("FAIL: no audit record carries a span id (tracing was on)")
+        return 1
+    if unlinked:
+        print(f"FAIL: records not cross-linked to the Perfetto trace: {unlinked}")
+        return 1
+    print(f"ok   trace cross-link: {len(with_span)}/{len(records)} records "
+          f"match a Perfetto span")
+
+    # --- 3. Tamper scenarios at a chosen record k ---------------------------
+    with open(log_path, "rb") as f:
+        pristine = f.read()
+
+    # Pick k mid-log, with an in-batch successor so reorder stays inside
+    # one batch (cross-batch moves are a different, easier detection).
+    by_seq = {r["seqno"]: r for r in records}
+    k = None
+    for r in records:
+        succ = by_seq.get(r["seqno"] + 1)
+        if (len(records) // 3 <= r["seqno"] <= 2 * len(records) // 3
+                and succ is not None and succ["batch"] == r["batch"]):
+            k = r["seqno"]
+            break
+    if k is None:
+        print("FAIL: could not find a mid-log record with an in-batch successor")
+        return 1
+    rk, rk1 = by_seq[k], by_seq[k + 1]
+
+    def write_variant(name, data):
+        path = os.path.join(scratch, f"{name}.log")
+        with open(path, "wb") as f:
+            f.write(data)
+        return path
+
+    # (a) rewrite: flip one byte inside record k's 64-byte body.
+    data = bytearray(pristine)
+    data[rk["offset"] + 3] ^= 0x80
+    expect_tamper("rewrite", *run_verify(verify_bin, keyfile,
+                                         write_variant("rewrite", data)), k)
+
+    # (b) truncate: cut the file at record k's offset (k and everything
+    # after it vanish; the verifier must still name k).
+    expect_tamper("truncate", *run_verify(
+        verify_bin, keyfile, write_variant("truncate", pristine[:rk["offset"]])), k)
+
+    # (c) reorder: swap the 72-byte entries of k and k+1 within a batch.
+    data = bytearray(pristine)
+    a, b = rk["offset"], rk1["offset"]
+    data[a:a + ENTRY], data[b:b + ENTRY] = pristine[b:b + ENTRY], pristine[a:a + ENTRY]
+    expect_tamper("reorder", *run_verify(verify_bin, keyfile,
+                                         write_variant("reorder", data)), k)
+
+    # (d) splice: overwrite record k's entry with a genuine earlier
+    # entry copied verbatim (replay of an authentic record).
+    j = by_seq[max(0, k - len(records) // 4)]
+    data = bytearray(pristine)
+    data[rk["offset"]:rk["offset"] + ENTRY] = \
+        pristine[j["offset"]:j["offset"] + ENTRY]
+    expect_tamper("splice", *run_verify(verify_bin, keyfile,
+                                        write_variant("splice", data)), k)
+
+    # --- 4. Overhead rows vs the committed baseline -------------------------
+    bench_dir = os.path.join(scratch, "bench")
+    os.makedirs(bench_dir, exist_ok=True)
+    run = subprocess.run(
+        [overhead_bin, "--benchmark_filter=BM_Fig8Audit|BM_Fig9Audit",
+         f"--bench_json_dir={bench_dir}"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(run.stdout)
+    if run.returncode != 0:
+        print(f"FAIL: {overhead_bin} exited {run.returncode}")
+        return 1
+    candidate = os.path.join(bench_dir, "BENCH_audit_overhead.json")
+    compare = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "bench_compare.py")
+    if subprocess.call([sys.executable, compare, "compare",
+                        "--threshold", "0.10", baseline, candidate]) != 0:
+        return 1
+
+    # --- 5. <3% write-path overhead for the default batch=64 journal --------
+    with open(candidate, "r", encoding="utf-8") as f:
+        runs = {r["name"]: r for r in json.load(f)["runs"]}
+
+    def row(bench, arg):
+        name = f"{bench}/{arg}/iterations:1/manual_time"
+        if name not in runs:
+            raise SystemExit(f"FAIL: missing benchmark row {name}")
+        return runs[name]
+
+    checks = [
+        ("fig8 total", row("BM_Fig8Audit", 0), row("BM_Fig8Audit", 64), None),
+        ("fig8 create", row("BM_Fig8Audit", 0), row("BM_Fig8Audit", 64),
+         "create_s"),
+        ("fig9 total", row("BM_Fig9Audit", 0), row("BM_Fig9Audit", 64), None),
+        ("fig9 seq_write", row("BM_Fig9Audit", 0), row("BM_Fig9Audit", 64),
+         "seq_write_s"),
+        ("fig9 rand_write", row("BM_Fig9Audit", 0), row("BM_Fig9Audit", 64),
+         "rand_write_s"),
+    ]
+    failed = False
+    for label, base_row, audit_row, counter in checks:
+        if counter is None:
+            base_v, audit_v = base_row["real_time_s"], audit_row["real_time_s"]
+        else:
+            base_v = base_row["counters"][counter]
+            audit_v = audit_row["counters"][counter]
+        overhead = audit_v / base_v - 1.0
+        status = "ok  " if overhead < OVERHEAD_BOUND else "FAIL"
+        print(f"{status} {label}: audit overhead {overhead:+.3%} "
+              f"(bound {OVERHEAD_BOUND:.0%})")
+        failed = failed or overhead >= OVERHEAD_BOUND
+    if failed:
+        return 1
+
+    print("\naudit_smoke: all forensic scenarios localized, overhead in bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,182 @@
+// Offline audit-log verifier (docs/OBSERVABILITY.md §Audit log).
+//
+// Replays the per-batch MAC keystream from the genesis key over a
+// journal written by obs::AuditLog, reports whether the log is intact,
+// and — when it is not — pinpoints the earliest record that cannot be
+// attested (tampered, reordered, spliced, or missing).  Surviving
+// records are printed with their trace/span ids so they can be
+// cross-linked to a Perfetto export of the same run.
+//
+// Usage:
+//   audit_verify [--json] [--records] --key=<hex> <log-file>
+//   audit_verify [--json] [--records] --keyfile=<path-with-hex> <log-file>
+//
+// Exit status: 0 intact (verified and finalized), 1 tamper or tail
+// loss detected, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/auditlog.h"
+#include "src/util/bytes.h"
+
+namespace {
+
+bool ReadFileBytes(const std::string& path, util::Bytes* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string& s = buf.str();
+  out->assign(s.begin(), s.end());
+  return true;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+void PrintRecordJson(const obs::AuditRecordInfo& info) {
+  const obs::AuditRecord& r = info.record;
+  std::printf(
+      "    {\"seqno\": %llu, \"kind\": \"%s\", \"proc\": %u, "
+      "\"connection\": %llu, \"wire_seqno\": %u, \"verdict\": %u, "
+      "\"fh_digest\": %llu, \"time_ns\": %llu, \"trace_id\": %llu, "
+      "\"span_id\": %llu, \"offset\": %llu, \"batch\": %u, "
+      "\"survives\": %s}",
+      static_cast<unsigned long long>(r.seqno),
+      obs::AuditKindName(static_cast<obs::AuditKind>(r.kind)), r.proc,
+      static_cast<unsigned long long>(r.connection_id), r.wire_seqno, r.verdict,
+      static_cast<unsigned long long>(r.fh_digest),
+      static_cast<unsigned long long>(r.time_ns),
+      static_cast<unsigned long long>(r.trace_id),
+      static_cast<unsigned long long>(r.span_id),
+      static_cast<unsigned long long>(info.offset), info.batch_index,
+      info.survives ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool dump_records = false;
+  std::string key_hex;
+  std::string log_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--records") {
+      dump_records = true;
+    } else if (arg.rfind("--key=", 0) == 0) {
+      key_hex = arg.substr(6);
+    } else if (arg.rfind("--keyfile=", 0) == 0) {
+      std::ifstream in(arg.substr(10));
+      if (!in) {
+        std::fprintf(stderr, "audit_verify: cannot read key file\n");
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      key_hex = Trim(buf.str());
+    } else if (!arg.empty() && arg[0] != '-' && log_path.empty()) {
+      log_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: audit_verify [--json] [--records] "
+                   "(--key=<hex>|--keyfile=<path>) <log-file>\n");
+      return 2;
+    }
+  }
+  if (key_hex.empty() || log_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: audit_verify [--json] [--records] "
+                 "(--key=<hex>|--keyfile=<path>) <log-file>\n");
+    return 2;
+  }
+  auto key = util::HexDecode(key_hex);
+  if (!key.ok()) {
+    std::fprintf(stderr, "audit_verify: genesis key is not valid hex\n");
+    return 2;
+  }
+  util::Bytes log;
+  if (!ReadFileBytes(log_path, &log)) {
+    std::fprintf(stderr, "audit_verify: cannot read %s\n", log_path.c_str());
+    return 2;
+  }
+
+  obs::AuditVerifyResult result = obs::VerifyAuditLog(key.value(), log);
+  const bool intact = result.ok && result.finalized;
+
+  if (json) {
+    std::printf("{\n  \"ok\": %s,\n  \"finalized\": %s,\n", result.ok ? "true" : "false",
+                result.finalized ? "true" : "false");
+    std::printf("  \"records_ok\": %llu,\n  \"batches_ok\": %llu,\n",
+                static_cast<unsigned long long>(result.records_ok),
+                static_cast<unsigned long long>(result.batches_ok));
+    if (result.earliest_bad.has_value()) {
+      std::printf("  \"earliest_bad\": %llu,\n",
+                  static_cast<unsigned long long>(*result.earliest_bad));
+    } else {
+      std::printf("  \"earliest_bad\": null,\n");
+    }
+    std::string detail;
+    for (char c : result.detail) {
+      if (c == '"' || c == '\\') {
+        detail += '\\';
+      }
+      detail += c;
+    }
+    std::printf("  \"detail\": \"%s\",\n  \"records\": [", detail.c_str());
+    bool first = true;
+    for (const obs::AuditRecordInfo& info : result.records) {
+      std::printf(first ? "\n" : ",\n");
+      PrintRecordJson(info);
+      first = false;
+    }
+    std::printf("%s]\n}\n", first ? "" : "\n  ");
+    return intact ? 0 : 1;
+  }
+
+  if (dump_records) {
+    std::printf("%-7s %-16s %-5s %-5s %-8s %-7s %-10s %-10s %s\n", "seqno", "kind",
+                "proc", "conn", "verdict", "batch", "trace", "span", "status");
+    for (const obs::AuditRecordInfo& info : result.records) {
+      const obs::AuditRecord& r = info.record;
+      std::printf("%-7llu %-16s %-5u %-5llu %-8u %-7u %-10llu %-10llu %s\n",
+                  static_cast<unsigned long long>(r.seqno),
+                  obs::AuditKindName(static_cast<obs::AuditKind>(r.kind)), r.proc,
+                  static_cast<unsigned long long>(r.connection_id), r.verdict,
+                  info.batch_index, static_cast<unsigned long long>(r.trace_id),
+                  static_cast<unsigned long long>(r.span_id),
+                  info.survives ? "ok" : "UNATTESTED");
+    }
+  }
+  if (intact) {
+    std::printf("AUDIT LOG OK: %llu record(s) in %llu batch(es), finalized\n",
+                static_cast<unsigned long long>(result.records_ok),
+                static_cast<unsigned long long>(result.batches_ok));
+    return 0;
+  }
+  if (result.earliest_bad.has_value()) {
+    std::printf("TAMPER DETECTED at record %llu: %s\n",
+                static_cast<unsigned long long>(*result.earliest_bad),
+                result.detail.c_str());
+  } else {
+    std::printf("AUDIT LOG NOT VERIFIABLE: %s\n",
+                result.detail.empty() ? "log is not finalized" : result.detail.c_str());
+  }
+  std::printf("%llu record(s) still attested in %llu intact batch(es)\n",
+              static_cast<unsigned long long>(result.records_ok),
+              static_cast<unsigned long long>(result.batches_ok));
+  return 1;
+}

@@ -4,11 +4,16 @@
 Runs each benchmark binary given on the command line with a minimal
 workload into a temporary directory, then validates every BENCH_*.json
 it produced (via bench_compare.py's loader) and, for span_report, the
-exported Chrome trace.  Wired up as the `bench_json_smoke` CMake target
-and ctest entry.
+exported Chrome trace.  With --committed=<dir>, additionally validates
+every BENCH_*.json checked in at that directory (the regression-gate
+baselines: crypto, fleet, audit, ...), so a hand-edited or truncated
+baseline fails the suite rather than silently skewing a gate.  Wired up
+as the `bench_json_smoke` CMake target and ctest entry.
 
-Usage: bench_json_smoke.py <binary> [<binary>...]
+Usage: bench_json_smoke.py [--committed=<dir>] <binary> [<binary>...]
 """
+
+import glob
 
 import json
 import os
@@ -32,11 +37,45 @@ def args_for(binary):
     return [binary, "--benchmark_min_time=0.01"]
 
 
+def validate_committed(directory):
+    """Validates every committed BENCH_*.json baseline; returns failures."""
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        print(f"FAIL {directory}: no committed BENCH_*.json found")
+        return 1
+    failures = 0
+    for path in paths:
+        try:
+            doc = bench_compare.load(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: {e}")
+            failures += 1
+            continue
+        errored = [r["name"] for r in doc["runs"] if r["error"]]
+        if errored:
+            print(f"FAIL {path}: runs errored: {', '.join(errored)}")
+            failures += 1
+            continue
+        print(f"ok   {os.path.basename(path)}: committed baseline, "
+              f"{len(doc['runs'])} run(s)")
+    return failures
+
+
 def main(argv):
-    if not argv:
-        print("usage: bench_json_smoke.py <binary> [<binary>...]")
+    committed = None
+    binaries = []
+    for arg in argv:
+        if arg.startswith("--committed="):
+            committed = arg[len("--committed="):]
+        else:
+            binaries.append(arg)
+    argv = binaries
+    if not argv and committed is None:
+        print("usage: bench_json_smoke.py [--committed=<dir>] <binary> [<binary>...]")
         return 2
     failures = 0
+    if committed is not None:
+        failures += validate_committed(committed)
     with tempfile.TemporaryDirectory(prefix="bench_json_smoke.") as tmp:
         for binary in argv:
             cmd = args_for(binary) + [f"--bench_json_dir={tmp}"]
