@@ -17,25 +17,40 @@ namespace {
 using bench::Config;
 using bench::Testbed;
 
+// range(0) = Config, range(1) = write-behind ablation (0 keeps the
+// seed's write-through discipline, 1 buffers unstable writes and
+// commits at close).
 void BM_Fig8_LfsSmall(benchmark::State& state) {
   for (auto _ : state) {
-    Testbed tb(static_cast<Config>(state.range(0)));
+    bench::Testbed::CacheKnobs cache;
+    cache.write_behind = state.range(1) != 0;
+    Testbed tb(static_cast<Config>(state.range(0)), cache);
     bench::LfsSmallResult result = bench::RunLfsSmall(&tb);
     state.SetIterationTime(result.create + result.read + result.unlink);
     state.counters["create_s"] = result.create;
     state.counters["read_s"] = result.read;
     state.counters["unlink_s"] = result.unlink;
-    state.SetLabel(bench::ConfigName(tb.config()));
+    state.counters["commit_calls"] =
+        static_cast<double>(tb.registry()->CounterValue("commit.calls"));
+    state.counters["stable_writes"] =
+        static_cast<double>(tb.registry()->CounterValue("commit.stable_writes"));
+    std::string label = bench::ConfigName(tb.config());
+    if (cache.write_behind) {
+      label += " + write-behind";
+    }
+    state.SetLabel(label);
   }
 }
 
 }  // namespace
 
 BENCHMARK(BM_Fig8_LfsSmall)
-    ->Arg(static_cast<int>(Config::kLocal))
-    ->Arg(static_cast<int>(Config::kNfsUdp))
-    ->Arg(static_cast<int>(Config::kNfsTcp))
-    ->Arg(static_cast<int>(Config::kSfs))
+    ->Args({static_cast<int>(Config::kLocal), 0})
+    ->Args({static_cast<int>(Config::kNfsUdp), 0})
+    ->Args({static_cast<int>(Config::kNfsTcp), 0})
+    ->Args({static_cast<int>(Config::kSfs), 0})
+    ->Args({static_cast<int>(Config::kNfsUdp), 1})
+    ->Args({static_cast<int>(Config::kSfs), 1})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

@@ -17,9 +17,14 @@ namespace {
 using bench::Config;
 using bench::Testbed;
 
+// range(0) = Config, range(1) = write-behind ablation (0 keeps the
+// seed's write-through discipline, 1 buffers unstable writes and
+// commits at close).
 void BM_Fig9_LfsLarge(benchmark::State& state) {
   for (auto _ : state) {
-    Testbed tb(static_cast<Config>(state.range(0)));
+    bench::Testbed::CacheKnobs cache;
+    cache.write_behind = state.range(1) != 0;
+    Testbed tb(static_cast<Config>(state.range(0)), cache);
     bench::LfsLargeResult result = bench::RunLfsLarge(&tb, /*file_mb=*/40);
     state.SetIterationTime(result.seq_write + result.seq_read + result.rand_write +
                            result.rand_read + result.seq_read2);
@@ -28,18 +33,28 @@ void BM_Fig9_LfsLarge(benchmark::State& state) {
     state.counters["rand_write_s"] = result.rand_write;
     state.counters["rand_read_s"] = result.rand_read;
     state.counters["seq_read2_s"] = result.seq_read2;
-    state.SetLabel(bench::ConfigName(tb.config()));
+    state.counters["commit_calls"] =
+        static_cast<double>(tb.registry()->CounterValue("commit.calls"));
+    state.counters["batched_writes"] =
+        static_cast<double>(tb.registry()->CounterValue("commit.batched_writes"));
+    std::string label = bench::ConfigName(tb.config());
+    if (cache.write_behind) {
+      label += " + write-behind";
+    }
+    state.SetLabel(label);
   }
 }
 
 }  // namespace
 
 BENCHMARK(BM_Fig9_LfsLarge)
-    ->Arg(static_cast<int>(Config::kLocal))
-    ->Arg(static_cast<int>(Config::kNfsUdp))
-    ->Arg(static_cast<int>(Config::kNfsTcp))
-    ->Arg(static_cast<int>(Config::kSfs))
-    ->Arg(static_cast<int>(Config::kSfsNoCrypt))
+    ->Args({static_cast<int>(Config::kLocal), 0})
+    ->Args({static_cast<int>(Config::kNfsUdp), 0})
+    ->Args({static_cast<int>(Config::kNfsTcp), 0})
+    ->Args({static_cast<int>(Config::kSfs), 0})
+    ->Args({static_cast<int>(Config::kSfsNoCrypt), 0})
+    ->Args({static_cast<int>(Config::kNfsUdp), 1})
+    ->Args({static_cast<int>(Config::kSfs), 1})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

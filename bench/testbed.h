@@ -102,9 +102,20 @@ class Testbed {
     uint32_t batch_records = 64;
   };
 
-  explicit Testbed(Config config) : Testbed(config, AuditKnobs()) {}
+  // Client cache-layer knobs (bench ablations).  write_behind turns on
+  // the WRITE(UNSTABLE)+COMMIT pipeline plus close-to-open consistency
+  // in whichever cache stack the config builds (NFS3 or SFS); off keeps
+  // the seed's write-through discipline.
+  struct CacheKnobs {
+    bool write_behind = false;
+  };
 
-  Testbed(Config config, AuditKnobs audit) : config_(config), costs_(ActiveCostModel()) {
+  explicit Testbed(Config config) : Testbed(config, AuditKnobs()) {}
+  Testbed(Config config, AuditKnobs audit) : Testbed(config, audit, CacheKnobs()) {}
+  Testbed(Config config, CacheKnobs cache) : Testbed(config, AuditKnobs(), cache) {}
+
+  Testbed(Config config, AuditKnobs audit, CacheKnobs cache)
+      : config_(config), costs_(ActiveCostModel()) {
     vfs_ = std::make_unique<vfs::Vfs>(&clock_, &costs_, &registry_);
 
     switch (config) {
@@ -147,6 +158,8 @@ class Testbed {
             nfs::NfsClient::WireCredentialsEncoder());
         nfs::CacheOptions cache_options;  // Plain NFS3 attribute timeouts.
         cache_options.registry = &registry_;
+        cache_options.write_behind = cache.write_behind;
+        cache_options.close_to_open = cache.write_behind;
         cached_ = std::make_unique<nfs::CachingFs>(nfs_client_.get(), &clock_, cache_options);
         vfs_->MountRoot(cached_.get(), memfs_->root_handle());
         server_fs_ = memfs_.get();
@@ -177,6 +190,7 @@ class Testbed {
         client_options.ephemeral_key_bits = 512;
         client_options.encrypt = config != Config::kSfsNoCrypt;
         client_options.enhanced_caching = config != Config::kSfsNoCache;
+        client_options.write_behind = cache.write_behind;
         client_options.registry = &registry_;
         sfs_client_ = std::make_unique<sfs::SfsClient>(
             &clock_, &costs_,

@@ -55,6 +55,30 @@ class FileSystemApi {
                        uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) = 0;
   virtual Stat FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) = 0;
   virtual Stat Commit(const FileHandle& fh) = 0;
+
+  // NFS3 write verifier (RFC 1813 §3.3.7): the cookie returned by the
+  // most recent WRITE/COMMIT this instance saw.  A server returns its
+  // boot-instance cookie; a client stub returns the one decoded from
+  // the last reply; decorators forward.  A change between a WRITE and
+  // the COMMIT that should stabilize it means the server rebooted and
+  // unstable data may be lost — the writer must replay.
+  virtual uint64_t WriteVerf() const { return 0; }
+
+  // Close-to-open consistency hooks (Unix open/close, not NFS RPCs —
+  // NFS3 is stateless, so these only steer client-side caching).  Open
+  // is the moment a cache must revalidate so this opener sees every
+  // previously closed write; Close must push buffered writes to stable
+  // storage before returning.  The defaults preserve write-through
+  // behavior: Open is a no-op and Close commits.
+  virtual Stat Open(const FileHandle& fh, const Credentials& cred) {
+    (void)fh;
+    (void)cred;
+    return Stat::kOk;
+  }
+  virtual Stat Close(const FileHandle& fh, const Credentials& cred) {
+    (void)cred;
+    return Commit(fh);
+  }
 };
 
 // Asynchronous subset of FileSystemApi used for read-ahead and batched
@@ -70,12 +94,18 @@ class AsyncFileOps {
   using ReadCallback = std::function<void(Stat stat, util::Bytes data, bool eof)>;
   using LookupCallback = std::function<void(Stat stat, FileHandle fh, Fattr attr)>;
   using AttrCallback = std::function<void(Stat stat, Fattr attr)>;
+  // Write completions additionally carry the server's write verifier
+  // from the reply, so a write-behind cache can tell whether the bytes
+  // survived into the instance a later COMMIT talked to.
+  using WriteCallback = std::function<void(Stat stat, Fattr attr, uint64_t verf)>;
 
   virtual void ReadAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
                          uint32_t count, ReadCallback done) = 0;
   virtual void LookupAsync(const FileHandle& dir, const std::string& name,
                            const Credentials& cred, LookupCallback done) = 0;
   virtual void GetAttrAsync(const FileHandle& fh, AttrCallback done) = 0;
+  virtual void WriteAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                          const util::Bytes& data, bool stable, WriteCallback done) = 0;
 };
 
 }  // namespace nfs

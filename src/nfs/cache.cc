@@ -23,6 +23,8 @@ void CachingFs::StoreAttr(const FileHandle& fh, const Fattr& attr) {
   }
   e.attr = attr;
   e.expiry_ns = ExpiryFor(attr);
+  e.fetched_ns = clock_->now_ns();
+  e.from_server = true;
 }
 
 void CachingFs::ForgetData(const std::string& key) {
@@ -55,6 +57,13 @@ Stat CachingFs::GetAttr(const FileHandle& fh, Fattr* attr) {
     return Stat::kOk;
   }
   ++attr_misses_;
+  if (options_.write_behind) {
+    // The server's answer must reflect our buffered bytes (size, mtime).
+    Stat fs = FlushForRead(fh);
+    if (fs != Stat::kOk) {
+      return fs;
+    }
+  }
   Stat s = backend_->GetAttr(fh, attr);
   if (s == Stat::kOk) {
     StoreAttr(fh, *attr);
@@ -67,6 +76,14 @@ Stat CachingFs::GetAttr(const FileHandle& fh, Fattr* attr) {
 Stat CachingFs::SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
                         Fattr* attr) {
   obs::ScopedSpan op_span(spans_, "cache.SetAttr", "nfs.cache");
+  if (options_.write_behind) {
+    // Buffered writes predate this setattr (e.g. a truncate) and must
+    // reach the server first or they would resurrect afterwards.
+    Stat fs = FlushForRead(fh);
+    if (fs != Stat::kOk) {
+      return fs;
+    }
+  }
   Stat s = backend_->SetAttr(fh, cred, sattr, attr);
   if (s == Stat::kOk) {
     if (sattr.size.has_value()) {
@@ -194,6 +211,15 @@ Stat CachingFs::Read(const FileHandle& fh, const Credentials& cred, uint64_t off
     }
   }
 
+  if (options_.write_behind) {
+    // Cache miss on a file with buffered writes: the server must apply
+    // them before it serves the read, or we would fill the cache with
+    // pre-write bytes.
+    Stat fs = FlushForRead(fh);
+    if (fs != Stat::kOk) {
+      return fs;
+    }
+  }
   Stat s = backend_->Read(fh, cred, offset, count, data, eof);
   if (s != Stat::kOk) {
     return s;
@@ -330,6 +356,17 @@ void CachingFs::PrefetchAttrs(const std::vector<FileHandle>& handles) {
 Stat CachingFs::Write(const FileHandle& fh, const Credentials& cred, uint64_t offset,
                       const util::Bytes& data, bool stable, Fattr* attr) {
   obs::ScopedSpan op_span(spans_, "cache.Write", "nfs.cache");
+  if (options_.write_behind && !stable) {
+    return BufferWrite(fh, cred, offset, data, attr);
+  }
+  if (options_.write_behind) {
+    // A stable write overtaking buffered older bytes would let them
+    // overwrite it at the next flush; push them out first.
+    Stat fs = FlushForRead(fh);
+    if (fs != Stat::kOk) {
+      return fs;
+    }
+  }
   Stat s = backend_->Write(fh, cred, offset, data, stable, attr);
   if (s != Stat::kOk) {
     return s;
@@ -359,6 +396,369 @@ Stat CachingFs::Write(const FileHandle& fh, const Credentials& cred, uint64_t of
   }
   StoreAttr(fh, *attr);
   return s;
+}
+
+// --- Write-behind engine -----------------------------------------------------
+
+Stat CachingFs::BufferWrite(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                            const util::Bytes& data, Fattr* attr) {
+  const std::string key = Key(fh);
+  auto attr_it = attr_cache_.find(key);
+  if (attr_it == attr_cache_.end()) {
+    // First touch: base attributes to synthesize post-op results from.
+    Fattr fetched;
+    Stat s = backend_->GetAttr(fh, &fetched);
+    if (s != Stat::kOk) {
+      if (s == Stat::kStale) {
+        InvalidateHandle(fh);
+      }
+      return s;
+    }
+    StoreAttr(fh, fetched);
+    attr_it = attr_cache_.find(key);
+  }
+  WriteState& st = write_state_[key];
+  st.fh = fh;
+  st.cred = cred;
+  AddDirtyExtent(&st, offset, data);
+  // Synthesize the post-op attributes locally: size grows, mtime moves
+  // on the local clock, so reads served from this cache stay coherent
+  // with the buffered bytes.  The flush replaces these with the
+  // server's post-op attributes.
+  AttrEntry& entry = attr_it->second;
+  entry.attr.size = std::max(entry.attr.size, offset + data.size());
+  entry.attr.mtime_ns = clock_->now_ns();
+  entry.attr.ctime_ns = entry.attr.mtime_ns;
+  entry.expiry_ns = ExpiryFor(entry.attr);
+  entry.from_server = false;
+  *attr = entry.attr;
+  // Fold into the data cache exactly like the write-through path.
+  auto it = data_cache_.find(key);
+  if (it != data_cache_.end()) {
+    DataEntry& dentry = it->second;
+    if (offset <= dentry.content.size() &&
+        offset + data.size() <= options_.data_cache_file_limit) {
+      size_t new_size = std::max<size_t>(dentry.content.size(), offset + data.size());
+      data_cache_bytes_ += new_size - dentry.content.size();
+      dentry.content.resize(new_size);
+      std::copy(data.begin(), data.end(), dentry.content.begin() + static_cast<long>(offset));
+      dentry.mtime_ns = attr->mtime_ns;
+      EvictDataIfNeeded();
+    } else {
+      ForgetData(key);
+    }
+  } else if (options_.enable_data_cache && offset == 0 &&
+             data.size() <= options_.data_cache_file_limit) {
+    data_cache_[key] = DataEntry{attr->mtime_ns, data};
+    data_cache_bytes_ += data.size();
+    EvictDataIfNeeded();
+  }
+  PublishDirtyGauge();
+  if (dirty_bytes_ + unstable_bytes_ > options_.write_behind_limit_bytes) {
+    // Backpressure: the dirty pool is bounded, so stabilize everything
+    // before admitting more buffered data.
+    Stat s = FlushAllFiles();
+    if (s != Stat::kOk) {
+      return s;
+    }
+  }
+  return Stat::kOk;
+}
+
+void CachingFs::AddDirtyExtent(WriteState* st, uint64_t offset, const util::Bytes& data) {
+  uint64_t start = offset;
+  uint64_t end = offset + data.size();
+  util::Bytes merged = data;
+  auto it = st->dirty.lower_bound(start);
+  if (it != st->dirty.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() >= start) {
+      it = prev;
+    }
+  }
+  // Absorb every overlapping or adjacent extent; the incoming bytes win
+  // on overlap (they are newer).
+  while (it != st->dirty.end() && it->first <= end) {
+    uint64_t e_start = it->first;
+    uint64_t e_end = e_start + it->second.size();
+    uint64_t new_start = std::min(start, e_start);
+    uint64_t new_end = std::max(end, e_end);
+    util::Bytes buf(new_end - new_start, 0);
+    std::copy(it->second.begin(), it->second.end(),
+              buf.begin() + static_cast<long>(e_start - new_start));
+    std::copy(merged.begin(), merged.end(),
+              buf.begin() + static_cast<long>(start - new_start));
+    dirty_bytes_ -= it->second.size();
+    it = st->dirty.erase(it);
+    merged = std::move(buf);
+    start = new_start;
+    end = new_end;
+  }
+  dirty_bytes_ += merged.size();
+  st->dirty[start] = std::move(merged);
+}
+
+Stat CachingFs::SendDirty(const std::string& key, bool allow_async) {
+  auto state_it = write_state_.find(key);
+  if (state_it == write_state_.end() || state_it->second.dirty.empty()) {
+    return Stat::kOk;
+  }
+  WriteState& st = state_it->second;
+  ++flushes_;
+  std::map<uint64_t, util::Bytes> batch;
+  batch.swap(st.dirty);
+  for (const auto& [off, bytes] : batch) {
+    dirty_bytes_ -= bytes.size();
+  }
+  const FileHandle fh = st.fh;
+  const Credentials cred = st.cred;
+  Stat first_error = Stat::kOk;
+  for (auto& [off, bytes] : batch) {
+    auto pe = std::make_shared<PendingExtent>();
+    pe->data = std::move(bytes);
+    pe->seq = write_seq_++;
+    auto existing = st.unstable.find(off);
+    if (existing != st.unstable.end()) {
+      unstable_bytes_ -= existing->second->data.size();
+    }
+    unstable_bytes_ += pe->data.size();
+    st.unstable[off] = pe;
+    m_commit_batched_writes_->Increment();
+    if (allow_async && async_ops_ != nullptr) {
+      uint64_t offset = off;
+      async_ops_->WriteAsync(
+          fh, cred, offset, pe->data, /*stable=*/false,
+          [this, key, fh, pe](Stat s, Fattr attr, uint64_t verf) {
+            pe->acked = true;
+            pe->stat = s;
+            pe->verf = verf;
+            if (s == Stat::kOk) {
+              // Adopt the server's post-op attributes, keeping the
+              // cached data valid under the authoritative mtime.
+              auto d = data_cache_.find(key);
+              if (d != data_cache_.end()) {
+                d->second.mtime_ns = attr.mtime_ns;
+              }
+              StoreAttr(fh, attr);
+            }
+          });
+    } else {
+      Fattr attr;
+      Stat s = backend_->Write(fh, cred, off, pe->data, /*stable=*/false, &attr);
+      pe->acked = true;
+      pe->stat = s;
+      pe->verf = backend_->WriteVerf();
+      if (s == Stat::kOk) {
+        auto d = data_cache_.find(key);
+        if (d != data_cache_.end()) {
+          d->second.mtime_ns = attr.mtime_ns;
+        }
+        StoreAttr(fh, attr);
+      } else if (first_error == Stat::kOk) {
+        first_error = s;
+      }
+    }
+  }
+  PublishDirtyGauge();
+  return first_error;
+}
+
+Stat CachingFs::FlushForRead(const FileHandle& fh) {
+  const std::string key = Key(fh);
+  auto it = write_state_.find(key);
+  if (it == write_state_.end() || it->second.dirty.empty()) {
+    return Stat::kOk;
+  }
+  obs::ScopedSpan flush_span(spans_, "nfs.cache.flush", "nfs.cache");
+  if (obs::Span* s = flush_span.span()) {
+    s->detail = "read-barrier";
+  }
+  return SendDirty(key, /*allow_async=*/false);
+}
+
+Stat CachingFs::CommitPipeline(const FileHandle& fh) {
+  const std::string key = Key(fh);
+  obs::ScopedSpan flush_span(spans_, "nfs.cache.flush", "nfs.cache");
+  auto fast_it = write_state_.find(key);
+  if (fast_it != write_state_.end() && fast_it->second.unstable.empty() &&
+      fast_it->second.dirty.size() == 1 &&
+      fast_it->second.dirty.begin()->second.size() < options_.stable_write_max_bytes) {
+    // Small-file close: one WRITE(FILE_SYNC) is durable on reply, so the
+    // COMMIT round trip (and its verifier bookkeeping) is unnecessary.
+    WriteState& st = fast_it->second;
+    const uint64_t off = st.dirty.begin()->first;
+    util::Bytes data = std::move(st.dirty.begin()->second);
+    const FileHandle wfh = st.fh;
+    const Credentials cred = st.cred;
+    dirty_bytes_ -= data.size();
+    write_state_.erase(fast_it);
+    PublishDirtyGauge();
+    if (obs::Span* s = flush_span.span()) {
+      s->detail = "stable-write";
+    }
+    m_commit_batched_writes_->Increment();
+    m_commit_stable_writes_->Increment();
+    Fattr attr;
+    Stat s = backend_->Write(wfh, cred, off, data, /*stable=*/true, &attr);
+    if (s != Stat::kOk) {
+      // Re-buffer the extent so a retried close (or the backpressure
+      // flush) can send it again rather than silently dropping bytes.
+      WriteState& back = write_state_[key];
+      back.fh = wfh;
+      back.cred = cred;
+      AddDirtyExtent(&back, off, data);
+      PublishDirtyGauge();
+      return s;
+    }
+    auto d = data_cache_.find(key);
+    if (d != data_cache_.end()) {
+      d->second.mtime_ns = attr.mtime_ns;
+    }
+    StoreAttr(wfh, attr);
+    return Stat::kOk;
+  }
+  m_commit_calls_->Increment();
+  // Bounded: each round either confirms extents or the server keeps
+  // restarting under us — after that many reboots mid-close, give up.
+  constexpr int kMaxCommitAttempts = 8;
+  for (int attempt = 0; attempt < kMaxCommitAttempts; ++attempt) {
+    Stat send = SendDirty(key, /*allow_async=*/true);
+    if (send != Stat::kOk) {
+      return send;
+    }
+    // The synchronous COMMIT pumps the channel: pipelined WRITE replies
+    // land (in order) before its own reply is matched.
+    Stat cs = backend_->Commit(fh);
+    if (cs != Stat::kOk) {
+      return cs;
+    }
+    const uint64_t commit_verf = backend_->WriteVerf();
+    auto it = write_state_.find(key);
+    if (it == write_state_.end()) {
+      return Stat::kOk;
+    }
+    WriteState& st = it->second;
+    // Retain-until-confirmed: an extent leaves the replay buffer only if
+    // its WRITE succeeded under the same boot instance this COMMIT saw.
+    std::vector<uint64_t> confirmed;
+    for (const auto& [off, pe] : st.unstable) {
+      if (pe->acked && pe->stat == Stat::kOk && pe->verf == commit_verf) {
+        confirmed.push_back(off);
+      } else if (pe->acked && pe->stat != Stat::kOk && pe->stat != Stat::kIo) {
+        return pe->stat;  // Hard server verdict (kAccess, kStale, ...).
+      }
+    }
+    for (uint64_t off : confirmed) {
+      auto ue = st.unstable.find(off);
+      unstable_bytes_ -= ue->second->data.size();
+      st.unstable.erase(ue);
+    }
+    if (st.unstable.empty() && st.dirty.empty()) {
+      write_state_.erase(it);
+      PublishDirtyGauge();
+      return Stat::kOk;
+    }
+    if (!st.unstable.empty()) {
+      // Survivors: lost to a reboot (verifier mismatch) or outcome
+      // unknown (dropped reply).  Rebuild the dirty set with survivors
+      // in original issue order, then any still-dirty bytes on top —
+      // they are newer — and go around.
+      ++commit_replays_;
+      m_commit_replays_->Increment();
+      std::vector<std::pair<uint64_t, std::shared_ptr<PendingExtent>>> survivors(
+          st.unstable.begin(), st.unstable.end());
+      std::sort(survivors.begin(), survivors.end(),
+                [](const auto& a, const auto& b) { return a.second->seq < b.second->seq; });
+      st.unstable.clear();
+      std::map<uint64_t, util::Bytes> newest;
+      newest.swap(st.dirty);
+      for (const auto& [off, bytes] : newest) {
+        dirty_bytes_ -= bytes.size();
+      }
+      for (const auto& [off, pe] : survivors) {
+        unstable_bytes_ -= pe->data.size();
+        AddDirtyExtent(&st, off, pe->data);
+      }
+      for (const auto& [off, bytes] : newest) {
+        AddDirtyExtent(&st, off, bytes);
+      }
+      PublishDirtyGauge();
+    }
+  }
+  return Stat::kIo;
+}
+
+Stat CachingFs::FlushAllFiles() {
+  std::vector<FileHandle> files;
+  files.reserve(write_state_.size());
+  for (const auto& [key, st] : write_state_) {
+    files.push_back(st.fh);
+  }
+  Stat first_error = Stat::kOk;
+  for (const FileHandle& fh : files) {
+    Stat s = CommitPipeline(fh);
+    if (s != Stat::kOk && first_error == Stat::kOk) {
+      first_error = s;
+    }
+  }
+  return first_error;
+}
+
+void CachingFs::DropWriteState(const std::string& key) {
+  auto it = write_state_.find(key);
+  if (it == write_state_.end()) {
+    return;
+  }
+  for (const auto& [off, bytes] : it->second.dirty) {
+    dirty_bytes_ -= bytes.size();
+  }
+  for (const auto& [off, pe] : it->second.unstable) {
+    unstable_bytes_ -= pe->data.size();
+  }
+  write_state_.erase(it);
+  PublishDirtyGauge();
+}
+
+bool CachingFs::HasBufferedWrites(const std::string& key) const {
+  auto it = write_state_.find(key);
+  return it != write_state_.end() &&
+         (!it->second.dirty.empty() || !it->second.unstable.empty());
+}
+
+Stat CachingFs::Open(const FileHandle& fh, const Credentials& cred) {
+  (void)cred;
+  if (!options_.close_to_open) {
+    return Stat::kOk;
+  }
+  const std::string key = Key(fh);
+  if (HasBufferedWrites(key)) {
+    // Our own un-flushed data is by definition the newest view; a server
+    // round trip could only hand back staler attributes.
+    return Stat::kOk;
+  }
+  auto it = attr_cache_.find(key);
+  if (it != attr_cache_.end() && it->second.from_server &&
+      it->second.fetched_ns == clock_->now_ns()) {
+    // Attributes just arrived from the server (the lookup or create that
+    // resolved this open); a second GETATTR could not learn more.
+    return Stat::kOk;
+  }
+  obs::ScopedSpan op_span(spans_, "cache.Open", "nfs.cache");
+  ++open_revalidations_;
+  Fattr attr;
+  Stat s = backend_->GetAttr(fh, &attr);
+  if (s == Stat::kOk) {
+    StoreAttr(fh, attr);  // Drops cached data if the file changed.
+  } else if (s == Stat::kStale) {
+    InvalidateHandle(fh);
+  }
+  return s;
+}
+
+Stat CachingFs::Close(const FileHandle& fh, const Credentials& cred) {
+  (void)cred;
+  obs::ScopedSpan op_span(spans_, "cache.Close", "nfs.cache");
+  return Commit(fh);
 }
 
 Stat CachingFs::Create(const FileHandle& dir, const std::string& name, const Credentials& cred,
@@ -405,6 +805,8 @@ Stat CachingFs::Remove(const FileHandle& dir, const std::string& name,
   if (s == Stat::kOk) {
     auto it = name_cache_.find({Key(dir), name});
     if (it != name_cache_.end()) {
+      // Buffered writes for a removed file have nowhere to go.
+      DropWriteState(Key(it->second.fh));
       InvalidateHandle(it->second.fh);
       name_cache_.erase(it);
     }
@@ -462,6 +864,9 @@ Stat CachingFs::FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* us
 
 Stat CachingFs::Commit(const FileHandle& fh) {
   obs::ScopedSpan op_span(spans_, "cache.Commit", "nfs.cache");
+  if (options_.write_behind) {
+    return CommitPipeline(fh);
+  }
   return backend_->Commit(fh);
 }
 
@@ -489,6 +894,8 @@ void CachingFs::InvalidateHandle(const FileHandle& fh) {
 }
 
 void CachingFs::InvalidateAll() {
+  // Caches only: buffered write-behind data is *unwritten application
+  // data*, not a cache, and survives (it re-fetches attributes lazily).
   attr_cache_.clear();
   name_cache_.clear();
   access_cache_.clear();

@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 
 #include "src/nfs/api.h"
+#include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/sim/clock.h"
 #include "src/util/bytes.h"
@@ -37,6 +39,28 @@ struct CacheOptions {
   // this many further chunks of the same size through the async backend
   // (0 disables; requires set_async_ops).
   uint32_t read_ahead_chunks = 0;
+  // Write-behind (NFS3 safe asynchronous writes): unstable application
+  // writes are buffered as coalesced dirty extents and pushed as
+  // WRITE(UNSTABLE) batches at a flush point — Close, Commit, an
+  // overlapping read, or memory pressure — followed by one COMMIT per
+  // file handle whose verifier decides whether anything must be
+  // replayed.  Off: every write is a synchronous write-through RPC.
+  bool write_behind = false;
+  // Backpressure bound on buffered dirty + unstable bytes across all
+  // files; exceeding it forces a full flush+commit.
+  uint64_t write_behind_limit_bytes = 4 << 20;
+  // Small-file close fast path (RFC 1813 stable writes): when a commit
+  // point finds exactly one dirty extent smaller than this, with no
+  // unstable backlog to fence, it goes out as a single WRITE(FILE_SYNC)
+  // and the trailing COMMIT round trip is skipped entirely.  Durability
+  // is the server's write, not the verifier protocol, so no replay
+  // state is kept.  Sized to one wire write: anything that fills a full
+  // 32 KB gather buffer takes the pipelined WRITE(UNSTABLE)+COMMIT path.
+  uint64_t stable_write_max_bytes = 32768;
+  // Close-to-open consistency: Open() revalidates attributes against
+  // the server (dropping stale cached data) unless they were fetched at
+  // this exact virtual instant; Close() flushes and commits.
+  bool close_to_open = false;
   // Receives per-op "cache.*" spans while span tracing is enabled;
   // nullptr selects obs::Registry::Default().
   obs::Registry* registry = nullptr;
@@ -50,7 +74,15 @@ class CachingFs : public FileSystemApi {
         options_(options),
         spans_(&(options_.registry != nullptr ? options_.registry
                                               : obs::Registry::Default())
-                    ->spans()) {}
+                    ->spans()) {
+    obs::Registry* reg =
+        options_.registry != nullptr ? options_.registry : obs::Registry::Default();
+    m_dirty_bytes_ = reg->GetCounter("nfs.cache.dirty_bytes");
+    m_commit_calls_ = reg->GetCounter("commit.calls");
+    m_commit_batched_writes_ = reg->GetCounter("commit.batched_writes");
+    m_commit_replays_ = reg->GetCounter("commit.replays");
+    m_commit_stable_writes_ = reg->GetCounter("commit.stable_writes");
+  }
 
   Stat GetAttr(const FileHandle& fh, Fattr* attr) override;
   Stat SetAttr(const FileHandle& fh, const Credentials& cred, const Sattr& sattr,
@@ -81,6 +113,11 @@ class CachingFs : public FileSystemApi {
                uint32_t max_entries, std::vector<DirEntry>* entries, bool* eof) override;
   Stat FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) override;
   Stat Commit(const FileHandle& fh) override;
+  uint64_t WriteVerf() const override { return backend_->WriteVerf(); }
+
+  // Close-to-open consistency (see CacheOptions::close_to_open).
+  Stat Open(const FileHandle& fh, const Credentials& cred) override;
+  Stat Close(const FileHandle& fh, const Credentials& cred) override;
 
   // Server-initiated lease callback (paper §3.3: "the server can call
   // back to the client to invalidate entries before the lease expires";
@@ -110,11 +147,22 @@ class CachingFs : public FileSystemApi {
   uint64_t read_aheads_issued() const { return read_aheads_issued_; }
   uint64_t read_ahead_fills() const { return read_ahead_fills_; }
   uint64_t prefetches_issued() const { return prefetches_issued_; }
+  // Write-behind instrumentation.
+  uint64_t dirty_bytes() const { return dirty_bytes_ + unstable_bytes_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t commit_replays() const { return commit_replays_; }
+  uint64_t open_revalidations() const { return open_revalidations_; }
 
  private:
   struct AttrEntry {
     Fattr attr;
     uint64_t expiry_ns = 0;
+    // Provenance for close-to-open revalidation: attributes that came
+    // from a server reply at this exact virtual instant need no second
+    // GETATTR on Open; synthesized (write-behind) ones always do once
+    // the local dirty data is gone.
+    uint64_t fetched_ns = 0;
+    bool from_server = false;
   };
   struct NameEntry {
     FileHandle fh;
@@ -129,6 +177,25 @@ class CachingFs : public FileSystemApi {
     uint64_t mtime_ns = 0;  // Validator.
     util::Bytes content;    // Sequential prefix of the file.
   };
+  // One unstable WRITE in flight (or completed, awaiting the COMMIT
+  // verdict).  Heap-allocated and shared with the completion callback so
+  // a late reply — after a replay round already moved the extent back to
+  // dirty — lands harmlessly in an orphaned object.
+  struct PendingExtent {
+    util::Bytes data;
+    uint64_t seq = 0;  // Issue order; replays must rebuild in this order.
+    bool acked = false;
+    Stat stat = Stat::kOk;
+    uint64_t verf = 0;
+  };
+  // Per-file write-behind state: coalesced dirty extents not yet sent,
+  // and unstable extents sent but not yet known stable.
+  struct WriteState {
+    FileHandle fh;
+    Credentials cred;
+    std::map<uint64_t, util::Bytes> dirty;  // offset -> bytes, disjoint
+    std::map<uint64_t, std::shared_ptr<PendingExtent>> unstable;
+  };
 
   static std::string Key(const FileHandle& fh) { return util::StringOf(fh); }
   uint64_t ExpiryFor(const Fattr& attr) const;
@@ -138,6 +205,27 @@ class CachingFs : public FileSystemApi {
   void EvictDataIfNeeded();
   // Issues async reads past the cached prefix after a sequential fill.
   void MaybeReadAhead(const FileHandle& fh, const Credentials& cred, uint32_t count);
+
+  // --- Write-behind engine ---
+  // Buffers one unstable write locally, synthesizing post-op attributes.
+  Stat BufferWrite(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                   const util::Bytes& data, Fattr* attr);
+  // Inserts into st->dirty, coalescing overlap/adjacency (new data wins).
+  void AddDirtyExtent(WriteState* st, uint64_t offset, const util::Bytes& data);
+  // Sends every dirty extent of the file as WRITE(UNSTABLE); with
+  // allow_async, through the pipelined window.
+  Stat SendDirty(const std::string& key, bool allow_async);
+  // Flushes the file synchronously without committing (read/getattr
+  // barriers: the server must observe buffered bytes first).
+  Stat FlushForRead(const FileHandle& fh);
+  // Flush + COMMIT + verifier check; re-sends until every extent is
+  // confirmed stable under the verifier the COMMIT returned.
+  Stat CommitPipeline(const FileHandle& fh);
+  // Flushes and commits every file with buffered state (backpressure).
+  Stat FlushAllFiles();
+  void DropWriteState(const std::string& key);
+  bool HasBufferedWrites(const std::string& key) const;
+  void PublishDirtyGauge() { m_dirty_bytes_->Set(dirty_bytes_ + unstable_bytes_); }
 
   FileSystemApi* backend_;
   sim::Clock* clock_;
@@ -162,6 +250,20 @@ class CachingFs : public FileSystemApi {
   uint64_t read_aheads_issued_ = 0;
   uint64_t read_ahead_fills_ = 0;
   uint64_t prefetches_issued_ = 0;
+
+  // Write-behind state (all zero / empty unless options_.write_behind).
+  std::map<std::string, WriteState> write_state_;
+  uint64_t write_seq_ = 0;       // Monotonic WRITE issue counter.
+  uint64_t dirty_bytes_ = 0;     // Sum of write_state_[*].dirty sizes.
+  uint64_t unstable_bytes_ = 0;  // Sum of write_state_[*].unstable sizes.
+  uint64_t flushes_ = 0;
+  uint64_t commit_replays_ = 0;
+  uint64_t open_revalidations_ = 0;
+  obs::Counter* m_dirty_bytes_ = nullptr;
+  obs::Counter* m_commit_calls_ = nullptr;
+  obs::Counter* m_commit_batched_writes_ = nullptr;
+  obs::Counter* m_commit_replays_ = nullptr;
+  obs::Counter* m_commit_stable_writes_ = nullptr;
 };
 
 }  // namespace nfs

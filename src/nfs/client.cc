@@ -211,10 +211,12 @@ Stat NfsClient::Write(const FileHandle& fh, const Credentials& cred, uint64_t of
   }
   xdr::Decoder dec(std::move(results));
   auto parsed = Fattr::Decode(&dec);
-  if (!parsed.ok()) {
+  auto verf = dec.GetUint64();
+  if (!parsed.ok() || !verf.ok()) {
     return Stat::kIo;
   }
   *attr = parsed.value();
+  last_write_verf_ = verf.value();
   return Stat::kOk;
 }
 
@@ -355,7 +357,17 @@ Stat NfsClient::Commit(const FileHandle& fh) {
   NFS_CLIENT_ENCODER(enc, Credentials::Anonymous());
   enc.PutOpaque(fh);
   util::Bytes results;
-  return Invoke(kProcCommit, enc.Take(), &results);
+  Stat s = Invoke(kProcCommit, enc.Take(), &results);
+  if (s != Stat::kOk) {
+    return s;
+  }
+  xdr::Decoder dec(std::move(results));
+  auto verf = dec.GetUint64();
+  if (!verf.ok()) {
+    return Stat::kIo;
+  }
+  last_write_verf_ = verf.value();
+  return Stat::kOk;
 }
 
 void NfsClient::ReadAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
@@ -472,6 +484,49 @@ void NfsClient::GetAttrAsync(const FileHandle& fh, AttrCallback done) {
                   return;
                 }
                 done(Stat::kOk, parsed.value());
+              });
+}
+
+void NfsClient::WriteAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                           const util::Bytes& data, bool stable, WriteCallback done) {
+  if (!async_call_) {
+    Fattr attr;
+    Stat s = Write(fh, cred, offset, data, stable, &attr);
+    done(s, attr, last_write_verf_);
+    return;
+  }
+  NFS_CLIENT_ENCODER(enc, cred);
+  enc.PutOpaque(fh);
+  enc.PutUint64(offset);
+  enc.PutBool(stable);
+  enc.PutOpaque(data);
+  ++calls_sent_;
+  ++async_calls_sent_;
+  async_call_(kProcWrite, enc.Take(),
+              [this, done = std::move(done)](util::Result<util::Bytes> reply) {
+                if (!reply.ok()) {
+                  done(Stat::kIo, Fattr{}, 0);
+                  return;
+                }
+                xdr::Decoder dec(std::move(reply).value());
+                auto raw = dec.GetUint32();
+                if (!raw.ok()) {
+                  done(Stat::kIo, Fattr{}, 0);
+                  return;
+                }
+                Stat s = DecodeStat(raw.value());
+                if (s != Stat::kOk) {
+                  done(s, Fattr{}, 0);
+                  return;
+                }
+                auto parsed = Fattr::Decode(&dec);
+                auto verf = dec.GetUint64();
+                if (!parsed.ok() || !verf.ok()) {
+                  done(Stat::kIo, Fattr{}, 0);
+                  return;
+                }
+                last_write_verf_ = verf.value();
+                done(Stat::kOk, parsed.value(), verf.value());
               });
 }
 

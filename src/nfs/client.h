@@ -72,6 +72,9 @@ class NfsClient : public FileSystemApi, public AsyncFileOps {
   Stat FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_bytes) override;
   Stat Commit(const FileHandle& fh) override;
 
+  // The verifier from the most recent successful WRITE or COMMIT reply.
+  uint64_t WriteVerf() const override { return last_write_verf_; }
+
   // Installs the pipelined call path used by the AsyncFileOps methods.
   // Without one, the async methods degrade to the synchronous CallFn and
   // run their callback before returning.
@@ -84,6 +87,8 @@ class NfsClient : public FileSystemApi, public AsyncFileOps {
   void LookupAsync(const FileHandle& dir, const std::string& name, const Credentials& cred,
                    LookupCallback done) override;
   void GetAttrAsync(const FileHandle& fh, AttrCallback done) override;
+  void WriteAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                  const util::Bytes& data, bool stable, WriteCallback done) override;
 
   // Number of calls actually sent (cache-effect instrumentation).
   uint64_t calls_sent() const { return calls_sent_; }
@@ -103,6 +108,7 @@ class NfsClient : public FileSystemApi, public AsyncFileOps {
   HeaderEncoder header_encoder_;
   uint64_t calls_sent_ = 0;
   uint64_t async_calls_sent_ = 0;
+  uint64_t last_write_verf_ = 0;
   util::Status last_transport_error_;
 };
 

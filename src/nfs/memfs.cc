@@ -23,6 +23,24 @@ uint64_t GetU64(const util::Bytes& b, size_t off) {
   return v;
 }
 
+// Inserts [start, end) into an extent map, merging overlapping or
+// adjacent ranges so the map stays small under sequential writes.
+void AddUnstableExtent(std::map<uint64_t, uint64_t>* extents, uint64_t start, uint64_t end) {
+  auto it = extents->upper_bound(start);
+  if (it != extents->begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      it = prev;
+    }
+  }
+  while (it != extents->end() && it->first <= end) {
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    it = extents->erase(it);
+  }
+  (*extents)[start] = end;
+}
+
 }  // namespace
 
 MemFs::MemFs(sim::Clock* clock, sim::Disk* disk, Options options)
@@ -352,8 +370,14 @@ Stat MemFs::Write(const FileHandle& fh, const Credentials& cred, uint64_t offset
   inode->size = std::max(inode->size, offset + data.size());
   disk_->BufferWrite(data.size());
   if (stable) {
+    // The disk model's commit flushes everything buffered for this fs,
+    // so a stable write stabilizes the inode's earlier unstable data too.
     disk_->ChargeCommit();
+    inode->unstable_extents.clear();
+  } else if (!data.empty()) {
+    AddUnstableExtent(&inode->unstable_extents, offset, offset + data.size());
   }
+  ++writes_applied_;
   Touch(inode, /*data_changed=*/true);
   return GetAttr(fh, attr);
 }
@@ -640,10 +664,13 @@ Stat MemFs::FsStat(const FileHandle& fh, uint64_t* total_bytes, uint64_t* used_b
 }
 
 Stat MemFs::Commit(const FileHandle& fh) {
-  if (DecodeHandle(fh) == nullptr) {
+  Inode* inode = DecodeHandle(fh);
+  if (inode == nullptr) {
     return Stat::kStale;
   }
   disk_->ChargeCommit();
+  inode->unstable_extents.clear();
+  ++commits_applied_;
   return Stat::kOk;
 }
 
@@ -665,10 +692,11 @@ Stat MemFs::AddColdFile(const FileHandle& dir, const std::string& name,
   }
   Inode* inode = DecodeHandle(fh);
   inode->uid = uid;
-  // Everything just written becomes "on disk, cold".
+  // Everything just written becomes "on disk, cold" (and stable).
   for (const auto& [block, chunk] : inode->chunks) {
     inode->cold_blocks.insert(block);
   }
+  inode->unstable_extents.clear();
   disk_->DiscardDirty();  // Setup writes are free.
   return Stat::kOk;
 }
@@ -687,6 +715,47 @@ void MemFs::InvalidateHandles(const FileHandle& fh) {
   if (inode != nullptr) {
     ++inode->generation;
   }
+}
+
+void MemFs::SimulateRestart() {
+  for (auto& [id, inode] : inodes_) {
+    for (const auto& [start, end] : inode.unstable_extents) {
+      // Volatile data never reached the platter: readers of this range
+      // now see zeros (holes read as zeros too, so zeroing is exact).
+      for (uint64_t pos = start; pos < end;) {
+        uint64_t block = pos / kBlockSize;
+        uint64_t block_off = pos % kBlockSize;
+        uint64_t n = std::min(kBlockSize - block_off, end - pos);
+        auto chunk = inode.chunks.find(block);
+        if (chunk != inode.chunks.end()) {
+          std::fill(chunk->second.begin() + static_cast<long>(block_off),
+                    chunk->second.begin() + static_cast<long>(block_off + n), 0);
+        }
+        pos += n;
+      }
+    }
+    inode.unstable_extents.clear();
+    // The buffer cache does not survive a reboot.
+    for (const auto& [block, chunk] : inode.chunks) {
+      inode.cold_blocks.insert(block);
+    }
+  }
+  disk_->DiscardDirty();
+  // New boot instance, new verifier (deterministic ratchet — the sim has
+  // no wall clock to mix in, and reproducibility is a feature here).
+  write_verf_ = write_verf_ * 6364136223846793005ull + 1442695040888963407ull;
+  ++restarts_;
+  ++change_counter_;
+}
+
+uint64_t MemFs::unstable_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, inode] : inodes_) {
+    for (const auto& [start, end] : inode.unstable_extents) {
+      total += end - start;
+    }
+  }
+  return total;
 }
 
 }  // namespace nfs

@@ -79,6 +79,18 @@ class MemFs : public FileSystemApi {
   // (used by tests exercising NFS3ERR_STALE).
   void InvalidateHandles(const FileHandle& fh);
 
+  // Simulates a server crash + reboot.  Byte ranges written UNSTABLE and
+  // never committed are zeroed (the honest data loss a client that fails
+  // to replay would read back), every cached block goes cold, pending
+  // disk state is discarded, and the write verifier changes so clients
+  // detect the new boot instance at their next WRITE/COMMIT.
+  void SimulateRestart();
+
+  uint64_t WriteVerf() const override { return write_verf_; }
+  uint64_t restarts() const { return restarts_; }
+  // Bytes currently held only in volatile storage (unstable, uncommitted).
+  uint64_t unstable_bytes() const;
+
   uint64_t fsid() const { return options_.fsid; }
 
   // Change counter bumped on every mutation; cheap cache-coherence probe
@@ -90,6 +102,11 @@ class MemFs : public FileSystemApi {
   // (fault-injection tests compare them against client-side op counts).
   uint64_t creates_applied() const { return creates_applied_; }
   uint64_t removes_applied() const { return removes_applied_; }
+  // WRITE/COMMIT executions (DRC-answered retransmits never reach the
+  // fs, so a lossy run proves exactly-once by comparing these against
+  // the client's issue counts).
+  uint64_t writes_applied() const { return writes_applied_; }
+  uint64_t commits_applied() const { return commits_applied_; }
 
  private:
   struct Inode {
@@ -108,6 +125,11 @@ class MemFs : public FileSystemApi {
     // Regular files: sparse chunk store + cold (on-disk) block set.
     std::map<uint64_t, util::Bytes> chunks;  // block index -> kBlockSize bytes
     std::set<uint64_t> cold_blocks;
+
+    // Byte ranges written UNSTABLE and not yet committed, coalesced:
+    // start -> end (exclusive).  Cleared by COMMIT or a stable write;
+    // zeroed (lost) by SimulateRestart.
+    std::map<uint64_t, uint64_t> unstable_extents;
 
     // Directories: name -> inode id, sorted for stable readdir cookies.
     std::map<std::string, uint64_t> children;
@@ -135,6 +157,11 @@ class MemFs : public FileSystemApi {
   uint64_t change_counter_ = 0;
   uint64_t creates_applied_ = 0;
   uint64_t removes_applied_ = 0;
+  uint64_t writes_applied_ = 0;
+  uint64_t commits_applied_ = 0;
+  // Boot-instance cookie; deterministic seed, ratcheted per restart.
+  uint64_t write_verf_ = 0x7665726631u;  // "verf1"
+  uint64_t restarts_ = 0;
 };
 
 }  // namespace nfs

@@ -126,6 +126,7 @@ util::Result<util::Bytes> NfsProgram::Handle(const Credentials& cred, uint32_t p
       PutStat(&enc, s);
       if (s == Stat::kOk) {
         attr.Encode(&enc);
+        enc.PutUint64(fs_->WriteVerf());  // writeverf3 (RFC 1813 §3.3.7)
       }
       return enc.Take();
     }
@@ -215,7 +216,13 @@ util::Result<util::Bytes> NfsProgram::Handle(const Credentials& cred, uint32_t p
     }
     case kProcCommit: {
       ASSIGN_OR_RETURN(FileHandle fh, dec.GetOpaque());
-      return EncodeStatOnly(fs_->Commit(fh));
+      Stat s = fs_->Commit(fh);
+      xdr::Encoder enc;
+      PutStat(&enc, s);
+      if (s == Stat::kOk) {
+        enc.PutUint64(fs_->WriteVerf());  // writeverf3 (RFC 1813 §3.3.21)
+      }
+      return enc.Take();
     }
     default:
       return util::InvalidArgument("NFS: unknown procedure");

@@ -157,6 +157,14 @@ enum Proc : uint32_t {
 
 const char* ProcName(uint32_t proc);
 
+// NFS3 write verifier (writeverf3, RFC 1813): an opaque boot-instance
+// cookie the server returns on every WRITE and COMMIT reply.  Carried
+// as a trailing uint64 on the wire (both the plain-NFS and SFS
+// dialects).  Clients compare the verifier seen at COMMIT time against
+// the one each unstable WRITE returned; a mismatch means the server
+// restarted in between and the unstable data must be replayed.
+using WriteVerf = uint64_t;
+
 // RPC program numbers used in this tree.
 inline constexpr uint32_t kNfsProgram = 100003;
 

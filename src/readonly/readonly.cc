@@ -245,8 +245,15 @@ void ReplicaServer::CorruptNode(const util::Bytes& hash, size_t byte_index) {
   }
 }
 
-ReadOnlyClient::ReadOnlyClient(sim::Link* link, const sfs::SelfCertifyingPath& expected_path)
-    : link_(link), expected_path_(expected_path) {}
+ReadOnlyClient::ReadOnlyClient(sim::Link* link, const sfs::SelfCertifyingPath& expected_path,
+                               size_t cache_capacity, obs::Registry* registry)
+    : link_(link),
+      expected_path_(expected_path),
+      cache_capacity_(std::max<size_t>(1, cache_capacity)) {
+  obs::Registry* reg = registry != nullptr ? registry : obs::Registry::Default();
+  m_cache_hits_ = reg->GetCounter("readonly.cache.hits");
+  m_cache_evictions_ = reg->GetCounter("readonly.cache.evictions");
+}
 
 util::Status ReadOnlyClient::Connect() {
   xdr::Encoder req;
@@ -282,6 +289,7 @@ util::Status ReadOnlyClient::Connect() {
   root_fh_ = root_hash;
   connected_ = true;
   verified_cache_.clear();
+  lru_.clear();
   return util::OkStatus();
 }
 
@@ -289,9 +297,13 @@ util::Result<const util::Bytes*> ReadOnlyClient::FetchNode(const util::Bytes& ha
   if (!connected_) {
     return util::FailedPrecondition("not connected");
   }
-  auto cached = verified_cache_.find(util::StringOf(hash));
+  std::string key = util::StringOf(hash);
+  auto cached = verified_cache_.find(key);
   if (cached != verified_cache_.end()) {
-    return &cached->second;
+    lru_.splice(lru_.begin(), lru_, cached->second.lru_it);
+    ++cache_hits_;
+    m_cache_hits_->Increment();
+    return &cached->second.blob;
   }
   xdr::Encoder payload;
   payload.PutOpaque(hash);
@@ -313,9 +325,20 @@ util::Result<const util::Bytes*> ReadOnlyClient::FetchNode(const util::Bytes& ha
     return util::SecurityError("node failed hash verification (tampered replica?)");
   }
   ++nodes_fetched_;
-  auto [it, inserted] = verified_cache_.emplace(util::StringOf(hash), std::move(blob));
+  lru_.push_front(key);
+  auto [it, inserted] = verified_cache_.emplace(
+      std::move(key), CachedNode{std::move(blob), lru_.begin()});
   (void)inserted;
-  return &it->second;
+  // Evict from the cold end; capacity >= 1 guarantees the node just
+  // inserted (front of lru_) survives, so the returned pointer stays
+  // valid until the caller's next FetchNode.
+  while (verified_cache_.size() > cache_capacity_) {
+    verified_cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++cache_evictions_;
+    m_cache_evictions_->Increment();
+  }
+  return &it->second.blob;
 }
 
 nfs::Stat ReadOnlyClient::GetAttr(const nfs::FileHandle& fh, nfs::Fattr* attr) {

@@ -17,6 +17,7 @@
 #ifndef SFS_SRC_READONLY_READONLY_H_
 #define SFS_SRC_READONLY_READONLY_H_
 
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,6 +25,7 @@
 
 #include "src/crypto/rabin.h"
 #include "src/nfs/api.h"
+#include "src/obs/metrics.h"
 #include "src/sfs/pathname.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
@@ -34,6 +36,12 @@
 namespace readonly {
 
 inline constexpr uint64_t kChunkSize = 8192;
+
+// Default bound on ReadOnlyClient's verified-node cache.  256 nodes is
+// ~2 MB of 8 KB chunks — enough to hold the hash-tree spine plus the
+// working set of a directory scan, small enough that a pathological
+// walk over a huge image cannot grow client memory without bound.
+inline constexpr size_t kDefaultVerifiedCacheCap = 256;
 
 // A published, signed file system image.
 struct SignedImage {
@@ -107,7 +115,13 @@ class ReplicaServer : public sim::Service {
 // replica can at worst deny service.
 class ReadOnlyClient : public nfs::FileSystemApi {
  public:
-  ReadOnlyClient(sim::Link* link, const sfs::SelfCertifyingPath& expected_path);
+  // `cache_capacity` bounds the verified-node cache (LRU eviction; the
+  // minimum honored is 1 so the node being parsed is never evicted
+  // under itself).  `registry` receives readonly.cache.{hits,evictions};
+  // nullptr selects obs::Registry::Default().
+  ReadOnlyClient(sim::Link* link, const sfs::SelfCertifyingPath& expected_path,
+                 size_t cache_capacity = kDefaultVerifiedCacheCap,
+                 obs::Registry* registry = nullptr);
 
   // Fetches and verifies the signed root record.  Must succeed before
   // file operations.
@@ -172,9 +186,20 @@ class ReadOnlyClient : public nfs::FileSystemApi {
   }
 
   uint64_t nodes_fetched() const { return nodes_fetched_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_evictions() const { return cache_evictions_; }
+  size_t cache_size() const { return verified_cache_.size(); }
 
  private:
-  // Fetches a node by hash, verifies it, caches it.
+  struct CachedNode {
+    util::Bytes blob;
+    std::list<std::string>::iterator lru_it;  // Position in lru_.
+  };
+
+  // Fetches a node by hash, verifies it, caches it (evicting the
+  // least-recently-used node when over capacity).  The returned pointer
+  // is valid until the next FetchNode call: a just-fetched node sits at
+  // the LRU front and is never the eviction victim.
   util::Result<const util::Bytes*> FetchNode(const util::Bytes& hash);
 
   sim::Link* link_;
@@ -182,8 +207,14 @@ class ReadOnlyClient : public nfs::FileSystemApi {
   nfs::FileHandle root_fh_;
   uint64_t version_ = 0;
   bool connected_ = false;
-  std::map<std::string, util::Bytes> verified_cache_;
+  size_t cache_capacity_;
+  std::map<std::string, CachedNode> verified_cache_;
+  std::list<std::string> lru_;  // Front = most recently used.
   uint64_t nodes_fetched_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_evictions_ = 0;
+  obs::Counter* m_cache_hits_;
+  obs::Counter* m_cache_evictions_;
 };
 
 // Read-only protocol message types (continue the sfs::MsgType space).

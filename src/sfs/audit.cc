@@ -97,4 +97,22 @@ uint64_t AuditFhDigestOfNfsArgs(const util::Bytes& args) {
   return obs::AuditDigest(fh.value());
 }
 
+bool AuditNfsWriteIsStable(const util::Bytes& args) {
+  xdr::Decoder dec(args);
+  auto authno = dec.GetUint32();
+  if (!authno.ok()) {
+    return false;
+  }
+  auto fh = dec.GetOpaque();
+  if (!fh.ok()) {
+    return false;
+  }
+  auto offset = dec.GetUint64();
+  if (!offset.ok()) {
+    return false;
+  }
+  auto stable = dec.GetBool();
+  return stable.ok() && stable.value();
+}
+
 }  // namespace sfs

@@ -71,6 +71,17 @@ class ServerAuditor {
 // authno-prefixed opaque); 0 when the args carry no handle.
 uint64_t AuditFhDigestOfNfsArgs(const util::Bytes& args);
 
+// High bit of an audit record's verdict field: set on WRITE records
+// whose arguments requested stable (FILE_SYNC) semantics and on every
+// COMMIT record.  The offline verifier can thus separate durable
+// commitments from write-behind UNSTABLE traffic without a journal
+// layout change; the low 31 bits still carry the status code.
+inline constexpr uint32_t kAuditVerdictStableBit = 0x80000000u;
+
+// True when SFS-dialect NFS WRITE args carry stable=true.  (Args are
+// authno, fh, offset, stable, data — only called for kProcWrite.)
+bool AuditNfsWriteIsStable(const util::Bytes& args);
+
 }  // namespace sfs
 
 #endif  // SFS_SRC_SFS_AUDIT_H_

@@ -195,7 +195,8 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
     // system.  No key negotiation — ReadOnlyClient::Connect verifies the
     // offline signature against the same HostID.
     MountPoint* mp = mount.get();
-    mp->ro_client_ = std::make_unique<readonly::ReadOnlyClient>(mp->link_.get(), path);
+    mp->ro_client_ = std::make_unique<readonly::ReadOnlyClient>(
+        mp->link_.get(), path, readonly::kDefaultVerifiedCacheCap, registry_);
     RETURN_IF_ERROR(mp->ro_client_->Connect());
     mp->root_fh_ = mp->ro_client_->root_fh();
     nfs::CacheOptions cache_options;
@@ -265,6 +266,10 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   cache_options.use_leases = options_.enhanced_caching;
   cache_options.attr_timeout_ns = options_.attr_timeout_ns;
   cache_options.registry = registry_;
+  if (options_.write_behind) {
+    cache_options.write_behind = true;
+    cache_options.close_to_open = true;
+  }
   if (mp->window_ > 1) {
     // Pipelined channel: overlap sequential read misses with read-ahead.
     mp->nfs_client_->set_async_call(

@@ -55,6 +55,11 @@ class SfsClient {
     // `window` concurrent calls over the secure channel (clamped to
     // rpc::kMaxSendWindow) and enable read-ahead in the cache layer.
     uint32_t window = 1;
+    // Write-behind commit pipeline + close-to-open consistency in the
+    // cache layer: unstable writes buffer locally and drain as
+    // WRITE(UNSTABLE) batches + one COMMIT at close (replayed if the
+    // server's write verifier changed).  Off = write-through.
+    bool write_behind = false;
     // Receives the link.* / rpc.client.* metrics and trace events for
     // every mount; nullptr selects obs::Registry::Default().
     obs::Registry* registry = nullptr;

@@ -66,6 +66,7 @@ class HandleCryptFs : public nfs::FileSystemApi {
   nfs::Stat FsStat(const nfs::FileHandle& fh, uint64_t* total_bytes,
                    uint64_t* used_bytes) override;
   nfs::Stat Commit(const nfs::FileHandle& fh) override;
+  uint64_t WriteVerf() const override { return inner_->WriteVerf(); }
 
  private:
   nfs::FileSystemApi* inner_;

@@ -534,12 +534,19 @@ util::Result<util::Bytes> ServerConnection::DispatchRpc(const util::Bytes& rpc_m
   // while the dispatch span is still ambient: the record carries its
   // trace/span ids.
   if (server_->auditor_ != nullptr) {
+    uint32_t verdict = result.ok() ? 0 : static_cast<uint32_t>(result.status().code());
+    // Stable-storage flag: COMMITs and FILE_SYNC WRITEs are durable
+    // commitments; UNSTABLE write-behind traffic stays unflagged.
+    if (is_nfs && (proc.value() == nfs::kProcCommit ||
+                   (proc.value() == nfs::kProcWrite &&
+                    AuditNfsWriteIsStable(args.value())))) {
+      verdict |= kAuditVerdictStableBit;
+    }
     server_->auditor_->Record(
         is_nfs   ? obs::AuditKind::kNfs
         : is_ctl ? obs::AuditKind::kCtl
                  : obs::AuditKind::kOther,
-        id_, wire_seqno, proc.value(),
-        result.ok() ? 0 : static_cast<uint32_t>(result.status().code()),
+        id_, wire_seqno, proc.value(), verdict,
         is_nfs ? AuditFhDigestOfNfsArgs(args.value()) : 0);
   }
 

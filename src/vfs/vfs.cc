@@ -407,6 +407,13 @@ util::Result<OpenFile> Vfs::Open(const UserContext& user, const std::string& pat
     return util::InvalidArgument(path + ": is a directory");
   }
 
+  // Close-to-open consistency hook: a caching mount revalidates here so
+  // this opener sees everything any client's earlier Close published.
+  nfs::Stat os = fs->Open(fh, user.creds);
+  if (os != nfs::Stat::kOk) {
+    return NfsError(os, path);
+  }
+
   // The open-time permission check (the ACCESS RPC pattern of real NFS3
   // clients; served from the access cache on SFS mounts).
   uint32_t want = 0;
@@ -781,7 +788,9 @@ util::Status OpenFile::Close() {
   RETURN_IF_ERROR(FlushWrites());
   if (dirty_) {
     // Flush buffered writes to stable storage on close, NFS3-style.
-    return NfsError(fs_->Commit(fh_), "close/commit");
+    // (The default Close is exactly Commit; a write-behind cache also
+    // drains its dirty extents and replays on a verifier change.)
+    return NfsError(fs_->Close(fh_, creds_), "close/commit");
   }
   return util::OkStatus();
 }

@@ -398,6 +398,51 @@ TEST_F(ServerAuditTest, DispatchedRpcsAreJournaledAndVerify) {
   }
 }
 
+TEST_F(ServerAuditTest, WriteAndCommitRecordsCarryStableFlag) {
+  auto mount = client_->Mount(server_->Path());
+  ASSERT_TRUE(mount.ok());
+  ASSERT_TRUE((*mount)->Authenticate(1000, UserSigner()).ok());
+  Credentials alice = Credentials::User(1000, {1000});
+  FileHandle fh;
+  Fattr attr;
+  nfs::Sattr sattr;
+  sattr.mode = 0644;
+  ASSERT_EQ((*mount)->fs()->Create((*mount)->root_fh(), "flagged", alice, sattr, &fh,
+                                   &attr),
+            Stat::kOk);
+  Bytes data = BytesOf("stable-or-not");
+  ASSERT_EQ((*mount)->fs()->Write(fh, alice, 0, data, /*stable=*/false, &attr), Stat::kOk);
+  ASSERT_EQ((*mount)->fs()->Write(fh, alice, 64, data, /*stable=*/true, &attr), Stat::kOk);
+  ASSERT_EQ((*mount)->fs()->Commit(fh), Stat::kOk);
+
+  AuditVerifyResult result = VerifyJournal();
+  ASSERT_TRUE(result.ok) << result.detail;
+  int stable_writes = 0;
+  int unstable_writes = 0;
+  int commits = 0;
+  for (const AuditRecordInfo& info : result.records) {
+    if (info.record.kind != static_cast<uint32_t>(AuditKind::kNfs)) {
+      continue;
+    }
+    bool flagged = (info.record.verdict & sfs::kAuditVerdictStableBit) != 0;
+    if (info.record.proc == nfs::kProcWrite) {
+      (flagged ? stable_writes : unstable_writes) += 1;
+    } else if (info.record.proc == nfs::kProcCommit) {
+      ++commits;
+      // Every COMMIT is a durable commitment: always flagged.
+      EXPECT_TRUE(flagged);
+    } else {
+      // The flag is reserved for WRITE/COMMIT; the low bits still carry
+      // the status code on every other record.
+      EXPECT_FALSE(flagged) << "proc " << info.record.proc;
+    }
+    EXPECT_EQ(info.record.verdict & ~sfs::kAuditVerdictStableBit, 0u);
+  }
+  EXPECT_EQ(stable_writes, 1);
+  EXPECT_EQ(unstable_writes, 1);
+  EXPECT_EQ(commits, 1);
+}
+
 TEST_F(ServerAuditTest, RecordsCrossLinkToSpansInPerfettoExport) {
   registry_.spans().Enable([this] { return clock_.now_ns(); }, nullptr, 1 << 16);
   auto mount = client_->Mount(server_->Path());

@@ -9,8 +9,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/auth/authserver.h"
+#include "src/nfs/cache.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/rpc.h"
 #include "src/sfs/client.h"
 #include "src/sfs/server.h"
@@ -178,6 +181,181 @@ TEST_F(FaultTest, EveryRequestDuplicatedExecutesExactlyOnce) {
   EXPECT_EQ(server_->drc_hits(), lossy.duplicates());
   EXPECT_EQ(server_->fs()->creates_applied(), 6u);
   EXPECT_EQ(server_->fs()->removes_applied(), 3u);
+}
+
+// --- Write-behind commit pipeline under faults -----------------------------
+
+// Drops the next N server->client responses when armed; used to lose
+// COMMIT replies specifically (armed while nothing else is in flight).
+class DropNextResponsesInterposer : public sim::Interposer {
+ public:
+  util::Result<Bytes> OnResponse(Bytes response) override {
+    if (drop_remaining_ > 0) {
+      --drop_remaining_;
+      ++dropped_;
+      return util::Unavailable("interposer: response dropped");
+    }
+    return response;
+  }
+  void Arm(int n) { drop_remaining_ = n; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  int drop_remaining_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+TEST_F(FaultTest, ServerRestartMidStreamForcesVerifierReplay) {
+  obs::Registry registry;
+  SfsClient::Options co;
+  co.ephemeral_key_bits = kKeyBits;
+  co.write_behind = true;
+  co.registry = &registry;
+  SfsClient client(&clock_, &costs_, [this](const std::string&) { return server_.get(); },
+                   co);
+  auto mount = client.Mount(server_->Path());
+  ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+  nfs::FileSystemApi* fs = (*mount)->fs();
+  const Credentials cred = Credentials::User(0);
+  Fattr attr;
+  FileHandle fh;
+  ASSERT_EQ(fs->Create((*mount)->root_fh(), "wb", cred, nfs::Sattr{}, &fh, &attr), Stat::kOk);
+
+  const Bytes first(8192, 0xa1);
+  const Bytes second(8192, 0xb2);
+  uint64_t writes_before = server_->fs()->writes_applied();
+
+  // Buffer the first extent, then force a read-barrier flush (attribute
+  // miss after an invalidation): the extent reaches the server as
+  // WRITE(UNSTABLE) with no COMMIT behind it — mid-stream.
+  ASSERT_EQ(fs->Write(fh, cred, 0, first, /*stable=*/false, &attr), Stat::kOk);
+  (*mount)->cache()->InvalidateAll();
+  ASSERT_EQ(fs->GetAttr(fh, &attr), Stat::kOk);
+  EXPECT_EQ(server_->fs()->unstable_bytes(), first.size());
+  // The extent is on the wire but not yet durable: the not-yet-committed
+  // gauge still covers it until COMMIT succeeds.
+  EXPECT_EQ((*mount)->cache()->dirty_bytes(), first.size());
+
+  // The server reboots: unstable data is gone (zeroed) and the write
+  // verifier changes.
+  server_->fs()->SimulateRestart();
+  EXPECT_EQ(server_->fs()->restarts(), 1u);
+  EXPECT_EQ(server_->fs()->unstable_bytes(), 0u);
+
+  // Buffer a second extent and commit.  The COMMIT returns the new
+  // boot's verifier, which does not match the first extent's WRITE-time
+  // verifier — the client must replay it and commit again.
+  ASSERT_EQ(fs->Write(fh, cred, 8192, second, /*stable=*/false, &attr), Stat::kOk);
+  ASSERT_EQ(fs->Commit(fh), Stat::kOk);
+  EXPECT_GE((*mount)->cache()->commit_replays(), 1u);
+
+  // No data loss: both extents are committed server-side, and the writes
+  // were first + (second, first-replayed) = 3 total — no spurious replay.
+  EXPECT_EQ(server_->fs()->unstable_bytes(), 0u);
+  EXPECT_EQ((*mount)->cache()->dirty_bytes(), 0u);
+  EXPECT_EQ(server_->fs()->writes_applied() - writes_before, 3u);
+  (*mount)->cache()->InvalidateAll();
+  Bytes out;
+  bool eof = false;
+  ASSERT_EQ(fs->Read(fh, cred, 0, 8192, &out, &eof), Stat::kOk);
+  EXPECT_EQ(out, first);
+  ASSERT_EQ(fs->Read(fh, cred, 8192, 8192, &out, &eof), Stat::kOk);
+  EXPECT_EQ(out, second);
+}
+
+TEST_F(FaultTest, DroppedCommitRepliesRetransmitExactlyOnce) {
+  obs::Registry registry;
+  SfsClient::Options co;
+  co.ephemeral_key_bits = kKeyBits;
+  co.write_behind = true;
+  co.registry = &registry;
+  DropNextResponsesInterposer dropper;
+  SfsClient client(&clock_, &costs_, [this](const std::string&) { return server_.get(); },
+                   co);
+  client.set_interposer(&dropper);
+  auto mount = client.Mount(server_->Path());
+  ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+  nfs::FileSystemApi* fs = (*mount)->fs();
+  const Credentials cred = Credentials::User(0);
+  Fattr attr;
+  FileHandle fh;
+  ASSERT_EQ(fs->Create((*mount)->root_fh(), "cd", cred, nfs::Sattr{}, &fh, &attr), Stat::kOk);
+
+  const Bytes data(8192, 0xc3);
+  ASSERT_EQ(fs->Write(fh, cred, 0, data, /*stable=*/false, &attr), Stat::kOk);
+  // Flush the extent first (read-barrier), so the Commit below sends a
+  // lone COMMIT RPC and the armed drops hit exactly its replies.
+  (*mount)->cache()->InvalidateAll();
+  ASSERT_EQ(fs->GetAttr(fh, &attr), Stat::kOk);
+  EXPECT_EQ(server_->fs()->unstable_bytes(), data.size());
+
+  uint64_t commits_before = server_->fs()->commits_applied();
+  uint64_t retrans_before = (*mount)->link()->retransmissions();
+  dropper.Arm(2);  // Lose the next two COMMIT replies.
+  ASSERT_EQ(fs->Commit(fh), Stat::kOk);
+
+  // Both drops happened; the retransmission timer masked them; the
+  // retransmitted copies were answered from the server's reply cache —
+  // the COMMIT executed exactly once, not three times.
+  EXPECT_EQ(dropper.dropped(), 2u);
+  EXPECT_GE((*mount)->link()->retransmissions() - retrans_before, 2u);
+  EXPECT_GT(server_->drc_hits(), 0u);
+  EXPECT_EQ(server_->fs()->commits_applied() - commits_before, 1u);
+  EXPECT_EQ(server_->fs()->unstable_bytes(), 0u);
+  EXPECT_EQ((*mount)->cache()->commit_replays(), 0u);
+
+  Bytes out;
+  bool eof = false;
+  (*mount)->cache()->InvalidateAll();
+  ASSERT_EQ(fs->Read(fh, cred, 0, 8192, &out, &eof), Stat::kOk);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FaultTest, WriteBehindWorkloadSurvivesSeededLoss) {
+  // A lossy run of buffered writes + commits: every extent the pipeline
+  // sent must execute exactly once at the server (DRC dedupes the
+  // retransmitted copies), and nothing is left unstable.
+  obs::Registry registry;
+  SfsClient::Options co;
+  co.ephemeral_key_bits = kKeyBits;
+  co.write_behind = true;
+  co.registry = &registry;
+  sim::LossyInterposer lossy(/*seed=*/2026, {.drop = 0.10, .duplicate = 0.05});
+  SfsClient client(&clock_, &costs_, [this](const std::string&) { return server_.get(); },
+                   co);
+  client.set_interposer(&lossy);
+  auto mount = client.Mount(server_->Path());
+  ASSERT_TRUE(mount.ok()) << mount.status().ToString();
+  nfs::FileSystemApi* fs = (*mount)->fs();
+  const Credentials cred = Credentials::User(0);
+  Fattr attr;
+  uint64_t writes_before = server_->fs()->writes_applied();
+
+  std::vector<FileHandle> handles;
+  for (int i = 0; i < 24; ++i) {
+    FileHandle fh;
+    std::string name = "wbl-" + std::to_string(i);
+    ASSERT_EQ(fs->Create((*mount)->root_fh(), name, cred, nfs::Sattr{}, &fh, &attr), Stat::kOk);
+    ASSERT_EQ(fs->Write(fh, cred, 0, BytesOf("payload " + name), /*stable=*/false, &attr),
+              Stat::kOk);
+    ASSERT_EQ(fs->Commit(fh), Stat::kOk);
+    handles.push_back(fh);
+  }
+
+  // The seed deterministically injected faults and the stack masked them.
+  EXPECT_GT(lossy.requests_dropped() + lossy.responses_dropped() + lossy.duplicates(), 0u);
+  EXPECT_GT((*mount)->link()->retransmissions() + server_->drc_hits(), 0u);
+  // Exactly-once: server-side WRITE executions match the extents the
+  // pipeline sent (a re-executed retransmit would double-count).
+  EXPECT_EQ(server_->fs()->writes_applied() - writes_before,
+            registry.CounterValue("commit.batched_writes"));
+  EXPECT_EQ(server_->fs()->unstable_bytes(), 0u);
+  for (int i = 0; i < 24; ++i) {
+    Bytes out;
+    bool eof = false;
+    ASSERT_EQ(fs->Read(handles[static_cast<size_t>(i)], cred, 0, 4096, &out, &eof), Stat::kOk);
+    EXPECT_EQ(out, BytesOf("payload wbl-" + std::to_string(i)));
+  }
 }
 
 // --- Plain RPC layer (no cipher): Dispatcher DRC + Client retransmit -------

@@ -163,6 +163,15 @@ class ScriptedAsyncOps : public nfs::AsyncFileOps {
       done(stat, attr);
     });
   }
+  void WriteAsync(const FileHandle& fh, const Credentials& cred, uint64_t offset,
+                  const Bytes& data, bool stable, WriteCallback done) override {
+    ++writes_;
+    pending_.push_back([this, fh, cred, offset, data, stable, done = std::move(done)] {
+      Fattr attr;
+      Stat stat = fs_->Write(fh, cred, offset, data, stable, &attr);
+      done(stat, attr, fs_->WriteVerf());
+    });
+  }
 
   void Deliver() {
     std::vector<std::function<void()>> batch;
@@ -175,6 +184,7 @@ class ScriptedAsyncOps : public nfs::AsyncFileOps {
   uint64_t reads() const { return reads_; }
   uint64_t lookups() const { return lookups_; }
   uint64_t getattrs() const { return getattrs_; }
+  uint64_t writes() const { return writes_; }
 
  private:
   nfs::MemFs* fs_;
@@ -182,6 +192,7 @@ class ScriptedAsyncOps : public nfs::AsyncFileOps {
   uint64_t reads_ = 0;
   uint64_t lookups_ = 0;
   uint64_t getattrs_ = 0;
+  uint64_t writes_ = 0;
 };
 
 class ReadAheadTest : public ::testing::Test {

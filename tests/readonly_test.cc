@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/crypto/prng.h"
+#include "src/obs/metrics.h"
 #include "src/readonly/readonly.h"
 #include "tests/test_keys.h"
 
@@ -195,6 +196,45 @@ TEST_F(ReadOnlyTest, VerifiedNodesAreCached) {
     ASSERT_EQ(client_->Lookup(client_->root_fh(), "README", anon_, &fh, &attr), nfs::Stat::kOk);
   }
   EXPECT_EQ(client_->nodes_fetched(), fetched);
+}
+
+TEST_F(ReadOnlyTest, VerifiedCacheIsBoundedByLru) {
+  // A replica serving a huge image must not let the verified-node cache
+  // grow without bound.  Cap it at two nodes and stream the multi-chunk
+  // file: evictions happen, the cache stays at its cap, and every read
+  // still verifies correctly after re-fetching evicted nodes.
+  obs::Registry registry;
+  ReadOnlyClient small(link_.get(), path_, /*cache_capacity=*/2, &registry);
+  ASSERT_TRUE(small.Connect().ok());
+  nfs::FileHandle fh;
+  nfs::Fattr attr;
+  ASSERT_EQ(small.Lookup(small.root_fh(), "big.bin", anon_, &fh, &attr), nfs::Stat::kOk);
+  Bytes assembled;
+  uint64_t offset = 0;
+  bool eof = false;
+  while (!eof) {
+    Bytes data;
+    ASSERT_EQ(small.Read(fh, anon_, offset, 8192, &data, &eof), nfs::Stat::kOk);
+    util::Append(&assembled, data);
+    offset += data.size();
+  }
+  EXPECT_EQ(assembled, big_content_);
+  EXPECT_LE(small.cache_size(), 2u);
+  EXPECT_GT(small.cache_evictions(), 0u);
+  EXPECT_EQ(registry.CounterValue("readonly.cache.evictions"), small.cache_evictions());
+
+  // Re-reading the start of the file re-fetches evicted chunks and still
+  // verifies; recently used nodes are retained (hits on back-to-back reads).
+  uint64_t fetched_before = small.nodes_fetched();
+  Bytes head;
+  ASSERT_EQ(small.Read(fh, anon_, 0, 100, &head, &eof), nfs::Stat::kOk);
+  EXPECT_GT(small.nodes_fetched(), fetched_before);
+  uint64_t hits_before = small.cache_hits();
+  Bytes again;
+  ASSERT_EQ(small.Read(fh, anon_, 0, 100, &again, &eof), nfs::Stat::kOk);
+  EXPECT_GT(small.cache_hits(), hits_before);
+  EXPECT_EQ(registry.CounterValue("readonly.cache.hits"), small.cache_hits());
+  EXPECT_EQ(head, again);
 }
 
 TEST_F(ReadOnlyTest, IncrementalUpdateSharesUnchangedNodes) {
