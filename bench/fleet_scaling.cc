@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,7 @@
 #include "src/sim/disk.h"
 #include "src/sim/event.h"
 #include "src/sim/network.h"
+#include "src/sim/sampler.h"
 #include "src/xdr/xdr.h"
 
 namespace {
@@ -71,6 +73,8 @@ struct FleetOptions {
   uint32_t ops_per_session = 3;  // data ops after each session's LOOKUP.
   sim::Host::Options host;       // concurrency / queue depth of the server machine.
   bool spans = false;            // collect spans (attribution rows only).
+  bool timeline = true;          // windowed telemetry (obs::Timeline).
+  uint64_t timeline_window_ns = 10'000'000;  // 10 ms virtual.
 };
 
 constexpr uint32_t kFleetFiles = 256;
@@ -131,6 +135,7 @@ class Fleet {
     }
 
     latency_ = registry_.GetHistogram("fleet.op_latency_ns");
+    m_ops_ = registry_.GetCounter("fleet.ops");
     stacks_.reserve(opt_.clients);
     drivers_.resize(opt_.clients);
     for (uint32_t i = 0; i < opt_.clients; ++i) {
@@ -160,6 +165,25 @@ class Fleet {
     }
     total_ops_ = static_cast<uint64_t>(opt_.clients) * opt_.sessions *
                  (1 + opt_.ops_per_session);
+
+    if (opt_.timeline) {
+      // Windowed telemetry over the measured run.  The origin is pinned
+      // here, after server-side setup, so window 0 starts at the first
+      // client operation; the overload rule keys on sheds and on
+      // sustained windowed queue-wait p90 (the sweep's default queue is
+      // unbounded, so queueing delay, not shedding, marks the knee).
+      obs::Timeline::Options topt;
+      topt.window_ns = opt_.timeline_window_ns;
+      timeline_ = std::make_unique<obs::Timeline>(&registry_, topt);
+      timeline_->AddRateTrack("ops", "fleet.ops");
+      timeline_->AddRateTrack("msgs", "link.messages");
+      timeline_->AddGaugeTrack("queue_len", "server.queue_len");
+      timeline_->AddGaugeTrack("in_service", "server.in_service");
+      timeline_->AddGaugeTrack("in_flight", "rpc.client.in_flight");
+      timeline_->AddLatencyTrack("op", "fleet.op_latency_ns");
+      sampler_ = std::make_unique<sim::TimelineSampler>(&clock_, timeline_.get());
+      sampler_->Start();
+    }
   }
 
   // Runs the whole fleet to completion on the shared event loop and
@@ -170,7 +194,11 @@ class Fleet {
       StartSession(&d);
     }
     while (ops_done_ < total_ops_) {
-      if (clock_.events()->empty()) {
+      // Deadlock check: the sampler keeps one recurring edge in the
+      // queue forever, so "no real work left" means only its event
+      // remains.
+      const size_t sampler_events = sampler_ != nullptr ? sampler_->live_events() : 0;
+      if (clock_.events()->size() <= sampler_events) {
         std::fprintf(stderr, "fleet deadlock: %llu/%llu ops done\n",
                      static_cast<unsigned long long>(ops_done_),
                      static_cast<unsigned long long>(total_ops_));
@@ -182,6 +210,17 @@ class Fleet {
   }
 
   uint64_t total_ops() const { return total_ops_; }
+
+  // Closes the trailing window and runs the episode annotator; null
+  // when the row was configured without a timeline.
+  obs::Timeline* FinalizeTimeline() {
+    if (sampler_ != nullptr) {
+      sampler_->Finalize();
+    }
+    return timeline_.get();
+  }
+  obs::Timeline* timeline() { return timeline_.get(); }
+
   uint64_t op_errors() const { return op_errors_; }
   const obs::Histogram* latency() const { return latency_; }
   obs::Registry* registry() { return &registry_; }
@@ -290,6 +329,7 @@ class Fleet {
 
   void OnOpDone(Driver* d, uint64_t t0, bool is_lookup, util::Result<util::Bytes> reply) {
     latency_->Record(clock_.now_ns() - t0);
+    m_ops_->Increment();
     ops_done_++;
     d->in_flight--;
     if (!reply.ok()) {
@@ -344,6 +384,11 @@ class Fleet {
   std::vector<double> zipf_cdf_;
   const nfs::Credentials cred_ = nfs::Credentials::User(1000, {1000});
   obs::Histogram* latency_ = nullptr;
+  obs::Counter* m_ops_ = nullptr;
+  // Declared after clock_: the sampler cancels its pending edge before
+  // the event queue dies.
+  std::unique_ptr<obs::Timeline> timeline_;
+  std::unique_ptr<sim::TimelineSampler> sampler_;
   uint64_t total_ops_ = 0;
   uint64_t ops_done_ = 0;
   uint64_t op_errors_ = 0;
@@ -371,10 +416,21 @@ void ReportFleetCounters(benchmark::State& state, Fleet* fleet, uint64_t elapsed
   state.counters["retransmissions"] =
       static_cast<double>(registry->CounterValue("link.retransmissions"));
   state.counters["op_errors"] = static_cast<double>(fleet->op_errors());
+  state.counters["ops"] = static_cast<double>(registry->CounterValue("fleet.ops"));
   state.counters["unmatched_replies"] =
       static_cast<double>(registry->CounterValue("rpc.client.unmatched_replies"));
   // Ledger invariant at fleet scale: categories sum exactly to now_ns.
   state.counters["ledger_ok"] = fleet->LedgerBalanced() ? 1.0 : 0.0;
+}
+
+// Finalizes the fleet's timeline and stages it for the BENCH json
+// "timelines" section under the row's base name (google-benchmark
+// appends /iterations:1/manual_time to the reported run name; the
+// tools match by prefix).
+void RecordFleetTimeline(const std::string& row_name, Fleet* fleet) {
+  if (obs::Timeline* timeline = fleet->FinalizeTimeline()) {
+    bench::RecordTimeline(row_name, timeline->ToJson());
+  }
 }
 
 // The knee sweep: client count is the offered load, window the per-
@@ -388,9 +444,39 @@ void BM_FleetScaling_Knee(benchmark::State& state) {
     Fleet fleet(opt);
     const uint64_t elapsed_ns = fleet.Run();
     ReportFleetCounters(state, &fleet, elapsed_ns);
+    RecordFleetTimeline("BM_FleetScaling_Knee/" + std::to_string(opt.clients) +
+                            "/" + std::to_string(opt.window) + "/" +
+                            std::to_string(opt.read_pct),
+                        &fleet);
     state.SetLabel("clients=" + std::to_string(opt.clients) +
                    " window=" + std::to_string(opt.window) +
                    " read%=" + std::to_string(opt.read_pct));
+  }
+}
+
+// A small deterministic knee series for the fleet_smoke gate: window=1
+// clients sweep against the serial server, so the first rows are
+// clearly below saturation (queue-wait ~ one service time) and the
+// last is deep past it.  tools/fleet_smoke.py measures the knee from
+// ops_per_sec and asserts the timeline annotator agrees: zero overload
+// episodes strictly before the knee, at least one in the saturated
+// tail row.
+void BM_FleetKnee_Smoke(benchmark::State& state) {
+  FleetOptions opt;
+  opt.clients = static_cast<uint32_t>(state.range(0));
+  opt.window = 8;
+  opt.read_pct = 50;
+  // These rows finish in single-digit virtual milliseconds; 2 ms
+  // windows give the annotator several windows per row.
+  opt.timeline_window_ns = 2'000'000;
+  for (auto _ : state) {
+    Fleet fleet(opt);
+    const uint64_t elapsed_ns = fleet.Run();
+    ReportFleetCounters(state, &fleet, elapsed_ns);
+    RecordFleetTimeline("BM_FleetKnee_Smoke/" + std::to_string(opt.clients),
+                        &fleet);
+    state.SetLabel("clients=" + std::to_string(opt.clients) +
+                   " window=8 knee series");
   }
 }
 
@@ -399,6 +485,11 @@ void BM_FleetScaling_Knee(benchmark::State& state) {
 // ledger's category split over the run (virtual time is single-
 // threaded, so the ledger IS the critical path), and the span tree's
 // per-layer aggregation (server queue wait and handler service).
+// Destination for the merged Perfetto trace (spans + timeline counter
+// tracks + episode slices) written by BM_FleetKnee_Attribution; set by
+// the --timeline_trace=<path> flag in main.
+std::string g_timeline_trace_path;
+
 void BM_FleetKnee_Attribution(benchmark::State& state) {
   FleetOptions opt;
   opt.clients = 1024;
@@ -419,7 +510,16 @@ void BM_FleetKnee_Attribution(benchmark::State& state) {
                        obs::TimeCategoryName(static_cast<obs::TimeCategory>(i))] = frac;
       }
     }
+    obs::Timeline* timeline = fleet.FinalizeTimeline();
+    if (timeline != nullptr) {
+      bench::RecordTimeline("BM_FleetKnee_Attribution", timeline->ToJson());
+    }
     std::vector<obs::Span> spans = fleet.registry()->spans().TakeFinished();
+    if (!g_timeline_trace_path.empty()) {
+      if (obs::WriteChromeTrace(g_timeline_trace_path, spans, timeline)) {
+        std::fprintf(stderr, "wrote %s\n", g_timeline_trace_path.c_str());
+      }
+    }
     for (const char* layer : {"sim.host", "server"}) {
       for (const obs::CriticalPathRow& row : obs::CriticalPathByName(spans, layer)) {
         state.counters["span." + row.name + ".total_ms"] =
@@ -444,6 +544,7 @@ void BM_FleetSmoke_Open(benchmark::State& state) {
     Fleet fleet(opt);
     const uint64_t elapsed_ns = fleet.Run();
     ReportFleetCounters(state, &fleet, elapsed_ns);
+    RecordFleetTimeline("BM_FleetSmoke_Open", &fleet);
     state.SetLabel("clients=32 window=8 unbounded queue");
   }
 }
@@ -458,6 +559,7 @@ void BM_FleetSmoke_BoundedQueue(benchmark::State& state) {
     Fleet fleet(opt);
     const uint64_t elapsed_ns = fleet.Run();
     ReportFleetCounters(state, &fleet, elapsed_ns);
+    RecordFleetTimeline("BM_FleetSmoke_BoundedQueue", &fleet);
     state.SetLabel("clients=48 window=8 queue_depth=16");
   }
 }
@@ -475,10 +577,37 @@ BENCHMARK(BM_FleetKnee_Attribution)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+BENCHMARK(BM_FleetKnee_Smoke)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 BENCHMARK(BM_FleetSmoke_Open)->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(BM_FleetSmoke_BoundedQueue)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-SFS_BENCH_JSON_MAIN("fleet_scaling")
+// Custom main: strips --timeline_trace=<path> (the merged Perfetto
+// trace destination used by CI) before delegating to the shared
+// BENCH-json main.
+int main(int argc, char** argv) {
+  std::vector<char*> pass;
+  pass.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kTraceFlag[] = "--timeline_trace=";
+    if (std::strncmp(argv[i], kTraceFlag, sizeof(kTraceFlag) - 1) == 0) {
+      g_timeline_trace_path = argv[i] + sizeof(kTraceFlag) - 1;
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  return bench::BenchJsonMain(static_cast<int>(pass.size()), pass.data(),
+                              "fleet_scaling");
+}

@@ -3,25 +3,33 @@
 // as JSON — per-procedure latency histograms, byte counters, and the
 // link/crypto/disk/CPU time split (docs/OBSERVABILITY.md).
 //
-// Usage: obs_report [--text]
-//   --text   human-readable SnapshotText() instead of JSON.
+// Usage: obs_report [--text] [--timeline]
+//   --text      human-readable SnapshotText() instead of JSON, with a
+//               gauge section and a trace-ring footer.
+//   --timeline  append the windowed telemetry timeline (virtual-time
+//               tracks + episode annotations) for each configuration;
+//               implies the text rendering for the timeline itself.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "bench/obs_report.h"
 
 int main(int argc, char** argv) {
   bool text = false;
+  bool timeline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--text") == 0) {
       text = true;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      timeline = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--text]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--text] [--timeline]\n", argv[0]);
       return 2;
     }
   }
 
-  if (!text) {
+  if (!text && !timeline) {
     bench::BenchReport report("obs_report");
     std::fputs(bench::ObsReportJson(&report).c_str(), stdout);
     report.WriteTo();
@@ -29,8 +37,17 @@ int main(int argc, char** argv) {
   }
   for (bench::Config config :
        {bench::Config::kNfsUdp, bench::Config::kSfs, bench::Config::kSfsNoCrypt}) {
-    std::printf("=== %s ===\n%s\n", bench::ConfigName(config),
-                bench::RunObsWorkload(config, /*text=*/true).c_str());
+    std::string timeline_text;
+    std::string snapshot =
+        bench::RunObsWorkload(config, text, /*elapsed_virtual_ns=*/nullptr,
+                              timeline ? &timeline_text : nullptr);
+    if (text) {
+      std::printf("=== %s ===\n%s\n", bench::ConfigName(config), snapshot.c_str());
+    }
+    if (timeline) {
+      std::printf("=== %s timeline ===\n%s\n", bench::ConfigName(config),
+                  timeline_text.c_str());
+    }
   }
   return 0;
 }

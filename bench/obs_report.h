@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,16 +28,31 @@ namespace bench {
 // `text` swaps the JSON snapshot for the human-readable SnapshotText().
 // `elapsed_virtual_ns`, when non-null, receives the workload's total
 // virtual duration (for the BENCH_obs_report.json rows).
+// `timeline_text`, when non-null, enables the testbed telemetry
+// timeline (100 ms virtual windows) and receives its ToText rendering
+// (obs_report --timeline).  Text mode attaches a small registry-backed
+// trace ring so the footer can report overwrite pressure
+// (trace.ring.dropped) alongside the gauges.
 inline std::string RunObsWorkload(Config config, bool text = false,
-                                  uint64_t* elapsed_virtual_ns = nullptr) {
+                                  uint64_t* elapsed_virtual_ns = nullptr,
+                                  std::string* timeline_text = nullptr) {
   Testbed tb(config);
   std::string dir = tb.WorkDir();
+  if (timeline_text != nullptr) {
+    tb.EnableTimeline(100'000'000);
+  }
+  std::unique_ptr<obs::RingBufferSink> ring;
+  if (text) {
+    ring = std::make_unique<obs::RingBufferSink>(256, tb.registry());
+    tb.registry()->tracer().AddSink(ring.get());
+  }
   const uint64_t workload_start_ns = tb.clock()->now_ns();
 
   // Write phase: CREATE + WRITE (+ the LOOKUPs of path resolution).
   const util::Bytes content = Content(32 * 1024, /*seed=*/99);
   for (int i = 0; i < 8; ++i) {
     WriteFile(&tb, dir + "/f" + std::to_string(i), content);
+    tb.PollTimeline();
   }
 
   // Cold-cache read phase: LOOKUP + GETATTR + READ against the server.
@@ -45,6 +61,7 @@ inline std::string RunObsWorkload(Config config, bool text = false,
     std::string path = dir + "/f" + std::to_string(i);
     CheckResult(tb.vfs()->Stat(tb.user(), path), "stat");
     ReadFile(&tb, path);
+    tb.PollTimeline();
   }
   // GETATTR phase: fstat an already-open handle after the attribute
   // lease/timeout expires, so revalidation needs a bare GETATTR (a
@@ -54,14 +71,29 @@ inline std::string RunObsWorkload(Config config, bool text = false,
   for (int i = 0; i < 4; ++i) {
     tb.clock()->Advance(61'000'000'000, obs::TimeCategory::kApp);  // > lease + timeout.
     CheckResult(probe.Stat(), "fstat");
+    tb.PollTimeline();
   }
 
   if (elapsed_virtual_ns != nullptr) {
     *elapsed_virtual_ns = tb.clock()->now_ns() - workload_start_ns;
   }
+  if (timeline_text != nullptr) {
+    *timeline_text = tb.FinalizeTimeline()->ToText();
+  }
   if (text) {
     tb.clock()->ExportTimeCounters(tb.registry());
-    return tb.registry()->SnapshotText();
+    std::string out = tb.registry()->SnapshotText();
+    // Footer: trace-ring pressure.  The counter only counts overwrites,
+    // so a run whose events fit the ring reports 0 dropped.
+    tb.registry()->tracer().RemoveSink(ring.get());
+    char footer[128];
+    std::snprintf(footer, sizeof(footer),
+                  "trace ring: %llu events seen (capacity 256), %llu dropped\n",
+                  static_cast<unsigned long long>(ring->total_events()),
+                  static_cast<unsigned long long>(
+                      tb.registry()->CounterValue("trace.ring.dropped")));
+    out += footer;
+    return out;
   }
   return tb.ObsSnapshotJson();
 }
@@ -125,6 +157,20 @@ class BenchReport {
 
   void Add(BenchRun run) { runs_.push_back(std::move(run)); }
 
+  // Attaches an obs::Timeline::ToJson() blob under `run_name` in the
+  // report's top-level "timelines" section (docs/OBSERVABILITY.md §8).
+  // A second timeline for the same run name replaces the first, so a
+  // re-iterated benchmark keeps its last run's timeline.
+  void AddTimeline(const std::string& run_name, std::string timeline_json) {
+    for (auto& [name, json] : timelines_) {
+      if (name == run_name) {
+        json = std::move(timeline_json);
+        return;
+      }
+    }
+    timelines_.emplace_back(run_name, std::move(timeline_json));
+  }
+
   const std::string& name() const { return name_; }
   bool empty() const { return runs_.empty(); }
 
@@ -174,7 +220,19 @@ class BenchReport {
       }
       out += "}";
     }
-    out += "\n  ]\n}\n";
+    out += "\n  ]";
+    if (!timelines_.empty()) {
+      out += ",\n  \"timelines\": {";
+      bool first_tl = true;
+      for (const auto& [run_name, json] : timelines_) {
+        out += first_tl ? "\n" : ",\n";
+        first_tl = false;
+        // `json` is already a serialized JSON object (Timeline::ToJson).
+        out += "    \"" + BenchJsonEscape(run_name) + "\": " + json;
+      }
+      out += "\n  }";
+    }
+    out += "\n}\n";
     return out;
   }
 
@@ -198,7 +256,22 @@ class BenchReport {
   std::string name_;
   std::string profile_;
   std::vector<BenchRun> runs_;
+  std::vector<std::pair<std::string, std::string>> timelines_;
 };
+
+// Staging area for timelines produced inside google-benchmark run
+// bodies, which have no handle on the BenchReport: a BM function calls
+// RecordTimeline(run_name, timeline.ToJson()) and BenchJsonMain drains
+// the pending set into the report after the run.
+inline std::vector<std::pair<std::string, std::string>>& PendingTimelines() {
+  static std::vector<std::pair<std::string, std::string>> pending;
+  return pending;
+}
+
+inline void RecordTimeline(std::string run_name, std::string timeline_json) {
+  PendingTimelines().emplace_back(std::move(run_name),
+                                  std::move(timeline_json));
+}
 
 inline std::string ObsReportJson(BenchReport* report) {
   std::string out = "{\n";
@@ -288,6 +361,10 @@ inline int BenchJsonMain(int argc, char** argv, const char* bench_name) {
   JsonCaptureReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  for (auto& [run_name, json] : PendingTimelines()) {
+    report.AddTimeline(run_name, std::move(json));
+  }
+  PendingTimelines().clear();
   report.WriteTo(out_dir);
   return 0;
 }

@@ -23,6 +23,8 @@
 #include "bench/obs_report.h"
 #include "bench/testbed.h"
 #include "bench/workloads.h"
+#include "src/obs/timeline.h"
+#include "src/sim/sampler.h"
 
 namespace {
 
@@ -52,12 +54,29 @@ struct SharedFileResult {
   uint64_t wire_messages = 0;
   uint64_t commit_calls = 0;
   uint64_t batched_writes = 0;
+  std::string timeline_json;
 };
 
 SharedFileResult RunSharedFile(bool write_behind) {
   obs::Registry registry;
   sim::Clock clock;
   const sim::CostModel& costs = bench::ActiveCostModel();
+
+  // Telemetry timeline: the scenario runs ~3.6 virtual seconds, so
+  // 100 ms windows give ~36 readings.  The stall rule is armed at the
+  // write-behind backpressure limit — the handoff pattern commits at
+  // every close, so the dirty track must stay bounded and no stall (or
+  // overload) episode may appear; Finalize asserts both.
+  obs::Timeline::Options timeline_options;
+  timeline_options.window_ns = 100'000'000;
+  timeline_options.stall_dirty_bytes_limit = 4 << 20;  // cache.h default.
+  obs::Timeline timeline(&registry, timeline_options);
+  timeline.AddRateTrack("msgs", "link.messages");
+  timeline.AddRateTrack("commits", "commit.calls");
+  timeline.AddGaugeTrack("dirty_bytes", "nfs.cache.dirty_bytes");
+  timeline.AddLatencyTrack("rpc", "rpc.client.queue_wait_ns");
+  sim::TimelineSampler sampler(&clock, &timeline);
+  sampler.Start();
 
   auto authserver = std::make_unique<auth::AuthServer>();
   sfs::SfsServer::Options server_options;
@@ -122,9 +141,14 @@ SharedFileResult RunSharedFile(bool write_behind) {
             "writer open");
         for (size_t c = 0; c < kChunksPerWrite; ++c) {
           bench::Check(file.Pwrite(c * kChunk, chunk), "writer pwrite");
+          // This scenario is pure stop-and-wait (no event pump), so the
+          // sampler's edges are delivered by polling; between the
+          // buffered writes the dirty-bytes gauge is visibly nonzero.
+          sampler.Poll();
         }
         bench::Check(file.Close(), "writer close");  // Flush + COMMIT.
       }
+      sampler.Poll();
       // Close-to-open handoff: every reader opens after the writer's
       // close and must see this round's bytes.
       for (FleetNode& r : readers) {
@@ -138,7 +162,31 @@ SharedFileResult RunSharedFile(bool write_behind) {
           std::abort();
         }
         bench::Check(file.Close(), "reader close");
+        sampler.Poll();
       }
+    }
+  }
+
+  sampler.Finalize();
+  // Close-to-open handoff keeps backpressure invisible: the writer
+  // commits at close, so dirty bytes never pin at the limit and the
+  // serial access pattern never overloads the server.
+  for (const obs::Timeline::Episode& episode : timeline.episodes()) {
+    if (episode.kind == obs::Timeline::EpisodeKind::kOverload ||
+        episode.kind == obs::Timeline::EpisodeKind::kStall) {
+      std::fprintf(stderr, "shared_file: unexpected %s episode [%llu, %llu): %s\n",
+                   obs::Timeline::EpisodeKindName(episode.kind),
+                   static_cast<unsigned long long>(episode.begin_ns),
+                   static_cast<unsigned long long>(episode.end_ns),
+                   episode.cause.c_str());
+      std::abort();
+    }
+  }
+  for (const obs::Timeline::Window& window : timeline.windows()) {
+    if (!window.gauges.empty() && window.gauges[0] > (4 << 20)) {
+      std::fprintf(stderr, "shared_file: dirty bytes %lld above write-behind limit\n",
+                   static_cast<long long>(window.gauges[0]));
+      std::abort();
     }
   }
 
@@ -147,6 +195,7 @@ SharedFileResult RunSharedFile(bool write_behind) {
   result.wire_messages = registry.CounterValue("link.messages");
   result.commit_calls = registry.CounterValue("commit.calls");
   result.batched_writes = registry.CounterValue("commit.batched_writes");
+  result.timeline_json = timeline.ToJson();
   return result;
 }
 
@@ -160,6 +209,8 @@ void BM_SharedFile(benchmark::State& state) {
     state.counters["commit_calls"] = static_cast<double>(result.commit_calls);
     state.counters["batched_writes"] = static_cast<double>(result.batched_writes);
     state.SetLabel(write_behind ? "SFS + write-behind" : "SFS write-through");
+    bench::RecordTimeline("BM_SharedFile/" + std::to_string(state.range(0)),
+                          result.timeline_json);
   }
 }
 

@@ -29,10 +29,12 @@
 #include "src/rpc/rpc.h"
 #include "src/sfs/client.h"
 #include "src/sfs/server.h"
+#include "src/obs/timeline.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/disk.h"
 #include "src/sim/network.h"
+#include "src/sim/sampler.h"
 #include "src/vfs/vfs.h"
 
 namespace bench {
@@ -293,6 +295,50 @@ class Testbed {
         capacity);
   }
 
+  // Turns on windowed telemetry for this testbed: an obs::Timeline with
+  // the standard track set, sampled by a recurring event on the shared
+  // clock.  Call before running a workload; FinalizeTimeline() (or the
+  // testbed's destruction order) closes the trailing window and runs
+  // the episode annotator.  The testbed's workloads advance the clock
+  // in large kApp jumps (lease expiries), so the default window here is
+  // 1 s virtual rather than the Timeline's 10 ms — jumps collapse into
+  // single catch-up windows either way.
+  obs::Timeline* EnableTimeline(uint64_t window_ns = 1'000'000'000) {
+    if (timeline_ != nullptr) {
+      return timeline_.get();
+    }
+    obs::Timeline::Options opts;
+    opts.window_ns = window_ns;
+    timeline_ = std::make_unique<obs::Timeline>(&registry_, opts);
+    timeline_->AddRateTrack("msgs", "link.messages");
+    timeline_->AddGaugeTrack("in_flight", "rpc.client.in_flight");
+    timeline_->AddGaugeTrack("dirty_bytes", "nfs.cache.dirty_bytes");
+    timeline_->AddLatencyTrack("rpc", "rpc.client.queue_wait_ns");
+    sampler_ = std::make_unique<sim::TimelineSampler>(&clock_, timeline_.get());
+    sampler_->Start();
+    return timeline_.get();
+  }
+
+  // Delivers any pending window edge by polling (testbed workloads run
+  // the synchronous stop-and-wait path, which never pumps the event
+  // queue); call between workload phases.
+  void PollTimeline() {
+    if (sampler_ != nullptr) {
+      sampler_->Poll();
+    }
+  }
+
+  // Closes the trailing window and runs the episode annotator; safe to
+  // call repeatedly (later calls no-op).
+  obs::Timeline* FinalizeTimeline() {
+    if (sampler_ != nullptr) {
+      sampler_->Finalize();
+    }
+    return timeline_.get();
+  }
+
+  obs::Timeline* timeline() { return timeline_.get(); }
+
   // Full machine-readable dump: refreshes the time.<category>_ns
   // counters from the clock's ledger, then snapshots every metric.
   std::string ObsSnapshotJson() {
@@ -314,6 +360,10 @@ class Testbed {
   obs::Registry registry_;
   sim::Clock clock_;
   sim::CostModel costs_;
+  // Windowed telemetry (EnableTimeline); declared after the clock so the
+  // sampler can cancel its pending edge before the event queue dies.
+  std::unique_ptr<obs::Timeline> timeline_;
+  std::unique_ptr<sim::TimelineSampler> sampler_;
   std::unique_ptr<vfs::Vfs> vfs_;
   vfs::UserContext user_;
 

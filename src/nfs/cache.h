@@ -77,7 +77,7 @@ class CachingFs : public FileSystemApi {
                     ->spans()) {
     obs::Registry* reg =
         options_.registry != nullptr ? options_.registry : obs::Registry::Default();
-    m_dirty_bytes_ = reg->GetCounter("nfs.cache.dirty_bytes");
+    g_dirty_bytes_ = reg->GetGauge("nfs.cache.dirty_bytes");
     m_commit_calls_ = reg->GetCounter("commit.calls");
     m_commit_batched_writes_ = reg->GetCounter("commit.batched_writes");
     m_commit_replays_ = reg->GetCounter("commit.replays");
@@ -225,7 +225,9 @@ class CachingFs : public FileSystemApi {
   Stat FlushAllFiles();
   void DropWriteState(const std::string& key);
   bool HasBufferedWrites(const std::string& key) const;
-  void PublishDirtyGauge() { m_dirty_bytes_->Set(dirty_bytes_ + unstable_bytes_); }
+  void PublishDirtyGauge() {
+    g_dirty_bytes_->Set(static_cast<int64_t>(dirty_bytes_ + unstable_bytes_));
+  }
 
   FileSystemApi* backend_;
   sim::Clock* clock_;
@@ -259,7 +261,7 @@ class CachingFs : public FileSystemApi {
   uint64_t flushes_ = 0;
   uint64_t commit_replays_ = 0;
   uint64_t open_revalidations_ = 0;
-  obs::Counter* m_dirty_bytes_ = nullptr;
+  obs::Gauge* g_dirty_bytes_ = nullptr;  // First-class gauge: rises and falls.
   obs::Counter* m_commit_calls_ = nullptr;
   obs::Counter* m_commit_batched_writes_ = nullptr;
   obs::Counter* m_commit_replays_ = nullptr;

@@ -52,8 +52,12 @@ double Histogram::MeanNs() const {
   return n == 0 ? 0.0 : static_cast<double>(sum_ns()) / static_cast<double>(n);
 }
 
-uint64_t Histogram::ApproxPercentileNs(double p) const {
-  uint64_t n = count();
+namespace {
+
+// Shared percentile estimator over a plain bucket array; both Histogram
+// and HistogramSnapshot delegate here so live and windowed percentiles
+// use the identical interpolation.
+uint64_t PercentileFromBuckets(const uint64_t* buckets, uint64_t n, double p) {
   if (n == 0) {
     return 0;
   }
@@ -66,8 +70,8 @@ uint64_t Histogram::ApproxPercentileNs(double p) const {
   // Rank of the percentile sample, 1-based.
   uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n - 1)) + 1;
   uint64_t seen = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    uint64_t in_bucket = bucket(i);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    uint64_t in_bucket = buckets[i];
     seen += in_bucket;
     if (seen < rank) {
       continue;
@@ -76,8 +80,8 @@ uint64_t Histogram::ApproxPercentileNs(double p) const {
     // rank among this bucket's counts.  rank == seen (the bucket's last
     // sample) yields the upper bound, matching the old behavior for
     // single-sample buckets.
-    uint64_t lo = i == 0 ? 0 : BucketBoundNs(i - 1);
-    uint64_t hi = BucketBoundNs(i);
+    uint64_t lo = i == 0 ? 0 : Histogram::BucketBoundNs(i - 1);
+    uint64_t hi = Histogram::BucketBoundNs(i);
     if (hi == UINT64_MAX) {
       hi = lo * 2;  // The unbounded bucket has no real upper edge.
     }
@@ -85,7 +89,40 @@ uint64_t Histogram::ApproxPercentileNs(double p) const {
                  static_cast<double>(in_bucket);
     return lo + static_cast<uint64_t>(pos * static_cast<double>(hi - lo));
   }
-  return BucketBoundNs(kNumBuckets - 1);
+  return Histogram::BucketBoundNs(Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+uint64_t Histogram::ApproxPercentileNs(double p) const {
+  return Snapshot().ApproxPercentileNs(p);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = bucket(i);
+  }
+  snap.count = count();
+  snap.sum_ns = sum_ns();
+  return snap;
+}
+
+uint64_t HistogramSnapshot::ApproxPercentileNs(double p) const {
+  return PercentileFromBuckets(buckets, count, p);
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    d.buckets[i] = buckets[i] >= earlier.buckets[i]
+                       ? buckets[i] - earlier.buckets[i]
+                       : 0;
+    d.count += d.buckets[i];
+  }
+  d.sum_ns = sum_ns >= earlier.sum_ns ? sum_ns - earlier.sum_ns : 0;
+  return d;
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
@@ -93,6 +130,15 @@ Counter* Registry::GetCounter(const std::string& name) {
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
   }
   return slot.get();
 }
@@ -110,6 +156,12 @@ uint64_t Registry::CounterValue(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
+}
+
+int64_t Registry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
 }
 
 const Histogram* Registry::FindHistogram(const std::string& name) const {
@@ -164,6 +216,14 @@ std::string Registry::SnapshotJson() const {
     out << ": " << counter->value();
     first = false;
   }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(&out, name);
+    out << ": " << gauge->value();
+    first = false;
+  }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, hist] : histograms_) {
@@ -212,12 +272,19 @@ std::string Registry::SnapshotText() const {
   for (const auto& [name, counter] : counters_) {
     width = std::max(width, name.size());
   }
+  for (const auto& [name, gauge] : gauges_) {
+    width = std::max(width, name.size());
+  }
   for (const auto& [name, hist] : histograms_) {
     width = std::max(width, name.size());
   }
   for (const auto& [name, counter] : counters_) {
     out << std::left << std::setw(static_cast<int>(width)) << name << "  "
         << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << std::left << std::setw(static_cast<int>(width)) << name
+        << "  " << gauge->value() << " (gauge)\n";
   }
   if (!histograms_.empty()) {
     // Percentile table: the distribution shape at a glance, instead of

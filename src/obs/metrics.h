@@ -63,13 +63,51 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// Last-value instrument for quantities that go up *and* down: queue
+// depths, in-flight call counts, dirty buffer bytes.  Unlike Counter,
+// a Gauge is signed and its Set/Add are not monotonic; snapshots report
+// the instantaneous value, never a rate.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Plain-value copy of a Histogram at one instant.  Two snapshots of the
+// same histogram can be diffed (Delta) to get the samples recorded in
+// between — the windowed-percentile path used by obs::Timeline, with no
+// second registry and no reset of the live histogram.
+struct HistogramSnapshot {
+  static constexpr size_t kNumBuckets = 28;
+
+  uint64_t buckets[kNumBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+
+  double MeanNs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+  // Same estimator as Histogram::ApproxPercentileNs, over this
+  // snapshot's buckets.
+  uint64_t ApproxPercentileNs(double p) const;
+  // This snapshot minus an `earlier` snapshot of the same histogram:
+  // exactly the samples recorded between the two.  Saturates at zero
+  // defensively (snapshots of a live histogram are monotone).
+  HistogramSnapshot Delta(const HistogramSnapshot& earlier) const;
+};
+
 // Fixed-bucket latency histogram.  Bucket i counts samples with
 // value <= BucketBoundNs(i); bounds double from 1us, the last bucket is
 // unbounded.  Everything is relaxed atomics: Record never locks or
 // allocates.
 class Histogram {
  public:
-  static constexpr size_t kNumBuckets = 28;
+  static constexpr size_t kNumBuckets = HistogramSnapshot::kNumBuckets;
 
   // Upper bound (inclusive) of bucket i: 1us << i, except the last
   // bucket which absorbs everything larger (~2.2 virtual minutes).
@@ -91,6 +129,14 @@ class Histogram {
   // among that bucket's counts, so a lone sample still reports the
   // bucket's upper bound but dense buckets resolve finer than 2×.
   uint64_t ApproxPercentileNs(double p) const;
+
+  // Consistent-enough copy of the current state (relaxed loads; exact
+  // under the single-threaded simulator).
+  HistogramSnapshot Snapshot() const;
+  // Samples recorded since `earlier` was taken.
+  HistogramSnapshot Delta(const HistogramSnapshot& earlier) const {
+    return Snapshot().Delta(earlier);
+  }
 
   // One-line human-readable summary: count, mean, and the p50/p90/p99
   // estimates — the distribution shape, not the raw bucket counts.
@@ -117,13 +163,16 @@ class Registry {
   // Get-or-create.  The returned pointer is stable for the registry's
   // lifetime; cache it rather than re-resolving per increment.
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   // Read-side lookups; 0 / nullptr when the metric was never created.
   uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
 
-  // Machine-readable dump: {"counters": {...}, "histograms": {...}}.
+  // Machine-readable dump:
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   // Histograms list only their nonzero buckets.
   std::string SnapshotJson() const;
   // Human-readable dump, one metric per line.
@@ -143,6 +192,7 @@ class Registry {
  private:
   mutable std::mutex mu_;  // Guards the maps, not the metric values.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   Tracer tracer_;
   std::unique_ptr<SpanCollector> spans_;

@@ -1,5 +1,7 @@
 #include "src/obs/span.h"
 
+#include "src/obs/timeline.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -358,6 +360,11 @@ std::string Micros(uint64_t ns) {
 }  // namespace
 
 std::string ExportChromeTrace(const std::vector<Span>& spans) {
+  return ExportChromeTrace(spans, nullptr);
+}
+
+std::string ExportChromeTrace(const std::vector<Span>& spans,
+                              const Timeline* timeline) {
   // One Chrome "thread" per layer keeps each layer on its own track.
   std::map<std::string, int> layer_tids;
   for (const Span& span : spans) {
@@ -418,16 +425,81 @@ std::string ExportChromeTrace(const std::vector<Span>& spans) {
     }
     out << "}}";
   }
+
+  if (timeline != nullptr) {
+    // Counter tracks: one "ph":"C" series per timeline track.  Rates and
+    // utilization stamp the window *begin* (the value describes the whole
+    // window); gauges stamp the window *end* (the value is the reading at
+    // that edge).
+    for (const Timeline::Window& w : timeline->windows()) {
+      for (size_t i = 0; i < w.rates.size(); ++i) {
+        out << ",\n  {\"ph\": \"C\", \"pid\": 1, \"name\": ";
+        AppendEscaped(&out, timeline->rate_labels()[i] + "/s");
+        out << ", \"ts\": " << Micros(w.begin_ns)
+            << ", \"args\": {\"value\": " << w.rates[i].per_sec << "}}";
+      }
+      for (size_t i = 0; i < w.gauges.size(); ++i) {
+        out << ",\n  {\"ph\": \"C\", \"pid\": 1, \"name\": ";
+        AppendEscaped(&out, timeline->gauge_labels()[i]);
+        out << ", \"ts\": " << Micros(w.end_ns)
+            << ", \"args\": {\"value\": " << w.gauges[i] << "}}";
+      }
+      for (size_t i = 0; i < w.latency.size(); ++i) {
+        out << ",\n  {\"ph\": \"C\", \"pid\": 1, \"name\": ";
+        AppendEscaped(&out, timeline->latency_labels()[i] + ".p90_us");
+        out << ", \"ts\": " << Micros(w.begin_ns)
+            << ", \"args\": {\"value\": " << Micros(w.latency[i].p90_ns)
+            << "}}";
+      }
+      // Stacked utilization: every nonzero category share in one counter
+      // event, so Perfetto draws the window's time split as one area.
+      out << ",\n  {\"ph\": \"C\", \"pid\": 1, \"name\": \"util\", \"ts\": "
+          << Micros(w.begin_ns) << ", \"args\": {";
+      bool first = true;
+      for (size_t c = 0; c < kTimeCategoryCount; ++c) {
+        if (w.util_ns[c] == 0) {
+          continue;
+        }
+        out << (first ? "" : ", ") << "\""
+            << TimeCategoryName(static_cast<TimeCategory>(c))
+            << "\": " << w.UtilShare(c);
+        first = false;
+      }
+      out << "}}";
+    }
+    // Episode annotations on their own track.
+    const int episode_tid = 1000;
+    out << ",\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << episode_tid
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": "
+           "\"timeline.episodes\"}}";
+    for (const Timeline::Episode& ep : timeline->episodes()) {
+      out << ",\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << episode_tid
+          << ", \"name\": ";
+      AppendEscaped(&out, Timeline::EpisodeKindName(ep.kind));
+      out << ", \"cat\": \"episode\", \"ts\": " << Micros(ep.begin_ns)
+          << ", \"dur\": " << Micros(ep.end_ns - ep.begin_ns)
+          << ", \"args\": {\"windows\": " << ep.window_count
+          << ", \"cause\": ";
+      AppendEscaped(&out, ep.cause);
+      out << "}}";
+    }
+  }
+
   out << "\n]}\n";
   return out.str();
 }
 
 bool WriteChromeTrace(const std::string& path, const std::vector<Span>& spans) {
+  return WriteChromeTrace(path, spans, nullptr);
+}
+
+bool WriteChromeTrace(const std::string& path, const std::vector<Span>& spans,
+                      const Timeline* timeline) {
   std::ofstream file(path, std::ios::out | std::ios::trunc);
   if (!file) {
     return false;
   }
-  file << ExportChromeTrace(spans);
+  file << ExportChromeTrace(spans, timeline);
   return static_cast<bool>(file);
 }
 

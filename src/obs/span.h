@@ -235,8 +235,19 @@ std::string FormatSpanTree(const std::vector<Span>& spans, uint64_t trace_id);
 // chrome://tracing.  Virtual nanoseconds map to microsecond timestamps.
 std::string ExportChromeTrace(const std::vector<Span>& spans);
 
+// As above, plus the timeline's tracks merged in: one Chrome counter
+// ("ph":"C") series per rate/gauge/latency track, a stacked "util"
+// counter with the per-window category shares, and the annotator's
+// episodes as slices on a dedicated "timeline.episodes" track.  A null
+// timeline degenerates to the spans-only export.
+class Timeline;
+std::string ExportChromeTrace(const std::vector<Span>& spans,
+                              const Timeline* timeline);
+
 // Writes ExportChromeTrace(spans) to `path`; false on I/O failure.
 bool WriteChromeTrace(const std::string& path, const std::vector<Span>& spans);
+bool WriteChromeTrace(const std::string& path, const std::vector<Span>& spans,
+                      const Timeline* timeline);
 
 }  // namespace obs
 

@@ -1,0 +1,553 @@
+#include "src/obs/timeline.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+
+namespace obs {
+
+namespace {
+
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+// Compact virtual-time rendering for cause strings and text reports.
+std::string FormatNs(uint64_t ns) {
+  char buf[64];
+  if (ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fus", static_cast<double>(ns) / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* Timeline::EpisodeKindName(EpisodeKind kind) {
+  switch (kind) {
+    case EpisodeKind::kOverload:
+      return "overload";
+    case EpisodeKind::kRetransmitStorm:
+      return "retransmit_storm";
+    case EpisodeKind::kStall:
+      return "backpressure_stall";
+  }
+  return "?";
+}
+
+Timeline::Timeline(Registry* registry, Options options)
+    : registry_(registry), options_(std::move(options)) {}
+
+size_t Timeline::EnsureRateTrack(const std::string& label,
+                                 const std::string& counter) {
+  for (size_t i = 0; i < rate_counters_.size(); ++i) {
+    if (rate_counters_[i] == counter) {
+      return i;
+    }
+  }
+  rate_labels_.push_back(label);
+  rate_counters_.push_back(counter);
+  last_counters_.push_back(started_ ? registry_->CounterValue(counter) : 0);
+  return rate_counters_.size() - 1;
+}
+
+void Timeline::AddRateTrack(const std::string& label,
+                            const std::string& counter) {
+  EnsureRateTrack(label, counter);
+}
+
+void Timeline::AddGaugeTrack(const std::string& label,
+                             const std::string& gauge) {
+  for (const std::string& existing : gauge_names_) {
+    if (existing == gauge) {
+      return;
+    }
+  }
+  gauge_labels_.push_back(label);
+  gauge_names_.push_back(gauge);
+}
+
+void Timeline::AddLatencyTrack(const std::string& label,
+                               const std::string& histogram) {
+  for (const std::string& existing : latency_names_) {
+    if (existing == histogram) {
+      return;
+    }
+  }
+  latency_labels_.push_back(label);
+  latency_names_.push_back(histogram);
+  if (started_) {
+    const Histogram* h = registry_->FindHistogram(histogram);
+    last_hists_.push_back(h != nullptr ? h->Snapshot() : HistogramSnapshot());
+  }
+}
+
+void Timeline::Start(uint64_t now_ns, const uint64_t* category_ns) {
+  if (started_) {
+    return;
+  }
+  // Bind the episode rules to tracks, auto-declaring any the caller did
+  // not add explicitly — the annotator's inputs are always visible in
+  // the exported tracks.
+  if (!options_.overload_shed_counter.empty()) {
+    overload_shed_track_ =
+        EnsureRateTrack("sheds", options_.overload_shed_counter);
+  }
+  if (!options_.storm_retransmit_counter.empty()) {
+    storm_retransmit_track_ =
+        EnsureRateTrack("retransmits", options_.storm_retransmit_counter);
+  }
+  if (!options_.overload_queue_wait_histogram.empty()) {
+    AddLatencyTrack("queue_wait", options_.overload_queue_wait_histogram);
+    for (size_t i = 0; i < latency_names_.size(); ++i) {
+      if (latency_names_[i] == options_.overload_queue_wait_histogram) {
+        overload_queue_wait_track_ = i;
+      }
+    }
+  }
+  if (options_.stall_dirty_bytes_limit > 0 &&
+      !options_.stall_dirty_gauge.empty()) {
+    AddGaugeTrack("dirty_bytes", options_.stall_dirty_gauge);
+    for (size_t i = 0; i < gauge_names_.size(); ++i) {
+      if (gauge_names_[i] == options_.stall_dirty_gauge) {
+        stall_gauge_track_ = i;
+      }
+    }
+  }
+
+  started_ = true;
+  start_ns_ = now_ns;
+  last_edge_ns_ = now_ns;
+  last_counters_.clear();
+  for (const std::string& counter : rate_counters_) {
+    last_counters_.push_back(registry_->CounterValue(counter));
+  }
+  last_hists_.clear();
+  for (const std::string& name : latency_names_) {
+    const Histogram* h = registry_->FindHistogram(name);
+    last_hists_.push_back(h != nullptr ? h->Snapshot() : HistogramSnapshot());
+  }
+  for (size_t c = 0; c < kTimeCategoryCount; ++c) {
+    last_category_ns_[c] = category_ns[c];
+  }
+}
+
+void Timeline::CloseWindow(uint64_t now_ns, const uint64_t* category_ns) {
+  if (!started_ || now_ns <= last_edge_ns_) {
+    return;  // Nothing elapsed — the sampler fired on an idle edge.
+  }
+  Window w;
+  w.begin_ns = last_edge_ns_;
+  w.end_ns = now_ns;
+  const double span_sec = static_cast<double>(w.span_ns()) / 1e9;
+
+  w.rates.resize(rate_counters_.size());
+  for (size_t i = 0; i < rate_counters_.size(); ++i) {
+    uint64_t cur = registry_->CounterValue(rate_counters_[i]);
+    uint64_t delta = cur >= last_counters_[i] ? cur - last_counters_[i] : 0;
+    w.rates[i].delta = delta;
+    w.rates[i].per_sec = static_cast<double>(delta) / span_sec;
+    last_counters_[i] = cur;
+  }
+
+  w.gauges.resize(gauge_names_.size());
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    w.gauges[i] = registry_->GaugeValue(gauge_names_[i]);
+  }
+
+  w.latency.resize(latency_names_.size());
+  for (size_t i = 0; i < latency_names_.size(); ++i) {
+    const Histogram* h = registry_->FindHistogram(latency_names_[i]);
+    HistogramSnapshot cur =
+        h != nullptr ? h->Snapshot() : HistogramSnapshot();
+    HistogramSnapshot d = cur.Delta(last_hists_[i]);
+    w.latency[i].count = d.count;
+    w.latency[i].p50_ns = d.ApproxPercentileNs(0.5);
+    w.latency[i].p90_ns = d.ApproxPercentileNs(0.9);
+    w.latency[i].p99_ns = d.ApproxPercentileNs(0.99);
+    last_hists_[i] = cur;
+  }
+
+  // Ledger diffs.  The clock charges every nanosecond to exactly one
+  // category, so the per-window diffs sum to the window span exactly.
+  for (size_t c = 0; c < kTimeCategoryCount; ++c) {
+    uint64_t cur = category_ns[c];
+    w.util_ns[c] = cur >= last_category_ns_[c] ? cur - last_category_ns_[c] : 0;
+    last_category_ns_[c] = cur;
+  }
+
+  last_edge_ns_ = now_ns;
+  windows_.push_back(std::move(w));
+}
+
+void Timeline::Finalize(uint64_t now_ns, const uint64_t* category_ns) {
+  if (!started_ || finalized_) {
+    return;
+  }
+  CloseWindow(now_ns, category_ns);  // Close the trailing partial window.
+  AnnotateEpisodes();
+  finalized_ = true;
+}
+
+namespace {
+
+// Dominant ledger category across a run of windows, as "name NN%".
+std::string DominantCategory(const std::vector<Timeline::Window>& windows,
+                             size_t first, size_t count) {
+  uint64_t totals[kTimeCategoryCount] = {};
+  uint64_t span = 0;
+  for (size_t i = first; i < first + count; ++i) {
+    span += windows[i].span_ns();
+    for (size_t c = 0; c < kTimeCategoryCount; ++c) {
+      totals[c] += windows[i].util_ns[c];
+    }
+  }
+  size_t best = 0;
+  for (size_t c = 1; c < kTimeCategoryCount; ++c) {
+    if (totals[c] > totals[best]) {
+      best = c;
+    }
+  }
+  if (span == 0) {
+    return "idle";
+  }
+  int pct = static_cast<int>(100.0 * static_cast<double>(totals[best]) /
+                             static_cast<double>(span));
+  std::string out = TimeCategoryName(static_cast<TimeCategory>(best));
+  out += " ";
+  out += std::to_string(pct);
+  out += "%";
+  return out;
+}
+
+}  // namespace
+
+void Timeline::AnnotateEpisodes() {
+  episodes_.clear();
+
+  struct Rule {
+    EpisodeKind kind;
+    size_t min_windows;
+    // Returns whether window w qualifies for this episode kind.
+    std::function<bool(const Window&)> qualifies;
+    // Builds the cause string for a qualifying run [first, first+count).
+    std::function<std::string(size_t, size_t)> cause;
+  };
+
+  const Options& o = options_;
+  std::vector<Rule> rules;
+
+  if (overload_shed_track_ != SIZE_MAX ||
+      overload_queue_wait_track_ != SIZE_MAX) {
+    rules.push_back(Rule{
+        EpisodeKind::kOverload, o.overload_min_windows,
+        [this, &o](const Window& w) {
+          bool sheds = overload_shed_track_ != SIZE_MAX &&
+                       w.rates[overload_shed_track_].delta > 0;
+          bool slow_queue =
+              overload_queue_wait_track_ != SIZE_MAX &&
+              w.latency[overload_queue_wait_track_].count > 0 &&
+              w.latency[overload_queue_wait_track_].p90_ns >=
+                  o.overload_queue_wait_p90_ns;
+          return sheds || slow_queue;
+        },
+        [this](size_t first, size_t count) {
+          uint64_t sheds = 0;
+          uint64_t peak_p90 = 0;
+          for (size_t i = first; i < first + count; ++i) {
+            if (overload_shed_track_ != SIZE_MAX) {
+              sheds += windows_[i].rates[overload_shed_track_].delta;
+            }
+            if (overload_queue_wait_track_ != SIZE_MAX) {
+              peak_p90 = std::max(
+                  peak_p90, windows_[i].latency[overload_queue_wait_track_].p90_ns);
+            }
+          }
+          std::string cause;
+          if (sheds > 0) {
+            cause = "shed " + std::to_string(sheds) + " ops, ";
+          }
+          cause += "queue-wait p90 peak " + FormatNs(peak_p90);
+          cause += "; dominant time: " + DominantCategory(windows_, first, count);
+          return cause;
+        }});
+  }
+
+  if (storm_retransmit_track_ != SIZE_MAX) {
+    rules.push_back(Rule{
+        EpisodeKind::kRetransmitStorm, o.storm_min_windows,
+        [this, &o](const Window& w) {
+          return w.rates[storm_retransmit_track_].per_sec >=
+                 o.storm_min_retransmits_per_sec;
+        },
+        [this](size_t first, size_t count) {
+          uint64_t total = 0;
+          double peak = 0;
+          for (size_t i = first; i < first + count; ++i) {
+            total += windows_[i].rates[storm_retransmit_track_].delta;
+            peak = std::max(peak, windows_[i].rates[storm_retransmit_track_].per_sec);
+          }
+          std::string cause = std::to_string(total) +
+                              " retransmits, peak " + FormatDouble(peak, 1) +
+                              "/s; dominant time: " +
+                              DominantCategory(windows_, first, count);
+          return cause;
+        }});
+  }
+
+  if (stall_gauge_track_ != SIZE_MAX && o.stall_dirty_bytes_limit > 0) {
+    rules.push_back(Rule{
+        EpisodeKind::kStall, o.stall_min_windows,
+        [this, &o](const Window& w) {
+          return w.gauges[stall_gauge_track_] >= o.stall_dirty_bytes_limit;
+        },
+        [this, &o](size_t first, size_t count) {
+          int64_t peak = 0;
+          for (size_t i = first; i < first + count; ++i) {
+            peak = std::max(peak, windows_[i].gauges[stall_gauge_track_]);
+          }
+          std::string cause =
+              "dirty bytes pinned at limit (peak " + std::to_string(peak) +
+              " >= " + std::to_string(o.stall_dirty_bytes_limit) +
+              "); dominant time: " + DominantCategory(windows_, first, count);
+          return cause;
+        }});
+  }
+
+  for (const Rule& rule : rules) {
+    size_t run_start = SIZE_MAX;
+    for (size_t i = 0; i <= windows_.size(); ++i) {
+      bool q = i < windows_.size() && rule.qualifies(windows_[i]);
+      if (q && run_start == SIZE_MAX) {
+        run_start = i;
+      } else if (!q && run_start != SIZE_MAX) {
+        size_t count = i - run_start;
+        if (count >= rule.min_windows) {
+          Episode ep;
+          ep.kind = rule.kind;
+          ep.begin_ns = windows_[run_start].begin_ns;
+          ep.end_ns = windows_[i - 1].end_ns;
+          ep.window_count = count;
+          ep.cause = rule.cause(run_start, count);
+          episodes_.push_back(std::move(ep));
+        }
+        run_start = SIZE_MAX;
+      }
+    }
+  }
+
+  // Stable order for reports: by begin time, then kind.
+  std::sort(episodes_.begin(), episodes_.end(),
+            [](const Episode& a, const Episode& b) {
+              if (a.begin_ns != b.begin_ns) {
+                return a.begin_ns < b.begin_ns;
+              }
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
+std::string Timeline::ToJson() const {
+  std::ostringstream out;
+  out << "{\"window_ns\": " << options_.window_ns
+      << ", \"start_ns\": " << start_ns_ << ", \"end_ns\": " << last_edge_ns_
+      << ",\n \"tracks\": {\"rates\": [";
+  for (size_t i = 0; i < rate_labels_.size(); ++i) {
+    out << (i == 0 ? "" : ", ");
+    out << "{\"label\": ";
+    AppendJsonString(&out, rate_labels_[i]);
+    out << ", \"counter\": ";
+    AppendJsonString(&out, rate_counters_[i]);
+    out << "}";
+  }
+  out << "], \"gauges\": [";
+  for (size_t i = 0; i < gauge_labels_.size(); ++i) {
+    out << (i == 0 ? "" : ", ");
+    out << "{\"label\": ";
+    AppendJsonString(&out, gauge_labels_[i]);
+    out << ", \"gauge\": ";
+    AppendJsonString(&out, gauge_names_[i]);
+    out << "}";
+  }
+  out << "], \"latency\": [";
+  for (size_t i = 0; i < latency_labels_.size(); ++i) {
+    out << (i == 0 ? "" : ", ");
+    out << "{\"label\": ";
+    AppendJsonString(&out, latency_labels_[i]);
+    out << ", \"histogram\": ";
+    AppendJsonString(&out, latency_names_[i]);
+    out << "}";
+  }
+  out << "]},\n \"windows\": [";
+  for (size_t wi = 0; wi < windows_.size(); ++wi) {
+    const Window& w = windows_[wi];
+    out << (wi == 0 ? "\n  " : ",\n  ");
+    out << "{\"begin_ns\": " << w.begin_ns << ", \"end_ns\": " << w.end_ns
+        << ", \"rates\": {";
+    for (size_t i = 0; i < w.rates.size(); ++i) {
+      out << (i == 0 ? "" : ", ");
+      AppendJsonString(&out, rate_labels_[i]);
+      out << ": {\"delta\": " << w.rates[i].delta
+          << ", \"per_sec\": " << FormatDouble(w.rates[i].per_sec, 3) << "}";
+    }
+    out << "}, \"gauges\": {";
+    for (size_t i = 0; i < w.gauges.size(); ++i) {
+      out << (i == 0 ? "" : ", ");
+      AppendJsonString(&out, gauge_labels_[i]);
+      out << ": " << w.gauges[i];
+    }
+    out << "}, \"latency\": {";
+    for (size_t i = 0; i < w.latency.size(); ++i) {
+      out << (i == 0 ? "" : ", ");
+      AppendJsonString(&out, latency_labels_[i]);
+      out << ": {\"count\": " << w.latency[i].count
+          << ", \"p50_ns\": " << w.latency[i].p50_ns
+          << ", \"p90_ns\": " << w.latency[i].p90_ns
+          << ", \"p99_ns\": " << w.latency[i].p99_ns << "}";
+    }
+    out << "}, \"util_ns\": {";
+    bool first = true;
+    for (size_t c = 0; c < kTimeCategoryCount; ++c) {
+      if (w.util_ns[c] == 0) {
+        continue;
+      }
+      out << (first ? "" : ", ");
+      AppendJsonString(&out,
+                       TimeCategoryName(static_cast<TimeCategory>(c)));
+      out << ": " << w.util_ns[c];
+      first = false;
+    }
+    out << "}, \"util\": {";
+    first = true;
+    for (size_t c = 0; c < kTimeCategoryCount; ++c) {
+      if (w.util_ns[c] == 0) {
+        continue;
+      }
+      out << (first ? "" : ", ");
+      AppendJsonString(&out,
+                       TimeCategoryName(static_cast<TimeCategory>(c)));
+      out << ": " << FormatDouble(w.UtilShare(c), 6);
+      first = false;
+    }
+    out << "}}";
+  }
+  out << (windows_.empty() ? "" : "\n ") << "],\n \"episodes\": [";
+  for (size_t i = 0; i < episodes_.size(); ++i) {
+    const Episode& ep = episodes_[i];
+    out << (i == 0 ? "\n  " : ",\n  ");
+    out << "{\"kind\": ";
+    AppendJsonString(&out, EpisodeKindName(ep.kind));
+    out << ", \"begin_ns\": " << ep.begin_ns << ", \"end_ns\": " << ep.end_ns
+        << ", \"windows\": " << ep.window_count << ", \"cause\": ";
+    AppendJsonString(&out, ep.cause);
+    out << "}";
+  }
+  out << (episodes_.empty() ? "" : "\n ") << "]}";
+  return out.str();
+}
+
+std::string Timeline::ToText() const {
+  std::ostringstream out;
+  out << "timeline: window=" << FormatNs(options_.window_ns)
+      << " start=" << FormatNs(start_ns_) << " end=" << FormatNs(last_edge_ns_)
+      << " windows=" << windows_.size() << "\n";
+  if (windows_.empty()) {
+    return out.str();
+  }
+
+  // Header: window edges, one column per track, utilization summary.
+  out << std::left << std::setw(22) << "window";
+  for (const std::string& label : rate_labels_) {
+    out << "  " << std::right << std::setw(13) << (label + "/s");
+  }
+  for (const std::string& label : gauge_labels_) {
+    out << "  " << std::right << std::setw(13) << label;
+  }
+  for (const std::string& label : latency_labels_) {
+    out << "  " << std::right << std::setw(13) << (label + ".p90");
+  }
+  out << "  util\n";
+
+  for (const Window& w : windows_) {
+    std::string edges = "[" + FormatNs(w.begin_ns) + "," + FormatNs(w.end_ns) + ")";
+    out << std::left << std::setw(22) << edges;
+    for (const RateSample& r : w.rates) {
+      out << "  " << std::right << std::setw(13) << FormatDouble(r.per_sec, 1);
+    }
+    for (int64_t g : w.gauges) {
+      out << "  " << std::right << std::setw(13) << g;
+    }
+    for (const LatencySample& l : w.latency) {
+      out << "  " << std::right << std::setw(13)
+          << (l.count == 0 ? std::string("-") : FormatNs(l.p90_ns));
+    }
+    out << "  ";
+    // Nonzero category shares, largest first, at most four.
+    std::vector<size_t> order;
+    for (size_t c = 0; c < kTimeCategoryCount; ++c) {
+      if (w.util_ns[c] > 0) {
+        order.push_back(c);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&w](size_t a, size_t b) {
+      return w.util_ns[a] > w.util_ns[b];
+    });
+    if (order.size() > 4) {
+      order.resize(4);
+    }
+    for (size_t i = 0; i < order.size(); ++i) {
+      size_t c = order[i];
+      out << (i == 0 ? "" : " ")
+          << TimeCategoryName(static_cast<TimeCategory>(c)) << ":"
+          << static_cast<int>(100.0 * w.UtilShare(c) + 0.5) << "%";
+    }
+    out << "\n";
+  }
+
+  out << "episodes: " << episodes_.size() << "\n";
+  for (const Episode& ep : episodes_) {
+    out << "  " << std::left << std::setw(18) << EpisodeKindName(ep.kind)
+        << "[" << FormatNs(ep.begin_ns) << ", " << FormatNs(ep.end_ns) << ")  "
+        << ep.window_count << " windows  " << ep.cause << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs

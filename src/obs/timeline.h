@@ -1,0 +1,190 @@
+// Virtual-time telemetry timeline: windowed metric tracks plus a
+// rule-based episode annotator.
+//
+// End-of-run aggregates (the Registry snapshot) answer "how much"; the
+// Timeline answers "when".  Every window (default 10 ms virtual) it
+// snapshots
+//   - delta-rates of selected counters (ops/sec, wire msgs/sec,
+//     retransmits/sec, sheds/sec),
+//   - gauges sampled at the window edge (admission-queue depth,
+//     executor occupancy, dirty buffer bytes, client in-flight calls),
+//   - per-window latency percentiles via HistogramSnapshot diffs
+//     (windowed p50/p90/p99, not run-cumulative), and
+//   - per-TimeCategory utilization from clock-ledger diffs, shares
+//     summing to exactly the window's span.
+// On top of the tracks, an annotator marks overload, retransmit-storm,
+// and backpressure-stall episodes with begin/end virtual timestamps and
+// a cause summary (docs/OBSERVABILITY.md §8).
+//
+// Layering: like SpanCollector, obs cannot see sim, so the Timeline
+// never schedules anything itself.  A driver — sim::TimelineSampler on
+// a recurring EventQueue event, or a test calling edges by hand —
+// feeds it (now_ns, category ledger) pairs at window boundaries.
+// Windows are contiguous but not necessarily equal-length: when the
+// clock jumps past several edges in one Advance() the sampler event
+// dispatches late and the timeline closes one catch-up window covering
+// the whole gap.
+#ifndef SFS_SRC_OBS_TIMELINE_H_
+#define SFS_SRC_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace obs {
+
+class Timeline {
+ public:
+  struct Options {
+    // Nominal window span; the sampler schedules edges at this period.
+    // Stored here so reports can state the sampling resolution.
+    uint64_t window_ns = 10'000'000;  // 10 ms virtual.
+
+    // -- Episode rules (names resolved lazily; a metric that never
+    // appears simply never triggers).  A rule fires when its predicate
+    // holds for >= min_windows consecutive windows.
+
+    // Overload: shed delta > 0 OR windowed queue-wait p90 above the
+    // threshold.
+    std::string overload_shed_counter = "server.shed";
+    std::string overload_queue_wait_histogram = "server.queue_wait_ns";
+    uint64_t overload_queue_wait_p90_ns = 1'000'000;  // 1 ms virtual.
+    size_t overload_min_windows = 2;
+
+    // Retransmit storm: retransmissions/sec at or above the threshold.
+    std::string storm_retransmit_counter = "link.retransmissions";
+    double storm_min_retransmits_per_sec = 100.0;
+    size_t storm_min_windows = 2;
+
+    // Backpressure stall: a dirty-bytes gauge pinned at/above the
+    // limit.  0 disables the rule.
+    std::string stall_dirty_gauge = "nfs.cache.dirty_bytes";
+    int64_t stall_dirty_bytes_limit = 0;
+    size_t stall_min_windows = 2;
+  };
+
+  // One windowed reading of a rate (counter-delta) track.
+  struct RateSample {
+    uint64_t delta = 0;   // Counter increments inside the window.
+    double per_sec = 0;   // delta scaled by the window's actual span.
+  };
+
+  // One windowed reading of a latency (histogram-diff) track.
+  struct LatencySample {
+    uint64_t count = 0;
+    uint64_t p50_ns = 0;
+    uint64_t p90_ns = 0;
+    uint64_t p99_ns = 0;
+  };
+
+  struct Window {
+    uint64_t begin_ns = 0;
+    uint64_t end_ns = 0;  // Windows are contiguous: next begin == end.
+    std::vector<RateSample> rates;      // Parallel to rate track order.
+    std::vector<int64_t> gauges;        // Value at end_ns, per gauge track.
+    std::vector<LatencySample> latency; // Parallel to latency track order.
+    // Ledger nanoseconds charged to each category inside the window;
+    // sums exactly to end_ns - begin_ns.
+    uint64_t util_ns[kTimeCategoryCount] = {};
+
+    uint64_t span_ns() const { return end_ns - begin_ns; }
+    double UtilShare(size_t category) const {
+      return span_ns() == 0 ? 0.0
+                            : static_cast<double>(util_ns[category]) /
+                                  static_cast<double>(span_ns());
+    }
+  };
+
+  enum class EpisodeKind : uint8_t { kOverload, kRetransmitStorm, kStall };
+  static const char* EpisodeKindName(EpisodeKind kind);
+
+  struct Episode {
+    EpisodeKind kind;
+    uint64_t begin_ns = 0;  // First qualifying window's begin.
+    uint64_t end_ns = 0;    // Last qualifying window's end.
+    size_t window_count = 0;
+    std::string cause;  // Human-readable: trigger + dominant time category.
+  };
+
+  // Two overloads instead of a defaulted Options argument: a default
+  // argument would need Options complete inside its own class.
+  explicit Timeline(Registry* registry) : Timeline(registry, Options()) {}
+  Timeline(Registry* registry, Options options);
+
+  // -- Track declaration.  Call before Start(); tracks added later see
+  // deltas only from the next window on.  Labels are display names;
+  // metric names are resolved against the registry lazily each window,
+  // so a track may be declared before its metric first exists (reads 0).
+  void AddRateTrack(const std::string& label, const std::string& counter);
+  void AddGaugeTrack(const std::string& label, const std::string& gauge);
+  void AddLatencyTrack(const std::string& label, const std::string& histogram);
+
+  // -- Edge feeding (driver-facing).  `category_ns` points at
+  // kTimeCategoryCount totals — the clock ledger at `now_ns`.
+  // Start() pins the origin and baselines; CloseWindow() closes
+  // [last_edge, now_ns) (no-op when now_ns has not advanced);
+  // Finalize() closes the last partial window and runs the annotator.
+  void Start(uint64_t now_ns, const uint64_t* category_ns);
+  void CloseWindow(uint64_t now_ns, const uint64_t* category_ns);
+  void Finalize(uint64_t now_ns, const uint64_t* category_ns);
+
+  bool started() const { return started_; }
+  uint64_t start_ns() const { return start_ns_; }
+  uint64_t window_ns() const { return options_.window_ns; }
+  const Options& options() const { return options_; }
+  const std::vector<Window>& windows() const { return windows_; }
+  const std::vector<Episode>& episodes() const { return episodes_; }
+  const std::vector<std::string>& rate_labels() const { return rate_labels_; }
+  const std::vector<std::string>& gauge_labels() const { return gauge_labels_; }
+  const std::vector<std::string>& latency_labels() const {
+    return latency_labels_;
+  }
+
+  // Machine-readable timeline: {"window_ns", "start_ns", "tracks",
+  // "windows": [...], "episodes": [...]}.  Embedded by BenchReport as
+  // the per-run "timelines" section (docs/OBSERVABILITY.md §8).
+  std::string ToJson() const;
+  // Aligned-column rendering for obs_report --timeline.
+  std::string ToText() const;
+
+ private:
+  struct EpisodeRule;  // Predicate + bookkeeping for one episode kind.
+
+  // Index of the track bound to `counter`, adding it if missing.
+  size_t EnsureRateTrack(const std::string& label, const std::string& counter);
+  void AnnotateEpisodes();
+
+  Registry* registry_;
+  Options options_;
+
+  std::vector<std::string> rate_labels_;
+  std::vector<std::string> rate_counters_;
+  std::vector<std::string> gauge_labels_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> latency_labels_;
+  std::vector<std::string> latency_names_;
+
+  bool started_ = false;
+  bool finalized_ = false;
+  uint64_t start_ns_ = 0;
+  uint64_t last_edge_ns_ = 0;
+  std::vector<uint64_t> last_counters_;
+  std::vector<HistogramSnapshot> last_hists_;
+  uint64_t last_category_ns_[kTimeCategoryCount] = {};
+
+  // Annotator bindings (indices into the track vectors; SIZE_MAX when
+  // the rule's metric is not tracked).
+  size_t overload_shed_track_ = SIZE_MAX;
+  size_t overload_queue_wait_track_ = SIZE_MAX;
+  size_t storm_retransmit_track_ = SIZE_MAX;
+  size_t stall_gauge_track_ = SIZE_MAX;
+
+  std::vector<Window> windows_;
+  std::vector<Episode> episodes_;
+};
+
+}  // namespace obs
+
+#endif  // SFS_SRC_OBS_TIMELINE_H_

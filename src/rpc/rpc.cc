@@ -232,6 +232,7 @@ Client::Client(Transport* transport, uint32_t prog, obs::Registry* registry,
       m_unmatched_replies_(registry_->GetCounter("rpc.client.unmatched_replies")),
       m_window_occupancy_sum_(registry_->GetCounter("rpc.client.window_occupancy_sum")),
       m_window_samples_(registry_->GetCounter("rpc.client.window_samples")),
+      g_in_flight_(registry_->GetGauge("rpc.client.in_flight")),
       m_queue_wait_(registry_->GetHistogram("rpc.client.queue_wait_ns")) {
   metrics_.Init(registry_, "rpc.client." + prog_name_);
 }
@@ -249,6 +250,8 @@ Client::~Client() {
       }
     }
   }
+  // Calls abandoned in-flight are no longer occupying the window.
+  g_in_flight_->Add(-static_cast<int64_t>(pending_.size()));
 }
 
 void Client::set_window(uint32_t window) {
@@ -575,6 +578,7 @@ void Client::CallAsync(uint32_t proc, const util::Bytes& args, Callback done) {
 
   auto [it, inserted] = pending_.emplace(xid, std::move(call));
   (void)inserted;
+  g_in_flight_->Add(1);
   EmitEvent(obs::TraceEvent::Kind::kClientCall, it->second, it->second.wire.size(), "");
   Transmit(&it->second);
   m_window_occupancy_sum_->Increment(pending_.size());
@@ -764,6 +768,7 @@ void Client::Complete(uint32_t xid, util::Result<util::Bytes> result) {
   }
   PendingCall call = std::move(it->second);
   pending_.erase(it);
+  g_in_flight_->Add(-1);
   if (call.timer_id != 0) {
     // Event-driven mode: the reply beat the retransmission timer; cancel
     // it so it neither fires nor holds the event queue open.

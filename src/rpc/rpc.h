@@ -278,6 +278,9 @@ class Client {
   obs::Counter* m_unmatched_replies_;
   obs::Counter* m_window_occupancy_sum_;
   obs::Counter* m_window_samples_;
+  // In-flight calls across all clients on the registry, for timeline
+  // gauge tracks (client window occupancy over virtual time).
+  obs::Gauge* g_in_flight_;
   obs::Histogram* m_queue_wait_;
   obs::ProcMetricsTable metrics_;
 };

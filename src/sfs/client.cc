@@ -152,6 +152,7 @@ util::Result<SfsClient::MountPoint*> SfsClient::Mount(const SelfCertifyingPath& 
   mount->m_unmatched_replies_ = registry_->GetCounter("rpc.client.unmatched_replies");
   mount->m_window_occupancy_sum_ = registry_->GetCounter("rpc.client.window_occupancy_sum");
   mount->m_window_samples_ = registry_->GetCounter("rpc.client.window_samples");
+  mount->g_in_flight_ = registry_->GetGauge("rpc.client.in_flight");
   mount->m_queue_wait_ = registry_->GetHistogram("rpc.client.queue_wait_ns");
   mount->window_ = std::clamp(options_.window, 1u, rpc::kMaxSendWindow);
   mount->nfs_metrics_.Init(registry_, "rpc.client.NFS3");
@@ -656,6 +657,7 @@ void SfsClient::MountPoint::CallAsync(uint32_t prog, uint32_t proc, const util::
 
   auto [it, inserted] = pending_.emplace(call.wire_seqno, std::move(call));
   (void)inserted;
+  g_in_flight_->Add(1);
   EmitChannelEvent(obs::TraceEvent::Kind::kClientCall, it->second, it->second.wire.size(), "");
   Transmit(&it->second);
   m_window_occupancy_sum_->Increment(pending_.size());
@@ -842,6 +844,7 @@ void SfsClient::MountPoint::CompleteChannelCall(uint32_t wire_seqno,
   }
   PendingChannelCall call = std::move(it->second);
   pending_.erase(it);
+  g_in_flight_->Add(-1);
   for (auto tok = token_to_seqno_.begin(); tok != token_to_seqno_.end();) {
     tok = tok->second == wire_seqno ? token_to_seqno_.erase(tok) : std::next(tok);
   }

@@ -189,6 +189,7 @@ class SfsClient {
     obs::Counter* m_unmatched_replies_ = nullptr;
     obs::Counter* m_window_occupancy_sum_ = nullptr;
     obs::Counter* m_window_samples_ = nullptr;
+    obs::Gauge* g_in_flight_ = nullptr;
     obs::Histogram* m_queue_wait_ = nullptr;
     obs::ProcMetricsTable nfs_metrics_;  // "rpc.client.NFS3"
     obs::ProcMetricsTable ctl_metrics_;  // "rpc.client.SFSCTL"

@@ -14,6 +14,8 @@ Host::Host(Clock* clock, Service* service, obs::Registry* registry, Options opti
   registry_ = registry != nullptr ? registry : obs::Registry::Default();
   m_queue_wait_ = registry_->GetHistogram("server.queue_wait_ns");
   m_shed_ = registry_->GetCounter("server.shed");
+  g_queue_len_ = registry_->GetGauge("server.queue_len");
+  g_in_service_ = registry_->GetGauge("server.in_service");
 }
 
 Host::~Host() {
@@ -32,6 +34,7 @@ void Host::Arrive(util::Bytes request, obs::SpanContext ctx, ResponseFn respond,
   }
   if (queue_.size() < options_.queue_depth) {
     queue_.push_back(std::move(job));
+    g_queue_len_->Add(1);
     return;
   }
   // Overload: the admission queue is full and the request vanishes, like
@@ -46,6 +49,7 @@ void Host::Arrive(util::Bytes request, obs::SpanContext ctx, ResponseFn respond,
 
 void Host::StartService(Job job) {
   ++in_service_;
+  g_in_service_->Add(1);
   const uint64_t wait_ns = clock_->now_ns() - job.arrive_ns;
   m_queue_wait_->Record(wait_ns);
   obs::SpanCollector& spans = registry_->spans();
@@ -104,9 +108,11 @@ void Host::StartService(Job job) {
 
 void Host::FinishService() {
   --in_service_;
+  g_in_service_->Add(-1);
   if (!queue_.empty() && in_service_ < options_.concurrency) {
     Job job = std::move(queue_.front());
     queue_.pop_front();
+    g_queue_len_->Add(-1);
     StartService(std::move(job));
   }
 }

@@ -237,6 +237,10 @@ class Host {
   obs::Registry* registry_;
   obs::Histogram* m_queue_wait_;
   obs::Counter* m_shed_;
+  // Instantaneous admission-queue depth and busy executor slots, for
+  // obs::Timeline gauge tracks (docs/OBSERVABILITY.md §8).
+  obs::Gauge* g_queue_len_;
+  obs::Gauge* g_in_service_;
 };
 
 // A bidirectional link to one service.  Roundtrip() charges virtual time

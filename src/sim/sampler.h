@@ -1,0 +1,124 @@
+// Drives an obs::Timeline from the discrete-event loop.
+//
+// obs:: cannot see sim:: (layering), so the Timeline itself never
+// schedules anything; this sampler owns a recurring EventQueue event
+// that fires every timeline window (default 10 ms virtual) and feeds
+// the timeline the current (now_ns, category-ledger) pair.
+//
+// Two properties worth spelling out:
+//
+//  - Sampler edges never perturb event *timing*.  An edge is a
+//    zero-duration handler scheduled at a timestamp at or before the
+//    next real event, so every completion, delivery and timer still
+//    fires at exactly the virtual time it would have without the
+//    sampler — committed BENCH baselines keep their real_time_s.
+//    What can shift slightly is the ledger *split*: the gap an edge
+//    lands inside is charged in two pieces (the pre-edge piece to
+//    kWait), so at most one event gap per window may read as wait
+//    instead of its own category (docs/OBSERVABILITY.md §8).
+//
+//  - When the clock jumps past several edges in one Advance() (e.g. a
+//    workload's application-CPU phase), the pending edge dispatches
+//    late with no clock advance, and the timeline closes one variable-
+//    length catch-up window covering the whole gap.  Windows therefore
+//    stay contiguous even across jumps.
+#ifndef SFS_SRC_SIM_SAMPLER_H_
+#define SFS_SRC_SIM_SAMPLER_H_
+
+#include "src/obs/timeline.h"
+#include "src/sim/event.h"
+
+namespace sim {
+
+class TimelineSampler {
+ public:
+  // Neither pointer is owned; both must outlive the sampler.
+  TimelineSampler(Clock* clock, obs::Timeline* timeline)
+      : clock_(clock), timeline_(timeline) {}
+  ~TimelineSampler() { Stop(); }
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  // Pins the timeline origin at the current virtual time and schedules
+  // the first window edge.
+  void Start() {
+    if (armed_ || timeline_ == nullptr) {
+      return;
+    }
+    const Clock::CategorySnapshot cats = clock_->categories();
+    timeline_->Start(clock_->now_ns(), cats.ns);
+    armed_ = true;
+    ScheduleNext();
+  }
+
+  // Cancels the pending edge without closing the trailing window.
+  void Stop() {
+    if (pending_ != EventQueue::kInvalidId) {
+      clock_->events()->Cancel(pending_);
+      pending_ = EventQueue::kInvalidId;
+    }
+    armed_ = false;
+  }
+
+  // Closes the final (partial) window at the current virtual time, runs
+  // the episode annotator, and disarms.
+  void Finalize() {
+    Stop();
+    const Clock::CategorySnapshot cats = clock_->categories();
+    timeline_->Finalize(clock_->now_ns(), cats.ns);
+  }
+
+  // Edge delivery for scenarios that never pump the event queue: the
+  // stop-and-wait Link::Roundtrip path handles requests inline and
+  // advances the clock directly, so the recurring edge event would sit
+  // in the queue forever.  Poll() closes the window by hand once the
+  // clock has moved past the pending edge (same catch-up semantics as a
+  // late dispatch) and re-anchors the next edge at now.  Harmless to
+  // call from event-driven scenarios too; a no-op before the edge.
+  void Poll() {
+    if (armed_ && clock_->now_ns() >= next_edge_ns_) {
+      if (pending_ != EventQueue::kInvalidId) {
+        clock_->events()->Cancel(pending_);
+      }
+      OnEdge();
+    }
+  }
+
+  bool armed() const { return armed_; }
+
+  // Number of queue entries that are the sampler's own (0 or 1): lets
+  // run loops distinguish "only the sampler is left" from real pending
+  // work when checking for deadlock.
+  size_t live_events() const {
+    return pending_ != EventQueue::kInvalidId ? 1 : 0;
+  }
+
+ private:
+  void OnEdge() {
+    pending_ = EventQueue::kInvalidId;
+    const Clock::CategorySnapshot cats = clock_->categories();
+    timeline_->CloseWindow(clock_->now_ns(), cats.ns);
+    if (armed_) {
+      ScheduleNext();
+    }
+  }
+
+  void ScheduleNext() {
+    // The bridged gap (if the edge is reached by an actual clock
+    // advance) is idle time by construction — nothing else was
+    // scheduled earlier — so kWait is the honest attribution.
+    next_edge_ns_ = clock_->now_ns() + timeline_->window_ns();
+    pending_ = clock_->events()->Schedule(next_edge_ns_, obs::TimeCategory::kWait,
+                                          [this] { OnEdge(); });
+  }
+
+  Clock* clock_;
+  obs::Timeline* timeline_;
+  EventQueue::EventId pending_ = EventQueue::kInvalidId;
+  uint64_t next_edge_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace sim
+
+#endif  // SFS_SRC_SIM_SAMPLER_H_

@@ -24,6 +24,58 @@ import json
 import sys
 
 
+def validate_timeline(path, name, tl):
+    """Structurally validates one embedded telemetry timeline.
+
+    Checks the invariants the C++ side guarantees by construction
+    (src/obs/timeline.cc): window edges are monotone and contiguous,
+    every utilization share is in [0, 1], and the per-window category
+    nanoseconds sum exactly to the window's span.
+    """
+    where = f"{path}: timelines[{name!r}]"
+    if not isinstance(tl, dict):
+        raise ValueError(f"{where} must be an object")
+    for key in ("window_ns", "start_ns", "end_ns", "tracks", "windows",
+                "episodes"):
+        if key not in tl:
+            raise ValueError(f"{where} missing key {key!r}")
+    windows = tl["windows"]
+    if not isinstance(windows, list):
+        raise ValueError(f"{where}.windows must be a list")
+    prev_end = tl["start_ns"]
+    for i, w in enumerate(windows):
+        if w["begin_ns"] != prev_end:
+            raise ValueError(
+                f"{where}.windows[{i}]: begin {w['begin_ns']} != previous "
+                f"end {prev_end} (windows must be contiguous)")
+        if w["end_ns"] <= w["begin_ns"]:
+            raise ValueError(
+                f"{where}.windows[{i}]: empty or backwards window "
+                f"[{w['begin_ns']}, {w['end_ns']})")
+        prev_end = w["end_ns"]
+        span = w["end_ns"] - w["begin_ns"]
+        util_total = sum(w.get("util_ns", {}).values())
+        if util_total != span:
+            raise ValueError(
+                f"{where}.windows[{i}]: util_ns sums to {util_total}, "
+                f"span is {span}")
+        for cat, share in w.get("util", {}).items():
+            if not 0.0 <= share <= 1.0 + 1e-9:
+                raise ValueError(
+                    f"{where}.windows[{i}]: util share {cat}={share} "
+                    f"outside [0, 1]")
+    if windows and prev_end != tl["end_ns"]:
+        raise ValueError(
+            f"{where}: last window ends at {prev_end}, header says "
+            f"{tl['end_ns']}")
+    for i, ep in enumerate(tl["episodes"]):
+        for key in ("kind", "begin_ns", "end_ns", "windows", "cause"):
+            if key not in ep:
+                raise ValueError(f"{where}.episodes[{i}] missing key {key!r}")
+        if ep["end_ns"] <= ep["begin_ns"]:
+            raise ValueError(f"{where}.episodes[{i}]: empty or backwards")
+
+
 def load(path):
     """Parses and structurally validates one results file."""
     with open(path, "r", encoding="utf-8") as f:
@@ -52,6 +104,14 @@ def load(path):
         if run["name"] in seen:
             raise ValueError(f"{path}: duplicate run name {run['name']!r}")
         seen.add(run["name"])
+    timelines = doc.get("timelines", {})
+    if not isinstance(timelines, dict):
+        raise ValueError(f"{path}: 'timelines' must be an object")
+    for name, tl in timelines.items():
+        # Timeline keys are base run names (no /iterations... suffix).
+        if not any(r == name or r.startswith(name + "/") for r in seen):
+            raise ValueError(f"{path}: timeline {name!r} matches no run")
+        validate_timeline(path, name, tl)
     return doc
 
 
