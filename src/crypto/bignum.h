@@ -5,9 +5,14 @@
 // Miller–Rabin with congruence constraints for Rabin key generation, and
 // enough precision to compute Blowfish's pi-digit tables from scratch.
 //
-// Representation: sign + magnitude, little-endian vector of 32-bit limbs,
+// Representation: sign + magnitude, little-endian vector of 64-bit limbs,
 // normalized (no high zero limbs; zero has an empty limb vector and
-// positive sign).
+// positive sign).  Limb products use `unsigned __int128`, so a 1024-bit
+// operand is 16 limbs instead of the 32 it was at 32-bit width — the
+// schoolbook/CIOS inner loops do a quarter of the word multiplies (see
+// docs/CRYPTO_PERF.md).  A 32-bit *view* of the magnitude (Limbs32 /
+// FromLimbs32) is kept as a shim for the retained 32-bit reference kernel
+// and the differential tests that diff the two limb widths.
 #ifndef SFS_SRC_CRYPTO_BIGNUM_H_
 #define SFS_SRC_CRYPTO_BIGNUM_H_
 
@@ -54,14 +59,23 @@ class BigInt {
 
   // Remainder of the magnitude modulo a small divisor (sign ignored);
   // d > 0.  One pass over the limbs — much cheaper than `% BigInt(d)`.
+  // Native on the 64-bit limbs: each step folds a full limb with one
+  // 128-by-64 division, no 32-bit round-trip.
   uint32_t ModU32(uint32_t d) const;
+  uint64_t ModU64(uint64_t d) const;
 
-  // Read-only view of the little-endian 32-bit limb vector (normalized:
+  // Read-only view of the little-endian 64-bit limb vector (normalized:
   // no high zero limbs; empty for zero).  The Montgomery kernel operates
   // directly on this representation.
-  const std::vector<uint32_t>& limbs() const { return limbs_; }
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
   // Non-negative value from a little-endian limb vector (normalizes).
-  static BigInt FromLimbs(std::vector<uint32_t> limbs);
+  static BigInt FromLimbs(std::vector<uint64_t> limbs);
+
+  // 32-bit view shim: the magnitude as little-endian 32-bit limbs, and
+  // its inverse.  Kept for the retained 32-bit reference kernel
+  // (src/crypto/kernel32.h) and the limb-width differential tests.
+  std::vector<uint32_t> Limbs32() const;
+  static BigInt FromLimbs32(const std::vector<uint32_t>& limbs);
 
   // Comparison of signed values: -1, 0, +1.
   int Compare(const BigInt& other) const;
@@ -116,7 +130,11 @@ class BigInt {
   // Uniform in [0, bound).
   static BigInt RandomBelow(Prng* prng, const BigInt& bound);
 
-  // Miller–Rabin probabilistic primality test.
+  // Miller–Rabin probabilistic primality test.  One witness runs first
+  // as a cheap filter (it kills nearly every sieved composite); the
+  // remaining witnesses — which only survivors ever reach — share one
+  // compiled window schedule of the common exponent d through
+  // MontgomeryCtx::ExpBatch.
   static bool IsProbablePrime(const BigInt& n, Prng* prng, int rounds = 20);
 
   // Random prime with exactly `bits` bits satisfying p % modulus == residue.
@@ -131,7 +149,7 @@ class BigInt {
   // Requires |a| >= |b|.
   static BigInt SubMagnitude(const BigInt& a, const BigInt& b);
 
-  std::vector<uint32_t> limbs_;  // Little-endian.
+  std::vector<uint64_t> limbs_;  // Little-endian.
   bool negative_;
 };
 

@@ -1,0 +1,105 @@
+#include "src/crypto/fixedbase.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crypto {
+
+FixedBaseCtx::FixedBaseCtx(std::shared_ptr<const MontgomeryCtx> ctx,
+                           const BigInt& base, size_t max_exp_bits, bool secret)
+    : ctx_(std::move(ctx)), base_(base), secret_(secret) {
+  assert(ctx_ != nullptr);
+  assert(max_exp_bits > 0);
+
+  // Pick the digit width minimizing the per-exponentiation multiply
+  // count d*(1 - 2^-w) + 2^(w+1): wider digits mean fewer table rows to
+  // fold but more bucket-collapse multiplies.  At 1024 bits this lands
+  // on w = 5 (~270 multiplies); tiny exponents get narrower windows.
+  size_t best_w = 2;
+  double best_cost = 0;
+  for (size_t w = 2; w <= 8; ++w) {
+    const double d = static_cast<double>((max_exp_bits + w - 1) / w);
+    const double cost =
+        d * (1.0 - 1.0 / static_cast<double>(size_t{1} << w)) +
+        static_cast<double>(size_t{1} << (w + 1));
+    if (best_cost == 0 || cost < best_cost) {
+      best_cost = cost;
+      best_w = w;
+    }
+  }
+  window_ = best_w;
+  const size_t d = (max_exp_bits + window_ - 1) / window_;
+  covered_bits_ = d * window_;
+
+  // table_[i] = base^(2^(i*w)): each row is the previous one squared w
+  // times.  One-time cost ~covered_bits_ squarings, amortized over every
+  // later Exp.
+  table_.reserve(d);
+  table_.push_back(ctx_->ToMont(base_));
+  for (size_t i = 1; i < d; ++i) {
+    MontgomeryCtx::Residue row = table_.back();
+    for (size_t s = 0; s < window_; ++s) {
+      row = ctx_->Mul(row, row);
+    }
+    table_.push_back(std::move(row));
+  }
+}
+
+FixedBaseCtx::~FixedBaseCtx() {
+  if (secret_) {
+    // Powers of a password-derived base are key material; scrub them
+    // like the audit log scrubs its batch keys.
+    for (MontgomeryCtx::Residue& row : table_) {
+      std::fill(row.begin(), row.end(), uint64_t{0});
+      row.clear();
+    }
+    table_.clear();
+  }
+}
+
+BigInt FixedBaseCtx::Exp(const BigInt& exp) const {
+  assert(!exp.is_negative());
+  if (exp.is_zero()) {
+    return BigInt(1);  // Matches MontgomeryCtx::ModExp's convention.
+  }
+  if (exp.BitLength() > covered_bits_) {
+    // Wider than the precomputed coverage (never the case for SRP
+    // exponents, which are below the group order): generic kernel.
+    return ctx_->ModExp(base_, exp);
+  }
+
+  // BGMW bucket accumulation.  With digits e_i of exp base 2^w,
+  //   base^exp = prod_i table_[i]^{e_i}
+  //            = prod_{j=max..1} (prod_{i : e_i = j} table_[i])^j,
+  // evaluated by folding each bucket into a running accumulator `acc`
+  // and multiplying `acc` into the result once per digit value j —
+  // each table row multiplied into acc once, acc into result max-digit
+  // times, and no squarings at all.
+  const size_t d = table_.size();
+  std::vector<uint32_t> digits(d, 0);
+  uint32_t max_digit = 0;
+  for (size_t i = 0; i < d; ++i) {
+    uint32_t digit = 0;
+    for (size_t b = 0; b < window_; ++b) {
+      if (exp.Bit(i * window_ + b)) {
+        digit |= uint32_t{1} << b;
+      }
+    }
+    digits[i] = digit;
+    max_digit = std::max(max_digit, digit);
+  }
+
+  MontgomeryCtx::Residue acc = ctx_->One();
+  MontgomeryCtx::Residue result = ctx_->One();
+  for (uint32_t j = max_digit; j >= 1; --j) {
+    for (size_t i = 0; i < d; ++i) {
+      if (digits[i] == j) {
+        acc = ctx_->Mul(acc, table_[i]);
+      }
+    }
+    result = ctx_->Mul(result, acc);
+  }
+  return ctx_->FromMont(result);
+}
+
+}  // namespace crypto

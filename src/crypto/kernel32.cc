@@ -1,0 +1,216 @@
+#include "src/crypto/kernel32.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace crypto {
+namespace ref32 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frozen copies of the 32-bit-limb primitives exactly as they shipped in
+// the pre-64-bit kernel, operating on BigInt's 32-bit view (Limbs32 /
+// FromLimbs32).  Do not "improve" these: their value is that they are a
+// fixed, independent implementation.
+// ---------------------------------------------------------------------------
+
+// out[0..an+bn) += a[0..an) * b[0..bn), schoolbook on 32-bit limbs.
+void MulSchoolbook32(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
+                     uint32_t* out) {
+  for (size_t i = 0; i < an; ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = 0; j < bn; ++j) {
+      uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + bn;
+    while (carry) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+}
+
+// Inverse of an odd x mod 2^32 by Newton–Hensel lifting.
+uint32_t InverseMod32(uint32_t x) {
+  assert(x & 1);
+  uint32_t inv = x;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - x * inv;
+  }
+  return inv;
+}
+
+// The 32-bit CIOS Montgomery context (one modulus, R = 2^(32s)).
+class Montgomery32 {
+ public:
+  using Residue = std::vector<uint32_t>;
+
+  explicit Montgomery32(const BigInt& modulus) : m_(modulus) {
+    assert(m_.is_odd() && !m_.is_negative());
+    n_ = m_.Limbs32();
+    n0inv_ = 0u - InverseMod32(n_[0]);
+    const size_t s = n_.size();
+    BigInt r1 = (BigInt(1) << (32 * s)).Mod(m_);
+    BigInt r2 = (BigInt(1) << (64 * s)).Mod(m_);
+    r1_ = r1.Limbs32();
+    r1_.resize(s, 0);
+    r2_ = r2.Limbs32();
+    r2_.resize(s, 0);
+  }
+
+  Residue ToMont(const BigInt& x) const {
+    const size_t s = n_.size();
+    Residue a = x.Mod(m_).Limbs32();
+    a.resize(s, 0);
+    Residue out(s);
+    std::vector<uint32_t> t(s + 2);
+    Cios(a.data(), r2_.data(), out.data(), t.data());
+    return out;
+  }
+
+  BigInt FromMont(const Residue& a) const {
+    const size_t s = n_.size();
+    Residue one(s, 0);
+    one[0] = 1;
+    Residue out(s);
+    std::vector<uint32_t> t(s + 2);
+    Cios(a.data(), one.data(), out.data(), t.data());
+    return BigInt::FromLimbs32(out);
+  }
+
+  Residue Exp(const Residue& base, const BigInt& exp) const {
+    const size_t s = n_.size();
+    Residue result = r1_;
+    const size_t bits = exp.BitLength();
+    if (bits == 0) {
+      return result;
+    }
+    std::vector<uint32_t> t(s + 2);
+    Residue sq(s);
+    Cios(base.data(), base.data(), sq.data(), t.data());
+    Residue table[8];
+    table[0] = base;
+    for (int k = 1; k < 8; ++k) {
+      table[k].resize(s);
+      Cios(table[k - 1].data(), sq.data(), table[k].data(), t.data());
+    }
+    size_t i = bits;
+    while (i > 0) {
+      if (!exp.Bit(i - 1)) {
+        Cios(result.data(), result.data(), result.data(), t.data());
+        --i;
+        continue;
+      }
+      size_t low = i >= 4 ? i - 4 : 0;
+      while (!exp.Bit(low)) {
+        ++low;
+      }
+      uint32_t w = 0;
+      for (size_t j = i; j-- > low;) {
+        w = (w << 1) | (exp.Bit(j) ? 1u : 0u);
+        Cios(result.data(), result.data(), result.data(), t.data());
+      }
+      Cios(result.data(), table[w >> 1].data(), result.data(), t.data());
+      i = low;
+    }
+    return result;
+  }
+
+ private:
+  void Cios(const uint32_t* a, const uint32_t* b, uint32_t* out,
+            uint32_t* t) const {
+    const size_t s = n_.size();
+    const uint32_t* n = n_.data();
+    std::fill(t, t + s + 2, 0u);
+    for (size_t i = 0; i < s; ++i) {
+      const uint64_t bi = b[i];
+      uint64_t carry = 0;
+      for (size_t j = 0; j < s; ++j) {
+        uint64_t cur = t[j] + a[j] * bi + carry;
+        t[j] = static_cast<uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      uint64_t cur = t[s] + carry;
+      t[s] = static_cast<uint32_t>(cur);
+      t[s + 1] = static_cast<uint32_t>(cur >> 32);
+
+      const uint64_t mi = static_cast<uint32_t>(t[0] * n0inv_);
+      cur = t[0] + mi * n[0];
+      carry = cur >> 32;
+      for (size_t j = 1; j < s; ++j) {
+        cur = t[j] + mi * n[j] + carry;
+        t[j - 1] = static_cast<uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      cur = static_cast<uint64_t>(t[s]) + carry;
+      t[s - 1] = static_cast<uint32_t>(cur);
+      t[s] = t[s + 1] + static_cast<uint32_t>(cur >> 32);
+    }
+
+    bool ge = t[s] != 0;
+    if (!ge) {
+      ge = true;
+      for (size_t j = s; j-- > 0;) {
+        if (t[j] != n[j]) {
+          ge = t[j] > n[j];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      uint64_t borrow = 0;
+      for (size_t j = 0; j < s; ++j) {
+        uint64_t diff = static_cast<uint64_t>(t[j]) - n[j] - borrow;
+        out[j] = static_cast<uint32_t>(diff);
+        borrow = (diff >> 32) & 1;
+      }
+    } else {
+      std::copy(t, t + s, out);
+    }
+  }
+
+  BigInt m_;
+  std::vector<uint32_t> n_;
+  uint32_t n0inv_ = 0;
+  Residue r1_;
+  Residue r2_;
+};
+
+}  // namespace
+
+BigInt Mul32(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) {
+    return BigInt();
+  }
+  std::vector<uint32_t> al = a.Limbs32();
+  std::vector<uint32_t> bl = b.Limbs32();
+  std::vector<uint32_t> out(al.size() + bl.size(), 0);
+  MulSchoolbook32(al.data(), al.size(), bl.data(), bl.size(), out.data());
+  BigInt result = BigInt::FromLimbs32(out);
+  if (a.is_negative() != b.is_negative()) {
+    result = -result;
+  }
+  return result;
+}
+
+BigInt ModExp32(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!exp.is_negative());
+  if (!m.is_odd()) {
+    return BigInt::ModExpNaive(base, exp, m);
+  }
+  if (exp.is_zero()) {
+    return BigInt(1);
+  }
+  Montgomery32 ctx(m);
+  return ctx.FromMont(ctx.Exp(ctx.ToMont(base), exp));
+}
+
+}  // namespace ref32
+}  // namespace crypto

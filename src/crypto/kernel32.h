@@ -1,0 +1,32 @@
+// The retained 32-bit-limb reference kernel.
+//
+// When BigInt moved to 64-bit limbs the previous 32-bit schoolbook
+// multiply and 32-bit CIOS Montgomery exponentiation were kept here,
+// frozen, as the differential oracle: the tests diff every 64-bit hot
+// path (CIOS multiply-reduce, fixed-base exponentiation, batched
+// Miller–Rabin powers) bit-for-bit against these functions, and
+// bench/crypto_prims.cc reports 64-vs-32-limb ModExp side by side so the
+// limb-width win stays measured rather than assumed.
+//
+// This code is deliberately NOT on any production path — it exists so a
+// bug in the 64-bit kernel cannot hide behind itself.
+#ifndef SFS_SRC_CRYPTO_KERNEL32_H_
+#define SFS_SRC_CRYPTO_KERNEL32_H_
+
+#include "src/crypto/bignum.h"
+
+namespace crypto {
+namespace ref32 {
+
+// a * b via 32-bit-limb schoolbook multiplication.
+BigInt Mul32(const BigInt& a, const BigInt& b);
+
+// (base^exp) mod m via the 32-bit CIOS Montgomery kernel (odd m) or the
+// naive square-and-multiply fallback (even m); exp >= 0, m > 0.  Matches
+// BigInt::ModExp bit-for-bit, including exp == 0 -> 1.
+BigInt ModExp32(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+}  // namespace ref32
+}  // namespace crypto
+
+#endif  // SFS_SRC_CRYPTO_KERNEL32_H_

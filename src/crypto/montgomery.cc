@@ -5,12 +5,14 @@
 
 namespace crypto {
 namespace {
+using u128 = unsigned __int128;
 
-// Inverse of an odd x mod 2^32 by Newton–Hensel lifting: inv = x is
-// correct mod 8, and each iteration doubles the number of correct bits.
-uint32_t InverseMod32(uint32_t x) {
+// Inverse of an odd x mod 2^64 by Newton–Hensel lifting: inv = x is
+// correct mod 8 (x * x ≡ 1 mod 8 for odd x), and each iteration doubles
+// the number of correct bits: 3 → 6 → 12 → 24 → 48 → 96 >= 64.
+uint64_t InverseMod64(uint64_t x) {
   assert(x & 1);
-  uint32_t inv = x;
+  uint64_t inv = x;
   for (int i = 0; i < 5; ++i) {
     inv *= 2u - x * inv;
   }
@@ -19,50 +21,60 @@ uint32_t InverseMod32(uint32_t x) {
 
 }  // namespace
 
+ExpSchedule::~ExpSchedule() {
+  if (secret_) {
+    // The schedule is a transcript of the exponent's bits; scrub it like
+    // any other key material (obs::AuditLog batch keys do the same).
+    std::fill(ops_.begin(), ops_.end(), Op{0, 0});
+    ops_.clear();
+  }
+}
+
 MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : m_(modulus) {
   assert(m_.is_odd() && !m_.is_negative());
   n_ = m_.limbs();
-  n0inv_ = 0u - InverseMod32(n_[0]);
+  n0inv_ = 0u - InverseMod64(n_[0]);
   const size_t s = n_.size();
-  BigInt r1 = (BigInt(1) << (32 * s)).Mod(m_);
-  BigInt r2 = (BigInt(1) << (64 * s)).Mod(m_);
+  BigInt r1 = (BigInt(1) << (64 * s)).Mod(m_);
+  BigInt r2 = (BigInt(1) << (128 * s)).Mod(m_);
   r1_ = r1.limbs();
   r1_.resize(s, 0);
   r2_ = r2.limbs();
   r2_.resize(s, 0);
 }
 
-void MontgomeryCtx::Cios(const uint32_t* a, const uint32_t* b, uint32_t* out,
-                         uint32_t* t) const {
+void MontgomeryCtx::Cios(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                         uint64_t* t) const {
   const size_t s = n_.size();
-  const uint32_t* n = n_.data();
-  std::fill(t, t + s + 2, 0u);
+  const uint64_t* n = n_.data();
+  std::fill(t, t + s + 2, uint64_t{0});
   for (size_t i = 0; i < s; ++i) {
-    // t += a * b[i].
+    // t += a * b[i].  Each 128-bit accumulation fits exactly:
+    // t[j] + a[j]*b[i] + carry <= (2^64-1) + (2^64-1)^2 + (2^64-1) = 2^128-1.
     const uint64_t bi = b[i];
     uint64_t carry = 0;
     for (size_t j = 0; j < s; ++j) {
-      uint64_t cur = t[j] + a[j] * bi + carry;
-      t[j] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
+      u128 cur = t[j] + static_cast<u128>(a[j]) * bi + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
     }
-    uint64_t cur = t[s] + carry;
-    t[s] = static_cast<uint32_t>(cur);
-    t[s + 1] = static_cast<uint32_t>(cur >> 32);
+    u128 cur = static_cast<u128>(t[s]) + carry;
+    t[s] = static_cast<uint64_t>(cur);
+    t[s + 1] = static_cast<uint64_t>(cur >> 64);
 
     // t += (t[0] * n') * m, making t[0] zero, then drop one word: the
     // interleaved reduce that keeps t below 2m throughout.
-    const uint64_t mi = static_cast<uint32_t>(t[0] * n0inv_);
-    cur = t[0] + mi * n[0];
-    carry = cur >> 32;
+    const uint64_t mi = t[0] * n0inv_;
+    cur = t[0] + static_cast<u128>(mi) * n[0];
+    carry = static_cast<uint64_t>(cur >> 64);
     for (size_t j = 1; j < s; ++j) {
-      cur = t[j] + mi * n[j] + carry;
-      t[j - 1] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
+      cur = t[j] + static_cast<u128>(mi) * n[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
     }
-    cur = static_cast<uint64_t>(t[s]) + carry;
-    t[s - 1] = static_cast<uint32_t>(cur);
-    t[s] = t[s + 1] + static_cast<uint32_t>(cur >> 32);
+    cur = static_cast<u128>(t[s]) + carry;
+    t[s - 1] = static_cast<uint64_t>(cur);
+    t[s] = t[s + 1] + static_cast<uint64_t>(cur >> 64);
   }
 
   // Final conditional subtraction: t is in [0, 2m).
@@ -79,9 +91,9 @@ void MontgomeryCtx::Cios(const uint32_t* a, const uint32_t* b, uint32_t* out,
   if (ge) {
     uint64_t borrow = 0;
     for (size_t j = 0; j < s; ++j) {
-      uint64_t diff = static_cast<uint64_t>(t[j]) - n[j] - borrow;
-      out[j] = static_cast<uint32_t>(diff);
-      borrow = (diff >> 32) & 1;
+      u128 diff = static_cast<u128>(t[j]) - n[j] - borrow;
+      out[j] = static_cast<uint64_t>(diff);
+      borrow = (diff >> 64) != 0 ? 1 : 0;
     }
   } else {
     std::copy(t, t + s, out);
@@ -93,7 +105,7 @@ MontgomeryCtx::Residue MontgomeryCtx::ToMont(const BigInt& x) const {
   Residue a = x.Mod(m_).limbs();
   a.resize(s, 0);
   Residue out(s);
-  std::vector<uint32_t> t(s + 2);
+  std::vector<uint64_t> t(s + 2);
   Cios(a.data(), r2_.data(), out.data(), t.data());
   return out;
 }
@@ -104,7 +116,7 @@ BigInt MontgomeryCtx::FromMont(const Residue& a) const {
   Residue one(s, 0);
   one[0] = 1;
   Residue out(s);
-  std::vector<uint32_t> t(s + 2);
+  std::vector<uint64_t> t(s + 2);
   Cios(a.data(), one.data(), out.data(), t.data());
   return BigInt::FromLimbs(std::move(out));
 }
@@ -113,39 +125,29 @@ MontgomeryCtx::Residue MontgomeryCtx::Mul(const Residue& a, const Residue& b) co
   const size_t s = n_.size();
   assert(a.size() == s && b.size() == s);
   Residue out(s);
-  std::vector<uint32_t> t(s + 2);
+  std::vector<uint64_t> t(s + 2);
   Cios(a.data(), b.data(), out.data(), t.data());
   return out;
 }
 
-MontgomeryCtx::Residue MontgomeryCtx::Exp(const Residue& base, const BigInt& exp) const {
+ExpSchedule MontgomeryCtx::CompileExp(const BigInt& exp, bool secret) {
   assert(!exp.is_negative());
-  const size_t s = n_.size();
-  assert(base.size() == s);
-  Residue result = r1_;
+  ExpSchedule sched;
+  sched.secret_ = secret;
   const size_t bits = exp.BitLength();
   if (bits == 0) {
-    return result;
+    return sched;
   }
+  sched.zero_ = false;
+  sched.ops_.reserve(bits / 4 + 2);
 
-  // Odd-power table: table[k] = base^(2k+1) in Montgomery form.
-  std::vector<uint32_t> t(s + 2);
-  Residue sq(s);
-  Cios(base.data(), base.data(), sq.data(), t.data());
-  Residue table[8];
-  table[0] = base;
-  for (int k = 1; k < 8; ++k) {
-    table[k].resize(s);
-    Cios(table[k - 1].data(), sq.data(), table[k].data(), t.data());
-  }
-
-  // Left-to-right with 4-bit windows anchored on set bits: zeros cost
-  // one squaring each; a window of width d costs d squarings plus one
-  // table multiply.
+  // The same left-to-right walk Exp always did — 4-bit windows anchored
+  // on set bits, zeros as bare squarings — recorded instead of executed.
+  uint32_t pending = 0;  // Squarings owed before the next multiply.
   size_t i = bits;
   while (i > 0) {
     if (!exp.Bit(i - 1)) {
-      Cios(result.data(), result.data(), result.data(), t.data());
+      ++pending;
       --i;
       continue;
     }
@@ -156,12 +158,62 @@ MontgomeryCtx::Residue MontgomeryCtx::Exp(const Residue& base, const BigInt& exp
     uint32_t w = 0;
     for (size_t j = i; j-- > low;) {
       w = (w << 1) | (exp.Bit(j) ? 1u : 0u);
-      Cios(result.data(), result.data(), result.data(), t.data());
+      ++pending;
     }
-    Cios(result.data(), table[w >> 1].data(), result.data(), t.data());
+    sched.ops_.push_back({pending, static_cast<int32_t>(w >> 1)});
+    pending = 0;
     i = low;
   }
+  if (pending != 0) {
+    sched.ops_.push_back({pending, -1});
+  }
+  return sched;
+}
+
+MontgomeryCtx::Residue MontgomeryCtx::Exp(const Residue& base,
+                                          const ExpSchedule& schedule) const {
+  const size_t s = n_.size();
+  assert(base.size() == s);
+  Residue result = r1_;
+  if (schedule.zero()) {
+    return result;
+  }
+
+  // Odd-power table: table[k] = base^(2k+1) in Montgomery form.
+  std::vector<uint64_t> t(s + 2);
+  Residue sq(s);
+  Cios(base.data(), base.data(), sq.data(), t.data());
+  Residue table[8];
+  table[0] = base;
+  for (int k = 1; k < 8; ++k) {
+    table[k].resize(s);
+    Cios(table[k - 1].data(), sq.data(), table[k].data(), t.data());
+  }
+
+  for (const ExpSchedule::Op& op : schedule.ops()) {
+    for (uint32_t q = 0; q < op.squarings; ++q) {
+      Cios(result.data(), result.data(), result.data(), t.data());
+    }
+    if (op.table_index >= 0) {
+      Cios(result.data(), table[op.table_index].data(), result.data(), t.data());
+    }
+  }
   return result;
+}
+
+MontgomeryCtx::Residue MontgomeryCtx::Exp(const Residue& base, const BigInt& exp) const {
+  return Exp(base, CompileExp(exp));
+}
+
+std::vector<MontgomeryCtx::Residue> MontgomeryCtx::ExpBatch(
+    const std::vector<Residue>& bases, const BigInt& exp) const {
+  const ExpSchedule schedule = CompileExp(exp);
+  std::vector<Residue> out;
+  out.reserve(bases.size());
+  for (const Residue& base : bases) {
+    out.push_back(Exp(base, schedule));
+  }
+  return out;
 }
 
 BigInt MontgomeryCtx::ModExp(const BigInt& base, const BigInt& exp) const {
@@ -184,7 +236,7 @@ BigInt MontgomeryCtx::ModSquare(const BigInt& a) const {
   plain.resize(s, 0);
   Residue am = ToMont(a);
   Residue out(s);
-  std::vector<uint32_t> t(s + 2);
+  std::vector<uint64_t> t(s + 2);
   Cios(plain.data(), am.data(), out.data(), t.data());
   return BigInt::FromLimbs(std::move(out));
 }

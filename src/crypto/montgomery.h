@@ -2,16 +2,29 @@
 // exponentiation in SFS's public-key hot path (SRP-6a exchanges, Rabin
 // square roots, Miller–Rabin witnesses).
 //
-// For an odd modulus m of s 32-bit limbs, values are kept as residues
-// x*R mod m with R = 2^(32s).  The Montgomery product of two residues
+// For an odd modulus m of s 64-bit limbs, values are kept as residues
+// x*R mod m with R = 2^(64s).  The Montgomery product of two residues
 // — one CIOS (coarsely integrated operand scanning) pass interleaving
 // word-level multiply and reduce — costs 2s^2 + s single-word multiplies
 // and *no* division, replacing the schoolbook multiply + full Knuth
-// algorithm-D division the textbook path pays per step.
+// algorithm-D division the textbook path pays per step.  Moving from
+// 32-bit to 64-bit limbs halves s, so the quadratic CIOS pass does a
+// quarter of the word multiplies; each word multiply is an
+// `unsigned __int128` product, which the hardware provides directly.
+// n' = -m^{-1} mod 2^64 comes from Newton–Hensel lifting (inv = x is
+// correct mod 8; five squared-precision iterations reach >= 64 bits).
 //
 // Exponentiation uses a fixed 4-bit sliding window over a table of the
 // eight odd powers base^1, base^3, ..., base^15, cutting the number of
-// non-squaring multiplies from ~bits/2 to ~bits/5.
+// non-squaring multiplies from ~bits/2 to ~bits/5.  The window walk over
+// a given exponent is deterministic, so it can be compiled once into an
+// ExpSchedule and replayed for many bases: Miller–Rabin witnesses (one
+// shared exponent d, twenty bases) batch through ExpBatch, and
+// RabinPrivateKey caches the schedules of its fixed square-root
+// exponents (p+1)/4 and (q+1)/4 across decrypt/sign calls.  A schedule
+// is a function of the exponent's bits, so schedules of private
+// exponents are wiped on destruction (`secret`), matching the audit-log
+// key-hygiene convention.
 //
 // Even moduli cannot be represented (R must be invertible mod m);
 // BigInt::ModExp falls back to the naive path for them.
@@ -25,13 +38,45 @@
 
 namespace crypto {
 
+// The precompiled window walk of one exponent: a replay list of
+// "square k times, then (optionally) multiply by odd power base^(2t+1)"
+// steps.  Compile with MontgomeryCtx::CompileExp; replay with
+// MontgomeryCtx::Exp against any base (and any context — the schedule
+// depends only on the exponent).  Move-only: a secret schedule wipes its
+// ops on destruction, and accidental copies would defeat that.
+class ExpSchedule {
+ public:
+  struct Op {
+    uint32_t squarings;   // Squarings to apply before the multiply.
+    int32_t table_index;  // Odd-power index t (base^(2t+1)), or -1: none.
+  };
+
+  ExpSchedule() = default;
+  ~ExpSchedule();
+  ExpSchedule(ExpSchedule&&) = default;
+  ExpSchedule& operator=(ExpSchedule&&) = default;
+  ExpSchedule(const ExpSchedule&) = delete;
+  ExpSchedule& operator=(const ExpSchedule&) = delete;
+
+  // True for the zero exponent (replay yields One()).
+  bool zero() const { return zero_; }
+  const std::vector<Op>& ops() const { return ops_; }
+  bool secret() const { return secret_; }
+
+ private:
+  friend class MontgomeryCtx;
+  std::vector<Op> ops_;
+  bool zero_ = true;
+  bool secret_ = false;
+};
+
 class MontgomeryCtx {
  public:
   // A residue in Montgomery form: exactly limbs() little-endian words,
   // value < modulus.  Opaque to callers; convert with ToMont/FromMont.
-  using Residue = std::vector<uint32_t>;
+  using Residue = std::vector<uint64_t>;
 
-  // Requires modulus odd and >= 1.  Precomputes n' = -m^{-1} mod 2^32
+  // Requires modulus odd and >= 1.  Precomputes n' = -m^{-1} mod 2^64
   // and R^2 mod m; build once per modulus and reuse (RabinPrivateKey
   // caches one per prime, SrpParams shares one for the group N).
   explicit MontgomeryCtx(const BigInt& modulus);
@@ -53,6 +98,17 @@ class MontgomeryCtx {
   // exp == 0 yields One() (even when modulus == 1, where One() is 0).
   Residue Exp(const Residue& base, const BigInt& exp) const;
 
+  // The window walk of `exp`, precompiled for replay against many bases
+  // or many calls.  `secret` wipes the ops on destruction (the schedule
+  // reveals the exponent's bits).
+  static ExpSchedule CompileExp(const BigInt& exp, bool secret = false);
+  // Replay a compiled schedule: identical result to Exp(base, exp).
+  Residue Exp(const Residue& base, const ExpSchedule& schedule) const;
+  // base^exp for every base, compiling the shared exponent's schedule
+  // once (Miller–Rabin witness batching).
+  std::vector<Residue> ExpBatch(const std::vector<Residue>& bases,
+                                const BigInt& exp) const;
+
   // Convenience wrappers for callers with plain-integer operands.
   // ModExp matches BigInt::ModExpNaive bit-for-bit, including the
   // convention that exp == 0 returns 1 regardless of the modulus.
@@ -64,11 +120,11 @@ class MontgomeryCtx {
   // One CIOS pass: out = a*b*R^{-1} mod m.  `a`, `b`, `out` are
   // limbs()-word arrays; `t` is scratch of limbs()+2 words.  `out` may
   // alias `a` or `b` (the accumulator is `t`).
-  void Cios(const uint32_t* a, const uint32_t* b, uint32_t* out, uint32_t* t) const;
+  void Cios(const uint64_t* a, const uint64_t* b, uint64_t* out, uint64_t* t) const;
 
   BigInt m_;                    // The modulus.
-  std::vector<uint32_t> n_;     // Its limbs (size s, top limb nonzero).
-  uint32_t n0inv_ = 0;          // -m^{-1} mod 2^32.
+  std::vector<uint64_t> n_;     // Its limbs (size s, top limb nonzero).
+  uint64_t n0inv_ = 0;          // -m^{-1} mod 2^64.
   Residue r1_;                  // R mod m.
   Residue r2_;                  // R^2 mod m (the ToMont multiplier).
 };

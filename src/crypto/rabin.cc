@@ -138,6 +138,10 @@ RabinPrivateKey::RabinPrivateKey(BigInt p, BigInt q) : p_(std::move(p)), q_(std:
   sqrt_exp_p_ = (p_ + BigInt(1)) >> 2;
   sqrt_exp_q_ = (q_ + BigInt(1)) >> 2;
   q_inv_p_mont_ = ctx_p_->ToMont(q_inv_p_);
+  sqrt_sched_p_ = std::make_shared<const ExpSchedule>(
+      MontgomeryCtx::CompileExp(sqrt_exp_p_, /*secret=*/true));
+  sqrt_sched_q_ = std::make_shared<const ExpSchedule>(
+      MontgomeryCtx::CompileExp(sqrt_exp_q_, /*secret=*/true));
 }
 
 RabinPrivateKey RabinPrivateKey::Generate(Prng* prng, size_t modulus_bits) {
@@ -160,9 +164,10 @@ BigInt RabinPrivateKey::CrtCombine(const BigInt& xp, const BigInt& xq) const {
 }
 
 BigInt RabinPrivateKey::SqrtModN(const BigInt& a) const {
-  // p, q ≡ 3 (mod 4): square root of a QR is a^((p+1)/4) mod p.
-  BigInt rp = ctx_p_->ModExp(a, sqrt_exp_p_);
-  BigInt rq = ctx_q_->ModExp(a, sqrt_exp_q_);
+  // p, q ≡ 3 (mod 4): square root of a QR is a^((p+1)/4) mod p.  The
+  // exponents are fixed per key, so replay the precompiled schedules.
+  BigInt rp = ctx_p_->FromMont(ctx_p_->Exp(ctx_p_->ToMont(a), *sqrt_sched_p_));
+  BigInt rq = ctx_q_->FromMont(ctx_q_->Exp(ctx_q_->ToMont(a), *sqrt_sched_q_));
   return CrtCombine(rp, rq);
 }
 
@@ -208,8 +213,8 @@ util::Result<util::Bytes> RabinPrivateKey::Decrypt(const util::Bytes& ciphertext
   if (c >= n) {
     return util::SecurityError("ciphertext out of range");
   }
-  BigInt rp = ctx_p_->ModExp(c, sqrt_exp_p_);
-  BigInt rq = ctx_q_->ModExp(c, sqrt_exp_q_);
+  BigInt rp = ctx_p_->FromMont(ctx_p_->Exp(ctx_p_->ToMont(c), *sqrt_sched_p_));
+  BigInt rq = ctx_q_->FromMont(ctx_q_->Exp(ctx_q_->ToMont(c), *sqrt_sched_q_));
   if (ctx_p_->ModSquare(rp) != c.Mod(p_) || ctx_q_->ModSquare(rq) != c.Mod(q_)) {
     return util::SecurityError("ciphertext is not a quadratic residue");
   }

@@ -106,6 +106,13 @@ class RabinPrivateKey {
   BigInt sqrt_exp_p_;  // (p+1)/4: QR square-root exponent mod p.
   BigInt sqrt_exp_q_;  // (q+1)/4.
   MontgomeryCtx::Residue q_inv_p_mont_;  // q^{-1} mod p in Montgomery form.
+
+  // Precompiled window schedules for the two fixed square-root exponents:
+  // every Sign/Decrypt replays them against a fresh base instead of
+  // re-walking the exponent bits.  Derived from the private primes, so
+  // compiled `secret` — the schedule wipes itself on destruction.
+  std::shared_ptr<const ExpSchedule> sqrt_sched_p_;
+  std::shared_ptr<const ExpSchedule> sqrt_sched_q_;
 };
 
 }  // namespace crypto

@@ -18,14 +18,22 @@ constexpr char kGroup1024Hex[] =
 
 util::Bytes PadTo(const BigInt& v, size_t len) { return v.ToBytesPadded(len); }
 
-// base^exp mod N through the group's shared Montgomery context when
-// present; otherwise the generic path.
+// base^exp mod N: the generator's fixed-base table when the base is g,
+// else the group's shared Montgomery context when present, else the
+// generic path.  All three produce bit-identical results.
 BigInt GroupExp(const SrpParams& params, const BigInt& base, const BigInt& exp) {
+  if (params.g_ctx && base == params.g) {
+    return params.g_ctx->Exp(exp);
+  }
   if (params.ctx) {
     return params.ctx->ModExp(base, exp);
   }
   return BigInt::ModExp(base, exp, params.n);
 }
+
+// The scrambler u = H(PAD(A) || PAD(B)) is a SHA-1 digest, so verifier
+// fixed-base tables only need to cover 160-bit exponents.
+constexpr size_t kScramblerBits = 160;
 
 size_t GroupBytes(const SrpParams& params) { return (params.n.BitLength() + 7) / 8; }
 
@@ -71,8 +79,10 @@ const SrpParams& DefaultSrpParams() {
   static const SrpParams kParams = [] {
     auto n = BigInt::FromHex(kGroup1024Hex);
     assert(n.ok());
-    return SrpParams{n.value(), BigInt(2),
-                     std::make_shared<const MontgomeryCtx>(n.value())};
+    auto ctx = std::make_shared<const MontgomeryCtx>(n.value());
+    auto g_ctx = std::make_shared<const FixedBaseCtx>(ctx, BigInt(2),
+                                                      n.value().BitLength());
+    return SrpParams{n.value(), BigInt(2), std::move(ctx), std::move(g_ctx)};
   }();
   return kParams;
 }
@@ -92,6 +102,13 @@ SrpVerifier MakeSrpVerifier(const SrpParams& params, const std::string& password
   out.cost = cost;
   BigInt x = SrpPrivateExponent(params, password, out.salt, cost);
   out.v = GroupExp(params, params.g, x);
+  if (params.ctx) {
+    // One-time table for the account's long-lived base: every later
+    // exchange computes v^u against it.  Password-derived, so secret.
+    out.v_ctx = std::make_shared<const FixedBaseCtx>(params.ctx, out.v,
+                                                     kScramblerBits,
+                                                     /*secret=*/true);
+  }
   return out;
 }
 
@@ -146,8 +163,11 @@ util::Result<BigInt> SrpServer::ProcessClientHello(const BigInt& a_pub) {
   BigInt k = Multiplier(params_);
   b_pub_ = (k * verifier_.v + GroupExp(params_, params_.g, b_priv_)).Mod(params_.n);
   BigInt u = Scrambler(params_, a_pub_, b_pub_);
-  // S = (A * v^u) ^ b mod N.
-  BigInt base = (a_pub_ * GroupExp(params_, verifier_.v, u)).Mod(params_.n);
+  // S = (A * v^u) ^ b mod N; v^u through the verifier's fixed-base
+  // table when the account record carries one.
+  BigInt vu = verifier_.v_ctx ? verifier_.v_ctx->Exp(u)
+                              : GroupExp(params_, verifier_.v, u);
+  BigInt base = (a_pub_ * vu).Mod(params_.n);
   BigInt s = GroupExp(params_, base, b_priv_);
   session_key_ = Sha1Digest(PadTo(s, GroupBytes(params_)));
   m1_expected_ = ComputeM1(params_, a_pub_, b_pub_, session_key_);

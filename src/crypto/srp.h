@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/crypto/bignum.h"
+#include "src/crypto/fixedbase.h"
 #include "src/crypto/montgomery.h"
 #include "src/crypto/prng.h"
 #include "src/util/bytes.h"
@@ -26,13 +27,17 @@ namespace crypto {
 
 // Group parameters: a safe prime N and generator g.  `ctx` is the shared
 // Montgomery context for N — one per group, reused by every client,
-// server, and verifier computation.  May be null (e.g. for hand-built
-// params); exponentiations then go through BigInt::ModExp, which
-// rebuilds a context per call.
+// server, and verifier computation.  `g_ctx` is the fixed-base table for
+// the generator: of the exchange's exponentiations, A = g^a, B's g^b,
+// and the verifier path's g^x all share base g, so one precomputation
+// per group accelerates most of every handshake (docs/CRYPTO_PERF.md).
+// Both may be null (e.g. for hand-built params); exponentiations then
+// fall back to the generic paths.
 struct SrpParams {
   BigInt n;
   BigInt g;
   std::shared_ptr<const MontgomeryCtx> ctx;
+  std::shared_ptr<const FixedBaseCtx> g_ctx;
 };
 
 // The standard 1024-bit group (RFC 5054 appendix A), g = 2.
@@ -41,10 +46,17 @@ const SrpParams& DefaultSrpParams();
 // What the server stores per user: random salt, eksblowfish cost, and the
 // verifier v = g^x.  Knowing v does not let anyone impersonate the user or
 // check password guesses faster than eksblowfish allows.
+//
+// `v_ctx` is the fixed-base table for v: the account's verifier is a
+// long-lived server-side base (AuthServer keeps it for every login),
+// and each exchange computes v^u against it.  It is password-derived
+// key material, so the table is built `secret` and wiped on destruction.
+// Null for hand-built verifiers; v^u then takes the generic kernel.
 struct SrpVerifier {
   util::Bytes salt;  // 16 bytes
   unsigned cost = 0;
   BigInt v;
+  std::shared_ptr<const FixedBaseCtx> v_ctx;
 };
 
 // x = eksblowfish(cost, salt, password) interpreted as an integer.

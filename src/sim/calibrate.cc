@@ -15,6 +15,7 @@
 #include "src/crypto/prng.h"
 #include "src/crypto/rabin.h"
 #include "src/crypto/sha1.h"
+#include "src/crypto/srp.h"
 #include "src/sim/cost_model.h"
 
 namespace sim {
@@ -67,6 +68,22 @@ CostModel CostModel::CalibrateFromPrimitives() {
   model.pk_encrypt_ns = TimePerCall(
       5'000'000, [&] { ciphertext = key.public_key().Encrypt(plaintext, &prng).value(); });
   model.pk_decrypt_ns = TimePerCall(20'000'000, [&] { (void)key.Decrypt(ciphertext); });
+
+  // Server side of one SRP exchange: the key-negotiation bench charges
+  // this per login.  The verifier (and its fixed-base table) is built
+  // once outside the loop, like an authserv account record; the timed
+  // region is what the server repeats per connection — fresh ephemeral
+  // b plus ProcessClientHello's three exponentiations.
+  {
+    const crypto::SrpParams& params = crypto::DefaultSrpParams();
+    crypto::SrpVerifier verifier =
+        crypto::MakeSrpVerifier(params, "calibration", /*cost=*/4, &prng);
+    crypto::SrpClient client(params, &prng);
+    model.srp_server_ns = TimePerCall(20'000'000, [&] {
+      crypto::SrpServer server(params, verifier, &prng);
+      (void)server.ProcessClientHello(client.A());
+    });
+  }
 
   // Symmetric channel cost: ARC4 keystream XOR plus the HMAC-SHA-1 MAC
   // over the same bytes, as the secure channel pays per payload byte.

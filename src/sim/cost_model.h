@@ -45,6 +45,14 @@ struct CostModel {
   uint64_t pk_encrypt_ns = 1'000'000;
   uint64_t pk_decrypt_ns = 24'000'000;
 
+  // Server side of one SRP exchange (paper §2.4): B = kv + g^b, v^u,
+  // S = (A*v^u)^b — about 2.16 full-width exponentiations in the
+  // 1024-bit group.  pk_sign's 24ms buys two half-width CRT
+  // exponentiations (~12ms each); a full-width one costs ~8x a
+  // half-width one (4x the limb products, 2x the exponent bits), so
+  // ~96ms each and ~200ms for the handshake on the paper's hardware.
+  uint64_t srp_server_ns = 200'000'000;
+
   // Local system-call overhead (local-FS baseline).
   uint64_t syscall_ns = 5'000;
 

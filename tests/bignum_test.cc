@@ -331,4 +331,59 @@ TEST(BigIntTest, HexRoundTrip) {
   EXPECT_EQ(BigInt(0).ToHex(), "0");
 }
 
+// --- 64-bit limb kernel -------------------------------------------------
+//
+// The kernel stores uint64 limbs but keeps the 32-bit view shim for the
+// frozen ref32 differential oracle; these tests pin the shim, the wide
+// decimal chunks, and ModU64 against independently computed answers.
+
+TEST(BigIntTest, Limbs32ViewRoundTrips) {
+  crypto::Prng prng(uint64_t{8801});
+  for (size_t bits : {1, 31, 32, 33, 63, 64, 65, 127, 128, 129, 1024}) {
+    BigInt x = BigInt::Random(&prng, bits);
+    EXPECT_EQ(BigInt::FromLimbs32(x.Limbs32()), x) << "bits=" << bits;
+  }
+  EXPECT_TRUE(BigInt::FromLimbs32(BigInt(0).Limbs32()).is_zero());
+  // The 32-bit view splits each 64-bit limb little-endian.
+  BigInt v(uint64_t{0x0123456789abcdefULL});
+  auto limbs32 = v.Limbs32();
+  ASSERT_EQ(limbs32.size(), 2u);
+  EXPECT_EQ(limbs32[0], 0x89abcdefu);
+  EXPECT_EQ(limbs32[1], 0x01234567u);
+}
+
+TEST(BigIntTest, ModU64MatchesDivMod) {
+  crypto::Prng prng(uint64_t{8802});
+  for (uint64_t d : {uint64_t{1}, uint64_t{2}, uint64_t{10},
+                     uint64_t{0xffffffffULL}, uint64_t{0x100000000ULL},
+                     uint64_t{0xfffffffffffffffbULL}}) {
+    for (size_t bits : {16, 64, 65, 512}) {
+      BigInt x = BigInt::Random(&prng, bits);
+      BigInt expected = x % BigInt(d);
+      EXPECT_EQ(BigInt(x.ModU64(d)), expected) << "d=" << d << " bits=" << bits;
+      EXPECT_EQ(x.ModU32(999999937u), x.ModU64(999999937u));
+    }
+  }
+}
+
+TEST(BigIntTest, DecimalChunksCrossLimbBoundaries) {
+  // Decimal conversion now works in base 10^18 chunks; exercise values
+  // straddling chunk and limb boundaries in both directions.
+  for (const char* dec : {"999999999999999999", "1000000000000000000",
+                          "1000000000000000001", "18446744073709551615",
+                          "18446744073709551616",
+                          "340282366920938463463374607431768211456"}) {
+    auto v = BigInt::FromDecimal(dec);
+    ASSERT_TRUE(v.ok()) << dec;
+    EXPECT_EQ(v->ToDecimal(), dec);
+  }
+  crypto::Prng prng(uint64_t{8803});
+  for (int i = 0; i < 8; ++i) {
+    BigInt x = BigInt::Random(&prng, 700);
+    auto back = BigInt::FromDecimal(x.ToDecimal());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, x);
+  }
+}
+
 }  // namespace

@@ -1,0 +1,117 @@
+// FixedBaseCtx must be a pure reschedule of MontgomeryCtx::ModExp: same
+// arithmetic, different operation order, bit-identical results — on
+// every exponent shape SRP can produce plus the widths it can't (the
+// fallback path).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "src/crypto/bignum.h"
+#include "src/crypto/fixedbase.h"
+#include "src/crypto/montgomery.h"
+#include "src/crypto/prng.h"
+#include "src/crypto/srp.h"
+
+namespace {
+
+using crypto::BigInt;
+using crypto::FixedBaseCtx;
+using crypto::MontgomeryCtx;
+using crypto::Prng;
+
+std::shared_ptr<const MontgomeryCtx> RandomOddCtx(Prng* prng, size_t bits) {
+  BigInt m = BigInt::Random(prng, bits);
+  if (m.is_even()) {
+    m = m + BigInt(1);
+  }
+  return std::make_shared<const MontgomeryCtx>(m);
+}
+
+TEST(FixedBaseTest, ExpMatchesGenericKernelAcrossSizes) {
+  Prng prng(uint64_t{3001});
+  for (size_t bits : {65, 160, 512, 1024}) {
+    auto ctx = RandomOddCtx(&prng, bits);
+    BigInt base = BigInt::Random(&prng, bits - 1);
+    FixedBaseCtx fb(ctx, base, bits);
+    for (int i = 0; i < 6; ++i) {
+      BigInt exp = BigInt::Random(&prng, bits);
+      EXPECT_EQ(fb.Exp(exp), ctx->ModExp(base, exp)) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(FixedBaseTest, ExpEdgeExponents) {
+  Prng prng(uint64_t{3002});
+  auto ctx = RandomOddCtx(&prng, 512);
+  BigInt base = BigInt::Random(&prng, 500);
+  FixedBaseCtx fb(ctx, base, 512);
+  EXPECT_EQ(fb.Exp(BigInt(0)), BigInt(1));
+  EXPECT_EQ(fb.Exp(BigInt(1)), base.Mod(ctx->modulus()));
+  BigInt top = ctx->modulus() - BigInt(1);
+  EXPECT_EQ(fb.Exp(top), ctx->ModExp(base, top));
+}
+
+TEST(FixedBaseTest, BaseLargerThanModulusReducesFirst) {
+  Prng prng(uint64_t{3003});
+  auto ctx = RandomOddCtx(&prng, 256);
+  BigInt base = BigInt::Random(&prng, 400);  // base >= m.
+  FixedBaseCtx fb(ctx, base, 256);
+  BigInt exp = BigInt::Random(&prng, 200);
+  EXPECT_EQ(fb.Exp(exp), ctx->ModExp(base, exp));
+}
+
+TEST(FixedBaseTest, OverWideExponentFallsBackToGenericKernel) {
+  Prng prng(uint64_t{3004});
+  auto ctx = RandomOddCtx(&prng, 384);
+  BigInt base = BigInt::Random(&prng, 380);
+  FixedBaseCtx fb(ctx, base, 160);  // Covers only 160-bit exponents.
+  EXPECT_GE(fb.max_exp_bits(), 160u);
+  // In range: table path.
+  BigInt in_range = BigInt::Random(&prng, 160);
+  EXPECT_EQ(fb.Exp(in_range), ctx->ModExp(base, in_range));
+  // Past the covered width: must still be correct via the fallback.
+  BigInt wide = BigInt::Random(&prng, fb.max_exp_bits() + 100);
+  EXPECT_EQ(fb.Exp(wide), ctx->ModExp(base, wide));
+}
+
+TEST(FixedBaseTest, TableGeometryCoversRequestedWidth) {
+  Prng prng(uint64_t{3005});
+  auto ctx = RandomOddCtx(&prng, 1024);
+  FixedBaseCtx fb(ctx, BigInt(2), 1024);
+  EXPECT_GE(fb.window(), 1u);
+  EXPECT_GE(fb.max_exp_bits(), 1024u);
+  EXPECT_EQ(fb.table_entries() * fb.window(), fb.max_exp_bits());
+  EXPECT_FALSE(fb.secret());
+  FixedBaseCtx secret_fb(ctx, BigInt(3), 256, /*secret=*/true);
+  EXPECT_TRUE(secret_fb.secret());
+}
+
+TEST(FixedBaseTest, Rfc5054GeneratorContextMatchesGroupExp) {
+  // The context SrpParams actually carries: g = 2 in the RFC 5054
+  // 1024-bit group, covering full-width exponents.
+  const crypto::SrpParams& params = crypto::DefaultSrpParams();
+  ASSERT_NE(params.g_ctx, nullptr);
+  EXPECT_EQ(params.g_ctx->base(), params.g);
+  Prng prng(uint64_t{3006});
+  for (int i = 0; i < 4; ++i) {
+    BigInt exp = BigInt::Random(&prng, 512 + static_cast<size_t>(i) * 128);
+    EXPECT_EQ(params.g_ctx->Exp(exp),
+              BigInt::ModExpNaive(params.g, exp, params.n));
+  }
+}
+
+TEST(FixedBaseTest, VerifierContextIsSecretAndCoversScrambler) {
+  crypto::Prng prng(uint64_t{3007});
+  const crypto::SrpParams& params = crypto::DefaultSrpParams();
+  auto verifier = crypto::MakeSrpVerifier(params, "pw", 2, &prng);
+  ASSERT_NE(verifier.v_ctx, nullptr);
+  EXPECT_TRUE(verifier.v_ctx->secret());
+  EXPECT_EQ(verifier.v_ctx->base(), verifier.v);
+  // u is a 160-bit SHA-1 derived scrambler; the table must cover it.
+  EXPECT_GE(verifier.v_ctx->max_exp_bits(), 160u);
+  BigInt u = BigInt::Random(&prng, 160);
+  EXPECT_EQ(verifier.v_ctx->Exp(u), params.ctx->ModExp(verifier.v, u));
+}
+
+}  // namespace

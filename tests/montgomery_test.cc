@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "src/crypto/bignum.h"
+#include "src/crypto/kernel32.h"
 #include "src/crypto/montgomery.h"
 #include "src/crypto/prng.h"
 #include "src/crypto/rabin.h"
@@ -141,6 +142,111 @@ TEST(MontgomeryTest, RabinSignVerifyRoundTripsThroughContexts) {
     message[0] ^= 1;
     EXPECT_FALSE(key.public_key().Verify(message, signature).ok());
   }
+}
+
+// --- Differential suite against the frozen 32-bit oracle -------------
+//
+// crypto::ref32 is the pre-refactor 32-bit-limb kernel, kept compiled
+// but off every production path.  The 64-bit CIOS kernel must agree
+// with it bit-for-bit: a carry or n' bug in the new kernel cannot also
+// exist in code that has not changed.
+
+TEST(MontgomeryTest, Mul32OracleMatchesProduct) {
+  Prng prng(uint64_t{2001});
+  for (size_t bits : {31, 64, 65, 127, 256, 512, 1024, 3000}) {
+    for (int i = 0; i < 4; ++i) {
+      BigInt a = BigInt::Random(&prng, bits);
+      BigInt b = BigInt::Random(&prng, bits - 5);
+      EXPECT_EQ(a * b, crypto::ref32::Mul32(a, b)) << "bits=" << bits;
+    }
+  }
+  EXPECT_EQ(BigInt(0) * BigInt(7), crypto::ref32::Mul32(BigInt(0), BigInt(7)));
+  EXPECT_EQ(BigInt(1) * BigInt(1), crypto::ref32::Mul32(BigInt(1), BigInt(1)));
+}
+
+TEST(MontgomeryTest, ModExp32OracleMatchesModExpAcrossSizes) {
+  Prng prng(uint64_t{2002});
+  for (size_t bits : {33, 96, 160, 512, 1024}) {
+    BigInt m = RandomOdd(&prng, bits);
+    MontgomeryCtx ctx(m);
+    for (int i = 0; i < 4; ++i) {
+      BigInt base = BigInt::Random(&prng, bits + 13);  // Also > m: reduce path.
+      BigInt exp = BigInt::Random(&prng, bits);
+      EXPECT_EQ(ctx.ModExp(base, exp), crypto::ref32::ModExp32(base, exp, m))
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(MontgomeryTest, ModExp32OracleMatchesEdgeExponents) {
+  Prng prng(uint64_t{2003});
+  for (size_t bits : {64, 521, 1024}) {
+    BigInt m = RandomOdd(&prng, bits);
+    MontgomeryCtx ctx(m);
+    BigInt base = BigInt::Random(&prng, bits - 3);
+    // exp in {0, 1, m-1}: the degenerate schedule, the no-squaring walk,
+    // and the densest full-width exponent (Fermat shape).
+    for (const BigInt& exp : {BigInt(0), BigInt(1), m - BigInt(1)}) {
+      EXPECT_EQ(ctx.ModExp(base, exp), crypto::ref32::ModExp32(base, exp, m))
+          << "bits=" << bits;
+    }
+    // Even modulus: both sides take their naive fallback.
+    BigInt even_m = m + BigInt(1);
+    BigInt exp = BigInt::Random(&prng, 80);
+    EXPECT_EQ(BigInt::ModExp(base, exp, even_m),
+              crypto::ref32::ModExp32(base, exp, even_m));
+  }
+}
+
+// --- Compiled exponent schedules -------------------------------------
+
+TEST(MontgomeryTest, CompiledScheduleReplayMatchesDirectExp) {
+  Prng prng(uint64_t{2004});
+  BigInt m = RandomOdd(&prng, 512);
+  MontgomeryCtx ctx(m);
+  for (const BigInt& exp : {BigInt(0), BigInt(1), BigInt(15), BigInt(16),
+                            BigInt::Random(&prng, 160), BigInt::Random(&prng, 512),
+                            m - BigInt(1)}) {
+    crypto::ExpSchedule sched = MontgomeryCtx::CompileExp(exp);
+    EXPECT_EQ(sched.zero(), exp.is_zero());
+    for (int i = 0; i < 3; ++i) {
+      MontgomeryCtx::Residue base = ctx.ToMont(BigInt::Random(&prng, 512));
+      EXPECT_EQ(ctx.FromMont(ctx.Exp(base, sched)), ctx.FromMont(ctx.Exp(base, exp)));
+    }
+  }
+}
+
+TEST(MontgomeryTest, ScheduleIsContextIndependent) {
+  // A schedule depends only on the exponent's bits, so one compiled walk
+  // must replay correctly under a different modulus.
+  Prng prng(uint64_t{2005});
+  BigInt exp = BigInt::Random(&prng, 300);
+  crypto::ExpSchedule sched = MontgomeryCtx::CompileExp(exp, /*secret=*/true);
+  EXPECT_TRUE(sched.secret());
+  for (size_t bits : {128, 512}) {
+    BigInt m = RandomOdd(&prng, bits);
+    MontgomeryCtx ctx(m);
+    BigInt base = BigInt::Random(&prng, bits - 1);
+    EXPECT_EQ(ctx.FromMont(ctx.Exp(ctx.ToMont(base), sched)), ctx.ModExp(base, exp));
+  }
+}
+
+TEST(MontgomeryTest, ExpBatchMatchesPerBaseExp) {
+  Prng prng(uint64_t{2006});
+  BigInt m = RandomOdd(&prng, 384);
+  MontgomeryCtx ctx(m);
+  for (const BigInt& exp : {BigInt(0), BigInt::Random(&prng, 384)}) {
+    std::vector<MontgomeryCtx::Residue> bases;
+    for (int i = 0; i < 7; ++i) {
+      bases.push_back(ctx.ToMont(BigInt::Random(&prng, 384)));
+    }
+    std::vector<MontgomeryCtx::Residue> batch = ctx.ExpBatch(bases, exp);
+    ASSERT_EQ(batch.size(), bases.size());
+    for (size_t i = 0; i < bases.size(); ++i) {
+      EXPECT_EQ(batch[i], ctx.Exp(bases[i], exp)) << "i=" << i;
+    }
+  }
+  EXPECT_TRUE(ctx.ExpBatch({}, BigInt(3)).empty());
 }
 
 TEST(MontgomeryTest, RabinEncryptDecryptRoundTripsThroughContexts) {
